@@ -1,0 +1,19 @@
+//! Prior-art comparators for the COMPACT evaluation:
+//!
+//! - [`staircase`]: the previous state-of-the-art flow-based mapping
+//!   (reference \[16\] of the paper), which assigns *every* BDD node both a
+//!   wordline and a bitline, yielding a semiperimeter of about `2n`
+//!   (the paper measures `1.90n` for \[16\]) and a maximum dimension of `n`.
+//! - [`robdd_diagonal`]: the multi-output flow of the prior art — one
+//!   ROBDD per output, mapped independently and merged along the crossbar
+//!   diagonal sharing the 1-terminal wordline (Figure 8(a)).
+//! - [`magic`]: a CONTRA-style MAGIC (NOR-based stateful logic) execution
+//!   model, the Figure 13 comparator. It reports operation counts (INPUT /
+//!   COPY / NOR), which CONTRA uses as its power and delay proxies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod magic;
+pub mod robdd_diagonal;
+pub mod staircase;

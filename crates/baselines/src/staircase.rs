@@ -1,0 +1,162 @@
+//! The prior-art BDD→crossbar mapping (reference \[16\] of the paper).
+//!
+//! Every BDD node is assigned both a wordline and a bitline (joined by an
+//! always-on junction), and every BDD edge becomes one literal junction
+//! between its source's wordline and its target's bitline. Nodes are placed
+//! along the diagonal in level order, producing the inductive staircase
+//! shape of the original paper. The resulting design has `R = C = n`, so
+//! `S = 2n` and `D = n` — the `≈1.9n` semiperimeter and `≈n` maximum
+//! dimension the paper reports for \[16\], against which COMPACT's `≈1.11n`
+//! is compared.
+
+use flowc_compact::preprocess::BddGraph;
+use flowc_xbar::{Crossbar, DeviceAssignment};
+
+/// Maps a BDD graph with the prior-art every-node-gets-both-wires scheme.
+///
+/// # Panics
+///
+/// Panics when the graph's port invariants are broken (never for graphs
+/// produced by [`BddGraph::from_bdds`]).
+pub fn staircase_map(graph: &BddGraph, output_names: &[String]) -> Crossbar {
+    let n = graph.num_nodes();
+    // Diagonal placement: roots first (top-left), terminal last
+    // (bottom-right) so the staircase runs corner to corner, the input is
+    // the bottom-most wordline and outputs are the top rows.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for &r in graph.roots.iter().flatten() {
+        if !placed[r] && Some(r) != graph.terminal {
+            placed[r] = true;
+            order.push(r);
+        }
+    }
+    for v in 0..n {
+        if !placed[v] && Some(v) != graph.terminal {
+            placed[v] = true;
+            order.push(v);
+        }
+    }
+    if let Some(t) = graph.terminal {
+        order.push(t);
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+
+    let const0_outputs = graph.roots.iter().filter(|r| r.is_none()).count();
+    let rows = n + const0_outputs + usize::from(graph.terminal.is_none());
+    let cols = n.max(1);
+    let mut xbar = Crossbar::new(rows, cols, graph.num_inputs);
+    for (i, &v) in order.iter().enumerate() {
+        let _ = xbar.set_row_label(i, graph.node_names[v].clone());
+        let _ = xbar.set_col_label(i, graph.node_names[v].clone());
+        // The node's wordline and bitline are the same wire electrically.
+        xbar.set(i, i, DeviceAssignment::On).expect("in range");
+    }
+    for &(u, v) in graph.graph.edges() {
+        let lit = graph.labels[&(u.min(v), u.max(v))];
+        xbar.set(
+            pos[u],
+            pos[v],
+            DeviceAssignment::Literal {
+                input: lit.input,
+                negated: lit.negated,
+            },
+        )
+        .expect("in range");
+    }
+    let input_row = match graph.terminal {
+        Some(t) => pos[t],
+        None => rows - 1,
+    };
+    xbar.set_input_row(input_row).expect("in range");
+    let mut next_const0 = n;
+    for (i, root) in graph.roots.iter().enumerate() {
+        let name = output_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("out{i}"));
+        match root {
+            Some(v) => xbar.add_output(name, pos[*v]).expect("in range"),
+            None => {
+                xbar.add_output(name, next_const0).expect("in range");
+                next_const0 += 1;
+            }
+        }
+    }
+    xbar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_bdd::build_sbdd;
+    use flowc_logic::{bench_suite, GateKind, Network};
+    use flowc_xbar::metrics::CrossbarMetrics;
+    use flowc_xbar::verify::verify_functional;
+
+    fn fig2_network() -> Network {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        n
+    }
+
+    #[test]
+    fn staircase_is_functionally_valid() {
+        let n = fig2_network();
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let x = staircase_map(&g, &["f".to_string()]);
+        assert!(verify_functional(&x, &n, 64).unwrap().is_valid());
+    }
+
+    #[test]
+    fn staircase_size_is_2n_by_n() {
+        let n = fig2_network();
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let x = staircase_map(&g, &["f".to_string()]);
+        let m = CrossbarMetrics::of(&x);
+        assert_eq!(m.rows, g.num_nodes());
+        assert_eq!(m.cols, g.num_nodes());
+        assert_eq!(m.semiperimeter, 2 * g.num_nodes());
+        assert_eq!(m.max_dimension, g.num_nodes());
+        // One bridge per node, one literal per edge.
+        assert_eq!(m.bridge_devices, g.num_nodes());
+        assert_eq!(m.active_devices, g.num_edges());
+    }
+
+    #[test]
+    fn staircase_valid_on_multi_output_benchmark() {
+        let b = bench_suite::by_name("ctrl").unwrap();
+        let n = b.network().unwrap();
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let names: Vec<String> = n
+            .outputs()
+            .iter()
+            .map(|&o| n.net_name(o).to_string())
+            .collect();
+        let x = staircase_map(&g, &names);
+        assert!(verify_functional(&x, &n, 1 << 7).unwrap().is_valid());
+        assert_eq!(x.input_row(), Some(g.num_nodes() - 1), "input at bottom");
+    }
+
+    #[test]
+    fn staircase_handles_constant_outputs() {
+        let mut n = Network::new("consts");
+        let a = n.add_input("a");
+        let f = n.add_gate(GateKind::Buf, &[a], "f").unwrap();
+        let z = n.add_const0("z");
+        n.mark_output(f);
+        n.mark_output(z);
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let x = staircase_map(&g, &["f".into(), "z".into()]);
+        assert_eq!(x.evaluate(&[true]).unwrap(), vec![true, false]);
+        assert_eq!(x.evaluate(&[false]).unwrap(), vec![false, false]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Building (shared) BDDs from gate-level networks.
+
+use flowc_logic::{GateKind, Network};
+
+use crate::{Manager, Ref, VarId};
+
+/// A network compiled to BDD form: the manager, one root per primary output,
+/// and the variable handle for each primary input (in network input order).
+#[derive(Debug)]
+pub struct NetworkBdds {
+    /// The manager holding the forest.
+    pub manager: Manager,
+    /// One root per primary output, in output order.
+    pub roots: Vec<Ref>,
+    /// The BDD variable of each primary input, in input order.
+    pub vars: Vec<VarId>,
+}
+
+impl NetworkBdds {
+    /// Shared node count of the forest (the SBDD size), terminals included.
+    pub fn shared_size(&self) -> usize {
+        self.manager.size(&self.roots)
+    }
+
+    /// Per-output ROBDD sizes (each counted with its own terminals), i.e.
+    /// the sizes of the "multiple ROBDDs" the paper's baseline flow uses.
+    pub fn per_output_sizes(&self) -> Vec<usize> {
+        self.roots.iter().map(|&r| self.manager.size(&[r])).collect()
+    }
+
+    /// Evaluates every output under an input assignment (network input
+    /// order), mirroring [`flowc_logic::Network::simulate`].
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        // `assignment` is in network-input order; the manager indexes by
+        // variable id (declaration order), which differs under a custom
+        // variable order. Remap through `vars`.
+        let mut by_var = vec![false; self.vars.len()];
+        for (input_idx, &v) in self.vars.iter().enumerate() {
+            by_var[v.index()] = assignment[input_idx];
+        }
+        self.roots
+            .iter()
+            .map(|&r| self.manager.eval(r, &by_var))
+            .collect()
+    }
+}
+
+/// Compiles a network into a single shared BDD forest (SBDD): every output
+/// is built in one manager, so common subfunctions are shared. The variable
+/// order is the given permutation of the network inputs, or input creation
+/// order when `order` is `None`.
+///
+/// The manager is garbage-collected before returning, so its arena holds
+/// exactly the live forest.
+///
+/// # Panics
+///
+/// Panics if `order` is provided and is not a permutation of
+/// `0..num_inputs`.
+pub fn build_sbdd(network: &Network, order: Option<&[usize]>) -> NetworkBdds {
+    let n_inputs = network.num_inputs();
+    let identity: Vec<usize>;
+    let order = match order {
+        Some(o) => {
+            assert_eq!(o.len(), n_inputs, "order must cover every input");
+            let mut seen = vec![false; n_inputs];
+            for &i in o {
+                assert!(i < n_inputs && !seen[i], "order must be a permutation");
+                seen[i] = true;
+            }
+            o
+        }
+        None => {
+            identity = (0..n_inputs).collect();
+            &identity
+        }
+    };
+
+    let mut manager = Manager::new();
+    // Declare variables in the requested order; remember each input's var.
+    let mut vars: Vec<Option<VarId>> = vec![None; n_inputs];
+    for &input_idx in order {
+        let name = network.net_name(network.inputs()[input_idx]).to_string();
+        vars[input_idx] = Some(manager.new_var(name));
+    }
+    let vars: Vec<VarId> = vars.into_iter().map(|v| v.expect("permutation covers all")).collect();
+
+    // Evaluate gates in topological (creation) order.
+    let mut node_fn: Vec<Ref> = vec![Ref::ZERO; network.num_nets()];
+    for (idx, &input) in network.inputs().iter().enumerate() {
+        node_fn[input.index()] = manager.var(vars[idx]);
+    }
+    let mut operands: Vec<Ref> = Vec::new();
+    for gate in network.gates() {
+        operands.clear();
+        operands.extend(gate.inputs.iter().map(|i| node_fn[i.index()]));
+        let f = apply_gate(&mut manager, gate.kind, &operands);
+        node_fn[gate.output.index()] = f;
+    }
+    let mut roots: Vec<Ref> = network
+        .outputs()
+        .iter()
+        .map(|o| node_fn[o.index()])
+        .collect();
+    manager.gc(&mut roots);
+    NetworkBdds { manager, roots, vars }
+}
+
+/// Compiles each output of the network into its *own* manager — the
+/// "multiple ROBDDs" representation the paper's prior-art flow uses.
+/// Returns one single-root [`NetworkBdds`] per output.
+pub fn build_robdds(network: &Network, order: Option<&[usize]>) -> Vec<NetworkBdds> {
+    // Build once shared (cheap), then transfer each root into a fresh
+    // manager via cofactor recursion to obtain truly separate ROBDDs.
+    let shared = build_sbdd(network, order);
+    shared
+        .roots
+        .iter()
+        .map(|&root| {
+            let mut m = Manager::new();
+            let vars: Vec<VarId> = shared
+                .manager
+                .order()
+                .iter()
+                .map(|&v| m.new_var(shared.manager.var_name(v)))
+                .collect();
+            // Transfer: same order, so a direct structural copy is valid.
+            let mut memo: std::collections::HashMap<Ref, Ref> =
+                std::collections::HashMap::new();
+            memo.insert(Ref::ZERO, Ref::ZERO);
+            memo.insert(Ref::ONE, Ref::ONE);
+            let new_root = copy_into(&shared.manager, &mut m, root, &mut memo);
+            // vars in `m` are declared in *order* positions; reconstruct the
+            // input-order mapping.
+            let mut input_vars = vec![vars[0]; shared.vars.len()];
+            for (pos, &v) in shared.manager.order().iter().enumerate() {
+                // The var at order position `pos` corresponds to the same
+                // input index as in the shared build.
+                let input_idx = shared
+                    .vars
+                    .iter()
+                    .position(|&sv| sv == v)
+                    .expect("var belongs to an input");
+                input_vars[input_idx] = vars[pos];
+            }
+            NetworkBdds { manager: m, roots: vec![new_root], vars: input_vars }
+        })
+        .collect()
+}
+
+/// Structurally copies `root` from `src` into `dst` (same variable order).
+fn copy_into(
+    src: &Manager,
+    dst: &mut Manager,
+    root: Ref,
+    memo: &mut std::collections::HashMap<Ref, Ref>,
+) -> Ref {
+    if let Some(&r) = memo.get(&root) {
+        return r;
+    }
+    let var = src.node_var(root);
+    let lo = copy_into(src, dst, src.node_lo(root), memo);
+    let hi = copy_into(src, dst, src.node_hi(root), memo);
+    // Same order in dst: positions align because vars were declared in
+    // src's order. Build via ite on the projection to stay canonical.
+    let v = dst.var(crate::VarId(src_var_position(src, var) as u32));
+    let r = dst.ite(v, hi, lo);
+    memo.insert(root, r);
+    r
+}
+
+fn src_var_position(src: &Manager, var: VarId) -> usize {
+    src.order()
+        .iter()
+        .position(|&v| v == var)
+        .expect("var is declared")
+}
+
+fn apply_gate(m: &mut Manager, kind: GateKind, ops: &[Ref]) -> Ref {
+    match kind {
+        GateKind::Const0 => m.zero(),
+        GateKind::Const1 => m.one(),
+        GateKind::Buf => ops[0],
+        GateKind::Not => m.not(ops[0]),
+        GateKind::And => m.and_many(ops),
+        GateKind::Or => m.or_many(ops),
+        GateKind::Nand => {
+            let t = m.and_many(ops);
+            m.not(t)
+        }
+        GateKind::Nor => {
+            let t = m.or_many(ops);
+            m.not(t)
+        }
+        GateKind::Xor => ops.iter().fold(Ref::ZERO, |acc, &f| m.xor(acc, f)),
+        GateKind::Xnor => {
+            let t = ops.iter().fold(Ref::ZERO, |acc, &f| m.xor(acc, f));
+            m.not(t)
+        }
+        GateKind::Mux => m.ite(ops[0], ops[1], ops[2]),
+        // `GateKind` is non_exhaustive; new kinds must be handled here.
+        other => unimplemented!("BDD lowering for gate kind {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_logic::bench_suite;
+    use flowc_logic::{GateKind, Network};
+
+    fn check_equivalent(network: &Network, bdds: &NetworkBdds, samples: usize) {
+        let n = network.num_inputs();
+        let mut x = 0x9E3779B97F4A7C15u64 ^ (n as u64);
+        for _ in 0..samples {
+            let vals: Vec<bool> = (0..n)
+                .map(|i| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x >> (i % 64)) & 1 == 1
+                })
+                .collect();
+            assert_eq!(
+                bdds.eval(&vals),
+                network.simulate(&vals).unwrap(),
+                "mismatch on {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sbdd_matches_simulation_small() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        let g = n.add_gate(GateKind::Xor, &[a, c], "g").unwrap();
+        n.mark_output(f);
+        n.mark_output(g);
+        let bdds = build_sbdd(&n, None);
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(bdds.eval(&vals), n.simulate(&vals).unwrap());
+        }
+        assert!(bdds.shared_size() >= 5);
+    }
+
+    #[test]
+    fn every_benchmark_sbdd_equivalent_on_samples() {
+        for b in bench_suite::all() {
+            // Skip the two largest to keep test time sane; covered in
+            // integration tests.
+            if matches!(b.name, "arbiter") {
+                continue;
+            }
+            let n = b.network().unwrap();
+            let bdds = build_sbdd(&n, None);
+            check_equivalent(&n, &bdds, 50);
+        }
+    }
+
+    #[test]
+    fn custom_order_changes_size_but_not_function() {
+        // Adder with separated (bad) vs interleaved (good) orders.
+        let mut n = Network::new("add");
+        let a: Vec<_> = (0..6).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..6).map(|i| n.add_input(format!("b{i}"))).collect();
+        let cin = n.add_input("cin");
+        let (sum, cout) =
+            flowc_logic::bench_suite::blocks::ripple_adder(&mut n, &a, &b, cin, "fa").unwrap();
+        for s in sum {
+            n.mark_output(s);
+        }
+        n.mark_output(cout);
+
+        let natural = build_sbdd(&n, None); // a0..a5 b0..b5 cin — bad order
+        let interleave: Vec<usize> = (0..6).flat_map(|i| [i, i + 6]).chain([12]).collect();
+        let good = build_sbdd(&n, Some(&interleave));
+        check_equivalent(&n, &natural, 64);
+        check_equivalent(&n, &good, 64);
+        assert!(
+            good.shared_size() < natural.shared_size(),
+            "interleaved order must shrink the adder BDD ({} vs {})",
+            good.shared_size(),
+            natural.shared_size()
+        );
+    }
+
+    #[test]
+    fn per_output_vs_shared_sizes() {
+        let b = bench_suite::by_name("dec").unwrap();
+        let n = b.network().unwrap();
+        let bdds = build_sbdd(&n, None);
+        let separate: usize = bdds.per_output_sizes().iter().sum();
+        assert!(bdds.shared_size() < separate);
+    }
+
+    #[test]
+    fn robdds_are_independent_and_equivalent() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::Xor, &[a, b], "f").unwrap();
+        let g = n.add_gate(GateKind::And, &[a, b], "g").unwrap();
+        n.mark_output(f);
+        n.mark_output(g);
+        let singles = build_robdds(&n, None);
+        assert_eq!(singles.len(), 2);
+        for bits in 0u32..4 {
+            let vals: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let expect = n.simulate(&vals).unwrap();
+            assert_eq!(singles[0].eval(&vals), vec![expect[0]]);
+            assert_eq!(singles[1].eval(&vals), vec![expect[1]]);
+        }
+    }
+
+    #[test]
+    fn bad_order_panics() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let _ = n.add_input("b");
+        n.mark_output(a);
+        assert!(std::panic::catch_unwind(|| build_sbdd(&n, Some(&[0, 0]))).is_err());
+        assert!(std::panic::catch_unwind(|| build_sbdd(&n, Some(&[0]))).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Graphviz export for debugging and documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::{Manager, Ref};
+
+/// Renders the forest rooted at `roots` as Graphviz `dot` text. Solid edges
+/// are then-edges (variable true), dashed edges are else-edges; terminals
+/// are boxes. Root `i` is labelled with `root_names[i]` when provided.
+pub fn to_dot(manager: &Manager, roots: &[Ref], root_names: Option<&[String]>) -> String {
+    let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+    let reachable = manager.reachable(roots);
+    for &r in &reachable {
+        if r == Ref::ZERO {
+            let _ = writeln!(out, "  n0 [shape=box,label=\"0\"];");
+        } else if r == Ref::ONE {
+            let _ = writeln!(out, "  n1 [shape=box,label=\"1\"];");
+        } else {
+            let var = manager.node_var(r);
+            let _ = writeln!(
+                out,
+                "  n{} [shape=circle,label=\"{}\"];",
+                r.index(),
+                manager.var_name(var)
+            );
+        }
+    }
+    for &r in &reachable {
+        if r.is_terminal() {
+            continue;
+        }
+        let _ = writeln!(out, "  n{} -> n{};", r.index(), manager.node_hi(r).index());
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dashed];",
+            r.index(),
+            manager.node_lo(r).index()
+        );
+    }
+    for (i, &r) in roots.iter().enumerate() {
+        let label = root_names
+            .and_then(|n| n.get(i).cloned())
+            .unwrap_or_else(|| format!("f{i}"));
+        let _ = writeln!(out, "  r{i} [shape=plaintext,label=\"{label}\"];");
+        let _ = writeln!(out, "  r{i} -> n{};", r.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Manager;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_roots() {
+        let mut m = Manager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let (va, vb) = (m.var(a), m.var(b));
+        let f = m.and(va, vb);
+        let dot = to_dot(&m, &[f], Some(&["f".to_string()]));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("label=\"1\""));
+        assert!(dot.contains("label=\"0\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("label=\"f\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_default_root_names() {
+        let mut m = Manager::new();
+        let a = m.new_var("a");
+        let va = m.var(a);
+        let dot = to_dot(&m, &[va], None);
+        assert!(dot.contains("label=\"f0\""));
+    }
+}

@@ -1,0 +1,155 @@
+//! Criterion microbenchmarks of every pipeline stage: BDD construction,
+//! graph preprocessing, VH-labeling, crossbar mapping, and both evaluation
+//! models, on representative benchmarks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use flowc_baselines::magic::{map_magic, MagicConfig, NorNetlist};
+use flowc_baselines::staircase::staircase_map;
+use flowc_bdd::build_sbdd;
+use flowc_compact::mapping::map_to_crossbar;
+use flowc_compact::oct_method::{min_semiperimeter, OctMethodConfig};
+use flowc_compact::pipeline::{synthesize, Config, VhStrategy};
+use flowc_compact::BddGraph;
+use flowc_logic::bench_suite;
+use flowc_xbar::circuit::ElectricalModel;
+
+fn quick_config() -> Config {
+    Config {
+        strategy: VhStrategy::Weighted {
+            gamma: 0.5,
+            time_limit: Duration::from_secs(2),
+            exact_node_limit: 0, // anytime path: deterministic work profile
+        },
+        align: true,
+        var_order: None,
+    }
+}
+
+fn bench_bdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build");
+    for name in ["int2float", "cavlc", "i2c"] {
+        let network = bench_suite::by_name(name).unwrap().network().unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(build_sbdd(&network, None).shared_size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_preprocess");
+    for name in ["cavlc", "i2c"] {
+        let network = bench_suite::by_name(name).unwrap().network().unwrap();
+        let bdds = build_sbdd(&network, None);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(BddGraph::from_bdds(&bdds).num_edges()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vh_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vh_labeling_oct");
+    group.sample_size(10);
+    for name in ["int2float", "cavlc"] {
+        let network = bench_suite::by_name(name).unwrap().network().unwrap();
+        let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    min_semiperimeter(&graph, &OctMethodConfig::default())
+                        .labeling
+                        .stats()
+                        .semiperimeter,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mapping");
+    for name in ["cavlc", "i2c"] {
+        let network = bench_suite::by_name(name).unwrap().network().unwrap();
+        let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
+        let labeling = min_semiperimeter(&graph, &OctMethodConfig::default()).labeling;
+        let names: Vec<String> = network
+            .outputs()
+            .iter()
+            .map(|&o| network.net_name(o).to_string())
+            .collect();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(map_to_crossbar(&graph, &labeling, &names).unwrap().rows()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation");
+    let network = bench_suite::by_name("ctrl").unwrap().network().unwrap();
+    let design = synthesize(&network, &quick_config()).unwrap();
+    let assignment = vec![true; network.num_inputs()];
+    group.bench_function("flow_ctrl", |b| {
+        b.iter(|| black_box(design.crossbar.evaluate(&assignment).unwrap()))
+    });
+    let model = ElectricalModel::default();
+    group.bench_function("nodal_analysis_ctrl", |b| {
+        b.iter(|| black_box(model.output_voltages(&design.crossbar, &assignment).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_end_to_end");
+    group.sample_size(10);
+    for name in ["int2float", "cavlc"] {
+        let network = bench_suite::by_name(name).unwrap().network().unwrap();
+        group.bench_function(format!("compact_{name}"), |b| {
+            b.iter_batched(
+                || network.clone(),
+                |n| black_box(synthesize(&n, &quick_config()).unwrap().stats.semiperimeter),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("staircase_{name}"), |b| {
+            let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
+            let names: Vec<String> = network
+                .outputs()
+                .iter()
+                .map(|&o| network.net_name(o).to_string())
+                .collect();
+            b.iter(|| black_box(staircase_map(&graph, &names).rows()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_magic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("magic_baseline");
+    let network = bench_suite::by_name("cavlc").unwrap().network().unwrap();
+    group.bench_function("nor_decompose_cavlc", |b| {
+        b.iter(|| black_box(NorNetlist::from_network(&network).num_gates()))
+    });
+    group.bench_function("schedule_cavlc", |b| {
+        b.iter(|| black_box(map_magic(&network, &MagicConfig::default()).delay_steps))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bdd_build,
+    bench_preprocess,
+    bench_vh_labeling,
+    bench_mapping,
+    bench_evaluation,
+    bench_end_to_end,
+    bench_magic
+);
+criterion_main!(benches);

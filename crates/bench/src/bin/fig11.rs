@@ -1,0 +1,36 @@
+//! Figure 11: relative optimality gap after the time budget expires, for
+//! the benchmarks that do not close (the paper's c499/c1355/arbiter keep
+//! visibly large gaps after 3 hours of CPLEX).
+
+use flowc_bench::{build_network, run_compact, time_limit, HARD_SET};
+use flowc_logic::bench_suite;
+
+fn main() {
+    let budget = time_limit(15);
+    println!(
+        "Figure 11 — relative gap at time-out (γ = 0.5, budget {}s per instance)",
+        budget.as_secs()
+    );
+    println!("{:<11} {:>8} {:>12} {:>12} {:>9} {:>5}", "benchmark", "nodes", "objective", "bound", "gap", "opt");
+    for name in HARD_SET {
+        let b = bench_suite::by_name(name).expect("registered");
+        let n = build_network(&b);
+        let r = run_compact(&n, 0.5, budget);
+        let bound = r
+            .trace
+            .as_ref()
+            .and_then(|t| t.points().last())
+            .map_or(f64::NAN, |p| p.best_bound);
+        println!(
+            "{:<11} {:>8} {:>12.1} {:>12.1} {:>8.1}% {:>5}",
+            b.name,
+            r.graph_nodes,
+            r.stats.objective(0.5),
+            bound,
+            100.0 * r.relative_gap,
+            if r.optimal { "yes" } else { "no" },
+        );
+    }
+    println!();
+    println!("(paper: XOR-dominated circuits — c499/c1355 — and the arbiter keep the largest gaps)");
+}

@@ -1,0 +1,49 @@
+//! Figure 12: normalized power consumption and computation delay of
+//! COMPACT (γ = 0.5) versus the prior-art staircase flow \[16\]. Power is
+//! the number of literal-programmed memristors (BDD edges); delay is
+//! `rows + 1` programming-plus-evaluate steps.
+
+use flowc_baselines::robdd_diagonal::staircase_per_output;
+use flowc_bench::{build_network, geomean, run_compact, time_limit};
+use flowc_logic::bench_suite;
+use flowc_xbar::metrics::CrossbarMetrics;
+
+fn main() {
+    let budget = time_limit(15);
+    println!("Figure 12 — normalized power and delay, COMPACT vs [16] (γ = 0.5)");
+    println!(
+        "{:<11} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "benchmark", "pwr[16]", "pwr_ours", "dly[16]", "dly_ours", "pwr_ratio", "dly_ratio"
+    );
+    let mut pwr_ratios = Vec::new();
+    let mut dly_ratios = Vec::new();
+    for b in bench_suite::all() {
+        let n = build_network(&b);
+        let base = staircase_per_output(&n);
+        let bm = CrossbarMetrics::of(&base.crossbar);
+        let ours = run_compact(&n, 0.5, budget);
+        let pwr_ratio = ours.metrics.active_devices as f64 / bm.active_devices as f64;
+        let dly_ratio = ours.metrics.delay_steps as f64 / bm.delay_steps as f64;
+        println!(
+            "{:<11} {:>10} {:>10} {:>10} {:>10} {:>12.3} {:>12.3}",
+            b.name,
+            bm.active_devices,
+            ours.metrics.active_devices,
+            bm.delay_steps,
+            ours.metrics.delay_steps,
+            pwr_ratio,
+            dly_ratio
+        );
+        pwr_ratios.push(pwr_ratio);
+        dly_ratios.push(dly_ratio);
+    }
+    println!();
+    println!(
+        "normalized average power ratio = {:.3}  (paper: 0.81, i.e. −19%)",
+        geomean(&pwr_ratios)
+    );
+    println!(
+        "normalized average delay ratio = {:.3}  (paper: 0.44, i.e. −56%)",
+        geomean(&dly_ratios)
+    );
+}

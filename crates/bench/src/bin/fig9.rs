@@ -1,0 +1,31 @@
+//! Figure 9: non-dominated crossbar designs under a γ sweep, for the two
+//! circuits the paper plots (cavlc and int2float). Each line prints one
+//! frontier point `(rows, columns)`.
+
+use flowc_bench::{build_network, time_limit};
+use flowc_compact::pareto::frontier;
+use flowc_logic::bench_suite;
+
+fn main() {
+    let budget = time_limit(10);
+    for name in ["cavlc", "int2float"] {
+        let b = bench_suite::by_name(name).expect("registered");
+        let n = build_network(&b);
+        let frontier = frontier(&n, 7, budget);
+        println!("Figure 9 — non-dominated designs for {name}:");
+        println!("{:>8} {:>8} {:>8}", "rows", "cols", "γ");
+        for p in &frontier {
+            if p.gamma.is_nan() {
+                println!("{:>8} {:>8} {:>8}", p.rows, p.cols, "aspect");
+            } else {
+                println!("{:>8} {:>8} {:>8.2}", p.rows, p.cols, p.gamma);
+            }
+        }
+        println!(
+            "(paper reports e.g. {} frontier points for {})",
+            if name == "cavlc" { 6 } else { 3 },
+            name
+        );
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Table I: properties of the benchmark circuits — inputs, outputs, SBDD
+//! nodes, and edges — side by side with the original paper's numbers (the
+//! circuits here are structural analogues; see DESIGN.md §3).
+
+use flowc_bdd::build_sbdd;
+use flowc_bench::build_network;
+use flowc_compact::BddGraph;
+use flowc_logic::bench_suite;
+
+fn main() {
+    println!("Table I — benchmark properties (ours | paper)");
+    println!(
+        "{:<11} {:>6} {:>6} {:>8} {:>8}   | {:>6} {:>6} {:>8} {:>8}",
+        "benchmark", "in", "out", "nodes", "edges", "in", "out", "nodes", "edges"
+    );
+    let mut current_suite = None;
+    for b in bench_suite::all() {
+        if current_suite != Some(b.suite) {
+            println!("--- {} ---", b.suite.name());
+            current_suite = Some(b.suite);
+        }
+        let n = build_network(&b);
+        let bdds = build_sbdd(&n, None);
+        let g = BddGraph::from_bdds(&bdds);
+        println!(
+            "{:<11} {:>6} {:>6} {:>8} {:>8}   | {:>6} {:>6} {:>8} {:>8}",
+            b.name,
+            n.num_inputs(),
+            n.num_outputs(),
+            g.num_nodes(),
+            g.num_edges(),
+            b.paper.inputs,
+            b.paper.outputs,
+            b.paper.nodes,
+            b.paper.edges,
+        );
+    }
+}

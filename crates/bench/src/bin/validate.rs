@@ -1,0 +1,59 @@
+//! Design validation (the paper's "we have verified that all the crossbar
+//! designs are valid using SPICE simulations"): every benchmark's COMPACT
+//! design is checked functionally against netlist simulation (exhaustive up
+//! to 16 inputs, sampled beyond), and the small designs additionally go
+//! through DC nodal analysis with the memristor electrical model.
+
+use flowc_bench::{build_network, run_compact, time_limit};
+use flowc_logic::bench_suite;
+use flowc_xbar::circuit::ElectricalModel;
+use flowc_xbar::verify::{verify_electrical, verify_functional};
+
+fn main() {
+    let budget = time_limit(10);
+    println!("Validation — functional (flow) + electrical (nodal analysis)");
+    println!(
+        "{:<11} {:>7}x{:<7} {:>9} {:>6} | {:>10} {:>10} {:>8}",
+        "benchmark", "rows", "cols", "checked", "func", "min_on_V", "max_off_V", "elec"
+    );
+    let mut all_ok = true;
+    for b in bench_suite::all() {
+        let n = build_network(&b);
+        let r = run_compact(&n, 0.5, budget);
+        let report = verify_functional(&r.crossbar, &n, 256).expect("evaluable");
+        let func_ok = report.is_valid();
+        all_ok &= func_ok;
+        // Electrical check only for small designs (dense solve is cubic).
+        let wires = r.crossbar.rows() + r.crossbar.cols();
+        let elec = if wires <= 400 {
+            let e = verify_electrical(&r.crossbar, &n, &ElectricalModel::default(), 32)
+                .expect("evaluable");
+            all_ok &= e.is_valid();
+            let (min_on, max_off) = e.electrical_margin.unwrap_or((f64::NAN, f64::NAN));
+            format!(
+                "{:>10.3} {:>10.3} {:>8}",
+                min_on,
+                max_off,
+                if e.is_valid() { "ok" } else { "FAIL" }
+            )
+        } else {
+            format!("{:>10} {:>10} {:>8}", "-", "-", "skip")
+        };
+        println!(
+            "{:<11} {:>7}x{:<7} {:>9} {:>6} | {}",
+            b.name,
+            r.crossbar.rows(),
+            r.crossbar.cols(),
+            report.checked,
+            if func_ok { "ok" } else { "FAIL" },
+            elec
+        );
+    }
+    println!();
+    if all_ok {
+        println!("all designs valid");
+    } else {
+        println!("VALIDATION FAILURES — see rows marked FAIL");
+        std::process::exit(1);
+    }
+}

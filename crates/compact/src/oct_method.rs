@@ -1,0 +1,147 @@
+//! Minimal-semiperimeter VH-labeling (Section VI-A): the minimum set of
+//! `VH` nodes is a minimum odd cycle transversal, found through a minimum
+//! vertex cover of `G □ K₂` (Lemma 1); the bipartite remainder is 2-colored
+//! and oriented by the balancing/alignment pass.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use flowc_graph::{oct_heuristic, odd_cycle_transversal, OctConfig};
+
+use crate::balance::balanced_labeling;
+use crate::labeling::Labeling;
+use crate::preprocess::BddGraph;
+
+/// Configuration for the OCT-based solver.
+#[derive(Debug, Clone)]
+pub struct OctMethodConfig {
+    /// Wall-clock budget for the exact vertex-cover solve.
+    pub time_limit: Duration,
+    /// Above this node count the greedy OCT heuristic is used instead of
+    /// the exact Lemma-1 solve (documented deviation: the paper runs CPLEX
+    /// for up to three hours; see DESIGN.md §3).
+    pub exact_node_limit: usize,
+    /// Enforce the paper's Eq. 7 alignment constraints.
+    pub align: bool,
+}
+
+impl Default for OctMethodConfig {
+    fn default() -> Self {
+        OctMethodConfig {
+            time_limit: Duration::from_secs(30),
+            exact_node_limit: 20_000,
+            align: true,
+        }
+    }
+}
+
+/// Result of the minimal-semiperimeter labeling.
+#[derive(Debug, Clone)]
+pub struct OctMethodResult {
+    /// The labeling (valid and, when requested, aligned).
+    pub labeling: Labeling,
+    /// Whether the transversal was proven minimum.
+    pub optimal: bool,
+    /// Size of the transversal used (`k`, so `S = n + k` before alignment
+    /// upgrades).
+    pub oct_size: usize,
+    /// A valid lower bound on the minimum transversal size.
+    pub oct_lower_bound: usize,
+}
+
+/// Solves the VH-labeling problem for minimal semiperimeter (Eq. 2).
+pub fn min_semiperimeter(graph: &BddGraph, config: &OctMethodConfig) -> OctMethodResult {
+    let (transversal, optimal, lower_bound) = if graph.num_nodes() <= config.exact_node_limit {
+        let r = odd_cycle_transversal(
+            &graph.graph,
+            &OctConfig {
+                time_limit: config.time_limit,
+            },
+        );
+        (r.transversal, r.optimal, r.lower_bound)
+    } else {
+        let t = oct_heuristic(&graph.graph);
+        (t, false, 0)
+    };
+    let oct_size = transversal.len();
+    let vh: HashSet<usize> = transversal.into_iter().collect();
+    let labeling = balanced_labeling(graph, &vh, config.align);
+    debug_assert!(labeling.is_valid(graph));
+    OctMethodResult {
+        labeling,
+        optimal,
+        oct_size,
+        oct_lower_bound: lower_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_bdd::build_sbdd;
+    use flowc_logic::{GateKind, Network};
+
+    fn fig2() -> BddGraph {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        BddGraph::from_bdds(&build_sbdd(&n, None))
+    }
+
+    #[test]
+    fn fig2_gets_semiperimeter_n_plus_1() {
+        // The Fig. 2 BDD graph has one triangle: k = 1, S = n + 1 = 5
+        // (alignment is satisfiable without extra upgrades here when the
+        // transversal breaks the triangle).
+        let g = fig2();
+        let r = min_semiperimeter(&g, &OctMethodConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.oct_size, 1);
+        assert!(r.labeling.is_valid(&g));
+        assert!(r.labeling.is_aligned(&g));
+        let s = r.labeling.stats();
+        // S = n + k (+ alignment upgrades, which this instance can avoid or
+        // pay at most 1 for depending on which OCT vertex was chosen).
+        assert!(s.semiperimeter <= g.num_nodes() + 2);
+        assert!(s.semiperimeter > g.num_nodes());
+    }
+
+    #[test]
+    fn bipartite_instance_needs_no_vh() {
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+        n.mark_output(f);
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let r = min_semiperimeter(
+            &g,
+            &OctMethodConfig {
+                align: false,
+                ..Default::default()
+            },
+        );
+        assert!(r.optimal);
+        assert_eq!(r.oct_size, 0);
+        assert_eq!(r.labeling.stats().semiperimeter, g.num_nodes());
+    }
+
+    #[test]
+    fn heuristic_mode_is_still_valid() {
+        let g = fig2();
+        let r = min_semiperimeter(
+            &g,
+            &OctMethodConfig {
+                exact_node_limit: 0, // force the heuristic path
+                ..Default::default()
+            },
+        );
+        assert!(!r.optimal);
+        assert!(r.labeling.is_valid(&g));
+        assert!(r.labeling.is_aligned(&g));
+    }
+}

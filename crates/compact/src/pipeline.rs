@@ -1,0 +1,331 @@
+//! The end-to-end COMPACT flow (Figure 3 of the paper): network → (shared)
+//! BDD → undirected graph → VH-labeling → crossbar.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use flowc_bdd::{build_sbdd, NetworkBdds};
+use flowc_logic::Network;
+use flowc_milp::SolveTrace;
+use flowc_xbar::metrics::CrossbarMetrics;
+use flowc_xbar::Crossbar;
+
+use crate::labeling::{Labeling, LabelingStats};
+use crate::mapping::{map_to_crossbar, MapError};
+use crate::mip_method::{solve as mip_solve, MipConfig};
+use crate::oct_method::{min_semiperimeter, OctMethodConfig};
+use crate::preprocess::BddGraph;
+
+/// Which VH-labeling solver drives the synthesis.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum VhStrategy {
+    /// Section VI-A: minimal semiperimeter via the odd cycle transversal
+    /// (exactly the γ = 1 objective).
+    MinSemiperimeter {
+        /// Budget for the exact transversal solve.
+        time_limit: Duration,
+    },
+    /// Section VI-B: the weighted objective `γ·S + (1−γ)·D` via the Eq. 4
+    /// MIP (exact on small graphs, staged anytime otherwise).
+    Weighted {
+        /// The trade-off weight γ.
+        gamma: f64,
+        /// Total wall-clock budget.
+        time_limit: Duration,
+        /// Node-count ceiling for the exact MIP path.
+        exact_node_limit: usize,
+    },
+    /// Fast greedy path (heuristic OCT + balancing), for very large inputs.
+    Heuristic {
+        /// The trade-off weight γ (used by the balancing objective).
+        gamma: f64,
+    },
+}
+
+impl Default for VhStrategy {
+    fn default() -> Self {
+        VhStrategy::Weighted {
+            gamma: 0.5,
+            time_limit: Duration::from_secs(30),
+            exact_node_limit: 80,
+        }
+    }
+}
+
+/// Synthesis configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The labeling solver. Defaults to the weighted objective at γ = 0.5,
+    /// the paper's recommended setting.
+    pub strategy: VhStrategy,
+    /// Enforce the Eq. 7 alignment constraints (the paper's experiments
+    /// include them by default). When disabled, misaligned roots are still
+    /// upgraded at mapping time so the design remains realizable.
+    pub align: bool,
+    /// Optional BDD variable order (a permutation of the input indices).
+    pub var_order: Option<Vec<usize>>,
+}
+
+impl Default for Config {
+    /// The paper's default: weighted objective, γ = 0.5, alignment on.
+    fn default() -> Self {
+        Config::gamma(0.5)
+    }
+}
+
+impl Config {
+    /// The weighted strategy at a given γ with alignment on (the paper's
+    /// experimental setup).
+    pub fn gamma(gamma: f64) -> Self {
+        Config {
+            strategy: VhStrategy::Weighted {
+                gamma,
+                time_limit: Duration::from_secs(30),
+                exact_node_limit: 80,
+            },
+            align: true,
+            var_order: None,
+        }
+    }
+}
+
+/// Errors from the synthesis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompactError {
+    /// Crossbar mapping failed (invalid labeling — indicates a solver bug).
+    Map(MapError),
+}
+
+impl fmt::Display for CompactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactError::Map(e) => write!(f, "crossbar mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompactError::Map(e) => Some(e),
+        }
+    }
+}
+
+/// The synthesized design with its provenance and cost figures.
+#[derive(Debug, Clone)]
+pub struct CompactResult {
+    /// The crossbar design.
+    pub crossbar: Crossbar,
+    /// The VH-labeling behind it.
+    pub labeling: Labeling,
+    /// Labeling-level size statistics (rows, cols, S, D).
+    pub stats: LabelingStats,
+    /// Crossbar-level metrics (adds area, power, delay).
+    pub metrics: CrossbarMetrics,
+    /// BDD nodes after preprocessing (the paper's `n`).
+    pub graph_nodes: usize,
+    /// BDD edges after preprocessing.
+    pub graph_edges: usize,
+    /// Whether the labeling was proven optimal for its objective.
+    pub optimal: bool,
+    /// Relative optimality gap at termination (0 when proven optimal).
+    pub relative_gap: f64,
+    /// Solver convergence trace, when the strategy produces one.
+    pub trace: Option<SolveTrace>,
+    /// Wall-clock synthesis time (the paper's one-time initialization).
+    pub synthesis_time: Duration,
+}
+
+/// Runs the full COMPACT flow on a network. Builds the shared BDD (SBDD)
+/// over all outputs — the multi-output mode of Section VII.
+///
+/// # Errors
+///
+/// Returns [`CompactError::Map`] if the produced labeling cannot be mapped
+/// (which would indicate a solver bug; labelings are validated in debug
+/// builds).
+pub fn synthesize(network: &Network, config: &Config) -> Result<CompactResult, CompactError> {
+    let bdds = build_sbdd(network, config.var_order.as_deref());
+    let names: Vec<String> = network
+        .outputs()
+        .iter()
+        .map(|&o| network.net_name(o).to_string())
+        .collect();
+    synthesize_bdds(&bdds, &names, config)
+}
+
+/// Runs the labeling and mapping stages on an already-built BDD forest.
+/// Useful for comparing SBDD and per-output ROBDD flows (Table III).
+///
+/// # Errors
+///
+/// See [`synthesize`].
+pub fn synthesize_bdds(
+    bdds: &NetworkBdds,
+    output_names: &[String],
+    config: &Config,
+) -> Result<CompactResult, CompactError> {
+    let start = Instant::now();
+    let graph = BddGraph::from_bdds(bdds);
+    let (mut labeling, optimal, relative_gap, trace) = run_strategy(&graph, config);
+    // Mapping requires wordlines on all ports even when alignment was not
+    // requested as a constraint.
+    labeling.enforce_alignment(&graph);
+    let stats = labeling.stats();
+    let crossbar =
+        map_to_crossbar(&graph, &labeling, output_names).map_err(CompactError::Map)?;
+    let metrics = CrossbarMetrics::of(&crossbar);
+    Ok(CompactResult {
+        crossbar,
+        stats,
+        metrics,
+        graph_nodes: graph.num_nodes(),
+        graph_edges: graph.num_edges(),
+        labeling,
+        optimal,
+        relative_gap,
+        trace,
+        synthesis_time: start.elapsed(),
+    })
+}
+
+fn run_strategy(
+    graph: &BddGraph,
+    config: &Config,
+) -> (Labeling, bool, f64, Option<SolveTrace>) {
+    match &config.strategy {
+        VhStrategy::MinSemiperimeter { time_limit } => {
+            let r = min_semiperimeter(
+                graph,
+                &OctMethodConfig {
+                    time_limit: *time_limit,
+                    align: config.align,
+                    ..Default::default()
+                },
+            );
+            let gap = if r.optimal { 0.0 } else { 1.0 };
+            (r.labeling, r.optimal, gap, None)
+        }
+        VhStrategy::Weighted {
+            gamma,
+            time_limit,
+            exact_node_limit,
+        } => {
+            let out = mip_solve(
+                graph,
+                &MipConfig {
+                    gamma: *gamma,
+                    align: config.align,
+                    time_limit: *time_limit,
+                    exact_node_limit: *exact_node_limit,
+                },
+            );
+            (out.labeling, out.optimal, out.relative_gap, Some(out.trace))
+        }
+        VhStrategy::Heuristic { gamma } => {
+            let vh: std::collections::HashSet<usize> =
+                flowc_graph::oct_heuristic(&graph.graph).into_iter().collect();
+            let labeling = crate::balance::balanced_labeling(graph, &vh, config.align);
+            let _ = gamma;
+            (labeling, false, 1.0, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_logic::bench_suite;
+    use flowc_logic::{GateKind, Network};
+    use flowc_xbar::verify::verify_functional;
+
+    fn fig2_network() -> Network {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        n
+    }
+
+    #[test]
+    fn default_config_synthesizes_fig2() {
+        let n = fig2_network();
+        let r = synthesize(&n, &Config::default()).unwrap();
+        assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+        assert!(r.stats.semiperimeter <= r.graph_nodes + 2);
+        assert!(r.metrics.active_devices == r.graph_edges);
+        assert!(r.synthesis_time.as_secs() < 30);
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_designs() {
+        let n = fig2_network();
+        for strategy in [
+            VhStrategy::MinSemiperimeter {
+                time_limit: Duration::from_secs(5),
+            },
+            VhStrategy::Weighted {
+                gamma: 0.5,
+                time_limit: Duration::from_secs(5),
+                exact_node_limit: 80,
+            },
+            VhStrategy::Heuristic { gamma: 0.5 },
+        ] {
+            let cfg = Config {
+                strategy,
+                align: true,
+                var_order: None,
+            };
+            let r = synthesize(&n, &cfg).unwrap();
+            let report = verify_functional(&r.crossbar, &n, 64).unwrap();
+            assert!(report.is_valid(), "{:?}", cfg.strategy);
+        }
+    }
+
+    #[test]
+    fn multi_output_benchmark_verifies() {
+        // ctrl: 7 inputs, exhaustive verification of all 128 assignments.
+        let b = bench_suite::by_name("ctrl").unwrap();
+        let n = b.network().unwrap();
+        let r = synthesize(&n, &Config::gamma(0.5)).unwrap();
+        let report = verify_functional(&r.crossbar, &n, 1 << 7).unwrap();
+        assert!(report.is_valid(), "mismatches: {:?}", report.mismatches);
+        // The headline property: S stays close to n (S ≈ 1.1n in the
+        // paper), far below the baseline's 1.9n.
+        assert!(
+            (r.stats.semiperimeter as f64) < 1.5 * r.graph_nodes as f64,
+            "S = {} for n = {}",
+            r.stats.semiperimeter,
+            r.graph_nodes
+        );
+    }
+
+    #[test]
+    fn int2float_verifies_exhaustively() {
+        let b = bench_suite::by_name("int2float").unwrap();
+        let n = b.network().unwrap();
+        let r = synthesize(&n, &Config::gamma(0.5)).unwrap();
+        let report = verify_functional(&r.crossbar, &n, 1 << 11).unwrap();
+        assert!(report.is_valid());
+        assert!(r.labeling.is_aligned(&crate::preprocess::BddGraph::from_bdds(
+            &flowc_bdd::build_sbdd(&n, None)
+        )));
+    }
+
+    #[test]
+    fn custom_var_order_is_used() {
+        let n = fig2_network();
+        let cfg = Config {
+            var_order: Some(vec![2, 1, 0]),
+            ..Config::gamma(0.5)
+        };
+        let r = synthesize(&n, &cfg).unwrap();
+        assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+    }
+}

@@ -1,0 +1,206 @@
+//! Graph pre-processing (Section V-A of the paper): convert a (shared) BDD
+//! into the undirected graph whose nodes become nanowires and whose edges
+//! become memristors. The 0-terminal and its incoming edges are dropped —
+//! flow-based computing only captures the `1` output.
+
+use std::collections::HashMap;
+
+use flowc_bdd::{NetworkBdds, Ref};
+use flowc_graph::UGraph;
+
+/// The literal programmed onto a memristor: input `input`, possibly negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Network primary-input index.
+    pub input: usize,
+    /// True for the else-edge (variable must be 0 to conduct).
+    pub negated: bool,
+}
+
+/// The undirected graph view of a BDD forest, ready for VH-labeling.
+#[derive(Debug, Clone)]
+pub struct BddGraph {
+    /// The graph: one vertex per BDD node (0-terminal excluded).
+    pub graph: UGraph,
+    /// Literal per edge, keyed by `(min_vertex, max_vertex)`.
+    pub labels: HashMap<(usize, usize), Literal>,
+    /// Graph vertex of the 1-terminal (the crossbar's input port), if the
+    /// forest reaches it (a forest of constant-0 outputs does not).
+    pub terminal: Option<usize>,
+    /// For each circuit output, the vertex of its root — `None` for a
+    /// constant-0 output (whose root is the dropped 0-terminal).
+    pub roots: Vec<Option<usize>>,
+    /// Debug names per vertex (variable name of the BDD node, or `"1"`).
+    pub node_names: Vec<String>,
+    /// Number of Boolean inputs of the source network.
+    pub num_inputs: usize,
+}
+
+impl BddGraph {
+    /// Number of graph nodes (the paper's `n`: BDD nodes minus the dropped
+    /// 0-terminal).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of graph edges (the BDD edges not pointing to 0).
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Builds the graph view of `bdds` (all roots share one graph — the
+    /// SBDD view). Vertices are created for every node reachable from a
+    /// root, except the 0-terminal.
+    pub fn from_bdds(bdds: &NetworkBdds) -> Self {
+        let m = &bdds.manager;
+        // Map BDD variable id -> network input index.
+        let mut var_to_input = vec![usize::MAX; bdds.vars.len()];
+        for (input_idx, v) in bdds.vars.iter().enumerate() {
+            var_to_input[v.index()] = input_idx;
+        }
+
+        let live = m.reachable(&bdds.roots);
+        let mut vertex_of: HashMap<Ref, usize> = HashMap::new();
+        let mut node_names = Vec::new();
+        let mut terminal = None;
+        for &r in &live {
+            if r == Ref::ZERO {
+                continue;
+            }
+            let v = vertex_of.len();
+            vertex_of.insert(r, v);
+            if r == Ref::ONE {
+                terminal = Some(v);
+                node_names.push("1".to_string());
+            } else {
+                node_names.push(m.var_name(m.node_var(r)).to_string());
+            }
+        }
+
+        let mut graph = UGraph::new(vertex_of.len());
+        let mut labels = HashMap::new();
+        for (&r, &u) in &vertex_of {
+            if r.is_terminal() {
+                continue;
+            }
+            let var = m.node_var(r);
+            let input = var_to_input[var.index()];
+            for (child, negated) in [(m.node_hi(r), false), (m.node_lo(r), true)] {
+                if child == Ref::ZERO {
+                    continue;
+                }
+                let w = vertex_of[&child];
+                let added = graph.add_edge(u, w);
+                debug_assert!(added, "reduced BDDs have no parallel edges");
+                labels.insert((u.min(w), u.max(w)), Literal { input, negated });
+            }
+        }
+
+        let roots = bdds
+            .roots
+            .iter()
+            .map(|r| vertex_of.get(r).copied())
+            .collect();
+        BddGraph {
+            graph,
+            labels,
+            terminal,
+            roots,
+            node_names,
+            num_inputs: bdds.vars.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_bdd::build_sbdd;
+    use flowc_logic::{GateKind, Network};
+
+    fn fig2_graph() -> BddGraph {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        BddGraph::from_bdds(&build_sbdd(&n, None))
+    }
+
+    #[test]
+    fn fig2_structure() {
+        let g = fig2_graph();
+        // ROBDD of (a∧b)∨c: nodes a, b, c, terminal 1 (0 dropped) = 4.
+        assert_eq!(g.num_nodes(), 4);
+        // Edges: a→b (hi), a→c (lo), b→1 (hi), b→c (lo), c→1 (hi) = 5.
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.terminal.is_some());
+        assert_eq!(g.roots.len(), 1);
+        assert!(g.roots[0].is_some());
+        // Every edge has a literal.
+        assert_eq!(g.labels.len(), g.num_edges());
+    }
+
+    #[test]
+    fn terminal_edges_use_parent_literals() {
+        let g = fig2_graph();
+        let t = g.terminal.unwrap();
+        // Edges into the terminal carry the parent's variable.
+        for &(u, v) in g.graph.edges() {
+            if u == t || v == t {
+                let lit = g.labels[&(u.min(v), u.max(v))];
+                assert!(lit.input < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut n = Network::new("consts");
+        let _a = n.add_input("a");
+        let zero = n.add_const0("z");
+        let one = n.add_const1("o");
+        n.mark_output(zero);
+        n.mark_output(one);
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        assert_eq!(g.roots[0], None, "constant-0 root is dropped");
+        assert_eq!(g.roots[1], g.terminal, "constant-1 root is the terminal");
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn shared_nodes_shared_vertices() {
+        // Two outputs sharing a subfunction share graph vertices.
+        let mut n = Network::new("share");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        let g2 = n.add_gate(GateKind::Xor, &[ab, c], "g").unwrap();
+        n.mark_output(f);
+        n.mark_output(g2);
+        let shared = BddGraph::from_bdds(&build_sbdd(&n, None));
+        assert_eq!(shared.roots.len(), 2);
+        // Strictly smaller than two separate copies (which would double the
+        // a/b spine).
+        assert!(shared.num_nodes() < 2 * 4);
+    }
+
+    #[test]
+    fn paper_semiperimeter_identity() {
+        // n nodes in the graph == BDD size minus the 0 terminal.
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::Xor, &[a, b], "f").unwrap();
+        n.mark_output(f);
+        let bdds = build_sbdd(&n, None);
+        let size = bdds.shared_size();
+        let g = BddGraph::from_bdds(&bdds);
+        assert_eq!(g.num_nodes(), size - 1);
+    }
+}

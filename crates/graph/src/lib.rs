@@ -1,0 +1,37 @@
+//! Undirected graph algorithms for the COMPACT reproduction: bipartiteness
+//! and 2-coloring, connected components, the Cartesian product with `K₂`,
+//! maximum bipartite matching (Hopcroft–Karp), exact minimum vertex cover
+//! with LP/Nemhauser–Trotter kernelization, and the odd cycle transversal
+//! via the paper's Lemma 1 (`OCT(G) = k  ⇔  VC(G □ K₂) = n + k`).
+//!
+//! ```
+//! use flowc_graph::{UGraph, odd_cycle_transversal, OctConfig};
+//!
+//! // A triangle needs one vertex removed to become bipartite.
+//! let mut g = UGraph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(0, 2);
+//! let oct = odd_cycle_transversal(&g, &OctConfig::default());
+//! assert_eq!(oct.transversal.len(), 1);
+//! assert!(oct.optimal);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bipartite;
+mod matching;
+mod oct;
+mod product;
+mod ugraph;
+mod vertex_cover;
+
+pub use bipartite::{two_color, ColorResult};
+pub use matching::{hopcroft_karp, konig_cover, BipartiteMatching};
+pub use oct::{odd_cycle_transversal, oct_heuristic, OctConfig, OctResult};
+pub use product::cartesian_with_k2;
+pub use ugraph::UGraph;
+pub use vertex_cover::{
+    greedy_cover, lp_lower_bound, minimum_vertex_cover, nt_kernel, NtKernel, VcConfig, VcResult,
+};

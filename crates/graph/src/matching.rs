@@ -1,0 +1,226 @@
+//! Maximum bipartite matching (Hopcroft–Karp) and König minimum vertex
+//! covers — the machinery behind the half-integral vertex-cover LP bound
+//! and the Nemhauser–Trotter kernel.
+
+/// A maximum matching in a bipartite graph with `left` and `right` vertex
+/// sets indexed separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// `pair_left[u]` is the right vertex matched to left `u`, or `usize::MAX`.
+    pub pair_left: Vec<usize>,
+    /// `pair_right[v]` is the left vertex matched to right `v`, or `usize::MAX`.
+    pub pair_right: Vec<usize>,
+    /// Matching cardinality.
+    pub size: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Hopcroft–Karp maximum matching. `adj[u]` lists the right-neighbors of
+/// left vertex `u`; `num_right` is the size of the right vertex set.
+///
+/// Runs in `O(E √V)`.
+pub fn hopcroft_karp(adj: &[Vec<usize>], num_right: usize) -> BipartiteMatching {
+    let nl = adj.len();
+    let mut pair_left = vec![NIL; nl];
+    let mut pair_right = vec![NIL; num_right];
+    let mut dist = vec![0usize; nl];
+    let mut size = 0usize;
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        let mut found_augmenting = false;
+        for u in 0..nl {
+            if pair_left[u] == NIL {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = usize::MAX;
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                let w = pair_right[v];
+                if w == NIL {
+                    found_augmenting = true;
+                } else if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS augmentation along the layering.
+        fn dfs(
+            u: usize,
+            adj: &[Vec<usize>],
+            pair_left: &mut [usize],
+            pair_right: &mut [usize],
+            dist: &mut [usize],
+        ) -> bool {
+            for i in 0..adj[u].len() {
+                let v = adj[u][i];
+                let w = pair_right[v];
+                if w == NIL || (dist[w] == dist[u] + 1 && dfs(w, adj, pair_left, pair_right, dist))
+                {
+                    pair_left[u] = v;
+                    pair_right[v] = u;
+                    return true;
+                }
+            }
+            dist[u] = usize::MAX;
+            false
+        }
+        for u in 0..nl {
+            if pair_left[u] == NIL && dfs(u, adj, &mut pair_left, &mut pair_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+    BipartiteMatching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+/// König's theorem: derives a minimum vertex cover of the bipartite graph
+/// from a maximum matching. Returns `(in_cover_left, in_cover_right)`; the
+/// cover size equals the matching size.
+pub fn konig_cover(adj: &[Vec<usize>], matching: &BipartiteMatching) -> (Vec<bool>, Vec<bool>) {
+    let nl = adj.len();
+    let nr = matching.pair_right.len();
+    // Z = vertices reachable by alternating paths from free left vertices.
+    let mut visited_left = vec![false; nl];
+    let mut visited_right = vec![false; nr];
+    let mut queue = std::collections::VecDeque::new();
+    for u in 0..nl {
+        if matching.pair_left[u] == NIL {
+            visited_left[u] = true;
+            queue.push_back(u);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            // Traverse non-matching edges left->right.
+            if matching.pair_left[u] == v {
+                continue;
+            }
+            if !visited_right[v] {
+                visited_right[v] = true;
+                // Traverse the matching edge right->left.
+                let w = matching.pair_right[v];
+                if w != NIL && !visited_left[w] {
+                    visited_left[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Cover = (L \ Z) ∪ (R ∩ Z).
+    let in_cover_left: Vec<bool> = visited_left.iter().map(|&z| !z).collect();
+    let in_cover_right = visited_right;
+    (in_cover_left, in_cover_right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(adj: &[Vec<usize>], left: &[bool], right: &[bool]) {
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(left[u] || right[v], "edge {u}-{v} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // Bipartite C6 as L={0,1,2}, R={0,1,2}: u ~ u and u ~ u+1.
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let m = hopcroft_karp(&adj, 3);
+        assert_eq!(m.size, 3);
+        let (cl, cr) = konig_cover(&adj, &m);
+        assert_eq!(
+            cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count(),
+            3
+        );
+        check_cover(&adj, &cl, &cr);
+    }
+
+    #[test]
+    fn star_graph() {
+        // One left vertex connected to 4 right vertices: matching 1, cover 1.
+        let adj = vec![vec![0, 1, 2, 3]];
+        let m = hopcroft_karp(&adj, 4);
+        assert_eq!(m.size, 1);
+        let (cl, cr) = konig_cover(&adj, &m);
+        check_cover(&adj, &cl, &cr);
+        assert_eq!(
+            cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count(),
+            1
+        );
+        assert!(cl[0], "center covers everything");
+    }
+
+    #[test]
+    fn no_edges() {
+        let adj = vec![vec![], vec![]];
+        let m = hopcroft_karp(&adj, 2);
+        assert_eq!(m.size, 0);
+        let (cl, cr) = konig_cover(&adj, &m);
+        assert!(cl.iter().all(|&b| !b) && cr.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // L0-{R0}, L1-{R0,R1}: greedy could match L0-R0 blocking L1 without
+        // augmentation; HK must find size 2.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = hopcroft_karp(&adj, 2);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.pair_left[0], 0);
+        assert_eq!(m.pair_left[1], 1);
+    }
+
+    #[test]
+    fn random_graphs_matching_equals_konig_cover() {
+        let mut seed = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..20 {
+            let nl = 3 + (rng() % 8) as usize;
+            let nr = 3 + (rng() % 8) as usize;
+            let mut adj = vec![Vec::new(); nl];
+            for (u, nbrs) in adj.iter_mut().enumerate() {
+                for v in 0..nr {
+                    if rng() % 3 == 0 {
+                        nbrs.push(v);
+                    }
+                }
+                let _ = u;
+            }
+            let m = hopcroft_karp(&adj, nr);
+            let (cl, cr) = konig_cover(&adj, &m);
+            check_cover(&adj, &cl, &cr);
+            let cover_size =
+                cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count();
+            assert_eq!(cover_size, m.size, "König equality failed on trial {trial}");
+            // Matching is consistent.
+            for u in 0..nl {
+                if m.pair_left[u] != NIL {
+                    assert_eq!(m.pair_right[m.pair_left[u]], u);
+                    assert!(adj[u].contains(&m.pair_left[u]));
+                }
+            }
+        }
+    }
+}

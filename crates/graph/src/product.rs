@@ -1,0 +1,50 @@
+//! The Cartesian product `G □ K₂` used by the paper's Lemma 1.
+
+use crate::UGraph;
+
+/// Builds `G □ K₂`: two copies of `G` (vertex `v` becomes `v` and `v + n`)
+/// plus a perfect matching `{v, v + n}` between the copies.
+pub fn cartesian_with_k2(g: &UGraph) -> UGraph {
+    let n = g.num_vertices();
+    let mut p = UGraph::new(2 * n);
+    for &(u, v) in g.edges() {
+        p.add_edge(u, v);
+        p.add_edge(u + n, v + n);
+    }
+    for v in 0..n {
+        p.add_edge(v, v + n);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_becomes_prism() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let p = cartesian_with_k2(&g);
+        assert_eq!(p.num_vertices(), 6);
+        assert_eq!(p.num_edges(), 3 + 3 + 3);
+        // Copies preserved.
+        assert!(p.has_edge(0, 1) && p.has_edge(3, 4));
+        // Matching edges present.
+        for v in 0..3 {
+            assert!(p.has_edge(v, v + 3));
+        }
+        // No cross edges beyond the matching.
+        assert!(!p.has_edge(0, 4));
+    }
+
+    #[test]
+    fn empty_graph_gives_matching_only() {
+        let g = UGraph::new(4);
+        let p = cartesian_with_k2(&g);
+        assert_eq!(p.num_vertices(), 8);
+        assert_eq!(p.num_edges(), 4);
+    }
+}

@@ -1,0 +1,205 @@
+use std::collections::HashSet;
+
+/// A simple undirected graph over vertices `0..n` with adjacency lists.
+///
+/// Self-loops are rejected and parallel edges are deduplicated, matching the
+/// structure of the BDD-derived graphs COMPACT labels (a reduced BDD never
+/// produces either).
+#[derive(Debug, Clone, Default)]
+pub struct UGraph {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    edge_set: HashSet<(usize, usize)>,
+}
+
+impl UGraph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex, returning its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new;
+    /// parallel edges are silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u != v, "self-loops are not allowed");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        let key = (u.min(v), u.max(v));
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edges.push(key);
+        true
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_set.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// The neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// All edges as `(min, max)` pairs, in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Maximum degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The subgraph induced by keeping vertices where `keep[v]` is true.
+    /// Returns the subgraph plus the map from new to original indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != num_vertices()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (UGraph, Vec<usize>) {
+        assert_eq!(keep.len(), self.num_vertices(), "mask length mismatch");
+        let mut new_index = vec![usize::MAX; self.num_vertices()];
+        let mut back = Vec::new();
+        for (v, &k) in keep.iter().enumerate() {
+            if k {
+                new_index[v] = back.len();
+                back.push(v);
+            }
+        }
+        let mut g = UGraph::new(back.len());
+        for &(u, v) in &self.edges {
+            if keep[u] && keep[v] {
+                g.add_edge(new_index[u], new_index[v]);
+            }
+        }
+        (g, back)
+    }
+
+    /// Connected components: returns `(component_id_per_vertex, count)`.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_vertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = count;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &w in &self.adj[u] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = count;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let mut g = UGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(2, 1), "parallel edge ignored");
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_degree(), 2);
+        let v = g.add_vertex();
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn self_loop_panics() {
+        let mut g = UGraph::new(2);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.add_edge(1, 1))).is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let mut g = UGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let keep = vec![true, false, true, true, false];
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(back, vec![0, 2, 3]);
+        // Only 2-3 survives (0-1 and 1-2 lose vertex 1; 3-4 loses 4).
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(1, 2)); // new indices of 2 and 3
+    }
+
+    #[test]
+    fn components_counts() {
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[5], comp[0]);
+        assert_ne!(comp[5], comp[2]);
+    }
+}

@@ -1,0 +1,562 @@
+//! Exact minimum vertex cover with LP/Nemhauser–Trotter kernelization and
+//! branch & bound — the engine behind the paper's Eq. 2 (the minimum vertex
+//! cover ILP that yields the smallest odd cycle transversal).
+//!
+//! The vertex-cover LP is half-integral; its optimum equals half the
+//! maximum-matching size of the bipartite double graph, and the König cover
+//! of that double graph yields the Nemhauser–Trotter partition (vertices
+//! forced into / out of some optimum cover). BDD-derived graphs are nearly
+//! bipartite, so this kernelization usually collapses the instance and the
+//! residual branch & bound tree stays small.
+
+use std::time::{Duration, Instant};
+
+use crate::matching::{hopcroft_karp, konig_cover};
+use crate::UGraph;
+
+/// Configuration for [`minimum_vertex_cover`].
+#[derive(Debug, Clone)]
+pub struct VcConfig {
+    /// Wall-clock budget; on expiry the best cover found is returned with
+    /// `optimal == false` and a valid lower bound.
+    pub time_limit: Duration,
+}
+
+impl Default for VcConfig {
+    fn default() -> Self {
+        VcConfig {
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Result of a vertex-cover computation.
+#[derive(Debug, Clone)]
+pub struct VcResult {
+    /// Vertices of the cover, sorted ascending.
+    pub cover: Vec<usize>,
+    /// Whether `cover` was proven minimum.
+    pub optimal: bool,
+    /// A valid lower bound on the minimum cover size.
+    pub lower_bound: usize,
+}
+
+/// Greedy max-degree vertex cover (upper bound / warm start).
+pub fn greedy_cover(g: &UGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut alive = vec![true; n];
+    let mut cover = Vec::new();
+    let mut remaining = g.num_edges();
+    while remaining > 0 {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .max_by_key(|&v| deg[v])
+            .expect("edges remain, so a vertex does too");
+        if deg[v] == 0 {
+            break;
+        }
+        cover.push(v);
+        alive[v] = false;
+        for &w in g.neighbors(v) {
+            if alive[w] {
+                deg[w] -= 1;
+                remaining -= 1;
+            }
+        }
+        deg[v] = 0;
+    }
+    cover.sort_unstable();
+    cover
+}
+
+/// The half-integral vertex-cover LP bound: half the maximum-matching size
+/// of the bipartite double graph, restricted to `alive` vertices (pass all
+/// `true` for the whole graph).
+fn lp_bound_masked(g: &UGraph, alive: &[bool]) -> f64 {
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        if alive[u] && alive[v] {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+    }
+    let m = hopcroft_karp(&adj, n);
+    m.size as f64 / 2.0
+}
+
+/// The vertex-cover LP lower bound of the whole graph (half-integral, equal
+/// to half the maximum matching of the bipartite double).
+pub fn lp_lower_bound(g: &UGraph) -> f64 {
+    lp_bound_masked(g, &vec![true; g.num_vertices()])
+}
+
+/// The Nemhauser–Trotter partition derived from an optimal half-integral LP
+/// solution.
+#[derive(Debug, Clone)]
+pub struct NtKernel {
+    /// Vertices with LP value 1: some minimum cover contains all of them.
+    pub forced_in: Vec<usize>,
+    /// Vertices with LP value 0: some minimum cover avoids all of them.
+    pub excluded: Vec<usize>,
+    /// Vertices with LP value ½: the residual kernel to branch on.
+    pub kernel: Vec<usize>,
+}
+
+/// Computes the Nemhauser–Trotter kernel of `g`.
+pub fn nt_kernel(g: &UGraph) -> NtKernel {
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    let m = hopcroft_karp(&adj, n);
+    let (in_left, in_right) = konig_cover(&adj, &m);
+    let mut forced_in = Vec::new();
+    let mut excluded = Vec::new();
+    let mut kernel = Vec::new();
+    for v in 0..n {
+        match (in_left[v], in_right[v]) {
+            (true, true) => forced_in.push(v),
+            (false, false) => excluded.push(v),
+            _ => kernel.push(v),
+        }
+    }
+    NtKernel {
+        forced_in,
+        excluded,
+        kernel,
+    }
+}
+
+struct Solver<'g> {
+    g: &'g UGraph,
+    best_cover: Vec<usize>,
+    deadline: Instant,
+    timed_out: bool,
+    /// Smallest unexplored lower bound among pruned-by-timeout subtrees.
+    open_bound: Option<usize>,
+}
+
+impl<'g> Solver<'g> {
+    /// Applies degree-0/degree-1 reductions in place; returns extra chosen
+    /// vertices, or `None` if the subproblem exceeds the incumbent anyway.
+    fn reduce(&self, alive: &mut [bool], chosen: &mut Vec<usize>) {
+        loop {
+            let mut changed = false;
+            for v in 0..self.g.num_vertices() {
+                if !alive[v] {
+                    continue;
+                }
+                let nbrs: Vec<usize> = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| alive[w])
+                    .collect();
+                match nbrs.len() {
+                    0 => {
+                        alive[v] = false;
+                        changed = true;
+                    }
+                    1 => {
+                        // Pendant vertex: take the neighbor.
+                        let w = nbrs[0];
+                        chosen.push(w);
+                        alive[w] = false;
+                        alive[v] = false;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn rec(&mut self, mut alive: Vec<bool>, mut chosen: Vec<usize>) {
+        if Instant::now() >= self.deadline {
+            self.timed_out = true;
+            // This subtree stays open: its chosen-so-far size is a valid
+            // subtree lower bound contribution.
+            let lb = chosen.len();
+            self.open_bound = Some(self.open_bound.map_or(lb, |b| b.min(lb)));
+            return;
+        }
+        self.reduce(&mut alive, &mut chosen);
+        if chosen.len() >= self.best_cover.len() {
+            return; // cannot improve
+        }
+        // Any edge left?
+        let branch_vertex = (0..self.g.num_vertices())
+            .filter(|&v| alive[v])
+            .max_by_key(|&v| self.g.neighbors(v).iter().filter(|&&w| alive[w]).count());
+        let branch_vertex = match branch_vertex {
+            Some(v) if self.g.neighbors(v).iter().any(|&w| alive[w]) => v,
+            _ => {
+                // Edge-free: `chosen` is a cover (strictly better than best).
+                self.best_cover = chosen;
+                return;
+            }
+        };
+        // Bound: chosen + ceil(LP of residual graph).
+        let lp = lp_bound_masked(self.g, &alive).ceil() as usize;
+        if chosen.len() + lp >= self.best_cover.len() {
+            return;
+        }
+        // Branch 2 first (include N(v)): stronger when the branch vertex has
+        // high degree, which the selection maximizes.
+        let nbrs: Vec<usize> = self
+            .g
+            .neighbors(branch_vertex)
+            .iter()
+            .copied()
+            .filter(|&w| alive[w])
+            .collect();
+        {
+            let mut a = alive.clone();
+            let mut c = chosen.clone();
+            for &w in &nbrs {
+                c.push(w);
+                a[w] = false;
+            }
+            a[branch_vertex] = false;
+            self.rec(a, c);
+        }
+        {
+            let mut a = alive;
+            let mut c = chosen;
+            c.push(branch_vertex);
+            a[branch_vertex] = false;
+            self.rec(a, c);
+        }
+    }
+}
+
+/// Computes a minimum vertex cover of `g`, component by component:
+/// bipartite components are solved exactly in polynomial time
+/// (Hopcroft–Karp + König), non-bipartite components go through
+/// Nemhauser–Trotter kernelization and branch & bound with the
+/// half-integral LP bound. Within the time limit the result is proven
+/// optimal; on expiry the best cover found so far is returned together with
+/// a valid global lower bound.
+pub fn minimum_vertex_cover(g: &UGraph, config: &VcConfig) -> VcResult {
+    use crate::{two_color, ColorResult};
+    let deadline = Instant::now() + config.time_limit;
+    let (comp, count) = g.components();
+    let mut cover = Vec::new();
+    let mut lower_bound = 0usize;
+    let mut optimal = true;
+    for c in 0..count {
+        let keep: Vec<bool> = comp.iter().map(|&x| x == c).collect();
+        let (sub, back) = g.induced_subgraph(&keep);
+        if sub.num_edges() == 0 {
+            continue;
+        }
+        match two_color(&sub) {
+            ColorResult::Bipartite(colors) => {
+                let local = bipartite_cover(&sub, &colors);
+                lower_bound += local.len();
+                cover.extend(local.into_iter().map(|v| back[v]));
+            }
+            ColorResult::OddCycle(_) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let local = vc_nonbipartite(&sub, remaining);
+                lower_bound += local.lower_bound;
+                optimal &= local.optimal;
+                cover.extend(local.cover.into_iter().map(|v| back[v]));
+            }
+        }
+    }
+    cover.sort_unstable();
+    cover.dedup();
+    VcResult {
+        cover,
+        optimal,
+        lower_bound,
+    }
+}
+
+/// Exact minimum vertex cover of a bipartite graph via König's theorem.
+fn bipartite_cover(g: &UGraph, colors: &[u8]) -> Vec<usize> {
+    // Left = color-0 vertices, right = color-1 vertices.
+    let n = g.num_vertices();
+    let mut left_ids = Vec::new();
+    let mut right_ids = Vec::new();
+    let mut pos = vec![usize::MAX; n];
+    for v in 0..n {
+        if colors[v] == 0 {
+            pos[v] = left_ids.len();
+            left_ids.push(v);
+        } else {
+            pos[v] = right_ids.len();
+            right_ids.push(v);
+        }
+    }
+    let mut adj = vec![Vec::new(); left_ids.len()];
+    for &(u, v) in g.edges() {
+        let (l, r) = if colors[u] == 0 { (u, v) } else { (v, u) };
+        adj[pos[l]].push(pos[r]);
+    }
+    let m = hopcroft_karp(&adj, right_ids.len());
+    let (cl, cr) = konig_cover(&adj, &m);
+    let mut cover = Vec::new();
+    for (i, &inc) in cl.iter().enumerate() {
+        if inc {
+            cover.push(left_ids[i]);
+        }
+    }
+    for (i, &inc) in cr.iter().enumerate() {
+        if inc {
+            cover.push(right_ids[i]);
+        }
+    }
+    cover
+}
+
+/// NT kernelization + branch & bound for one non-bipartite component.
+fn vc_nonbipartite(g: &UGraph, time_limit: Duration) -> VcResult {
+    let nt = nt_kernel(g);
+    // Solve the kernel.
+    let mut keep = vec![false; g.num_vertices()];
+    for &v in &nt.kernel {
+        keep[v] = true;
+    }
+    let (kernel_graph, back) = g.induced_subgraph(&keep);
+    let greedy = greedy_cover(&kernel_graph);
+    let deadline = Instant::now() + time_limit;
+    let mut solver = Solver {
+        g: &kernel_graph,
+        best_cover: greedy,
+        deadline,
+        timed_out: false,
+        open_bound: None,
+    };
+    let alive = vec![true; kernel_graph.num_vertices()];
+    solver.rec(alive, Vec::new());
+
+    let mut cover: Vec<usize> = nt.forced_in.clone();
+    cover.extend(solver.best_cover.iter().map(|&v| back[v]));
+    cover.sort_unstable();
+    cover.dedup();
+
+    let kernel_lp = lp_lower_bound(&kernel_graph).ceil() as usize;
+    let kernel_lb = if solver.timed_out {
+        // The optimum is min(best found, optima of subtrees left open); each
+        // open subtree's optimum is at least its chosen-so-far size. The LP
+        // bound is always valid, so take the stronger of the two.
+        let open = solver
+            .open_bound
+            .map_or(solver.best_cover.len(), |b| b.min(solver.best_cover.len()));
+        kernel_lp.max(open.min(solver.best_cover.len()))
+    } else {
+        solver.best_cover.len()
+    };
+    VcResult {
+        optimal: !solver.timed_out,
+        lower_bound: nt.forced_in.len() + kernel_lb,
+        cover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_cover(g: &UGraph, cover: &[usize]) -> bool {
+        let set: std::collections::HashSet<usize> = cover.iter().copied().collect();
+        g.edges().iter().all(|&(u, v)| set.contains(&u) || set.contains(&v))
+    }
+
+    fn brute_force_vc(g: &UGraph) -> usize {
+        let n = g.num_vertices();
+        assert!(n <= 20);
+        (0..1usize << n)
+            .filter(|&mask| {
+                g.edges()
+                    .iter()
+                    .all(|&(u, v)| mask >> u & 1 == 1 || mask >> v & 1 == 1)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn classic_small_graphs() {
+        // Triangle: 2; C5: 3; star K1,4: 1; P4: 2.
+        let mut tri = UGraph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(0, 2);
+        let r = minimum_vertex_cover(&tri, &VcConfig::default());
+        assert!(r.optimal && r.cover.len() == 2 && is_cover(&tri, &r.cover));
+        assert_eq!(r.lower_bound, 2);
+
+        let mut c5 = UGraph::new(5);
+        for i in 0..5 {
+            c5.add_edge(i, (i + 1) % 5);
+        }
+        let r = minimum_vertex_cover(&c5, &VcConfig::default());
+        assert!(r.optimal && r.cover.len() == 3 && is_cover(&c5, &r.cover));
+
+        let mut star = UGraph::new(5);
+        for i in 1..5 {
+            star.add_edge(0, i);
+        }
+        let r = minimum_vertex_cover(&star, &VcConfig::default());
+        assert!(r.optimal && r.cover == vec![0]);
+
+        let mut p4 = UGraph::new(4);
+        p4.add_edge(0, 1);
+        p4.add_edge(1, 2);
+        p4.add_edge(2, 3);
+        let r = minimum_vertex_cover(&p4, &VcConfig::default());
+        assert!(r.optimal && r.cover.len() == 2 && is_cover(&p4, &r.cover));
+    }
+
+    #[test]
+    fn lp_bound_is_valid_and_half_integral() {
+        let mut tri = UGraph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(0, 2);
+        assert!((lp_lower_bound(&tri) - 1.5).abs() < 1e-9);
+        // Bipartite C4: LP = integral optimum = 2.
+        let mut c4 = UGraph::new(4);
+        for i in 0..4 {
+            c4.add_edge(i, (i + 1) % 4);
+        }
+        assert!((lp_lower_bound(&c4) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nt_partition_is_consistent() {
+        // The three NT classes partition the vertex set, and forced_in
+        // covers every edge incident to an excluded vertex.
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2); // triangle
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        let nt = nt_kernel(&g);
+        let total = nt.forced_in.len() + nt.excluded.len() + nt.kernel.len();
+        assert_eq!(total, 6);
+        let forced: std::collections::HashSet<_> = nt.forced_in.iter().collect();
+        for &x in &nt.excluded {
+            for &w in g.neighbors(x) {
+                assert!(forced.contains(&w), "excluded {x} has non-forced neighbor {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_components_solved_exactly() {
+        // C4 (bipartite) plus a triangle: VC = 2 + 2 = 4.
+        let mut g = UGraph::new(7);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        g.add_edge(4, 6);
+        let r = minimum_vertex_cover(&g, &VcConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.cover.len(), 4);
+        assert_eq!(r.lower_bound, 4);
+        assert!(is_cover(&g, &r.cover));
+    }
+
+    #[test]
+    fn nt_kernel_keeps_odd_structures() {
+        let mut tri = UGraph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(0, 2);
+        let nt = nt_kernel(&tri);
+        assert_eq!(nt.kernel.len(), 3, "triangle is all ½");
+    }
+
+    #[test]
+    fn greedy_is_a_cover() {
+        let mut g = UGraph::new(8);
+        let mut seed = 99u64;
+        for u in 0..8usize {
+            for v in (u + 1)..8 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if seed >> 33 & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert!(is_cover(&g, &greedy_cover(&g)));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut seed = 0xDEAD_BEEF_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..15 {
+            let n = 6 + (rng() % 7) as usize;
+            let mut g = UGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng() % 100 < 35 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let expect = brute_force_vc(&g);
+            let r = minimum_vertex_cover(&g, &VcConfig::default());
+            assert!(r.optimal, "trial {trial} timed out");
+            assert!(is_cover(&g, &r.cover), "trial {trial} invalid cover");
+            assert_eq!(r.cover.len(), expect, "trial {trial} suboptimal");
+            assert_eq!(r.lower_bound, expect, "trial {trial} bad bound");
+        }
+    }
+
+    #[test]
+    fn timeout_returns_valid_cover_and_bound() {
+        // A dense-ish graph with zero budget: greedy fallback must hold.
+        let mut g = UGraph::new(30);
+        let mut seed = 7u64;
+        for u in 0..30usize {
+            for v in (u + 1)..30 {
+                seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if seed >> 60 & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let r = minimum_vertex_cover(
+            &g,
+            &VcConfig {
+                time_limit: Duration::from_millis(0),
+            },
+        );
+        assert!(is_cover(&g, &r.cover));
+        assert!(r.lower_bound <= r.cover.len());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = UGraph::new(0);
+        let r = minimum_vertex_cover(&g, &VcConfig::default());
+        assert!(r.optimal && r.cover.is_empty() && r.lower_bound == 0);
+        let g = UGraph::new(5);
+        let r = minimum_vertex_cover(&g, &VcConfig::default());
+        assert!(r.optimal && r.cover.is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! Reusable datapath building blocks for the benchmark generators.
+//!
+//! All helpers take `&mut Network` plus already-created nets and append
+//! gates; top-level circuit builders live in the sibling modules. Buses are
+//! little-endian: index 0 is the least significant bit.
+
+use crate::{GateKind, NetId, Network, Result};
+
+/// Creates `width` primary inputs named `prefix0..prefix{width-1}`.
+pub fn input_bus(n: &mut Network, prefix: &str, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| n.add_input(format!("{prefix}{i}"))).collect()
+}
+
+/// Creates two buses with *interleaved* creation order (`a0 b0 a1 b1 …`),
+/// which doubles as a good static BDD variable order for adders and
+/// comparators.
+pub fn interleaved_input_buses(
+    n: &mut Network,
+    pa: &str,
+    pb: &str,
+    width: usize,
+) -> (Vec<NetId>, Vec<NetId>) {
+    let mut a = Vec::with_capacity(width);
+    let mut b = Vec::with_capacity(width);
+    for i in 0..width {
+        a.push(n.add_input(format!("{pa}{i}")));
+        b.push(n.add_input(format!("{pb}{i}")));
+    }
+    (a, b)
+}
+
+/// One-bit full adder; returns `(sum, carry_out)`.
+pub fn full_adder(n: &mut Network, a: NetId, b: NetId, cin: NetId, tag: &str) -> Result<(NetId, NetId)> {
+    let s = n.add_gate(GateKind::Xor, &[a, b, cin], format!("{tag}_s"))?;
+    let ab = n.add_gate(GateKind::And, &[a, b], format!("{tag}_ab"))?;
+    let ac = n.add_gate(GateKind::And, &[a, cin], format!("{tag}_ac"))?;
+    let bc = n.add_gate(GateKind::And, &[b, cin], format!("{tag}_bc"))?;
+    let c = n.add_gate(GateKind::Or, &[ab, ac, bc], format!("{tag}_c"))?;
+    Ok((s, c))
+}
+
+/// Ripple-carry adder over equal-width buses; returns `(sum_bus, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the buses have different widths or are empty.
+pub fn ripple_adder(
+    n: &mut Network,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    tag: &str,
+) -> Result<(Vec<NetId>, NetId)> {
+    assert_eq!(a.len(), b.len(), "adder bus width mismatch");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        let (s, c) = full_adder(n, ai, bi, carry, &format!("{tag}{i}"))?;
+        sum.push(s);
+        carry = c;
+    }
+    Ok((sum, carry))
+}
+
+/// Two's-complement subtractor (`a - b`); returns `(difference, borrow_free)`.
+/// `borrow_free` (the adder's carry out) is 1 when `a >= b` for unsigned
+/// operands.
+pub fn ripple_subtractor(
+    n: &mut Network,
+    a: &[NetId],
+    b: &[NetId],
+    tag: &str,
+) -> Result<(Vec<NetId>, NetId)> {
+    let nb: Vec<NetId> = b
+        .iter()
+        .enumerate()
+        .map(|(i, &bi)| n.add_gate(GateKind::Not, &[bi], format!("{tag}_nb{i}")))
+        .collect::<Result<_>>()?;
+    let one = n.add_const1(format!("{tag}_one"));
+    ripple_adder(n, a, &nb, one, tag)
+}
+
+/// Equality comparator over equal-width buses.
+///
+/// # Panics
+///
+/// Panics if the buses have different widths or are empty.
+pub fn equality(n: &mut Network, a: &[NetId], b: &[NetId], tag: &str) -> Result<NetId> {
+    assert_eq!(a.len(), b.len(), "comparator bus width mismatch");
+    assert!(!a.is_empty(), "comparator needs at least one bit");
+    let eqs: Vec<NetId> = a
+        .iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&ai, &bi))| n.add_gate(GateKind::Xnor, &[ai, bi], format!("{tag}_eq{i}")))
+        .collect::<Result<_>>()?;
+    if eqs.len() == 1 {
+        Ok(eqs[0])
+    } else {
+        n.add_gate(GateKind::And, &eqs, format!("{tag}_eq"))
+    }
+}
+
+/// Unsigned magnitude comparator; returns `(a_lt_b, a_eq_b, a_gt_b)`.
+pub fn magnitude_compare(
+    n: &mut Network,
+    a: &[NetId],
+    b: &[NetId],
+    tag: &str,
+) -> Result<(NetId, NetId, NetId)> {
+    assert_eq!(a.len(), b.len(), "comparator bus width mismatch");
+    // Ripple from LSB: lt_i = (!a_i & b_i) | (a_i==b_i) & lt_{i-1}
+    let mut lt = n.add_const0(format!("{tag}_lt_init"));
+    let mut gt = n.add_const0(format!("{tag}_gt_init"));
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        let na = n.add_gate(GateKind::Not, &[ai], format!("{tag}_na{i}"))?;
+        let nb = n.add_gate(GateKind::Not, &[bi], format!("{tag}_nbc{i}"))?;
+        let a_lt = n.add_gate(GateKind::And, &[na, bi], format!("{tag}_abl{i}"))?;
+        let a_gt = n.add_gate(GateKind::And, &[ai, nb], format!("{tag}_abg{i}"))?;
+        let eq = n.add_gate(GateKind::Xnor, &[ai, bi], format!("{tag}_abe{i}"))?;
+        let keep_lt = n.add_gate(GateKind::And, &[eq, lt], format!("{tag}_kl{i}"))?;
+        let keep_gt = n.add_gate(GateKind::And, &[eq, gt], format!("{tag}_kg{i}"))?;
+        lt = n.add_gate(GateKind::Or, &[a_lt, keep_lt], format!("{tag}_lt{i}"))?;
+        gt = n.add_gate(GateKind::Or, &[a_gt, keep_gt], format!("{tag}_gt{i}"))?;
+    }
+    let ne = n.add_gate(GateKind::Or, &[lt, gt], format!("{tag}_ne"))?;
+    let eq = n.add_gate(GateKind::Not, &[ne], format!("{tag}_eqf"))?;
+    Ok((lt, eq, gt))
+}
+
+/// Bitwise 2:1 mux over buses: `sel ? a : b`.
+///
+/// # Panics
+///
+/// Panics if the buses have different widths.
+pub fn mux_bus(
+    n: &mut Network,
+    sel: NetId,
+    a: &[NetId],
+    b: &[NetId],
+    tag: &str,
+) -> Result<Vec<NetId>> {
+    assert_eq!(a.len(), b.len(), "mux bus width mismatch");
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&ai, &bi))| n.add_gate(GateKind::Mux, &[sel, ai, bi], format!("{tag}{i}")))
+        .collect()
+}
+
+/// Balanced XOR (parity) tree over a bus.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn parity_tree(n: &mut Network, bits: &[NetId], tag: &str) -> Result<NetId> {
+    assert!(!bits.is_empty(), "parity needs at least one bit");
+    if bits.len() == 1 {
+        return Ok(bits[0]);
+    }
+    n.add_gate(GateKind::Xor, bits, tag)
+}
+
+/// `k`-to-`2^k` one-hot decoder with optional enable; output `i` is 1 iff the
+/// select bus encodes `i` (and `enable`, when given, is 1).
+pub fn decoder(
+    n: &mut Network,
+    sel: &[NetId],
+    enable: Option<NetId>,
+    tag: &str,
+) -> Result<Vec<NetId>> {
+    let k = sel.len();
+    let nsel: Vec<NetId> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| n.add_gate(GateKind::Not, &[s], format!("{tag}_ns{i}")))
+        .collect::<Result<_>>()?;
+    let mut outs = Vec::with_capacity(1 << k);
+    for v in 0..1usize << k {
+        let mut lits: Vec<NetId> = (0..k)
+            .map(|i| if v >> i & 1 == 1 { sel[i] } else { nsel[i] })
+            .collect();
+        if let Some(en) = enable {
+            lits.push(en);
+        }
+        let out = match lits.len() {
+            1 => n.add_gate(GateKind::Buf, &[lits[0]], format!("{tag}_d{v}"))?,
+            _ => n.add_gate(GateKind::And, &lits, format!("{tag}_d{v}"))?,
+        };
+        outs.push(out);
+    }
+    Ok(outs)
+}
+
+/// Priority encoder: given `req` (index 0 has the *highest* priority),
+/// returns `(index_bits, valid)` where `index_bits` is the binary index of
+/// the highest-priority asserted request.
+pub fn priority_encoder(
+    n: &mut Network,
+    req: &[NetId],
+    tag: &str,
+) -> Result<(Vec<NetId>, NetId)> {
+    assert!(!req.is_empty(), "priority encoder needs at least one request");
+    let width = req.len();
+    let bits = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+    let bits = bits.max(1);
+    // grant[i] = req[i] & !req[0..i]
+    let mut grants = Vec::with_capacity(width);
+    let mut none_above = n.add_const1(format!("{tag}_na0"));
+    for (i, &r) in req.iter().enumerate() {
+        let g = n.add_gate(GateKind::And, &[r, none_above], format!("{tag}_g{i}"))?;
+        grants.push(g);
+        if i + 1 < width {
+            let nr = n.add_gate(GateKind::Not, &[r], format!("{tag}_nr{i}"))?;
+            none_above = n.add_gate(GateKind::And, &[none_above, nr], format!("{tag}_na{}", i + 1))?;
+        }
+    }
+    // Encode the one-hot grants.
+    let mut index = Vec::with_capacity(bits);
+    for b in 0..bits {
+        let members: Vec<NetId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> b & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let bit = match members.len() {
+            0 => n.add_const0(format!("{tag}_i{b}")),
+            1 => n.add_gate(GateKind::Buf, &[members[0]], format!("{tag}_i{b}"))?,
+            _ => n.add_gate(GateKind::Or, &members, format!("{tag}_i{b}"))?,
+        };
+        index.push(bit);
+    }
+    let valid = n.add_gate(GateKind::Or, req, format!("{tag}_valid"))?;
+    Ok((index, valid))
+}
+
+/// Leading-one detector over a bus (MSB side wins): returns a one-hot bus of
+/// the same width marking the most significant asserted bit.
+pub fn leading_one(n: &mut Network, bits: &[NetId], tag: &str) -> Result<Vec<NetId>> {
+    // Reuse the priority encoder's grant chain with reversed significance.
+    let rev: Vec<NetId> = bits.iter().rev().copied().collect();
+    let width = rev.len();
+    let mut outs = vec![None; width];
+    let mut none_above = n.add_const1(format!("{tag}_lo_na0"));
+    for (i, &r) in rev.iter().enumerate() {
+        let g = n.add_gate(GateKind::And, &[r, none_above], format!("{tag}_lo{i}"))?;
+        outs[width - 1 - i] = Some(g);
+        if i + 1 < width {
+            let nr = n.add_gate(GateKind::Not, &[r], format!("{tag}_lonr{i}"))?;
+            none_above =
+                n.add_gate(GateKind::And, &[none_above, nr], format!("{tag}_lo_na{}", i + 1))?;
+        }
+    }
+    Ok(outs.into_iter().map(|o| o.expect("filled")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    fn bits_of(v: usize, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn val_of(bits: &[bool]) -> usize {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| (b as usize) << i)
+            .sum()
+    }
+
+    #[test]
+    fn adder_is_exact_4bit() {
+        let mut n = Network::new("add4");
+        let (a, b) = interleaved_input_buses(&mut n, "a", "b", 4);
+        let cin = n.add_input("cin");
+        let (sum, cout) = ripple_adder(&mut n, &a, &b, cin, "fa").unwrap();
+        for s in sum {
+            n.mark_output(s);
+        }
+        n.mark_output(cout);
+        for av in 0..16usize {
+            for bv in 0..16usize {
+                for c in 0..2usize {
+                    let mut vals = Vec::new();
+                    for i in 0..4 {
+                        vals.push(av >> i & 1 == 1);
+                        vals.push(bv >> i & 1 == 1);
+                    }
+                    vals.push(c == 1);
+                    let out = n.simulate(&vals).unwrap();
+                    let got = val_of(&out);
+                    assert_eq!(got, av + bv + c, "{av}+{bv}+{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_computes_difference_and_geq() {
+        let mut n = Network::new("sub4");
+        let a = input_bus(&mut n, "a", 4);
+        let b = input_bus(&mut n, "b", 4);
+        let (diff, geq) = ripple_subtractor(&mut n, &a, &b, "sub").unwrap();
+        for d in diff {
+            n.mark_output(d);
+        }
+        n.mark_output(geq);
+        for av in 0..16usize {
+            for bv in 0..16usize {
+                let mut vals = bits_of(av, 4);
+                vals.extend(bits_of(bv, 4));
+                let out = n.simulate(&vals).unwrap();
+                let d = val_of(&out[..4]);
+                assert_eq!(d, (av.wrapping_sub(bv)) & 0xF, "{av}-{bv}");
+                assert_eq!(out[4], av >= bv, "geq {av} {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_trichotomy() {
+        let mut n = Network::new("cmp3");
+        let a = input_bus(&mut n, "a", 3);
+        let b = input_bus(&mut n, "b", 3);
+        let (lt, eq, gt) = magnitude_compare(&mut n, &a, &b, "cmp").unwrap();
+        n.mark_output(lt);
+        n.mark_output(eq);
+        n.mark_output(gt);
+        for av in 0..8usize {
+            for bv in 0..8usize {
+                let mut vals = bits_of(av, 3);
+                vals.extend(bits_of(bv, 3));
+                let out = n.simulate(&vals).unwrap();
+                assert_eq!(out, vec![av < bv, av == bv, av > bv], "{av} vs {bv}");
+                assert_eq!(out.iter().filter(|&&b| b).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_matches_compare() {
+        let mut n = Network::new("eq4");
+        let a = input_bus(&mut n, "a", 4);
+        let b = input_bus(&mut n, "b", 4);
+        let eq = equality(&mut n, &a, &b, "e").unwrap();
+        n.mark_output(eq);
+        for av in 0..16usize {
+            for bv in 0..16usize {
+                let mut vals = bits_of(av, 4);
+                vals.extend(bits_of(bv, 4));
+                assert_eq!(n.simulate(&vals).unwrap()[0], av == bv);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_onehot() {
+        let mut n = Network::new("dec3");
+        let sel = input_bus(&mut n, "s", 3);
+        let en = n.add_input("en");
+        let outs = decoder(&mut n, &sel, Some(en), "d").unwrap();
+        assert_eq!(outs.len(), 8);
+        for o in outs {
+            n.mark_output(o);
+        }
+        for v in 0..8usize {
+            for en_v in [false, true] {
+                let mut vals = bits_of(v, 3);
+                vals.push(en_v);
+                let out = n.simulate(&vals).unwrap();
+                for (i, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, en_v && i == v, "v={v} en={en_v} out{i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest_index() {
+        let mut n = Network::new("pe5");
+        let req = input_bus(&mut n, "r", 5);
+        let (idx, valid) = priority_encoder(&mut n, &req, "pe").unwrap();
+        assert_eq!(idx.len(), 3);
+        for b in idx {
+            n.mark_output(b);
+        }
+        n.mark_output(valid);
+        for v in 0..32usize {
+            let vals = bits_of(v, 5);
+            let out = n.simulate(&vals).unwrap();
+            let expected = (0..5).find(|&i| v >> i & 1 == 1);
+            match expected {
+                None => assert!(!out[3], "valid must be low for {v:05b}"),
+                Some(first) => {
+                    assert!(out[3]);
+                    assert_eq!(val_of(&out[..3]), first, "{v:05b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leading_one_marks_msb() {
+        let mut n = Network::new("lo4");
+        let bits = input_bus(&mut n, "x", 4);
+        let lo = leading_one(&mut n, &bits, "lo").unwrap();
+        for o in lo {
+            n.mark_output(o);
+        }
+        for v in 0..16usize {
+            let out = n.simulate(&bits_of(v, 4)).unwrap();
+            let expected = (0..4).rev().find(|&i| v >> i & 1 == 1);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, Some(i) == expected, "v={v:04b} bit{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_bus_selects() {
+        let mut n = Network::new("mux");
+        let sel = n.add_input("s");
+        let a = input_bus(&mut n, "a", 3);
+        let b = input_bus(&mut n, "b", 3);
+        let m = mux_bus(&mut n, sel, &a, &b, "m").unwrap();
+        for o in m {
+            n.mark_output(o);
+        }
+        let mut vals = vec![true];
+        vals.extend([true, false, true]);
+        vals.extend([false, true, false]);
+        assert_eq!(n.simulate(&vals).unwrap(), vec![true, false, true]);
+        vals[0] = false;
+        assert_eq!(n.simulate(&vals).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn parity_tree_matches_popcount() {
+        let mut n = Network::new("par6");
+        let bits = input_bus(&mut n, "x", 6);
+        let p = parity_tree(&mut n, &bits, "p").unwrap();
+        n.mark_output(p);
+        for v in 0..64usize {
+            assert_eq!(
+                n.simulate(&bits_of(v, 6)).unwrap()[0],
+                v.count_ones() % 2 == 1
+            );
+        }
+    }
+}

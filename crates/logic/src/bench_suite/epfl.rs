@@ -1,0 +1,573 @@
+//! EPFL-control-like benchmark circuits.
+//!
+//! `dec` and `priority` are rebuilt exactly from their specifications (an
+//! 8-to-256 decoder and a 128-bit priority encoder). The remaining circuits
+//! are structural analogues of the EPFL control benchmarks: a round-robin
+//! arbiter, a CAVLC-style coding table, an opcode decoder (`ctrl`), an
+//! I²C-controller-style next-state block, an integer-to-float converter, and
+//! a router lookup. See DESIGN.md §3.
+
+use super::blocks::*;
+use crate::{GateKind, NetId, Network, Result};
+
+/// arbiter-like: round-robin arbiter over `W` request lines with a binary
+/// rotation pointer. Grants the first asserted request at or after the
+/// pointer position (wrapping). Dense dependence of every grant on all
+/// requests and the pointer makes this a hard instance, as in the paper.
+pub fn arbiter_like() -> Result<Network> {
+    const W: usize = 24;
+    const PTR_BITS: usize = 5; // ceil(log2(24))
+    let mut n = Network::new("arbiter_like");
+    let req = input_bus(&mut n, "req", W);
+    let ptr = input_bus(&mut n, "ptr", PTR_BITS);
+
+    // One-hot decode of the pointer (values >= W never match a start).
+    let starts = decoder(&mut n, &ptr, None, "ptr_dec")?;
+
+    // For each start position s and grant position g, grant g iff the
+    // pointer is s, req[g] is set, and no request in the rotated window
+    // between s and g is set. Build per-start grant chains, then OR over
+    // starts for each position.
+    let mut grant_terms: Vec<Vec<NetId>> = vec![Vec::new(); W];
+    for (s, &start) in starts.iter().enumerate().take(W) {
+        let mut none_before = start;
+        for off in 0..W {
+            let g = (s + off) % W;
+            let term = n.add_gate(
+                GateKind::And,
+                &[none_before, req[g]],
+                format!("t_s{s}_g{g}"),
+            )?;
+            grant_terms[g].push(term);
+            if off + 1 < W {
+                let nr = n.add_gate(GateKind::Not, &[req[g]], format!("nr_s{s}_{off}"))?;
+                none_before =
+                    n.add_gate(GateKind::And, &[none_before, nr], format!("nb_s{s}_{off}"))?;
+            }
+        }
+    }
+    for (g, terms) in grant_terms.into_iter().enumerate() {
+        let out = n.add_gate(GateKind::Or, &terms, format!("grant{g}"))?;
+        n.mark_output(out);
+    }
+    let any = n.add_gate(GateKind::Or, &req, "any")?;
+    n.mark_output(any);
+    Ok(n)
+}
+
+/// Deterministic xorshift64* generator for the synthetic coding tables.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// cavlc-like: an irregular 10-input 11-output coding table, modeled as a
+/// fixed pseudorandom two-level cover (seeded, fully reproducible). The real
+/// cavlc benchmark is a context-adaptive VLC table with exactly this I/O
+/// profile and a similarly unstructured on-set.
+pub fn cavlc_like() -> Result<Network> {
+    let mut n = Network::new("cavlc_like");
+    let ins = input_bus(&mut n, "x", 10);
+    let ninv: Vec<NetId> = ins
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| n.add_gate(GateKind::Not, &[x], format!("nx{i}")))
+        .collect::<Result<_>>()?;
+    let mut seed = 0xCA41_C0DE_5EED_0001u64;
+    for o in 0..11 {
+        let mut cubes = Vec::new();
+        for c in 0..12 {
+            let bits = xorshift(&mut seed);
+            let mut lits = Vec::new();
+            for (i, (&x, &nx)) in ins.iter().zip(&ninv).enumerate() {
+                match bits >> (2 * i) & 0b11 {
+                    0b00 | 0b01 => {} // don't care (half the positions)
+                    0b10 => lits.push(x),
+                    _ => lits.push(nx),
+                }
+            }
+            if lits.is_empty() {
+                continue;
+            }
+            let cube = if lits.len() == 1 {
+                lits[0]
+            } else {
+                n.add_gate(GateKind::And, &lits, format!("o{o}c{c}"))?
+            };
+            cubes.push(cube);
+        }
+        let out = n.add_gate(GateKind::Or, &cubes, format!("y{o}"))?;
+        n.mark_output(out);
+    }
+    Ok(n)
+}
+
+/// ctrl-like: a 7-bit opcode decoder producing 26 control lines, in the
+/// style of a small RISC control unit (register write, memory op, branch,
+/// ALU function selects, …).
+pub fn ctrl_like() -> Result<Network> {
+    let mut n = Network::new("ctrl_like");
+    let op = input_bus(&mut n, "op", 7);
+    let nop: Vec<NetId> = op
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| n.add_gate(GateKind::Not, &[x], format!("nop{i}")))
+        .collect::<Result<_>>()?;
+    // Opcode classes on the top three bits.
+    let class = |n: &mut Network, pattern: u8, tag: &str| -> Result<NetId> {
+        let lits: Vec<NetId> = (4..7)
+            .map(|i| if pattern >> (i - 4) & 1 == 1 { op[i] } else { nop[i] })
+            .collect();
+        n.add_gate(GateKind::And, &lits, tag)
+    };
+    let is_alu = class(&mut n, 0b000, "is_alu")?;
+    let is_imm = class(&mut n, 0b001, "is_imm")?;
+    let is_load = class(&mut n, 0b010, "is_load")?;
+    let is_store = class(&mut n, 0b011, "is_store")?;
+    let is_branch = class(&mut n, 0b100, "is_branch")?;
+    let is_jump = class(&mut n, 0b101, "is_jump")?;
+    let is_sys = class(&mut n, 0b110, "is_sys")?;
+    let is_ext = class(&mut n, 0b111, "is_ext")?;
+
+    let reg_write = n.add_gate(GateKind::Or, &[is_alu, is_imm, is_load, is_jump], "reg_write")?;
+    let mem_read = n.add_gate(GateKind::Buf, &[is_load], "mem_read")?;
+    let mem_write = n.add_gate(GateKind::Buf, &[is_store], "mem_write")?;
+    let alu_src_imm = n.add_gate(GateKind::Or, &[is_imm, is_load, is_store], "alu_src_imm")?;
+    let pc_branch = n.add_gate(GateKind::Or, &[is_branch, is_jump], "pc_branch")?;
+    for o in [reg_write, mem_read, mem_write, alu_src_imm, pc_branch] {
+        n.mark_output(o);
+    }
+    // ALU function: 4 lines decoded from low bits when in an ALU class.
+    let alu_active = n.add_gate(GateKind::Or, &[is_alu, is_imm], "alu_active")?;
+    let funcs = decoder(&mut n, &op[0..2], Some(alu_active), "aluf")?;
+    for f in funcs {
+        n.mark_output(f);
+    }
+    // Branch condition lines: 4 decoded from bits 2..4 in branch class.
+    let bconds = decoder(&mut n, &op[2..4], Some(is_branch), "bcond")?;
+    for b in bconds {
+        n.mark_output(b);
+    }
+    // System/extension control lines mix low bits irregularly.
+    for (i, lo) in op[0..4].iter().enumerate() {
+        let s = n.add_gate(GateKind::And, &[is_sys, *lo], format!("sys{i}"))?;
+        n.mark_output(s);
+        let e = n.add_gate(GateKind::And, &[is_ext, *lo], format!("ext{i}"))?;
+        n.mark_output(e);
+    }
+    // Illegal-opcode trap: sys with all low bits set.
+    let all_low = n.add_gate(GateKind::And, &op[0..4], "all_low")?;
+    let trap = n.add_gate(GateKind::And, &[is_sys, all_low], "trap")?;
+    n.mark_output(trap);
+    // Class indicator lines (visible to the datapath).
+    for c in [is_load, is_store, is_branch, is_jump] {
+        n.mark_output(c);
+    }
+    Ok(n)
+}
+
+/// dec: the exact EPFL `dec` benchmark — an 8-to-256 line decoder.
+pub fn dec() -> Result<Network> {
+    let mut n = Network::new("dec");
+    let sel = input_bus(&mut n, "s", 8);
+    let outs = decoder(&mut n, &sel, None, "d")?;
+    for o in outs {
+        n.mark_output(o);
+    }
+    Ok(n)
+}
+
+/// i2c-like: wide, shallow controller logic — next-state, counter, shift,
+/// address-match and gated-enable cones in the style of the i2c benchmark.
+pub fn i2c_like() -> Result<Network> {
+    let mut n = Network::new("i2c_like");
+    let state = input_bus(&mut n, "st", 6);
+    let cnt = input_bus(&mut n, "cnt", 4);
+    let data = input_bus(&mut n, "dat", 8);
+    // Interleave the incoming address with the own-address register so the
+    // match comparator is local in the variable order.
+    let (addr, own) = interleaved_input_buses(&mut n, "adr", "own", 8);
+    let ctrl = input_bus(&mut n, "ctl", 6);
+    let ens = input_bus(&mut n, "en", 20);
+
+    // Address match and qualified start condition.
+    let addr_match = equality(&mut n, &addr, &own, "am")?;
+    let start = n.add_gate(GateKind::And, &[ctrl[0], ctrl[1]], "start")?;
+    let stop = n.add_gate(GateKind::And, &[ctrl[2], ctrl[3]], "stop")?;
+    let go = n.add_gate(GateKind::And, &[addr_match, start], "go")?;
+    n.mark_output(addr_match);
+    n.mark_output(go);
+    n.mark_output(stop);
+
+    // Next state: increment-style mixing of state with control.
+    for (i, &s) in state.iter().enumerate() {
+        let t = n.add_gate(GateKind::Xor, &[s, ctrl[i % ctrl.len()]], format!("nsx{i}"))?;
+        let ns = n.add_gate(GateKind::Mux, &[go, t, s], format!("next_st{i}"))?;
+        n.mark_output(ns);
+    }
+    // Counter + 1 (ripple increment).
+    let mut carry = n.add_const1("inc_c0");
+    for (i, &c) in cnt.iter().enumerate() {
+        let s = n.add_gate(GateKind::Xor, &[c, carry], format!("cnt_n{i}"))?;
+        n.mark_output(s);
+        if i + 1 < cnt.len() {
+            carry = n.add_gate(GateKind::And, &[c, carry], format!("inc_c{}", i + 1))?;
+        }
+    }
+    let cnt_max = n.add_gate(GateKind::And, &cnt, "cnt_max")?;
+    n.mark_output(cnt_max);
+    // Shifted data byte (shift-left by one, serial input = ctrl[4]).
+    n.mark_output(ctrl[4]);
+    for i in 0..7 {
+        let b = n.add_gate(GateKind::Buf, &[data[i]], format!("sh{i}"))?;
+        n.mark_output(b);
+    }
+    // Gated enables: en[i] qualified by scattered conditions.
+    for (i, &e) in ens.iter().enumerate() {
+        let q = match i % 3 {
+            0 => n.add_gate(GateKind::And, &[e, addr_match], format!("gen{i}"))?,
+            1 => n.add_gate(GateKind::And, &[e, ctrl[5]], format!("gen{i}"))?,
+            _ => n.add_gate(GateKind::Mux, &[go, e, data[i % 8]], format!("gen{i}"))?,
+        };
+        n.mark_output(q);
+    }
+    // Status matrix (the real i2c exposes ~142 outputs of shallow control
+    // cones): per state×control interrupt lines, data/address flags, and
+    // checksum taps. Each cone is 1–4 gates, keeping the SBDD shallow while
+    // matching the benchmark's gate- and output-heavy profile.
+    for (i, &s) in state.iter().enumerate() {
+        for (j, &c) in ctrl.iter().enumerate().take(4) {
+            let line = n.add_gate(GateKind::And, &[s, c], format!("irq{i}_{j}"))?;
+            n.mark_output(line);
+        }
+    }
+    for i in 0..8 {
+        let fl = n.add_gate(GateKind::Xor, &[data[i], addr[i % addr.len()]], format!("flag{i}"))?;
+        n.mark_output(fl);
+        let st = n.add_gate(
+            GateKind::Mux,
+            &[addr_match, data[i], ens[i]],
+            format!("stat{i}"),
+        )?;
+        n.mark_output(st);
+    }
+    // Running-parity taps over the data byte (a serial-checksum structure).
+    let mut acc = data[0];
+    for (i, &d) in data.iter().enumerate().skip(1) {
+        acc = n.add_gate(GateKind::Xor, &[acc, d], format!("chk{i}"))?;
+        n.mark_output(acc);
+    }
+    // Busy/ready handshake lines mixing enables pairwise.
+    for i in 0..16 {
+        let line = n.add_gate(
+            GateKind::And,
+            &[ens[i], ens[(i + 1) % ens.len()]],
+            format!("hs{i}"),
+        )?;
+        n.mark_output(line);
+    }
+    Ok(n)
+}
+
+/// int2float: converts an 11-bit two's-complement integer to a 7-bit
+/// minifloat {sign, 4-bit exponent, 2-bit mantissa}, truncating. Matches the
+/// EPFL benchmark's I/O profile (11 in, 7 out).
+pub fn int2float() -> Result<Network> {
+    let mut n = Network::new("int2float");
+    let x = input_bus(&mut n, "i", 11);
+    let sign = x[10];
+    // Magnitude: negate when sign (two's complement: ~x + 1) over low 10 bits.
+    let inv: Vec<NetId> = x[..10]
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| n.add_gate(GateKind::Not, &[b], format!("inv{i}")))
+        .collect::<Result<_>>()?;
+    let mut carry = n.add_const1("negc0");
+    let mut neg = Vec::with_capacity(10);
+    for i in 0..10 {
+        let s = n.add_gate(GateKind::Xor, &[inv[i], carry], format!("neg{i}"))?;
+        neg.push(s);
+        if i + 1 < 10 {
+            carry = n.add_gate(GateKind::And, &[inv[i], carry], format!("negc{}", i + 1))?;
+        }
+    }
+    let mag = mux_bus(&mut n, sign, &neg, &x[..10], "mag")?;
+    // Leading-one position -> exponent; two bits below it -> mantissa.
+    let onehot = leading_one(&mut n, &mag, "lo")?;
+    let mut exp = Vec::with_capacity(4);
+    for b in 0..4 {
+        let members: Vec<NetId> = onehot
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> b & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let bit = match members.len() {
+            0 => n.add_const0(format!("exp{b}")),
+            1 => n.add_gate(GateKind::Buf, &[members[0]], format!("exp{b}"))?,
+            _ => n.add_gate(GateKind::Or, &members, format!("exp{b}"))?,
+        };
+        exp.push(bit);
+    }
+    // Mantissa bit m (m in 0..2): OR over positions p>=2 of onehot[p]&mag[p-2+m].
+    let mut man = Vec::with_capacity(2);
+    for m in 0..2usize {
+        let mut terms = Vec::new();
+        for p in 2..10usize {
+            let t = n.add_gate(
+                GateKind::And,
+                &[onehot[p], mag[p - 2 + m]],
+                format!("man{m}p{p}"),
+            )?;
+            terms.push(t);
+        }
+        let bit = n.add_gate(GateKind::Or, &terms, format!("man{m}"))?;
+        man.push(bit);
+    }
+    n.mark_output(sign);
+    for e in exp {
+        n.mark_output(e);
+    }
+    for m in man {
+        n.mark_output(m);
+    }
+    Ok(n)
+}
+
+/// priority: the exact EPFL `priority` benchmark profile — a 128-bit
+/// priority encoder (7-bit index + valid).
+pub fn priority_like() -> Result<Network> {
+    let mut n = Network::new("priority");
+    let req = input_bus(&mut n, "r", 128);
+    let (idx, valid) = priority_encoder(&mut n, &req, "pe")?;
+    for b in idx {
+        n.mark_output(b);
+    }
+    n.mark_output(valid);
+    Ok(n)
+}
+
+/// router-like: destination lookup against four built-in route prefixes
+/// (routing tables are programmed at configuration time, so the lookup
+/// constants are part of the circuit — which is what keeps the real EPFL
+/// router's BDD tiny relative to its input count), plus gated payload
+/// forwarding and per-port credit logic.
+pub fn router_like() -> Result<Network> {
+    let mut n = Network::new("router_like");
+    let dest = input_bus(&mut n, "dst", 8);
+    let valid = n.add_input("valid");
+    let payload = input_bus(&mut n, "pay", 16);
+    let credit = input_bus(&mut n, "cr", 32);
+    let ndest: Vec<NetId> = dest
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| n.add_gate(GateKind::Not, &[d], format!("nd{i}")))
+        .collect::<Result<_>>()?;
+    // Longest-prefix match against fixed route entries: entry k matches the
+    // top 8−2k bits of its prefix constant.
+    const PREFIXES: [usize; 4] = [0xAB, 0xA8, 0xC0, 0x40];
+    let mut matches = Vec::new();
+    for (k, prefix) in PREFIXES.into_iter().enumerate() {
+        let width = 8 - 2 * k;
+        let lits: Vec<NetId> = (8 - width..8)
+            .map(|i| if prefix >> i & 1 == 1 { dest[i] } else { ndest[i] })
+            .collect();
+        let m = n.add_gate(GateKind::And, &lits, format!("m{k}"))?;
+        matches.push(m);
+    }
+    // Priority: entry 0 (longest prefix) wins.
+    let (sel, any) = priority_encoder(&mut n, &matches, "rp")?;
+    let hit = n.add_gate(GateKind::And, &[any, valid], "hit")?;
+    n.mark_output(hit);
+    let ports = decoder(&mut n, &sel, Some(hit), "port")?;
+    for p in ports {
+        n.mark_output(p);
+    }
+    for (i, &p) in payload.iter().enumerate() {
+        let f = n.add_gate(GateKind::And, &[p, hit], format!("fwd{i}"))?;
+        n.mark_output(f);
+    }
+    // Per-port credit availability: each port has an 8-bit credit window;
+    // report "can send" = any credit high and "low water" = upper half low.
+    for port in 0..4 {
+        let window = &credit[port * 8..(port + 1) * 8];
+        let can_send = n.add_gate(GateKind::Or, window, format!("can{port}"))?;
+        n.mark_output(can_send);
+        let low = n.add_gate(GateKind::Nor, &window[4..], format!("low{port}"))?;
+        n.mark_output(low);
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generators_build_and_validate() {
+        for (name, f) in [
+            ("arbiter", arbiter_like as fn() -> Result<Network>),
+            ("cavlc", cavlc_like),
+            ("ctrl", ctrl_like),
+            ("dec", dec),
+            ("i2c", i2c_like),
+            ("int2float", int2float),
+            ("priority", priority_like),
+            ("router", router_like),
+        ] {
+            let n = f().unwrap_or_else(|e| panic!("{name}: {e}"));
+            n.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dec_profile_and_onehot() {
+        let n = dec().unwrap();
+        assert_eq!(n.num_inputs(), 8);
+        assert_eq!(n.num_outputs(), 256);
+        for v in [0usize, 1, 85, 170, 255] {
+            let vals: Vec<bool> = (0..8).map(|i| v >> i & 1 == 1).collect();
+            let out = n.simulate(&vals).unwrap();
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == v, "v={v} out{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_profile_and_function() {
+        let n = priority_like().unwrap();
+        assert_eq!(n.num_inputs(), 128);
+        assert_eq!(n.num_outputs(), 8);
+        let mut vals = vec![false; 128];
+        vals[100] = true;
+        vals[37] = true;
+        let out = n.simulate(&vals).unwrap();
+        let idx: usize = (0..7).map(|i| (out[i] as usize) << i).sum();
+        assert_eq!(idx, 37, "lowest index wins");
+        assert!(out[7], "valid");
+        let out = n.simulate(&[false; 128]).unwrap();
+        assert!(!out[7]);
+    }
+
+    #[test]
+    fn int2float_profile_and_samples() {
+        let n = int2float().unwrap();
+        assert_eq!(n.num_inputs(), 11);
+        assert_eq!(n.num_outputs(), 7);
+        let run = |v: i32| -> (bool, usize, usize) {
+            let enc = (v & 0x7FF) as usize;
+            let vals: Vec<bool> = (0..11).map(|i| enc >> i & 1 == 1).collect();
+            let out = n.simulate(&vals).unwrap();
+            let exp: usize = (0..4).map(|i| (out[1 + i] as usize) << i).sum();
+            let man: usize = (0..2).map(|i| (out[5 + i] as usize) << i).sum();
+            (out[0], exp, man)
+        };
+        // 6 = 0b110 -> leading one at position 2, mantissa = bits {1,0} = 0b10.
+        assert_eq!(run(6), (false, 2, 0b10));
+        // 1 -> exponent 0.
+        assert_eq!(run(1), (false, 0, 0));
+        // -6 -> same magnitude with sign set.
+        assert_eq!(run(-6), (true, 2, 0b10));
+        // 512 = 2^9.
+        assert_eq!(run(512), (false, 9, 0));
+    }
+
+    #[test]
+    fn arbiter_round_robin_rotates() {
+        let n = arbiter_like().unwrap();
+        // Requests at 3 and 10; pointer at 5 -> grant 10; pointer at 0 -> grant 3.
+        let mut base = vec![false; 24 + 5];
+        base[3] = true;
+        base[10] = true;
+        let mut at5 = base.clone();
+        at5[24] = true; // ptr bit0
+        at5[26] = true; // ptr bit2 -> 5
+        let out = n.simulate(&at5).unwrap();
+        assert!(out[10] && !out[3], "pointer 5 grants 10");
+        let out = n.simulate(&base).unwrap();
+        assert!(out[3] && !out[10], "pointer 0 grants 3");
+        assert!(out[24], "any");
+        // Exactly one grant whenever any request is set.
+        assert_eq!(out[..24].iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn ctrl_decodes_classes() {
+        let n = ctrl_like().unwrap();
+        assert_eq!(n.num_inputs(), 7);
+        assert_eq!(n.num_outputs(), 26);
+        // Load opcode: class 0b010 on top bits -> reg_write & mem_read, !mem_write.
+        let op = 0b010_0000usize;
+        let vals: Vec<bool> = (0..7).map(|i| op >> i & 1 == 1).collect();
+        let out = n.simulate(&vals).unwrap();
+        assert!(out[0], "reg_write");
+        assert!(out[1], "mem_read");
+        assert!(!out[2], "mem_write");
+    }
+
+    #[test]
+    fn router_longest_prefix_wins() {
+        let n = router_like().unwrap();
+        // Inputs: dst(8), valid, pay(16), credit(32).
+        let run = |dest: usize, valid: bool| {
+            let mut vals: Vec<bool> = (0..8).map(|i| dest >> i & 1 == 1).collect();
+            vals.push(valid);
+            vals.extend(std::iter::repeat_n(true, 16)); // payload
+            vals.extend(std::iter::repeat_n(false, 32)); // no credits
+            n.simulate(&vals).unwrap()
+        };
+        // dest = 0xAB matches entry 0 exactly (and entry 1 on its top 6
+        // bits); the longest prefix must win.
+        let out = run(0xAB, true);
+        assert!(out[0], "hit");
+        assert!(out[1], "port0 (longest prefix)");
+        assert!(!out[2] && !out[3] && !out[4]);
+        assert!(out[5..21].iter().all(|&b| b), "payload forwarded");
+        // dest = 0xA9 matches only entry 1's top 6 bits (0xA8 >> 2).
+        let out = run(0xA9, true);
+        assert!(out[0], "hit");
+        assert!(out[2], "port1");
+        assert!(!out[1]);
+        // valid low blocks everything.
+        let out = run(0xAB, false);
+        assert!(!out[0]);
+        assert!(out[1..5].iter().all(|&b| !b));
+        assert!(out[5..21].iter().all(|&b| !b));
+        // No credits: every can_send low, every low-water high.
+        assert!(out[21..29].chunks(2).all(|pair| !pair[0] && pair[1]));
+    }
+
+    #[test]
+    fn cavlc_is_deterministic() {
+        let a = cavlc_like().unwrap();
+        let b = cavlc_like().unwrap();
+        for v in [0usize, 1, 513, 1023] {
+            let vals: Vec<bool> = (0..10).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(a.simulate(&vals).unwrap(), b.simulate(&vals).unwrap());
+        }
+        assert_eq!(a.num_inputs(), 10);
+        assert_eq!(a.num_outputs(), 11);
+    }
+
+    #[test]
+    fn i2c_counter_increments() {
+        let n = i2c_like().unwrap();
+        // Locate the counter inputs/outputs by their known positions:
+        // inputs: st(6) cnt(4) dat(8) adr(8) own(8) ctl(6) en(20) = 60.
+        assert_eq!(n.num_inputs(), 60);
+        let mut vals = vec![false; 60];
+        // cnt = 0b0111 -> next 0b1000.
+        vals[6] = true;
+        vals[7] = true;
+        vals[8] = true;
+        let out = n.simulate(&vals).unwrap();
+        // Outputs: addr_match, go, stop, next_st(6), cnt_n(4), ...
+        let cnt_next: usize = (0..4).map(|i| (out[9 + i] as usize) << i).sum();
+        assert_eq!(cnt_next, 0b1000);
+    }
+}

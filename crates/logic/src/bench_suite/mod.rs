@@ -1,0 +1,255 @@
+//! The benchmark population used by the experimental evaluation.
+//!
+//! The paper evaluates on nine ISCAS85 circuits and eight EPFL control
+//! circuits. Those netlist files are not redistributable in this repository,
+//! so [`iscas`] and [`epfl`] provide generators for circuits of the same kind
+//! and comparable I/O profile (DESIGN.md §3 documents each substitution).
+//! [`all`] returns the full population together with the paper's reference
+//! statistics (Table I), so harness output can print paper-vs-measured side
+//! by side.
+
+pub mod blocks;
+pub mod epfl;
+pub mod iscas;
+
+use crate::{Network, Result};
+
+/// Which benchmark suite a circuit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// ISCAS85-like arithmetic/control circuits.
+    Iscas85,
+    /// EPFL-control-like circuits.
+    EpflControl,
+}
+
+impl Suite {
+    /// Human-readable suite name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Iscas85 => "ISCAS85",
+            Suite::EpflControl => "EPFL control",
+        }
+    }
+}
+
+/// Reference statistics from Table I of the paper, for side-by-side output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperStats {
+    /// Primary inputs of the original benchmark.
+    pub inputs: usize,
+    /// Primary outputs of the original benchmark.
+    pub outputs: usize,
+    /// SBDD nodes reported in the paper.
+    pub nodes: usize,
+    /// SBDD edges reported in the paper.
+    pub edges: usize,
+}
+
+/// One benchmark: a named circuit generator plus the paper's reference data.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// Short name (matches the paper's naming).
+    pub name: &'static str,
+    /// The suite the original circuit belongs to.
+    pub suite: Suite,
+    /// Generator for our structural analogue.
+    pub build: fn() -> Result<Network>,
+    /// Table I statistics of the original circuit.
+    pub paper: PaperStats,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("paper", &self.paper)
+            .finish()
+    }
+}
+
+impl Benchmark {
+    /// Builds the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the generator (none are expected
+    /// for the registered benchmarks; generators are covered by tests).
+    pub fn network(&self) -> Result<Network> {
+        (self.build)()
+    }
+}
+
+/// The full benchmark population, in the paper's Table I order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "c432",
+            suite: Suite::Iscas85,
+            build: iscas::c432_like,
+            paper: PaperStats { inputs: 36, outputs: 7, nodes: 1291, edges: 2578 },
+        },
+        Benchmark {
+            name: "c499",
+            suite: Suite::Iscas85,
+            build: iscas::c499_like,
+            paper: PaperStats { inputs: 41, outputs: 32, nodes: 11146, edges: 22164 },
+        },
+        Benchmark {
+            name: "c880",
+            suite: Suite::Iscas85,
+            build: iscas::c880_like,
+            paper: PaperStats { inputs: 60, outputs: 26, nodes: 4431, edges: 8858 },
+        },
+        Benchmark {
+            name: "c1355",
+            suite: Suite::Iscas85,
+            build: iscas::c1355_like,
+            paper: PaperStats { inputs: 41, outputs: 32, nodes: 11146, edges: 22164 },
+        },
+        Benchmark {
+            name: "c1908",
+            suite: Suite::Iscas85,
+            build: iscas::c1908_like,
+            paper: PaperStats { inputs: 33, outputs: 25, nodes: 28224, edges: 56348 },
+        },
+        Benchmark {
+            name: "c2670",
+            suite: Suite::Iscas85,
+            build: iscas::c2670_like,
+            paper: PaperStats { inputs: 233, outputs: 140, nodes: 6764, edges: 12970 },
+        },
+        Benchmark {
+            name: "c3540",
+            suite: Suite::Iscas85,
+            build: iscas::c3540_like,
+            paper: PaperStats { inputs: 50, outputs: 22, nodes: 59265, edges: 118442 },
+        },
+        Benchmark {
+            name: "c5315",
+            suite: Suite::Iscas85,
+            build: iscas::c5315_like,
+            paper: PaperStats { inputs: 178, outputs: 123, nodes: 14362, edges: 28232 },
+        },
+        Benchmark {
+            name: "c7552",
+            suite: Suite::Iscas85,
+            build: iscas::c7552_like,
+            paper: PaperStats { inputs: 207, outputs: 108, nodes: 90651, edges: 180870 },
+        },
+        Benchmark {
+            name: "arbiter",
+            suite: Suite::EpflControl,
+            build: epfl::arbiter_like,
+            paper: PaperStats { inputs: 256, outputs: 129, nodes: 25109, edges: 50214 },
+        },
+        Benchmark {
+            name: "cavlc",
+            suite: Suite::EpflControl,
+            build: epfl::cavlc_like,
+            paper: PaperStats { inputs: 10, outputs: 11, nodes: 436, edges: 868 },
+        },
+        Benchmark {
+            name: "ctrl",
+            suite: Suite::EpflControl,
+            build: epfl::ctrl_like,
+            paper: PaperStats { inputs: 7, outputs: 26, nodes: 89, edges: 174 },
+        },
+        Benchmark {
+            name: "dec",
+            suite: Suite::EpflControl,
+            build: epfl::dec,
+            paper: PaperStats { inputs: 8, outputs: 256, nodes: 512, edges: 1020 },
+        },
+        Benchmark {
+            name: "i2c",
+            suite: Suite::EpflControl,
+            build: epfl::i2c_like,
+            paper: PaperStats { inputs: 147, outputs: 142, nodes: 1204, edges: 2404 },
+        },
+        Benchmark {
+            name: "int2float",
+            suite: Suite::EpflControl,
+            build: epfl::int2float,
+            paper: PaperStats { inputs: 11, outputs: 7, nodes: 159, edges: 314 },
+        },
+        Benchmark {
+            name: "priority",
+            suite: Suite::EpflControl,
+            build: epfl::priority_like,
+            paper: PaperStats { inputs: 128, outputs: 8, nodes: 772, edges: 1540 },
+        },
+        Benchmark {
+            name: "router",
+            suite: Suite::EpflControl,
+            build: epfl::router_like,
+            paper: PaperStats { inputs: 60, outputs: 30, nodes: 219, edges: 434 },
+        },
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// The EPFL-control subset (used by the CONTRA comparison, Figure 13).
+pub fn epfl_control() -> Vec<Benchmark> {
+    all()
+        .into_iter()
+        .filter(|b| b.suite == Suite::EpflControl)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
+                "c7552", "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float",
+                "priority", "router"
+            ]
+        );
+        assert_eq!(epfl_control().len(), 8);
+    }
+
+    #[test]
+    fn every_benchmark_builds() {
+        for b in all() {
+            let n = b.network().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            n.validate().unwrap();
+            assert!(n.num_outputs() > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn exact_rebuilds_match_paper_profile() {
+        // dec, priority, int2float, ctrl are rebuilt to the exact I/O profile.
+        for (name, ins, outs) in [
+            ("dec", 8, 256),
+            ("priority", 128, 8),
+            ("int2float", 11, 7),
+            ("ctrl", 7, 26),
+        ] {
+            let b = by_name(name).unwrap();
+            let n = b.network().unwrap();
+            assert_eq!(n.num_inputs(), ins, "{name} inputs");
+            assert_eq!(n.num_outputs(), outs, "{name} outputs");
+            assert_eq!(b.paper.inputs, ins);
+            assert_eq!(b.paper.outputs, outs);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("c432").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,611 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! Supports the combinational subset used by logic-synthesis flows:
+//! `.model`, `.inputs`, `.outputs`, `.names` (with `\` continuations and both
+//! on-set and off-set output columns), and `.end`. Latches and hierarchy are
+//! out of scope, as in the paper's flow. `.names` tables are decomposed into
+//! the primitive gates of [`Network`] at parse time.
+//!
+//! ```
+//! let src = "\
+//! .model majority
+//! .inputs a b c
+//! .outputs f
+//! .names a b c f
+//! 11- 1
+//! 1-1 1
+//! -11 1
+//! .end
+//! ";
+//! let n = flowc_logic::blif::parse(src).unwrap();
+//! assert_eq!(n.simulate(&[true, true, false]).unwrap(), vec![true]);
+//! assert_eq!(n.simulate(&[true, false, false]).unwrap(), vec![false]);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cube::{Cube, CubeLit, SopTable};
+use crate::{GateKind, LogicError, NetId, Network, Result};
+
+/// One parsed `.names` block before network construction.
+#[derive(Debug)]
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    table: SopTable,
+    /// True when the rows describe the off-set (output column `0`).
+    complemented: bool,
+}
+
+/// Parses BLIF source text into a [`Network`].
+///
+/// # Errors
+///
+/// Returns [`LogicError::Parse`] on malformed input, and
+/// [`LogicError::CombinationalCycle`] / [`LogicError::Undriven`] on networks
+/// that are not well-formed combinational logic.
+pub fn parse(source: &str) -> Result<Network> {
+    // Join continuation lines first, tracking original line numbers.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let no_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        let (continues, text) = match trimmed.strip_suffix('\\') {
+            Some(stripped) => (true, stripped),
+            None => (false, trimmed),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(text);
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    logical_lines.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((line_no, text.to_string()));
+                } else if !text.trim().is_empty() {
+                    logical_lines.push((line_no, text.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical_lines.push((start, acc));
+    }
+
+    let mut model_name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut current: Option<NamesBlock> = None;
+    let mut output_polarity_seen: Option<bool> = None;
+
+    let flush =
+        |current: &mut Option<NamesBlock>, blocks: &mut Vec<NamesBlock>| {
+            if let Some(b) = current.take() {
+                blocks.push(b);
+            }
+        };
+
+    for (line, text) in &logical_lines {
+        let line = *line;
+        let mut toks = text.split_whitespace();
+        let first = match toks.next() {
+            Some(t) => t,
+            None => continue,
+        };
+        match first {
+            ".model" => {
+                if let Some(name) = toks.next() {
+                    model_name = name.to_string();
+                }
+            }
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                flush(&mut current, &mut blocks);
+                output_polarity_seen = None;
+                let signals: Vec<String> = toks.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(LogicError::Parse {
+                        line,
+                        message: ".names needs at least an output signal".into(),
+                    });
+                }
+                let output = signals.last().expect("nonempty").clone();
+                let ins = signals[..signals.len() - 1].to_vec();
+                current = Some(NamesBlock {
+                    table: SopTable::constant_zero(ins.len()),
+                    inputs: ins,
+                    output,
+                    complemented: false,
+                });
+            }
+            ".end" => {
+                flush(&mut current, &mut blocks);
+            }
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(LogicError::Parse {
+                    line,
+                    message: format!("unsupported BLIF construct `{first}` (combinational subset only)"),
+                });
+            }
+            other if other.starts_with('.') => {
+                return Err(LogicError::Parse {
+                    line,
+                    message: format!("unknown BLIF directive `{other}`"),
+                });
+            }
+            _ => {
+                // A cube row inside a .names block.
+                let block = current.as_mut().ok_or_else(|| LogicError::Parse {
+                    line,
+                    message: "cube row outside of a .names block".into(),
+                })?;
+                let (cube_text, out_text) = if block.inputs.is_empty() {
+                    (String::new(), first.to_string())
+                } else {
+                    let out = toks.next().ok_or_else(|| LogicError::Parse {
+                        line,
+                        message: "cube row is missing its output column".into(),
+                    })?;
+                    (first.to_string(), out.to_string())
+                };
+                if toks.next().is_some() {
+                    return Err(LogicError::Parse {
+                        line,
+                        message: "trailing tokens after cube output column".into(),
+                    });
+                }
+                let complemented = match out_text.as_str() {
+                    "1" => false,
+                    "0" => true,
+                    other => {
+                        return Err(LogicError::Parse {
+                            line,
+                            message: format!("cube output column must be 0 or 1, got `{other}`"),
+                        })
+                    }
+                };
+                match output_polarity_seen {
+                    None => {
+                        output_polarity_seen = Some(complemented);
+                        block.complemented = complemented;
+                    }
+                    Some(seen) if seen != complemented => {
+                        return Err(LogicError::Parse {
+                            line,
+                            message: "mixed on-set and off-set rows in one .names table".into(),
+                        })
+                    }
+                    _ => {}
+                }
+                let cube = Cube::parse(&cube_text, line)?;
+                if cube.width() != block.inputs.len() {
+                    return Err(LogicError::Parse {
+                        line,
+                        message: format!(
+                            "cube has {} positions but .names declares {} inputs",
+                            cube.width(),
+                            block.inputs.len()
+                        ),
+                    });
+                }
+                block.table.push(cube)?;
+            }
+        }
+    }
+    flush(&mut current, &mut blocks);
+
+    build_network(model_name, inputs, outputs, blocks)
+}
+
+/// Topologically orders the `.names` blocks and lowers each to gates.
+fn build_network(
+    model_name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    blocks: Vec<NamesBlock>,
+) -> Result<Network> {
+    let mut network = Network::new(model_name);
+    let mut env: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        if env.contains_key(name) {
+            return Err(LogicError::DuplicateName(name.clone()));
+        }
+        env.insert(name.clone(), network.add_input(name.clone()));
+    }
+
+    let mut by_output: HashMap<&str, usize> = HashMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        if env.contains_key(&b.output) || by_output.insert(b.output.as_str(), i).is_some() {
+            return Err(LogicError::MultipleDrivers(b.output.clone()));
+        }
+    }
+
+    // DFS from each block output, emitting blocks in dependency order.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; blocks.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(blocks.len());
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..blocks.len() {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        stack.push((root, 0));
+        marks[root] = Mark::Grey;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let block = &blocks[node];
+            if *child < block.inputs.len() {
+                let dep_name = &block.inputs[*child];
+                *child += 1;
+                if env.contains_key(dep_name) {
+                    continue;
+                }
+                match by_output.get(dep_name.as_str()) {
+                    Some(&dep) => match marks[dep] {
+                        Mark::White => {
+                            marks[dep] = Mark::Grey;
+                            stack.push((dep, 0));
+                        }
+                        Mark::Grey => {
+                            return Err(LogicError::CombinationalCycle(dep_name.clone()))
+                        }
+                        Mark::Black => {}
+                    },
+                    None => return Err(LogicError::Undriven(dep_name.clone())),
+                }
+            } else {
+                marks[node] = Mark::Black;
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    for idx in order {
+        let block = &blocks[idx];
+        let input_ids: Vec<NetId> = block
+            .inputs
+            .iter()
+            .map(|name| env[name.as_str()])
+            .collect();
+        let out = lower_sop(&mut network, &block.table, &input_ids, block.complemented, &block.output)?;
+        env.insert(block.output.clone(), out);
+    }
+
+    for name in &outputs {
+        let id = env
+            .get(name)
+            .copied()
+            .ok_or_else(|| LogicError::Undriven(name.clone()))?;
+        network.mark_output(id);
+    }
+    network.validate()?;
+    Ok(network)
+}
+
+/// Lowers one SOP table to AND/OR/NOT gates, driving a net named `out_name`.
+fn lower_sop(
+    network: &mut Network,
+    table: &SopTable,
+    inputs: &[NetId],
+    complemented: bool,
+    out_name: &str,
+) -> Result<NetId> {
+    let on_set = |network: &mut Network| -> Result<NetId> {
+        if table.cubes().is_empty() {
+            return Ok(network.add_const0(format!("{out_name}$zero")));
+        }
+        let mut cube_nets: Vec<NetId> = Vec::with_capacity(table.cubes().len());
+        for (ci, cube) in table.cubes().iter().enumerate() {
+            let mut lits: Vec<NetId> = Vec::new();
+            for (pos, lit) in cube.lits().iter().enumerate() {
+                match lit {
+                    CubeLit::DontCare => {}
+                    CubeLit::Pos => lits.push(inputs[pos]),
+                    CubeLit::Neg => {
+                        let inv = network.add_gate(
+                            GateKind::Not,
+                            &[inputs[pos]],
+                            format!("{out_name}$c{ci}n{pos}"),
+                        )?;
+                        lits.push(inv);
+                    }
+                }
+            }
+            let cube_net = match lits.len() {
+                0 => network.add_const1(format!("{out_name}$c{ci}")),
+                1 => lits[0],
+                _ => network.add_gate(GateKind::And, &lits, format!("{out_name}$c{ci}"))?,
+            };
+            cube_nets.push(cube_net);
+        }
+        match cube_nets.len() {
+            1 => Ok(cube_nets[0]),
+            _ => network.add_gate(GateKind::Or, &cube_nets, format!("{out_name}$or")),
+        }
+    };
+    let body = on_set(network)?;
+    let final_kind = if complemented { GateKind::Not } else { GateKind::Buf };
+    network.add_gate(final_kind, &[body], out_name)
+}
+
+/// Serializes a [`Network`] to BLIF text.
+///
+/// N-ary XOR/XNOR and MUX gates are decomposed into two-input `.names`
+/// tables with synthesized intermediate signals, so the output is always
+/// standard BLIF.
+pub fn write(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", network.name());
+    let _ = write!(out, ".inputs");
+    for &i in network.inputs() {
+        let _ = write!(out, " {}", network.net_name(i));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for &o in network.outputs() {
+        let _ = write!(out, " {}", network.net_name(o));
+    }
+    let _ = writeln!(out);
+
+    let mut temp_counter = 0usize;
+    for gate in network.gates() {
+        let out_name = network.net_name(gate.output).to_string();
+        let in_names: Vec<String> = gate
+            .inputs
+            .iter()
+            .map(|&i| network.net_name(i).to_string())
+            .collect();
+        write_gate(&mut out, gate.kind, &in_names, &out_name, &mut temp_counter);
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn write_gate(
+    out: &mut String,
+    kind: GateKind,
+    inputs: &[String],
+    output: &str,
+    temp_counter: &mut usize,
+) {
+    use GateKind::*;
+    match kind {
+        Const0 => {
+            let _ = writeln!(out, ".names {output}");
+        }
+        Const1 => {
+            let _ = writeln!(out, ".names {output}\n1");
+        }
+        Buf => {
+            let _ = writeln!(out, ".names {} {output}\n1 1", inputs[0]);
+        }
+        Not => {
+            let _ = writeln!(out, ".names {} {output}\n0 1", inputs[0]);
+        }
+        And => {
+            let _ = writeln!(out, ".names {} {output}", inputs.join(" "));
+            let _ = writeln!(out, "{} 1", "1".repeat(inputs.len()));
+        }
+        Nand => {
+            let _ = writeln!(out, ".names {} {output}", inputs.join(" "));
+            let _ = writeln!(out, "{} 0", "1".repeat(inputs.len()));
+        }
+        Or => {
+            let _ = writeln!(out, ".names {} {output}", inputs.join(" "));
+            for i in 0..inputs.len() {
+                let mut cube = vec!['-'; inputs.len()];
+                cube[i] = '1';
+                let _ = writeln!(out, "{} 1", cube.iter().collect::<String>());
+            }
+        }
+        Nor => {
+            let _ = writeln!(out, ".names {} {output}", inputs.join(" "));
+            let _ = writeln!(out, "{} 1", "0".repeat(inputs.len()));
+        }
+        Xor | Xnor => {
+            // Chain of two-input XORs; final stage applies polarity.
+            let mut acc = inputs[0].clone();
+            for (i, next) in inputs.iter().enumerate().skip(1) {
+                let last = i == inputs.len() - 1;
+                let target = if last {
+                    output.to_string()
+                } else {
+                    *temp_counter += 1;
+                    format!("{output}${}", *temp_counter)
+                };
+                let _ = writeln!(out, ".names {acc} {next} {target}");
+                if last && kind == Xnor {
+                    let _ = writeln!(out, "00 1\n11 1");
+                } else {
+                    let _ = writeln!(out, "01 1\n10 1");
+                }
+                acc = target;
+            }
+        }
+        Mux => {
+            let _ = writeln!(
+                out,
+                ".names {} {} {} {output}",
+                inputs[0], inputs[1], inputs[2]
+            );
+            let _ = writeln!(out, "11- 1\n0-1 1");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    const MAJ: &str = "\
+.model majority
+.inputs a b c
+.outputs f
+.names a b c f
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_majority() {
+        let n = parse(MAJ).unwrap();
+        assert_eq!(n.name(), "majority");
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_outputs(), 1);
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = vals.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(n.simulate(&vals).unwrap()[0], expect, "{bits:03b}");
+        }
+    }
+
+    #[test]
+    fn parse_offset_rows() {
+        // NAND written with its single off-set row.
+        let src = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n";
+        let n = parse(src).unwrap();
+        assert!(!n.simulate(&[true, true]).unwrap()[0]);
+        assert!(n.simulate(&[true, false]).unwrap()[0]);
+        assert!(n.simulate(&[false, false]).unwrap()[0]);
+    }
+
+    #[test]
+    fn parse_constants() {
+        let src = ".model t\n.inputs a\n.outputs z o\n.names z\n.names o\n1\n.end\n";
+        let n = parse(src).unwrap();
+        let out = n.simulate(&[false]).unwrap();
+        assert_eq!(out, vec![false, true]);
+    }
+
+    #[test]
+    fn parse_continuation_lines() {
+        let src = ".model t\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+        assert!(n.simulate(&[true, true]).unwrap()[0]);
+    }
+
+    #[test]
+    fn parse_comments_stripped() {
+        let src = "# header\n.model t # name\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n";
+        let n = parse(src).unwrap();
+        assert!(n.simulate(&[true]).unwrap()[0]);
+    }
+
+    #[test]
+    fn forward_references_resolved() {
+        // g is used before its .names block appears.
+        let src = "\
+.model t
+.inputs a b
+.outputs f
+.names g a f
+11 1
+.names b g
+0 1
+.end
+";
+        let n = parse(src).unwrap();
+        // f = (!b) & a
+        assert!(n.simulate(&[true, false]).unwrap()[0]);
+        assert!(!n.simulate(&[true, true]).unwrap()[0]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = "\
+.model t
+.inputs a
+.outputs f
+.names g f
+1 1
+.names f g
+1 1
+.end
+";
+        assert!(matches!(
+            parse(src),
+            Err(LogicError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn undriven_signal_detected() {
+        let src = ".model t\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n";
+        assert!(matches!(parse(src), Err(LogicError::Undriven(name)) if name == "ghost"));
+    }
+
+    #[test]
+    fn mixed_polarity_rejected() {
+        let src = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn duplicate_driver_rejected() {
+        let src = ".model t\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n";
+        assert!(matches!(parse(src), Err(LogicError::MultipleDrivers(_))));
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let src = ".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn roundtrip_equivalence_all_gate_kinds() {
+        let mut n = Network::new("all");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let mut outs = Vec::new();
+        outs.push(n.add_gate(GateKind::And, &[a, b, c], "g_and").unwrap());
+        outs.push(n.add_gate(GateKind::Or, &[a, b, c], "g_or").unwrap());
+        outs.push(n.add_gate(GateKind::Nand, &[a, b], "g_nand").unwrap());
+        outs.push(n.add_gate(GateKind::Nor, &[a, b], "g_nor").unwrap());
+        outs.push(n.add_gate(GateKind::Xor, &[a, b, c], "g_xor").unwrap());
+        outs.push(n.add_gate(GateKind::Xnor, &[a, b, c], "g_xnor").unwrap());
+        outs.push(n.add_gate(GateKind::Not, &[a], "g_not").unwrap());
+        outs.push(n.add_gate(GateKind::Buf, &[b], "g_buf").unwrap());
+        outs.push(n.add_gate(GateKind::Mux, &[a, b, c], "g_mux").unwrap());
+        outs.push(n.add_const0("g_zero"));
+        outs.push(n.add_const1("g_one"));
+        for o in outs {
+            n.mark_output(o);
+        }
+        let text = write(&n);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), n.num_outputs());
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                back.simulate(&vals).unwrap(),
+                n.simulate(&vals).unwrap(),
+                "assignment {bits:03b}"
+            );
+        }
+    }
+}

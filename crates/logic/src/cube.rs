@@ -1,0 +1,248 @@
+//! Sum-of-products cube tables, the common representation behind the BLIF
+//! `.names` construct and PLA rows.
+
+use std::fmt;
+
+use crate::{LogicError, Result};
+
+/// The value of one input position in a cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CubeLit {
+    /// The input must be 0 for the cube to match (`0`).
+    Neg,
+    /// The input must be 1 for the cube to match (`1`).
+    Pos,
+    /// The input is unconstrained (`-`).
+    DontCare,
+}
+
+impl CubeLit {
+    /// Parses a single cube character.
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(CubeLit::Neg),
+            '1' => Some(CubeLit::Pos),
+            '-' => Some(CubeLit::DontCare),
+            _ => None,
+        }
+    }
+
+    /// Renders the cube character.
+    pub fn to_char(self) -> char {
+        match self {
+            CubeLit::Neg => '0',
+            CubeLit::Pos => '1',
+            CubeLit::DontCare => '-',
+        }
+    }
+}
+
+/// One product term over `k` ordered inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    lits: Vec<CubeLit>,
+}
+
+impl Cube {
+    /// Creates a cube from literal values.
+    pub fn new(lits: Vec<CubeLit>) -> Self {
+        Cube { lits }
+    }
+
+    /// Parses a cube string such as `1-0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Parse`] (with the caller-supplied line number)
+    /// on characters outside `{0,1,-}`.
+    pub fn parse(text: &str, line: usize) -> Result<Self> {
+        let lits = text
+            .chars()
+            .map(|c| {
+                CubeLit::from_char(c).ok_or_else(|| LogicError::Parse {
+                    line,
+                    message: format!("invalid cube character `{c}`"),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Cube { lits })
+    }
+
+    /// Number of input positions.
+    pub fn width(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The literals of this cube.
+    pub fn lits(&self) -> &[CubeLit] {
+        &self.lits
+    }
+
+    /// Whether the cube matches an input assignment (`values[i]` is input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.width()`.
+    pub fn matches(&self, values: &[bool]) -> bool {
+        assert_eq!(values.len(), self.width(), "cube width mismatch");
+        self.lits.iter().zip(values).all(|(l, &v)| match l {
+            CubeLit::Neg => !v,
+            CubeLit::Pos => v,
+            CubeLit::DontCare => true,
+        })
+    }
+
+    /// Number of care (non-`-`) literals.
+    pub fn num_cares(&self) -> usize {
+        self.lits
+            .iter()
+            .filter(|l| !matches!(l, CubeLit::DontCare))
+            .count()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lits {
+            write!(f, "{}", l.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+/// A single-output sum-of-products: the output is 1 iff some cube matches.
+///
+/// An empty cube list denotes constant 0; a single zero-width cube denotes
+/// constant 1 (matching BLIF semantics for `.names` with no inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SopTable {
+    width: usize,
+    cubes: Vec<Cube>,
+}
+
+impl SopTable {
+    /// Creates a SOP over `width` inputs with no cubes (constant 0).
+    pub fn constant_zero(width: usize) -> Self {
+        SopTable {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Creates a SOP from cubes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Parse`] if cube widths disagree with `width`.
+    pub fn new(width: usize, cubes: Vec<Cube>) -> Result<Self> {
+        for c in &cubes {
+            if c.width() != width {
+                return Err(LogicError::Parse {
+                    line: 0,
+                    message: format!("cube `{c}` has width {} but table expects {width}", c.width()),
+                });
+            }
+        }
+        Ok(SopTable { width, cubes })
+    }
+
+    /// Number of inputs.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cubes of this SOP.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds one cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Parse`] on width mismatch.
+    pub fn push(&mut self, cube: Cube) -> Result<()> {
+        if cube.width() != self.width {
+            return Err(LogicError::Parse {
+                line: 0,
+                message: format!(
+                    "cube `{cube}` has width {} but table expects {}",
+                    cube.width(),
+                    self.width
+                ),
+            });
+        }
+        self.cubes.push(cube);
+        Ok(())
+    }
+
+    /// Evaluates the SOP on an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.width()`.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        if self.width == 0 {
+            // Zero-width: constant 1 iff at least one (empty) cube exists.
+            return !self.cubes.is_empty();
+        }
+        self.cubes.iter().any(|c| c.matches(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let c = Cube::parse("1-0", 1).unwrap();
+        assert_eq!(c.to_string(), "1-0");
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.num_cares(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = Cube::parse("1x0", 7).unwrap_err();
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn cube_matching() {
+        let c = Cube::parse("1-0", 0).unwrap();
+        assert!(c.matches(&[true, false, false]));
+        assert!(c.matches(&[true, true, false]));
+        assert!(!c.matches(&[false, true, false]));
+        assert!(!c.matches(&[true, true, true]));
+    }
+
+    #[test]
+    fn sop_eval_or_of_cubes() {
+        let t = SopTable::new(
+            2,
+            vec![Cube::parse("11", 0).unwrap(), Cube::parse("00", 0).unwrap()],
+        )
+        .unwrap();
+        // XNOR
+        assert!(t.eval(&[true, true]));
+        assert!(t.eval(&[false, false]));
+        assert!(!t.eval(&[true, false]));
+        assert!(!t.eval(&[false, true]));
+    }
+
+    #[test]
+    fn sop_constants() {
+        let zero = SopTable::constant_zero(0);
+        assert!(!zero.eval(&[]));
+        let one = SopTable::new(0, vec![Cube::new(vec![])]).unwrap();
+        assert!(one.eval(&[]));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut t = SopTable::constant_zero(3);
+        assert!(t.push(Cube::parse("10", 0).unwrap()).is_err());
+        assert!(SopTable::new(2, vec![Cube::parse("101", 0).unwrap()]).is_err());
+    }
+}

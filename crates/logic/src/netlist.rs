@@ -1,0 +1,523 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{LogicError, Result};
+
+/// Index of a net (a named wire) inside a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the raw index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The primitive combinational gate kinds supported by [`Network`].
+///
+/// All multi-input kinds are n-ary (two or more inputs). `Buf` and `Not` take
+/// exactly one input; `Const0`/`Const1` take none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Identity.
+    Buf,
+    /// Inverter.
+    Not,
+    /// n-ary conjunction.
+    And,
+    /// n-ary disjunction.
+    Or,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary exclusive-or (odd parity).
+    Xor,
+    /// n-ary exclusive-nor (even parity).
+    Xnor,
+    /// 2:1 multiplexer: inputs are `[sel, then, else]`; output is `then` when
+    /// `sel` is true and `else` otherwise.
+    Mux,
+}
+
+impl GateKind {
+    /// Short lowercase name of the gate kind (stable; used in BLIF comments
+    /// and debug output).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+        }
+    }
+
+    /// Checks that `n` inputs is a legal arity for this kind.
+    fn check_arity(self, n: usize) -> Result<()> {
+        let (ok, expected) = match self {
+            GateKind::Const0 | GateKind::Const1 => (n == 0, "exactly 0"),
+            GateKind::Buf | GateKind::Not => (n == 1, "exactly 1"),
+            GateKind::Mux => (n == 3, "exactly 3"),
+            _ => (n >= 2, "at least 2"),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(LogicError::Arity {
+                kind: self.name(),
+                got: n,
+                expected,
+            })
+        }
+    }
+
+    /// Evaluates the gate over boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has an arity this kind does not accept; arity is
+    /// validated at construction time by [`Network::add_gate`].
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[1]
+                } else {
+                    inputs[2]
+                }
+            }
+        }
+    }
+
+    /// Evaluates the gate over 64 parallel boolean vectors packed in `u64`s.
+    pub fn eval64(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Or => inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Nor => !inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Xnor => !inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Mux => (inputs[0] & inputs[1]) | (!inputs[0] & inputs[2]),
+        }
+    }
+}
+
+/// A combinational gate: a kind, ordered input nets, and one output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The logic function of the gate.
+    pub kind: GateKind,
+    /// Ordered fan-in nets.
+    pub inputs: Vec<NetId>,
+    /// The single net driven by this gate.
+    pub output: NetId,
+}
+
+/// A named wire in a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// What drives a net. Every net acquires its driver at creation, so the
+/// network is driven-by-construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Driver {
+    PrimaryInput,
+    Gate(u32),
+}
+
+/// A combinational multi-input multi-output gate-level network.
+///
+/// Nets are created by [`Network::add_input`] and [`Network::add_gate`]; each
+/// net has exactly one driver. Outputs are existing nets marked with
+/// [`Network::mark_output`]. The network is always acyclic by construction
+/// (gates may only reference already-created nets).
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    nets: Vec<Net>,
+    drivers: Vec<Driver>,
+    by_name: HashMap<String, NetId>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+}
+
+impl Network {
+    /// Creates an empty network with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            nets: Vec::new(),
+            drivers: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the model.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn fresh_net(&mut self, name: impl Into<String>, driver: Driver) -> NetId {
+        let mut name = name.into();
+        if name.is_empty() || self.by_name.contains_key(&name) {
+            // Uniquify silently: construction helpers frequently synthesize
+            // names, and collisions there are not user errors.
+            let base = if name.is_empty() { "_n".to_string() } else { name };
+            let mut i = self.nets.len();
+            loop {
+                let candidate = format!("{base}_{i}");
+                if !self.by_name.contains_key(&candidate) {
+                    name = candidate;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nets.push(Net { name });
+        self.drivers.push(driver);
+        id
+    }
+
+    /// Adds a primary input named `name` and returns its net.
+    ///
+    /// Name collisions are resolved by suffixing; use [`Network::find_net`]
+    /// with the returned id's name if exact names matter.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.fresh_net(name, Driver::PrimaryInput);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate of `kind` over `inputs`, driving a fresh net named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::Arity`] if the number of inputs is illegal for
+    /// `kind`, or [`LogicError::UnknownNet`] if an input id is out of range.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        name: impl Into<String>,
+    ) -> Result<NetId> {
+        kind.check_arity(inputs.len())?;
+        for &i in inputs {
+            if i.index() >= self.nets.len() {
+                return Err(LogicError::UnknownNet(i.index()));
+            }
+        }
+        let gate_idx = self.gates.len() as u32;
+        let out = self.fresh_net(name, Driver::Gate(gate_idx));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Convenience: adds a constant-0 net.
+    pub fn add_const0(&mut self, name: impl Into<String>) -> NetId {
+        self.add_gate(GateKind::Const0, &[], name)
+            .expect("const arity is always valid")
+    }
+
+    /// Convenience: adds a constant-1 net.
+    pub fn add_const1(&mut self, name: impl Into<String>) -> NetId {
+        self.add_gate(GateKind::Const1, &[], name)
+            .expect("const arity is always valid")
+    }
+
+    /// Marks an existing net as a primary output. A net may be marked more
+    /// than once (multi-port outputs), matching BLIF semantics.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Primary inputs, in creation order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in the order they were marked.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates in creation (= topological) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::UnknownNet`] when the id is out of range.
+    pub fn net(&self, id: NetId) -> Result<&Net> {
+        self.nets
+            .get(id.index())
+            .ok_or(LogicError::UnknownNet(id.index()))
+    }
+
+    /// The name of a net (empty string if the id is invalid; prefer
+    /// [`Network::net`] when the id is untrusted).
+    pub fn net_name(&self, id: NetId) -> &str {
+        self.nets.get(id.index()).map_or("", |n| n.name())
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns `true` when `id` is a primary input.
+    pub fn is_input(&self, id: NetId) -> bool {
+        matches!(self.drivers.get(id.index()), Some(Driver::PrimaryInput))
+    }
+
+    /// Returns the gate driving `id`, if it is gate-driven.
+    pub fn driver_gate(&self, id: NetId) -> Option<&Gate> {
+        match self.drivers.get(id.index()) {
+            Some(Driver::Gate(g)) => Some(&self.gates[*g as usize]),
+            _ => None,
+        }
+    }
+
+    /// Validates structural invariants: every net is driven, every referenced
+    /// id exists, and outputs refer to real nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        for gate in &self.gates {
+            for &i in &gate.inputs {
+                if i.index() >= self.nets.len() {
+                    return Err(LogicError::UnknownNet(i.index()));
+                }
+            }
+        }
+        for &o in &self.outputs {
+            if o.index() >= self.nets.len() {
+                return Err(LogicError::UnknownNet(o.index()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of gates (a proxy for circuit size in reports).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> (Network, NetId, NetId) {
+        let mut n = Network::new("fa");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let cin = n.add_input("cin");
+        let s = n.add_gate(GateKind::Xor, &[a, b, cin], "sum").unwrap();
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let ac = n.add_gate(GateKind::And, &[a, cin], "ac").unwrap();
+        let bc = n.add_gate(GateKind::And, &[b, cin], "bc").unwrap();
+        let cout = n.add_gate(GateKind::Or, &[ab, ac, bc], "cout").unwrap();
+        n.mark_output(s);
+        n.mark_output(cout);
+        (n, s, cout)
+    }
+
+    #[test]
+    fn full_adder_truth() {
+        let (n, _, _) = full_adder();
+        for bits in 0u32..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let out = n.simulate(&[a, b, c]).unwrap();
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(out[0], total & 1 == 1, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn gate_kind_eval_matrix() {
+        use GateKind::*;
+        let tt = [true, true];
+        let tf = [true, false];
+        let ff = [false, false];
+        assert!(And.eval(&tt) && !And.eval(&tf) && !And.eval(&ff));
+        assert!(Or.eval(&tt) && Or.eval(&tf) && !Or.eval(&ff));
+        assert!(!Nand.eval(&tt) && Nand.eval(&tf) && Nand.eval(&ff));
+        assert!(!Nor.eval(&tt) && !Nor.eval(&tf) && Nor.eval(&ff));
+        assert!(!Xor.eval(&tt) && Xor.eval(&tf) && !Xor.eval(&ff));
+        assert!(Xnor.eval(&tt) && !Xnor.eval(&tf) && Xnor.eval(&ff));
+        assert!(Not.eval(&[false]) && !Not.eval(&[true]));
+        assert!(Buf.eval(&[true]) && !Buf.eval(&[false]));
+        assert!(!Const0.eval(&[]) && Const1.eval(&[]));
+        assert!(Mux.eval(&[true, true, false]));
+        assert!(!Mux.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn eval64_agrees_with_eval() {
+        use GateKind::*;
+        for kind in [And, Or, Nand, Nor, Xor, Xnor] {
+            for pat in 0u8..4 {
+                let a = pat & 1 != 0;
+                let b = pat & 2 != 0;
+                let wide = kind.eval64(&[
+                    if a { u64::MAX } else { 0 },
+                    if b { u64::MAX } else { 0 },
+                ]);
+                let scalar = kind.eval(&[a, b]);
+                assert_eq!(wide == u64::MAX, scalar, "{kind:?} {pat:02b}");
+                assert!(wide == u64::MAX || wide == 0);
+            }
+        }
+        // Mux mixes lanes correctly.
+        let sel = 0b1010u64;
+        let t = 0b1100u64;
+        let e = 0b0011u64;
+        assert_eq!(Mux.eval64(&[sel, t, e]) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        assert!(matches!(
+            n.add_gate(GateKind::And, &[a], "bad"),
+            Err(LogicError::Arity { .. })
+        ));
+        assert!(matches!(
+            n.add_gate(GateKind::Not, &[a, a], "bad"),
+            Err(LogicError::Arity { .. })
+        ));
+        assert!(matches!(
+            n.add_gate(GateKind::Mux, &[a, a], "bad"),
+            Err(LogicError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let bogus = NetId(99);
+        assert!(matches!(
+            n.add_gate(GateKind::And, &[a, bogus], "bad"),
+            Err(LogicError::UnknownNet(99))
+        ));
+    }
+
+    #[test]
+    fn names_are_uniquified_not_rejected() {
+        let mut n = Network::new("t");
+        let a = n.add_input("x");
+        let b = n.add_input("x");
+        assert_ne!(a, b);
+        assert_ne!(n.net_name(a), n.net_name(b));
+        assert_eq!(n.find_net("x"), Some(a));
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let (n, _, _) = full_adder();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn lookup_and_drivers() {
+        let (n, s, _) = full_adder();
+        assert!(n.is_input(n.find_net("a").unwrap()));
+        assert!(!n.is_input(s));
+        let g = n.driver_gate(s).unwrap();
+        assert_eq!(g.kind, GateKind::Xor);
+        assert_eq!(g.inputs.len(), 3);
+        assert!(n.driver_gate(n.find_net("a").unwrap()).is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let (n, _, _) = full_adder();
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_gates(), 5);
+        assert_eq!(n.num_nets(), 8);
+    }
+}

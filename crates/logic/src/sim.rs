@@ -1,0 +1,180 @@
+//! Netlist simulation: scalar and 64-way bit-parallel evaluation.
+
+use crate::{LogicError, Network, Result};
+
+impl Network {
+    /// Evaluates the network on one input assignment; returns output values
+    /// in [`Network::outputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputLen`] if `values` does not match the number
+    /// of primary inputs.
+    pub fn simulate(&self, values: &[bool]) -> Result<Vec<bool>> {
+        if values.len() != self.num_inputs() {
+            return Err(LogicError::InputLen {
+                got: values.len(),
+                expected: self.num_inputs(),
+            });
+        }
+        let mut state = vec![false; self.num_nets()];
+        for (&net, &v) in self.inputs().iter().zip(values) {
+            state[net.index()] = v;
+        }
+        let mut buf = Vec::new();
+        for gate in self.gates() {
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|i| state[i.index()]));
+            state[gate.output.index()] = gate.kind.eval(&buf);
+        }
+        Ok(self.outputs().iter().map(|o| state[o.index()]).collect())
+    }
+
+    /// Evaluates the network on 64 input assignments at once. Bit `k` of
+    /// `words[i]` is the value of input `i` in assignment `k`; bit `k` of
+    /// output word `j` is the value of output `j` in assignment `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InputLen`] if `words` does not match the number
+    /// of primary inputs.
+    pub fn simulate64(&self, words: &[u64]) -> Result<Vec<u64>> {
+        if words.len() != self.num_inputs() {
+            return Err(LogicError::InputLen {
+                got: words.len(),
+                expected: self.num_inputs(),
+            });
+        }
+        let mut state = vec![0u64; self.num_nets()];
+        for (&net, &w) in self.inputs().iter().zip(words) {
+            state[net.index()] = w;
+        }
+        let mut buf = Vec::new();
+        for gate in self.gates() {
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|i| state[i.index()]));
+            state[gate.output.index()] = gate.kind.eval64(&buf);
+        }
+        Ok(self.outputs().iter().map(|o| state[o.index()]).collect())
+    }
+
+    /// Exhaustively enumerates all `2^k` input assignments (requires at most
+    /// 24 inputs) and returns, for each output, a packed truth table in
+    /// [`crate::TruthTable`] bit order (assignment index = input bits with
+    /// input 0 as the least significant bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthTooLarge`] for networks with more than 24
+    /// inputs.
+    pub fn truth_tables(&self) -> Result<Vec<crate::TruthTable>> {
+        let k = self.num_inputs();
+        if k > 24 {
+            return Err(LogicError::TruthTooLarge(k));
+        }
+        let rows = 1usize << k;
+        let words = rows.div_ceil(64);
+        let mut outs = vec![vec![0u64; words]; self.num_outputs()];
+        let mut inputs = vec![0u64; k];
+        for word in 0..words {
+            for (i, w) in inputs.iter_mut().enumerate() {
+                *w = 0;
+                for bit in 0..64usize.min(rows - word * 64) {
+                    let assignment = word * 64 + bit;
+                    if assignment >> i & 1 == 1 {
+                        *w |= 1 << bit;
+                    }
+                }
+            }
+            let res = self.simulate64(&inputs)?;
+            for (o, &val) in res.iter().enumerate() {
+                outs[o][word] = val;
+            }
+        }
+        Ok(outs
+            .into_iter()
+            .map(|w| crate::TruthTable::from_words(k, w))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, Network};
+
+    fn xor_tree(width: usize) -> Network {
+        let mut n = Network::new("xor");
+        let ins: Vec<_> = (0..width).map(|i| n.add_input(format!("x{i}"))).collect();
+        let out = n.add_gate(GateKind::Xor, &ins, "p").unwrap();
+        n.mark_output(out);
+        n
+    }
+
+    #[test]
+    fn scalar_and_wide_agree_on_parity() {
+        let n = xor_tree(6);
+        for assignment in 0u32..64 {
+            let bits: Vec<bool> = (0..6).map(|i| assignment >> i & 1 == 1).collect();
+            let scalar = n.simulate(&bits).unwrap()[0];
+            assert_eq!(scalar, assignment.count_ones() % 2 == 1);
+        }
+        // All 64 assignments in one wide call.
+        let words: Vec<u64> = (0..6)
+            .map(|i| {
+                let mut w = 0u64;
+                for a in 0..64u64 {
+                    if a >> i & 1 == 1 {
+                        w |= 1 << a;
+                    }
+                }
+                w
+            })
+            .collect();
+        let wide = n.simulate64(&words).unwrap()[0];
+        for a in 0..64u32 {
+            assert_eq!(wide >> a & 1 == 1, a.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn wrong_input_len_is_error() {
+        let n = xor_tree(3);
+        assert!(n.simulate(&[true]).is_err());
+        assert!(n.simulate64(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn truth_tables_match_simulation() {
+        let mut n = Network::new("maj");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "").unwrap();
+        let ac = n.add_gate(GateKind::And, &[a, c], "").unwrap();
+        let bc = n.add_gate(GateKind::And, &[b, c], "").unwrap();
+        let m = n.add_gate(GateKind::Or, &[ab, ac, bc], "maj").unwrap();
+        n.mark_output(m);
+        let tts = n.truth_tables().unwrap();
+        assert_eq!(tts.len(), 1);
+        for assignment in 0usize..8 {
+            let bits: Vec<bool> = (0..3).map(|i| assignment >> i & 1 == 1).collect();
+            assert_eq!(tts[0].get(assignment), n.simulate(&bits).unwrap()[0]);
+        }
+    }
+
+    #[test]
+    fn truth_tables_cross_word_boundary() {
+        // 7 inputs = 128 rows = 2 words; parity exercises both words.
+        let n = xor_tree(7);
+        let tt = n.truth_tables().unwrap().remove(0);
+        for assignment in 0usize..128 {
+            assert_eq!(tt.get(assignment), (assignment.count_ones() % 2) == 1);
+        }
+    }
+
+    #[test]
+    fn truth_tables_reject_large() {
+        let n = xor_tree(25);
+        assert!(n.truth_tables().is_err());
+    }
+}

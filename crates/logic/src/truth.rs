@@ -1,0 +1,368 @@
+use std::fmt;
+
+use crate::{LogicError, Result};
+
+/// Maximum variable count for which truth tables are materialized (2^24 bits
+/// = 2 MiB per table).
+pub const MAX_TRUTH_VARS: usize = 24;
+
+/// A complete truth table over `k` variables, bit-packed 64 rows per word.
+///
+/// Row index `r` encodes an assignment with variable `i` equal to bit `i`
+/// of `r` (variable 0 is least significant).
+///
+/// ```
+/// use flowc_logic::TruthTable;
+///
+/// let a = TruthTable::variable(3, 0).unwrap();
+/// let b = TruthTable::variable(3, 1).unwrap();
+/// let f = a.and(&b).unwrap();
+/// assert!(f.get(0b011));
+/// assert!(!f.get(0b001));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    fn rows(num_vars: usize) -> usize {
+        1usize << num_vars
+    }
+
+    fn word_count(num_vars: usize) -> usize {
+        Self::rows(num_vars).div_ceil(64)
+    }
+
+    /// Mask selecting the valid bits of the last word.
+    fn tail_mask(num_vars: usize) -> u64 {
+        let rows = Self::rows(num_vars);
+        if rows.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (rows % 64)) - 1
+        }
+    }
+
+    fn check_vars(num_vars: usize) -> Result<()> {
+        if num_vars > MAX_TRUTH_VARS {
+            Err(LogicError::TruthTooLarge(num_vars))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The constant-false table over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthTooLarge`] beyond [`MAX_TRUTH_VARS`].
+    pub fn zero(num_vars: usize) -> Result<Self> {
+        Self::check_vars(num_vars)?;
+        Ok(TruthTable {
+            num_vars,
+            words: vec![0; Self::word_count(num_vars)],
+        })
+    }
+
+    /// The constant-true table over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthTooLarge`] beyond [`MAX_TRUTH_VARS`].
+    pub fn one(num_vars: usize) -> Result<Self> {
+        let mut t = Self::zero(num_vars)?;
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        let last = t.words.len() - 1;
+        t.words[last] &= Self::tail_mask(num_vars);
+        Ok(t)
+    }
+
+    /// The projection table of variable `var` over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthTooLarge`] beyond [`MAX_TRUTH_VARS`], and
+    /// [`LogicError::TruthArity`] when `var >= num_vars`.
+    pub fn variable(num_vars: usize, var: usize) -> Result<Self> {
+        Self::check_vars(num_vars)?;
+        if var >= num_vars {
+            return Err(LogicError::TruthArity {
+                left: var,
+                right: num_vars,
+            });
+        }
+        let mut t = Self::zero(num_vars)?;
+        for r in 0..Self::rows(num_vars) {
+            if r >> var & 1 == 1 {
+                t.words[r / 64] |= 1 << (r % 64);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Builds a table from a predicate over row indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthTooLarge`] beyond [`MAX_TRUTH_VARS`].
+    pub fn from_fn(num_vars: usize, mut f: impl FnMut(usize) -> bool) -> Result<Self> {
+        let mut t = Self::zero(num_vars)?;
+        for r in 0..Self::rows(num_vars) {
+            if f(r) {
+                t.words[r / 64] |= 1 << (r % 64);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Wraps pre-packed words (used by batched simulation). Extra tail bits
+    /// are cleared; missing words are zero-filled.
+    pub fn from_words(num_vars: usize, mut words: Vec<u64>) -> Self {
+        let n = Self::word_count(num_vars);
+        words.resize(n, 0);
+        let tail = Self::tail_mask(num_vars);
+        if let Some(last) = words.last_mut() {
+            *last &= tail;
+        }
+        TruthTable { num_vars, words }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The value at row (assignment) `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^num_vars`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < Self::rows(self.num_vars), "row out of range");
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets the value at row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^num_vars`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < Self::rows(self.num_vars), "row out of range");
+        if value {
+            self.words[row / 64] |= 1 << (row % 64);
+        } else {
+            self.words[row / 64] &= !(1 << (row % 64));
+        }
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Returns `true` if the function is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the function is constant true.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == Self::rows(self.num_vars) as u64
+    }
+
+    fn binop(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Result<Self> {
+        if self.num_vars != other.num_vars {
+            return Err(LogicError::TruthArity {
+                left: self.num_vars,
+                right: other.num_vars,
+            });
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(TruthTable::from_words(self.num_vars, words))
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthArity`] on mismatched variable counts.
+    pub fn and(&self, other: &Self) -> Result<Self> {
+        self.binop(other, |a, b| a & b)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthArity`] on mismatched variable counts.
+    pub fn or(&self, other: &Self) -> Result<Self> {
+        self.binop(other, |a, b| a | b)
+    }
+
+    /// Exclusive-or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TruthArity`] on mismatched variable counts.
+    pub fn xor(&self, other: &Self) -> Result<Self> {
+        self.binop(other, |a, b| a ^ b)
+    }
+
+    /// Complement.
+    pub fn not(&self) -> Self {
+        let words = self.words.iter().map(|&w| !w).collect();
+        TruthTable::from_words(self.num_vars, words)
+    }
+
+    /// Positive or negative cofactor with respect to variable `var`.
+    ///
+    /// The result still ranges over the same variable set; rows where `var`
+    /// disagrees with `value` take the value of their mirror row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.num_vars, "cofactor variable out of range");
+        let rows = Self::rows(self.num_vars);
+        let mut out = self.clone();
+        for r in 0..rows {
+            let src = if value { r | (1 << var) } else { r & !(1 << var) };
+            out.set(r, self.get(src));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars: ", self.num_vars)?;
+        let rows = Self::rows(self.num_vars);
+        if rows <= 32 {
+            for r in (0..rows).rev() {
+                write!(f, "{}", self.get(r) as u8)?;
+            }
+        } else {
+            write!(f, "{} ones / {} rows", self.count_ones(), rows)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let z = TruthTable::zero(5).unwrap();
+        let o = TruthTable::one(5).unwrap();
+        assert!(z.is_zero() && !z.is_one());
+        assert!(o.is_one() && !o.is_zero());
+        assert_eq!(o.count_ones(), 32);
+        assert_eq!(z.not(), o);
+        assert_eq!(o.not(), z);
+    }
+
+    #[test]
+    fn tail_bits_are_clean_after_not() {
+        // 3 vars = 8 rows, tail mask matters.
+        let z = TruthTable::zero(3).unwrap();
+        let o = z.not();
+        assert!(o.is_one());
+        assert_eq!(o.count_ones(), 8);
+    }
+
+    #[test]
+    fn variable_projection() {
+        let v2 = TruthTable::variable(4, 2).unwrap();
+        for r in 0..16 {
+            assert_eq!(v2.get(r), r >> 2 & 1 == 1);
+        }
+        assert!(TruthTable::variable(4, 4).is_err());
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let a = TruthTable::variable(4, 0).unwrap();
+        let b = TruthTable::variable(4, 1).unwrap();
+        // De Morgan
+        assert_eq!(a.and(&b).unwrap().not(), a.not().or(&b.not()).unwrap());
+        // xor = (a|b) & !(a&b)
+        assert_eq!(
+            a.xor(&b).unwrap(),
+            a.or(&b).unwrap().and(&a.and(&b).unwrap().not()).unwrap()
+        );
+        // annihilation / identity
+        let one = TruthTable::one(4).unwrap();
+        let zero = TruthTable::zero(4).unwrap();
+        assert_eq!(a.and(&zero).unwrap(), zero);
+        assert_eq!(a.or(&one).unwrap(), one);
+        assert_eq!(a.and(&one).unwrap(), a);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let a = TruthTable::variable(3, 0).unwrap();
+        let b = TruthTable::variable(4, 0).unwrap();
+        assert!(a.and(&b).is_err());
+    }
+
+    #[test]
+    fn cofactors_shannon_expand() {
+        // f = (x0 & x1) | x2 ; check f = x?f1 : f0 on x1.
+        let x0 = TruthTable::variable(3, 0).unwrap();
+        let x1 = TruthTable::variable(3, 1).unwrap();
+        let x2 = TruthTable::variable(3, 2).unwrap();
+        let f = x0.and(&x1).unwrap().or(&x2).unwrap();
+        let f1 = f.cofactor(1, true);
+        let f0 = f.cofactor(1, false);
+        let recomposed = x1
+            .and(&f1)
+            .unwrap()
+            .or(&x1.not().and(&f0).unwrap())
+            .unwrap();
+        assert_eq!(recomposed, f);
+        // Cofactors are independent of the cofactored variable.
+        for r in 0..8usize {
+            assert_eq!(f1.get(r), f1.get(r ^ 0b010));
+            assert_eq!(f0.get(r), f0.get(r ^ 0b010));
+        }
+    }
+
+    #[test]
+    fn from_fn_and_get_set_roundtrip() {
+        let mut t = TruthTable::from_fn(5, |r| r % 3 == 0).unwrap();
+        for r in 0..32 {
+            assert_eq!(t.get(r), r % 3 == 0);
+        }
+        t.set(1, true);
+        t.set(0, false);
+        assert!(t.get(1) && !t.get(0));
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        assert!(TruthTable::zero(MAX_TRUTH_VARS).is_ok());
+        assert!(TruthTable::zero(MAX_TRUTH_VARS + 1).is_err());
+    }
+
+    #[test]
+    fn debug_shows_bits_small_and_summary_large() {
+        let t = TruthTable::variable(2, 0).unwrap();
+        // Rows are printed most-significant first: x0 is true in rows 1 and 3.
+        assert_eq!(format!("{t:?}"), "TruthTable(2 vars: 1010)");
+        let big = TruthTable::one(10).unwrap();
+        assert!(format!("{big:?}").contains("1024 ones"));
+    }
+}

@@ -1,0 +1,575 @@
+//! Structural Verilog reading and writing (the gate-level subset used to
+//! distribute benchmark netlists such as ISCAS85).
+//!
+//! Supported constructs: one `module … endmodule` with scalar `input`,
+//! `output`, and `wire` declarations, primitive gate instances (`and`,
+//! `or`, `nand`, `nor`, `xor`, `xnor`, `buf`, `not`) in the
+//! `kind [name] (output, input…);` form (including comma-separated
+//! instance lists), `assign lhs = rhs;` buffers with identifier or `1'b0` /
+//! `1'b1` right-hand sides, plus `//` and `/* … */` comments. Vectors,
+//! behavioural blocks, and hierarchy are out of scope, as in the paper's
+//! flow.
+//!
+//! ```
+//! let src = "\
+//! module maj (a, b, c, f);
+//!   input a, b, c;
+//!   output f;
+//!   wire ab, ac, bc;
+//!   and g1 (ab, a, b);
+//!   and g2 (ac, a, c);
+//!   and g3 (bc, b, c);
+//!   or  g4 (f, ab, ac, bc);
+//! endmodule
+//! ";
+//! let n = flowc_logic::verilog::parse(src).unwrap();
+//! assert!(n.simulate(&[true, true, false]).unwrap()[0]);
+//! assert!(!n.simulate(&[true, false, false]).unwrap()[0]);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{GateKind, LogicError, NetId, Network, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Punct(char),
+    Const(bool),
+}
+
+/// Tokenizes Verilog source, stripping comments. Returns tokens with their
+/// 1-based line numbers.
+fn tokenize(source: &str) -> Result<Vec<(usize, Token)>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                break;
+                            }
+                            prev = c;
+                        }
+                    }
+                    _ => {
+                        return Err(LogicError::Parse {
+                            line,
+                            message: "stray `/`".into(),
+                        })
+                    }
+                }
+            }
+            '(' | ')' | ',' | ';' | '=' => {
+                tokens.push((line, Token::Punct(c)));
+                chars.next();
+            }
+            '1' | '0' => {
+                // Possible sized constant 1'b0 / 1'b1, or a name error.
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '\'' || c == '_' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match text.as_str() {
+                    "1'b0" | "1'B0" => tokens.push((line, Token::Const(false))),
+                    "1'b1" | "1'B1" => tokens.push((line, Token::Const(true))),
+                    other => {
+                        return Err(LogicError::Parse {
+                            line,
+                            message: format!("unsupported literal `{other}`"),
+                        })
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == '\\' => {
+                let mut name = String::new();
+                if c == '\\' {
+                    // Escaped identifier: up to whitespace.
+                    chars.next();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_whitespace() {
+                            break;
+                        }
+                        name.push(c);
+                        chars.next();
+                    }
+                } else {
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '_' || c == '$' || c == '.' {
+                            name.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                tokens.push((line, Token::Ident(name)));
+            }
+            other => {
+                return Err(LogicError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[derive(Debug)]
+struct Instance {
+    kind: GateKind,
+    output: String,
+    inputs: Vec<String>,
+    line: usize,
+}
+
+fn gate_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "buf" => GateKind::Buf,
+        "not" => GateKind::Not,
+        _ => return None,
+    })
+}
+
+/// Parses structural Verilog into a [`Network`].
+///
+/// # Errors
+///
+/// Returns [`LogicError::Parse`] on malformed or unsupported input,
+/// [`LogicError::CombinationalCycle`] / [`LogicError::Undriven`] /
+/// [`LogicError::MultipleDrivers`] on ill-formed netlists.
+pub fn parse(source: &str) -> Result<Network> {
+    let tokens = tokenize(source)?;
+    let mut pos = 0usize;
+    let line_at = |pos: usize| tokens.get(pos).map_or(0, |(l, _)| *l);
+    let err = |pos: usize, message: String| LogicError::Parse {
+        line: line_at(pos.min(tokens.len().saturating_sub(1))),
+        message,
+    };
+
+    let expect_ident = |pos: &mut usize| -> Result<String> {
+        match tokens.get(*pos) {
+            Some((_, Token::Ident(name))) => {
+                *pos += 1;
+                Ok(name.clone())
+            }
+            _ => Err(err(*pos, "expected an identifier".into())),
+        }
+    };
+    let expect_punct = |pos: &mut usize, c: char| -> Result<()> {
+        match tokens.get(*pos) {
+            Some((_, Token::Punct(p))) if *p == c => {
+                *pos += 1;
+                Ok(())
+            }
+            _ => Err(err(*pos, format!("expected `{c}`"))),
+        }
+    };
+    let peek_punct = |pos: usize, c: char| -> bool {
+        matches!(tokens.get(pos), Some((_, Token::Punct(p))) if *p == c)
+    };
+
+    // module NAME ( port, … ) ;
+    let kw = expect_ident(&mut pos)?;
+    if kw != "module" {
+        return Err(err(pos, "expected `module`".into()));
+    }
+    let module_name = expect_ident(&mut pos)?;
+    if peek_punct(pos, '(') {
+        pos += 1;
+        while !peek_punct(pos, ')') {
+            let _ = expect_ident(&mut pos)?; // port order comes from decls
+            if peek_punct(pos, ',') {
+                pos += 1;
+            }
+        }
+        pos += 1;
+    }
+    expect_punct(&mut pos, ';')?;
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut fresh = 0usize;
+
+    loop {
+        let keyword = expect_ident(&mut pos)?;
+        match keyword.as_str() {
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                loop {
+                    let name = expect_ident(&mut pos)?;
+                    match keyword.as_str() {
+                        "input" => inputs.push(name),
+                        "output" => outputs.push(name),
+                        _ => {} // wires are implied by use
+                    }
+                    if peek_punct(pos, ',') {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                expect_punct(&mut pos, ';')?;
+            }
+            "assign" => {
+                let lhs = expect_ident(&mut pos)?;
+                expect_punct(&mut pos, '=')?;
+                let inst_line = line_at(pos);
+                match tokens.get(pos) {
+                    Some((_, Token::Ident(rhs))) => {
+                        pos += 1;
+                        instances.push(Instance {
+                            kind: GateKind::Buf,
+                            output: lhs,
+                            inputs: vec![rhs.clone()],
+                            line: inst_line,
+                        });
+                    }
+                    Some((_, Token::Const(v))) => {
+                        pos += 1;
+                        instances.push(Instance {
+                            kind: if *v { GateKind::Const1 } else { GateKind::Const0 },
+                            output: lhs,
+                            inputs: Vec::new(),
+                            line: inst_line,
+                        });
+                    }
+                    _ => return Err(err(pos, "assign rhs must be a name or 1'b0/1'b1".into())),
+                }
+                expect_punct(&mut pos, ';')?;
+            }
+            prim => {
+                let kind = gate_kind(prim).ok_or_else(|| {
+                    err(pos, format!("unsupported construct `{prim}` (structural subset)"))
+                })?;
+                // One or more `name? ( output, inputs… )` groups.
+                loop {
+                    // Optional instance name.
+                    if let Some((_, Token::Ident(_))) = tokens.get(pos) {
+                        pos += 1;
+                        fresh += 1;
+                    }
+                    let inst_line = line_at(pos);
+                    expect_punct(&mut pos, '(')?;
+                    let output = expect_ident(&mut pos)?;
+                    let mut ins = Vec::new();
+                    while peek_punct(pos, ',') {
+                        pos += 1;
+                        ins.push(expect_ident(&mut pos)?);
+                    }
+                    expect_punct(&mut pos, ')')?;
+                    instances.push(Instance {
+                        kind,
+                        output,
+                        inputs: ins,
+                        line: inst_line,
+                    });
+                    if peek_punct(pos, ',') {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                expect_punct(&mut pos, ';')?;
+                let _ = fresh;
+            }
+        }
+    }
+
+    build_network(module_name, inputs, outputs, instances)
+}
+
+/// Topologically orders the instances (forward references allowed) and
+/// lowers them to gates — same approach as the BLIF reader.
+fn build_network(
+    module_name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    instances: Vec<Instance>,
+) -> Result<Network> {
+    let mut network = Network::new(module_name);
+    let mut env: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        if env.contains_key(name) {
+            return Err(LogicError::DuplicateName(name.clone()));
+        }
+        env.insert(name.clone(), network.add_input(name.clone()));
+    }
+    let mut by_output: HashMap<&str, usize> = HashMap::new();
+    for (i, inst) in instances.iter().enumerate() {
+        if env.contains_key(&inst.output) || by_output.insert(inst.output.as_str(), i).is_some() {
+            return Err(LogicError::MultipleDrivers(inst.output.clone()));
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; instances.len()];
+    let mut order = Vec::with_capacity(instances.len());
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..instances.len() {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        marks[root] = Mark::Grey;
+        stack.push((root, 0));
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let inst = &instances[node];
+            if *child < inst.inputs.len() {
+                let dep = &inst.inputs[*child];
+                *child += 1;
+                if env.contains_key(dep) {
+                    continue;
+                }
+                match by_output.get(dep.as_str()) {
+                    Some(&d) => match marks[d] {
+                        Mark::White => {
+                            marks[d] = Mark::Grey;
+                            stack.push((d, 0));
+                        }
+                        Mark::Grey => return Err(LogicError::CombinationalCycle(dep.clone())),
+                        Mark::Black => {}
+                    },
+                    None => return Err(LogicError::Undriven(dep.clone())),
+                }
+            } else {
+                marks[node] = Mark::Black;
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    for idx in order {
+        let inst = &instances[idx];
+        let operand_ids: Vec<NetId> = inst.inputs.iter().map(|n| env[n.as_str()]).collect();
+        // Verilog `buf`/`not` allow multiple outputs; the one-output form is
+        // what netlists use and what the instance parser accepts.
+        let out = network
+            .add_gate(inst.kind, &operand_ids, inst.output.clone())
+            .map_err(|e| LogicError::Parse {
+                line: inst.line,
+                message: e.to_string(),
+            })?;
+        env.insert(inst.output.clone(), out);
+    }
+    for name in &outputs {
+        let id = env
+            .get(name)
+            .copied()
+            .ok_or_else(|| LogicError::Undriven(name.clone()))?;
+        network.mark_output(id);
+    }
+    network.validate()?;
+    Ok(network)
+}
+
+/// Serializes a network as structural Verilog.
+pub fn write(network: &Network) -> String {
+    let mut out = String::new();
+    let ports: Vec<&str> = network
+        .inputs()
+        .iter()
+        .chain(network.outputs())
+        .map(|&n| network.net_name(n))
+        .collect();
+    let _ = writeln!(out, "module {} ({});", network.name(), ports.join(", "));
+    for &i in network.inputs() {
+        let _ = writeln!(out, "  input {};", network.net_name(i));
+    }
+    for &o in network.outputs() {
+        let _ = writeln!(out, "  output {};", network.net_name(o));
+    }
+    let output_set: std::collections::HashSet<usize> =
+        network.outputs().iter().map(|o| o.index()).collect();
+    for gate in network.gates() {
+        if !output_set.contains(&gate.output.index()) {
+            let _ = writeln!(out, "  wire {};", network.net_name(gate.output));
+        }
+    }
+    for (i, gate) in network.gates().iter().enumerate() {
+        let output = network.net_name(gate.output);
+        let ins: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|&x| network.net_name(x))
+            .collect();
+        match gate.kind {
+            GateKind::Const0 => {
+                let _ = writeln!(out, "  assign {output} = 1'b0;");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "  assign {output} = 1'b1;");
+            }
+            GateKind::Mux => {
+                // No mux primitive in the structural subset: decompose.
+                let _ = writeln!(out, "  wire {output}$n, {output}$a, {output}$b;");
+                let _ = writeln!(out, "  not g{i}n ({output}$n, {});", ins[0]);
+                let _ = writeln!(out, "  and g{i}a ({output}$a, {}, {});", ins[0], ins[1]);
+                let _ = writeln!(out, "  and g{i}b ({output}$b, {output}$n, {});", ins[2]);
+                let _ = writeln!(out, "  or g{i}o ({output}, {output}$a, {output}$b);");
+            }
+            kind => {
+                let _ = writeln!(out, "  {} g{i} ({output}, {});", kind.name(), ins.join(", "));
+            }
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_ADDER: &str = "\
+// a structural full adder
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire ab, ac, bc;
+  xor s1 (sum, a, b, cin);
+  and g1 (ab, a, b), g2 (ac, a, cin), g3 (bc, b, cin);
+  or  g4 (cout, ab, ac, bc);
+endmodule
+";
+
+    #[test]
+    fn parses_full_adder() {
+        let n = parse(FULL_ADDER).unwrap();
+        assert_eq!(n.name(), "fa");
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_outputs(), 2);
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let out = n.simulate(&vals).unwrap();
+            let total = vals.iter().filter(|&&b| b).count();
+            assert_eq!(out[0], total % 2 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn comments_and_block_comments() {
+        let src = "module t (a, f); /* block\ncomment */ input a; output f; // eol\nbuf (f, a); endmodule";
+        let n = parse(src).unwrap();
+        assert!(n.simulate(&[true]).unwrap()[0]);
+    }
+
+    #[test]
+    fn assign_and_constants() {
+        let src = "\
+module t (a, f, z, o);
+  input a;
+  output f, z, o;
+  assign f = a;
+  assign z = 1'b0;
+  assign o = 1'b1;
+endmodule
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.simulate(&[false]).unwrap(), vec![false, false, true]);
+        assert_eq!(n.simulate(&[true]).unwrap(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn forward_references() {
+        let src = "\
+module t (a, b, f);
+  input a, b;
+  output f;
+  and g2 (f, w, a);
+  not g1 (w, b);
+endmodule
+";
+        let n = parse(src).unwrap();
+        assert!(n.simulate(&[true, false]).unwrap()[0]);
+        assert!(!n.simulate(&[true, true]).unwrap()[0]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("module t (a); input a; always @(posedge a) ; endmodule").is_err());
+        assert!(parse("module t (a, f); input a; output f; and (f, g); endmodule").is_err());
+        assert!(matches!(
+            parse("module t (f); output f; and g (f, w); and h (w, f); endmodule"),
+            Err(LogicError::CombinationalCycle(_))
+        ));
+        assert!(matches!(
+            parse("module t (a, f); input a; output f; buf (f, a); buf (f, a); endmodule"),
+            Err(LogicError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let n = parse(FULL_ADDER).unwrap();
+        let text = write(&n);
+        let back = parse(&text).unwrap();
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(back.simulate(&vals).unwrap(), n.simulate(&vals).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_mux_and_constants() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let m = n.add_gate(GateKind::Mux, &[a, b, c], "m").unwrap();
+        let one = n.add_const1("k1");
+        let x = n.add_gate(GateKind::Xor, &[m, one], "x").unwrap();
+        n.mark_output(x);
+        let text = write(&n);
+        let back = parse(&text).unwrap();
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(back.simulate(&vals).unwrap(), n.simulate(&vals).unwrap());
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Network transformations: decomposition of wide gates into two-input
+//! networks (the AIG-style form technology mappers and the CONTRA flow
+//! consume) and related restructuring helpers.
+
+use crate::{GateKind, NetId, Network, Result};
+
+/// Rewrites every gate with more than two inputs into a balanced tree of
+/// two-input gates (XNOR/NAND/NOR trees get a final inverter; MUX becomes
+/// AND/AND/OR plus an inverter). The result is functionally identical and
+/// reflects how synthesized netlists (e.g. the EPFL AIGs) actually look.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for valid inputs).
+pub fn binarize(network: &Network) -> Result<Network> {
+    let mut out = Network::new(network.name());
+    let mut map = vec![NetId(u32::MAX); network.num_nets()];
+    for &i in network.inputs() {
+        map[i.index()] = out.add_input(network.net_name(i));
+    }
+    for gate in network.gates() {
+        let ops: Vec<NetId> = gate.inputs.iter().map(|i| map[i.index()]).collect();
+        let name = network.net_name(gate.output).to_string();
+        let result = match gate.kind {
+            GateKind::Const0 => out.add_gate(GateKind::Const0, &[], name)?,
+            GateKind::Const1 => out.add_gate(GateKind::Const1, &[], name)?,
+            GateKind::Buf => out.add_gate(GateKind::Buf, &ops, name)?,
+            GateKind::Not => out.add_gate(GateKind::Not, &ops, name)?,
+            GateKind::And => tree(&mut out, GateKind::And, &ops, &name)?,
+            GateKind::Or => tree(&mut out, GateKind::Or, &ops, &name)?,
+            GateKind::Xor => tree(&mut out, GateKind::Xor, &ops, &name)?,
+            GateKind::Nand => {
+                let and = tree(&mut out, GateKind::And, &ops, &format!("{name}$t"))?;
+                out.add_gate(GateKind::Not, &[and], name)?
+            }
+            GateKind::Nor => {
+                let or = tree(&mut out, GateKind::Or, &ops, &format!("{name}$t"))?;
+                out.add_gate(GateKind::Not, &[or], name)?
+            }
+            GateKind::Xnor => {
+                let xor = tree(&mut out, GateKind::Xor, &ops, &format!("{name}$t"))?;
+                out.add_gate(GateKind::Not, &[xor], name)?
+            }
+            GateKind::Mux => {
+                let ns = out.add_gate(GateKind::Not, &[ops[0]], format!("{name}$n"))?;
+                let a = out.add_gate(GateKind::And, &[ops[0], ops[1]], format!("{name}$a"))?;
+                let b = out.add_gate(GateKind::And, &[ns, ops[2]], format!("{name}$b"))?;
+                out.add_gate(GateKind::Or, &[a, b], name)?
+            }
+        };
+        map[gate.output.index()] = result;
+    }
+    for &o in network.outputs() {
+        out.mark_output(map[o.index()]);
+    }
+    Ok(out)
+}
+
+/// Light logic optimization: constant folding, operand deduplication,
+/// single-operand collapsing, structural hashing (identical gates merge),
+/// and dead-gate elimination. The result is functionally identical; BDD
+/// construction and the MAGIC baseline both benefit from the cleanup on
+/// redundant netlists.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for valid inputs).
+pub fn simplify(network: &Network) -> Result<Network> {
+    use std::collections::HashMap;
+
+    // First pass over the *old* network computing symbolic values; gates
+    // are materialized lazily in a scratch network, then only the cones of
+    // the outputs are copied into the final result (dead-gate elimination).
+    let mut scratch = Network::new(network.name());
+    let mut val = vec![Val::Const(false); network.num_nets()];
+    for &i in network.inputs() {
+        let ni = scratch.add_input(network.net_name(i));
+        val[i.index()] = Val::Net(ni);
+    }
+    let mut structural: HashMap<(GateKind, Vec<NetId>), NetId> = HashMap::new();
+    for gate in network.gates() {
+        let ops: Vec<Val> = gate.inputs.iter().map(|i| val[i.index()]).collect();
+        let name = network.net_name(gate.output).to_string();
+        val[gate.output.index()] =
+            fold_gate(&mut scratch, &mut structural, gate.kind, &ops, &name)?;
+    }
+
+    // Copy live cones into the result.
+    let mut out = Network::new(network.name());
+    let mut live_map: Vec<Option<NetId>> = vec![None; scratch.num_nets()];
+    for &i in scratch.inputs() {
+        live_map[i.index()] = Some(out.add_input(scratch.net_name(i)));
+    }
+    fn copy_cone(
+        scratch: &Network,
+        out: &mut Network,
+        live_map: &mut Vec<Option<NetId>>,
+        net: NetId,
+    ) -> Result<NetId> {
+        if let Some(mapped) = live_map[net.index()] {
+            return Ok(mapped);
+        }
+        let gate = scratch
+            .driver_gate(net)
+            .expect("non-input nets are gate-driven")
+            .clone();
+        let ops: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&i| copy_cone(scratch, out, live_map, i))
+            .collect::<Result<_>>()?;
+        let mapped = out.add_gate(gate.kind, &ops, scratch.net_name(net))?;
+        live_map[net.index()] = Some(mapped);
+        Ok(mapped)
+    }
+    for &o in network.outputs() {
+        let mapped = match val[o.index()] {
+            Val::Const(false) => out.add_const0(format!("{}$k0", network.net_name(o))),
+            Val::Const(true) => out.add_const1(format!("{}$k1", network.net_name(o))),
+            Val::Net(net) => copy_cone(&scratch, &mut out, &mut live_map, net)?,
+        };
+        out.mark_output(mapped);
+    }
+    Ok(out)
+}
+
+/// Symbolic value of a net during [`simplify`]: a constant or a signal of
+/// the scratch network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Val {
+    Const(bool),
+    Net(NetId),
+}
+
+/// Folds one gate over symbolic operands, materializing at most one new
+/// gate in `scratch` (with structural hashing).
+fn fold_gate(
+    scratch: &mut Network,
+    structural: &mut std::collections::HashMap<(GateKind, Vec<NetId>), NetId>,
+    kind: GateKind,
+    ops: &[Val],
+    name: &str,
+) -> Result<Val> {
+    use GateKind::*;
+    // Split constants and signals.
+    let mut signals: Vec<NetId> = Vec::new();
+    let mut consts: Vec<bool> = Vec::new();
+    for v in ops {
+        match v {
+            Val::Const(b) => consts.push(*b),
+            Val::Net(n) => signals.push(*n),
+        }
+    }
+    let mk = |scratch: &mut Network,
+              structural: &mut std::collections::HashMap<(GateKind, Vec<NetId>), NetId>,
+              kind: GateKind,
+              mut sig: Vec<NetId>,
+              name: &str|
+     -> Result<Val> {
+        if matches!(kind, And | Or | Xor) {
+            sig.sort_unstable();
+            if matches!(kind, And | Or) {
+                sig.dedup();
+            }
+        }
+        if sig.len() == 1 && matches!(kind, And | Or | Xor) {
+            return Ok(Val::Net(sig[0]));
+        }
+        let key = (kind, sig.clone());
+        if let Some(&existing) = structural.get(&key) {
+            return Ok(Val::Net(existing));
+        }
+        let net = scratch.add_gate(kind, &sig, name)?;
+        structural.insert(key, net);
+        Ok(Val::Net(net))
+    };
+    let negate = |scratch: &mut Network,
+                  structural: &mut std::collections::HashMap<(GateKind, Vec<NetId>), NetId>,
+                  v: Val,
+                  name: &str|
+     -> Result<Val> {
+        match v {
+            Val::Const(b) => Ok(Val::Const(!b)),
+            Val::Net(n) => {
+                // Double negation cancels: if n itself is a NOT, reuse its
+                // operand.
+                if let Some(gate) = scratch.driver_gate(n) {
+                    if gate.kind == Not {
+                        return Ok(Val::Net(gate.inputs[0]));
+                    }
+                }
+                let key = (Not, vec![n]);
+                if let Some(&existing) = structural.get(&key) {
+                    return Ok(Val::Net(existing));
+                }
+                let net = scratch.add_gate(Not, &[n], name)?;
+                structural.insert(key, net);
+                Ok(Val::Net(net))
+            }
+        }
+    };
+    match kind {
+        Const0 => Ok(Val::Const(false)),
+        Const1 => Ok(Val::Const(true)),
+        Buf => Ok(ops[0]),
+        Not => negate(scratch, structural, ops[0], name),
+        And | Nand => {
+            let base = if consts.iter().any(|&b| !b) {
+                Val::Const(false)
+            } else if signals.is_empty() {
+                Val::Const(true)
+            } else {
+                mk(scratch, structural, And, signals, name)?
+            };
+            if kind == Nand {
+                negate(scratch, structural, base, name)
+            } else {
+                Ok(base)
+            }
+        }
+        Or | Nor => {
+            let base = if consts.iter().any(|&b| b) {
+                Val::Const(true)
+            } else if signals.is_empty() {
+                Val::Const(false)
+            } else {
+                mk(scratch, structural, Or, signals, name)?
+            };
+            if kind == Nor {
+                negate(scratch, structural, base, name)
+            } else {
+                Ok(base)
+            }
+        }
+        Xor | Xnor => {
+            let mut parity = consts.iter().filter(|&&b| b).count() % 2 == 1;
+            if kind == Xnor {
+                parity = !parity;
+            }
+            // x ⊕ x = 0: cancel duplicate signals pairwise.
+            signals.sort_unstable();
+            let mut cancelled: Vec<NetId> = Vec::new();
+            let mut i = 0;
+            while i < signals.len() {
+                if i + 1 < signals.len() && signals[i] == signals[i + 1] {
+                    i += 2;
+                } else {
+                    cancelled.push(signals[i]);
+                    i += 1;
+                }
+            }
+            let base = if cancelled.is_empty() {
+                Val::Const(false)
+            } else {
+                mk(scratch, structural, Xor, cancelled, name)?
+            };
+            if parity {
+                negate(scratch, structural, base, name)
+            } else {
+                Ok(base)
+            }
+        }
+        Mux => {
+            match ops[0] {
+                Val::Const(true) => Ok(ops[1]),
+                Val::Const(false) => Ok(ops[2]),
+                Val::Net(sel) => {
+                    if ops[1] == ops[2] {
+                        return Ok(ops[1]);
+                    }
+                    match (ops[1], ops[2]) {
+                        (Val::Const(t), Val::Const(e)) => {
+                            debug_assert_ne!(t, e, "equal branches returned above");
+                            if t {
+                                Ok(Val::Net(sel)) // mux(s, 1, 0) = s
+                            } else {
+                                negate(scratch, structural, Val::Net(sel), name)
+                            }
+                        }
+                        (Val::Const(true), Val::Net(e)) => {
+                            mk(scratch, structural, Or, vec![sel, e], name)
+                        }
+                        (Val::Net(t), Val::Const(false)) => {
+                            mk(scratch, structural, And, vec![sel, t], name)
+                        }
+                        (Val::Const(false), Val::Net(e)) => {
+                            let ns = negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
+                            let Val::Net(ns) = ns else { unreachable!() };
+                            mk(scratch, structural, And, vec![ns, e], name)
+                        }
+                        (Val::Net(t), Val::Const(true)) => {
+                            let ns = negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
+                            let Val::Net(ns) = ns else { unreachable!() };
+                            mk(scratch, structural, Or, vec![ns, t], name)
+                        }
+                        (Val::Net(t), Val::Net(e)) => {
+                            let key = (Mux, vec![sel, t, e]);
+                            if let Some(&existing) = structural.get(&key) {
+                                return Ok(Val::Net(existing));
+                            }
+                            let net = scratch.add_gate(Mux, &[sel, t, e], name)?;
+                            structural.insert(key, net);
+                            Ok(Val::Net(net))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Balanced two-input tree over `ops` (which has at least one element).
+fn tree(out: &mut Network, kind: GateKind, ops: &[NetId], name: &str) -> Result<NetId> {
+    match ops.len() {
+        0 => unreachable!("gate arities are validated at construction"),
+        1 => out.add_gate(GateKind::Buf, &[ops[0]], name),
+        2 => out.add_gate(kind, ops, name),
+        _ => {
+            let mid = ops.len() / 2;
+            let left = tree(out, kind, &ops[..mid], &format!("{name}$l"))?;
+            let right = tree(out, kind, &ops[mid..], &format!("{name}$r"))?;
+            out.add_gate(kind, &[left, right], name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite;
+
+    #[test]
+    fn binarized_networks_have_only_small_gates() {
+        for name in ["ctrl", "int2float", "c432"] {
+            let n = bench_suite::by_name(name).unwrap().network().unwrap();
+            let b = binarize(&n).unwrap();
+            for gate in b.gates() {
+                assert!(
+                    gate.inputs.len() <= 2,
+                    "{name}: {:?} has {} inputs",
+                    gate.kind,
+                    gate.inputs.len()
+                );
+                assert!(!matches!(gate.kind, GateKind::Mux));
+            }
+        }
+    }
+
+    #[test]
+    fn binarization_preserves_function() {
+        for name in ["ctrl", "int2float", "cavlc"] {
+            let n = bench_suite::by_name(name).unwrap().network().unwrap();
+            let b = binarize(&n).unwrap();
+            assert_eq!(b.num_inputs(), n.num_inputs());
+            assert_eq!(b.num_outputs(), n.num_outputs());
+            let mut seed = 0x1357_9BDF_2468_ACE0u64;
+            for _ in 0..100 {
+                let vals: Vec<bool> = (0..n.num_inputs())
+                    .map(|_| {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed & 1 == 1
+                    })
+                    .collect();
+                assert_eq!(
+                    b.simulate(&vals).unwrap(),
+                    n.simulate(&vals).unwrap(),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binarization_grows_gate_count_on_wide_circuits() {
+        // dec is built from 8-input ANDs: the 2-input form has ~7 gates per
+        // output instead of ~2.
+        let n = bench_suite::by_name("dec").unwrap().network().unwrap();
+        let b = binarize(&n).unwrap();
+        assert!(b.num_gates() > n.num_gates());
+    }
+
+    #[test]
+    fn simplify_preserves_function_on_benchmarks() {
+        for name in ["ctrl", "int2float", "cavlc", "router"] {
+            let n = bench_suite::by_name(name).unwrap().network().unwrap();
+            let s = simplify(&n).unwrap();
+            assert_eq!(s.num_inputs(), n.num_inputs());
+            assert_eq!(s.num_outputs(), n.num_outputs());
+            let mut seed = 0x0BAD_F00D_DEAD_BEEFu64;
+            for _ in 0..100 {
+                let vals: Vec<bool> = (0..n.num_inputs())
+                    .map(|_| {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed & 1 == 1
+                    })
+                    .collect();
+                assert_eq!(
+                    s.simulate(&vals).unwrap(),
+                    n.simulate(&vals).unwrap(),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_removes_redundancy() {
+        let mut n = Network::new("redundant");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        // Two structurally identical gates.
+        let g1 = n.add_gate(GateKind::And, &[a, b], "g1").unwrap();
+        let g2 = n.add_gate(GateKind::And, &[b, a], "g2").unwrap();
+        // x ⊕ x = 0, folded against a constant.
+        let x = n.add_gate(GateKind::Xor, &[g1, g2], "x").unwrap();
+        let k1 = n.add_const1("k1");
+        let dead = n.add_gate(GateKind::Or, &[a, b], "dead").unwrap();
+        let _ = dead; // never used by an output
+        let f = n.add_gate(GateKind::Or, &[x, k1], "f").unwrap(); // ≡ 1
+        let g = n.add_gate(GateKind::Not, &[g1], "ng").unwrap();
+        let gg = n.add_gate(GateKind::Not, &[g], "ngg").unwrap(); // ≡ g1
+        n.mark_output(f);
+        n.mark_output(gg);
+        let s = simplify(&n).unwrap();
+        // f collapses to constant 1; gg collapses to the single AND.
+        assert!(s.num_gates() <= 2, "got {} gates", s.num_gates());
+        for bits in 0u32..4 {
+            let v = [bits & 1 != 0, bits & 2 != 0];
+            assert_eq!(s.simulate(&v).unwrap(), n.simulate(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn simplify_folds_mux_constants() {
+        let mut n = Network::new("m");
+        let s = n.add_input("s");
+        let t = n.add_input("t");
+        let k1 = n.add_const1("k1");
+        let k0 = n.add_const0("k0");
+        let m1 = n.add_gate(GateKind::Mux, &[s, k1, k0], "m1").unwrap(); // ≡ s
+        let m2 = n.add_gate(GateKind::Mux, &[s, k0, k1], "m2").unwrap(); // ≡ ¬s
+        let m3 = n.add_gate(GateKind::Mux, &[k1, t, s], "m3").unwrap(); // ≡ t
+        n.mark_output(m1);
+        n.mark_output(m2);
+        n.mark_output(m3);
+        let simplified = simplify(&n).unwrap();
+        assert!(simplified.num_gates() <= 1, "{}", simplified.num_gates());
+        for bits in 0u32..4 {
+            let v = [bits & 1 != 0, bits & 2 != 0];
+            assert_eq!(simplified.simulate(&v).unwrap(), n.simulate(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn simplify_then_binarize_composes() {
+        let n = bench_suite::by_name("ctrl").unwrap().network().unwrap();
+        let s = binarize(&simplify(&n).unwrap()).unwrap();
+        for bits in 0u32..128 {
+            let v: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(s.simulate(&v).unwrap(), n.simulate(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn constants_and_single_input_gates_survive() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let k1 = n.add_const1("k1");
+        let nb = n.add_gate(GateKind::Not, &[a], "na").unwrap();
+        let x = n.add_gate(GateKind::Xor, &[k1, nb], "x").unwrap();
+        n.mark_output(x);
+        let b = binarize(&n).unwrap();
+        for v in [false, true] {
+            assert_eq!(b.simulate(&[v]).unwrap(), n.simulate(&[v]).unwrap());
+        }
+    }
+}

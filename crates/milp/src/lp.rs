@@ -1,0 +1,462 @@
+//! A dense two-phase primal simplex for linear-programming relaxations.
+//!
+//! The solver targets the LP relaxations that arise in this workspace
+//! (vertex-cover kernels, small weighted VH-labeling models, unit tests);
+//! it trades sparsity for simplicity and is intentionally dense. Larger
+//! instances go through the combinatorial [`crate::Bounder`] path instead.
+
+use crate::model::{Model, Sense, VarKind};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal solution: variable values (model order) and objective.
+    Optimal {
+        /// Values of the model's variables.
+        x: Vec<f64>,
+        /// Objective value `cᵀx`.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// Numerical tolerance used throughout the simplex.
+const EPS: f64 = 1e-9;
+/// Iteration budget multiplier before declaring a stall (switch to Bland).
+const DANTZIG_LIMIT_FACTOR: usize = 4;
+
+/// A dense two-phase primal simplex solver. Construct with
+/// [`Simplex::new`], then call [`Simplex::solve`].
+#[derive(Debug, Default)]
+pub struct Simplex {
+    _private: (),
+}
+
+impl Simplex {
+    /// Creates a solver with default settings.
+    pub fn new() -> Self {
+        Simplex { _private: () }
+    }
+
+    /// Solves the LP relaxation of `model` (binaries relaxed to `[0,1]`).
+    ///
+    /// Fixed assignments can be imposed by passing `fixed`, a slice of
+    /// `(var_index, value)` pairs that overrides those variables' bounds.
+    pub fn solve(&self, model: &Model, fixed: &[(usize, f64)]) -> LpResult {
+        // Effective bounds per variable.
+        let n = model.num_vars();
+        let mut lb = vec![0.0f64; n];
+        let mut ub = vec![f64::INFINITY; n];
+        for (i, v) in model.vars.iter().enumerate() {
+            match v.kind {
+                VarKind::Binary => {
+                    lb[i] = 0.0;
+                    ub[i] = 1.0;
+                }
+                VarKind::Continuous { lb: l, ub: u } => {
+                    lb[i] = l;
+                    ub[i] = u;
+                }
+            }
+        }
+        for &(i, val) in fixed {
+            lb[i] = val;
+            ub[i] = val;
+        }
+        for i in 0..n {
+            if lb[i] > ub[i] + EPS {
+                return LpResult::Infeasible;
+            }
+            if !lb[i].is_finite() {
+                // Free-below variables are not produced by this workspace;
+                // clamp to a large negative box to stay dense-friendly.
+                lb[i] = -1e12;
+            }
+        }
+
+        // Shift x = lb + x', x' in [0, ub-lb]. Rewrite rows accordingly and
+        // add explicit upper-bound rows for finite ranges.
+        #[derive(Clone)]
+        struct Row {
+            coeffs: Vec<f64>, // dense over structural vars
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+        for c in &model.cons {
+            let mut coeffs = vec![0.0; n];
+            let mut rhs = c.rhs;
+            for &(v, a) in &c.terms {
+                coeffs[v.index()] += a;
+                rhs -= a * lb[v.index()];
+            }
+            rows.push(Row {
+                coeffs,
+                sense: c.sense,
+                rhs,
+            });
+        }
+        for i in 0..n {
+            let range = ub[i] - lb[i];
+            if range.is_finite() {
+                // Also emitted when range == 0 (fixed variable): the
+                // degenerate row pins the shifted column at zero.
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                rows.push(Row {
+                    coeffs,
+                    sense: Sense::Le,
+                    rhs: range.max(0.0),
+                });
+            }
+        }
+
+        // Normalize to nonnegative rhs.
+        for r in &mut rows {
+            if r.rhs < 0.0 {
+                for c in &mut r.coeffs {
+                    *c = -*c;
+                }
+                r.rhs = -r.rhs;
+                r.sense = match r.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        // Column layout: [structural n][slack/surplus s][artificial a][rhs].
+        let num_slack = rows
+            .iter()
+            .filter(|r| !matches!(r.sense, Sense::Eq))
+            .count();
+        let num_art = rows
+            .iter()
+            .filter(|r| !matches!(r.sense, Sense::Le))
+            .count();
+        let total = n + num_slack + num_art;
+        let mut t = vec![vec![0.0f64; total + 1]; m + 1];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = n + num_slack;
+        let mut art_cols: Vec<usize> = Vec::new();
+        for (ri, row) in rows.iter().enumerate() {
+            t[ri][..n].copy_from_slice(&row.coeffs);
+            t[ri][total] = row.rhs;
+            match row.sense {
+                Sense::Le => {
+                    t[ri][slack_idx] = 1.0;
+                    basis[ri] = slack_idx;
+                    slack_idx += 1;
+                }
+                Sense::Ge => {
+                    t[ri][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    t[ri][art_idx] = 1.0;
+                    basis[ri] = art_idx;
+                    art_cols.push(art_idx);
+                    art_idx += 1;
+                }
+                Sense::Eq => {
+                    t[ri][art_idx] = 1.0;
+                    basis[ri] = art_idx;
+                    art_cols.push(art_idx);
+                    art_idx += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimize the sum of artificials.
+        if !art_cols.is_empty() {
+            for &c in &art_cols {
+                t[m][c] = 1.0;
+            }
+            // Price out the artificial basis.
+            for ri in 0..m {
+                if art_cols.contains(&basis[ri]) {
+                    let pivot_row: Vec<f64> = t[ri].clone();
+                    for (j, obj) in t[m].iter_mut().enumerate() {
+                        *obj -= pivot_row[j];
+                    }
+                }
+            }
+            if !run_simplex(&mut t, &mut basis, total) {
+                // Phase-1 objective is bounded by construction; unbounded
+                // here indicates numerical trouble — treat as infeasible.
+                return LpResult::Infeasible;
+            }
+            if -t[m][total] > 1e-6 {
+                return LpResult::Infeasible;
+            }
+            // Drive any remaining artificial out of the basis if possible.
+            for ri in 0..m {
+                if art_cols.contains(&basis[ri]) {
+                    if let Some(j) = (0..n + num_slack).find(|&j| t[ri][j].abs() > 1e-7) {
+                        pivot(&mut t, ri, j, total);
+                        basis[ri] = j;
+                    }
+                }
+            }
+            // Zero the phase-1 objective row and forbid artificial columns.
+            for j in 0..=total {
+                t[m][j] = 0.0;
+            }
+            for ri in 0..m {
+                for &c in &art_cols {
+                    t[ri][c] = 0.0;
+                }
+            }
+        }
+
+        // Phase 2 objective (shifted model objective over structurals).
+        for (i, v) in model.vars.iter().enumerate() {
+            t[m][i] = v.obj;
+        }
+        // Price out basic structural columns.
+        for ri in 0..m {
+            let b = basis[ri];
+            if t[m][b].abs() > 0.0 {
+                let coeff = t[m][b];
+                let pivot_row: Vec<f64> = t[ri].clone();
+                for (j, obj) in t[m].iter_mut().enumerate() {
+                    *obj -= coeff * pivot_row[j];
+                }
+            }
+        }
+        if !run_simplex(&mut t, &mut basis, total) {
+            return LpResult::Unbounded;
+        }
+
+        // Extract solution.
+        let mut x = lb.clone();
+        for ri in 0..m {
+            if basis[ri] < n {
+                x[basis[ri]] = lb[basis[ri]] + t[ri][total];
+            }
+        }
+        let objective = model.objective_value(&x);
+        LpResult::Optimal { x, objective }
+    }
+}
+
+/// Runs primal simplex iterations on the tableau until optimal or unbounded.
+/// Returns `false` on unboundedness.
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], total: usize) -> bool {
+    let m = t.len() - 1;
+    let dantzig_limit = DANTZIG_LIMIT_FACTOR * (m + total) + 200;
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let bland = iters > dantzig_limit;
+        // Entering column: most negative reduced cost (Dantzig), or first
+        // negative (Bland, guaranteed finite).
+        let mut enter = usize::MAX;
+        let mut best = -EPS;
+        for j in 0..total {
+            let rc = t[m][j];
+            if rc < -EPS {
+                if bland {
+                    enter = j;
+                    break;
+                }
+                if rc < best {
+                    best = rc;
+                    enter = j;
+                }
+            }
+        }
+        if enter == usize::MAX {
+            return true; // optimal
+        }
+        // Leaving row: minimum ratio, ties by smallest basis index (Bland).
+        let mut leave = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for ri in 0..m {
+            let a = t[ri][enter];
+            if a > EPS {
+                let ratio = t[ri][total] / a;
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && (leave == usize::MAX || basis[ri] < basis[leave]))
+                {
+                    best_ratio = ratio;
+                    leave = ri;
+                }
+            }
+        }
+        if leave == usize::MAX {
+            return false; // unbounded
+        }
+        pivot(t, leave, enter, total);
+        basis[leave] = enter;
+    }
+}
+
+/// Gauss-Jordan pivot on (`row`, `col`).
+fn pivot(t: &mut [Vec<f64>], row: usize, col: usize, total: usize) {
+    let piv = t[row][col];
+    debug_assert!(piv.abs() > EPS, "pivot too small");
+    for j in 0..=total {
+        t[row][j] /= piv;
+    }
+    let pivot_row: Vec<f64> = t[row].clone();
+    for (ri, r) in t.iter_mut().enumerate() {
+        if ri == row {
+            continue;
+        }
+        let factor = r[col];
+        if factor.abs() > 0.0 {
+            for j in 0..=total {
+                r[j] -= factor * pivot_row[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 2.0, -1.0);
+        let y = m.add_continuous("y", 0.0, 3.0, -2.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+        match Simplex::new().solve(&m, &[]) {
+            LpResult::Optimal { x: sol, objective } => {
+                assert_close(objective, -7.0);
+                assert_close(sol[0], 1.0);
+                assert_close(sol[1], 3.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y  s.t. x + y >= 3, x - y = 1  -> x = 2, y = 1.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        match Simplex::new().solve(&m, &[]) {
+            LpResult::Optimal { x: sol, objective } => {
+                assert_close(objective, 3.0);
+                assert_close(sol[0], 2.0);
+                assert_close(sol[1], 1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(Simplex::new().solve(&m, &[]), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY, -1.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 0.0);
+        assert_eq!(Simplex::new().solve(&m, &[]), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn binary_relaxation_is_boxed() {
+        // min -x over binary x: LP relaxation gives x = 1.
+        let mut m = Model::new();
+        let _x = m.add_binary("x", -1.0);
+        match Simplex::new().solve(&m, &[]) {
+            LpResult::Optimal { x: sol, objective } => {
+                assert_close(sol[0], 1.0);
+                assert_close(objective, -1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_overrides_bounds() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", -1.0);
+        let y = m.add_binary("y", -1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 2.0);
+        match Simplex::new().solve(&m, &[(x.index(), 0.0)]) {
+            LpResult::Optimal { x: sol, objective } => {
+                assert_close(sol[0], 0.0);
+                assert_close(sol[1], 1.0);
+                assert_close(objective, -1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_fixing_is_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        m.add_constraint(&[(x, 1.0)], Sense::Ge, 1.0);
+        assert_eq!(
+            Simplex::new().solve(&m, &[(x.index(), 0.0)]),
+            LpResult::Infeasible
+        );
+    }
+
+    #[test]
+    fn vertex_cover_lp_is_half_integral_on_triangle() {
+        // VC LP on a triangle: optimum 1.5 with all x = 1/2.
+        let mut m = Model::new();
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 1.0);
+        let c = m.add_binary("c", 1.0);
+        for (u, v) in [(a, b), (b, c), (a, c)] {
+            m.add_constraint(&[(u, 1.0), (v, 1.0)], Sense::Ge, 1.0);
+        }
+        match Simplex::new().solve(&m, &[]) {
+            LpResult::Optimal { objective, .. } => assert_close(objective, 1.5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate instance; Bland fallback must terminate.
+        let mut m = Model::new();
+        let x1 = m.add_continuous("x1", 0.0, f64::INFINITY, -0.75);
+        let x2 = m.add_continuous("x2", 0.0, f64::INFINITY, 150.0);
+        let x3 = m.add_continuous("x3", 0.0, f64::INFINITY, -0.02);
+        let x4 = m.add_continuous("x4", 0.0, f64::INFINITY, 6.0);
+        m.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(&[(x3, 1.0)], Sense::Le, 1.0);
+        match Simplex::new().solve(&m, &[]) {
+            LpResult::Optimal { objective, .. } => assert_close(objective, -0.05),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's crossbar cost model: semiperimeter, maximum dimension, area,
+//! power, and computation delay.
+
+use crate::Crossbar;
+
+/// Size and cost figures of a crossbar design, as reported in the paper's
+/// tables (Section VIII): `S = R + C`, `D = max(R, C)`, area `R·C`, power
+/// proportional to the number of literal-programmed memristors, and delay
+/// `R + 1` time steps (one programming step per wordline plus one
+/// evaluation step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossbarMetrics {
+    /// Wordlines.
+    pub rows: usize,
+    /// Bitlines.
+    pub cols: usize,
+    /// Semiperimeter `R + C`.
+    pub semiperimeter: usize,
+    /// Maximum dimension `max(R, C)`.
+    pub max_dimension: usize,
+    /// Area `R × C`.
+    pub area: usize,
+    /// Junctions assigned a literal (the power proxy of Section VIII-E).
+    pub active_devices: usize,
+    /// Junctions programmed permanently on (`VH` bridges and merges).
+    pub bridge_devices: usize,
+    /// Evaluation-phase time steps: `rows + 1`.
+    pub delay_steps: usize,
+}
+
+impl CrossbarMetrics {
+    /// Measures a crossbar.
+    pub fn of(xbar: &Crossbar) -> Self {
+        let rows = xbar.rows();
+        let cols = xbar.cols();
+        let mut active = 0usize;
+        let mut bridges = 0usize;
+        for (_, _, a) in xbar.programmed_devices() {
+            if a.is_literal() {
+                active += 1;
+            } else {
+                bridges += 1;
+            }
+        }
+        CrossbarMetrics {
+            rows,
+            cols,
+            semiperimeter: rows + cols,
+            max_dimension: rows.max(cols),
+            area: rows * cols,
+            active_devices: active,
+            bridge_devices: bridges,
+            delay_steps: rows + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceAssignment;
+
+    #[test]
+    fn metrics_of_small_design() {
+        let mut x = Crossbar::new(3, 5, 2);
+        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(1, 1, DeviceAssignment::Literal { input: 1, negated: true }).unwrap();
+        x.set(2, 2, DeviceAssignment::On).unwrap();
+        let m = CrossbarMetrics::of(&x);
+        assert_eq!(m.rows, 3);
+        assert_eq!(m.cols, 5);
+        assert_eq!(m.semiperimeter, 8);
+        assert_eq!(m.max_dimension, 5);
+        assert_eq!(m.area, 15);
+        assert_eq!(m.active_devices, 2);
+        assert_eq!(m.bridge_devices, 1);
+        assert_eq!(m.delay_steps, 4);
+    }
+
+    #[test]
+    fn empty_crossbar() {
+        let x = Crossbar::new(0, 0, 0);
+        let m = CrossbarMetrics::of(&x);
+        assert_eq!(m.semiperimeter, 0);
+        assert_eq!(m.area, 0);
+        assert_eq!(m.active_devices, 0);
+        assert_eq!(m.delay_steps, 1);
+    }
+}

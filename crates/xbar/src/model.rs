@@ -1,0 +1,630 @@
+use std::fmt;
+
+/// What a memristor junction is programmed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceAssignment {
+    /// Unused junction: always high resistance.
+    #[default]
+    Off,
+    /// Stuck-on junction (logic `1`): always low resistance. COMPACT uses
+    /// these to bridge the wordline and bitline of a `VH`-labelled node.
+    On,
+    /// A literal of Boolean input `input`: low resistance when the literal
+    /// evaluates true.
+    Literal {
+        /// Index of the Boolean input variable.
+        input: usize,
+        /// Whether the literal is the negation of the input.
+        negated: bool,
+    },
+}
+
+impl DeviceAssignment {
+    /// The conductance state of the device under an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's input index is out of range.
+    pub fn conducts(self, inputs: &[bool]) -> bool {
+        match self {
+            DeviceAssignment::Off => false,
+            DeviceAssignment::On => true,
+            DeviceAssignment::Literal { input, negated } => inputs[input] ^ negated,
+        }
+    }
+
+    /// Whether the device is assigned a literal (counted as "active" by the
+    /// paper's power model).
+    pub fn is_literal(self) -> bool {
+        matches!(self, DeviceAssignment::Literal { .. })
+    }
+}
+
+impl fmt::Display for DeviceAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceAssignment::Off => write!(f, "0"),
+            DeviceAssignment::On => write!(f, "1"),
+            DeviceAssignment::Literal { input, negated } => {
+                write!(f, "{}x{}", if *negated { "!" } else { "" }, input)
+            }
+        }
+    }
+}
+
+/// A named output port bound to a wordline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Output name (the circuit's output net name).
+    pub name: String,
+    /// Wordline (row) index the output is sensed on.
+    pub row: usize,
+}
+
+/// Errors from crossbar construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// Offending index.
+        row: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// A column index was out of range.
+    ColOutOfRange {
+        /// Offending index.
+        col: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Evaluation was given the wrong number of input values.
+    InputLen {
+        /// Values supplied.
+        got: usize,
+        /// Inputs expected.
+        expected: usize,
+    },
+    /// The crossbar has no input port assigned.
+    NoInputPort,
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (crossbar has {rows} rows)")
+            }
+            XbarError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range (crossbar has {cols} columns)")
+            }
+            XbarError::InputLen { got, expected } => {
+                write!(f, "got {got} input values, crossbar expects {expected}")
+            }
+            XbarError::NoInputPort => write!(f, "crossbar has no input port"),
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+/// A crossbar design: the device grid plus input/output port bindings.
+///
+/// Rows are wordlines, columns are bitlines. `input_row` is the wordline
+/// driven with the supply voltage during evaluation (the paper drives the
+/// bottom-most wordline); each output is sensed on its own wordline.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    devices: Vec<DeviceAssignment>,
+    num_inputs: usize,
+    input_row: Option<usize>,
+    outputs: Vec<Port>,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+}
+
+impl Crossbar {
+    /// Creates an all-off crossbar with `rows × cols` junctions for a
+    /// function of `num_inputs` Boolean inputs.
+    pub fn new(rows: usize, cols: usize, num_inputs: usize) -> Self {
+        Crossbar {
+            rows,
+            cols,
+            devices: vec![DeviceAssignment::Off; rows * cols],
+            num_inputs,
+            input_row: None,
+            outputs: Vec::new(),
+            row_labels: vec![String::new(); rows],
+            col_labels: vec![String::new(); cols],
+        }
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of Boolean inputs the device literals may reference.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn check(&self, row: usize, col: usize) -> crate::Result<()> {
+        if row >= self.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(XbarError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Programs the junction at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, a: DeviceAssignment) -> crate::Result<()> {
+        self.check(row, col)?;
+        self.devices[row * self.cols + col] = a;
+        Ok(())
+    }
+
+    /// The junction assignment at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either index is out of range.
+    pub fn get(&self, row: usize, col: usize) -> crate::Result<DeviceAssignment> {
+        self.check(row, col)?;
+        Ok(self.devices[row * self.cols + col])
+    }
+
+    /// Binds the input port (driven wordline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `row` is out of range.
+    pub fn set_input_row(&mut self, row: usize) -> crate::Result<()> {
+        if row >= self.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        self.input_row = Some(row);
+        Ok(())
+    }
+
+    /// The input port wordline, if bound.
+    pub fn input_row(&self) -> Option<usize> {
+        self.input_row
+    }
+
+    /// Adds an output port on wordline `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `row` is out of range.
+    pub fn add_output(&mut self, name: impl Into<String>, row: usize) -> crate::Result<()> {
+        if row >= self.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        self.outputs.push(Port {
+            name: name.into(),
+            row,
+        });
+        Ok(())
+    }
+
+    /// The output ports in binding order.
+    pub fn outputs(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Sets a debugging label on a wordline (e.g. the BDD node it realizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `row` is out of range.
+    pub fn set_row_label(&mut self, row: usize, label: impl Into<String>) -> crate::Result<()> {
+        if row >= self.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        self.row_labels[row] = label.into();
+        Ok(())
+    }
+
+    /// Sets a debugging label on a bitline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `col` is out of range.
+    pub fn set_col_label(&mut self, col: usize, label: impl Into<String>) -> crate::Result<()> {
+        if col >= self.cols {
+            return Err(XbarError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        self.col_labels[col] = label.into();
+        Ok(())
+    }
+
+    /// The label of a wordline (empty when unset or out of range).
+    pub fn row_label(&self, row: usize) -> &str {
+        self.row_labels.get(row).map_or("", String::as_str)
+    }
+
+    /// The label of a bitline (empty when unset or out of range).
+    pub fn col_label(&self, col: usize) -> &str {
+        self.col_labels.get(col).map_or("", String::as_str)
+    }
+
+    /// Iterates over all non-[`DeviceAssignment::Off`] junctions as
+    /// `(row, col, assignment)`.
+    pub fn programmed_devices(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, DeviceAssignment)> + '_ {
+        self.devices.iter().enumerate().filter_map(move |(i, &a)| {
+            if a == DeviceAssignment::Off {
+                None
+            } else {
+                Some((i / self.cols, i % self.cols, a))
+            }
+        })
+    }
+
+    /// Programs the crossbar for an input assignment: returns the conducting
+    /// state of each junction (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLen`] on a wrong-sized assignment.
+    pub fn program(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
+        if inputs.len() != self.num_inputs {
+            return Err(XbarError::InputLen {
+                got: inputs.len(),
+                expected: self.num_inputs,
+            });
+        }
+        Ok(self.devices.iter().map(|a| a.conducts(inputs)).collect())
+    }
+
+    /// Flow-based evaluation: programs the devices and returns, for each
+    /// output port, whether a conducting path connects the input wordline to
+    /// that output wordline. This is the idealised sneak-path model; see
+    /// [`crate::circuit`] for the electrical version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::NoInputPort`] when no input row is bound, or
+    /// [`XbarError::InputLen`] on a wrong-sized assignment.
+    pub fn evaluate(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
+        let reached = self.reachable_rows(inputs)?;
+        Ok(self.outputs.iter().map(|p| reached[p.row]).collect())
+    }
+
+    /// The set of wordlines electrically connected to the input wordline
+    /// under an assignment (BFS over the bipartite wire graph).
+    ///
+    /// # Errors
+    ///
+    /// See [`Crossbar::evaluate`].
+    pub fn reachable_rows(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
+        let input_row = self.input_row.ok_or(XbarError::NoInputPort)?;
+        let conducting = self.program(inputs)?;
+        // Node ids: rows are 0..R, columns are R..R+C.
+        let mut row_adj: Vec<Vec<usize>> = vec![Vec::new(); self.rows];
+        let mut col_adj: Vec<Vec<usize>> = vec![Vec::new(); self.cols];
+        for (i, &on) in conducting.iter().enumerate() {
+            if on {
+                let (r, c) = (i / self.cols, i % self.cols);
+                row_adj[r].push(c);
+                col_adj[c].push(r);
+            }
+        }
+        let mut row_seen = vec![false; self.rows];
+        let mut col_seen = vec![false; self.cols];
+        let mut stack = vec![(true, input_row)];
+        row_seen[input_row] = true;
+        while let Some((is_row, idx)) = stack.pop() {
+            if is_row {
+                for &c in &row_adj[idx] {
+                    if !col_seen[c] {
+                        col_seen[c] = true;
+                        stack.push((false, c));
+                    }
+                }
+            } else {
+                for &r in &col_adj[idx] {
+                    if !row_seen[r] {
+                        row_seen[r] = true;
+                        stack.push((true, r));
+                    }
+                }
+            }
+        }
+        Ok(row_seen)
+    }
+
+    /// Evaluates 64 input assignments at once: bit `k` of `input_words[i]`
+    /// is input `i` in assignment `k`; bit `k` of output word `j` reports
+    /// output `j` under assignment `k`. Reachability is propagated as lane
+    /// masks to a fixpoint, so the cost is shared across all 64 lanes —
+    /// this is what makes large verification sweeps cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::NoInputPort`] when no input row is bound, or
+    /// [`XbarError::InputLen`] on a wrong-sized assignment.
+    pub fn evaluate64(&self, input_words: &[u64]) -> crate::Result<Vec<u64>> {
+        let input_row = self.input_row.ok_or(XbarError::NoInputPort)?;
+        if input_words.len() != self.num_inputs {
+            return Err(XbarError::InputLen {
+                got: input_words.len(),
+                expected: self.num_inputs,
+            });
+        }
+        // Conductance mask per programmed device.
+        let mut devices: Vec<(usize, usize, u64)> = Vec::new();
+        for (r, c, a) in self.programmed_devices() {
+            let mask = match a {
+                DeviceAssignment::Off => 0,
+                DeviceAssignment::On => u64::MAX,
+                DeviceAssignment::Literal { input, negated } => {
+                    if negated {
+                        !input_words[input]
+                    } else {
+                        input_words[input]
+                    }
+                }
+            };
+            if mask != 0 {
+                devices.push((r, c, mask));
+            }
+        }
+        let mut row_reach = vec![0u64; self.rows];
+        let mut col_reach = vec![0u64; self.cols];
+        row_reach[input_row] = u64::MAX;
+        // Fixpoint propagation over the bipartite wire graph; terminates in
+        // at most rows+cols sweeps (each sweep extends shortest paths).
+        loop {
+            let mut changed = false;
+            for &(r, c, mask) in &devices {
+                let to_col = row_reach[r] & mask & !col_reach[c];
+                if to_col != 0 {
+                    col_reach[c] |= to_col;
+                    changed = true;
+                }
+                let to_row = col_reach[c] & mask & !row_reach[r];
+                if to_row != 0 {
+                    row_reach[r] |= to_row;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(self.outputs.iter().map(|p| row_reach[p.row]).collect())
+    }
+
+    /// Renders the device grid as text (one row per wordline), as in the
+    /// paper's Figure 2(c) matrices. Intended for debugging small designs.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let a = self.devices[r * self.cols + c];
+                let _ = write!(out, "{:>4}", a.to_string());
+            }
+            let mut tags = Vec::new();
+            if Some(r) == self.input_row {
+                tags.push("in".to_string());
+            }
+            for p in &self.outputs {
+                if p.row == r {
+                    tags.push(format!("out:{}", p.name));
+                }
+            }
+            if tags.is_empty() {
+                let _ = writeln!(out);
+            } else {
+                let _ = writeln!(out, "   <- {}", tags.join(","));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 crossbar for f = (a ∧ b) ∨ c.
+    ///
+    /// Wires: rows = [1-terminal (input), node b, node a (output root)],
+    /// cols = [node c's bitline / bridge structure]. We reproduce the spirit
+    /// with an explicit hand mapping:
+    ///   row0 = input (terminal 1), row1 = internal, row2 = output.
+    fn fig2_crossbar() -> Crossbar {
+        // f = (a AND b) OR c over inputs [a, b, c].
+        // Layout: col0 connects row0-row1 via literal b; col1 connects
+        // row1-row2 via literal a; col2 connects row0-row2 via literal c.
+        let mut x = Crossbar::new(3, 3, 3);
+        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(2, 1, DeviceAssignment::On).unwrap();
+        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(2, 2, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 2).unwrap();
+        x
+    }
+
+    #[test]
+    fn fig2_truth_table() {
+        let x = fig2_crossbar();
+        for bits in 0u32..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let out = x.evaluate(&[a, b, c]).unwrap();
+            assert_eq!(out, vec![(a && b) || c], "{bits:03b}");
+        }
+    }
+
+    #[test]
+    fn assignments_conduct_correctly() {
+        let on = DeviceAssignment::On;
+        let off = DeviceAssignment::Off;
+        let lit = DeviceAssignment::Literal { input: 0, negated: false };
+        let nlit = DeviceAssignment::Literal { input: 0, negated: true };
+        assert!(on.conducts(&[false]));
+        assert!(!off.conducts(&[true]));
+        assert!(lit.conducts(&[true]) && !lit.conducts(&[false]));
+        assert!(nlit.conducts(&[false]) && !nlit.conducts(&[true]));
+        assert!(lit.is_literal() && nlit.is_literal());
+        assert!(!on.is_literal() && !off.is_literal());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut x = Crossbar::new(2, 2, 1);
+        assert!(matches!(
+            x.set(2, 0, DeviceAssignment::On),
+            Err(XbarError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            x.set(0, 5, DeviceAssignment::On),
+            Err(XbarError::ColOutOfRange { .. })
+        ));
+        assert!(x.set_input_row(3).is_err());
+        assert!(x.add_output("f", 9).is_err());
+        assert!(x.get(0, 0).is_ok());
+    }
+
+    #[test]
+    fn missing_input_port_is_error() {
+        let x = Crossbar::new(2, 2, 1);
+        assert_eq!(x.evaluate(&[true]).unwrap_err(), XbarError::NoInputPort);
+    }
+
+    #[test]
+    fn wrong_input_len_is_error() {
+        let x = fig2_crossbar();
+        assert!(matches!(
+            x.evaluate(&[true]),
+            Err(XbarError::InputLen { got: 1, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn no_path_through_off_devices() {
+        let mut x = Crossbar::new(2, 1, 1);
+        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        // row1-col0 left Off: even with the literal on, row 1 is unreachable.
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 1).unwrap();
+        assert_eq!(x.evaluate(&[true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn multi_output_sensing() {
+        // Input row 0; outputs on rows 1 and 2 with different literals.
+        let mut x = Crossbar::new(3, 2, 2);
+        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set(0, 1, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(2, 1, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f0", 1).unwrap();
+        x.add_output("f1", 2).unwrap();
+        assert_eq!(x.evaluate(&[true, false]).unwrap(), vec![true, false]);
+        assert_eq!(x.evaluate(&[false, true]).unwrap(), vec![false, true]);
+        assert_eq!(x.evaluate(&[true, true]).unwrap(), vec![true, true]);
+    }
+
+    #[test]
+    fn evaluate64_agrees_with_scalar_on_fig2() {
+        let x = fig2_crossbar();
+        // Pack all 8 assignments into the low lanes.
+        let mut words = vec![0u64; 3];
+        for lane in 0..8u64 {
+            for (i, w) in words.iter_mut().enumerate() {
+                if lane >> i & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        let wide = x.evaluate64(&words).unwrap();
+        assert_eq!(wide.len(), 1);
+        for lane in 0..8u64 {
+            let ins: Vec<bool> = (0..3).map(|i| lane >> i & 1 == 1).collect();
+            let scalar = x.evaluate(&ins).unwrap()[0];
+            assert_eq!(wide[0] >> lane & 1 == 1, scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn evaluate64_checks_arity_and_port() {
+        let x = fig2_crossbar();
+        assert!(matches!(
+            x.evaluate64(&[0]),
+            Err(XbarError::InputLen { got: 1, expected: 3 })
+        ));
+        let no_port = Crossbar::new(2, 2, 1);
+        assert_eq!(no_port.evaluate64(&[0]).unwrap_err(), XbarError::NoInputPort);
+    }
+
+    #[test]
+    fn programmed_devices_iterator() {
+        let x = fig2_crossbar();
+        let devs: Vec<_> = x.programmed_devices().collect();
+        assert_eq!(devs.len(), 6);
+        assert_eq!(devs.iter().filter(|(_, _, a)| a.is_literal()).count(), 3);
+    }
+
+    #[test]
+    fn render_marks_ports() {
+        let x = fig2_crossbar();
+        let text = x.render();
+        assert!(text.contains("<- in"));
+        assert!(text.contains("out:f"));
+        assert!(text.contains("x2"));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut x = Crossbar::new(2, 2, 1);
+        x.set_row_label(0, "root").unwrap();
+        x.set_col_label(1, "n3").unwrap();
+        assert_eq!(x.row_label(0), "root");
+        assert_eq!(x.col_label(1), "n3");
+        assert_eq!(x.row_label(1), "");
+        assert!(x.set_row_label(5, "bad").is_err());
+    }
+}

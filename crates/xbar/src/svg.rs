@@ -1,0 +1,162 @@
+//! SVG rendering of crossbar designs: wordlines and bitlines as a grid,
+//! junctions colored by assignment (always-on bridges, positive and negated
+//! literals), ports annotated. The output matches the matrix drawings of
+//! the paper's figures and scales to medium designs.
+
+use std::fmt::Write as _;
+
+use crate::{Crossbar, DeviceAssignment};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Pixel pitch between adjacent wires.
+    pub pitch: f64,
+    /// Junction dot radius.
+    pub radius: f64,
+    /// Whether to draw row/column labels (readable only on small designs).
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            pitch: 22.0,
+            radius: 7.0,
+            labels: true,
+        }
+    }
+}
+
+/// Renders the crossbar as an SVG document string.
+pub fn to_svg(xbar: &Crossbar, options: &SvgOptions) -> String {
+    let p = options.pitch;
+    let margin = 3.0 * p;
+    let width = margin * 2.0 + (xbar.cols().max(1) - 1) as f64 * p;
+    let height = margin * 2.0 + (xbar.rows().max(1) - 1) as f64 * p;
+    let x_of = |c: usize| margin + c as f64 * p;
+    let y_of = |r: usize| margin + r as f64 * p;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="white"/>"##
+    );
+    // Wires.
+    for r in 0..xbar.rows() {
+        let y = y_of(r);
+        let is_input = xbar.input_row() == Some(r);
+        let is_output = xbar.outputs().iter().any(|port| port.row == r);
+        let (stroke, sw) = if is_input {
+            ("#d62728", 2.5)
+        } else if is_output {
+            ("#2ca02c", 2.5)
+        } else {
+            ("#999999", 1.0)
+        };
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{stroke}" stroke-width="{sw}"/>"##,
+            x_of(0) - p,
+            x_of(xbar.cols().saturating_sub(1)) + p,
+        );
+    }
+    for c in 0..xbar.cols() {
+        let x = x_of(c);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#bbbbbb" stroke-width="1.0"/>"##,
+            y_of(0) - p,
+            y_of(xbar.rows().saturating_sub(1)) + p,
+        );
+    }
+    // Junctions.
+    for (r, c, a) in xbar.programmed_devices() {
+        let (fill, title) = match a {
+            DeviceAssignment::On => ("#000000".to_string(), "1 (bridge)".to_string()),
+            DeviceAssignment::Literal { input, negated } => {
+                let color = if negated { "#1f77b4" } else { "#ff7f0e" };
+                (
+                    color.to_string(),
+                    format!("{}x{input}", if negated { "!" } else { "" }),
+                )
+            }
+            DeviceAssignment::Off => continue,
+        };
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{fill}"><title>{title}</title></circle>"##,
+            x_of(c),
+            y_of(r),
+            options.radius,
+        );
+    }
+    // Port annotations and labels.
+    if options.labels {
+        if let Some(input_row) = xbar.input_row() {
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-size="{:.0}" fill="#d62728">Vin</text>"##,
+                4.0,
+                y_of(input_row) + 4.0,
+                0.6 * p,
+            );
+        }
+        for port in xbar.outputs() {
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-size="{:.0}" fill="#2ca02c">{}</text>"##,
+                x_of(xbar.cols().saturating_sub(1)) + 1.2 * p,
+                y_of(port.row) + 4.0,
+                0.6 * p,
+                port.name,
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_structure() {
+        let mut x = Crossbar::new(3, 2, 2);
+        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(1, 1, DeviceAssignment::Literal { input: 1, negated: true }).unwrap();
+        x.set(2, 0, DeviceAssignment::On).unwrap();
+        x.set_input_row(2).unwrap();
+        x.add_output("f", 0).unwrap();
+        let svg = to_svg(&x, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 3 + 2 wires, 3 junctions, Vin + one output label.
+        assert_eq!(svg.matches("<line").count(), 5);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains(">Vin<"));
+        assert!(svg.contains(">f<"));
+        // Literal polarity colors differ.
+        assert!(svg.contains("#ff7f0e") && svg.contains("#1f77b4"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let mut x = Crossbar::new(2, 1, 1);
+        x.set_input_row(1).unwrap();
+        x.add_output("f", 0).unwrap();
+        let svg = to_svg(
+            &x,
+            &SvgOptions {
+                labels: false,
+                ..Default::default()
+            },
+        );
+        assert!(!svg.contains("<text"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Device-variation analysis: Monte Carlo sampling of memristor resistances
+//! around their nominal on/off values, reporting how the sensing margin
+//! degrades — the robustness study a hardware evaluation of flow-based
+//! designs needs on top of the nominal-SPICE validation.
+
+use crate::circuit::ElectricalModel;
+use crate::{Crossbar, Result};
+
+/// Log-normal-style device variation: each device's resistance is its
+/// nominal value scaled by `exp(σ·z)` with `z` a standard normal sample.
+#[derive(Debug, Clone, Copy)]
+pub struct VariationModel {
+    /// The nominal electrical model.
+    pub nominal: ElectricalModel,
+    /// Log-domain sigma of the on-state resistance.
+    pub sigma_on: f64,
+    /// Log-domain sigma of the off-state resistance.
+    pub sigma_off: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel {
+            nominal: ElectricalModel::default(),
+            sigma_on: 0.1,
+            sigma_off: 0.25,
+        }
+    }
+}
+
+/// Margin statistics over a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginStats {
+    /// Trials evaluated.
+    pub trials: usize,
+    /// Lowest logic-1 output voltage across all trials.
+    pub worst_on: f64,
+    /// Highest logic-0 output voltage across all trials.
+    pub worst_off: f64,
+    /// Trials in which the on/off voltages ceased to be separable.
+    pub failures: usize,
+}
+
+impl MarginStats {
+    /// Fraction of trials with an intact sensing margin.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            1.0 - self.failures as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Deterministic xorshift-based standard-normal sampler (Box–Muller on two
+/// uniform samples) so runs are reproducible without external RNG state.
+struct Normal {
+    state: u64,
+}
+
+impl Normal {
+    fn new(seed: u64) -> Self {
+        Normal {
+            state: seed.max(1),
+        }
+    }
+
+    fn uniform(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn sample(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Runs `trials` Monte Carlo evaluations of the crossbar under the given
+/// input assignments (each trial perturbs every device), classifying each
+/// output voltage against the reference values in `expected` (parallel to
+/// `assignments`), and returns the worst-case margin statistics.
+///
+/// # Errors
+///
+/// Propagates crossbar evaluation errors.
+///
+/// # Panics
+///
+/// Panics if `expected.len() != assignments.len()`.
+pub fn monte_carlo_margin(
+    xbar: &Crossbar,
+    assignments: &[Vec<bool>],
+    expected: &[Vec<bool>],
+    model: &VariationModel,
+    trials: usize,
+    seed: u64,
+) -> Result<MarginStats> {
+    assert_eq!(assignments.len(), expected.len(), "reference length mismatch");
+    let mut rng = Normal::new(seed);
+    let mut stats = MarginStats {
+        trials,
+        worst_on: f64::INFINITY,
+        worst_off: f64::NEG_INFINITY,
+        failures: 0,
+    };
+    for _ in 0..trials {
+        // Perturbed electrical model for this trial. A full per-device
+        // perturbation would need per-junction resistances; the dominant
+        // systematic effect — the on/off band moving together — is captured
+        // by perturbing the two band levels, while independent per-device
+        // noise averages out along multi-device paths.
+        let trial_model = ElectricalModel {
+            r_on: model.nominal.r_on * (model.sigma_on * rng.sample()).exp(),
+            r_off: model.nominal.r_off * (model.sigma_off * rng.sample()).exp(),
+            ..model.nominal
+        };
+        let mut min_on = f64::INFINITY;
+        let mut max_off = f64::NEG_INFINITY;
+        for (assignment, want) in assignments.iter().zip(expected) {
+            let volts = trial_model.output_voltages(xbar, assignment)?;
+            for (v, w) in volts.iter().zip(want) {
+                if *w {
+                    min_on = min_on.min(*v);
+                } else {
+                    max_off = max_off.max(*v);
+                }
+            }
+        }
+        if min_on.is_finite() {
+            stats.worst_on = stats.worst_on.min(min_on);
+        }
+        if max_off.is_finite() {
+            stats.worst_off = stats.worst_off.max(max_off);
+        }
+        if min_on.is_finite() && max_off.is_finite() && min_on <= max_off {
+            stats.failures += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceAssignment;
+
+    fn fig2() -> Crossbar {
+        let mut x = Crossbar::new(3, 3, 3);
+        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(2, 1, DeviceAssignment::On).unwrap();
+        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(2, 2, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 2).unwrap();
+        x
+    }
+
+    fn truth_rows() -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+        let mut assignments = Vec::new();
+        let mut expected = Vec::new();
+        for bits in 0u32..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            assignments.push(vec![a, b, c]);
+            expected.push(vec![(a && b) || c]);
+        }
+        (assignments, expected)
+    }
+
+    #[test]
+    fn healthy_devices_give_full_yield() {
+        let x = fig2();
+        let (assignments, expected) = truth_rows();
+        let stats = monte_carlo_margin(
+            &x,
+            &assignments,
+            &expected,
+            &VariationModel::default(),
+            50,
+            42,
+        )
+        .unwrap();
+        assert_eq!(stats.failures, 0, "worst margin {stats:?}");
+        assert!(stats.worst_on > stats.worst_off);
+        assert!((stats.yield_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_ratio_fails() {
+        let x = fig2();
+        let (assignments, expected) = truth_rows();
+        // An on/off ratio of ~1 cannot be sensed.
+        let broken = VariationModel {
+            nominal: ElectricalModel {
+                r_off: 1.5e3,
+                ..ElectricalModel::default()
+            },
+            sigma_on: 0.5,
+            sigma_off: 0.5,
+        };
+        let stats =
+            monte_carlo_margin(&x, &assignments, &expected, &broken, 50, 42).unwrap();
+        assert!(stats.failures > 0);
+        assert!(stats.yield_fraction() < 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let x = fig2();
+        let (assignments, expected) = truth_rows();
+        let m = VariationModel::default();
+        let a = monte_carlo_margin(&x, &assignments, &expected, &m, 20, 7).unwrap();
+        let b = monte_carlo_margin(&x, &assignments, &expected, &m, 20, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Functional and electrical verification of crossbar designs against a
+//! reference gate-level network — the role SPICE simulation plays in the
+//! paper's evaluation ("we have verified that all the crossbar designs are
+//! valid").
+
+use flowc_logic::Network;
+
+use crate::circuit::ElectricalModel;
+use crate::{Crossbar, Result};
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Assignments checked.
+    pub checked: usize,
+    /// Assignments where the crossbar disagreed with the reference.
+    pub mismatches: Vec<Vec<bool>>,
+    /// Worst-case electrical margin observed, when electrical checking ran:
+    /// `(lowest sensed voltage for a logic-1, highest for a logic-0)`.
+    /// The design is electrically sensable iff the first exceeds the
+    /// second — a threshold between them classifies every checked output.
+    pub electrical_margin: Option<(f64, f64)>,
+}
+
+impl VerifyReport {
+    /// Whether the design matched the reference on every checked
+    /// assignment, and — when the electrical margin was measured — a
+    /// sensing threshold separating logic 1 from logic 0 exists.
+    pub fn is_valid(&self) -> bool {
+        self.mismatches.is_empty() && self.margin_ok()
+    }
+
+    /// Whether the electrical on/off voltages are separable (vacuously true
+    /// for functional-only reports or when one class was never observed).
+    pub fn margin_ok(&self) -> bool {
+        match self.electrical_margin {
+            Some((min_on, max_off)) if min_on.is_finite() && max_off.is_finite() => {
+                min_on > max_off
+            }
+            _ => true,
+        }
+    }
+}
+
+/// Deterministic xorshift for sampling assignments.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn assignments(num_inputs: usize, samples: usize) -> Vec<Vec<bool>> {
+    if num_inputs <= 16 && (1usize << num_inputs) <= samples.max(1 << num_inputs.min(16)) {
+        // Exhaustive when feasible.
+        (0..1usize << num_inputs)
+            .map(|v| (0..num_inputs).map(|i| v >> i & 1 == 1).collect())
+            .collect()
+    } else {
+        let mut seed = 0x5EED_0F_F10Cu64 ^ (num_inputs as u64) << 32;
+        (0..samples)
+            .map(|_| {
+                (0..num_inputs)
+                    .map(|_| xorshift(&mut seed) & 1 == 1)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Checks the crossbar's flow-based evaluation against network simulation:
+/// exhaustive for up to 16 inputs, otherwise `samples` random assignments.
+///
+/// # Errors
+///
+/// Propagates crossbar evaluation errors (missing input port, arity).
+///
+/// # Panics
+///
+/// Panics if the network's input count differs from the crossbar's.
+pub fn verify_functional(
+    xbar: &Crossbar,
+    reference: &Network,
+    samples: usize,
+) -> Result<VerifyReport> {
+    assert_eq!(
+        reference.num_inputs(),
+        xbar.num_inputs(),
+        "reference and crossbar must agree on the input count"
+    );
+    let mut mismatches = Vec::new();
+    let assigns = assignments(xbar.num_inputs(), samples);
+    let checked = assigns.len();
+    let k = xbar.num_inputs();
+    // Both sides support 64-wide evaluation; batch the assignments.
+    'outer: for chunk in assigns.chunks(64) {
+        let mut words = vec![0u64; k];
+        for (lane, a) in chunk.iter().enumerate() {
+            for (i, w) in words.iter_mut().enumerate() {
+                if a[i] {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        let got = xbar.evaluate64(&words)?;
+        let want = reference
+            .simulate64(&words)
+            .expect("input count checked above");
+        let lane_mask = if chunk.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        for (g, w) in got.iter().zip(&want) {
+            let diff = (g ^ w) & lane_mask;
+            if diff != 0 {
+                for lane in 0..chunk.len() {
+                    if diff >> lane & 1 == 1 {
+                        mismatches.push(chunk[lane].clone());
+                        if mismatches.len() >= 10 {
+                            break 'outer; // enough evidence
+                        }
+                    }
+                }
+            }
+        }
+    }
+    mismatches.sort_unstable();
+    mismatches.dedup();
+    Ok(VerifyReport {
+        checked,
+        mismatches,
+        electrical_margin: None,
+    })
+}
+
+/// Checks the crossbar *electrically*: nodal analysis under each sampled
+/// assignment, requiring every logic-1 output voltage to exceed every
+/// logic-0 output voltage (so one sensing threshold classifies the design
+/// correctly on all checked assignments; the margin is reported). Intended
+/// for small/medium designs — the dense solve is cubic in the wire count.
+///
+/// # Errors
+///
+/// Propagates crossbar evaluation errors.
+///
+/// # Panics
+///
+/// Panics if the network's input count differs from the crossbar's.
+pub fn verify_electrical(
+    xbar: &Crossbar,
+    reference: &Network,
+    model: &ElectricalModel,
+    samples: usize,
+) -> Result<VerifyReport> {
+    assert_eq!(reference.num_inputs(), xbar.num_inputs());
+    let assigns = assignments(xbar.num_inputs(), samples);
+    let checked = assigns.len();
+    let mut min_on = f64::INFINITY;
+    let mut max_off = f64::NEG_INFINITY;
+    for a in assigns {
+        let volts = model.output_voltages(xbar, &a)?;
+        let want = reference.simulate(&a).expect("input count checked");
+        for (v, w) in volts.iter().zip(&want) {
+            if *w {
+                min_on = min_on.min(*v);
+            } else {
+                max_off = max_off.max(*v);
+            }
+        }
+    }
+    Ok(VerifyReport {
+        checked,
+        mismatches: Vec::new(),
+        electrical_margin: Some((min_on, max_off)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceAssignment;
+    use flowc_logic::{GateKind, Network};
+
+    fn fig2_pair() -> (Crossbar, Network) {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+
+        let mut x = Crossbar::new(3, 3, 3);
+        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(2, 1, DeviceAssignment::On).unwrap();
+        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(2, 2, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 2).unwrap();
+        (x, n)
+    }
+
+    #[test]
+    fn valid_design_passes_both_checks() {
+        let (x, n) = fig2_pair();
+        let r = verify_functional(&x, &n, 64).unwrap();
+        assert!(r.is_valid());
+        assert_eq!(r.checked, 8, "exhaustive for 3 inputs");
+        let e = verify_electrical(&x, &n, &ElectricalModel::default(), 64).unwrap();
+        assert!(e.is_valid());
+        let (min_on, max_off) = e.electrical_margin.unwrap();
+        assert!(min_on > max_off, "separation: {min_on} vs {max_off}");
+    }
+
+    #[test]
+    fn broken_design_is_caught() {
+        let (mut x, n) = fig2_pair();
+        // Sabotage: make the c-edge always off.
+        x.set(0, 2, DeviceAssignment::Off).unwrap();
+        let r = verify_functional(&x, &n, 64).unwrap();
+        assert!(!r.is_valid());
+        // The failing assignments all have c=1, ¬(a∧b).
+        for a in &r.mismatches {
+            assert!(a[2] && !(a[0] && a[1]), "unexpected mismatch {a:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_used_for_wide_inputs() {
+        // 20 inputs: must sample, not enumerate.
+        let mut n = Network::new("wide");
+        let ins: Vec<_> = (0..20).map(|i| n.add_input(format!("x{i}"))).collect();
+        let f = n.add_gate(GateKind::Or, &ins, "f").unwrap();
+        n.mark_output(f);
+        let mut x = Crossbar::new(2, 1, 20);
+        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 1).unwrap();
+        // Wrong design (only tests x0); sampling should catch it quickly.
+        let r = verify_functional(&x, &n, 200).unwrap();
+        assert_eq!(r.checked, 200);
+        assert!(!r.is_valid());
+    }
+}

@@ -1,0 +1,226 @@
+//! `flowc` — command-line front end for the COMPACT synthesis flow.
+//!
+//! ```text
+//! flowc list
+//! flowc synth <circuit.{blif,pla,v}> [options]
+//! flowc bench <name> [options]
+//! flowc convert <in.{blif,pla,v}> <out.{blif,pla,v}>
+//!
+//! options:
+//!   --gamma <0..1>        trade-off weight (default 0.5)
+//!   --strategy <weighted|min-s|heuristic>
+//!   --time-limit <secs>   solver budget (default 30)
+//!   --no-align            drop the Eq. 7 alignment constraints
+//!   --render              print the device matrix (small designs)
+//!   --svg <file>          write an SVG rendering of the design
+//!   --validate <n>        check n assignments against simulation
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use flowc::compact::pipeline::{synthesize, Config, VhStrategy};
+use flowc::logic::{blif, pla, verilog, Network};
+use flowc::xbar::verify::verify_functional;
+
+fn load(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let parsed = match ext {
+        "blif" => blif::parse(&text),
+        "pla" => pla::parse(&text),
+        "v" | "verilog" => verilog::parse(&text),
+        other => return Err(format!("unknown circuit extension `.{other}` (use .blif/.pla/.v)")),
+    };
+    parsed.map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(network: &Network, path: &str) -> Result<(), String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let text = match ext {
+        "blif" => blif::write(network),
+        "pla" => pla::write(network).map_err(|e| e.to_string())?,
+        "v" | "verilog" => verilog::write(network),
+        other => return Err(format!("unknown output extension `.{other}`")),
+    };
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+}
+
+struct Options {
+    gamma: f64,
+    strategy: String,
+    time_limit: Duration,
+    align: bool,
+    render: bool,
+    validate: Option<usize>,
+    svg: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options {
+            gamma: 0.5,
+            strategy: "weighted".to_string(),
+            time_limit: Duration::from_secs(30),
+            align: true,
+            render: false,
+            validate: None,
+            svg: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--gamma" => {
+                    opts.gamma = value("--gamma")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--gamma: {e}"))?;
+                    if !(0.0..=1.0).contains(&opts.gamma) {
+                        return Err("--gamma must be within [0, 1]".into());
+                    }
+                }
+                "--strategy" => opts.strategy = value("--strategy")?,
+                "--time-limit" => {
+                    opts.time_limit = Duration::from_secs(
+                        value("--time-limit")?
+                            .parse::<u64>()
+                            .map_err(|e| format!("--time-limit: {e}"))?,
+                    )
+                }
+                "--no-align" => opts.align = false,
+                "--svg" => opts.svg = Some(value("--svg")?),
+                "--render" => opts.render = true,
+                "--validate" => {
+                    opts.validate = Some(
+                        value("--validate")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--validate: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn config(&self) -> Result<Config, String> {
+        let strategy = match self.strategy.as_str() {
+            "weighted" => VhStrategy::Weighted {
+                gamma: self.gamma,
+                time_limit: self.time_limit,
+                exact_node_limit: 80,
+            },
+            "min-s" => VhStrategy::MinSemiperimeter {
+                time_limit: self.time_limit,
+            },
+            "heuristic" => VhStrategy::Heuristic { gamma: self.gamma },
+            other => return Err(format!("unknown strategy `{other}`")),
+        };
+        Ok(Config {
+            strategy,
+            align: self.align,
+            var_order: None,
+        })
+    }
+}
+
+fn synth(network: &Network, opts: &Options) -> Result<(), String> {
+    let cfg = opts.config()?;
+    let result = synthesize(network, &cfg).map_err(|e| e.to_string())?;
+    println!("circuit    : {}", network.name());
+    println!("inputs     : {}", network.num_inputs());
+    println!("outputs    : {}", network.num_outputs());
+    println!("BDD nodes  : {}", result.graph_nodes);
+    println!("BDD edges  : {}", result.graph_edges);
+    println!("crossbar   : {} x {}", result.stats.rows, result.stats.cols);
+    println!("semiperim. : {} ({:.3} per node)", result.stats.semiperimeter,
+        result.stats.semiperimeter as f64 / result.graph_nodes.max(1) as f64);
+    println!("max dim    : {}", result.stats.max_dimension);
+    println!("area       : {}", result.metrics.area);
+    println!("VH nodes   : {}", result.stats.num_vh);
+    println!("power      : {} active devices", result.metrics.active_devices);
+    println!("delay      : {} steps", result.metrics.delay_steps);
+    println!("optimal    : {} (gap {:.2}%)", result.optimal, 100.0 * result.relative_gap);
+    println!("synth time : {:.2}s", result.synthesis_time.as_secs_f64());
+    if opts.render {
+        println!("\ndevice matrix:\n{}", result.crossbar.render());
+    }
+    if let Some(path) = &opts.svg {
+        let svg = flowc::xbar::svg::to_svg(&result.crossbar, &flowc::xbar::svg::SvgOptions::default());
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        println!("svg        : wrote {path}");
+    }
+    if let Some(samples) = opts.validate {
+        let report = verify_functional(&result.crossbar, network, samples)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "validation : {} assignments, {}",
+            report.checked,
+            if report.is_valid() { "all match" } else { "MISMATCH" }
+        );
+        if !report.is_valid() {
+            return Err("design mismatches the source circuit".into());
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<11} {:>7} {:>8} suite", "name", "inputs", "outputs");
+            for b in flowc::logic::bench_suite::all() {
+                println!(
+                    "{:<11} {:>7} {:>8} {}",
+                    b.name, b.paper.inputs, b.paper.outputs, b.suite.name()
+                );
+            }
+            Ok(())
+        }
+        Some("synth") => {
+            let path = args.get(1).ok_or("synth needs a circuit file")?;
+            let network = load(path)?;
+            let opts = Options::parse(&args[2..])?;
+            synth(&network, &opts)
+        }
+        Some("bench") => {
+            let name = args.get(1).ok_or("bench needs a benchmark name")?;
+            let bench = flowc::logic::bench_suite::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}` (try `flowc list`)"))?;
+            let network = bench.network().map_err(|e| e.to_string())?;
+            let opts = Options::parse(&args[2..])?;
+            synth(&network, &opts)
+        }
+        Some("convert") => {
+            let input = args.get(1).ok_or("convert needs an input file")?;
+            let output = args.get(2).ok_or("convert needs an output file")?;
+            let network = load(input)?;
+            save(&network, output)?;
+            println!("wrote {output}");
+            Ok(())
+        }
+        _ => Err("usage: flowc <list|synth|bench|convert> …  (see --help in the README)".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # flowc — flow-based in-memory computing on nanoscale crossbars
+//!
+//! A from-scratch Rust reproduction of *COMPACT: Flow-Based Computing on
+//! Nanoscale Crossbars with Minimal Semiperimeter and Maximum Dimension*
+//! (Thijssen, Jha, Ewetz — DATE 2021), together with every substrate the
+//! paper's flow depends on:
+//!
+//! - [`logic`]: gate-level networks, BLIF/PLA I/O, simulation, and the
+//!   benchmark circuit generators;
+//! - [`bdd`]: a ROBDD/SBDD package (the CUDD stand-in);
+//! - [`graph`]: bipartiteness, matching, minimum vertex cover, and the odd
+//!   cycle transversal of the paper's Lemma 1;
+//! - [`milp`]: a 0-1 MILP solver with simplex LP relaxation and branch &
+//!   bound (the CPLEX stand-in), including convergence traces;
+//! - [`xbar`]: the memristor crossbar model with sneak-path flow evaluation
+//!   and DC nodal analysis (the SPICE stand-in);
+//! - [`compact`]: the COMPACT framework itself — graph preprocessing,
+//!   VH-labeling (odd-cycle-transversal and weighted-MIP solvers), and
+//!   crossbar mapping;
+//! - [`baselines`]: the prior-art staircase mapping, the per-output ROBDD
+//!   flow, and a CONTRA-style MAGIC comparator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flowc::logic::{Network, GateKind};
+//! use flowc::compact::{synthesize, Config};
+//!
+//! // f = (a ∧ b) ∨ c — the paper's running example.
+//! let mut n = Network::new("fig2");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let c = n.add_input("c");
+//! let ab = n.add_gate(GateKind::And, &[a, b], "ab")?;
+//! let f = n.add_gate(GateKind::Or, &[ab, c], "f")?;
+//! n.mark_output(f);
+//!
+//! let design = synthesize(&n, &Config::default())?;
+//! assert_eq!(design.crossbar.evaluate(&[true, true, false])?, vec![true]);
+//! println!(
+//!     "crossbar: {} × {} (S = {}, D = {})",
+//!     design.stats.rows, design.stats.cols,
+//!     design.stats.semiperimeter, design.stats.max_dimension,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flowc_baselines as baselines;
+pub use flowc_bdd as bdd;
+pub use flowc_compact as compact;
+pub use flowc_graph as graph;
+pub use flowc_logic as logic;
+pub use flowc_milp as milp;
+pub use flowc_xbar as xbar;

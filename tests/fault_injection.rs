@@ -1,0 +1,161 @@
+//! Failure-injection tests: the verification machinery must catch broken
+//! designs, not just bless good ones. Each test damages a synthesized
+//! crossbar in a specific way and checks that functional verification
+//! reports the defect.
+
+use flowc::compact::{synthesize, Config};
+use flowc::logic::bench_suite;
+use flowc::logic::{GateKind, Network};
+use flowc::xbar::verify::verify_functional;
+use flowc::xbar::{Crossbar, DeviceAssignment};
+
+fn fig2_pair() -> (Network, Crossbar) {
+    let mut n = Network::new("fig2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+    n.mark_output(f);
+    let design = synthesize(&n, &Config::default()).unwrap();
+    (n, design.crossbar)
+}
+
+#[test]
+fn every_stuck_open_literal_fault_is_caught_on_fig2() {
+    // Every literal device in a minimal design is load-bearing: forcing it
+    // permanently off must change the function.
+    let (network, crossbar) = fig2_pair();
+    let faults: Vec<(usize, usize)> = crossbar
+        .programmed_devices()
+        .filter(|(_, _, a)| a.is_literal())
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    assert!(!faults.is_empty());
+    for (r, c) in faults {
+        let mut broken = crossbar.clone();
+        broken.set(r, c, DeviceAssignment::Off).unwrap();
+        let report = verify_functional(&broken, &network, 64).unwrap();
+        assert!(
+            !report.is_valid(),
+            "stuck-open at ({r},{c}) was not detected"
+        );
+    }
+}
+
+#[test]
+fn stuck_closed_faults_are_caught_unless_logically_masked() {
+    // Forcing a literal device permanently on creates spurious sneak paths.
+    // Some such faults are logically masked — e.g. shorting the ¬a edge
+    // into node c of the Fig. 2 BDD yields f ∨ c = f — so the check is:
+    // each fault is either detected, or exhaustively proven equivalent
+    // (which the verifier's clean pass over all 2³ assignments is).
+    let (network, crossbar) = fig2_pair();
+    let mut detected = 0usize;
+    let mut masked = 0usize;
+    for (r, c, a) in crossbar.programmed_devices().collect::<Vec<_>>() {
+        if !a.is_literal() {
+            continue;
+        }
+        let mut broken = crossbar.clone();
+        broken.set(r, c, DeviceAssignment::On).unwrap();
+        let report = verify_functional(&broken, &network, 64).unwrap();
+        assert_eq!(report.checked, 8, "3 inputs are checked exhaustively");
+        if report.is_valid() {
+            masked += 1;
+        } else {
+            detected += 1;
+        }
+    }
+    assert!(detected >= 3, "most stuck-closed faults must be visible");
+    assert!(masked <= 2, "fig2 has at most the ¬a-into-c class of maskings");
+}
+
+#[test]
+fn vh_bridge_faults_are_caught_on_fig2() {
+    // Breaking the always-on bridge of a VH node splits a wire in two.
+    let (network, crossbar) = fig2_pair();
+    let bridges: Vec<(usize, usize)> = crossbar
+        .programmed_devices()
+        .filter(|(_, _, a)| *a == DeviceAssignment::On)
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    assert!(!bridges.is_empty(), "the Fig. 2 design has a VH node");
+    for (r, c) in bridges {
+        let mut broken = crossbar.clone();
+        broken.set(r, c, DeviceAssignment::Off).unwrap();
+        let report = verify_functional(&broken, &network, 64).unwrap();
+        assert!(!report.is_valid(), "broken bridge at ({r},{c}) not detected");
+    }
+}
+
+#[test]
+fn negated_literal_faults_are_caught_on_ctrl() {
+    // Flip the polarity of a sample of devices on a real benchmark.
+    let b = bench_suite::by_name("ctrl").unwrap();
+    let network = b.network().unwrap();
+    let design = synthesize(&network, &Config::default()).unwrap();
+    let literals: Vec<(usize, usize, DeviceAssignment)> = design
+        .crossbar
+        .programmed_devices()
+        .filter(|(_, _, a)| a.is_literal())
+        .collect();
+    let mut caught = 0usize;
+    let sample: Vec<_> = literals.iter().step_by(3).collect();
+    for &&(r, c, a) in &sample {
+        let DeviceAssignment::Literal { input, negated } = a else {
+            unreachable!("filtered to literals");
+        };
+        let mut broken = design.crossbar.clone();
+        broken
+            .set(r, c, DeviceAssignment::Literal { input, negated: !negated })
+            .unwrap();
+        let report = verify_functional(&broken, &network, 128).unwrap();
+        if !report.is_valid() {
+            caught += 1;
+        }
+    }
+    // Polarity flips must be overwhelmingly visible (a rare flip can be
+    // logically masked, but not many).
+    assert!(
+        caught * 10 >= sample.len() * 9,
+        "only {caught}/{} polarity faults detected",
+        sample.len()
+    );
+}
+
+#[test]
+fn wrong_input_port_is_caught() {
+    let (network, mut crossbar) = fig2_pair();
+    // Drive an output row instead of the terminal row.
+    let out_row = crossbar.outputs()[0].row;
+    crossbar.set_input_row(out_row).unwrap();
+    let report = verify_functional(&crossbar, &network, 64).unwrap();
+    assert!(!report.is_valid());
+}
+
+#[test]
+fn swapped_outputs_are_caught_on_multi_output_designs() {
+    let mut n = Network::new("two");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+    let g = n.add_gate(GateKind::Or, &[a, b], "g").unwrap();
+    n.mark_output(f);
+    n.mark_output(g);
+    let design = synthesize(&n, &Config::default()).unwrap();
+    // Rebind the ports in swapped order on a fresh crossbar clone.
+    let mut swapped = design.crossbar.clone();
+    let rows: Vec<usize> = swapped.outputs().iter().map(|p| p.row).collect();
+    // Crossbar has no port-removal API (ports are append-only), so rebuild.
+    let mut rebuilt = Crossbar::new(swapped.rows(), swapped.cols(), swapped.num_inputs());
+    for (r, c, dev) in swapped.programmed_devices() {
+        rebuilt.set(r, c, dev).unwrap();
+    }
+    rebuilt.set_input_row(swapped.input_row().unwrap()).unwrap();
+    rebuilt.add_output("f", rows[1]).unwrap();
+    rebuilt.add_output("g", rows[0]).unwrap();
+    swapped = rebuilt;
+    let report = verify_functional(&swapped, &n, 16).unwrap();
+    assert!(!report.is_valid(), "swapped ports must be detected");
+}
