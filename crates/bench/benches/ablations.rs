@@ -1,14 +1,15 @@
 //! Ablation benches for the design choices called out in DESIGN.md §5:
 //! Nemhauser–Trotter kernelization, variable-ordering heuristics, exact vs
 //! heuristic odd cycle transversals, and the balancing hill climb.
+//!
+//! Uses the in-tree `flowc_bench::timing` harness (no criterion; the build
+//! must work fully offline). `FLOWC_BENCH_SAMPLES` controls sample counts.
 
-use std::collections::HashSet;
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
 use flowc_bdd::{build_sbdd, dfs_fanin_order};
+use flowc_bench::timing::bench;
 use flowc_compact::mip_method::hill_climb;
 use flowc_compact::oct_method::{min_semiperimeter, OctMethodConfig};
 use flowc_compact::BddGraph;
@@ -25,98 +26,74 @@ fn graph_of(name: &str) -> BddGraph {
 
 /// NT kernelization vs raw bounds: how much of the product graph the
 /// half-integral LP removes before branching even starts.
-fn bench_kernelization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vc_kernelization");
-    group.sample_size(10);
+fn bench_kernelization() {
     let product = cartesian_with_k2(&graph_of("int2float").graph);
-    group.bench_function("nt_kernel_int2float_product", |b| {
-        b.iter(|| black_box(nt_kernel(&product).kernel.len()))
+    bench("vc_kernelization", "nt_kernel_int2float_product", || {
+        black_box(nt_kernel(&product).kernel.len())
     });
-    group.bench_function("lp_bound_int2float_product", |b| {
-        b.iter(|| black_box(lp_lower_bound(&product)))
+    bench("vc_kernelization", "lp_bound_int2float_product", || {
+        black_box(lp_lower_bound(&product))
     });
-    group.bench_function("greedy_cover_int2float_product", |b| {
-        b.iter(|| black_box(greedy_cover(&product).len()))
+    bench("vc_kernelization", "greedy_cover_int2float_product", || {
+        black_box(greedy_cover(&product).len())
     });
-    group.bench_function("exact_vc_int2float_product", |b| {
-        b.iter(|| {
-            black_box(
-                minimum_vertex_cover(
-                    &product,
-                    &VcConfig {
-                        time_limit: Duration::from_secs(10),
-                    },
-                )
-                .cover
-                .len(),
+    bench("vc_kernelization", "exact_vc_int2float_product", || {
+        black_box(
+            minimum_vertex_cover(
+                &product,
+                &VcConfig {
+                    time_limit: Duration::from_secs(10),
+                },
             )
-        })
+            .cover
+            .len(),
+        )
     });
-    group.finish();
 }
 
 /// Exact OCT (Lemma 1) vs the greedy heuristic: runtime and quality.
-fn bench_oct_exact_vs_heuristic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oct_exact_vs_heuristic");
-    group.sample_size(10);
+fn bench_oct_exact_vs_heuristic() {
     for name in ["int2float", "cavlc"] {
         let g = graph_of(name);
-        group.bench_function(format!("exact_{name}"), |b| {
-            b.iter(|| {
-                black_box(
-                    min_semiperimeter(&g, &OctMethodConfig::default())
-                        .oct_size,
-                )
-            })
+        bench("oct_exact_vs_heuristic", &format!("exact_{name}"), || {
+            black_box(min_semiperimeter(&g, &OctMethodConfig::default()).oct_size)
         });
-        group.bench_function(format!("heuristic_{name}"), |b| {
-            b.iter(|| black_box(oct_heuristic(&g.graph).len()))
+        bench("oct_exact_vs_heuristic", &format!("heuristic_{name}"), || {
+            black_box(oct_heuristic(&g.graph).len())
         });
     }
-    group.finish();
 }
 
 /// Variable ordering: natural (generator-chosen) vs DFS-fanin rebuild.
-fn bench_variable_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("variable_ordering");
-    group.sample_size(10);
+fn bench_variable_ordering() {
     for name in ["c880", "priority"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
-        group.bench_function(format!("natural_{name}"), |b| {
-            b.iter(|| black_box(build_sbdd(&network, None).shared_size()))
+        bench("variable_ordering", &format!("natural_{name}"), || {
+            black_box(build_sbdd(&network, None).shared_size())
         });
-        group.bench_function(format!("dfs_fanin_{name}"), |b| {
-            b.iter(|| {
-                let order = dfs_fanin_order(&network);
-                black_box(build_sbdd(&network, Some(&order)).shared_size())
-            })
+        bench("variable_ordering", &format!("dfs_fanin_{name}"), || {
+            let order = dfs_fanin_order(&network);
+            black_box(build_sbdd(&network, Some(&order)).shared_size())
         });
     }
-    group.finish();
 }
 
 /// The Figure 7 move: how expensive is VH-addition hill climbing, and how
 /// much maximum dimension does it buy.
-fn bench_hill_climb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hill_climb");
-    group.sample_size(10);
+fn bench_hill_climb() {
     let g = graph_of("int2float");
     let base = min_semiperimeter(&g, &OctMethodConfig::default()).labeling;
-    group.bench_function("int2float", |b| {
-        b.iter(|| {
-            let (improved, _) = hill_climb(
-                &g,
-                &base,
-                0.5,
-                true,
-                Instant::now() + Duration::from_secs(2),
-            );
-            black_box(improved.stats().max_dimension)
-        })
+    bench("hill_climb", "int2float", || {
+        let (improved, _) = hill_climb(
+            &g,
+            &base,
+            0.5,
+            true,
+            Instant::now() + Duration::from_secs(2),
+        );
+        black_box(improved.stats().max_dimension)
     });
-    // Quality datum printed once (criterion ignores it, humans don't).
-    let vh: HashSet<usize> = HashSet::new();
-    let _ = vh;
+    // Quality datum printed once (the harness times it, humans read this).
     let (improved, moves) = hill_climb(
         &g,
         &base,
@@ -130,14 +107,11 @@ fn bench_hill_climb(c: &mut Criterion) {
         improved.stats().max_dimension,
         moves
     );
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_kernelization,
-    bench_oct_exact_vs_heuristic,
-    bench_variable_ordering,
-    bench_hill_climb
-);
-criterion_main!(benches);
+fn main() {
+    bench_kernelization();
+    bench_oct_exact_vs_heuristic();
+    bench_variable_ordering();
+    bench_hill_climb();
+}

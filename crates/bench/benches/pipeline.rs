@@ -1,15 +1,17 @@
-//! Criterion microbenchmarks of every pipeline stage: BDD construction,
-//! graph preprocessing, VH-labeling, crossbar mapping, and both evaluation
+//! Microbenchmarks of every pipeline stage: BDD construction, graph
+//! preprocessing, VH-labeling, crossbar mapping, and both evaluation
 //! models, on representative benchmarks.
+//!
+//! Uses the in-tree `flowc_bench::timing` harness (no criterion; the build
+//! must work fully offline). `FLOWC_BENCH_SAMPLES` controls sample counts.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use flowc_baselines::magic::{map_magic, MagicConfig, NorNetlist};
 use flowc_baselines::staircase::staircase_map;
 use flowc_bdd::build_sbdd;
+use flowc_bench::timing::bench;
 use flowc_compact::mapping::map_to_crossbar;
 use flowc_compact::oct_method::{min_semiperimeter, OctMethodConfig};
 use flowc_compact::pipeline::{synthesize, Config, VhStrategy};
@@ -24,56 +26,45 @@ fn quick_config() -> Config {
             time_limit: Duration::from_secs(2),
             exact_node_limit: 0, // anytime path: deterministic work profile
         },
-        align: true,
-        var_order: None,
+        ..Config::default()
     }
 }
 
-fn bench_bdd_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd_build");
+fn bench_bdd_build() {
     for name in ["int2float", "cavlc", "i2c"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(build_sbdd(&network, None).shared_size()))
+        bench("bdd_build", name, || {
+            black_box(build_sbdd(&network, None).shared_size())
         });
     }
-    group.finish();
 }
 
-fn bench_preprocess(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_preprocess");
+fn bench_preprocess() {
     for name in ["cavlc", "i2c"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
         let bdds = build_sbdd(&network, None);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(BddGraph::from_bdds(&bdds).num_edges()))
+        bench("graph_preprocess", name, || {
+            black_box(BddGraph::from_bdds(&bdds).num_edges())
         });
     }
-    group.finish();
 }
 
-fn bench_vh_labeling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vh_labeling_oct");
-    group.sample_size(10);
+fn bench_vh_labeling() {
     for name in ["int2float", "cavlc"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
         let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    min_semiperimeter(&graph, &OctMethodConfig::default())
-                        .labeling
-                        .stats()
-                        .semiperimeter,
-                )
-            })
+        bench("vh_labeling_oct", name, || {
+            black_box(
+                min_semiperimeter(&graph, &OctMethodConfig::default())
+                    .labeling
+                    .stats()
+                    .semiperimeter,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossbar_mapping");
+fn bench_mapping() {
     for name in ["cavlc", "i2c"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
         let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
@@ -83,73 +74,64 @@ fn bench_mapping(c: &mut Criterion) {
             .iter()
             .map(|&o| network.net_name(o).to_string())
             .collect();
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(map_to_crossbar(&graph, &labeling, &names).unwrap().rows()))
+        bench("crossbar_mapping", name, || {
+            black_box(map_to_crossbar(&graph, &labeling, &names).unwrap().rows())
         });
     }
-    group.finish();
 }
 
-fn bench_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evaluation");
+fn bench_evaluation() {
     let network = bench_suite::by_name("ctrl").unwrap().network().unwrap();
     let design = synthesize(&network, &quick_config()).unwrap();
     let assignment = vec![true; network.num_inputs()];
-    group.bench_function("flow_ctrl", |b| {
-        b.iter(|| black_box(design.crossbar.evaluate(&assignment).unwrap()))
+    bench("evaluation", "flow_ctrl", || {
+        black_box(design.crossbar.evaluate(&assignment).unwrap())
     });
     let model = ElectricalModel::default();
-    group.bench_function("nodal_analysis_ctrl", |b| {
-        b.iter(|| black_box(model.output_voltages(&design.crossbar, &assignment).unwrap()))
+    bench("evaluation", "nodal_analysis_ctrl", || {
+        black_box(model.output_voltages(&design.crossbar, &assignment).unwrap())
     });
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis_end_to_end");
-    group.sample_size(10);
+fn bench_end_to_end() {
     for name in ["int2float", "cavlc"] {
         let network = bench_suite::by_name(name).unwrap().network().unwrap();
-        group.bench_function(format!("compact_{name}"), |b| {
-            b.iter_batched(
-                || network.clone(),
-                |n| black_box(synthesize(&n, &quick_config()).unwrap().stats.semiperimeter),
-                BatchSize::SmallInput,
+        bench("synthesis_end_to_end", &format!("compact_{name}"), || {
+            black_box(
+                synthesize(&network, &quick_config())
+                    .unwrap()
+                    .stats
+                    .semiperimeter,
             )
         });
-        group.bench_function(format!("staircase_{name}"), |b| {
-            let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
-            let names: Vec<String> = network
-                .outputs()
-                .iter()
-                .map(|&o| network.net_name(o).to_string())
-                .collect();
-            b.iter(|| black_box(staircase_map(&graph, &names).rows()))
+        let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
+        let names: Vec<String> = network
+            .outputs()
+            .iter()
+            .map(|&o| network.net_name(o).to_string())
+            .collect();
+        bench("synthesis_end_to_end", &format!("staircase_{name}"), || {
+            black_box(staircase_map(&graph, &names).rows())
         });
     }
-    group.finish();
 }
 
-fn bench_magic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("magic_baseline");
+fn bench_magic() {
     let network = bench_suite::by_name("cavlc").unwrap().network().unwrap();
-    group.bench_function("nor_decompose_cavlc", |b| {
-        b.iter(|| black_box(NorNetlist::from_network(&network).num_gates()))
+    bench("magic_baseline", "nor_decompose_cavlc", || {
+        black_box(NorNetlist::from_network(&network).num_gates())
     });
-    group.bench_function("schedule_cavlc", |b| {
-        b.iter(|| black_box(map_magic(&network, &MagicConfig::default()).delay_steps))
+    bench("magic_baseline", "schedule_cavlc", || {
+        black_box(map_magic(&network, &MagicConfig::default()).delay_steps)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bdd_build,
-    bench_preprocess,
-    bench_vh_labeling,
-    bench_mapping,
-    bench_evaluation,
-    bench_end_to_end,
-    bench_magic
-);
-criterion_main!(benches);
+fn main() {
+    bench_bdd_build();
+    bench_preprocess();
+    bench_vh_labeling();
+    bench_mapping();
+    bench_evaluation();
+    bench_end_to_end();
+    bench_magic();
+}

@@ -84,6 +84,54 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// A registry-free timing harness for the `benches/` binaries (the image
+/// has no criterion; these benches run offline with `cargo bench`).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Per-case sample count: `FLOWC_BENCH_SAMPLES`, default 10.
+    fn samples() -> usize {
+        std::env::var("FLOWC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+            .max(1)
+    }
+
+    /// Times `f` (one warm-up call, then `FLOWC_BENCH_SAMPLES` measured
+    /// calls) and prints `group/name  median  min  max` in microseconds.
+    /// The return value of the last call is returned so callers can keep
+    /// results observable without `black_box`.
+    pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) -> R {
+        let mut out = f(); // warm-up; also forces lazy setup
+        let n = samples();
+        let mut times = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t0 = Instant::now();
+            out = f();
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let fmt = |d: Duration| {
+            let us = d.as_secs_f64() * 1e6;
+            if us >= 1e6 {
+                format!("{:.3} s", us / 1e6)
+            } else if us >= 1e3 {
+                format!("{:.2} ms", us / 1e3)
+            } else {
+                format!("{us:.1} µs")
+            }
+        };
+        println!(
+            "{group}/{name:<28} median {:>10}   min {:>10}   max {:>10}   ({n} samples)",
+            fmt(times[times.len() / 2]),
+            fmt(times[0]),
+            fmt(times[times.len() - 1]),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,78 +2,181 @@
 //! crossbars that agree with netlist simulation under every strategy;
 //! random graphs yield valid transversals and labelings; format round-trips
 //! preserve semantics.
+//!
+//! The harness is in-tree and fully deterministic: every test derives its
+//! case seeds from a fixed per-test base seed, so CI runs are reproducible
+//! bit-for-bit. `PROPTEST_CASES` overrides the case count (default 32) and
+//! `PROPTEST_SEED` overrides the base seed for local fuzzing. Failing case
+//! seeds are persisted to `tests/regressions/<test>.txt` and replayed first
+//! on every subsequent run.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Duration;
-
-use proptest::prelude::*;
 
 use flowc::compact::pipeline::{synthesize, Config, VhStrategy};
 use flowc::compact::BddGraph;
 use flowc::graph::{odd_cycle_transversal, two_color, ColorResult, OctConfig, UGraph};
 use flowc::logic::{GateKind, NetId, Network};
 
-/// Strategy: a random combinational network over `num_inputs` inputs with
-/// up to `max_gates` gates and up to 4 outputs.
-fn arb_network(num_inputs: usize, max_gates: usize) -> impl Strategy<Value = Network> {
-    let gate_specs = prop::collection::vec(
-        (0u8..7, prop::collection::vec(any::<prop::sample::Index>(), 1..4)),
-        1..max_gates,
-    );
-    let output_picks = prop::collection::vec(any::<prop::sample::Index>(), 1..5);
-    (gate_specs, output_picks).prop_map(move |(specs, outs)| {
-        let mut n = Network::new("random");
-        let mut nets: Vec<NetId> = (0..num_inputs)
-            .map(|i| n.add_input(format!("x{i}")))
-            .collect();
-        for (g, (kind_sel, operand_sels)) in specs.into_iter().enumerate() {
-            let operands: Vec<NetId> = operand_sels
-                .iter()
-                .map(|sel| *sel.get(&nets))
-                .collect();
-            let out = match kind_sel {
-                0 => n.add_gate(GateKind::Not, &operands[..1], format!("g{g}")),
-                1 if operands.len() >= 2 => {
-                    n.add_gate(GateKind::And, &operands, format!("g{g}"))
-                }
-                2 if operands.len() >= 2 => n.add_gate(GateKind::Or, &operands, format!("g{g}")),
-                3 if operands.len() >= 2 => {
-                    n.add_gate(GateKind::Xor, &operands, format!("g{g}"))
-                }
-                4 if operands.len() >= 2 => {
-                    n.add_gate(GateKind::Nand, &operands, format!("g{g}"))
-                }
-                5 if operands.len() >= 2 => {
-                    n.add_gate(GateKind::Nor, &operands, format!("g{g}"))
-                }
-                6 if operands.len() == 3 => {
-                    n.add_gate(GateKind::Mux, &operands, format!("g{g}"))
-                }
-                _ => n.add_gate(GateKind::Buf, &operands[..1], format!("g{g}")),
-            }
-            .expect("arities are satisfied by construction");
-            nets.push(out);
-        }
-        for sel in outs {
-            let net = *sel.get(&nets);
-            n.mark_output(net);
-        }
-        n
-    })
+// ---------------------------------------------------------------------------
+// Deterministic property harness (proptest stand-in; no external deps).
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — every case gets a statistically independent stream from a
+/// sequential seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
-/// Strategy: a random simple undirected graph as an edge list over `n`
-/// vertices.
-fn arb_graph(n: usize) -> impl Strategy<Value = UGraph> {
-    prop::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |edges| {
-        let mut g = UGraph::new(n);
-        for (u, v) in edges {
-            if u != v {
-                g.add_edge(u, v);
-            }
+/// A deterministic case-local RNG.
+pub struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        splitmix64(&mut self.0)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+}
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
         }
-        g
-    })
+    }
+    // FNV-1a over the test name: fixed, but distinct per test.
+    let mut h = 0xCBF29CE484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+fn regression_path(test_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/regressions")
+        .join(format!("{test_name}.txt"))
+}
+
+fn load_regression_seeds(test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(test_name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.parse().ok())
+        .collect()
+}
+
+fn persist_regression_seed(test_name: &str, seed: u64) {
+    let path = regression_path(test_name);
+    if load_regression_seeds(test_name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{seed}");
+    }
+}
+
+/// Runs `property` on the persisted regression seeds first, then on
+/// `PROPTEST_CASES` fresh deterministic seeds. A failing seed is persisted
+/// before the panic is re-raised.
+fn check(test_name: &str, property: impl Fn(&mut Rng)) {
+    let mut seeds = load_regression_seeds(test_name);
+    let mut state = base_seed(test_name);
+    for _ in 0..case_count() {
+        seeds.push(splitmix64(&mut state));
+    }
+    for seed in seeds {
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut Rng::new(seed)))) {
+            persist_regression_seed(test_name, seed);
+            eprintln!(
+                "property `{test_name}` failed with seed {seed} \
+                 (persisted to tests/regressions/{test_name}.txt)"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+/// A random combinational network over `num_inputs` inputs with up to
+/// `max_gates` gates and up to 4 outputs.
+fn gen_network(rng: &mut Rng, num_inputs: usize, max_gates: usize) -> Network {
+    let mut n = Network::new("random");
+    let mut nets: Vec<NetId> = (0..num_inputs)
+        .map(|i| n.add_input(format!("x{i}")))
+        .collect();
+    let num_gates = rng.range(1, max_gates);
+    for g in 0..num_gates {
+        let arity = rng.range(1, 4);
+        let operands: Vec<NetId> = (0..arity).map(|_| nets[rng.below(nets.len())]).collect();
+        let kind_sel = rng.below(7) as u8;
+        let out = match kind_sel {
+            0 => n.add_gate(GateKind::Not, &operands[..1], format!("g{g}")),
+            1 if operands.len() >= 2 => n.add_gate(GateKind::And, &operands, format!("g{g}")),
+            2 if operands.len() >= 2 => n.add_gate(GateKind::Or, &operands, format!("g{g}")),
+            3 if operands.len() >= 2 => n.add_gate(GateKind::Xor, &operands, format!("g{g}")),
+            4 if operands.len() >= 2 => n.add_gate(GateKind::Nand, &operands, format!("g{g}")),
+            5 if operands.len() >= 2 => n.add_gate(GateKind::Nor, &operands, format!("g{g}")),
+            6 if operands.len() == 3 => n.add_gate(GateKind::Mux, &operands, format!("g{g}")),
+            _ => n.add_gate(GateKind::Buf, &operands[..1], format!("g{g}")),
+        }
+        .expect("arities are satisfied by construction");
+        nets.push(out);
+    }
+    for _ in 0..rng.range(1, 5) {
+        let net = nets[rng.below(nets.len())];
+        n.mark_output(net);
+    }
+    n
+}
+
+/// A random simple undirected graph over `n` vertices.
+fn gen_graph(rng: &mut Rng, n: usize) -> UGraph {
+    let mut g = UGraph::new(n);
+    for _ in 0..rng.below(3 * n) {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
 }
 
 fn exhaustive_equiv(network: &Network, crossbar: &flowc::xbar::Crossbar) -> Result<(), String> {
@@ -89,79 +192,91 @@ fn exhaustive_equiv(network: &Network, crossbar: &flowc::xbar::Crossbar) -> Resu
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+// ---------------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn synthesized_crossbars_are_equivalent_to_their_networks(
-        network in arb_network(5, 12)
-    ) {
+#[test]
+fn synthesized_crossbars_are_equivalent_to_their_networks() {
+    check("synthesized_crossbars_are_equivalent_to_their_networks", |rng| {
+        let network = gen_network(rng, 5, 12);
         let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
-        prop_assert!(exhaustive_equiv(&network, &r.crossbar).is_ok());
+        exhaustive_equiv(&network, &r.crossbar).unwrap();
         // Cost-model invariants.
-        prop_assert_eq!(r.stats.semiperimeter, r.stats.rows + r.stats.cols);
-        prop_assert_eq!(r.stats.max_dimension, r.stats.rows.max(r.stats.cols));
-        prop_assert_eq!(r.stats.semiperimeter, r.graph_nodes + r.stats.num_vh);
-        prop_assert_eq!(r.metrics.active_devices, r.graph_edges);
-    }
+        assert_eq!(r.stats.semiperimeter, r.stats.rows + r.stats.cols);
+        assert_eq!(r.stats.max_dimension, r.stats.rows.max(r.stats.cols));
+        assert_eq!(r.stats.semiperimeter, r.graph_nodes + r.stats.num_vh);
+        assert_eq!(r.metrics.active_devices, r.graph_edges);
+    });
+}
 
-    #[test]
-    fn min_semiperimeter_strategy_is_equivalent_too(
-        network in arb_network(4, 10)
-    ) {
+#[test]
+fn min_semiperimeter_strategy_is_equivalent_too() {
+    check("min_semiperimeter_strategy_is_equivalent_too", |rng| {
+        let network = gen_network(rng, 4, 10);
         let cfg = Config {
             strategy: VhStrategy::MinSemiperimeter { time_limit: Duration::from_secs(5) },
-            align: true,
-            var_order: None,
+            ..Config::default()
         };
         let r = synthesize(&network, &cfg).expect("synthesis succeeds");
-        prop_assert!(exhaustive_equiv(&network, &r.crossbar).is_ok());
-    }
+        exhaustive_equiv(&network, &r.crossbar).unwrap();
+    });
+}
 
-    #[test]
-    fn heuristic_strategy_is_equivalent_and_never_beats_exact_s(
-        network in arb_network(4, 10)
-    ) {
+#[test]
+fn heuristic_strategy_is_equivalent_and_never_beats_exact_s() {
+    check("heuristic_strategy_is_equivalent_and_never_beats_exact_s", |rng| {
+        let network = gen_network(rng, 4, 10);
         let heuristic = synthesize(
             &network,
-            &Config { strategy: VhStrategy::Heuristic { gamma: 0.5 }, align: true, var_order: None },
-        ).expect("synthesis succeeds");
-        prop_assert!(exhaustive_equiv(&network, &heuristic.crossbar).is_ok());
+            &Config {
+                strategy: VhStrategy::Heuristic { gamma: 0.5 },
+                ..Config::default()
+            },
+        )
+        .expect("synthesis succeeds");
+        exhaustive_equiv(&network, &heuristic.crossbar).unwrap();
         let exact = synthesize(
             &network,
             &Config {
                 strategy: VhStrategy::MinSemiperimeter { time_limit: Duration::from_secs(5) },
-                align: true,
-                var_order: None,
+                ..Config::default()
             },
-        ).expect("synthesis succeeds");
+        )
+        .expect("synthesis succeeds");
         // The exact OCT uses no more VH nodes than the greedy heuristic
         // (both before alignment upgrades; compare via OCT size = S - n).
-        prop_assert!(
+        assert!(
             exact.stats.num_vh <= heuristic.stats.num_vh + 2,
-            "exact {} vs heuristic {}", exact.stats.num_vh, heuristic.stats.num_vh
+            "exact {} vs heuristic {}",
+            exact.stats.num_vh,
+            heuristic.stats.num_vh
         );
-    }
+    });
+}
 
-    #[test]
-    fn oct_makes_random_graphs_bipartite(g in arb_graph(14)) {
+#[test]
+fn oct_makes_random_graphs_bipartite() {
+    check("oct_makes_random_graphs_bipartite", |rng| {
+        let g = gen_graph(rng, 14);
         let r = odd_cycle_transversal(&g, &OctConfig { time_limit: Duration::from_secs(5) });
         let keep: Vec<bool> = (0..g.num_vertices())
             .map(|v| !r.transversal.contains(&v))
             .collect();
         let (sub, _) = g.induced_subgraph(&keep);
-        prop_assert!(matches!(two_color(&sub), ColorResult::Bipartite(_)));
-        prop_assert!(r.lower_bound <= r.transversal.len().max(1));
-    }
+        assert!(matches!(two_color(&sub), ColorResult::Bipartite(_)));
+        assert!(r.lower_bound <= r.transversal.len().max(1));
+    });
+}
 
-    #[test]
-    fn bdd_graph_edges_have_literals_and_no_zero_terminal(
-        network in arb_network(5, 12)
-    ) {
+#[test]
+fn bdd_graph_edges_have_literals_and_no_zero_terminal() {
+    check("bdd_graph_edges_have_literals_and_no_zero_terminal", |rng| {
+        let network = gen_network(rng, 5, 12);
         let bdds = flowc::bdd::build_sbdd(&network, None);
         let g = BddGraph::from_bdds(&bdds);
         // Every edge is labelled.
-        prop_assert_eq!(g.labels.len(), g.num_edges());
+        assert_eq!(g.labels.len(), g.num_edges());
         // Node count is the BDD size minus the dropped 0-terminal (when the
         // forest is non-trivial).
         let size = bdds.manager.size(&bdds.roots);
@@ -170,90 +285,91 @@ proptest! {
             .reachable(&bdds.roots)
             .contains(&flowc::bdd::Ref::ZERO);
         let expected = if zero_reachable { size - 1 } else { size };
-        prop_assert_eq!(g.num_nodes(), expected);
-    }
+        assert_eq!(g.num_nodes(), expected);
+    });
+}
 
-    #[test]
-    fn blif_roundtrip_preserves_semantics(network in arb_network(4, 10)) {
+#[test]
+fn blif_roundtrip_preserves_semantics() {
+    check("blif_roundtrip_preserves_semantics", |rng| {
+        let network = gen_network(rng, 4, 10);
         let text = flowc::logic::blif::write(&network);
         let back = flowc::logic::blif::parse(&text).expect("own output parses");
         for bits in 0..1usize << 4 {
             let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 back.simulate(&assignment).expect("simulates"),
                 network.simulate(&assignment).expect("simulates")
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn nor_decomposition_is_equivalent(network in arb_network(5, 12)) {
+#[test]
+fn nor_decomposition_is_equivalent() {
+    check("nor_decomposition_is_equivalent", |rng| {
+        let network = gen_network(rng, 5, 12);
         let nor = flowc::baselines::magic::NorNetlist::from_network(&network);
         for bits in 0..1usize << 5 {
             let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 nor.eval(&assignment),
                 network.simulate(&assignment).expect("simulates")
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn wide_crossbar_evaluation_matches_scalar(
-        network in arb_network(6, 12),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn wide_crossbar_evaluation_matches_scalar() {
+    check("wide_crossbar_evaluation_matches_scalar", |rng| {
+        let network = gen_network(rng, 6, 12);
         let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
         // 64 random assignments, evaluated wide and lane-by-lane.
         let k = network.num_inputs();
-        let mut state = seed | 1;
         let mut words = vec![0u64; k];
         for w in &mut words {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            *w = state;
+            *w = rng.next();
         }
         let wide = r.crossbar.evaluate64(&words).expect("evaluable");
         for lane in 0..64u64 {
-            let assignment: Vec<bool> =
-                (0..k).map(|i| words[i] >> lane & 1 == 1).collect();
+            let assignment: Vec<bool> = (0..k).map(|i| words[i] >> lane & 1 == 1).collect();
             let scalar = r.crossbar.evaluate(&assignment).expect("evaluable");
             for (j, &s) in scalar.iter().enumerate() {
-                prop_assert_eq!(wide[j] >> lane & 1 == 1, s, "lane {} out {}", lane, j);
+                assert_eq!(wide[j] >> lane & 1 == 1, s, "lane {lane} out {j}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn simplify_and_binarize_preserve_synthesis(network in arb_network(5, 10)) {
+#[test]
+fn simplify_and_binarize_preserve_synthesis() {
+    check("simplify_and_binarize_preserve_synthesis", |rng| {
         use flowc::logic::xform::{binarize, simplify};
+        let network = gen_network(rng, 5, 10);
         let simplified = simplify(&network).expect("valid");
         let binary = binarize(&network).expect("valid");
         for bits in 0..1usize << 5 {
             let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
             let want = network.simulate(&assignment).expect("simulates");
-            prop_assert_eq!(simplified.simulate(&assignment).expect("simulates"), want.clone());
-            prop_assert_eq!(binary.simulate(&assignment).expect("simulates"), want);
+            assert_eq!(simplified.simulate(&assignment).expect("simulates"), want);
+            assert_eq!(binary.simulate(&assignment).expect("simulates"), want);
         }
         // Canonical SBDD sizes agree across the semantic-preserving forms.
         let base = flowc::bdd::build_sbdd(&network, None).shared_size();
         let simp = flowc::bdd::build_sbdd(&simplified, None).shared_size();
         let bin = flowc::bdd::build_sbdd(&binary, None).shared_size();
-        prop_assert_eq!(base, simp);
-        prop_assert_eq!(base, bin);
-    }
+        assert_eq!(base, simp);
+        assert_eq!(base, bin);
+    });
+}
 
-    #[test]
-    fn milp_solver_matches_brute_force_on_random_01_programs(
-        costs in prop::collection::vec(-5i64..=5, 2..7),
-        rows in prop::collection::vec(
-            (prop::collection::vec(-3i64..=3, 7), 0u8..3, -4i64..=6),
-            0..6,
-        ),
-    ) {
+#[test]
+fn milp_solver_matches_brute_force_on_random_01_programs() {
+    check("milp_solver_matches_brute_force_on_random_01_programs", |rng| {
         use flowc::milp::{BranchBound, MilpError, Model, Sense};
-        let n = costs.len();
+        let n = rng.range(2, 7);
+        let costs: Vec<i64> = (0..n).map(|_| rng.below(11) as i64 - 5).collect();
         let mut model = Model::new();
         let vars: Vec<_> = costs
             .iter()
@@ -261,27 +377,27 @@ proptest! {
             .map(|(i, &c)| model.add_binary(format!("x{i}"), c as f64))
             .collect();
         let mut constraints = Vec::new();
-        for (coeffs, sense_sel, rhs) in &rows {
-            let sense = match sense_sel {
+        for _ in 0..rng.below(6) {
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
+            let sense = match rng.below(3) {
                 0 => Sense::Le,
                 1 => Sense::Ge,
                 _ => Sense::Eq,
             };
+            let rhs = rng.below(11) as i64 - 4;
             let terms: Vec<_> = vars
                 .iter()
-                .zip(coeffs)
+                .zip(&coeffs)
                 .map(|(&v, &c)| (v, c as f64))
                 .collect();
-            model.add_constraint(&terms, sense, *rhs as f64);
-            constraints.push((coeffs.clone(), sense, *rhs));
+            model.add_constraint(&terms, sense, rhs as f64);
+            constraints.push((coeffs, sense, rhs));
         }
         // Brute force.
         let mut best: Option<i64> = None;
         for mask in 0..1usize << n {
             let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
-                let lhs: i64 = (0..n)
-                    .map(|i| coeffs[i] * ((mask >> i & 1) as i64))
-                    .sum();
+                let lhs: i64 = (0..n).map(|i| coeffs[i] * ((mask >> i & 1) as i64)).sum();
                 match sense {
                     Sense::Le => lhs <= *rhs,
                     Sense::Ge => lhs >= *rhs,
@@ -289,52 +405,54 @@ proptest! {
                 }
             });
             if feasible {
-                let obj: i64 = (0..n)
-                    .map(|i| costs[i] * ((mask >> i & 1) as i64))
-                    .sum();
+                let obj: i64 = (0..n).map(|i| costs[i] * ((mask >> i & 1) as i64)).sum();
                 best = Some(best.map_or(obj, |b: i64| b.min(obj)));
             }
         }
         match (BranchBound::new().solve(&model), best) {
             (Ok(sol), Some(expect)) => {
-                prop_assert!(
+                assert!(
                     (sol.objective - expect as f64).abs() < 1e-6,
-                    "solver {} vs brute force {}", sol.objective, expect
+                    "solver {} vs brute force {}",
+                    sol.objective,
+                    expect
                 );
-                prop_assert!(model.is_feasible(&sol.values, 1e-6));
+                assert!(model.is_feasible(&sol.values, 1e-6));
             }
             (Err(MilpError::Infeasible), None) => {}
             (got, want) => {
-                prop_assert!(
-                    false,
-                    "solver {got:?} disagrees with brute force {want:?}"
-                );
+                panic!("solver {got:?} disagrees with brute force {want:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn vertex_cover_is_minimum_on_small_graphs(g in arb_graph(10)) {
+#[test]
+fn vertex_cover_is_minimum_on_small_graphs() {
+    check("vertex_cover_is_minimum_on_small_graphs", |rng| {
+        let g = gen_graph(rng, 10);
         let r = flowc::graph::minimum_vertex_cover(
             &g,
             &flowc::graph::VcConfig { time_limit: Duration::from_secs(5) },
         );
-        prop_assert!(r.optimal);
+        assert!(r.optimal);
         // Valid cover.
         let set: HashSet<usize> = r.cover.iter().copied().collect();
         for &(u, v) in g.edges() {
-            prop_assert!(set.contains(&u) || set.contains(&v));
+            assert!(set.contains(&u) || set.contains(&v));
         }
         // Brute-force optimum matches.
         let n = g.num_vertices();
         let best = (0..1usize << n)
             .filter(|&mask| {
-                g.edges().iter().all(|&(u, v)| mask >> u & 1 == 1 || mask >> v & 1 == 1)
+                g.edges()
+                    .iter()
+                    .all(|&(u, v)| mask >> u & 1 == 1 || mask >> v & 1 == 1)
             })
             .map(|mask| mask.count_ones() as usize)
             .min()
             .unwrap_or(0);
-        prop_assert_eq!(r.cover.len(), best);
-        prop_assert_eq!(r.lower_bound, best);
-    }
+        assert_eq!(r.cover.len(), best);
+        assert_eq!(r.lower_bound, best);
+    });
 }
