@@ -33,7 +33,10 @@ pub struct MagicConfig {
 
 impl Default for MagicConfig {
     fn default() -> Self {
-        MagicConfig { dim: 128, spacing: 6 }
+        MagicConfig {
+            dim: 128,
+            spacing: 6,
+        }
     }
 }
 
@@ -353,8 +356,8 @@ pub fn schedule(netlist: &NorNetlist, config: &MagicConfig) -> MagicReport {
 /// two-input gates ([`flowc_logic::xform::binarize`]) — wide-gate inputs
 /// would understate the operation counts a real MAGIC flow performs.
 pub fn map_magic(network: &Network, config: &MagicConfig) -> MagicReport {
-    let binary = flowc_logic::xform::binarize(network)
-        .expect("binarization of a valid network cannot fail");
+    let binary =
+        flowc_logic::xform::binarize(network).expect("binarization of a valid network cannot fail");
     let nor = NorNetlist::from_network(&binary);
     schedule(&nor, config)
 }
@@ -456,8 +459,7 @@ mod tests {
         let b = bench_suite::by_name("int2float").unwrap();
         let n = b.network().unwrap();
         let magic = map_magic(&n, &MagicConfig::default());
-        let compact =
-            flowc_compact::synthesize(&n, &flowc_compact::Config::default()).unwrap();
+        let compact = flowc_compact::synthesize(&n, &flowc_compact::Config::default()).unwrap();
         assert!(
             magic.delay_steps > 2 * compact.metrics.delay_steps,
             "magic {} vs compact {}",

@@ -88,8 +88,8 @@ pub fn compact_per_output(
         .filter(|r| r.graph_nodes > 0)
         .count()
         .max(1);
-    let merged_nodes = per_output.iter().map(|r| r.graph_nodes).sum::<usize>()
-        - (blocks_with_terminal - 1);
+    let merged_nodes =
+        per_output.iter().map(|r| r.graph_nodes).sum::<usize>() - (blocks_with_terminal - 1);
 
     Ok(DiagonalResult {
         crossbar: merged,
@@ -155,8 +155,7 @@ pub fn staircase_per_output(network: &Network) -> DiagonalResult {
         col_offset += block.cols();
     }
     let with_terminal = blocks.iter().filter(|(_, n)| *n > 0).count().max(1);
-    let merged_nodes =
-        blocks.iter().map(|(_, n)| *n).sum::<usize>() - (with_terminal - 1);
+    let merged_nodes = blocks.iter().map(|(_, n)| *n).sum::<usize>() - (with_terminal - 1);
     DiagonalResult {
         crossbar: merged,
         per_output: Vec::new(),

@@ -31,9 +31,9 @@ pub fn staircase_map(graph: &BddGraph, output_names: &[String]) -> Crossbar {
             order.push(r);
         }
     }
-    for v in 0..n {
-        if !placed[v] && Some(v) != graph.terminal {
-            placed[v] = true;
+    for (v, p) in placed.iter_mut().enumerate() {
+        if !*p && Some(v) != graph.terminal {
+            *p = true;
             order.push(v);
         }
     }
@@ -144,6 +144,47 @@ mod tests {
         let x = staircase_map(&g, &names);
         assert!(verify_functional(&x, &n, 1 << 7).unwrap().is_valid());
         assert_eq!(x.input_row(), Some(g.num_nodes() - 1), "input at bottom");
+    }
+
+    #[test]
+    fn supervisor_terminal_rung_is_staircase_class() {
+        // The supervisor's all-VH fallback (see flowc_compact::supervisor)
+        // labels every node VH — exactly the staircase baseline's
+        // every-node-gets-both-wires assignment. Both must land in the same
+        // size class (S = 2n, one bridge per node) and compute the same
+        // function.
+        use flowc_compact::mapping::map_to_crossbar;
+        use flowc_compact::{Labeling, VhLabel};
+        let n = fig2_network();
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let names = vec!["f".to_string()];
+        let stair = staircase_map(&g, &names);
+        let mut labeling = Labeling::new(vec![VhLabel::Vh; g.num_nodes()]);
+        labeling.enforce_alignment(&g);
+        let allvh = map_to_crossbar(&g, &labeling, &names).unwrap();
+        let sm = CrossbarMetrics::of(&stair);
+        let am = CrossbarMetrics::of(&allvh);
+        assert_eq!(am.semiperimeter, sm.semiperimeter, "both are S = 2n");
+        assert_eq!(am.bridge_devices, sm.bridge_devices, "one bridge per node");
+        assert!(verify_functional(&allvh, &n, 64).unwrap().is_valid());
+        assert!(verify_functional(&stair, &n, 64).unwrap().is_valid());
+    }
+
+    #[test]
+    fn degraded_supervision_never_loses_to_the_staircase_baseline() {
+        // Even with a cancelled budget the supervisor's ladder lands on a
+        // design no larger than the prior-art staircase (the terminal rung
+        // *is* the staircase assignment, and every higher rung is smaller).
+        use flowc_budget::Budget;
+        use flowc_compact::supervisor::synthesize_with_budget;
+        let n = fig2_network();
+        let g = BddGraph::from_bdds(&build_sbdd(&n, None));
+        let stair = CrossbarMetrics::of(&staircase_map(&g, &["f".to_string()]));
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let r = synthesize_with_budget(&n, &flowc_compact::Config::default(), &budget).unwrap();
+        assert!(r.stats.semiperimeter <= stair.semiperimeter);
+        assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
     }
 
     #[test]

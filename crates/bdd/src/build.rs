@@ -1,5 +1,6 @@
 //! Building (shared) BDDs from gate-level networks.
 
+use flowc_budget::{Budget, BudgetExceeded};
 use flowc_logic::{GateKind, Network};
 
 use crate::{Manager, Ref, VarId};
@@ -25,7 +26,10 @@ impl NetworkBdds {
     /// Per-output ROBDD sizes (each counted with its own terminals), i.e.
     /// the sizes of the "multiple ROBDDs" the paper's baseline flow uses.
     pub fn per_output_sizes(&self) -> Vec<usize> {
-        self.roots.iter().map(|&r| self.manager.size(&[r])).collect()
+        self.roots
+            .iter()
+            .map(|&r| self.manager.size(&[r]))
+            .collect()
     }
 
     /// Evaluates every output under an input assignment (network input
@@ -58,6 +62,25 @@ impl NetworkBdds {
 /// Panics if `order` is provided and is not a permutation of
 /// `0..num_inputs`.
 pub fn build_sbdd(network: &Network, order: Option<&[usize]>) -> NetworkBdds {
+    try_build_sbdd(network, order, &Budget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// [`build_sbdd`] under a [`Budget`]: the manager arena is capped at the
+/// budget's BDD-node ceiling, and the deadline/cancellation token is
+/// checked between gates. On exhaustion the partial forest is discarded
+/// and a [`BudgetExceeded`] is returned — construction never runs away on
+/// memory and can always be interrupted.
+///
+/// # Panics
+///
+/// Panics if `order` is provided and is not a permutation of
+/// `0..num_inputs` (a caller bug, same contract as [`build_sbdd`]).
+pub fn try_build_sbdd(
+    network: &Network,
+    order: Option<&[usize]>,
+    budget: &Budget,
+) -> Result<NetworkBdds, BudgetExceeded> {
     let n_inputs = network.num_inputs();
     let identity: Vec<usize>;
     let order = match order {
@@ -77,13 +100,17 @@ pub fn build_sbdd(network: &Network, order: Option<&[usize]>) -> NetworkBdds {
     };
 
     let mut manager = Manager::new();
+    manager.set_node_limit(budget.max_bdd_nodes());
     // Declare variables in the requested order; remember each input's var.
     let mut vars: Vec<Option<VarId>> = vec![None; n_inputs];
     for &input_idx in order {
         let name = network.net_name(network.inputs()[input_idx]).to_string();
         vars[input_idx] = Some(manager.new_var(name));
     }
-    let vars: Vec<VarId> = vars.into_iter().map(|v| v.expect("permutation covers all")).collect();
+    let vars: Vec<VarId> = vars
+        .into_iter()
+        .map(|v| v.expect("permutation covers all"))
+        .collect();
 
     // Evaluate gates in topological (creation) order.
     let mut node_fn: Vec<Ref> = vec![Ref::ZERO; network.num_nets()];
@@ -92,18 +119,33 @@ pub fn build_sbdd(network: &Network, order: Option<&[usize]>) -> NetworkBdds {
     }
     let mut operands: Vec<Ref> = Vec::new();
     for gate in network.gates() {
+        // Cooperative checkpoint: deadline/cancellation between gates, and
+        // the arena ceiling after every apply (growth *within* an apply is
+        // already bounded — `mk` refuses allocations past the cap and
+        // poisons the manager).
+        budget.check()?;
         operands.clear();
         operands.extend(gate.inputs.iter().map(|i| node_fn[i.index()]));
         let f = apply_gate(&mut manager, gate.kind, &operands);
+        if manager.limit_hit() {
+            return Err(BudgetExceeded::BddNodes {
+                limit: budget.max_bdd_nodes().unwrap_or(0),
+            });
+        }
         node_fn[gate.output.index()] = f;
     }
+    budget.check()?;
     let mut roots: Vec<Ref> = network
         .outputs()
         .iter()
         .map(|o| node_fn[o.index()])
         .collect();
     manager.gc(&mut roots);
-    NetworkBdds { manager, roots, vars }
+    Ok(NetworkBdds {
+        manager,
+        roots,
+        vars,
+    })
 }
 
 /// Compiles each output of the network into its *own* manager — the
@@ -125,8 +167,7 @@ pub fn build_robdds(network: &Network, order: Option<&[usize]>) -> Vec<NetworkBd
                 .map(|&v| m.new_var(shared.manager.var_name(v)))
                 .collect();
             // Transfer: same order, so a direct structural copy is valid.
-            let mut memo: std::collections::HashMap<Ref, Ref> =
-                std::collections::HashMap::new();
+            let mut memo: std::collections::HashMap<Ref, Ref> = std::collections::HashMap::new();
             memo.insert(Ref::ZERO, Ref::ZERO);
             memo.insert(Ref::ONE, Ref::ONE);
             let new_root = copy_into(&shared.manager, &mut m, root, &mut memo);
@@ -143,7 +184,11 @@ pub fn build_robdds(network: &Network, order: Option<&[usize]>) -> Vec<NetworkBd
                     .expect("var belongs to an input");
                 input_vars[input_idx] = vars[pos];
             }
-            NetworkBdds { manager: m, roots: vec![new_root], vars: input_vars }
+            NetworkBdds {
+                manager: m,
+                roots: vec![new_root],
+                vars: input_vars,
+            }
         })
         .collect()
 }

@@ -58,6 +58,10 @@ pub struct Manager {
     var2level: Vec<u32>,
     /// `level2var[l]` is the variable at position `l`.
     level2var: Vec<u32>,
+    /// Arena ceiling: once `nodes.len()` reaches it, [`Manager::mk`] stops
+    /// allocating, poisons the manager (`limit_hit`), and returns `ZERO`.
+    node_limit: Option<usize>,
+    limit_hit: bool,
 }
 
 impl Default for Manager {
@@ -71,15 +75,48 @@ impl Manager {
     pub fn new() -> Self {
         Manager {
             nodes: vec![
-                Node { var: TERMINAL_VAR, lo: Ref::ZERO, hi: Ref::ZERO },
-                Node { var: TERMINAL_VAR, lo: Ref::ONE, hi: Ref::ONE },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Ref::ZERO,
+                    hi: Ref::ZERO,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Ref::ONE,
+                    hi: Ref::ONE,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             var_names: Vec::new(),
             var2level: Vec::new(),
             level2var: Vec::new(),
+            node_limit: None,
+            limit_hit: false,
         }
+    }
+
+    /// Caps the arena at `limit` nodes (`None` removes the cap). Once the
+    /// cap is reached, every new allocation is refused: [`Manager::mk`]
+    /// returns `ZERO` instead of a fresh node and the manager is *poisoned*
+    /// — [`Manager::limit_hit`] stays `true` and results computed after
+    /// the hit are unreliable. Callers that care (e.g.
+    /// [`crate::try_build_sbdd`]) must check `limit_hit` and discard the
+    /// manager; the poisoned-but-total contract is what keeps every op
+    /// panic-free and `Result`-free on the hot path.
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// The configured arena ceiling.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// Whether an allocation has ever been refused because of the node
+    /// limit. Once set, everything computed since the hit is suspect.
+    pub fn limit_hit(&self) -> bool {
+        self.limit_hit
     }
 
     /// Declares a new variable at the bottom of the current order.
@@ -166,11 +203,23 @@ impl Manager {
                 && self.level(hi) > self.var2level[var as usize],
             "children must be strictly below the node's level"
         );
-        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
-            let r = Ref(self.nodes.len() as u32);
-            self.nodes.push(Node { var, lo, hi });
-            r
-        })
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        if self
+            .node_limit
+            .is_some_and(|limit| self.nodes.len() >= limit)
+        {
+            // Refuse the allocation but stay total: the computation keeps
+            // running (bounded by the existing arena) and the poison flag
+            // tells budget-aware callers to discard the result.
+            self.limit_hit = true;
+            return Ref::ZERO;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
     }
 
     /// The constant-false function.
@@ -283,7 +332,11 @@ impl Manager {
         let mut cur = f;
         while !cur.is_terminal() {
             let n = &self.nodes[cur.index()];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == Ref::ONE
     }
@@ -321,12 +374,7 @@ impl Manager {
         let mut memo: HashMap<Ref, u128> = HashMap::new();
         // count(r) = satisfying assignments over variables strictly below
         // level(r); scale at the end.
-        fn go(
-            m: &Manager,
-            memo: &mut HashMap<Ref, u128>,
-            r: Ref,
-            nvars: u32,
-        ) -> u128 {
+        fn go(m: &Manager, memo: &mut HashMap<Ref, u128>, r: Ref, nvars: u32) -> u128 {
             if r == Ref::ZERO {
                 return 0;
             }
@@ -472,10 +520,12 @@ mod tests {
     #[test]
     fn xor_chain_counts() {
         let mut m = Manager::new();
-        let vars: Vec<Ref> = (0..8).map(|i| {
-            let v = m.new_var(format!("x{i}"));
-            m.var(v)
-        }).collect();
+        let vars: Vec<Ref> = (0..8)
+            .map(|i| {
+                let v = m.new_var(format!("x{i}"));
+                m.var(v)
+            })
+            .collect();
         let mut f = Ref::ZERO;
         for v in vars {
             f = m.xor(f, v);

@@ -94,12 +94,7 @@ impl Manager {
         out
     }
 
-    fn cubes_rec(
-        &self,
-        f: Ref,
-        path: &mut Vec<(VarId, bool)>,
-        out: &mut Vec<Vec<(VarId, bool)>>,
-    ) {
+    fn cubes_rec(&self, f: Ref, path: &mut Vec<(VarId, bool)>, out: &mut Vec<Vec<(VarId, bool)>>) {
         if f == Ref::ZERO {
             return;
         }
@@ -203,10 +198,7 @@ mod tests {
             // Expand don't-cares.
             for bits in 0u32..8 {
                 let assignment = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
-                if cube
-                    .iter()
-                    .all(|&(v, val)| assignment[v.index()] == val)
-                {
+                if cube.iter().all(|&(v, val)| assignment[v.index()] == val) {
                     onset[bits as usize] = true;
                 }
             }
@@ -216,11 +208,7 @@ mod tests {
             assert_eq!(onset[bits as usize], m.eval(f, &assignment), "{bits:03b}");
         }
         // Cubes are disjoint by construction (BDD paths).
-        assert_eq!(
-            cubes.len(),
-            3,
-            "paths of the Fig. 2 BDD: a·b, a·¬b·c, ¬a·c"
-        );
+        assert_eq!(cubes.len(), 3, "paths of the Fig. 2 BDD: a·b, a·¬b·c, ¬a·c");
     }
 
     #[test]

@@ -250,7 +250,10 @@ mod tests {
         n.mark_output(f);
         let result = super::sift(&n, std::time::Duration::from_millis(0));
         // Zero budget: must still return a consistent result.
-        assert_eq!(result.final_size, build_sbdd(&n, Some(&result.order)).shared_size());
+        assert_eq!(
+            result.final_size,
+            build_sbdd(&n, Some(&result.order)).shared_size()
+        );
     }
 
     #[test]

@@ -58,9 +58,11 @@ fn bench_oct_exact_vs_heuristic() {
         bench("oct_exact_vs_heuristic", &format!("exact_{name}"), || {
             black_box(min_semiperimeter(&g, &OctMethodConfig::default()).oct_size)
         });
-        bench("oct_exact_vs_heuristic", &format!("heuristic_{name}"), || {
-            black_box(oct_heuristic(&g.graph).len())
-        });
+        bench(
+            "oct_exact_vs_heuristic",
+            &format!("heuristic_{name}"),
+            || black_box(oct_heuristic(&g.graph).len()),
+        );
     }
 }
 

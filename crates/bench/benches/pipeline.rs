@@ -89,7 +89,11 @@ fn bench_evaluation() {
     });
     let model = ElectricalModel::default();
     bench("evaluation", "nodal_analysis_ctrl", || {
-        black_box(model.output_voltages(&design.crossbar, &assignment).unwrap())
+        black_box(
+            model
+                .output_voltages(&design.crossbar, &assignment)
+                .unwrap(),
+        )
     });
 }
 

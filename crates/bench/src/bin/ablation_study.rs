@@ -18,7 +18,10 @@ fn main() {
     let set = ["ctrl", "int2float", "router", "cavlc", "dec", "priority"];
 
     println!("Ablation 1 — alignment constraint cost (γ = 1 labeling)");
-    println!("{:<11} {:>8} {:>10} {:>10} {:>9}", "benchmark", "nodes", "S_free", "S_aligned", "upgrades");
+    println!(
+        "{:<11} {:>8} {:>10} {:>10} {:>9}",
+        "benchmark", "nodes", "S_free", "S_aligned", "upgrades"
+    );
     for name in set {
         let n = build_network(&bench_suite::by_name(name).expect("registered"));
         let g = BddGraph::from_bdds(&build_sbdd(&n, None));
@@ -52,7 +55,10 @@ fn main() {
 
     println!();
     println!("Ablation 2 — variable ordering (SBDD nodes)");
-    println!("{:<11} {:>10} {:>10} {:>10} {:>10}", "benchmark", "natural", "dfs", "sifted", "sift_s");
+    println!(
+        "{:<11} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "natural", "dfs", "sifted", "sift_s"
+    );
     for name in ["ctrl", "int2float", "router", "cavlc"] {
         let n = build_network(&bench_suite::by_name(name).expect("registered"));
         let natural = build_sbdd(&n, None).shared_size();

@@ -10,7 +10,10 @@ fn main() {
     let b = bench_suite::by_name("i2c").expect("registered");
     let n = build_network(&b);
     let r = run_compact(&n, 0.5, budget);
-    println!("Figure 10 — solver convergence on i2c (γ = 0.5, budget {}s)", budget.as_secs());
+    println!(
+        "Figure 10 — solver convergence on i2c (γ = 0.5, budget {}s)",
+        budget.as_secs()
+    );
     println!(
         "{:>10} {:>14} {:>14} {:>10}",
         "elapsed_s", "best_integer", "best_bound", "rel_gap"

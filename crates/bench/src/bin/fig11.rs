@@ -11,7 +11,10 @@ fn main() {
         "Figure 11 — relative gap at time-out (γ = 0.5, budget {}s per instance)",
         budget.as_secs()
     );
-    println!("{:<11} {:>8} {:>12} {:>12} {:>9} {:>5}", "benchmark", "nodes", "objective", "bound", "gap", "opt");
+    println!(
+        "{:<11} {:>8} {:>12} {:>12} {:>9} {:>5}",
+        "benchmark", "nodes", "objective", "bound", "gap", "opt"
+    );
     for name in HARD_SET {
         let b = bench_suite::by_name(name).expect("registered");
         let n = build_network(&b);
@@ -32,5 +35,7 @@ fn main() {
         );
     }
     println!();
-    println!("(paper: XOR-dominated circuits — c499/c1355 — and the arbiter keep the largest gaps)");
+    println!(
+        "(paper: XOR-dominated circuits — c499/c1355 — and the arbiter keep the largest gaps)"
+    );
 }

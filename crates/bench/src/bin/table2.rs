@@ -8,7 +8,10 @@ use flowc_logic::bench_suite;
 
 fn main() {
     let budget = time_limit(20);
-    println!("Table II — γ evaluation (budget {}s per solve)", budget.as_secs());
+    println!(
+        "Table II — γ evaluation (budget {}s per solve)",
+        budget.as_secs()
+    );
     println!(
         "{:<11} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>8} {:>4}",
         "benchmark", "γ", "R", "C", "D", "S", "time_s", "opt"

@@ -13,14 +13,29 @@ use flowc_xbar::metrics::CrossbarMetrics;
 
 fn main() {
     let budget = time_limit(20);
-    println!("Table IV — COMPACT vs staircase [16] (γ = 0.5, budget {}s)", budget.as_secs());
+    println!(
+        "Table IV — COMPACT vs staircase [16] (γ = 0.5, budget {}s)",
+        budget.as_secs()
+    );
     println!(
         "{:<11} | {:>8} {:>6} {:>6} {:>7} {:>10} {:>8} | {:>8} {:>6} {:>6} {:>7} {:>10} {:>8}",
         "", "[16]", "", "", "", "", "", "COMPACT", "", "", "", "", ""
     );
     println!(
         "{:<11} | {:>8} {:>6} {:>6} {:>7} {:>10} {:>8} | {:>8} {:>6} {:>6} {:>7} {:>10} {:>8}",
-        "benchmark", "nodes", "R", "C", "S", "area", "time_s", "nodes", "R", "C", "S", "area", "time_s"
+        "benchmark",
+        "nodes",
+        "R",
+        "C",
+        "S",
+        "area",
+        "time_s",
+        "nodes",
+        "R",
+        "C",
+        "S",
+        "area",
+        "time_s"
     );
     let mut ratios: Vec<[f64; 5]> = Vec::new();
     let mut s_over_n = (Vec::new(), Vec::new());
@@ -54,8 +69,12 @@ fn main() {
             ours.stats.semiperimeter as f64 / bm.semiperimeter as f64,
             ours.metrics.area as f64 / bm.area as f64,
         ]);
-        s_over_n.0.push(bm.semiperimeter as f64 / base.merged_nodes as f64);
-        s_over_n.1.push(ours.stats.semiperimeter as f64 / ours.graph_nodes as f64);
+        s_over_n
+            .0
+            .push(bm.semiperimeter as f64 / base.merged_nodes as f64);
+        s_over_n
+            .1
+            .push(ours.stats.semiperimeter as f64 / ours.graph_nodes as f64);
     }
     println!();
     let col = |i: usize| geomean(&ratios.iter().map(|r| r[i]).collect::<Vec<_>>());

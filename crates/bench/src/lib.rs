@@ -39,11 +39,21 @@ pub fn time_limit(default_secs: u64) -> Duration {
 /// paper's Table II similarly lists only instances that closed within its
 /// 3-hour budget). Selection is by graph size: the small EPFL control
 /// circuits.
-pub const EXACT_SET: &[&str] = &["cavlc", "ctrl", "dec", "i2c", "int2float", "priority", "router"];
+pub const EXACT_SET: &[&str] = &[
+    "cavlc",
+    "ctrl",
+    "dec",
+    "i2c",
+    "int2float",
+    "priority",
+    "router",
+];
 
 /// The instances that are *not* expected to close within the budget — the
 /// Figure 11 population.
-pub const HARD_SET: &[&str] = &["c432", "c499", "c880", "c1355", "c1908", "c3540", "c5315", "c7552", "arbiter"];
+pub const HARD_SET: &[&str] = &[
+    "c432", "c499", "c880", "c1355", "c1908", "c3540", "c5315", "c7552", "arbiter",
+];
 
 /// Runs the COMPACT weighted flow at `gamma` with the given budget.
 ///

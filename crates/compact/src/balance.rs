@@ -63,9 +63,7 @@ pub(crate) fn targeted_labeling(
     align: bool,
     target_rows: usize,
 ) -> Labeling {
-    labeling_with_score(graph, vh, align, move |rows, _| {
-        rows.abs_diff(target_rows)
-    })
+    labeling_with_score(graph, vh, align, move |rows, _| rows.abs_diff(target_rows))
 }
 
 fn labeling_with_score(
@@ -117,7 +115,7 @@ fn labeling_with_score(
     let mut forced: Vec<Option<usize>> = Vec::with_capacity(count);
     for info in &infos {
         forced.push(match info.aligned[1].cmp(&info.aligned[0]) {
-            std::cmp::Ordering::Less => Some(0),  // orient color0 = H
+            std::cmp::Ordering::Less => Some(0), // orient color0 = H
             std::cmp::Ordering::Greater => Some(1),
             std::cmp::Ordering::Equal => None,
         });
@@ -134,11 +132,11 @@ fn labeling_with_score(
     let mut fixed_r = base;
     let mut fixed_c = base;
     let mut free_comps: Vec<usize> = Vec::new();
-    for c in 0..count {
-        match forced[c] {
+    for (c, f) in forced.iter().enumerate().take(count) {
+        match f {
             Some(o) => {
-                fixed_r += row_contrib(c, o);
-                fixed_c += col_contrib(c, o);
+                fixed_r += row_contrib(c, *o);
+                fixed_c += col_contrib(c, *o);
             }
             None => free_comps.push(c),
         }

@@ -47,6 +47,9 @@ pub enum ConstraintError {
         /// Columns of the best design found.
         best_cols: usize,
     },
+    /// Mapping the fitting labeling failed — indicates a solver bug, not
+    /// an input condition.
+    Synthesis(String),
 }
 
 impl fmt::Display for ConstraintError {
@@ -71,6 +74,7 @@ impl fmt::Display for ConstraintError {
                 f,
                 "no fitting design found within the budget (closest: {best_rows} × {best_cols})"
             ),
+            ConstraintError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
         }
     }
 }
@@ -118,7 +122,9 @@ pub fn synthesize_constrained(
     let oct = odd_cycle_transversal(
         &graph.graph,
         &OctConfig {
-            time_limit: deadline.saturating_duration_since(Instant::now()).mul_f64(0.5),
+            time_limit: deadline
+                .saturating_duration_since(Instant::now())
+                .mul_f64(0.5),
         },
     );
     let s_lower = graph.num_nodes() + oct.lower_bound + const0;
@@ -140,7 +146,13 @@ pub fn synthesize_constrained(
         let s = l.stats();
         (s.rows + const0).saturating_sub(limits.max_rows) + s.cols.saturating_sub(limits.max_cols)
     };
-    let mut best = boxed_labeling(&graph, &vh, true, limits.max_rows.saturating_sub(const0), limits.max_cols);
+    let mut best = boxed_labeling(
+        &graph,
+        &vh,
+        true,
+        limits.max_rows.saturating_sub(const0),
+        limits.max_cols,
+    );
     best.enforce_alignment(&graph);
     'outer: while !fits(&best) && Instant::now() < deadline {
         let mut improved = false;
@@ -185,7 +197,7 @@ pub fn synthesize_constrained(
     }
     let stats = best.stats();
     let crossbar = map_to_crossbar(&graph, &best, &names)
-        .expect("boxed labelings are valid and aligned");
+        .map_err(|e| ConstraintError::Synthesis(format!("mapping rejected labeling: {e}")))?;
     let metrics = CrossbarMetrics::of(&crossbar);
     Ok(CompactResult {
         crossbar,
@@ -198,6 +210,7 @@ pub fn synthesize_constrained(
         relative_gap: 1.0,
         trace: None,
         synthesis_time: start.elapsed(),
+        degradation: None,
     })
 }
 

@@ -193,11 +193,21 @@ mod tests {
             unreachable!()
         };
         broken
-            .set(br, bc, DeviceAssignment::Literal { input, negated: !negated })
+            .set(
+                br,
+                bc,
+                DeviceAssignment::Literal {
+                    input,
+                    negated: !negated,
+                },
+            )
             .unwrap();
         let report = verify_symbolic(&broken, &n);
         assert!(!report.equivalent);
-        let cex = report.first_counterexample().expect("counterexample").clone();
+        let cex = report
+            .first_counterexample()
+            .expect("counterexample")
+            .clone();
         // The counterexample really distinguishes the two.
         let want = n.simulate(&cex).unwrap();
         let got = broken.evaluate(&cex).unwrap();

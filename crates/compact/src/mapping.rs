@@ -68,9 +68,9 @@ pub fn map_to_crossbar(
             row_nodes.push(v);
         }
     }
-    for v in 0..n {
-        if labeling.label(v).has_h() && row_of[v] == usize::MAX && Some(v) != graph.terminal {
-            row_of[v] = row_nodes.len();
+    for (v, row) in row_of.iter_mut().enumerate() {
+        if labeling.label(v).has_h() && *row == usize::MAX && Some(v) != graph.terminal {
+            *row = row_nodes.len();
             row_nodes.push(v);
         }
     }
@@ -90,9 +90,9 @@ pub fn map_to_crossbar(
         .filter_map(|(i, r)| r.is_none().then_some(i))
         .collect();
     let mut col_nodes: Vec<usize> = Vec::new();
-    for v in 0..n {
+    for (v, col) in col_of.iter_mut().enumerate() {
         if labeling.label(v).has_v() {
-            col_of[v] = col_nodes.len();
+            *col = col_nodes.len();
             col_nodes.push(v);
         }
     }
@@ -234,12 +234,7 @@ mod tests {
         n.mark_output(o);
         let g = crate::preprocess::BddGraph::from_bdds(&build_sbdd(&n, None));
         let r = min_semiperimeter(&g, &OctMethodConfig::default());
-        let xbar = map_to_crossbar(
-            &g,
-            &r.labeling,
-            &["f".into(), "z".into(), "o".into()],
-        )
-        .unwrap();
+        let xbar = map_to_crossbar(&g, &r.labeling, &["f".into(), "z".into(), "o".into()]).unwrap();
         for a_val in [false, true] {
             let out = xbar.evaluate(&[a_val]).unwrap();
             assert_eq!(out, vec![a_val, false, true], "a={a_val}");

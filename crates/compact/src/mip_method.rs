@@ -17,7 +17,8 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use flowc_graph::{oct_heuristic, odd_cycle_transversal, OctConfig};
+use flowc_budget::Budget;
+use flowc_graph::{oct_heuristic, odd_cycle_transversal_budgeted, OctConfig};
 use flowc_milp::{BranchBound, Model, Sense, SolveStatus, SolveTrace, TracePoint, VarId};
 
 use crate::balance::balanced_labeling;
@@ -83,8 +84,12 @@ pub fn build_model(graph: &BddGraph, gamma: f64, align: bool) -> (Model, MipVars
     let n = graph.num_nodes();
     let mut m = Model::new();
     // Objective: γ·S + (1−γ)·D with S = Σ(x_i^V + x_i^H).
-    let xv: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("xv{i}"), gamma)).collect();
-    let xh: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("xh{i}"), gamma)).collect();
+    let xv: Vec<VarId> = (0..n)
+        .map(|i| m.add_binary(format!("xv{i}"), gamma))
+        .collect();
+    let xh: Vec<VarId> = (0..n)
+        .map(|i| m.add_binary(format!("xh{i}"), gamma))
+        .collect();
     let d = m.add_continuous("D", 0.0, f64::INFINITY, 1.0 - gamma);
     // D >= R = Σ x_i^H  and  D >= C = Σ x_i^V.
     let mut r_terms: Vec<(VarId, f64)> = xh.iter().map(|&v| (v, -1.0)).collect();
@@ -150,17 +155,27 @@ pub fn hill_climb(
     align: bool,
     deadline: Instant,
 ) -> (Labeling, usize) {
-    hill_climb_traced(graph, start, gamma, align, deadline, |_| {})
+    hill_climb_traced(
+        graph,
+        start,
+        gamma,
+        align,
+        deadline,
+        &Budget::unlimited(),
+        |_| {},
+    )
 }
 
-/// [`hill_climb`] with an observer invoked on every accepted move (used to
-/// record solver convergence traces).
+/// [`hill_climb`] with a cooperative [`Budget`] (cancellation and deadline
+/// checked per candidate move) and an observer invoked on every accepted
+/// move (used to record solver convergence traces).
 pub fn hill_climb_traced(
     graph: &BddGraph,
     start: &Labeling,
     gamma: f64,
     align: bool,
     deadline: Instant,
+    budget: &Budget,
     mut on_improve: impl FnMut(&Labeling),
 ) -> (Labeling, usize) {
     let n = graph.num_nodes();
@@ -180,7 +195,7 @@ pub fn hill_climb_traced(
         let mut candidates: Vec<usize> = (0..n).filter(|v| !vh.contains(v)).collect();
         candidates.sort_by_key(|&v| std::cmp::Reverse(graph.graph.degree(v)));
         for v in candidates {
-            if Instant::now() >= deadline {
+            if Instant::now() >= deadline || budget.check().is_err() {
                 return (best, accepted);
             }
             vh.insert(v);
@@ -207,34 +222,65 @@ pub fn hill_climb_traced(
 /// use the staged anytime path. Either way the returned trace records the
 /// incumbent/bound/gap trajectory.
 pub fn solve(graph: &BddGraph, config: &MipConfig) -> MipOutcome {
-    let start = Instant::now();
-    let deadline = start + config.time_limit;
-    let n = graph.num_nodes();
-    let gamma = config.gamma;
+    solve_budgeted(graph, config, &Budget::unlimited())
+}
 
-    if n <= config.exact_node_limit {
-        let (model, vars) = build_model(graph, gamma, config.align);
-        let solver = BranchBound::new()
-            .time_limit(config.time_limit)
-            .trace_every(10);
-        if let Ok(sol) = solver.solve(&model) {
-            let labeling = labeling_from_solution(&vars, &sol.values);
-            debug_assert!(labeling.is_valid(graph));
-            let objective = labeling.stats().objective(gamma);
-            return MipOutcome {
-                labeling,
-                optimal: sol.status == SolveStatus::Optimal,
-                objective,
-                best_bound: sol.best_bound,
-                relative_gap: sol.relative_gap(),
-                trace: sol.trace,
-            };
+/// [`solve`] under a shared [`Budget`]: the branch & bound, the OCT stage,
+/// and the hill climb all check the budget's deadline and cancellation
+/// token cooperatively.
+pub fn solve_budgeted(graph: &BddGraph, config: &MipConfig, budget: &Budget) -> MipOutcome {
+    if graph.num_nodes() <= config.exact_node_limit {
+        if let Some(out) = solve_exact_budgeted(graph, config, budget) {
+            return out;
         }
         // Infeasibility cannot occur (all-VH is always feasible); fall
         // through to the anytime path defensively.
     }
+    solve_anytime_budgeted(graph, config, budget)
+}
 
-    // Anytime path. Stage 1: greedy OCT incumbent.
+/// The exact Eq. 4 MIP path alone. Returns `None` when the graph exceeds
+/// `config.exact_node_limit` or the branch & bound fails to produce any
+/// incumbent before its budget runs out — callers fall back to
+/// [`solve_anytime_budgeted`].
+pub fn solve_exact_budgeted(
+    graph: &BddGraph,
+    config: &MipConfig,
+    budget: &Budget,
+) -> Option<MipOutcome> {
+    if graph.num_nodes() > config.exact_node_limit {
+        return None;
+    }
+    let gamma = config.gamma;
+    let (model, vars) = build_model(graph, gamma, config.align);
+    let solver = BranchBound::new()
+        .time_limit(budget.remaining_or(config.time_limit))
+        .trace_every(10)
+        .budget(budget);
+    let sol = solver.solve(&model).ok()?;
+    let labeling = labeling_from_solution(&vars, &sol.values);
+    debug_assert!(labeling.is_valid(graph));
+    let objective = labeling.stats().objective(gamma);
+    Some(MipOutcome {
+        labeling,
+        optimal: sol.status == SolveStatus::Optimal,
+        objective,
+        best_bound: sol.best_bound,
+        relative_gap: sol.relative_gap(),
+        trace: sol.trace,
+    })
+}
+
+/// The staged anytime path alone: greedy OCT incumbent → budgeted exact
+/// OCT (bound + incumbent) → VH-addition hill climbing. Always returns a
+/// valid labeling, even on an already-exhausted budget.
+pub fn solve_anytime_budgeted(graph: &BddGraph, config: &MipConfig, budget: &Budget) -> MipOutcome {
+    let start = Instant::now();
+    let deadline = start + budget.remaining_or(config.time_limit);
+    let n = graph.num_nodes();
+    let gamma = config.gamma;
+
+    // Stage 1: greedy OCT incumbent.
     let mut trace = SolveTrace::new();
     let trivial_bound = gamma * n as f64 + (1.0 - gamma) * (n as f64 / 2.0).ceil();
     let greedy_vh: HashSet<usize> = oct_heuristic(&graph.graph).into_iter().collect();
@@ -251,11 +297,12 @@ pub fn solve(graph: &BddGraph, config: &MipConfig) -> MipOutcome {
     // Stage 2: exact (or time-limited) OCT improves both the incumbent and
     // the proven bound.
     let remaining = deadline.saturating_duration_since(Instant::now());
-    let oct = odd_cycle_transversal(
+    let oct = odd_cycle_transversal_budgeted(
         &graph.graph,
         &OctConfig {
             time_limit: remaining.mul_f64(0.6),
         },
+        budget,
     );
     let oct_vh: HashSet<usize> = oct.transversal.iter().copied().collect();
     let cand = balanced_labeling(graph, &oct_vh, config.align);
@@ -283,6 +330,7 @@ pub fn solve(graph: &BddGraph, config: &MipConfig) -> MipOutcome {
         gamma,
         config.align,
         deadline,
+        budget,
         |labeling| {
             trace.push(TracePoint {
                 elapsed: start.elapsed(),
@@ -466,8 +514,7 @@ mod tests {
             );
             assert!(improved.is_valid(&g));
             assert!(
-                improved.stats().objective(gamma)
-                    <= base.labeling.stats().objective(gamma) + 1e-9
+                improved.stats().objective(gamma) <= base.labeling.stats().objective(gamma) + 1e-9
             );
         }
     }

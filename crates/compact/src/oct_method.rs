@@ -6,7 +6,8 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use flowc_graph::{oct_heuristic, odd_cycle_transversal, OctConfig};
+use flowc_budget::Budget;
+use flowc_graph::{oct_heuristic, odd_cycle_transversal_budgeted, OctConfig};
 
 use crate::balance::balanced_labeling;
 use crate::labeling::Labeling;
@@ -51,12 +52,24 @@ pub struct OctMethodResult {
 
 /// Solves the VH-labeling problem for minimal semiperimeter (Eq. 2).
 pub fn min_semiperimeter(graph: &BddGraph, config: &OctMethodConfig) -> OctMethodResult {
+    min_semiperimeter_budgeted(graph, config, &Budget::unlimited())
+}
+
+/// [`min_semiperimeter`] under a shared [`Budget`]: the exact Lemma-1 solve
+/// checks the budget cooperatively and degrades to a greedy-backed (valid,
+/// non-optimal) transversal on exhaustion.
+pub fn min_semiperimeter_budgeted(
+    graph: &BddGraph,
+    config: &OctMethodConfig,
+    budget: &Budget,
+) -> OctMethodResult {
     let (transversal, optimal, lower_bound) = if graph.num_nodes() <= config.exact_node_limit {
-        let r = odd_cycle_transversal(
+        let r = odd_cycle_transversal_budgeted(
             &graph.graph,
             &OctConfig {
-                time_limit: config.time_limit,
+                time_limit: budget.remaining_or(config.time_limit),
             },
+            budget,
         );
         (r.transversal, r.optimal, r.lower_bound)
     } else {

@@ -22,7 +22,7 @@ pub struct SweepPoint {
 pub fn gamma_sweep(network: &Network, steps: usize, time_limit: Duration) -> Vec<SweepPoint> {
     let steps = steps.max(2);
     (0..steps)
-        .map(|i| {
+        .filter_map(|i| {
             let gamma = i as f64 / (steps - 1) as f64;
             let cfg = Config {
                 strategy: VhStrategy::Weighted {
@@ -33,12 +33,14 @@ pub fn gamma_sweep(network: &Network, steps: usize, time_limit: Duration) -> Vec
                 align: true,
                 var_order: None,
             };
-            let r = synthesize(network, &cfg).expect("labelings are always mappable");
-            SweepPoint {
+            // The supervised pipeline only errs on internal bugs; a failed
+            // γ point degrades the sweep's resolution, not the caller.
+            let r = synthesize(network, &cfg).ok()?;
+            Some(SweepPoint {
                 gamma,
                 rows: r.stats.rows,
                 cols: r.stats.cols,
-            }
+            })
         })
         .collect()
 }
@@ -55,10 +57,8 @@ pub fn aspect_sweep(network: &Network, steps: usize, time_limit: Duration) -> Ve
 
     let bdds = flowc_bdd::build_sbdd(network, None);
     let graph = BddGraph::from_bdds(&bdds);
-    let oct = flowc_graph::odd_cycle_transversal(
-        &graph.graph,
-        &flowc_graph::OctConfig { time_limit },
-    );
+    let oct =
+        flowc_graph::odd_cycle_transversal(&graph.graph, &flowc_graph::OctConfig { time_limit });
     let vh: std::collections::HashSet<usize> = oct.transversal.into_iter().collect();
     // The feasible row range is bracketed by the balanced solution (rows ≈
     // S/2) and the all-rows extreme (rows ≈ S − #VH); sweep targets across
@@ -123,11 +123,31 @@ mod tests {
     #[test]
     fn non_domination_filter() {
         let pts = vec![
-            SweepPoint { gamma: 0.0, rows: 5, cols: 5 },
-            SweepPoint { gamma: 0.3, rows: 4, cols: 6 },
-            SweepPoint { gamma: 0.5, rows: 6, cols: 6 }, // dominated by (5,5)
-            SweepPoint { gamma: 0.7, rows: 4, cols: 6 }, // duplicate shape
-            SweepPoint { gamma: 1.0, rows: 3, cols: 8 },
+            SweepPoint {
+                gamma: 0.0,
+                rows: 5,
+                cols: 5,
+            },
+            SweepPoint {
+                gamma: 0.3,
+                rows: 4,
+                cols: 6,
+            },
+            SweepPoint {
+                gamma: 0.5,
+                rows: 6,
+                cols: 6,
+            }, // dominated by (5,5)
+            SweepPoint {
+                gamma: 0.7,
+                rows: 4,
+                cols: 6,
+            }, // duplicate shape
+            SweepPoint {
+                gamma: 1.0,
+                rows: 3,
+                cols: 8,
+            },
         ];
         let nd = non_dominated(&pts);
         let shapes: Vec<(usize, usize)> = nd.iter().map(|p| (p.rows, p.cols)).collect();
@@ -145,7 +165,10 @@ mod tests {
         let s_values: std::collections::HashSet<usize> =
             pts.iter().map(|p| p.rows + p.cols).collect();
         // All points share (near-)minimal semiperimeter.
-        assert!(s_values.len() <= 3, "aspect sweep changes shape, not S: {s_values:?}");
+        assert!(
+            s_values.len() <= 3,
+            "aspect sweep changes shape, not S: {s_values:?}"
+        );
         let distinct_shapes: std::collections::HashSet<(usize, usize)> =
             pts.iter().map(|p| (p.rows, p.cols)).collect();
         // int2float's graph stays nearly connected after the transversal,

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use flowc_bdd::{build_sbdd, NetworkBdds};
+use flowc_bdd::NetworkBdds;
 use flowc_logic::Network;
 use flowc_milp::SolveTrace;
 use flowc_xbar::metrics::CrossbarMetrics;
@@ -96,12 +96,17 @@ impl Config {
 pub enum CompactError {
     /// Crossbar mapping failed (invalid labeling — indicates a solver bug).
     Map(MapError),
+    /// The supervised pipeline could not produce any design at all (even
+    /// the terminal fallback failed) — indicates a bug, not a budget or
+    /// input condition.
+    Synthesis(String),
 }
 
 impl fmt::Display for CompactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompactError::Map(e) => write!(f, "crossbar mapping failed: {e}"),
+            CompactError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
         }
     }
 }
@@ -110,6 +115,7 @@ impl std::error::Error for CompactError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompactError::Map(e) => Some(e),
+            CompactError::Synthesis(_) => None,
         }
     }
 }
@@ -137,24 +143,27 @@ pub struct CompactResult {
     pub trace: Option<SolveTrace>,
     /// Wall-clock synthesis time (the paper's one-time initialization).
     pub synthesis_time: Duration,
+    /// Supervisor provenance: which ladder rung shipped the design and
+    /// what was attempted along the way. `None` for unsupervised entry
+    /// points ([`synthesize_bdds`], the constrained search).
+    pub degradation: Option<crate::supervisor::DegradationReport>,
 }
 
 /// Runs the full COMPACT flow on a network. Builds the shared BDD (SBDD)
 /// over all outputs — the multi-output mode of Section VII.
 ///
+/// Every call is supervised: solver panics are isolated and answered by
+/// the degradation ladder (see [`crate::supervisor`]), so a result is
+/// returned even when a stage misbehaves. To bound the run by wall clock
+/// or node ceilings as well, use
+/// [`crate::supervisor::synthesize_with_budget`].
+///
 /// # Errors
 ///
-/// Returns [`CompactError::Map`] if the produced labeling cannot be mapped
-/// (which would indicate a solver bug; labelings are validated in debug
-/// builds).
+/// Returns [`CompactError::Map`] or [`CompactError::Synthesis`] only on
+/// internal bugs; see [`crate::supervisor::synthesize_with_budget`].
 pub fn synthesize(network: &Network, config: &Config) -> Result<CompactResult, CompactError> {
-    let bdds = build_sbdd(network, config.var_order.as_deref());
-    let names: Vec<String> = network
-        .outputs()
-        .iter()
-        .map(|&o| network.net_name(o).to_string())
-        .collect();
-    synthesize_bdds(&bdds, &names, config)
+    crate::supervisor::synthesize_with_budget(network, config, &flowc_budget::Budget::unlimited())
 }
 
 /// Runs the labeling and mapping stages on an already-built BDD forest.
@@ -175,8 +184,7 @@ pub fn synthesize_bdds(
     // requested as a constraint.
     labeling.enforce_alignment(&graph);
     let stats = labeling.stats();
-    let crossbar =
-        map_to_crossbar(&graph, &labeling, output_names).map_err(CompactError::Map)?;
+    let crossbar = map_to_crossbar(&graph, &labeling, output_names).map_err(CompactError::Map)?;
     let metrics = CrossbarMetrics::of(&crossbar);
     Ok(CompactResult {
         crossbar,
@@ -189,13 +197,11 @@ pub fn synthesize_bdds(
         relative_gap,
         trace,
         synthesis_time: start.elapsed(),
+        degradation: None,
     })
 }
 
-fn run_strategy(
-    graph: &BddGraph,
-    config: &Config,
-) -> (Labeling, bool, f64, Option<SolveTrace>) {
+fn run_strategy(graph: &BddGraph, config: &Config) -> (Labeling, bool, f64, Option<SolveTrace>) {
     match &config.strategy {
         VhStrategy::MinSemiperimeter { time_limit } => {
             let r = min_semiperimeter(
@@ -226,8 +232,9 @@ fn run_strategy(
             (out.labeling, out.optimal, out.relative_gap, Some(out.trace))
         }
         VhStrategy::Heuristic { gamma } => {
-            let vh: std::collections::HashSet<usize> =
-                flowc_graph::oct_heuristic(&graph.graph).into_iter().collect();
+            let vh: std::collections::HashSet<usize> = flowc_graph::oct_heuristic(&graph.graph)
+                .into_iter()
+                .collect();
             let labeling = crate::balance::balanced_labeling(graph, &vh, config.align);
             let _ = gamma;
             (labeling, false, 1.0, None)
@@ -313,9 +320,11 @@ mod tests {
         let r = synthesize(&n, &Config::gamma(0.5)).unwrap();
         let report = verify_functional(&r.crossbar, &n, 1 << 11).unwrap();
         assert!(report.is_valid());
-        assert!(r.labeling.is_aligned(&crate::preprocess::BddGraph::from_bdds(
-            &flowc_bdd::build_sbdd(&n, None)
-        )));
+        assert!(r
+            .labeling
+            .is_aligned(&crate::preprocess::BddGraph::from_bdds(
+                &flowc_bdd::build_sbdd(&n, None)
+            )));
     }
 
     #[test]

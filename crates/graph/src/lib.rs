@@ -29,9 +29,12 @@ mod vertex_cover;
 
 pub use bipartite::{two_color, ColorResult};
 pub use matching::{hopcroft_karp, konig_cover, BipartiteMatching};
-pub use oct::{odd_cycle_transversal, oct_heuristic, OctConfig, OctResult};
+pub use oct::{
+    oct_heuristic, odd_cycle_transversal, odd_cycle_transversal_budgeted, OctConfig, OctResult,
+};
 pub use product::cartesian_with_k2;
 pub use ugraph::UGraph;
 pub use vertex_cover::{
-    greedy_cover, lp_lower_bound, minimum_vertex_cover, nt_kernel, NtKernel, VcConfig, VcResult,
+    greedy_cover, lp_lower_bound, minimum_vertex_cover, minimum_vertex_cover_budgeted, nt_kernel,
+    NtKernel, VcConfig, VcResult,
 };

@@ -97,9 +97,9 @@ pub fn konig_cover(adj: &[Vec<usize>], matching: &BipartiteMatching) -> (Vec<boo
     let mut visited_left = vec![false; nl];
     let mut visited_right = vec![false; nr];
     let mut queue = std::collections::VecDeque::new();
-    for u in 0..nl {
+    for (u, vis) in visited_left.iter_mut().enumerate() {
         if matching.pair_left[u] == NIL {
-            visited_left[u] = true;
+            *vis = true;
             queue.push_back(u);
         }
     }
@@ -211,8 +211,7 @@ mod tests {
             let m = hopcroft_karp(&adj, nr);
             let (cl, cr) = konig_cover(&adj, &m);
             check_cover(&adj, &cl, &cr);
-            let cover_size =
-                cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count();
+            let cover_size = cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count();
             assert_eq!(cover_size, m.size, "König equality failed on trial {trial}");
             // Matching is consistent.
             for u in 0..nl {

@@ -6,8 +6,10 @@
 
 use std::time::Duration;
 
+use flowc_budget::Budget;
+
 use crate::product::cartesian_with_k2;
-use crate::vertex_cover::{minimum_vertex_cover, VcConfig};
+use crate::vertex_cover::{minimum_vertex_cover_budgeted, VcConfig};
 use crate::{two_color, ColorResult, UGraph};
 
 /// Configuration for [`odd_cycle_transversal`].
@@ -39,6 +41,19 @@ pub struct OctResult {
 /// Computes an odd cycle transversal of `g` via Lemma 1 (vertex cover of
 /// `G □ K₂`). Bipartite inputs short-circuit to the empty transversal.
 pub fn odd_cycle_transversal(g: &UGraph, config: &OctConfig) -> OctResult {
+    odd_cycle_transversal_budgeted(g, config, &Budget::unlimited())
+}
+
+/// [`odd_cycle_transversal`] under a shared [`Budget`]: the underlying
+/// vertex-cover branch & bound checks the budget's cancellation token and
+/// deadline cooperatively, so an in-flight OCT solve can be interrupted
+/// mid-branch. On exhaustion the result degrades exactly like a time-out:
+/// a valid (greedy-backed) transversal with `optimal == false`.
+pub fn odd_cycle_transversal_budgeted(
+    g: &UGraph,
+    config: &OctConfig,
+    budget: &Budget,
+) -> OctResult {
     if matches!(two_color(g), ColorResult::Bipartite(_)) {
         return OctResult {
             transversal: Vec::new(),
@@ -48,11 +63,12 @@ pub fn odd_cycle_transversal(g: &UGraph, config: &OctConfig) -> OctResult {
     }
     let n = g.num_vertices();
     let p = cartesian_with_k2(g);
-    let vc = minimum_vertex_cover(
+    let vc = minimum_vertex_cover_budgeted(
         &p,
         &VcConfig {
             time_limit: config.time_limit,
         },
+        budget,
     );
     let in_cover = {
         let mut m = vec![false; 2 * n];
@@ -241,6 +257,21 @@ mod tests {
                 assert!(is_valid_oct(&g, &r.transversal));
             }
         }
+    }
+
+    #[test]
+    fn cancelled_budget_still_returns_valid_oct() {
+        let mut g = UGraph::new(6);
+        for base in [0, 3] {
+            g.add_edge(base, base + 1);
+            g.add_edge(base + 1, base + 2);
+            g.add_edge(base, base + 2);
+        }
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let r = odd_cycle_transversal_budgeted(&g, &OctConfig::default(), &budget);
+        assert!(is_valid_oct(&g, &r.transversal));
+        assert!(!r.optimal);
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
     #[test]
     fn self_loop_panics() {
         let mut g = UGraph::new(2);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.add_edge(1, 1))).is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.add_edge(1, 1))).is_err()
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use std::time::{Duration, Instant};
 
+use flowc_budget::Budget;
+
 use crate::matching::{hopcroft_karp, konig_cover};
 use crate::UGraph;
 
@@ -135,6 +137,7 @@ struct Solver<'g> {
     g: &'g UGraph,
     best_cover: Vec<usize>,
     deadline: Instant,
+    budget: Budget,
     timed_out: bool,
     /// Smallest unexplored lower bound among pruned-by-timeout subtrees.
     open_bound: Option<usize>,
@@ -180,7 +183,7 @@ impl<'g> Solver<'g> {
     }
 
     fn rec(&mut self, mut alive: Vec<bool>, mut chosen: Vec<usize>) {
-        if Instant::now() >= self.deadline {
+        if Instant::now() >= self.deadline || self.budget.check().is_err() {
             self.timed_out = true;
             // This subtree stays open: its chosen-so-far size is a valid
             // subtree lower bound contribution.
@@ -246,8 +249,17 @@ impl<'g> Solver<'g> {
 /// optimal; on expiry the best cover found so far is returned together with
 /// a valid global lower bound.
 pub fn minimum_vertex_cover(g: &UGraph, config: &VcConfig) -> VcResult {
+    minimum_vertex_cover_budgeted(g, config, &Budget::unlimited())
+}
+
+/// [`minimum_vertex_cover`] under a shared [`Budget`]: the branch & bound
+/// checks the budget's cancellation token and deadline at every recursion
+/// step (on top of the config's own `time_limit`). Exhaustion behaves like
+/// a time-out — the best cover found so far is returned with
+/// `optimal == false` and a valid lower bound.
+pub fn minimum_vertex_cover_budgeted(g: &UGraph, config: &VcConfig, budget: &Budget) -> VcResult {
     use crate::{two_color, ColorResult};
-    let deadline = Instant::now() + config.time_limit;
+    let deadline = Instant::now() + budget.remaining_or(config.time_limit);
     let (comp, count) = g.components();
     let mut cover = Vec::new();
     let mut lower_bound = 0usize;
@@ -266,7 +278,7 @@ pub fn minimum_vertex_cover(g: &UGraph, config: &VcConfig) -> VcResult {
             }
             ColorResult::OddCycle(_) => {
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                let local = vc_nonbipartite(&sub, remaining);
+                let local = vc_nonbipartite(&sub, remaining, budget);
                 lower_bound += local.lower_bound;
                 optimal &= local.optimal;
                 cover.extend(local.cover.into_iter().map(|v| back[v]));
@@ -320,7 +332,7 @@ fn bipartite_cover(g: &UGraph, colors: &[u8]) -> Vec<usize> {
 }
 
 /// NT kernelization + branch & bound for one non-bipartite component.
-fn vc_nonbipartite(g: &UGraph, time_limit: Duration) -> VcResult {
+fn vc_nonbipartite(g: &UGraph, time_limit: Duration, budget: &Budget) -> VcResult {
     let nt = nt_kernel(g);
     // Solve the kernel.
     let mut keep = vec![false; g.num_vertices()];
@@ -334,6 +346,7 @@ fn vc_nonbipartite(g: &UGraph, time_limit: Duration) -> VcResult {
         g: &kernel_graph,
         best_cover: greedy,
         deadline,
+        budget: budget.clone(),
         timed_out: false,
         open_bound: None,
     };
@@ -370,7 +383,9 @@ mod tests {
 
     fn is_cover(g: &UGraph, cover: &[usize]) -> bool {
         let set: std::collections::HashSet<usize> = cover.iter().copied().collect();
-        g.edges().iter().all(|&(u, v)| set.contains(&u) || set.contains(&v))
+        g.edges()
+            .iter()
+            .all(|&(u, v)| set.contains(&u) || set.contains(&v))
     }
 
     fn brute_force_vc(g: &UGraph) -> usize {
@@ -452,7 +467,10 @@ mod tests {
         let forced: std::collections::HashSet<_> = nt.forced_in.iter().collect();
         for &x in &nt.excluded {
             for &w in g.neighbors(x) {
-                assert!(forced.contains(&w), "excluded {x} has non-forced neighbor {w}");
+                assert!(
+                    forced.contains(&w),
+                    "excluded {x} has non-forced neighbor {w}"
+                );
             }
         }
     }
@@ -490,7 +508,9 @@ mod tests {
         let mut seed = 99u64;
         for u in 0..8usize {
             for v in (u + 1)..8 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if seed >> 33 & 1 == 1 {
                     g.add_edge(u, v);
                 }
@@ -534,7 +554,9 @@ mod tests {
         let mut seed = 7u64;
         for u in 0..30usize {
             for v in (u + 1)..30 {
-                seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                seed = seed
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 if seed >> 60 & 1 == 1 {
                     g.add_edge(u, v);
                 }
@@ -548,6 +570,32 @@ mod tests {
         );
         assert!(is_cover(&g, &r.cover));
         assert!(r.lower_bound <= r.cover.len());
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_like_timeout() {
+        let mut tri = UGraph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(0, 2);
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let r = minimum_vertex_cover_budgeted(&tri, &VcConfig::default(), &budget);
+        assert!(is_cover(&tri, &r.cover));
+        assert!(!r.optimal, "a cancelled solve must not claim optimality");
+        assert!(r.lower_bound <= r.cover.len());
+    }
+
+    #[test]
+    fn budget_deadline_caps_the_config_time_limit() {
+        let mut tri = UGraph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(0, 2);
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let r = minimum_vertex_cover_budgeted(&tri, &VcConfig::default(), &budget);
+        assert!(is_cover(&tri, &r.cover));
+        assert!(!r.optimal);
     }
 
     #[test]

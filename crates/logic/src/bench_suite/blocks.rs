@@ -8,7 +8,9 @@ use crate::{GateKind, NetId, Network, Result};
 
 /// Creates `width` primary inputs named `prefix0..prefix{width-1}`.
 pub fn input_bus(n: &mut Network, prefix: &str, width: usize) -> Vec<NetId> {
-    (0..width).map(|i| n.add_input(format!("{prefix}{i}"))).collect()
+    (0..width)
+        .map(|i| n.add_input(format!("{prefix}{i}")))
+        .collect()
 }
 
 /// Creates two buses with *interleaved* creation order (`a0 b0 a1 b1 …`),
@@ -30,7 +32,13 @@ pub fn interleaved_input_buses(
 }
 
 /// One-bit full adder; returns `(sum, carry_out)`.
-pub fn full_adder(n: &mut Network, a: NetId, b: NetId, cin: NetId, tag: &str) -> Result<(NetId, NetId)> {
+pub fn full_adder(
+    n: &mut Network,
+    a: NetId,
+    b: NetId,
+    cin: NetId,
+    tag: &str,
+) -> Result<(NetId, NetId)> {
     let s = n.add_gate(GateKind::Xor, &[a, b, cin], format!("{tag}_s"))?;
     let ab = n.add_gate(GateKind::And, &[a, b], format!("{tag}_ab"))?;
     let ac = n.add_gate(GateKind::And, &[a, cin], format!("{tag}_ac"))?;
@@ -196,12 +204,11 @@ pub fn decoder(
 /// Priority encoder: given `req` (index 0 has the *highest* priority),
 /// returns `(index_bits, valid)` where `index_bits` is the binary index of
 /// the highest-priority asserted request.
-pub fn priority_encoder(
-    n: &mut Network,
-    req: &[NetId],
-    tag: &str,
-) -> Result<(Vec<NetId>, NetId)> {
-    assert!(!req.is_empty(), "priority encoder needs at least one request");
+pub fn priority_encoder(n: &mut Network, req: &[NetId], tag: &str) -> Result<(Vec<NetId>, NetId)> {
+    assert!(
+        !req.is_empty(),
+        "priority encoder needs at least one request"
+    );
     let width = req.len();
     let bits = usize::BITS as usize - (width - 1).leading_zeros() as usize;
     let bits = bits.max(1);
@@ -213,7 +220,11 @@ pub fn priority_encoder(
         grants.push(g);
         if i + 1 < width {
             let nr = n.add_gate(GateKind::Not, &[r], format!("{tag}_nr{i}"))?;
-            none_above = n.add_gate(GateKind::And, &[none_above, nr], format!("{tag}_na{}", i + 1))?;
+            none_above = n.add_gate(
+                GateKind::And,
+                &[none_above, nr],
+                format!("{tag}_na{}", i + 1),
+            )?;
         }
     }
     // Encode the one-hot grants.
@@ -249,8 +260,11 @@ pub fn leading_one(n: &mut Network, bits: &[NetId], tag: &str) -> Result<Vec<Net
         outs[width - 1 - i] = Some(g);
         if i + 1 < width {
             let nr = n.add_gate(GateKind::Not, &[r], format!("{tag}_lonr{i}"))?;
-            none_above =
-                n.add_gate(GateKind::And, &[none_above, nr], format!("{tag}_lo_na{}", i + 1))?;
+            none_above = n.add_gate(
+                GateKind::And,
+                &[none_above, nr],
+                format!("{tag}_lo_na{}", i + 1),
+            )?;
         }
     }
     Ok(outs.into_iter().map(|o| o.expect("filled")).collect())

@@ -120,7 +120,13 @@ pub fn ctrl_like() -> Result<Network> {
     // Opcode classes on the top three bits.
     let class = |n: &mut Network, pattern: u8, tag: &str| -> Result<NetId> {
         let lits: Vec<NetId> = (4..7)
-            .map(|i| if pattern >> (i - 4) & 1 == 1 { op[i] } else { nop[i] })
+            .map(|i| {
+                if pattern >> (i - 4) & 1 == 1 {
+                    op[i]
+                } else {
+                    nop[i]
+                }
+            })
             .collect();
         n.add_gate(GateKind::And, &lits, tag)
     };
@@ -133,7 +139,11 @@ pub fn ctrl_like() -> Result<Network> {
     let is_sys = class(&mut n, 0b110, "is_sys")?;
     let is_ext = class(&mut n, 0b111, "is_ext")?;
 
-    let reg_write = n.add_gate(GateKind::Or, &[is_alu, is_imm, is_load, is_jump], "reg_write")?;
+    let reg_write = n.add_gate(
+        GateKind::Or,
+        &[is_alu, is_imm, is_load, is_jump],
+        "reg_write",
+    )?;
     let mem_read = n.add_gate(GateKind::Buf, &[is_load], "mem_read")?;
     let mem_write = n.add_gate(GateKind::Buf, &[is_store], "mem_write")?;
     let alu_src_imm = n.add_gate(GateKind::Or, &[is_imm, is_load, is_store], "alu_src_imm")?;
@@ -222,8 +232,8 @@ pub fn i2c_like() -> Result<Network> {
     n.mark_output(cnt_max);
     // Shifted data byte (shift-left by one, serial input = ctrl[4]).
     n.mark_output(ctrl[4]);
-    for i in 0..7 {
-        let b = n.add_gate(GateKind::Buf, &[data[i]], format!("sh{i}"))?;
+    for (i, &d) in data.iter().take(7).enumerate() {
+        let b = n.add_gate(GateKind::Buf, &[d], format!("sh{i}"))?;
         n.mark_output(b);
     }
     // Gated enables: en[i] qualified by scattered conditions.
@@ -246,7 +256,11 @@ pub fn i2c_like() -> Result<Network> {
         }
     }
     for i in 0..8 {
-        let fl = n.add_gate(GateKind::Xor, &[data[i], addr[i % addr.len()]], format!("flag{i}"))?;
+        let fl = n.add_gate(
+            GateKind::Xor,
+            &[data[i], addr[i % addr.len()]],
+            format!("flag{i}"),
+        )?;
         n.mark_output(fl);
         let st = n.add_gate(
             GateKind::Mux,
@@ -288,11 +302,11 @@ pub fn int2float() -> Result<Network> {
         .collect::<Result<_>>()?;
     let mut carry = n.add_const1("negc0");
     let mut neg = Vec::with_capacity(10);
-    for i in 0..10 {
-        let s = n.add_gate(GateKind::Xor, &[inv[i], carry], format!("neg{i}"))?;
+    for (i, &iv) in inv.iter().enumerate() {
+        let s = n.add_gate(GateKind::Xor, &[iv, carry], format!("neg{i}"))?;
         neg.push(s);
         if i + 1 < 10 {
-            carry = n.add_gate(GateKind::And, &[inv[i], carry], format!("negc{}", i + 1))?;
+            carry = n.add_gate(GateKind::And, &[iv, carry], format!("negc{}", i + 1))?;
         }
     }
     let mag = mux_bus(&mut n, sign, &neg, &x[..10], "mag")?;
@@ -374,7 +388,13 @@ pub fn router_like() -> Result<Network> {
     for (k, prefix) in PREFIXES.into_iter().enumerate() {
         let width = 8 - 2 * k;
         let lits: Vec<NetId> = (8 - width..8)
-            .map(|i| if prefix >> i & 1 == 1 { dest[i] } else { ndest[i] })
+            .map(|i| {
+                if prefix >> i & 1 == 1 {
+                    dest[i]
+                } else {
+                    ndest[i]
+                }
+            })
             .collect();
         let m = n.add_gate(GateKind::And, &lits, format!("m{k}"))?;
         matches.push(m);

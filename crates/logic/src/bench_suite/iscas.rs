@@ -49,7 +49,12 @@ pub fn c432_like() -> Result<Network> {
 /// inputs and `check_bits` stored check inputs; outputs are the corrected
 /// data word. When `nand_style` is set, XOR gates are decomposed into NAND
 /// networks (c1355 is the NAND-expanded version of c499 — same function).
-fn sec_circuit(name: &str, data_bits: usize, check_bits: usize, nand_style: bool) -> Result<Network> {
+fn sec_circuit(
+    name: &str,
+    data_bits: usize,
+    check_bits: usize,
+    nand_style: bool,
+) -> Result<Network> {
     let mut n = Network::new(name);
     let data = input_bus(&mut n, "d", data_bits);
     let check = input_bus(&mut n, "c", check_bits);
@@ -69,14 +74,14 @@ fn sec_circuit(name: &str, data_bits: usize, check_bits: usize, nand_style: bool
     // Syndrome bit j: parity of the data bits whose (1-based) Hamming
     // position has bit j set, XOR the stored check bit.
     let mut syndrome = Vec::with_capacity(check_bits);
-    for j in 0..check_bits {
+    for (j, &check_j) in check.iter().enumerate() {
         let members: Vec<NetId> = data
             .iter()
             .enumerate()
             .filter(|(i, _)| (i + 1) >> j & 1 == 1)
             .map(|(_, &d)| d)
             .collect();
-        let mut acc = check[j];
+        let mut acc = check_j;
         for (k, &m) in members.iter().enumerate() {
             acc = xor2(&mut n, acc, m, format!("s{j}_{k}"))?;
         }
@@ -92,7 +97,13 @@ fn sec_circuit(name: &str, data_bits: usize, check_bits: usize, nand_style: bool
     for (i, &d) in data.iter().enumerate() {
         let code = i + 1;
         let lits: Vec<NetId> = (0..check_bits)
-            .map(|j| if code >> j & 1 == 1 { syndrome[j] } else { nsyn[j] })
+            .map(|j| {
+                if code >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    nsyn[j]
+                }
+            })
             .collect();
         let hit = n.add_gate(GateKind::And, &lits, format!("hit{i}"))?;
         let corrected = xor2(&mut n, d, hit, format!("out{i}"))?;
@@ -135,9 +146,21 @@ fn alu(
         let xor_i = n.add_gate(GateKind::Xor, &[a[i], b[i]], format!("{tag}_xor{i}"))?;
         let nor_i = n.add_gate(GateKind::Nor, &[a[i], b[i]], format!("{tag}_nor{i}"))?;
         // 8:1 select tree over op bits.
-        let m0 = n.add_gate(GateKind::Mux, &[op[0], diff[i], sum[i]], format!("{tag}_m0_{i}"))?;
-        let m1 = n.add_gate(GateKind::Mux, &[op[0], or_i, and_i], format!("{tag}_m1_{i}"))?;
-        let m2 = n.add_gate(GateKind::Mux, &[op[0], nor_i, xor_i], format!("{tag}_m2_{i}"))?;
+        let m0 = n.add_gate(
+            GateKind::Mux,
+            &[op[0], diff[i], sum[i]],
+            format!("{tag}_m0_{i}"),
+        )?;
+        let m1 = n.add_gate(
+            GateKind::Mux,
+            &[op[0], or_i, and_i],
+            format!("{tag}_m1_{i}"),
+        )?;
+        let m2 = n.add_gate(
+            GateKind::Mux,
+            &[op[0], nor_i, xor_i],
+            format!("{tag}_m2_{i}"),
+        )?;
         let m3 = n.add_gate(GateKind::Mux, &[op[0], b[i], a[i]], format!("{tag}_m3_{i}"))?;
         let m01 = n.add_gate(GateKind::Mux, &[op[1], m1, m0], format!("{tag}_m01_{i}"))?;
         let m23 = n.add_gate(GateKind::Mux, &[op[1], m3, m2], format!("{tag}_m23_{i}"))?;

@@ -88,103 +88,188 @@ pub fn all() -> Vec<Benchmark> {
             name: "c432",
             suite: Suite::Iscas85,
             build: iscas::c432_like,
-            paper: PaperStats { inputs: 36, outputs: 7, nodes: 1291, edges: 2578 },
+            paper: PaperStats {
+                inputs: 36,
+                outputs: 7,
+                nodes: 1291,
+                edges: 2578,
+            },
         },
         Benchmark {
             name: "c499",
             suite: Suite::Iscas85,
             build: iscas::c499_like,
-            paper: PaperStats { inputs: 41, outputs: 32, nodes: 11146, edges: 22164 },
+            paper: PaperStats {
+                inputs: 41,
+                outputs: 32,
+                nodes: 11146,
+                edges: 22164,
+            },
         },
         Benchmark {
             name: "c880",
             suite: Suite::Iscas85,
             build: iscas::c880_like,
-            paper: PaperStats { inputs: 60, outputs: 26, nodes: 4431, edges: 8858 },
+            paper: PaperStats {
+                inputs: 60,
+                outputs: 26,
+                nodes: 4431,
+                edges: 8858,
+            },
         },
         Benchmark {
             name: "c1355",
             suite: Suite::Iscas85,
             build: iscas::c1355_like,
-            paper: PaperStats { inputs: 41, outputs: 32, nodes: 11146, edges: 22164 },
+            paper: PaperStats {
+                inputs: 41,
+                outputs: 32,
+                nodes: 11146,
+                edges: 22164,
+            },
         },
         Benchmark {
             name: "c1908",
             suite: Suite::Iscas85,
             build: iscas::c1908_like,
-            paper: PaperStats { inputs: 33, outputs: 25, nodes: 28224, edges: 56348 },
+            paper: PaperStats {
+                inputs: 33,
+                outputs: 25,
+                nodes: 28224,
+                edges: 56348,
+            },
         },
         Benchmark {
             name: "c2670",
             suite: Suite::Iscas85,
             build: iscas::c2670_like,
-            paper: PaperStats { inputs: 233, outputs: 140, nodes: 6764, edges: 12970 },
+            paper: PaperStats {
+                inputs: 233,
+                outputs: 140,
+                nodes: 6764,
+                edges: 12970,
+            },
         },
         Benchmark {
             name: "c3540",
             suite: Suite::Iscas85,
             build: iscas::c3540_like,
-            paper: PaperStats { inputs: 50, outputs: 22, nodes: 59265, edges: 118442 },
+            paper: PaperStats {
+                inputs: 50,
+                outputs: 22,
+                nodes: 59265,
+                edges: 118442,
+            },
         },
         Benchmark {
             name: "c5315",
             suite: Suite::Iscas85,
             build: iscas::c5315_like,
-            paper: PaperStats { inputs: 178, outputs: 123, nodes: 14362, edges: 28232 },
+            paper: PaperStats {
+                inputs: 178,
+                outputs: 123,
+                nodes: 14362,
+                edges: 28232,
+            },
         },
         Benchmark {
             name: "c7552",
             suite: Suite::Iscas85,
             build: iscas::c7552_like,
-            paper: PaperStats { inputs: 207, outputs: 108, nodes: 90651, edges: 180870 },
+            paper: PaperStats {
+                inputs: 207,
+                outputs: 108,
+                nodes: 90651,
+                edges: 180870,
+            },
         },
         Benchmark {
             name: "arbiter",
             suite: Suite::EpflControl,
             build: epfl::arbiter_like,
-            paper: PaperStats { inputs: 256, outputs: 129, nodes: 25109, edges: 50214 },
+            paper: PaperStats {
+                inputs: 256,
+                outputs: 129,
+                nodes: 25109,
+                edges: 50214,
+            },
         },
         Benchmark {
             name: "cavlc",
             suite: Suite::EpflControl,
             build: epfl::cavlc_like,
-            paper: PaperStats { inputs: 10, outputs: 11, nodes: 436, edges: 868 },
+            paper: PaperStats {
+                inputs: 10,
+                outputs: 11,
+                nodes: 436,
+                edges: 868,
+            },
         },
         Benchmark {
             name: "ctrl",
             suite: Suite::EpflControl,
             build: epfl::ctrl_like,
-            paper: PaperStats { inputs: 7, outputs: 26, nodes: 89, edges: 174 },
+            paper: PaperStats {
+                inputs: 7,
+                outputs: 26,
+                nodes: 89,
+                edges: 174,
+            },
         },
         Benchmark {
             name: "dec",
             suite: Suite::EpflControl,
             build: epfl::dec,
-            paper: PaperStats { inputs: 8, outputs: 256, nodes: 512, edges: 1020 },
+            paper: PaperStats {
+                inputs: 8,
+                outputs: 256,
+                nodes: 512,
+                edges: 1020,
+            },
         },
         Benchmark {
             name: "i2c",
             suite: Suite::EpflControl,
             build: epfl::i2c_like,
-            paper: PaperStats { inputs: 147, outputs: 142, nodes: 1204, edges: 2404 },
+            paper: PaperStats {
+                inputs: 147,
+                outputs: 142,
+                nodes: 1204,
+                edges: 2404,
+            },
         },
         Benchmark {
             name: "int2float",
             suite: Suite::EpflControl,
             build: epfl::int2float,
-            paper: PaperStats { inputs: 11, outputs: 7, nodes: 159, edges: 314 },
+            paper: PaperStats {
+                inputs: 11,
+                outputs: 7,
+                nodes: 159,
+                edges: 314,
+            },
         },
         Benchmark {
             name: "priority",
             suite: Suite::EpflControl,
             build: epfl::priority_like,
-            paper: PaperStats { inputs: 128, outputs: 8, nodes: 772, edges: 1540 },
+            paper: PaperStats {
+                inputs: 128,
+                outputs: 8,
+                nodes: 772,
+                edges: 1540,
+            },
         },
         Benchmark {
             name: "router",
             suite: Suite::EpflControl,
             build: epfl::router_like,
-            paper: PaperStats { inputs: 60, outputs: 30, nodes: 219, edges: 434 },
+            paper: PaperStats {
+                inputs: 60,
+                outputs: 30,
+                nodes: 219,
+                edges: 434,
+            },
         },
     ]
 }
@@ -212,9 +297,23 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
-                "c7552", "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float",
-                "priority", "router"
+                "c432",
+                "c499",
+                "c880",
+                "c1355",
+                "c1908",
+                "c2670",
+                "c3540",
+                "c5315",
+                "c7552",
+                "arbiter",
+                "cavlc",
+                "ctrl",
+                "dec",
+                "i2c",
+                "int2float",
+                "priority",
+                "router"
             ]
         );
         assert_eq!(epfl_control().len(), 8);

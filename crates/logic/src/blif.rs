@@ -90,12 +90,11 @@ pub fn parse(source: &str) -> Result<Network> {
     let mut current: Option<NamesBlock> = None;
     let mut output_polarity_seen: Option<bool> = None;
 
-    let flush =
-        |current: &mut Option<NamesBlock>, blocks: &mut Vec<NamesBlock>| {
-            if let Some(b) = current.take() {
-                blocks.push(b);
-            }
-        };
+    let flush = |current: &mut Option<NamesBlock>, blocks: &mut Vec<NamesBlock>| {
+        if let Some(b) = current.take() {
+            blocks.push(b);
+        }
+    };
 
     for (line, text) in &logical_lines {
         let line = *line;
@@ -137,7 +136,9 @@ pub fn parse(source: &str) -> Result<Network> {
             ".latch" | ".subckt" | ".gate" => {
                 return Err(LogicError::Parse {
                     line,
-                    message: format!("unsupported BLIF construct `{first}` (combinational subset only)"),
+                    message: format!(
+                        "unsupported BLIF construct `{first}` (combinational subset only)"
+                    ),
                 });
             }
             other if other.starts_with('.') => {
@@ -263,9 +264,7 @@ fn build_network(
                             marks[dep] = Mark::Grey;
                             stack.push((dep, 0));
                         }
-                        Mark::Grey => {
-                            return Err(LogicError::CombinationalCycle(dep_name.clone()))
-                        }
+                        Mark::Grey => return Err(LogicError::CombinationalCycle(dep_name.clone())),
                         Mark::Black => {}
                     },
                     None => return Err(LogicError::Undriven(dep_name.clone())),
@@ -280,12 +279,14 @@ fn build_network(
 
     for idx in order {
         let block = &blocks[idx];
-        let input_ids: Vec<NetId> = block
-            .inputs
-            .iter()
-            .map(|name| env[name.as_str()])
-            .collect();
-        let out = lower_sop(&mut network, &block.table, &input_ids, block.complemented, &block.output)?;
+        let input_ids: Vec<NetId> = block.inputs.iter().map(|name| env[name.as_str()]).collect();
+        let out = lower_sop(
+            &mut network,
+            &block.table,
+            &input_ids,
+            block.complemented,
+            &block.output,
+        )?;
         env.insert(block.output.clone(), out);
     }
 
@@ -342,7 +343,11 @@ fn lower_sop(
         }
     };
     let body = on_set(network)?;
-    let final_kind = if complemented { GateKind::Not } else { GateKind::Buf };
+    let final_kind = if complemented {
+        GateKind::Not
+    } else {
+        GateKind::Buf
+    };
     network.add_gate(final_kind, &[body], out_name)
 }
 
@@ -544,10 +549,7 @@ mod tests {
 1 1
 .end
 ";
-        assert!(matches!(
-            parse(src),
-            Err(LogicError::CombinationalCycle(_))
-        ));
+        assert!(matches!(parse(src), Err(LogicError::CombinationalCycle(_))));
     }
 
     #[test]

@@ -139,7 +139,10 @@ impl SopTable {
             if c.width() != width {
                 return Err(LogicError::Parse {
                     line: 0,
-                    message: format!("cube `{c}` has width {} but table expects {width}", c.width()),
+                    message: format!(
+                        "cube `{c}` has width {} but table expects {width}",
+                        c.width()
+                    ),
                 });
             }
         }

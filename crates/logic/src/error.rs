@@ -66,14 +66,22 @@ impl fmt::Display for LogicError {
                 write!(f, "combinational cycle through net `{name}`")
             }
             LogicError::InputLen { got, expected } => {
-                write!(f, "simulation got {got} input values, network has {expected} inputs")
+                write!(
+                    f,
+                    "simulation got {got} input values, network has {expected} inputs"
+                )
             }
-            LogicError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LogicError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             LogicError::TruthArity { left, right } => {
                 write!(f, "truth tables have mismatched arity ({left} vs {right})")
             }
             LogicError::TruthTooLarge(n) => {
-                write!(f, "truth table over {n} variables is too large to materialize")
+                write!(
+                    f,
+                    "truth table over {n} variables is too large to materialize"
+                )
             }
         }
     }
@@ -101,7 +109,13 @@ mod tests {
                 "and",
             ),
             (LogicError::CombinationalCycle("loop".into()), "loop"),
-            (LogicError::InputLen { got: 1, expected: 2 }, "2"),
+            (
+                LogicError::InputLen {
+                    got: 1,
+                    expected: 2,
+                },
+                "2",
+            ),
             (
                 LogicError::Parse {
                     line: 3,

@@ -214,7 +214,11 @@ impl Network {
         if name.is_empty() || self.by_name.contains_key(&name) {
             // Uniquify silently: construction helpers frequently synthesize
             // names, and collisions there are not user errors.
-            let base = if name.is_empty() { "_n".to_string() } else { name };
+            let base = if name.is_empty() {
+                "_n".to_string()
+            } else {
+                name
+            };
             let mut i = self.nets.len();
             loop {
                 let candidate = format!("{base}_{i}");
@@ -440,10 +444,8 @@ mod tests {
             for pat in 0u8..4 {
                 let a = pat & 1 != 0;
                 let b = pat & 2 != 0;
-                let wide = kind.eval64(&[
-                    if a { u64::MAX } else { 0 },
-                    if b { u64::MAX } else { 0 },
-                ]);
+                let wide =
+                    kind.eval64(&[if a { u64::MAX } else { 0 }, if b { u64::MAX } else { 0 }]);
                 let scalar = kind.eval(&[a, b]);
                 assert_eq!(wide == u64::MAX, scalar, "{kind:?} {pat:02b}");
                 assert!(wide == u64::MAX || wide == 0);

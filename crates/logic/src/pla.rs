@@ -119,7 +119,10 @@ pub fn parse(source: &str) -> Result<Network> {
                 if out_text.len() != no {
                     return Err(LogicError::Parse {
                         line,
-                        message: format!("output part has {} positions, .o says {no}", out_text.len()),
+                        message: format!(
+                            "output part has {} positions, .o says {no}",
+                            out_text.len()
+                        ),
                     });
                 }
                 let outs = out_text

@@ -74,7 +74,7 @@ impl Network {
         }
         let rows = 1usize << k;
         let words = rows.div_ceil(64);
-        let mut outs = vec![vec![0u64; words]; self.num_outputs()];
+        let mut outs = vec![Vec::with_capacity(words); self.num_outputs()];
         let mut inputs = vec![0u64; k];
         for word in 0..words {
             for (i, w) in inputs.iter_mut().enumerate() {
@@ -87,8 +87,8 @@ impl Network {
                 }
             }
             let res = self.simulate64(&inputs)?;
-            for (o, &val) in res.iter().enumerate() {
-                outs[o][word] = val;
+            for (out, val) in outs.iter_mut().zip(res) {
+                out.push(val);
             }
         }
         Ok(outs

@@ -237,7 +237,11 @@ impl TruthTable {
         let rows = Self::rows(self.num_vars);
         let mut out = self.clone();
         for r in 0..rows {
-            let src = if value { r | (1 << var) } else { r & !(1 << var) };
+            let src = if value {
+                r | (1 << var)
+            } else {
+                r & !(1 << var)
+            };
             out.set(r, self.get(src));
         }
         out

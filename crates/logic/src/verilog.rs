@@ -267,7 +267,11 @@ pub fn parse(source: &str) -> Result<Network> {
                     Some((_, Token::Const(v))) => {
                         pos += 1;
                         instances.push(Instance {
-                            kind: if *v { GateKind::Const1 } else { GateKind::Const0 },
+                            kind: if *v {
+                                GateKind::Const1
+                            } else {
+                                GateKind::Const0
+                            },
                             output: lhs,
                             inputs: Vec::new(),
                             line: inst_line,
@@ -279,7 +283,10 @@ pub fn parse(source: &str) -> Result<Network> {
             }
             prim => {
                 let kind = gate_kind(prim).ok_or_else(|| {
-                    err(pos, format!("unsupported construct `{prim}` (structural subset)"))
+                    err(
+                        pos,
+                        format!("unsupported construct `{prim}` (structural subset)"),
+                    )
                 })?;
                 // One or more `name? ( output, inputs… )` groups.
                 loop {
@@ -432,11 +439,7 @@ pub fn write(network: &Network) -> String {
     }
     for (i, gate) in network.gates().iter().enumerate() {
         let output = network.net_name(gate.output);
-        let ins: Vec<&str> = gate
-            .inputs
-            .iter()
-            .map(|&x| network.net_name(x))
-            .collect();
+        let ins: Vec<&str> = gate.inputs.iter().map(|&x| network.net_name(x)).collect();
         match gate.kind {
             GateKind::Const0 => {
                 let _ = writeln!(out, "  assign {output} = 1'b0;");
@@ -453,7 +456,12 @@ pub fn write(network: &Network) -> String {
                 let _ = writeln!(out, "  or g{i}o ({output}, {output}$a, {output}$b);");
             }
             kind => {
-                let _ = writeln!(out, "  {} g{i} ({output}, {});", kind.name(), ins.join(", "));
+                let _ = writeln!(
+                    out,
+                    "  {} g{i} ({output}, {});",
+                    kind.name(),
+                    ins.join(", ")
+                );
             }
         }
     }

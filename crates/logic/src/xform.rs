@@ -284,12 +284,14 @@ fn fold_gate(
                             mk(scratch, structural, And, vec![sel, t], name)
                         }
                         (Val::Const(false), Val::Net(e)) => {
-                            let ns = negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
+                            let ns =
+                                negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
                             let Val::Net(ns) = ns else { unreachable!() };
                             mk(scratch, structural, And, vec![ns, e], name)
                         }
                         (Val::Net(t), Val::Const(true)) => {
-                            let ns = negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
+                            let ns =
+                                negate(scratch, structural, Val::Net(sel), &format!("{name}$n"))?;
                             let Val::Net(ns) = ns else { unreachable!() };
                             mk(scratch, structural, Or, vec![ns, t], name)
                         }

@@ -4,6 +4,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use flowc_budget::Budget;
+
 use crate::lp::{LpResult, Simplex};
 use crate::model::{Model, Sense, VarKind};
 use crate::sol::{MilpError, Solution, SolveStatus, SolveTrace, TracePoint};
@@ -109,6 +111,7 @@ pub struct BranchBound {
     gap_tolerance: f64,
     integrality_tol: f64,
     trace_every: usize,
+    budget: Option<Budget>,
 }
 
 impl Default for BranchBound {
@@ -118,6 +121,7 @@ impl Default for BranchBound {
             gap_tolerance: 1e-9,
             integrality_tol: 1e-6,
             trace_every: 50,
+            budget: None,
         }
     }
 }
@@ -145,6 +149,17 @@ impl BranchBound {
     /// incumbent improvement).
     pub fn trace_every(mut self, n: usize) -> Self {
         self.trace_every = n.max(1);
+        self
+    }
+
+    /// Attaches a shared [`Budget`]: the search loop checks cancellation,
+    /// the budget deadline, and the solver-node ceiling at every node pop,
+    /// on top of the solver's own `time_limit`. Exhaustion ends the solve
+    /// exactly like a time-out — the best incumbent is returned with
+    /// [`SolveStatus::TimeLimit`] and the proven bound (or
+    /// [`MilpError::Infeasible`] when no incumbent exists yet).
+    pub fn budget(mut self, budget: &Budget) -> Self {
+        self.budget = Some(budget.clone());
         self
     }
 
@@ -197,16 +212,24 @@ impl BranchBound {
             // Best-first: the popped node carries the smallest bound, which
             // *is* the global proven bound at this moment.
             global_bound = node.bound;
+            // Budget first: a cancelled or exhausted budget must stop the
+            // search immediately, even when the next pop would have closed
+            // the gap.
+            let out_of_budget = self
+                .budget
+                .as_ref()
+                .is_some_and(|b| b.check_solver_nodes(explored as u64).is_err());
             if let Some((_, inc_obj)) = &incumbent {
                 let denom = inc_obj.abs().max(1e-10);
-                if (inc_obj - global_bound).abs() / denom <= self.gap_tolerance
-                    || node.bound >= *inc_obj - 1e-9
+                if !out_of_budget
+                    && ((inc_obj - global_bound).abs() / denom <= self.gap_tolerance
+                        || node.bound >= *inc_obj - 1e-9)
                 {
                     global_bound = *inc_obj;
                     break;
                 }
             }
-            if start.elapsed() >= self.time_limit {
+            if start.elapsed() >= self.time_limit || out_of_budget {
                 // Push the node back conceptually: its bound remains open.
                 trace.push(TracePoint {
                     elapsed: start.elapsed(),
@@ -214,7 +237,13 @@ impl BranchBound {
                     best_bound: global_bound,
                     open_nodes: heap.len() + 1,
                 });
-                return self.finish(model, incumbent, global_bound, trace, SolveStatus::TimeLimit);
+                return self.finish(
+                    model,
+                    incumbent,
+                    global_bound,
+                    trace,
+                    SolveStatus::TimeLimit,
+                );
             }
             explored += 1;
             if explored.is_multiple_of(self.trace_every) {
@@ -239,7 +268,8 @@ impl BranchBound {
             let point = bounder.relaxation_point().map(<[f64]>::to_vec);
             // Select the branching variable: most fractional in the
             // relaxation, else the first free binary.
-            let branch_var = select_branch_var(model, &node.fixed, point.as_deref(), self.integrality_tol);
+            let branch_var =
+                select_branch_var(model, &node.fixed, point.as_deref(), self.integrality_tol);
             let Some(branch_var) = branch_var else {
                 // All binaries fixed: the relaxation point is integral in the
                 // binaries; try it as an incumbent.
@@ -249,10 +279,17 @@ impl BranchBound {
             // If the relaxation point is already integral, it is optimal for
             // this subtree — record and close.
             if let Some(p) = point.as_deref() {
-                if is_binary_integral(model, p, self.integrality_tol)
-                    && model.is_feasible(p, 1e-6)
+                if is_binary_integral(model, p, self.integrality_tol) && model.is_feasible(p, 1e-6)
                 {
-                    update_incumbent(&mut incumbent, p.to_vec(), model.objective_value(p), &mut trace, start, global_bound, heap.len());
+                    update_incumbent(
+                        &mut incumbent,
+                        p.to_vec(),
+                        model.objective_value(p),
+                        &mut trace,
+                        start,
+                        global_bound,
+                        heap.len(),
+                    );
                     continue;
                 }
             }
@@ -278,7 +315,15 @@ impl BranchBound {
                     {
                         let obj = model.objective_value(p);
                         let p = p.to_vec();
-                        update_incumbent(&mut incumbent, p, obj, &mut trace, start, global_bound, heap.len());
+                        update_incumbent(
+                            &mut incumbent,
+                            p,
+                            obj,
+                            &mut trace,
+                            start,
+                            global_bound,
+                            heap.len(),
+                        );
                     }
                 }
                 heap.push(Node {
@@ -340,10 +385,7 @@ impl BranchBound {
         let mut rounded: Vec<Option<bool>> = fixed.to_vec();
         for v in model.binaries() {
             if rounded[v.index()].is_none() {
-                let val = point
-                    .as_ref()
-                    .map(|p| p[v.index()] >= 0.5)
-                    .unwrap_or(false);
+                let val = point.as_ref().map(|p| p[v.index()] >= 0.5).unwrap_or(false);
                 rounded[v.index()] = Some(val);
             }
         }
@@ -392,9 +434,10 @@ fn update_incumbent(
 }
 
 fn is_binary_integral(model: &Model, x: &[f64], tol: f64) -> bool {
-    model
-        .binaries()
-        .all(|v| x[v.index()].fract().min(1.0 - x[v.index()].fract()).abs() <= tol || (x[v.index()] - x[v.index()].round()).abs() <= tol)
+    model.binaries().all(|v| {
+        x[v.index()].fract().min(1.0 - x[v.index()].fract()).abs() <= tol
+            || (x[v.index()] - x[v.index()].round()).abs() <= tol
+    })
 }
 
 fn select_branch_var(
@@ -626,6 +669,48 @@ mod tests {
             assert!(sol.relative_gap() <= 1.0);
             assert!(!sol.trace.points().is_empty());
         }
+    }
+
+    fn ring_cover_model(n: usize) -> Model {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i % 3) as f64))
+            .collect();
+        for i in 0..n {
+            m.add_constraint(
+                &[(xs[i], 1.0), (xs[(i + 1) % n], 1.0), (xs[(i + 2) % n], 1.0)],
+                Sense::Ge,
+                1.0,
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_search_with_incumbent() {
+        let m = ring_cover_model(14);
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        match BranchBound::new().budget(&budget).solve(&m) {
+            Ok(sol) => assert_eq!(sol.status, SolveStatus::TimeLimit),
+            Err(e) => assert_eq!(e, MilpError::Infeasible),
+        }
+    }
+
+    #[test]
+    fn solver_node_ceiling_stops_early() {
+        let m = ring_cover_model(14);
+        // A zero ceiling trips before the first node is explored, so the
+        // solve must stop with whatever the root heuristic produced.
+        let budget = Budget::unlimited().with_max_solver_nodes(0);
+        match BranchBound::new().budget(&budget).solve(&m) {
+            Ok(sol) => assert_eq!(sol.status, SolveStatus::TimeLimit),
+            Err(e) => assert_eq!(e, MilpError::Infeasible),
+        }
+        // A generous ceiling changes nothing.
+        let budget = Budget::unlimited().with_max_solver_nodes(10_000_000);
+        let sol = BranchBound::new().budget(&budget).solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
     }
 
     #[test]

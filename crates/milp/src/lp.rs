@@ -203,12 +203,12 @@ impl Simplex {
                 }
             }
             // Zero the phase-1 objective row and forbid artificial columns.
-            for j in 0..=total {
-                t[m][j] = 0.0;
+            for cell in t[m].iter_mut().take(total + 1) {
+                *cell = 0.0;
             }
-            for ri in 0..m {
+            for row in t.iter_mut().take(m) {
                 for &c in &art_cols {
-                    t[ri][c] = 0.0;
+                    row[c] = 0.0;
                 }
             }
         }
@@ -257,8 +257,7 @@ fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], total: usize) -> bool {
         // negative (Bland, guaranteed finite).
         let mut enter = usize::MAX;
         let mut best = -EPS;
-        for j in 0..total {
-            let rc = t[m][j];
+        for (j, &rc) in t[m].iter().enumerate().take(total) {
             if rc < -EPS {
                 if bland {
                     enter = j;
@@ -301,8 +300,8 @@ fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], total: usize) -> bool {
 fn pivot(t: &mut [Vec<f64>], row: usize, col: usize, total: usize) {
     let piv = t[row][col];
     debug_assert!(piv.abs() > EPS, "pivot too small");
-    for j in 0..=total {
-        t[row][j] /= piv;
+    for cell in t[row].iter_mut().take(total + 1) {
+        *cell /= piv;
     }
     let pivot_row: Vec<f64> = t[row].clone();
     for (ri, r) in t.iter_mut().enumerate() {

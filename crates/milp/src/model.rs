@@ -253,7 +253,10 @@ mod tests {
         m.add_constraint(&[(a, 1.0), (y, 1.0)], Sense::Ge, 1.5);
         assert!(m.is_feasible(&[1.0, 0.5], 1e-9));
         assert!(!m.is_feasible(&[0.5, 1.0], 1e-9), "fractional binary");
-        assert!(!m.is_feasible(&[1.0, 3.0], 1e-9), "continuous out of bounds");
+        assert!(
+            !m.is_feasible(&[1.0, 3.0], 1e-9),
+            "continuous out of bounds"
+        );
         assert!(!m.is_feasible(&[0.0, 1.0], 1e-9), "row violated");
         assert!(!m.is_feasible(&[1.0], 1e-9), "short vector");
     }

@@ -61,9 +61,9 @@ impl ElectricalModel {
         let total = rows + cols;
         let mut idx = vec![usize::MAX; total];
         let mut unknowns = 0usize;
-        for node in 0..total {
+        for (node, slot) in idx.iter_mut().enumerate() {
             if node != input_row {
-                idx[node] = unknowns;
+                *slot = unknowns;
                 unknowns += 1;
             }
         }
@@ -79,10 +79,20 @@ impl ElectricalModel {
         for (r, c, a) in xbar.programmed_devices() {
             let on = conducting[r * cols + c];
             let _ = a;
-            let conductance = if on { 1.0 / self.r_on } else { 1.0 / self.r_off };
-            let n1 = r;
-            let n2 = rows + c;
-            stamp(&mut g, &mut b, &idx, n1, n2, conductance, input_row, self.v_in);
+            let conductance = if on {
+                1.0 / self.r_on
+            } else {
+                1.0 / self.r_off
+            };
+            stamp(
+                &mut g,
+                &mut b,
+                &idx,
+                (r, rows + c),
+                conductance,
+                input_row,
+                self.v_in,
+            );
         }
         // Sensing resistors to ground on output rows.
         for port in xbar.outputs() {
@@ -131,8 +141,7 @@ fn stamp(
     g: &mut [Vec<f64>],
     b: &mut [f64],
     idx: &[usize],
-    n1: usize,
-    n2: usize,
+    (n1, n2): (usize, usize),
     conductance: f64,
     dirichlet: usize,
     v_in: f64,
@@ -164,7 +173,12 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot selection.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("no NaN")
+            })
             .expect("nonempty");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -175,8 +189,9 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for row in (col + 1)..n {
             let factor = a[row][col] / p;
             if factor != 0.0 {
-                for k in col..n {
-                    a[row][k] -= factor * a[col][k];
+                let (upper, lower) = a.split_at_mut(row);
+                for (dst, &src) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                    *dst -= factor * src;
                 }
                 b[row] -= factor * b[col];
             }
@@ -206,8 +221,15 @@ mod tests {
     /// voltage divider.
     fn divider(on: bool) -> f64 {
         let mut x = Crossbar::new(2, 1, 1);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false })
-            .unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 1).unwrap();
@@ -223,7 +245,10 @@ mod tests {
         assert!((v_on - 1e5 / 1.02e5).abs() < 1e-6, "got {v_on}");
         // Off: V = Rs / (Rs + Roff + Ron) ≈ 0.0099.
         let v_off = divider(false);
-        assert!((v_off - 1e5 / (1e5 + 1e7 + 1e3)).abs() < 1e-6, "got {v_off}");
+        assert!(
+            (v_off - 1e5 / (1e5 + 1e7 + 1e3)).abs() < 1e-6,
+            "got {v_off}"
+        );
         assert!(v_on > 50.0 * v_off, "on/off separation");
     }
 
@@ -231,11 +256,35 @@ mod tests {
     fn electrical_agrees_with_flow_on_fig2() {
         // f = (a ∧ b) ∨ c mapped by hand (same design as the model tests).
         let mut x = Crossbar::new(3, 3, 3);
-        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
-        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(
+            0,
+            2,
+            DeviceAssignment::Literal {
+                input: 2,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 2, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 2).unwrap();
@@ -254,16 +303,34 @@ mod tests {
         // No devices at all; output floats, leak pulls it to ground.
         x.set_input_row(0).unwrap();
         x.add_output("f", 1).unwrap();
-        let v = ElectricalModel::default().output_voltages(&x, &[true]).unwrap()[0];
+        let v = ElectricalModel::default()
+            .output_voltages(&x, &[true])
+            .unwrap()[0];
         assert!(v.abs() < 1e-3, "got {v}");
     }
 
     #[test]
     fn multiple_outputs_sensed_independently() {
         let mut x = Crossbar::new(3, 2, 2);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(0, 1, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            1,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f0", 1).unwrap();

@@ -63,8 +63,24 @@ mod tests {
     #[test]
     fn metrics_of_small_design() {
         let mut x = Crossbar::new(3, 5, 2);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 1, negated: true }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: true,
+            },
+        )
+        .unwrap();
         x.set(2, 2, DeviceAssignment::On).unwrap();
         let m = CrossbarMetrics::of(&x);
         assert_eq!(m.rows, 3);

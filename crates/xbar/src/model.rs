@@ -88,6 +88,16 @@ pub enum XbarError {
     },
     /// The crossbar has no input port assigned.
     NoInputPort,
+    /// A verification reference disagrees with the crossbar on the input
+    /// count.
+    ReferenceInputMismatch {
+        /// Inputs of the reference network.
+        reference: usize,
+        /// Inputs of the crossbar.
+        crossbar: usize,
+    },
+    /// A cooperative budget was exhausted mid-verification.
+    Budget(flowc_budget::BudgetExceeded),
 }
 
 impl fmt::Display for XbarError {
@@ -103,7 +113,21 @@ impl fmt::Display for XbarError {
                 write!(f, "got {got} input values, crossbar expects {expected}")
             }
             XbarError::NoInputPort => write!(f, "crossbar has no input port"),
+            XbarError::ReferenceInputMismatch {
+                reference,
+                crossbar,
+            } => write!(
+                f,
+                "reference network has {reference} inputs but the crossbar has {crossbar}"
+            ),
+            XbarError::Budget(e) => write!(f, "verification interrupted: {e}"),
         }
+    }
+}
+
+impl From<flowc_budget::BudgetExceeded> for XbarError {
+    fn from(e: flowc_budget::BudgetExceeded) -> Self {
+        XbarError::Budget(e)
     }
 }
 
@@ -474,11 +498,35 @@ mod tests {
         // Layout: col0 connects row0-row1 via literal b; col1 connects
         // row1-row2 via literal a; col2 connects row0-row2 via literal c.
         let mut x = Crossbar::new(3, 3, 3);
-        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
-        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(
+            0,
+            2,
+            DeviceAssignment::Literal {
+                input: 2,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 2, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 2).unwrap();
@@ -501,8 +549,14 @@ mod tests {
     fn assignments_conduct_correctly() {
         let on = DeviceAssignment::On;
         let off = DeviceAssignment::Off;
-        let lit = DeviceAssignment::Literal { input: 0, negated: false };
-        let nlit = DeviceAssignment::Literal { input: 0, negated: true };
+        let lit = DeviceAssignment::Literal {
+            input: 0,
+            negated: false,
+        };
+        let nlit = DeviceAssignment::Literal {
+            input: 0,
+            negated: true,
+        };
         assert!(on.conducts(&[false]));
         assert!(!off.conducts(&[true]));
         assert!(lit.conducts(&[true]) && !lit.conducts(&[false]));
@@ -538,14 +592,25 @@ mod tests {
         let x = fig2_crossbar();
         assert!(matches!(
             x.evaluate(&[true]),
-            Err(XbarError::InputLen { got: 1, expected: 3 })
+            Err(XbarError::InputLen {
+                got: 1,
+                expected: 3
+            })
         ));
     }
 
     #[test]
     fn no_path_through_off_devices() {
         let mut x = Crossbar::new(2, 1, 1);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         // row1-col0 left Off: even with the literal on, row 1 is unreachable.
         x.set_input_row(0).unwrap();
         x.add_output("f", 1).unwrap();
@@ -556,9 +621,25 @@ mod tests {
     fn multi_output_sensing() {
         // Input row 0; outputs on rows 1 and 2 with different literals.
         let mut x = Crossbar::new(3, 2, 2);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(0, 1, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            1,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f0", 1).unwrap();
@@ -594,10 +675,16 @@ mod tests {
         let x = fig2_crossbar();
         assert!(matches!(
             x.evaluate64(&[0]),
-            Err(XbarError::InputLen { got: 1, expected: 3 })
+            Err(XbarError::InputLen {
+                got: 1,
+                expected: 3
+            })
         ));
         let no_port = Crossbar::new(2, 2, 1);
-        assert_eq!(no_port.evaluate64(&[0]).unwrap_err(), XbarError::NoInputPort);
+        assert_eq!(
+            no_port.evaluate64(&[0]).unwrap_err(),
+            XbarError::NoInputPort
+        );
     }
 
     #[test]

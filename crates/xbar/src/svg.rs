@@ -42,10 +42,7 @@ pub fn to_svg(xbar: &Crossbar, options: &SvgOptions) -> String {
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"##
     );
-    let _ = writeln!(
-        svg,
-        r##"<rect width="100%" height="100%" fill="white"/>"##
-    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="white"/>"##);
     // Wires.
     for r in 0..xbar.rows() {
         let y = y_of(r);
@@ -128,8 +125,24 @@ mod tests {
     #[test]
     fn svg_structure() {
         let mut x = Crossbar::new(3, 2, 2);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 1, negated: true }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: true,
+            },
+        )
+        .unwrap();
         x.set(2, 0, DeviceAssignment::On).unwrap();
         x.set_input_row(2).unwrap();
         x.add_output("f", 0).unwrap();

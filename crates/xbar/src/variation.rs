@@ -60,9 +60,7 @@ struct Normal {
 
 impl Normal {
     fn new(seed: u64) -> Self {
-        Normal {
-            state: seed.max(1),
-        }
+        Normal { state: seed.max(1) }
     }
 
     fn uniform(&mut self) -> f64 {
@@ -101,7 +99,11 @@ pub fn monte_carlo_margin(
     trials: usize,
     seed: u64,
 ) -> Result<MarginStats> {
-    assert_eq!(assignments.len(), expected.len(), "reference length mismatch");
+    assert_eq!(
+        assignments.len(),
+        expected.len(),
+        "reference length mismatch"
+    );
     let mut rng = Normal::new(seed);
     let mut stats = MarginStats {
         trials,
@@ -152,11 +154,35 @@ mod tests {
 
     fn fig2() -> Crossbar {
         let mut x = Crossbar::new(3, 3, 3);
-        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
-        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(
+            0,
+            2,
+            DeviceAssignment::Literal {
+                input: 2,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 2, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 2).unwrap();
@@ -207,8 +233,7 @@ mod tests {
             sigma_on: 0.5,
             sigma_off: 0.5,
         };
-        let stats =
-            monte_carlo_margin(&x, &assignments, &expected, &broken, 50, 42).unwrap();
+        let stats = monte_carlo_margin(&x, &assignments, &expected, &broken, 50, 42).unwrap();
         assert!(stats.failures > 0);
         assert!(stats.yield_fraction() < 1.0);
     }

@@ -3,10 +3,11 @@
 //! paper's evaluation ("we have verified that all the crossbar designs are
 //! valid").
 
+use flowc_budget::Budget;
 use flowc_logic::Network;
 
 use crate::circuit::ElectricalModel;
-use crate::{Crossbar, Result};
+use crate::{Crossbar, Result, XbarError};
 
 /// Outcome of a verification run.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +60,7 @@ fn assignments(num_inputs: usize, samples: usize) -> Vec<Vec<bool>> {
             .map(|v| (0..num_inputs).map(|i| v >> i & 1 == 1).collect())
             .collect()
     } else {
-        let mut seed = 0x5EED_0F_F10Cu64 ^ (num_inputs as u64) << 32;
+        let mut seed = 0x005E_ED0F_F10C_u64 ^ (num_inputs as u64) << 32;
         (0..samples)
             .map(|_| {
                 (0..num_inputs)
@@ -75,27 +76,45 @@ fn assignments(num_inputs: usize, samples: usize) -> Vec<Vec<bool>> {
 ///
 /// # Errors
 ///
-/// Propagates crossbar evaluation errors (missing input port, arity).
-///
-/// # Panics
-///
-/// Panics if the network's input count differs from the crossbar's.
+/// Returns [`XbarError::ReferenceInputMismatch`] when the network's input
+/// count differs from the crossbar's, and propagates crossbar evaluation
+/// errors (missing input port, arity).
 pub fn verify_functional(
     xbar: &Crossbar,
     reference: &Network,
     samples: usize,
 ) -> Result<VerifyReport> {
-    assert_eq!(
-        reference.num_inputs(),
-        xbar.num_inputs(),
-        "reference and crossbar must agree on the input count"
-    );
+    verify_functional_budgeted(xbar, reference, samples, &Budget::unlimited())
+}
+
+/// [`verify_functional`] under a cooperative [`Budget`]: the deadline and
+/// cancellation token are checked between 64-assignment evaluation chunks,
+/// so a long verification can be interrupted mid-sweep.
+///
+/// # Errors
+///
+/// In addition to [`verify_functional`]'s errors, returns
+/// [`XbarError::Budget`] when the budget is exhausted before the sweep
+/// finishes.
+pub fn verify_functional_budgeted(
+    xbar: &Crossbar,
+    reference: &Network,
+    samples: usize,
+    budget: &Budget,
+) -> Result<VerifyReport> {
+    if reference.num_inputs() != xbar.num_inputs() {
+        return Err(XbarError::ReferenceInputMismatch {
+            reference: reference.num_inputs(),
+            crossbar: xbar.num_inputs(),
+        });
+    }
     let mut mismatches = Vec::new();
     let assigns = assignments(xbar.num_inputs(), samples);
     let checked = assigns.len();
     let k = xbar.num_inputs();
     // Both sides support 64-wide evaluation; batch the assignments.
     'outer: for chunk in assigns.chunks(64) {
+        budget.check()?;
         let mut words = vec![0u64; k];
         for (lane, a) in chunk.iter().enumerate() {
             for (i, w) in words.iter_mut().enumerate() {
@@ -116,9 +135,9 @@ pub fn verify_functional(
         for (g, w) in got.iter().zip(&want) {
             let diff = (g ^ w) & lane_mask;
             if diff != 0 {
-                for lane in 0..chunk.len() {
+                for (lane, assignment) in chunk.iter().enumerate() {
                     if diff >> lane & 1 == 1 {
-                        mismatches.push(chunk[lane].clone());
+                        mismatches.push(assignment.clone());
                         if mismatches.len() >= 10 {
                             break 'outer; // enough evidence
                         }
@@ -144,18 +163,21 @@ pub fn verify_functional(
 ///
 /// # Errors
 ///
-/// Propagates crossbar evaluation errors.
-///
-/// # Panics
-///
-/// Panics if the network's input count differs from the crossbar's.
+/// Returns [`XbarError::ReferenceInputMismatch`] when the network's input
+/// count differs from the crossbar's, and propagates crossbar evaluation
+/// errors.
 pub fn verify_electrical(
     xbar: &Crossbar,
     reference: &Network,
     model: &ElectricalModel,
     samples: usize,
 ) -> Result<VerifyReport> {
-    assert_eq!(reference.num_inputs(), xbar.num_inputs());
+    if reference.num_inputs() != xbar.num_inputs() {
+        return Err(XbarError::ReferenceInputMismatch {
+            reference: reference.num_inputs(),
+            crossbar: xbar.num_inputs(),
+        });
+    }
     let assigns = assignments(xbar.num_inputs(), samples);
     let checked = assigns.len();
     let mut min_on = f64::INFINITY;
@@ -194,11 +216,35 @@ mod tests {
         n.mark_output(f);
 
         let mut x = Crossbar::new(3, 3, 3);
-        x.set(0, 0, DeviceAssignment::Literal { input: 1, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 1,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
-        x.set(1, 1, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            1,
+            1,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 1, DeviceAssignment::On).unwrap();
-        x.set(0, 2, DeviceAssignment::Literal { input: 2, negated: false }).unwrap();
+        x.set(
+            0,
+            2,
+            DeviceAssignment::Literal {
+                input: 2,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(2, 2, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 2).unwrap();
@@ -231,6 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let (x, _) = fig2_pair();
+        let mut n = Network::new("two-in");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+        n.mark_output(f);
+        let err = verify_functional(&x, &n, 64).unwrap_err();
+        assert!(matches!(
+            err,
+            XbarError::ReferenceInputMismatch {
+                reference: 2,
+                crossbar: 3
+            }
+        ));
+        let err = verify_electrical(&x, &n, &ElectricalModel::default(), 64).unwrap_err();
+        assert!(matches!(err, XbarError::ReferenceInputMismatch { .. }));
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_verification() {
+        let (x, n) = fig2_pair();
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let err = verify_functional_budgeted(&x, &n, 64, &budget).unwrap_err();
+        assert!(matches!(err, XbarError::Budget(_)));
+        // An unlimited budget behaves like the plain entry point.
+        let r = verify_functional_budgeted(&x, &n, 64, &Budget::unlimited()).unwrap();
+        assert!(r.is_valid());
+    }
+
+    #[test]
     fn sampling_used_for_wide_inputs() {
         // 20 inputs: must sample, not enumerate.
         let mut n = Network::new("wide");
@@ -238,7 +316,15 @@ mod tests {
         let f = n.add_gate(GateKind::Or, &ins, "f").unwrap();
         n.mark_output(f);
         let mut x = Crossbar::new(2, 1, 20);
-        x.set(0, 0, DeviceAssignment::Literal { input: 0, negated: false }).unwrap();
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 0,
+                negated: false,
+            },
+        )
+        .unwrap();
         x.set(1, 0, DeviceAssignment::On).unwrap();
         x.set_input_row(0).unwrap();
         x.add_output("f", 1).unwrap();

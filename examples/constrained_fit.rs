@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     side,
                     design.stats.rows,
                     design.stats.cols,
-                    if report.is_valid() { "fits, verified" } else { "INVALID" }
+                    if report.is_valid() {
+                        "fits, verified"
+                    } else {
+                        "INVALID"
+                    }
                 );
             }
             Err(ConstraintError::Infeasible {

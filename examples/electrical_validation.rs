@@ -29,11 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "functional: {} assignments checked, {}",
         func.checked,
-        if func.is_valid() { "all valid" } else { "INVALID" }
+        if func.is_valid() {
+            "all valid"
+        } else {
+            "INVALID"
+        }
     );
 
     // Electrical margin as a function of the device on/off ratio.
-    println!("\n{:>12} {:>12} {:>12} {:>10}", "Roff/Ron", "min ON (V)", "max OFF (V)", "sensable");
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>10}",
+        "Roff/Ron", "min ON (V)", "max OFF (V)", "sensable"
+    );
     for ratio in [10.0, 100.0, 1e3, 1e4, 1e5] {
         let model = ElectricalModel {
             r_off: 1e3 * ratio,

@@ -43,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let DeviceAssignment::Literal { input, negated } = a else {
         unreachable!("filtered to literals")
     };
-    broken.set(r, c, DeviceAssignment::Literal { input, negated: !negated })?;
+    broken.set(
+        r,
+        c,
+        DeviceAssignment::Literal {
+            input,
+            negated: !negated,
+        },
+    )?;
     println!("\nflipping the polarity of the device at ({r}, {c}) [input x{input}]…");
 
     let report = verify_symbolic(&broken, &network);

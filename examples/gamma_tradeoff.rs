@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network.num_outputs()
     );
     let points = gamma_sweep(&network, 11, Duration::from_secs(10));
-    println!("{:>6} {:>6} {:>6} {:>6} {:>6}", "γ", "rows", "cols", "S", "D");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>6}",
+        "γ", "rows", "cols", "S", "D"
+    );
     for p in &points {
         println!(
             "{:>6.2} {:>6} {:>6} {:>6} {:>6}",
@@ -38,12 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ASCII scatter of the frontier: rows on x, cols on y.
-    let (rmin, rmax) = frontier
-        .iter()
-        .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.rows), hi.max(p.rows)));
-    let (cmin, cmax) = frontier
-        .iter()
-        .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.cols), hi.max(p.cols)));
+    let (rmin, rmax) = frontier.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+        (lo.min(p.rows), hi.max(p.rows))
+    });
+    let (cmin, cmax) = frontier.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+        (lo.min(p.cols), hi.max(p.cols))
+    });
     let width = 40usize;
     let height = 12usize;
     let scale = |v: usize, lo: usize, hi: usize, steps: usize| {

@@ -63,15 +63,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nALU spot checks through the crossbar:");
     println!("  100 + 55      = {}", run_alu(100, 55, 0b000, false)?);
     println!("  200 - 100     = {}", run_alu(200, 100, 0b001, false)?);
-    println!("  0xF0 & 0x3C   = {:#04x}", run_alu(0xF0, 0x3C, 0b010, false)?);
-    println!("  0xF0 ^ 0x3C   = {:#04x}", run_alu(0xF0, 0x3C, 0b100, false)?);
+    println!(
+        "  0xF0 & 0x3C   = {:#04x}",
+        run_alu(0xF0, 0x3C, 0b010, false)?
+    );
+    println!(
+        "  0xF0 ^ 0x3C   = {:#04x}",
+        run_alu(0xF0, 0x3C, 0b100, false)?
+    );
 
     // And a randomized validation sweep.
     let report = verify_functional(&shared.crossbar, &network, 500)?;
     println!(
         "\nrandomized validation: {} assignments, {}",
         report.checked,
-        if report.is_valid() { "all match" } else { "MISMATCHES FOUND" }
+        if report.is_valid() {
+            "all match"
+        } else {
+            "MISMATCHES FOUND"
+        }
     );
     Ok(())
 }

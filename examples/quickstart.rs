@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Evaluate: program the literals, drive the bottom wordline, sense
     //    the output wordline.
     let model = ElectricalModel::default();
-    println!("{:>5} {:>5} {:>5} | {:>6} {:>6} {:>9}", "a", "b", "c", "flow", "f(x)", "sense_V");
+    println!(
+        "{:>5} {:>5} {:>5} | {:>6} {:>6} {:>9}",
+        "a", "b", "c", "flow", "f(x)", "sense_V"
+    );
     for bits in 0u32..8 {
         let assignment = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
         let flow = design.crossbar.evaluate(&assignment)?[0];
@@ -46,8 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(flow, expected, "flow evaluation must match the netlist");
         println!(
             "{:>5} {:>5} {:>5} | {:>6} {:>6} {:>9.3}",
-            assignment[0] as u8, assignment[1] as u8, assignment[2] as u8,
-            flow as u8, expected as u8, volts,
+            assignment[0] as u8,
+            assignment[1] as u8,
+            assignment[2] as u8,
+            flow as u8,
+            expected as u8,
+            volts,
         );
     }
     println!("\nall 8 assignments agree with the netlist — the design is valid");

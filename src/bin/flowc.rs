@@ -10,6 +10,10 @@
 //!   --gamma <0..1>        trade-off weight (default 0.5)
 //!   --strategy <weighted|min-s|heuristic>
 //!   --time-limit <secs>   solver budget (default 30)
+//!   --deadline <secs>     hard wall-clock budget for the whole synthesis;
+//!                         on exhaustion a degraded (but valid) design is
+//!                         returned and the exit code is 2
+//!   --max-bdd-nodes <n>   BDD node ceiling; exceeding it degrades too
 //!   --no-align            drop the Eq. 7 alignment constraints
 //!   --render              print the device matrix (small designs)
 //!   --svg <file>          write an SVG rendering of the design
@@ -20,7 +24,9 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use flowc::compact::pipeline::{synthesize, Config, VhStrategy};
+use flowc::budget::Budget;
+use flowc::compact::pipeline::{Config, VhStrategy};
+use flowc::compact::supervisor::synthesize_with_budget;
 use flowc::logic::{blif, pla, verilog, Network};
 use flowc::xbar::verify::verify_functional;
 
@@ -34,7 +40,11 @@ fn load(path: &str) -> Result<Network, String> {
         "blif" => blif::parse(&text),
         "pla" => pla::parse(&text),
         "v" | "verilog" => verilog::parse(&text),
-        other => return Err(format!("unknown circuit extension `.{other}` (use .blif/.pla/.v)")),
+        other => {
+            return Err(format!(
+                "unknown circuit extension `.{other}` (use .blif/.pla/.v)"
+            ))
+        }
     };
     parsed.map_err(|e| format!("{path}: {e}"))
 }
@@ -61,6 +71,8 @@ struct Options {
     render: bool,
     validate: Option<usize>,
     svg: Option<String>,
+    deadline: Option<Duration>,
+    max_bdd_nodes: Option<usize>,
 }
 
 impl Options {
@@ -73,6 +85,8 @@ impl Options {
             render: false,
             validate: None,
             svg: None,
+            deadline: None,
+            max_bdd_nodes: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -96,6 +110,22 @@ impl Options {
                         value("--time-limit")?
                             .parse::<u64>()
                             .map_err(|e| format!("--time-limit: {e}"))?,
+                    )
+                }
+                "--deadline" => {
+                    let secs = value("--deadline")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--deadline: {e}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err("--deadline must be a non-negative number of seconds".into());
+                    }
+                    opts.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                "--max-bdd-nodes" => {
+                    opts.max_bdd_nodes = Some(
+                        value("--max-bdd-nodes")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--max-bdd-nodes: {e}"))?,
                     )
                 }
                 "--no-align" => opts.align = false,
@@ -133,50 +163,95 @@ impl Options {
             var_order: None,
         })
     }
+
+    fn budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(deadline) = self.deadline {
+            budget = budget.with_deadline(deadline);
+        }
+        if let Some(nodes) = self.max_bdd_nodes {
+            budget = budget.with_max_bdd_nodes(nodes);
+        }
+        budget
+    }
 }
 
-fn synth(network: &Network, opts: &Options) -> Result<(), String> {
+/// Returns whether the synthesis degraded (exit code 2).
+fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
     let cfg = opts.config()?;
-    let result = synthesize(network, &cfg).map_err(|e| e.to_string())?;
+    let result =
+        synthesize_with_budget(network, &cfg, &opts.budget()).map_err(|e| e.to_string())?;
     println!("circuit    : {}", network.name());
     println!("inputs     : {}", network.num_inputs());
     println!("outputs    : {}", network.num_outputs());
     println!("BDD nodes  : {}", result.graph_nodes);
     println!("BDD edges  : {}", result.graph_edges);
     println!("crossbar   : {} x {}", result.stats.rows, result.stats.cols);
-    println!("semiperim. : {} ({:.3} per node)", result.stats.semiperimeter,
-        result.stats.semiperimeter as f64 / result.graph_nodes.max(1) as f64);
+    println!(
+        "semiperim. : {} ({:.3} per node)",
+        result.stats.semiperimeter,
+        result.stats.semiperimeter as f64 / result.graph_nodes.max(1) as f64
+    );
     println!("max dim    : {}", result.stats.max_dimension);
     println!("area       : {}", result.metrics.area);
     println!("VH nodes   : {}", result.stats.num_vh);
-    println!("power      : {} active devices", result.metrics.active_devices);
+    println!(
+        "power      : {} active devices",
+        result.metrics.active_devices
+    );
     println!("delay      : {} steps", result.metrics.delay_steps);
-    println!("optimal    : {} (gap {:.2}%)", result.optimal, 100.0 * result.relative_gap);
+    println!(
+        "optimal    : {} (gap {:.2}%)",
+        result.optimal,
+        100.0 * result.relative_gap
+    );
     println!("synth time : {:.2}s", result.synthesis_time.as_secs_f64());
+    let degraded = result.degradation.as_ref().is_some_and(|d| d.degraded);
+    if let Some(report) = &result.degradation {
+        println!("rung       : {}", report.rung);
+        if report.degraded {
+            println!("degraded   : {}", report.summary());
+            for attempt in &report.attempts {
+                if let Some(trigger) = &attempt.trigger {
+                    println!(
+                        "             {} after {:.2}s: {}",
+                        attempt.rung,
+                        attempt.wall.as_secs_f64(),
+                        trigger
+                    );
+                }
+            }
+        }
+    }
     if opts.render {
         println!("\ndevice matrix:\n{}", result.crossbar.render());
     }
     if let Some(path) = &opts.svg {
-        let svg = flowc::xbar::svg::to_svg(&result.crossbar, &flowc::xbar::svg::SvgOptions::default());
+        let svg =
+            flowc::xbar::svg::to_svg(&result.crossbar, &flowc::xbar::svg::SvgOptions::default());
         std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
         println!("svg        : wrote {path}");
     }
     if let Some(samples) = opts.validate {
-        let report = verify_functional(&result.crossbar, network, samples)
-            .map_err(|e| e.to_string())?;
+        let report =
+            verify_functional(&result.crossbar, network, samples).map_err(|e| e.to_string())?;
         println!(
             "validation : {} assignments, {}",
             report.checked,
-            if report.is_valid() { "all match" } else { "MISMATCH" }
+            if report.is_valid() {
+                "all match"
+            } else {
+                "MISMATCH"
+            }
         );
         if !report.is_valid() {
             return Err("design mismatches the source circuit".into());
         }
     }
-    Ok(())
+    Ok(degraded)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -184,10 +259,13 @@ fn run() -> Result<(), String> {
             for b in flowc::logic::bench_suite::all() {
                 println!(
                     "{:<11} {:>7} {:>8} {}",
-                    b.name, b.paper.inputs, b.paper.outputs, b.suite.name()
+                    b.name,
+                    b.paper.inputs,
+                    b.paper.outputs,
+                    b.suite.name()
                 );
             }
-            Ok(())
+            Ok(false)
         }
         Some("synth") => {
             let path = args.get(1).ok_or("synth needs a circuit file")?;
@@ -209,7 +287,7 @@ fn run() -> Result<(), String> {
             let network = load(input)?;
             save(&network, output)?;
             println!("wrote {output}");
-            Ok(())
+            Ok(false)
         }
         _ => Err("usage: flowc <list|synth|bench|convert> …  (see --help in the README)".into()),
     }
@@ -217,7 +295,11 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        // 0: clean synthesis; 2: a valid but degraded design was produced
+        // (budget exhausted, ladder stepped down, or BDD ceiling lifted);
+        // 1: hard failure, nothing usable was produced.
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(2),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE

@@ -50,6 +50,7 @@
 
 pub use flowc_baselines as baselines;
 pub use flowc_bdd as bdd;
+pub use flowc_budget as budget;
 pub use flowc_compact as compact;
 pub use flowc_graph as graph;
 pub use flowc_logic as logic;

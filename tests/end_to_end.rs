@@ -80,10 +80,7 @@ fn compact_beats_staircase_on_every_metric() {
             bm.max_dimension
         );
         assert!(ours.metrics.area < bm.area, "{name}: area");
-        assert!(
-            ours.metrics.delay_steps < bm.delay_steps,
-            "{name}: delay"
-        );
+        assert!(ours.metrics.delay_steps < bm.delay_steps, "{name}: delay");
     }
 }
 

@@ -1,8 +1,14 @@
 //! Failure-injection tests: the verification machinery must catch broken
 //! designs, not just bless good ones. Each test damages a synthesized
 //! crossbar in a specific way and checks that functional verification
-//! reports the defect.
+//! reports the defect. The second half injects faults into the *solvers*
+//! (exhausted budgets, panics) and checks that the synthesis supervisor
+//! degrades to a valid design instead of aborting.
 
+use std::time::{Duration, Instant};
+
+use flowc::budget::{Budget, BudgetExceeded};
+use flowc::compact::supervisor::{synthesize_with_budget, Rung, Trigger};
 use flowc::compact::{synthesize, Config};
 use flowc::logic::bench_suite;
 use flowc::logic::{GateKind, Network};
@@ -68,7 +74,10 @@ fn stuck_closed_faults_are_caught_unless_logically_masked() {
         }
     }
     assert!(detected >= 3, "most stuck-closed faults must be visible");
-    assert!(masked <= 2, "fig2 has at most the ¬a-into-c class of maskings");
+    assert!(
+        masked <= 2,
+        "fig2 has at most the ¬a-into-c class of maskings"
+    );
 }
 
 #[test]
@@ -85,7 +94,10 @@ fn vh_bridge_faults_are_caught_on_fig2() {
         let mut broken = crossbar.clone();
         broken.set(r, c, DeviceAssignment::Off).unwrap();
         let report = verify_functional(&broken, &network, 64).unwrap();
-        assert!(!report.is_valid(), "broken bridge at ({r},{c}) not detected");
+        assert!(
+            !report.is_valid(),
+            "broken bridge at ({r},{c}) not detected"
+        );
     }
 }
 
@@ -108,7 +120,14 @@ fn negated_literal_faults_are_caught_on_ctrl() {
         };
         let mut broken = design.crossbar.clone();
         broken
-            .set(r, c, DeviceAssignment::Literal { input, negated: !negated })
+            .set(
+                r,
+                c,
+                DeviceAssignment::Literal {
+                    input,
+                    negated: !negated,
+                },
+            )
             .unwrap();
         let report = verify_functional(&broken, &network, 128).unwrap();
         if !report.is_valid() {
@@ -158,4 +177,119 @@ fn swapped_outputs_are_caught_on_multi_output_designs() {
     swapped = rebuilt;
     let report = verify_functional(&swapped, &n, 16).unwrap();
     assert!(!report.is_valid(), "swapped ports must be detected");
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor fault injection: damaged budgets and panicking solvers.
+// ---------------------------------------------------------------------------
+
+fn fig2_network() -> Network {
+    let mut n = Network::new("fig2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+    n.mark_output(f);
+    n
+}
+
+#[test]
+fn zero_deadline_yields_a_degraded_but_valid_crossbar() {
+    let n = fig2_network();
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let r = synthesize_with_budget(&n, &Config::default(), &budget)
+        .expect("an exhausted budget must not abort synthesis");
+    let report = r.degradation.as_ref().unwrap();
+    assert!(report.degraded, "{}", report.summary());
+    assert!(report.exhausted.is_some());
+    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+}
+
+#[test]
+fn one_node_bdd_ceiling_is_lifted_and_synthesis_recovers() {
+    let n = fig2_network();
+    let budget = Budget::unlimited().with_max_bdd_nodes(1);
+    let r = synthesize_with_budget(&n, &Config::default(), &budget)
+        .expect("a tiny BDD ceiling must not abort synthesis");
+    let report = r.degradation.as_ref().unwrap();
+    assert!(report.bdd_budget_lifted, "{}", report.summary());
+    assert!(report.degraded);
+    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+}
+
+#[test]
+fn injected_solver_panics_degrade_but_never_abort() {
+    // FLOWC_CHAOS_PANIC makes the named supervisor stages panic on entry.
+    // The env var is process-global: concurrent tests that synthesize may
+    // degrade past their exact rung while it is set, which is harmless —
+    // every rung still produces functionally valid designs.
+    let n = fig2_network();
+    std::env::set_var("FLOWC_CHAOS_PANIC", "exact-mip,anytime-mip");
+    let outcome = std::panic::catch_unwind(|| {
+        synthesize_with_budget(&n, &Config::default(), &Budget::unlimited())
+    });
+    std::env::remove_var("FLOWC_CHAOS_PANIC");
+    let r = outcome
+        .expect("the supervisor must isolate injected panics")
+        .expect("degradation must produce a design");
+    let report = r.degradation.as_ref().unwrap();
+    assert_eq!(report.rung, Rung::HeuristicOct, "{}", report.summary());
+    assert!(report.degraded);
+    let panicked: Vec<Rung> = report
+        .attempts
+        .iter()
+        .filter(|a| matches!(a.trigger, Some(Trigger::Panicked(_))))
+        .map(|a| a.rung)
+        .collect();
+    assert_eq!(panicked, vec![Rung::ExactMip, Rung::AnytimeMip]);
+    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+}
+
+#[test]
+fn injected_bdd_panic_is_answered_by_an_unbudgeted_rebuild() {
+    let n = fig2_network();
+    std::env::set_var("FLOWC_CHAOS_PANIC", "bdd");
+    let outcome = std::panic::catch_unwind(|| {
+        synthesize_with_budget(&n, &Config::default(), &Budget::unlimited())
+    });
+    std::env::remove_var("FLOWC_CHAOS_PANIC");
+    let r = outcome
+        .expect("a BDD-stage panic must be isolated")
+        .expect("the rebuild must recover");
+    let report = r.degradation.as_ref().unwrap();
+    assert!(report.bdd_budget_lifted, "{}", report.summary());
+    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+}
+
+#[test]
+fn cancellation_mid_flight_returns_a_valid_design() {
+    let n = fig2_network();
+    let budget = Budget::unlimited();
+    budget.cancel_handle().cancel();
+    let r = synthesize_with_budget(&n, &Config::default(), &budget).unwrap();
+    let report = r.degradation.as_ref().unwrap();
+    assert!(matches!(report.exhausted, Some(BudgetExceeded::Cancelled)));
+    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+}
+
+#[test]
+fn deadline_overrun_is_bounded_on_a_real_benchmark() {
+    // The acceptance bar: the wall clock must not blow past the deadline
+    // (10% plus a small constant for scheduling noise; the ladder's
+    // fallback rungs are all sub-second on these sizes).
+    let b = bench_suite::by_name("ctrl").unwrap();
+    let network = b.network().unwrap();
+    let deadline = Duration::from_millis(200);
+    let budget = Budget::unlimited().with_deadline(deadline);
+    let t0 = Instant::now();
+    let r = synthesize_with_budget(&network, &Config::default(), &budget).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < deadline.mul_f64(1.1) + Duration::from_millis(500),
+        "synthesis took {elapsed:?} against a {deadline:?} deadline"
+    );
+    assert!(verify_functional(&r.crossbar, &network, 128)
+        .unwrap()
+        .is_valid());
 }

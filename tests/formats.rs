@@ -83,7 +83,10 @@ fn chained_conversion_preserves_bdd_size_reasonably() {
 #[test]
 fn synthesized_design_is_format_independent() {
     use flowc::compact::{synthesize, Config};
-    let n = bench_suite::by_name("int2float").unwrap().network().unwrap();
+    let n = bench_suite::by_name("int2float")
+        .unwrap()
+        .network()
+        .unwrap();
     let via_verilog = verilog::parse(&verilog::write(&n)).unwrap();
     let d1 = synthesize(&n, &Config::gamma(1.0)).unwrap();
     let d2 = synthesize(&via_verilog, &Config::gamma(1.0)).unwrap();

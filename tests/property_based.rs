@@ -104,7 +104,11 @@ fn persist_regression_seed(test_name: &str, seed: u64) {
         let _ = std::fs::create_dir_all(dir);
     }
     use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = writeln!(f, "{seed}");
     }
 }
@@ -198,16 +202,19 @@ fn exhaustive_equiv(network: &Network, crossbar: &flowc::xbar::Crossbar) -> Resu
 
 #[test]
 fn synthesized_crossbars_are_equivalent_to_their_networks() {
-    check("synthesized_crossbars_are_equivalent_to_their_networks", |rng| {
-        let network = gen_network(rng, 5, 12);
-        let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
-        exhaustive_equiv(&network, &r.crossbar).unwrap();
-        // Cost-model invariants.
-        assert_eq!(r.stats.semiperimeter, r.stats.rows + r.stats.cols);
-        assert_eq!(r.stats.max_dimension, r.stats.rows.max(r.stats.cols));
-        assert_eq!(r.stats.semiperimeter, r.graph_nodes + r.stats.num_vh);
-        assert_eq!(r.metrics.active_devices, r.graph_edges);
-    });
+    check(
+        "synthesized_crossbars_are_equivalent_to_their_networks",
+        |rng| {
+            let network = gen_network(rng, 5, 12);
+            let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
+            exhaustive_equiv(&network, &r.crossbar).unwrap();
+            // Cost-model invariants.
+            assert_eq!(r.stats.semiperimeter, r.stats.rows + r.stats.cols);
+            assert_eq!(r.stats.max_dimension, r.stats.rows.max(r.stats.cols));
+            assert_eq!(r.stats.semiperimeter, r.graph_nodes + r.stats.num_vh);
+            assert_eq!(r.metrics.active_devices, r.graph_edges);
+        },
+    );
 }
 
 #[test]
@@ -215,7 +222,9 @@ fn min_semiperimeter_strategy_is_equivalent_too() {
     check("min_semiperimeter_strategy_is_equivalent_too", |rng| {
         let network = gen_network(rng, 4, 10);
         let cfg = Config {
-            strategy: VhStrategy::MinSemiperimeter { time_limit: Duration::from_secs(5) },
+            strategy: VhStrategy::MinSemiperimeter {
+                time_limit: Duration::from_secs(5),
+            },
             ..Config::default()
         };
         let r = synthesize(&network, &cfg).expect("synthesis succeeds");
@@ -225,41 +234,51 @@ fn min_semiperimeter_strategy_is_equivalent_too() {
 
 #[test]
 fn heuristic_strategy_is_equivalent_and_never_beats_exact_s() {
-    check("heuristic_strategy_is_equivalent_and_never_beats_exact_s", |rng| {
-        let network = gen_network(rng, 4, 10);
-        let heuristic = synthesize(
-            &network,
-            &Config {
-                strategy: VhStrategy::Heuristic { gamma: 0.5 },
-                ..Config::default()
-            },
-        )
-        .expect("synthesis succeeds");
-        exhaustive_equiv(&network, &heuristic.crossbar).unwrap();
-        let exact = synthesize(
-            &network,
-            &Config {
-                strategy: VhStrategy::MinSemiperimeter { time_limit: Duration::from_secs(5) },
-                ..Config::default()
-            },
-        )
-        .expect("synthesis succeeds");
-        // The exact OCT uses no more VH nodes than the greedy heuristic
-        // (both before alignment upgrades; compare via OCT size = S - n).
-        assert!(
-            exact.stats.num_vh <= heuristic.stats.num_vh + 2,
-            "exact {} vs heuristic {}",
-            exact.stats.num_vh,
-            heuristic.stats.num_vh
-        );
-    });
+    check(
+        "heuristic_strategy_is_equivalent_and_never_beats_exact_s",
+        |rng| {
+            let network = gen_network(rng, 4, 10);
+            let heuristic = synthesize(
+                &network,
+                &Config {
+                    strategy: VhStrategy::Heuristic { gamma: 0.5 },
+                    ..Config::default()
+                },
+            )
+            .expect("synthesis succeeds");
+            exhaustive_equiv(&network, &heuristic.crossbar).unwrap();
+            let exact = synthesize(
+                &network,
+                &Config {
+                    strategy: VhStrategy::MinSemiperimeter {
+                        time_limit: Duration::from_secs(5),
+                    },
+                    ..Config::default()
+                },
+            )
+            .expect("synthesis succeeds");
+            // The exact OCT uses no more VH nodes than the greedy heuristic
+            // (both before alignment upgrades; compare via OCT size = S - n).
+            assert!(
+                exact.stats.num_vh <= heuristic.stats.num_vh + 2,
+                "exact {} vs heuristic {}",
+                exact.stats.num_vh,
+                heuristic.stats.num_vh
+            );
+        },
+    );
 }
 
 #[test]
 fn oct_makes_random_graphs_bipartite() {
     check("oct_makes_random_graphs_bipartite", |rng| {
         let g = gen_graph(rng, 14);
-        let r = odd_cycle_transversal(&g, &OctConfig { time_limit: Duration::from_secs(5) });
+        let r = odd_cycle_transversal(
+            &g,
+            &OctConfig {
+                time_limit: Duration::from_secs(5),
+            },
+        );
         let keep: Vec<bool> = (0..g.num_vertices())
             .map(|v| !r.transversal.contains(&v))
             .collect();
@@ -271,22 +290,25 @@ fn oct_makes_random_graphs_bipartite() {
 
 #[test]
 fn bdd_graph_edges_have_literals_and_no_zero_terminal() {
-    check("bdd_graph_edges_have_literals_and_no_zero_terminal", |rng| {
-        let network = gen_network(rng, 5, 12);
-        let bdds = flowc::bdd::build_sbdd(&network, None);
-        let g = BddGraph::from_bdds(&bdds);
-        // Every edge is labelled.
-        assert_eq!(g.labels.len(), g.num_edges());
-        // Node count is the BDD size minus the dropped 0-terminal (when the
-        // forest is non-trivial).
-        let size = bdds.manager.size(&bdds.roots);
-        let zero_reachable = bdds
-            .manager
-            .reachable(&bdds.roots)
-            .contains(&flowc::bdd::Ref::ZERO);
-        let expected = if zero_reachable { size - 1 } else { size };
-        assert_eq!(g.num_nodes(), expected);
-    });
+    check(
+        "bdd_graph_edges_have_literals_and_no_zero_terminal",
+        |rng| {
+            let network = gen_network(rng, 5, 12);
+            let bdds = flowc::bdd::build_sbdd(&network, None);
+            let g = BddGraph::from_bdds(&bdds);
+            // Every edge is labelled.
+            assert_eq!(g.labels.len(), g.num_edges());
+            // Node count is the BDD size minus the dropped 0-terminal (when the
+            // forest is non-trivial).
+            let size = bdds.manager.size(&bdds.roots);
+            let zero_reachable = bdds
+                .manager
+                .reachable(&bdds.roots)
+                .contains(&flowc::bdd::Ref::ZERO);
+            let expected = if zero_reachable { size - 1 } else { size };
+            assert_eq!(g.num_nodes(), expected);
+        },
+    );
 }
 
 #[test]
@@ -366,65 +388,68 @@ fn simplify_and_binarize_preserve_synthesis() {
 
 #[test]
 fn milp_solver_matches_brute_force_on_random_01_programs() {
-    check("milp_solver_matches_brute_force_on_random_01_programs", |rng| {
-        use flowc::milp::{BranchBound, MilpError, Model, Sense};
-        let n = rng.range(2, 7);
-        let costs: Vec<i64> = (0..n).map(|_| rng.below(11) as i64 - 5).collect();
-        let mut model = Model::new();
-        let vars: Vec<_> = costs
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| model.add_binary(format!("x{i}"), c as f64))
-            .collect();
-        let mut constraints = Vec::new();
-        for _ in 0..rng.below(6) {
-            let coeffs: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
-            let sense = match rng.below(3) {
-                0 => Sense::Le,
-                1 => Sense::Ge,
-                _ => Sense::Eq,
-            };
-            let rhs = rng.below(11) as i64 - 4;
-            let terms: Vec<_> = vars
+    check(
+        "milp_solver_matches_brute_force_on_random_01_programs",
+        |rng| {
+            use flowc::milp::{BranchBound, MilpError, Model, Sense};
+            let n = rng.range(2, 7);
+            let costs: Vec<i64> = (0..n).map(|_| rng.below(11) as i64 - 5).collect();
+            let mut model = Model::new();
+            let vars: Vec<_> = costs
                 .iter()
-                .zip(&coeffs)
-                .map(|(&v, &c)| (v, c as f64))
+                .enumerate()
+                .map(|(i, &c)| model.add_binary(format!("x{i}"), c as f64))
                 .collect();
-            model.add_constraint(&terms, sense, rhs as f64);
-            constraints.push((coeffs, sense, rhs));
-        }
-        // Brute force.
-        let mut best: Option<i64> = None;
-        for mask in 0..1usize << n {
-            let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
-                let lhs: i64 = (0..n).map(|i| coeffs[i] * ((mask >> i & 1) as i64)).sum();
-                match sense {
-                    Sense::Le => lhs <= *rhs,
-                    Sense::Ge => lhs >= *rhs,
-                    Sense::Eq => lhs == *rhs,
+            let mut constraints = Vec::new();
+            for _ in 0..rng.below(6) {
+                let coeffs: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
+                let sense = match rng.below(3) {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                let rhs = rng.below(11) as i64 - 4;
+                let terms: Vec<_> = vars
+                    .iter()
+                    .zip(&coeffs)
+                    .map(|(&v, &c)| (v, c as f64))
+                    .collect();
+                model.add_constraint(&terms, sense, rhs as f64);
+                constraints.push((coeffs, sense, rhs));
+            }
+            // Brute force.
+            let mut best: Option<i64> = None;
+            for mask in 0..1usize << n {
+                let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
+                    let lhs: i64 = (0..n).map(|i| coeffs[i] * ((mask >> i & 1) as i64)).sum();
+                    match sense {
+                        Sense::Le => lhs <= *rhs,
+                        Sense::Ge => lhs >= *rhs,
+                        Sense::Eq => lhs == *rhs,
+                    }
+                });
+                if feasible {
+                    let obj: i64 = (0..n).map(|i| costs[i] * ((mask >> i & 1) as i64)).sum();
+                    best = Some(best.map_or(obj, |b: i64| b.min(obj)));
                 }
-            });
-            if feasible {
-                let obj: i64 = (0..n).map(|i| costs[i] * ((mask >> i & 1) as i64)).sum();
-                best = Some(best.map_or(obj, |b: i64| b.min(obj)));
             }
-        }
-        match (BranchBound::new().solve(&model), best) {
-            (Ok(sol), Some(expect)) => {
-                assert!(
-                    (sol.objective - expect as f64).abs() < 1e-6,
-                    "solver {} vs brute force {}",
-                    sol.objective,
-                    expect
-                );
-                assert!(model.is_feasible(&sol.values, 1e-6));
+            match (BranchBound::new().solve(&model), best) {
+                (Ok(sol), Some(expect)) => {
+                    assert!(
+                        (sol.objective - expect as f64).abs() < 1e-6,
+                        "solver {} vs brute force {}",
+                        sol.objective,
+                        expect
+                    );
+                    assert!(model.is_feasible(&sol.values, 1e-6));
+                }
+                (Err(MilpError::Infeasible), None) => {}
+                (got, want) => {
+                    panic!("solver {got:?} disagrees with brute force {want:?}");
+                }
             }
-            (Err(MilpError::Infeasible), None) => {}
-            (got, want) => {
-                panic!("solver {got:?} disagrees with brute force {want:?}");
-            }
-        }
-    });
+        },
+    );
 }
 
 #[test]
@@ -433,7 +458,9 @@ fn vertex_cover_is_minimum_on_small_graphs() {
         let g = gen_graph(rng, 10);
         let r = flowc::graph::minimum_vertex_cover(
             &g,
-            &flowc::graph::VcConfig { time_limit: Duration::from_secs(5) },
+            &flowc::graph::VcConfig {
+                time_limit: Duration::from_secs(5),
+            },
         );
         assert!(r.optimal);
         // Valid cover.

@@ -170,8 +170,7 @@ fn alignment_never_reduces_semiperimeter() {
             },
         );
         assert!(
-            aligned.labeling.stats().semiperimeter
-                >= free.labeling.stats().semiperimeter,
+            aligned.labeling.stats().semiperimeter >= free.labeling.stats().semiperimeter,
             "{name}: alignment is a constraint, it cannot help"
         );
         assert!(aligned.labeling.is_aligned(&graph), "{name}");

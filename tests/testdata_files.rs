@@ -17,7 +17,12 @@ fn testdata(name: &str) -> String {
 fn synthesize_and_verify(network: &Network) {
     let r = synthesize(network, &Config::default()).unwrap();
     let report = verify_functional(&r.crossbar, network, 512).unwrap();
-    assert!(report.is_valid(), "{}: {:?}", network.name(), report.mismatches);
+    assert!(
+        report.is_valid(),
+        "{}: {:?}",
+        network.name(),
+        report.mismatches
+    );
 }
 
 #[test]
@@ -82,7 +87,10 @@ fn seg7_pla_parses_and_synthesizes() {
         n.simulate(&v).unwrap()
     };
     assert!(digit(8).iter().all(|&s| s));
-    assert_eq!(digit(1), vec![false, true, true, false, false, false, false]);
+    assert_eq!(
+        digit(1),
+        vec![false, true, true, false, false, false, false]
+    );
     synthesize_and_verify(&n);
 }
 
