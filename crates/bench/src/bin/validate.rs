@@ -4,6 +4,7 @@
 //! to 16 inputs, sampled beyond), and the small designs additionally go
 //! through DC nodal analysis with the memristor electrical model.
 
+use flowc_bench::report::{self, Json};
 use flowc_bench::{build_network, run_compact, time_limit};
 use flowc_logic::bench_suite;
 use flowc_xbar::circuit::ElectricalModel;
@@ -17,12 +18,20 @@ fn main() {
         "benchmark", "rows", "cols", "checked", "func", "min_on_V", "max_off_V", "elec"
     );
     let mut all_ok = true;
+    let mut records: Vec<Json> = Vec::new();
     for b in bench_suite::all() {
         let n = build_network(&b);
         let r = run_compact(&n, 0.5, budget);
         let report = verify_functional(&r.crossbar, &n, 256).expect("evaluable");
         let func_ok = report.is_valid();
         all_ok &= func_ok;
+        let mut record = vec![
+            ("benchmark".to_string(), Json::str(b.name)),
+            ("rows".to_string(), Json::int(r.crossbar.rows())),
+            ("cols".to_string(), Json::int(r.crossbar.cols())),
+            ("checked".to_string(), Json::int(report.checked)),
+            ("functional_ok".to_string(), Json::Bool(func_ok)),
+        ];
         // Electrical check only for small designs (dense solve is cubic).
         let wires = r.crossbar.rows() + r.crossbar.cols();
         let elec = if wires <= 400 {
@@ -30,6 +39,9 @@ fn main() {
                 .expect("evaluable");
             all_ok &= e.is_valid();
             let (min_on, max_off) = e.electrical_margin.unwrap_or((f64::NAN, f64::NAN));
+            record.push(("electrical_ok".to_string(), Json::Bool(e.is_valid())));
+            record.push(("min_on_v".to_string(), Json::Num(min_on)));
+            record.push(("max_off_v".to_string(), Json::Num(max_off)));
             format!(
                 "{:>10.3} {:>10.3} {:>8}",
                 min_on,
@@ -37,8 +49,10 @@ fn main() {
                 if e.is_valid() { "ok" } else { "FAIL" }
             )
         } else {
+            record.push(("electrical_ok".to_string(), Json::Null));
             format!("{:>10} {:>10} {:>8}", "-", "-", "skip")
         };
+        records.push(Json::Obj(record));
         println!(
             "{:<11} {:>7}x{:<7} {:>9} {:>6} | {}",
             b.name,
@@ -49,7 +63,17 @@ fn main() {
             elec
         );
     }
+    let artifact = Json::Obj(vec![
+        ("all_ok".to_string(), Json::Bool(all_ok)),
+        ("designs".to_string(), Json::Arr(records)),
+    ]);
+    let out = std::path::Path::new("results/validate.json");
+    if let Err(e) = report::write_json(out, &artifact) {
+        eprintln!("writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
     println!();
+    println!("wrote {}", out.display());
     if all_ok {
         println!("all designs valid");
     } else {

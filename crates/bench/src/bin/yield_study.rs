@@ -1,0 +1,145 @@
+//! Yield campaign: Monte-Carlo defect injection on a COMPACT design,
+//! reporting pre-/post-repair yield across defect densities (DESIGN.md §9).
+//!
+//! ```text
+//! yield_study [BENCHMARK] [--trials N] [--seed N] [--spare-rows N]
+//!             [--spare-cols N] [--rates p1,p2,...] [--resynthesis-secs S]
+//!             [--out PATH]
+//! ```
+//!
+//! The table goes to stdout; the JSON artifact is written atomically to
+//! `results/yield_study.json` (or `--out`). Exits non-zero on bad usage
+//! or if the campaign shows repair losing to no-repair (a ladder bug).
+
+use std::process::exit;
+use std::time::Duration;
+
+use flowc_bench::yield_study::{campaign_json, run_campaign, CampaignConfig};
+use flowc_bench::{build_network, report, run_compact, time_limit};
+use flowc_logic::bench_suite;
+
+struct Options {
+    benchmark: String,
+    rates: Vec<f64>,
+    out: std::path::PathBuf,
+    cfg: CampaignConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: yield_study [BENCHMARK] [--trials N] [--seed N] [--spare-rows N] \
+         [--spare-cols N] [--rates p1,p2,...] [--resynthesis-secs S] [--out PATH]"
+    );
+    exit(1);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        benchmark: "ctrl".to_string(),
+        rates: vec![0.002, 0.01, 0.03, 0.05],
+        out: std::path::PathBuf::from("results/yield_study.json"),
+        cfg: CampaignConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                opts.cfg.trials = value(&mut args, "--trials")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                opts.cfg.seed = value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--spare-rows" => {
+                opts.cfg.spare_rows = value(&mut args, "--spare-rows")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--spare-cols" => {
+                opts.cfg.spare_cols = value(&mut args, "--spare-cols")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--rates" => {
+                opts.rates = value(&mut args, "--rates")
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.rates.is_empty() {
+                    usage();
+                }
+            }
+            "--resynthesis-secs" => {
+                let secs: f64 = value(&mut args, "--resynthesis-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                opts.cfg.resynthesis_budget = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--out" => opts.out = value(&mut args, "--out").into(),
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => opts.benchmark = name.to_string(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_options();
+    let Some(b) = bench_suite::by_name(&opts.benchmark) else {
+        eprintln!("unknown benchmark {:?}", opts.benchmark);
+        exit(1);
+    };
+    let network = build_network(&b);
+    let result = run_compact(&network, 0.5, time_limit(10));
+    let design = &result.crossbar;
+    println!(
+        "Yield campaign — {} ({}x{} design, +{}r/+{}c spares, {} trials/point, seed {:#x})",
+        opts.benchmark,
+        design.rows(),
+        design.cols(),
+        opts.cfg.spare_rows,
+        opts.cfg.spare_cols,
+        opts.cfg.trials,
+        opts.cfg.seed,
+    );
+    let synth_config = flowc_compact::Config::default();
+    let points = run_campaign(&network, design, &synth_config, &opts.rates, &opts.cfg);
+    println!(
+        "{:>12} {:>10} {:>11} | {:>6} {:>6} {:>6} {:>6}",
+        "defect_rate", "pre_yield", "post_yield", "perm", "spare", "resyn", "dead"
+    );
+    let mut repair_regressed = false;
+    for p in &points {
+        println!(
+            "{:>12.4} {:>9.1}% {:>10.1}% | {:>6} {:>6} {:>6} {:>6}",
+            p.defect_rate,
+            100.0 * p.pre_yield(),
+            100.0 * p.post_yield(),
+            p.by_permutation,
+            p.by_spares,
+            p.by_resynthesis,
+            p.irreparable,
+        );
+        repair_regressed |= p.post_repair_ok < p.pre_repair_ok;
+    }
+    let json = campaign_json(&opts.benchmark, design, &opts.cfg, &points);
+    if let Err(e) = report::write_json(&opts.out, &json) {
+        eprintln!("writing {}: {e}", opts.out.display());
+        exit(1);
+    }
+    println!("\nwrote {}", opts.out.display());
+    if repair_regressed {
+        eprintln!("REPAIR REGRESSION: post-repair yield fell below pre-repair yield");
+        exit(1);
+    }
+}

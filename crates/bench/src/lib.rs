@@ -16,6 +16,11 @@
 //! | `fig13`  | Figure 13 — power/delay vs CONTRA-style MAGIC |
 //! | `validate` | §VIII "SPICE-verified" — functional + electrical checks |
 //! | `ablation_study` | DESIGN.md §5 ablations (alignment, ordering, OCT, simplification) |
+//! | `yield_study` | DESIGN.md §9 — pre-/post-repair yield vs defect density |
+//!
+//! JSON artifacts land under `results/` via [`report::write_json`], which
+//! writes atomically (temp file + rename) so interrupted runs never leave
+//! truncated files.
 //!
 //! Wall-clock budgets default to laptop scale; set `FLOWC_TIME_LIMIT_SECS`
 //! to trade time for tighter solutions (the paper used 3-hour CPLEX runs).
@@ -25,6 +30,9 @@ use std::time::Duration;
 use flowc_compact::pipeline::{synthesize, CompactResult, Config, VhStrategy};
 use flowc_logic::bench_suite::Benchmark;
 use flowc_logic::Network;
+
+pub mod report;
+pub mod yield_study;
 
 /// Per-instance wall-clock budget (seconds) from `FLOWC_TIME_LIMIT_SECS`,
 /// defaulting to `default_secs`.

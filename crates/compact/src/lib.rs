@@ -50,6 +50,7 @@ pub mod oct_method;
 pub mod pareto;
 pub mod pipeline;
 pub mod preprocess;
+pub mod repair;
 pub mod supervisor;
 
 mod balance;
@@ -59,4 +60,8 @@ pub use formal::{verify_symbolic, SymbolicReport};
 pub use labeling::{Labeling, LabelingStats, VhLabel};
 pub use pipeline::{synthesize, CompactError, CompactResult, Config, VhStrategy};
 pub use preprocess::BddGraph;
+pub use repair::{
+    repair_placement, repair_with_resynthesis, RepairConfig, RepairError, RepairReport,
+    RepairStrategy, RepairedDesign,
+};
 pub use supervisor::{synthesize_with_budget, DegradationReport, Rung, StageAttempt, Trigger};

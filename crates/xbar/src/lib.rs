@@ -16,13 +16,21 @@
 //! [`metrics::CrossbarMetrics`] reports the paper's cost model:
 //! semiperimeter, maximum dimension, area, power (number of programmed
 //! literal devices) and delay (`rows + 1` time steps).
+//!
+//! [`fault`] models manufacturing defects (stuck-off/stuck-on junctions,
+//! open wordlines/bitlines) with a typed [`fault::DefectMap`], a seedable
+//! injection engine, and benign/functional classification against a
+//! reference network — the substrate of the defect-aware repair pass in
+//! `flowc-compact`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod fault;
 pub mod metrics;
 mod model;
+pub mod rng;
 pub mod svg;
 pub mod variation;
 pub mod verify;

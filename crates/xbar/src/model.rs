@@ -22,14 +22,42 @@ pub enum DeviceAssignment {
 impl DeviceAssignment {
     /// The conductance state of the device under an input assignment.
     ///
-    /// # Panics
-    ///
-    /// Panics if a literal's input index is out of range.
+    /// An out-of-range literal index is a programming bug; it trips a
+    /// `debug_assert` in debug builds and reads as non-conducting in
+    /// release builds. Evaluation paths use [`Self::conducts_checked`],
+    /// which surfaces the bug as a typed error instead.
     pub fn conducts(self, inputs: &[bool]) -> bool {
         match self {
             DeviceAssignment::Off => false,
             DeviceAssignment::On => true,
-            DeviceAssignment::Literal { input, negated } => inputs[input] ^ negated,
+            DeviceAssignment::Literal { input, negated } => {
+                debug_assert!(
+                    input < inputs.len(),
+                    "literal input {input} out of range ({} inputs)",
+                    inputs.len()
+                );
+                inputs.get(input).is_some_and(|&b| b ^ negated)
+            }
+        }
+    }
+
+    /// Checked variant of [`Self::conducts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::BadLiteral`] when a literal's input index is
+    /// out of range for the supplied assignment.
+    pub fn conducts_checked(self, inputs: &[bool]) -> crate::Result<bool> {
+        match self {
+            DeviceAssignment::Off => Ok(false),
+            DeviceAssignment::On => Ok(true),
+            DeviceAssignment::Literal { input, negated } => inputs
+                .get(input)
+                .map(|&b| b ^ negated)
+                .ok_or(XbarError::BadLiteral {
+                    input,
+                    num_inputs: inputs.len(),
+                }),
         }
     }
 
@@ -88,6 +116,15 @@ pub enum XbarError {
     },
     /// The crossbar has no input port assigned.
     NoInputPort,
+    /// A programmed literal references an input index the crossbar does not
+    /// have — a programming bug, surfaced as a typed error by the checked
+    /// evaluation paths.
+    BadLiteral {
+        /// The literal's (out-of-range) input index.
+        input: usize,
+        /// Number of inputs the evaluation supplied.
+        num_inputs: usize,
+    },
     /// A verification reference disagrees with the crossbar on the input
     /// count.
     ReferenceInputMismatch {
@@ -95,6 +132,12 @@ pub enum XbarError {
         reference: usize,
         /// Inputs of the crossbar.
         crossbar: usize,
+    },
+    /// A row/column permutation handed to [`Crossbar::place`] was
+    /// malformed (wrong length, out-of-range target, or duplicate target).
+    Placement {
+        /// What was wrong with the permutation.
+        reason: String,
     },
     /// A cooperative budget was exhausted mid-verification.
     Budget(flowc_budget::BudgetExceeded),
@@ -113,6 +156,10 @@ impl fmt::Display for XbarError {
                 write!(f, "got {got} input values, crossbar expects {expected}")
             }
             XbarError::NoInputPort => write!(f, "crossbar has no input port"),
+            XbarError::BadLiteral { input, num_inputs } => write!(
+                f,
+                "programmed literal references input {input} but only {num_inputs} inputs exist"
+            ),
             XbarError::ReferenceInputMismatch {
                 reference,
                 crossbar,
@@ -120,6 +167,7 @@ impl fmt::Display for XbarError {
                 f,
                 "reference network has {reference} inputs but the crossbar has {crossbar}"
             ),
+            XbarError::Placement { reason } => write!(f, "bad placement: {reason}"),
             XbarError::Budget(e) => write!(f, "verification interrupted: {e}"),
         }
     }
@@ -324,7 +372,9 @@ impl Crossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`XbarError::InputLen`] on a wrong-sized assignment.
+    /// Returns [`XbarError::InputLen`] on a wrong-sized assignment, or
+    /// [`XbarError::BadLiteral`] when a programmed literal's index is out
+    /// of range.
     pub fn program(&self, inputs: &[bool]) -> crate::Result<Vec<bool>> {
         if inputs.len() != self.num_inputs {
             return Err(XbarError::InputLen {
@@ -332,7 +382,10 @@ impl Crossbar {
                 expected: self.num_inputs,
             });
         }
-        Ok(self.devices.iter().map(|a| a.conducts(inputs)).collect())
+        self.devices
+            .iter()
+            .map(|a| a.conducts_checked(inputs))
+            .collect()
     }
 
     /// Flow-based evaluation: programs the devices and returns, for each
@@ -417,10 +470,14 @@ impl Crossbar {
                 DeviceAssignment::Off => 0,
                 DeviceAssignment::On => u64::MAX,
                 DeviceAssignment::Literal { input, negated } => {
+                    let word = *input_words.get(input).ok_or(XbarError::BadLiteral {
+                        input,
+                        num_inputs: input_words.len(),
+                    })?;
                     if negated {
-                        !input_words[input]
+                        !word
                     } else {
-                        input_words[input]
+                        word
                     }
                 }
             };
@@ -452,6 +509,72 @@ impl Crossbar {
             }
         }
         Ok(self.outputs.iter().map(|p| row_reach[p.row]).collect())
+    }
+
+    /// Re-places the design onto a (possibly larger) physical grid:
+    /// logical row `r` lands on physical wordline `row_perm[r]`, logical
+    /// column `c` on physical bitline `col_perm[c]`. Devices, port
+    /// bindings, and labels all move together; physical lines not in the
+    /// image of the permutation are left all-[`DeviceAssignment::Off`]
+    /// (spare lines). This is the mechanism the defect-aware repair pass
+    /// uses to steer programmed junctions away from faulty cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::Placement`] when a permutation has the wrong
+    /// length, targets an out-of-range line, or maps two logical lines to
+    /// the same physical line.
+    pub fn place(
+        &self,
+        row_perm: &[usize],
+        col_perm: &[usize],
+        phys_rows: usize,
+        phys_cols: usize,
+    ) -> crate::Result<Crossbar> {
+        let check_perm = |perm: &[usize], len: usize, bound: usize, kind: &str| {
+            if perm.len() != len {
+                return Err(XbarError::Placement {
+                    reason: format!("{kind} permutation has {} entries, need {len}", perm.len()),
+                });
+            }
+            let mut used = vec![false; bound];
+            for &p in perm {
+                if p >= bound {
+                    return Err(XbarError::Placement {
+                        reason: format!("{kind} target {p} out of range (physical size {bound})"),
+                    });
+                }
+                if used[p] {
+                    return Err(XbarError::Placement {
+                        reason: format!("{kind} target {p} used twice"),
+                    });
+                }
+                used[p] = true;
+            }
+            Ok(())
+        };
+        check_perm(row_perm, self.rows, phys_rows, "row")?;
+        check_perm(col_perm, self.cols, phys_cols, "column")?;
+        let mut placed = Crossbar::new(phys_rows, phys_cols, self.num_inputs);
+        for (r, c, a) in self.programmed_devices() {
+            placed.devices[row_perm[r] * phys_cols + col_perm[c]] = a;
+        }
+        if let Some(input_row) = self.input_row {
+            placed.input_row = Some(row_perm[input_row]);
+        }
+        for p in &self.outputs {
+            placed.outputs.push(Port {
+                name: p.name.clone(),
+                row: row_perm[p.row],
+            });
+        }
+        for (r, label) in self.row_labels.iter().enumerate() {
+            placed.row_labels[row_perm[r]] = label.clone();
+        }
+        for (c, label) in self.col_labels.iter().enumerate() {
+            placed.col_labels[col_perm[c]] = label.clone();
+        }
+        Ok(placed)
     }
 
     /// Renders the device grid as text (one row per wordline), as in the
@@ -702,6 +825,108 @@ mod tests {
         assert!(text.contains("<- in"));
         assert!(text.contains("out:f"));
         assert!(text.contains("x2"));
+    }
+
+    #[test]
+    fn bad_literal_is_a_typed_error_not_a_panic() {
+        let mut x = Crossbar::new(2, 1, 1);
+        x.set(
+            0,
+            0,
+            DeviceAssignment::Literal {
+                input: 7,
+                negated: false,
+            },
+        )
+        .unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("f", 1).unwrap();
+        assert_eq!(
+            x.program(&[true]).unwrap_err(),
+            XbarError::BadLiteral {
+                input: 7,
+                num_inputs: 1
+            }
+        );
+        assert!(matches!(
+            x.evaluate(&[true]),
+            Err(XbarError::BadLiteral { input: 7, .. })
+        ));
+        assert!(matches!(
+            x.evaluate64(&[0]),
+            Err(XbarError::BadLiteral { input: 7, .. })
+        ));
+        let bad = DeviceAssignment::Literal {
+            input: 7,
+            negated: true,
+        };
+        assert!(matches!(
+            bad.conducts_checked(&[true]),
+            Err(XbarError::BadLiteral { .. })
+        ));
+    }
+
+    #[test]
+    fn place_identity_preserves_function() {
+        let x = fig2_crossbar();
+        let id_rows: Vec<usize> = (0..x.rows()).collect();
+        let id_cols: Vec<usize> = (0..x.cols()).collect();
+        let placed = x.place(&id_rows, &id_cols, x.rows(), x.cols()).unwrap();
+        for bits in 0u32..8 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                placed.evaluate(&ins).unwrap(),
+                x.evaluate(&ins).unwrap(),
+                "{bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn place_permutes_and_adds_spares() {
+        let x = fig2_crossbar();
+        // Shuffle rows and columns into a 5×4 physical array with spares.
+        let placed = x.place(&[4, 0, 2], &[3, 1, 0], 5, 4).unwrap();
+        assert_eq!(placed.rows(), 5);
+        assert_eq!(placed.cols(), 4);
+        assert_eq!(placed.input_row(), Some(4));
+        assert_eq!(placed.outputs()[0].row, 2);
+        for bits in 0u32..8 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                placed.evaluate(&ins).unwrap(),
+                x.evaluate(&ins).unwrap(),
+                "{bits:03b}"
+            );
+        }
+        // Spare row 1 and spare column 2 carry no devices.
+        for c in 0..4 {
+            assert_eq!(placed.get(1, c).unwrap(), DeviceAssignment::Off);
+        }
+        for r in 0..5 {
+            assert_eq!(placed.get(r, 2).unwrap(), DeviceAssignment::Off);
+        }
+    }
+
+    #[test]
+    fn place_rejects_malformed_permutations() {
+        let x = fig2_crossbar();
+        // Wrong length.
+        assert!(matches!(
+            x.place(&[0, 1], &[0, 1, 2], 3, 3),
+            Err(XbarError::Placement { .. })
+        ));
+        // Out of range.
+        assert!(matches!(
+            x.place(&[0, 1, 5], &[0, 1, 2], 3, 3),
+            Err(XbarError::Placement { .. })
+        ));
+        // Duplicate target.
+        assert!(matches!(
+            x.place(&[0, 1, 1], &[0, 1, 2], 3, 3),
+            Err(XbarError::Placement { .. })
+        ));
     }
 
     #[test]

@@ -52,37 +52,15 @@ impl MarginStats {
     }
 }
 
-/// Deterministic xorshift-based standard-normal sampler (Box–Muller on two
-/// uniform samples) so runs are reproducible without external RNG state.
-struct Normal {
-    state: u64,
-}
-
-impl Normal {
-    fn new(seed: u64) -> Self {
-        Normal { state: seed.max(1) }
-    }
-
-    fn uniform(&mut self) -> f64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        (x >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn sample(&mut self) -> f64 {
-        let u1 = self.uniform().max(1e-12);
-        let u2 = self.uniform();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    }
-}
-
 /// Runs `trials` Monte Carlo evaluations of the crossbar under the given
 /// input assignments (each trial perturbs every device), classifying each
 /// output voltage against the reference values in `expected` (parallel to
 /// `assignments`), and returns the worst-case margin statistics.
+///
+/// Sampling is driven entirely by the explicit `seed` (through the shared
+/// [`crate::rng::XorShift64`] generator), so the same seed reproduces the
+/// same margin statistics on every run and platform — CI can assert on
+/// them.
 ///
 /// # Errors
 ///
@@ -104,7 +82,7 @@ pub fn monte_carlo_margin(
         expected.len(),
         "reference length mismatch"
     );
-    let mut rng = Normal::new(seed);
+    let mut rng = crate::rng::XorShift64::new(seed);
     let mut stats = MarginStats {
         trials,
         worst_on: f64::INFINITY,
@@ -118,8 +96,8 @@ pub fn monte_carlo_margin(
         // by perturbing the two band levels, while independent per-device
         // noise averages out along multi-device paths.
         let trial_model = ElectricalModel {
-            r_on: model.nominal.r_on * (model.sigma_on * rng.sample()).exp(),
-            r_off: model.nominal.r_off * (model.sigma_off * rng.sample()).exp(),
+            r_on: model.nominal.r_on * (model.sigma_on * rng.normal()).exp(),
+            r_off: model.nominal.r_off * (model.sigma_off * rng.normal()).exp(),
             ..model.nominal
         };
         let mut min_on = f64::INFINITY;

@@ -31,26 +31,27 @@ impl VerifyReport {
         self.mismatches.is_empty() && self.margin_ok()
     }
 
-    /// Whether the electrical on/off voltages are separable (vacuously true
-    /// for functional-only reports or when one class was never observed).
+    /// Whether the electrical on/off voltages are separable. Vacuously true
+    /// for functional-only reports and when one class was never observed
+    /// (the margin stays at its infinite initial value); false when either
+    /// bound is NaN — a NaN margin means the nodal analysis produced
+    /// garbage, which must not pass as "separable".
     pub fn margin_ok(&self) -> bool {
         match self.electrical_margin {
-            Some((min_on, max_off)) if min_on.is_finite() && max_off.is_finite() => {
-                min_on > max_off
+            Some((min_on, max_off)) => {
+                if min_on.is_nan() || max_off.is_nan() {
+                    false
+                } else if min_on.is_finite() && max_off.is_finite() {
+                    min_on > max_off
+                } else {
+                    // One class never observed: +inf on-floor or -inf
+                    // off-ceiling cannot be violated.
+                    true
+                }
             }
-            _ => true,
+            None => true,
         }
     }
-}
-
-/// Deterministic xorshift for sampling assignments.
-fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    *state = x;
-    x
 }
 
 fn assignments(num_inputs: usize, samples: usize) -> Vec<Vec<bool>> {
@@ -60,13 +61,9 @@ fn assignments(num_inputs: usize, samples: usize) -> Vec<Vec<bool>> {
             .map(|v| (0..num_inputs).map(|i| v >> i & 1 == 1).collect())
             .collect()
     } else {
-        let mut seed = 0x005E_ED0F_F10C_u64 ^ (num_inputs as u64) << 32;
+        let mut rng = crate::rng::XorShift64::new(0x005E_ED0F_F10C_u64 ^ (num_inputs as u64) << 32);
         (0..samples)
-            .map(|_| {
-                (0..num_inputs)
-                    .map(|_| xorshift(&mut seed) & 1 == 1)
-                    .collect()
-            })
+            .map(|_| (0..num_inputs).map(|_| rng.next_u64() & 1 == 1).collect())
             .collect()
     }
 }
@@ -306,6 +303,69 @@ mod tests {
         // An unlimited budget behaves like the plain entry point.
         let r = verify_functional_budgeted(&x, &n, 64, &Budget::unlimited()).unwrap();
         assert!(r.is_valid());
+    }
+
+    fn report_with_margin(margin: Option<(f64, f64)>) -> VerifyReport {
+        VerifyReport {
+            checked: 1,
+            mismatches: Vec::new(),
+            electrical_margin: margin,
+        }
+    }
+
+    #[test]
+    fn margin_ok_rejects_nan_bounds() {
+        // NaN means the nodal analysis diverged; never certify it.
+        assert!(!report_with_margin(Some((f64::NAN, 0.1))).margin_ok());
+        assert!(!report_with_margin(Some((0.9, f64::NAN))).margin_ok());
+        assert!(!report_with_margin(Some((f64::NAN, f64::NAN))).margin_ok());
+        assert!(!report_with_margin(Some((f64::NAN, 0.1))).is_valid());
+    }
+
+    #[test]
+    fn margin_ok_one_class_only_is_vacuous() {
+        // Constant-1 design: no logic-0 output ever observed, max_off stays
+        // at its -inf initial value. Separable by any threshold below min_on.
+        assert!(report_with_margin(Some((0.7, f64::NEG_INFINITY))).margin_ok());
+        // Constant-0 design: min_on stays +inf.
+        assert!(report_with_margin(Some((f64::INFINITY, 0.2))).margin_ok());
+        // No outputs observed at all (e.g. a portless sweep).
+        assert!(report_with_margin(Some((f64::INFINITY, f64::NEG_INFINITY))).margin_ok());
+    }
+
+    #[test]
+    fn margin_ok_finite_bounds_compare() {
+        assert!(report_with_margin(Some((0.7, 0.2))).margin_ok());
+        assert!(!report_with_margin(Some((0.2, 0.7))).margin_ok());
+        assert!(
+            !report_with_margin(Some((0.5, 0.5))).margin_ok(),
+            "tie is not separable"
+        );
+        assert!(
+            report_with_margin(None).margin_ok(),
+            "functional-only is vacuous"
+        );
+    }
+
+    #[test]
+    fn zero_input_network_verifies() {
+        // A constant function of no inputs: one (empty) assignment checked.
+        let mut n = Network::new("const1");
+        let o = n.add_const1("o");
+        n.mark_output(o);
+        let mut x = Crossbar::new(2, 1, 0);
+        x.set(0, 0, DeviceAssignment::On).unwrap();
+        x.set(1, 0, DeviceAssignment::On).unwrap();
+        x.set_input_row(0).unwrap();
+        x.add_output("o", 1).unwrap();
+        let r = verify_functional(&x, &n, 16).unwrap();
+        assert_eq!(r.checked, 1, "2^0 assignments");
+        assert!(r.is_valid());
+        let e = verify_electrical(&x, &n, &ElectricalModel::default(), 16).unwrap();
+        assert!(e.is_valid());
+        let (min_on, max_off) = e.electrical_margin.unwrap();
+        assert!(min_on.is_finite());
+        assert_eq!(max_off, f64::NEG_INFINITY, "no logic-0 outputs exist");
     }
 
     #[test]

@@ -18,7 +18,17 @@
 //!   --render              print the device matrix (small designs)
 //!   --svg <file>          write an SVG rendering of the design
 //!   --validate <n>        check n assignments against simulation
+//!   --defect-map <file>   repair the design against a defect map file
+//!   --defect-rate <p>     inject random defects at per-cell rate p and
+//!                         repair (mutually exclusive with --defect-map)
+//!   --seed <n>            defect-injection seed (default 1)
+//!   --spare-rows <n>      spare wordlines for --defect-rate arrays
+//!   --spare-cols <n>      spare bitlines for --defect-rate arrays
 //! ```
+//!
+//! With defects, the exit code distinguishes outcomes: 0 when all defects
+//! were benign, 2 when the design needed repair (a repaired, verified
+//! design was produced), 1 when the array is irreparable.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -27,7 +37,9 @@ use std::time::Duration;
 use flowc::budget::Budget;
 use flowc::compact::pipeline::{Config, VhStrategy};
 use flowc::compact::supervisor::synthesize_with_budget;
+use flowc::compact::{repair_with_resynthesis, RepairConfig, RepairError, RepairStrategy};
 use flowc::logic::{blif, pla, verilog, Network};
+use flowc::xbar::fault::{inject, DefectMap, DefectRates};
 use flowc::xbar::verify::verify_functional;
 
 fn load(path: &str) -> Result<Network, String> {
@@ -73,6 +85,11 @@ struct Options {
     svg: Option<String>,
     deadline: Option<Duration>,
     max_bdd_nodes: Option<usize>,
+    defect_map: Option<String>,
+    defect_rate: Option<f64>,
+    seed: u64,
+    spare_rows: usize,
+    spare_cols: usize,
 }
 
 impl Options {
@@ -87,6 +104,11 @@ impl Options {
             svg: None,
             deadline: None,
             max_bdd_nodes: None,
+            defect_map: None,
+            defect_rate: None,
+            seed: 1,
+            spare_rows: 0,
+            spare_cols: 0,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -138,8 +160,36 @@ impl Options {
                             .map_err(|e| format!("--validate: {e}"))?,
                     )
                 }
+                "--defect-map" => opts.defect_map = Some(value("--defect-map")?),
+                "--defect-rate" => {
+                    let rate = value("--defect-rate")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--defect-rate: {e}"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err("--defect-rate must be within [0, 1]".into());
+                    }
+                    opts.defect_rate = Some(rate);
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--spare-rows" => {
+                    opts.spare_rows = value("--spare-rows")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--spare-rows: {e}"))?
+                }
+                "--spare-cols" => {
+                    opts.spare_cols = value("--spare-cols")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--spare-cols: {e}"))?
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
+        }
+        if opts.defect_map.is_some() && opts.defect_rate.is_some() {
+            return Err("--defect-map and --defect-rate are mutually exclusive".into());
         }
         Ok(opts)
     }
@@ -248,7 +298,57 @@ fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
             return Err("design mismatches the source circuit".into());
         }
     }
-    Ok(degraded)
+    let mut outcome = degraded;
+    if opts.defect_map.is_some() || opts.defect_rate.is_some() {
+        let design = &result.crossbar;
+        let map = if let Some(path) = &opts.defect_map {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            DefectMap::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            let rate = opts.defect_rate.expect("one source checked above");
+            inject(
+                design.rows() + opts.spare_rows,
+                design.cols() + opts.spare_cols,
+                &DefectRates::uniform(rate),
+                opts.seed,
+            )
+        };
+        println!(
+            "defects    : {} faults on a {}x{} physical array",
+            map.len(),
+            map.rows(),
+            map.cols()
+        );
+        let repair_cfg = RepairConfig::default();
+        match repair_with_resynthesis(network, &cfg, design, &map, &repair_cfg, &opts.budget()) {
+            Ok(repaired) => {
+                println!("repair     : {}", repaired.report.summary());
+                for attempt in &repaired.report.attempts {
+                    println!(
+                        "             {} — {}: {}",
+                        attempt.action,
+                        if attempt.success { "ok" } else { "failed" },
+                        attempt.detail
+                    );
+                }
+                if repaired.report.strategy != RepairStrategy::Benign {
+                    outcome = true;
+                }
+            }
+            Err(RepairError::Irreparable { attempts, defects }) => {
+                eprintln!("repair     : irreparable under {defects} defects");
+                for attempt in &attempts {
+                    eprintln!(
+                        "             {} — failed: {}",
+                        attempt.action, attempt.detail
+                    );
+                }
+                return Err("no rung of the repair ladder produced a working design".into());
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(outcome)
 }
 
 fn run() -> Result<bool, String> {

@@ -1,0 +1,161 @@
+//! Defect-tolerance properties, end to end: for *any* seeded defect map,
+//! the repair ladder either ships a design that verifies with zero
+//! mismatches on the defective array, or reports a typed
+//! `RepairError::Irreparable` with its attempt log — it never panics and
+//! never ships an unverified placement.
+
+use flowc::compact::{
+    repair_placement, repair_with_resynthesis, synthesize, Config, RepairConfig, RepairError,
+    RepairStrategy,
+};
+use flowc::logic::{bench_suite, GateKind, Network};
+use flowc::xbar::fault::{apply_defects, inject, DefectMap, DefectRates, Fault};
+use flowc::xbar::verify::verify_functional;
+use flowc::xbar::Crossbar;
+
+fn synthesized(name: &str) -> (Network, Crossbar) {
+    let b = bench_suite::by_name(name).expect("benchmark exists");
+    let n = b.network().expect("benchmark builds");
+    let design = synthesize(&n, &Config::default()).expect("synthesis succeeds");
+    (n, design.crossbar)
+}
+
+/// The central property: a repaired design has zero mismatches under its
+/// defect map, and irreparable outcomes are typed results, across a sweep
+/// of seeds and densities.
+#[test]
+fn repaired_designs_verify_and_irreparable_is_typed() {
+    let (network, design) = synthesized("ctrl");
+    let cfg = RepairConfig {
+        verify_samples: 128,
+        ..RepairConfig::default()
+    };
+    let mut repaired_count = 0;
+    let mut irreparable_count = 0;
+    for seed in 0..12u64 {
+        for &rate in &[0.005, 0.02, 0.08] {
+            let map = inject(
+                design.rows() + 1,
+                design.cols() + 1,
+                &DefectRates::uniform(rate),
+                seed * 1000 + (rate * 1000.0) as u64,
+            );
+            match repair_placement(&network, &design, &map, &cfg) {
+                Ok(repaired) => {
+                    repaired_count += 1;
+                    let faulty = apply_defects(&repaired.crossbar, &map).expect("dims match");
+                    let report = verify_functional(&faulty, &network, 256).expect("evaluable");
+                    assert!(
+                        report.mismatches.is_empty(),
+                        "shipped repair mismatches under its own defect map \
+                         (seed {seed}, rate {rate}): {:?}",
+                        repaired.report.summary()
+                    );
+                    assert!(!repaired.report.attempts.is_empty());
+                    assert!(repaired.report.attempts.last().unwrap().success);
+                }
+                Err(RepairError::Irreparable { attempts, defects }) => {
+                    irreparable_count += 1;
+                    assert!(defects > 0, "an empty map is always repairable");
+                    assert!(
+                        attempts.iter().all(|a| !a.success),
+                        "irreparable log may not contain a successful rung"
+                    );
+                }
+                Err(other) => panic!("unexpected repair error: {other}"),
+            }
+        }
+    }
+    assert!(repaired_count > 0, "sweep exercised no successful repair");
+    assert!(
+        irreparable_count > 0,
+        "sweep exercised no irreparable case — densities too low"
+    );
+}
+
+/// CI smoke invariant: at a low defect density with two spare lines each
+/// way, every seeded trial is repairable (100% post-repair yield).
+#[test]
+fn low_density_smoke_has_full_post_repair_yield() {
+    let (network, design) = synthesized("ctrl");
+    let cfg = RepairConfig {
+        verify_samples: 128,
+        ..RepairConfig::default()
+    };
+    for seed in 100..110u64 {
+        let map = inject(
+            design.rows() + 2,
+            design.cols() + 2,
+            &DefectRates::uniform(0.004),
+            seed,
+        );
+        let repaired = repair_placement(&network, &design, &map, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed} must be repairable at 0.4%: {e}"));
+        let faulty = apply_defects(&repaired.crossbar, &map).expect("dims match");
+        assert!(verify_functional(&faulty, &network, 256)
+            .expect("evaluable")
+            .mismatches
+            .is_empty());
+    }
+}
+
+/// The resynthesis rung composes with the PR-1 supervisor: a fully dead
+/// identity footprint forces later rungs, and the outcome is still either
+/// a verified design or a typed error.
+#[test]
+fn resynthesis_rung_never_panics_and_verifies() {
+    let mut n = Network::new("fig2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+    n.mark_output(f);
+    let config = Config::default();
+    let design = synthesize(&n, &config).unwrap().crossbar;
+    // Generous spares, but a fault on every cell of the original footprint.
+    let mut map = DefectMap::new(design.rows() + 2, design.cols() + 2);
+    for r in 0..design.rows() {
+        for col in 0..design.cols() {
+            map.add(Fault::StuckOff { row: r, col }).unwrap();
+        }
+    }
+    let budget =
+        flowc::budget::Budget::unlimited().with_deadline(std::time::Duration::from_secs(10));
+    match repair_with_resynthesis(
+        &n,
+        &config,
+        &design,
+        &map,
+        &RepairConfig::default(),
+        &budget,
+    ) {
+        Ok(repaired) => {
+            let faulty = apply_defects(&repaired.crossbar, &map).expect("dims match");
+            assert!(verify_functional(&faulty, &n, 256)
+                .expect("evaluable")
+                .mismatches
+                .is_empty());
+            assert_ne!(repaired.report.strategy, RepairStrategy::Benign);
+        }
+        Err(RepairError::Irreparable { attempts, .. }) => {
+            assert!(attempts.len() > 1, "the whole ladder must have been tried");
+        }
+        Err(other) => panic!("unexpected repair error: {other}"),
+    }
+}
+
+/// Defect-map files round-trip, and malformed files fail with a
+/// line-numbered parse error (the CLI `--defect-map` path).
+#[test]
+fn defect_map_text_round_trip_and_errors() {
+    let mut map = DefectMap::new(6, 5);
+    map.add(Fault::StuckOff { row: 1, col: 2 }).unwrap();
+    map.add(Fault::StuckOn { row: 0, col: 4 }).unwrap();
+    map.add(Fault::OpenWordline { row: 5 }).unwrap();
+    let text = map.to_string();
+    let parsed = DefectMap::parse(&text).expect("own rendering parses");
+    assert_eq!(parsed.to_string(), text);
+    let err = DefectMap::parse("dims 4 4\nstuck-off 9 0\n").unwrap_err();
+    assert_eq!(err.line, 2, "error points at the offending line");
+}
