@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod constrained;
 pub mod formal;
 pub mod labeling;
@@ -52,8 +53,6 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod repair;
 pub mod supervisor;
-
-mod balance;
 
 pub use constrained::{synthesize_constrained, ConstraintError, SizeLimits};
 pub use formal::{verify_symbolic, SymbolicReport};

@@ -1,0 +1,292 @@
+//! `conform-fuzz` — time-boxed multi-oracle differential fuzzing.
+//!
+//! Generates random networks, runs each through every shipped oracle (see
+//! `flowc_conform::oracle`), and on the first disagreement shrinks the
+//! network to a local minimum and persists it (seed + BLIF) into the
+//! regression corpus. Persisted corpus entries for the `conform-fuzz` test
+//! name replay before any fresh case.
+//!
+//! The whole run is wired into a `flowc_budget` deadline: hitting it mid-run
+//! is a *clean* exit (code 0, with a note), so CI jobs can pin wall-clock
+//! without flaking. Exit codes: 0 = no disagreement, 1 = disagreement found
+//! (counterexample persisted), 2 = usage error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use flowc_budget::Budget;
+use flowc_conform::corpus::Corpus;
+use flowc_conform::gen::NetworkGen;
+use flowc_conform::oracle::{
+    default_gammas, differential_check, shipped_oracles, DiffConfig, Disagreement, Oracle,
+};
+use flowc_conform::rng::{splitmix64, Rng};
+use flowc_conform::shrink::shrink_network;
+use flowc_logic::Network;
+
+/// The corpus test-name under which this binary persists and replays.
+const TEST_NAME: &str = "conform-fuzz";
+
+#[derive(Debug)]
+struct Options {
+    cases: usize,
+    deadline: Duration,
+    seed: u64,
+    corpus: std::path::PathBuf,
+    max_inputs: usize,
+    max_gates: usize,
+    symbolic: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cases: 256,
+            deadline: Duration::from_secs(60),
+            seed: 0xC0F0_ACC5,
+            corpus: std::path::PathBuf::from("tests/regressions"),
+            max_inputs: 5,
+            max_gates: 12,
+            symbolic: true,
+        }
+    }
+}
+
+const USAGE: &str = "\
+conform-fuzz — multi-oracle differential fuzzing for the COMPACT pipeline
+
+USAGE:
+    conform-fuzz [OPTIONS]
+
+OPTIONS:
+    --cases <N>        Fresh cases to attempt (default 256)
+    --deadline <DUR>   Wall-clock budget, e.g. 60s, 500ms, 2m, or bare
+                       seconds (default 60s); hitting it exits cleanly
+    --seed <N>         Base seed for the case stream (default 0xC0F0ACC5;
+                       decimal or 0x-hex)
+    --corpus <DIR>     Corpus directory for replay + persistence
+                       (default tests/regressions)
+    --max-inputs <N>   Primary inputs per generated network (default 5)
+    --max-gates <N>    Gate-count upper bound per network (default 12)
+    --no-symbolic      Skip the symbolic equivalence arm
+    --help             Show this help
+";
+
+/// Parses `60s` / `500ms` / `2m` / bare seconds.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    let (number, unit) = match text.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => text.split_at(i),
+        None => (text, "s"),
+    };
+    let value: f64 = number
+        .parse()
+        .map_err(|_| format!("bad duration `{text}`"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("bad duration `{text}`"));
+    }
+    let secs = match unit {
+        "ms" => value / 1000.0,
+        "s" => value,
+        "m" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("unknown duration unit `{other}` in `{text}`")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let t = text.trim().replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad number `{text}`"))
+    } else {
+        t.parse().map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--cases" => opts.cases = parse_u64(value("--cases")?)? as usize,
+            "--deadline" => opts.deadline = parse_duration(value("--deadline")?)?,
+            "--seed" => opts.seed = parse_u64(value("--seed")?)?,
+            "--corpus" => opts.corpus = value("--corpus")?.into(),
+            "--max-inputs" => opts.max_inputs = parse_u64(value("--max-inputs")?)?.max(1) as usize,
+            "--max-gates" => opts.max_gates = parse_u64(value("--max-gates")?)?.max(1) as usize,
+            "--no-symbolic" => opts.symbolic = false,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Re-checks a candidate during shrinking: any disagreement keeps it.
+fn disagrees(network: &Network, oracles: &[Box<dyn Oracle>], cfg: &DiffConfig) -> bool {
+    differential_check(network, oracles, cfg).is_err()
+}
+
+fn report_and_persist(
+    corpus: &Corpus,
+    seed: u64,
+    network: &Network,
+    disagreement: &Disagreement,
+    oracles: &[Box<dyn Oracle>],
+    cfg: &DiffConfig,
+    budget: &Budget,
+) {
+    eprintln!("conform-fuzz: DISAGREEMENT on seed {seed}");
+    eprintln!("  {disagreement}");
+    corpus.persist_seed(TEST_NAME, seed);
+    // Shrink within what's left of the deadline (at least a short grace
+    // window so a last-instant find still gets minimized a little).
+    let shrink_budget = Budget::unlimited().with_deadline(
+        budget
+            .remaining()
+            .unwrap_or(Duration::from_secs(30))
+            .max(Duration::from_secs(2)),
+    );
+    let shrunk = shrink_network(
+        network,
+        &mut |candidate| disagrees(candidate, oracles, cfg),
+        &shrink_budget,
+    );
+    eprintln!(
+        "  shrunk {} → {} gates ({} candidates tried{})",
+        network.num_gates(),
+        shrunk.network.num_gates(),
+        shrunk.candidates_tried,
+        if shrunk.budget_exhausted {
+            ", shrink budget exhausted"
+        } else {
+            ""
+        }
+    );
+    let detail = format!(
+        "{disagreement}\nshrunk from {} gates to {}",
+        network.num_gates(),
+        shrunk.network.num_gates()
+    );
+    match corpus.persist_counterexample(TEST_NAME, seed, &shrunk.network, &detail) {
+        Some(path) => eprintln!("  counterexample persisted to {}", path.display()),
+        None => eprintln!("  warning: could not persist counterexample (read-only corpus?)"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let corpus = Corpus::new(&opts.corpus);
+    let oracles = shipped_oracles(&default_gammas());
+    let cfg = DiffConfig {
+        symbolic: opts.symbolic,
+        ..DiffConfig::default()
+    };
+    let shape = NetworkGen::new(opts.max_inputs, opts.max_gates);
+    let budget = Budget::unlimited().with_deadline(opts.deadline);
+    eprintln!(
+        "conform-fuzz: {} oracles, {} cases, deadline {:?}, seed {:#x}, corpus {}",
+        oracles.len(),
+        opts.cases,
+        opts.deadline,
+        opts.seed,
+        corpus.dir().display()
+    );
+
+    // Phase 1: replay persisted counterexamples (minimal known bugs first).
+    for (path, loaded) in corpus.counterexamples(TEST_NAME) {
+        let network = match loaded {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("conform-fuzz: corrupt corpus entry {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(d) = differential_check(&network, &oracles, &cfg) {
+            eprintln!(
+                "conform-fuzz: persisted counterexample {} still disagrees:\n  {d}",
+                path.display()
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    // Phase 2: replay persisted seeds, then fresh cases, under the deadline.
+    let mut seeds = corpus.load_seeds(TEST_NAME);
+    let replayed = seeds.len();
+    let mut state = opts.seed;
+    seeds.extend((0..opts.cases).map(|_| splitmix64(&mut state)));
+
+    let mut run = 0usize;
+    for (i, seed) in seeds.iter().copied().enumerate() {
+        if budget.check().is_err() {
+            eprintln!(
+                "conform-fuzz: deadline reached after {run}/{} cases — clean so far",
+                seeds.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let network = shape.generate(&mut Rng::new(seed));
+        if let Err(d) = differential_check(&network, &oracles, &cfg) {
+            if i < replayed {
+                eprintln!("conform-fuzz: persisted seed {seed} still disagrees:\n  {d}");
+                return ExitCode::from(1);
+            }
+            report_and_persist(&corpus, seed, &network, &d, &oracles, &cfg, &budget);
+            return ExitCode::from(1);
+        }
+        run += 1;
+    }
+
+    eprintln!(
+        "conform-fuzz: OK — {run} cases ({replayed} replayed) × {} oracles agree",
+        oracles.len()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("45").unwrap(), Duration::from_secs(45));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-3s").is_err());
+    }
+
+    #[test]
+    fn args_parse() {
+        let opts = parse_args(&[
+            "--cases".into(),
+            "64".into(),
+            "--deadline".into(),
+            "5s".into(),
+            "--seed".into(),
+            "0xBEEF".into(),
+            "--no-symbolic".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.cases, 64);
+        assert_eq!(opts.deadline, Duration::from_secs(5));
+        assert_eq!(opts.seed, 0xBEEF);
+        assert!(!opts.symbolic);
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The persisted counterexample corpus.
+//!
+//! A corpus directory (the workspace uses `tests/regressions/`) holds two
+//! artifact kinds per test:
+//!
+//! - `<test>.txt` — failing case *seeds*, one per line (`#` comments
+//!   allowed). Replaying a seed regenerates the exact original circuit,
+//!   structure included, so structure-sensitive bugs stay reproducible.
+//! - `<test>.<seed>.blif` — the *shrunk* counterexample as replayable BLIF
+//!   with a provenance header. BLIF survives refactors of the generator
+//!   (the seed stream may drift when generators change; the netlist
+//!   doesn't), at the cost of normalizing gate structure through the BLIF
+//!   writer's decompositions.
+//!
+//! Harnesses replay both kinds *before* drawing fresh cases, so a fixed bug
+//! stays fixed.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use flowc_logic::{blif, Network};
+
+/// Handle on a corpus directory. Missing directories read as empty and are
+/// created on first persist.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    dir: PathBuf,
+}
+
+impl Corpus {
+    /// A corpus rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Corpus { dir: dir.into() }
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn seed_path(&self, test: &str) -> PathBuf {
+        self.dir.join(format!("{test}.txt"))
+    }
+
+    /// The persisted failing seeds for `test` (empty when none).
+    pub fn load_seeds(&self, test: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(self.seed_path(test)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.parse().ok())
+            .collect()
+    }
+
+    /// Appends `seed` to `test`'s seed file (idempotent; best-effort — a
+    /// read-only checkout must not turn a test failure into an IO panic).
+    pub fn persist_seed(&self, test: &str, seed: u64) {
+        if self.load_seeds(test).contains(&seed) {
+            return;
+        }
+        let path = self.seed_path(test);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{seed}");
+        }
+    }
+
+    /// Writes a shrunk counterexample as `<test>.<seed>.blif` with a
+    /// provenance header (seed and one-line detail as BLIF comments).
+    /// Returns the path on success; best-effort like [`Corpus::persist_seed`].
+    pub fn persist_counterexample(
+        &self,
+        test: &str,
+        seed: u64,
+        network: &Network,
+        detail: &str,
+    ) -> Option<PathBuf> {
+        let path = self.dir.join(format!("{test}.{seed}.blif"));
+        let _ = std::fs::create_dir_all(&self.dir);
+        let mut text = String::new();
+        text.push_str("# shrunk conformance counterexample — replayed before fresh cases\n");
+        text.push_str(&format!("# test: {test}\n# seed: {seed}\n"));
+        for line in detail.lines() {
+            text.push_str(&format!("# {line}\n"));
+        }
+        text.push_str(&blif::write(network));
+        std::fs::write(&path, text).ok()?;
+        Some(path)
+    }
+
+    /// Loads every persisted counterexample for `test`, sorted by path so
+    /// replay order is stable. Unparseable files are reported as `Err` so a
+    /// corrupted corpus surfaces instead of silently skipping.
+    #[allow(clippy::type_complexity)]
+    pub fn counterexamples(&self, test: &str) -> Vec<(PathBuf, Result<Network, String>)> {
+        let prefix = format!("{test}.");
+        let mut paths: Vec<PathBuf> = match std::fs::read_dir(&self.dir) {
+            Err(_) => return Vec::new(),
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "blif")
+                        && p.file_name()
+                            .and_then(|f| f.to_str())
+                            .is_some_and(|f| f.starts_with(&prefix))
+                })
+                .collect(),
+        };
+        paths.sort();
+        paths
+            .into_iter()
+            .map(|p| {
+                let net = std::fs::read_to_string(&p)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| blif::parse(&text).map_err(|e| e.to_string()));
+                (p, net)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_logic::{GateKind, Network};
+
+    fn tmp_corpus(tag: &str) -> Corpus {
+        let dir =
+            std::env::temp_dir().join(format!("flowc-conform-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Corpus::new(dir)
+    }
+
+    #[test]
+    fn seeds_roundtrip_and_deduplicate() {
+        let c = tmp_corpus("seeds");
+        assert!(c.load_seeds("t").is_empty());
+        c.persist_seed("t", 7);
+        c.persist_seed("t", 7);
+        c.persist_seed("t", 9);
+        assert_eq!(c.load_seeds("t"), vec![7, 9]);
+        let _ = std::fs::remove_dir_all(c.dir());
+    }
+
+    #[test]
+    fn counterexamples_roundtrip_with_provenance() {
+        let c = tmp_corpus("blif");
+        let mut n = Network::new("cex");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_gate(GateKind::Xor, &[a, b], "f").unwrap();
+        n.mark_output(f);
+        let path = c
+            .persist_counterexample("t", 42, &n, "oracles `sim` and `broken` disagree")
+            .expect("persist succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# seed: 42"));
+        assert!(text.contains("disagree"));
+        let loaded = c.counterexamples("t");
+        assert_eq!(loaded.len(), 1);
+        let net = loaded[0].1.as_ref().expect("parses");
+        assert_eq!(net.num_inputs(), 2);
+        // Distinct test names do not cross-match.
+        assert!(c.counterexamples("other").is_empty());
+        let _ = std::fs::remove_dir_all(c.dir());
+    }
+}

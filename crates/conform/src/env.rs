@@ -1,0 +1,98 @@
+//! Lenient handling of the harness environment variables.
+//!
+//! Two variables steer every conformance suite:
+//!
+//! - `PROPTEST_CASES` — overrides the fresh-case count per property
+//!   (regression-corpus replays always run in addition to it);
+//! - `PROPTEST_SEED` — overrides the per-test base seed for local fuzzing
+//!   (decimal or `0x`-prefixed hex; `_` separators allowed).
+//!
+//! Malformed values used to panic deep inside a test; they are now parsed
+//! leniently — a warning is printed to stderr once per read and the default
+//! takes over — so a stray `PROPTEST_CASES=many` in a CI environment can
+//! degrade a run's thoroughness but never its outcome.
+
+/// Parses a `u64` leniently: decimal or `0x` hex, `_` separators ignored.
+fn parse_u64_lenient(raw: &str) -> Option<u64> {
+    let s: String = raw.trim().chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The fresh-case count: `PROPTEST_CASES` when set and parseable, otherwise
+/// `default`. Non-numeric values warn on stderr instead of panicking.
+pub fn case_count(default: usize) -> usize {
+    match std::env::var("PROPTEST_CASES") {
+        Err(_) => default,
+        Ok(raw) => match parse_u64_lenient(&raw) {
+            Some(v) => usize::try_from(v).unwrap_or(usize::MAX),
+            None => {
+                eprintln!(
+                    "warning: PROPTEST_CASES=`{raw}` is not a number; \
+                     using the default of {default} cases"
+                );
+                default
+            }
+        },
+    }
+}
+
+/// The base-seed override: `Some` only when `PROPTEST_SEED` is set and
+/// parseable (decimal or `0x` hex). Garbage warns and falls back to the
+/// per-test seed, keeping runs deterministic.
+pub fn seed_override() -> Option<u64> {
+    match std::env::var("PROPTEST_SEED") {
+        Err(_) => None,
+        Ok(raw) => {
+            let parsed = parse_u64_lenient(&raw);
+            if parsed.is_none() {
+                eprintln!(
+                    "warning: PROPTEST_SEED=`{raw}` is not a number \
+                     (decimal or 0x-hex); using the per-test base seed"
+                );
+            }
+            parsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenient_parse_accepts_decimal_hex_and_separators() {
+        assert_eq!(parse_u64_lenient("42"), Some(42));
+        assert_eq!(parse_u64_lenient("  42  "), Some(42));
+        assert_eq!(parse_u64_lenient("0xff"), Some(255));
+        assert_eq!(parse_u64_lenient("0XFF"), Some(255));
+        assert_eq!(parse_u64_lenient("1_000_000"), Some(1_000_000));
+        assert_eq!(parse_u64_lenient("0x9E37_79B9"), Some(0x9E37_79B9));
+    }
+
+    #[test]
+    fn lenient_parse_rejects_garbage() {
+        assert_eq!(parse_u64_lenient("many"), None);
+        assert_eq!(parse_u64_lenient(""), None);
+        assert_eq!(parse_u64_lenient("-3"), None);
+        assert_eq!(parse_u64_lenient("0x"), None);
+        assert_eq!(parse_u64_lenient("1.5"), None);
+    }
+
+    #[test]
+    fn unset_vars_use_defaults() {
+        // The suite never sets these variables itself, so when the ambient
+        // environment leaves them unset the defaults must come through.
+        // (When a caller *has* set them, case_count still returns a usable
+        // number by construction, so this test is race-free either way.)
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(case_count(32), 32);
+        }
+        if std::env::var("PROPTEST_SEED").is_err() {
+            assert_eq!(seed_override(), None);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Canonical fixture circuits shared across test suites.
+//!
+//! The integration suites used to carry private copies of these (the paper's
+//! Fig. 2 function appeared in at least three files); they live here so every
+//! suite exercises the exact same circuits.
+
+use flowc_compact::{synthesize, Config};
+use flowc_logic::{GateKind, Network};
+use flowc_xbar::Crossbar;
+
+/// The running example of the COMPACT paper (Fig. 2): `f = (a ∧ b) ∨ c`.
+pub fn fig2_network() -> Network {
+    let mut n = Network::new("fig2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+    n.mark_output(f);
+    n
+}
+
+/// Fig. 2 plus its default-config synthesized crossbar — the standard
+/// subject for fault-injection tests.
+///
+/// # Panics
+///
+/// Panics if default synthesis fails on Fig. 2 (a hard regression).
+pub fn fig2_pair() -> (Network, Crossbar) {
+    let n = fig2_network();
+    let design = synthesize(&n, &Config::default()).expect("fig2 synthesizes");
+    (n, design.crossbar)
+}
+
+/// A two-output network (`a ∧ b`, `a ∨ b`) for output-ordering checks.
+pub fn two_output_network() -> Network {
+    let mut n = Network::new("two");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+    let g = n.add_gate(GateKind::Or, &[a, b], "g").unwrap();
+    n.mark_output(f);
+    n.mark_output(g);
+    n
+}
+
+/// A single-XOR network — the minimal circuit separating XOR-class
+/// miscompiles (e.g. the feature-gated `broken-oracle`) from correct
+/// oracles.
+pub fn xor2_network() -> Network {
+    let mut n = Network::new("xor2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let f = n.add_gate(GateKind::Xor, &[a, b], "f").unwrap();
+    n.mark_output(f);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_truth_table() {
+        let n = fig2_network();
+        n.validate().unwrap();
+        for bits in 0..8u32 {
+            let a = bits & 1 == 1;
+            let b = bits >> 1 & 1 == 1;
+            let c = bits >> 2 & 1 == 1;
+            assert_eq!(n.simulate(&[a, b, c]).unwrap(), vec![(a && b) || c]);
+        }
+    }
+
+    #[test]
+    fn fixtures_validate() {
+        two_output_network().validate().unwrap();
+        xor2_network().validate().unwrap();
+        let (n, xb) = fig2_pair();
+        assert_eq!(n.num_inputs(), 3);
+        assert!(xb.rows() > 0 && xb.cols() > 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Composable deterministic generators for conformance cases.
+//!
+//! Everything here is a pure function of an [`Rng`] stream, so any case can
+//! be regenerated from its seed alone. The network generator is the one the
+//! property suites have always used (promoted from
+//! `tests/property_based.rs`), kept bit-compatible so existing regression
+//! seeds keep designating the same circuits.
+
+use flowc_graph::UGraph;
+use flowc_logic::{blif, pla, GateKind, NetId, Network};
+use flowc_xbar::fault::{inject, DefectMap, DefectRates};
+
+use crate::rng::Rng;
+
+/// Shape parameters for random combinational networks.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkGen {
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Upper bound (exclusive of 1) on the gate count; at least one gate is
+    /// always created.
+    pub max_gates: usize,
+    /// Upper bound (exclusive of 1) on the output count; at least one net
+    /// is always marked.
+    pub max_outputs: usize,
+}
+
+impl Default for NetworkGen {
+    fn default() -> Self {
+        NetworkGen {
+            num_inputs: 5,
+            max_gates: 12,
+            max_outputs: 5,
+        }
+    }
+}
+
+impl NetworkGen {
+    /// A generator for networks of up to `max_gates` gates over
+    /// `num_inputs` inputs (and up to 4 outputs, the historical default).
+    pub fn new(num_inputs: usize, max_gates: usize) -> Self {
+        NetworkGen {
+            num_inputs,
+            max_gates,
+            ..Default::default()
+        }
+    }
+
+    /// Draws a random combinational network. All gate kinds are reachable;
+    /// outputs may repeat and may be primary inputs, matching everything
+    /// the BLIF/PLA parsers can produce.
+    pub fn generate(&self, rng: &mut Rng) -> Network {
+        let mut n = Network::new("random");
+        let mut nets: Vec<NetId> = (0..self.num_inputs)
+            .map(|i| n.add_input(format!("x{i}")))
+            .collect();
+        let num_gates = rng.range(1, self.max_gates.max(2));
+        for g in 0..num_gates {
+            let arity = rng.range(1, 4);
+            let operands: Vec<NetId> = (0..arity).map(|_| nets[rng.below(nets.len())]).collect();
+            let kind_sel = rng.below(7) as u8;
+            let out = match kind_sel {
+                0 => n.add_gate(GateKind::Not, &operands[..1], format!("g{g}")),
+                1 if operands.len() >= 2 => n.add_gate(GateKind::And, &operands, format!("g{g}")),
+                2 if operands.len() >= 2 => n.add_gate(GateKind::Or, &operands, format!("g{g}")),
+                3 if operands.len() >= 2 => n.add_gate(GateKind::Xor, &operands, format!("g{g}")),
+                4 if operands.len() >= 2 => n.add_gate(GateKind::Nand, &operands, format!("g{g}")),
+                5 if operands.len() >= 2 => n.add_gate(GateKind::Nor, &operands, format!("g{g}")),
+                6 if operands.len() == 3 => n.add_gate(GateKind::Mux, &operands, format!("g{g}")),
+                _ => n.add_gate(GateKind::Buf, &operands[..1], format!("g{g}")),
+            }
+            .expect("arities are satisfied by construction");
+            nets.push(out);
+        }
+        for _ in 0..rng.range(1, self.max_outputs.max(2)) {
+            let net = nets[rng.below(nets.len())];
+            n.mark_output(net);
+        }
+        debug_assert!(n.validate().is_ok(), "generator emitted an invalid network");
+        n
+    }
+}
+
+/// A random simple undirected graph over `n` vertices with expected degree
+/// up to ~6 (the regime where odd-cycle structure is rich).
+pub fn gen_graph(rng: &mut Rng, n: usize) -> UGraph {
+    let mut g = UGraph::new(n);
+    for _ in 0..rng.below(3 * n) {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A random defect map for a `rows × cols` crossbar with uniform per-class
+/// defect rate `rate`, drawn deterministically from the case stream.
+pub fn gen_defect_map(rng: &mut Rng, rows: usize, cols: usize, rate: f64) -> DefectMap {
+    inject(rows, cols, &DefectRates::uniform(rate), rng.next())
+}
+
+/// A random BLIF source: a generated network serialized through the
+/// production writer, so parser conformance cases exercise real `.names`
+/// tables (including the writer's XOR/MUX decompositions).
+pub fn gen_blif(rng: &mut Rng, shape: &NetworkGen) -> String {
+    blif::write(&shape.generate(rng))
+}
+
+/// A random PLA source, when the generated function is materializable as a
+/// minterm list (the PLA writer enumerates the onset, so wide-input shapes
+/// may decline).
+pub fn gen_pla(rng: &mut Rng, shape: &NetworkGen) -> Option<String> {
+    pla::write(&shape.generate(rng)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn networks_are_valid_and_deterministic() {
+        let shape = NetworkGen::default();
+        for seed in 0..64 {
+            let a = shape.generate(&mut Rng::new(seed));
+            let b = shape.generate(&mut Rng::new(seed));
+            a.validate().unwrap();
+            assert!(a.num_gates() >= 1 && a.num_outputs() >= 1);
+            assert_eq!(blif::write(&a), blif::write(&b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_blif_reparses_equivalently() {
+        let shape = NetworkGen::new(4, 8);
+        for seed in 0..16 {
+            let mut rng = Rng::new(seed);
+            let net = shape.generate(&mut rng);
+            let back = blif::parse(&blif::write(&net)).expect("own output parses");
+            for bits in 0..1usize << 4 {
+                let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    back.simulate(&a).unwrap(),
+                    net.simulate(&a).unwrap(),
+                    "seed {seed} assignment {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_pla_reparses_equivalently() {
+        let shape = NetworkGen::new(4, 6);
+        let mut produced = 0;
+        for seed in 0..16 {
+            let mut rng = Rng::new(seed);
+            let net = shape.generate(&mut rng);
+            let Ok(text) = pla::write(&net) else { continue };
+            produced += 1;
+            let back = pla::parse(&text).expect("own output parses");
+            for bits in 0..1usize << 4 {
+                let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(back.simulate(&a).unwrap(), net.simulate(&a).unwrap());
+            }
+        }
+        assert!(produced > 0, "PLA generation never succeeded");
+    }
+
+    #[test]
+    fn graphs_and_defect_maps_are_deterministic() {
+        let g1 = gen_graph(&mut Rng::new(11), 12);
+        let g2 = gen_graph(&mut Rng::new(11), 12);
+        assert_eq!(g1.edges(), g2.edges());
+        let d1 = gen_defect_map(&mut Rng::new(5), 8, 8, 0.05);
+        let d2 = gen_defect_map(&mut Rng::new(5), 8, 8, 0.05);
+        assert_eq!(d1.len(), d2.len());
+    }
+}

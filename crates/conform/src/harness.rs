@@ -1,0 +1,324 @@
+//! The deterministic property harness (proptest stand-in, no external
+//! deps), generalized from the in-tree harness `tests/property_based.rs`
+//! carried since PR 1.
+//!
+//! Every test derives its case seeds from a fixed per-test base seed
+//! (FNV-1a over the test name), so CI runs are reproducible bit-for-bit.
+//! `PROPTEST_CASES` overrides the fresh-case count and `PROPTEST_SEED` the
+//! base seed — both parsed leniently (see [`crate::env`]). When a corpus is
+//! attached, persisted regression seeds and shrunk counterexample netlists
+//! replay *before* any fresh case, and new failures are persisted (seed
+//! always; for network properties, also the shrunk BLIF).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use flowc_budget::Budget;
+use flowc_logic::Network;
+
+use crate::corpus::Corpus;
+use crate::gen::NetworkGen;
+use crate::rng::{splitmix64, Rng};
+use crate::shrink::shrink_network;
+
+/// FNV-1a over the test name: fixed, but distinct per test.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01B3);
+    }
+    h
+}
+
+/// A named property-check runner bound to an optional corpus.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    name: String,
+    corpus: Option<Corpus>,
+    cases: usize,
+    base_seed: u64,
+    shrink_deadline: Duration,
+}
+
+impl Harness {
+    /// A harness for the test `name`, with the case count and base seed
+    /// resolved from the environment (defaults: 32 cases, FNV-1a of the
+    /// name).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let base_seed = crate::env::seed_override().unwrap_or_else(|| fnv1a(&name));
+        Harness {
+            name,
+            corpus: None,
+            cases: crate::env::case_count(32),
+            base_seed,
+            shrink_deadline: Duration::from_secs(20),
+        }
+    }
+
+    /// Attaches a corpus directory for replay-first and persistence.
+    #[must_use]
+    pub fn with_corpus(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.corpus = Some(Corpus::new(dir));
+        self
+    }
+
+    /// Overrides the fresh-case count (the environment override still
+    /// wins at [`Harness::new`] time; this sets the post-resolution value).
+    #[must_use]
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Bounds the shrinking phase after a failure (default 20 s).
+    #[must_use]
+    pub fn with_shrink_deadline(mut self, deadline: Duration) -> Self {
+        self.shrink_deadline = deadline;
+        self
+    }
+
+    /// The test name this harness reports under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Persisted regression seeds followed by the fresh deterministic
+    /// seeds for this run.
+    pub fn seeds(&self) -> Vec<u64> {
+        let mut seeds = self
+            .corpus
+            .as_ref()
+            .map(|c| c.load_seeds(&self.name))
+            .unwrap_or_default();
+        let mut state = self.base_seed;
+        for _ in 0..self.cases {
+            seeds.push(splitmix64(&mut state));
+        }
+        seeds
+    }
+
+    /// Runs `property` on the persisted regression seeds first, then on
+    /// the fresh deterministic seeds. A failing seed is persisted before
+    /// the panic is re-raised.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the property's panic after persisting the failing seed.
+    pub fn check(&self, property: impl Fn(&mut Rng)) {
+        for seed in self.seeds() {
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut Rng::new(seed)))) {
+                self.persist_seed(seed);
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    /// Network-level property check with shrinking: generates a network
+    /// per seed, replays persisted counterexample netlists first, and on a
+    /// fresh failure delta-debugs the network to a local minimum and
+    /// persists it as replayable BLIF next to the failing seed.
+    ///
+    /// The property receives the generated network and the case RNG in its
+    /// post-generation state; during shrinking each candidate sees a clone
+    /// of that exact RNG state, so properties may draw auxiliary
+    /// randomness freely.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the property's panic after persisting seed + shrunk BLIF.
+    pub fn check_network(&self, shape: &NetworkGen, property: impl Fn(&Network, &mut Rng)) {
+        // Replay shrunk counterexamples first: they are the minimal known
+        // bugs, and they survive generator drift.
+        if let Some(corpus) = &self.corpus {
+            for (path, loaded) in corpus.counterexamples(&self.name) {
+                let network = match loaded {
+                    Ok(n) => n,
+                    Err(e) => panic!("corrupt corpus entry {}: {e}", path.display()),
+                };
+                let replay_seed = seed_from_corpus_path(&path).unwrap_or(0);
+                let mut rng = Rng::new(replay_seed);
+                if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&network, &mut rng)))
+                {
+                    eprintln!(
+                        "property `{}` fails on persisted counterexample {}",
+                        self.name,
+                        path.display()
+                    );
+                    resume_unwind(panic);
+                }
+            }
+        }
+        for seed in self.seeds() {
+            let mut rng = Rng::new(seed);
+            let network = shape.generate(&mut rng);
+            let post_gen = rng.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = post_gen.clone();
+                property(&network, &mut rng)
+            }));
+            if let Err(panic) = outcome {
+                self.persist_seed(seed);
+                self.shrink_and_persist(seed, &network, &post_gen, &property);
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    fn persist_seed(&self, seed: u64) {
+        let Some(corpus) = &self.corpus else {
+            eprintln!(
+                "property `{}` failed with seed {seed} (no corpus attached; \
+                 re-run with PROPTEST_SEED={seed} PROPTEST_CASES=1)",
+                self.name
+            );
+            return;
+        };
+        corpus.persist_seed(&self.name, seed);
+        eprintln!(
+            "property `{}` failed with seed {seed} (persisted to {})",
+            self.name,
+            corpus.dir().join(format!("{}.txt", self.name)).display()
+        );
+    }
+
+    fn shrink_and_persist(
+        &self,
+        seed: u64,
+        network: &Network,
+        post_gen: &Rng,
+        property: &impl Fn(&Network, &mut Rng),
+    ) {
+        let Some(corpus) = &self.corpus else { return };
+        // Shrinking re-runs the failing property dozens of times; silence
+        // the default panic hook's per-candidate backtrace spam for the
+        // duration (the original failure has already been reported).
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let budget = Budget::unlimited().with_deadline(self.shrink_deadline);
+        let mut still_fails = |candidate: &Network| -> bool {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = post_gen.clone();
+                property(candidate, &mut rng)
+            }))
+            .is_err()
+        };
+        let shrunk = shrink_network(network, &mut still_fails, &budget);
+        std::panic::set_hook(previous_hook);
+        let detail = format!(
+            "shrunk from {} gates to {} in {} steps ({} candidates{})",
+            network.num_gates(),
+            shrunk.network.num_gates(),
+            shrunk.steps,
+            shrunk.candidates_tried,
+            if shrunk.budget_exhausted {
+                "; shrink budget exhausted"
+            } else {
+                ""
+            }
+        );
+        if let Some(path) =
+            corpus.persist_counterexample(&self.name, seed, &shrunk.network, &detail)
+        {
+            eprintln!(
+                "property `{}`: {detail}; counterexample persisted to {}",
+                self.name,
+                path.display()
+            );
+        }
+    }
+}
+
+/// Extracts the seed from a `<test>.<seed>.blif` corpus path.
+fn seed_from_corpus_path(path: &std::path::Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    stem.rsplit('.').next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_logic::GateKind;
+
+    fn tmp_corpus(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flowc-conform-harness-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn passing_properties_leave_no_corpus_writes() {
+        let dir = tmp_corpus("pass");
+        Harness::new("always_passes")
+            .with_cases(8)
+            .with_corpus(&dir)
+            .check(|rng| {
+                assert!(rng.below(10) < 10);
+            });
+        assert!(
+            Corpus::new(&dir).load_seeds("always_passes").is_empty(),
+            "no seeds persisted for a passing property"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_network_property_persists_seed_and_shrunk_blif() {
+        let dir = tmp_corpus("fail");
+        let harness = Harness::new("xor_free")
+            .with_cases(64)
+            .with_corpus(&dir)
+            .with_shrink_deadline(Duration::from_secs(10));
+        let shape = NetworkGen::new(5, 12);
+        let property = |n: &Network, _rng: &mut Rng| {
+            assert!(
+                n.gates().iter().all(|g| g.kind != GateKind::Xor),
+                "network contains an XOR gate"
+            );
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            harness.check_network(&shape, property);
+        }));
+        assert!(outcome.is_err(), "some seed must generate an XOR gate");
+        let corpus = Corpus::new(&dir);
+        let seeds = corpus.load_seeds("xor_free");
+        assert_eq!(seeds.len(), 1, "exactly the failing seed is persisted");
+        let cexs = corpus.counterexamples("xor_free");
+        assert_eq!(cexs.len(), 1, "the shrunk netlist is persisted");
+        // Replay must hit the persisted counterexample before fresh cases —
+        // even with zero fresh cases configured.
+        let replay = catch_unwind(AssertUnwindSafe(|| {
+            Harness::new("xor_free")
+                .with_cases(0)
+                .with_corpus(&dir)
+                .check_network(&shape, property);
+        }));
+        assert!(replay.is_err(), "replay must re-trigger the failure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_is_parsed_from_corpus_paths() {
+        assert_eq!(
+            seed_from_corpus_path(std::path::Path::new("a/b/test_name.12345.blif")),
+            Some(12345)
+        );
+        assert_eq!(
+            seed_from_corpus_path(std::path::Path::new("a/plain.blif")),
+            None
+        );
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        let a = Harness::new("some_test").with_cases(4).seeds();
+        let b = Harness::new("some_test").with_cases(4).seeds();
+        let c = Harness::new("other_test").with_cases(4).seeds();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

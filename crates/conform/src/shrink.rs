@@ -1,0 +1,390 @@
+//! Delta-debugging shrinker for failing networks.
+//!
+//! Given a network on which a predicate fails, the shrinker greedily
+//! applies structure-reducing rewrites — drop an output, delete a gate
+//! (rewiring its uses to one of its operands), drop an operand of a wide
+//! gate, prune logic unreachable from the outputs — re-running the
+//! predicate after each candidate and keeping every reduction that still
+//! fails. The result is a locally minimal counterexample: no single rewrite
+//! can shrink it further.
+//!
+//! Candidates are materialized through [`flowc_logic::Network`]'s checked
+//! constructors and validated before the predicate ever sees them, so a
+//! shrunk netlist can never contain dangling `NetId`s.
+
+use flowc_budget::Budget;
+use flowc_logic::{GateKind, NetId, Network};
+
+/// The outcome of a shrink run.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The locally minimal failing network.
+    pub network: Network,
+    /// Accepted reduction steps.
+    pub steps: usize,
+    /// Candidates evaluated (accepted + rejected).
+    pub candidates_tried: usize,
+    /// Whether the budget expired before reaching a local minimum.
+    pub budget_exhausted: bool,
+}
+
+/// A mutable intermediate representation: signals are inputs first, then
+/// one per gate, and gates may only reference earlier signals — exactly the
+/// invariant `Network` enforces, kept explicit so rewrites stay total.
+#[derive(Debug, Clone)]
+struct Ir {
+    name: String,
+    num_inputs: usize,
+    /// Gate `g` drives signal `num_inputs + g`.
+    gates: Vec<(GateKind, Vec<usize>)>,
+    outputs: Vec<usize>,
+}
+
+impl Ir {
+    fn from_network(network: &Network) -> Ir {
+        // Map net ids to signal indices. Inputs keep their input order;
+        // gate outputs follow in gate order (inputs and gates may interleave
+        // in net-id space, e.g. after BLIF parsing).
+        let mut signal_of = vec![usize::MAX; network.num_nets()];
+        for (i, &net) in network.inputs().iter().enumerate() {
+            signal_of[net.index()] = i;
+        }
+        let base = network.num_inputs();
+        for (g, gate) in network.gates().iter().enumerate() {
+            signal_of[gate.output.index()] = base + g;
+        }
+        let gates = network
+            .gates()
+            .iter()
+            .map(|gate| {
+                let ops = gate.inputs.iter().map(|n| signal_of[n.index()]).collect();
+                (gate.kind, ops)
+            })
+            .collect();
+        let outputs = network
+            .outputs()
+            .iter()
+            .map(|o| signal_of[o.index()])
+            .collect();
+        Ir {
+            name: network.name().to_string(),
+            num_inputs: base,
+            gates,
+            outputs,
+        }
+    }
+
+    /// Materializes through the checked `Network` constructors. Returns
+    /// `None` when a rewrite produced an illegal arity (the caller skips
+    /// such candidates).
+    fn to_network(&self) -> Option<Network> {
+        let mut n = Network::new(self.name.clone());
+        let mut ids: Vec<NetId> = (0..self.num_inputs)
+            .map(|i| n.add_input(format!("x{i}")))
+            .collect();
+        for (g, (kind, ops)) in self.gates.iter().enumerate() {
+            let operand_ids: Vec<NetId> = ops.iter().map(|&s| ids[s]).collect();
+            let out = n.add_gate(*kind, &operand_ids, format!("g{g}")).ok()?;
+            ids.push(out);
+        }
+        if self.outputs.is_empty() {
+            return None;
+        }
+        for &o in &self.outputs {
+            n.mark_output(ids[o]);
+        }
+        debug_assert!(
+            n.validate().is_ok(),
+            "shrinker materialized an invalid network: {:?}",
+            n.validate()
+        );
+        n.validate().ok()?;
+        Some(n)
+    }
+
+    /// Drops output `idx` (keeping at least one).
+    fn drop_output(&self, idx: usize) -> Option<Ir> {
+        if self.outputs.len() <= 1 {
+            return None;
+        }
+        let mut next = self.clone();
+        next.outputs.remove(idx);
+        Some(next)
+    }
+
+    /// Deletes gate `g`, rewiring every use of its signal to `replacement`
+    /// (one of its operands, hence an earlier signal).
+    fn remove_gate(&self, g: usize, replacement: usize) -> Ir {
+        let removed = self.num_inputs + g;
+        debug_assert!(replacement < removed);
+        let map = |s: usize| -> usize {
+            if s == removed {
+                replacement
+            } else if s > removed {
+                s - 1
+            } else {
+                s
+            }
+        };
+        let mut next = self.clone();
+        next.gates.remove(g);
+        for (_, ops) in &mut next.gates {
+            for s in ops.iter_mut() {
+                *s = map(*s);
+            }
+        }
+        for s in &mut next.outputs {
+            *s = map(*s);
+        }
+        next
+    }
+
+    /// Drops operand `k` of gate `g` when the kind stays legal (n-ary kinds
+    /// with more than two operands).
+    fn drop_operand(&self, g: usize, k: usize) -> Option<Ir> {
+        let (kind, ops) = &self.gates[g];
+        let reducible = matches!(
+            kind,
+            GateKind::And
+                | GateKind::Or
+                | GateKind::Nand
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+        );
+        if !reducible || ops.len() <= 2 {
+            return None;
+        }
+        let mut next = self.clone();
+        next.gates[g].1.remove(k);
+        Some(next)
+    }
+
+    /// Removes every gate and input unreachable from the outputs. Returns
+    /// `None` when nothing is dead.
+    fn prune_dead(&self) -> Option<Ir> {
+        let total = self.num_inputs + self.gates.len();
+        let mut live = vec![false; total];
+        for &o in &self.outputs {
+            live[o] = true;
+        }
+        for g in (0..self.gates.len()).rev() {
+            if live[self.num_inputs + g] {
+                for &s in &self.gates[g].1 {
+                    live[s] = true;
+                }
+            }
+        }
+        if live.iter().all(|&l| l) {
+            return None;
+        }
+        // Keep at least one input so the network stays a function of
+        // something (zero-input networks trip nothing interesting and make
+        // assignment handling degenerate).
+        if !live[..self.num_inputs].iter().any(|&l| l) {
+            live[0] = true;
+        }
+        let mut new_index = vec![usize::MAX; total];
+        let mut next_input = 0usize;
+        for i in 0..self.num_inputs {
+            if live[i] {
+                new_index[i] = next_input;
+                next_input += 1;
+            }
+        }
+        let mut gates = Vec::new();
+        for (g, (kind, ops)) in self.gates.iter().enumerate() {
+            let s = self.num_inputs + g;
+            if live[s] {
+                new_index[s] = next_input + gates.len();
+                gates.push((*kind, ops.iter().map(|&o| new_index[o]).collect()));
+            }
+        }
+        Some(Ir {
+            name: self.name.clone(),
+            num_inputs: next_input,
+            gates,
+            outputs: self.outputs.iter().map(|&o| new_index[o]).collect(),
+        })
+    }
+}
+
+/// Shrinks `network` to a locally minimal form on which `still_fails`
+/// remains true. `still_fails` must be true for `network` itself (otherwise
+/// the input is returned unchanged). The budget bounds the whole run: on
+/// deadline/cancellation the best reduction found so far is returned with
+/// `budget_exhausted` set.
+pub fn shrink_network(
+    network: &Network,
+    still_fails: &mut dyn FnMut(&Network) -> bool,
+    budget: &Budget,
+) -> ShrinkResult {
+    let mut current = Ir::from_network(network);
+    let mut best = network.clone();
+    let mut steps = 0usize;
+    let mut candidates_tried = 0usize;
+    let mut budget_exhausted = false;
+
+    'outer: loop {
+        let mut accepted = false;
+        for candidate in candidates(&current) {
+            if budget.check().is_err() {
+                budget_exhausted = true;
+                break 'outer;
+            }
+            let Some(net) = candidate.to_network() else {
+                continue;
+            };
+            candidates_tried += 1;
+            if still_fails(&net) {
+                current = candidate;
+                best = net;
+                steps += 1;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            break;
+        }
+    }
+
+    debug_assert!(best.validate().is_ok());
+    ShrinkResult {
+        network: best,
+        steps,
+        candidates_tried,
+        budget_exhausted,
+    }
+}
+
+/// Candidate rewrites in decreasing aggressiveness: dead-logic pruning
+/// first (free), then output drops, gate deletions (later gates first, each
+/// operand as the replacement), then operand drops.
+fn candidates(ir: &Ir) -> Vec<Ir> {
+    let mut out = Vec::new();
+    if let Some(pruned) = ir.prune_dead() {
+        out.push(pruned);
+    }
+    for idx in 0..ir.outputs.len() {
+        if let Some(c) = ir.drop_output(idx) {
+            out.push(c);
+        }
+    }
+    for g in (0..ir.gates.len()).rev() {
+        let arity = ir.gates[g].1.len();
+        if arity == 0 {
+            // Constant gates have no replacement operand; deletable only
+            // once dead (handled by prune_dead).
+            continue;
+        }
+        for k in 0..arity {
+            let replacement = ir.gates[g].1[k];
+            out.push(ir.remove_gate(g, replacement));
+        }
+    }
+    for g in 0..ir.gates.len() {
+        for k in 0..ir.gates[g].1.len() {
+            if let Some(c) = ir.drop_operand(g, k) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::NetworkGen;
+    use crate::rng::Rng;
+    use flowc_logic::GateKind;
+
+    /// Predicate: the network still contains an XOR gate (the shape of the
+    /// `broken-oracle` fault).
+    fn has_xor(n: &Network) -> bool {
+        n.gates().iter().any(|g| g.kind == GateKind::Xor)
+    }
+
+    #[test]
+    fn shrinks_xor_witness_to_a_couple_of_gates() {
+        let shape = NetworkGen::new(5, 12);
+        let mut found = 0usize;
+        for seed in 0..64 {
+            let net = shape.generate(&mut Rng::new(seed));
+            if !has_xor(&net) {
+                continue;
+            }
+            found += 1;
+            let r = shrink_network(&net, &mut |n| has_xor(n), &Budget::unlimited());
+            assert!(has_xor(&r.network), "seed {seed}: shrink lost the bug");
+            r.network.validate().unwrap();
+            assert!(
+                r.network.num_gates() <= 2,
+                "seed {seed}: {} gates survive shrinking",
+                r.network.num_gates()
+            );
+            assert_eq!(r.network.num_outputs(), 1, "seed {seed}");
+            assert!(!r.budget_exhausted);
+        }
+        assert!(found >= 5, "only {found}/64 seeds produced XOR gates");
+    }
+
+    #[test]
+    fn semantic_predicate_shrinks_and_stays_valid() {
+        // Predicate: output 0 is not a constant function (any dependence on
+        // the inputs survives aggressive reduction).
+        let depends_on_inputs = |n: &Network| -> bool {
+            let k = n.num_inputs();
+            let mut seen = std::collections::HashSet::new();
+            for bits in 0..1usize << k.min(10) {
+                let a: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                seen.insert(n.simulate(&a).unwrap()[0]);
+            }
+            seen.len() > 1
+        };
+        let shape = NetworkGen::new(4, 10);
+        for seed in 0..16 {
+            let net = shape.generate(&mut Rng::new(seed));
+            if !depends_on_inputs(&net) {
+                continue;
+            }
+            let r = shrink_network(&net, &mut |n| depends_on_inputs(n), &Budget::unlimited());
+            r.network.validate().unwrap();
+            assert!(depends_on_inputs(&r.network));
+            // A single buffer/inverter over one input suffices: the minimum
+            // is tiny.
+            assert!(r.network.num_gates() <= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_original() {
+        let shape = NetworkGen::new(4, 10);
+        let net = shape.generate(&mut Rng::new(1));
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let r = shrink_network(&net, &mut |_| true, &budget);
+        assert!(r.budget_exhausted);
+        assert_eq!(r.network.num_gates(), net.num_gates());
+        assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn ir_roundtrip_preserves_semantics() {
+        let shape = NetworkGen::default();
+        for seed in 0..32 {
+            let net = shape.generate(&mut Rng::new(seed));
+            let back = Ir::from_network(&net).to_network().unwrap();
+            let k = net.num_inputs();
+            for bits in 0..1usize << k {
+                let a: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    net.simulate(&a).unwrap(),
+                    back.simulate(&a).unwrap(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}

@@ -288,7 +288,16 @@ impl Network {
 
     /// Marks an existing net as a primary output. A net may be marked more
     /// than once (multi-port outputs), matching BLIF semantics.
+    ///
+    /// Debug builds assert that `net` exists; release builds accept the id
+    /// silently and [`Network::validate`] reports it as
+    /// [`LogicError::UnknownNet`].
     pub fn mark_output(&mut self, net: NetId) {
+        debug_assert!(
+            net.index() < self.nets.len(),
+            "mark_output given dangling net id {net} (network has {} nets)",
+            self.nets.len()
+        );
         self.outputs.push(net);
     }
 
@@ -357,22 +366,69 @@ impl Network {
         }
     }
 
-    /// Validates structural invariants: every net is driven, every referenced
-    /// id exists, and outputs refer to real nets.
+    /// Validates structural invariants: every referenced id exists, every
+    /// net's recorded driver is consistent (primary inputs are driven as
+    /// inputs, gate `g`'s output is driven by gate `g`), gate arities are
+    /// legal, and gate fan-ins only reference earlier-created nets (the
+    /// acyclicity the constructors enforce).
+    ///
+    /// The constructors maintain all of these, so well-formed construction
+    /// can never fail here; the check exists for code that materializes
+    /// networks from untrusted or rewritten sources (parsers, shrinkers,
+    /// test generators), and is cheap enough to run in `debug_assert!`s.
     ///
     /// # Errors
     ///
-    /// Returns the first violated invariant.
+    /// Returns the first violated invariant: [`LogicError::UnknownNet`] for
+    /// dangling ids, [`LogicError::MultipleDrivers`] /
+    /// [`LogicError::Undriven`] for driver inconsistencies,
+    /// [`LogicError::Arity`] for illegal fan-in counts, and
+    /// [`LogicError::CombinationalCycle`] for forward references.
     pub fn validate(&self) -> Result<()> {
-        for gate in &self.gates {
+        let n = self.nets.len();
+        if self.drivers.len() != n {
+            // Internal desynchronization: some net has no driver record.
+            let name = self
+                .nets
+                .get(self.drivers.len())
+                .map_or(String::new(), |net| net.name.clone());
+            return Err(LogicError::Undriven(name));
+        }
+        for &i in &self.inputs {
+            if i.index() >= n {
+                return Err(LogicError::UnknownNet(i.index()));
+            }
+            if self.drivers[i.index()] != Driver::PrimaryInput {
+                return Err(LogicError::MultipleDrivers(self.net_name(i).to_string()));
+            }
+        }
+        for (g, gate) in self.gates.iter().enumerate() {
+            gate.kind.check_arity(gate.inputs.len())?;
+            if gate.output.index() >= n {
+                return Err(LogicError::UnknownNet(gate.output.index()));
+            }
+            if self.drivers[gate.output.index()] != Driver::Gate(g as u32) {
+                return Err(LogicError::MultipleDrivers(
+                    self.net_name(gate.output).to_string(),
+                ));
+            }
             for &i in &gate.inputs {
-                if i.index() >= self.nets.len() {
+                if i.index() >= n {
                     return Err(LogicError::UnknownNet(i.index()));
+                }
+                // Constructors only let gates read already-created nets, so
+                // a fan-in id at or past the gate's own output net is a
+                // combinational cycle (or a forward reference, its moral
+                // equivalent).
+                if i.index() >= gate.output.index() {
+                    return Err(LogicError::CombinationalCycle(
+                        self.net_name(gate.output).to_string(),
+                    ));
                 }
             }
         }
         for &o in &self.outputs {
-            if o.index() >= self.nets.len() {
+            if o.index() >= n {
                 return Err(LogicError::UnknownNet(o.index()));
             }
         }
@@ -501,6 +557,72 @@ mod tests {
     fn validate_accepts_wellformed() {
         let (n, _, _) = full_adder();
         n.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_dangling_output() {
+        // Corrupt the private field directly: public constructors cannot
+        // produce this state (mark_output debug-asserts), but validate()
+        // must still catch it for release-built untrusted paths.
+        let (mut n, _, _) = full_adder();
+        n.outputs.push(NetId(99));
+        assert!(matches!(n.validate(), Err(LogicError::UnknownNet(99))));
+    }
+
+    #[test]
+    fn validate_catches_driver_inconsistency() {
+        let (mut n, s, _) = full_adder();
+        // The XOR's output net claims to be a primary input.
+        n.drivers[s.index()] = Driver::PrimaryInput;
+        assert!(matches!(n.validate(), Err(LogicError::MultipleDrivers(_))));
+
+        let (mut n, _, _) = full_adder();
+        // An input net claims to be gate-driven.
+        let a = n.find_net("a").unwrap();
+        n.drivers[a.index()] = Driver::Gate(0);
+        assert!(matches!(n.validate(), Err(LogicError::MultipleDrivers(_))));
+    }
+
+    #[test]
+    fn validate_catches_forward_references() {
+        let (mut n, s, cout) = full_adder();
+        // Rewire the sum XOR (an early gate) to read the carry OR (a later
+        // net): a forward reference the constructors would have refused.
+        let xor = n
+            .gates
+            .iter_mut()
+            .find(|g| g.output == s)
+            .expect("sum gate exists");
+        xor.inputs[0] = cout;
+        assert!(matches!(
+            n.validate(),
+            Err(LogicError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dangling_gate_input() {
+        let (mut n, s, _) = full_adder();
+        let xor = n.gates.iter_mut().find(|g| g.output == s).unwrap();
+        xor.inputs[0] = NetId(1000);
+        assert!(matches!(n.validate(), Err(LogicError::UnknownNet(1000))));
+    }
+
+    #[test]
+    fn validate_catches_corrupted_arity() {
+        let (mut n, s, _) = full_adder();
+        let xor = n.gates.iter_mut().find(|g| g.output == s).unwrap();
+        xor.inputs.truncate(1);
+        assert!(matches!(n.validate(), Err(LogicError::Arity { .. })));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "dangling net id")]
+    fn mark_output_asserts_on_dangling_ids_in_debug() {
+        let mut n = Network::new("t");
+        n.add_input("a");
+        n.mark_output(NetId(42));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   VH-labeling (odd-cycle-transversal and weighted-MIP solvers), and
 //!   crossbar mapping;
 //! - [`baselines`]: the prior-art staircase mapping, the per-output ROBDD
-//!   flow, and a CONTRA-style MAGIC comparator.
+//!   flow, and a CONTRA-style MAGIC comparator;
+//! - [`conform`]: the conformance subsystem — multi-oracle differential
+//!   fuzzing with delta-debugging shrinking and a persisted counterexample
+//!   corpus (plus the `conform-fuzz` binary).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use flowc_baselines as baselines;
 pub use flowc_bdd as bdd;
 pub use flowc_budget as budget;
 pub use flowc_compact as compact;
+pub use flowc_conform as conform;
 pub use flowc_graph as graph;
 pub use flowc_logic as logic;
 pub use flowc_milp as milp;

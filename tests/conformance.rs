@@ -1,0 +1,172 @@
+//! End-to-end conformance: every shipped oracle must agree on seeded
+//! random cases, the shrinker must produce minimal still-failing networks,
+//! and the counterexample corpus must round-trip through BLIF. This is the
+//! in-tree slice of what `conform-fuzz` runs for longer in CI.
+
+use std::time::Duration;
+
+use flowc::budget::Budget;
+use flowc::conform::{
+    differential_check, shipped_oracles, shrink_network, DiffConfig, Harness, NetworkGen, Rng,
+};
+use flowc::logic::{blif, GateKind, Network};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+fn harness(name: &str) -> Harness {
+    Harness::new(name).with_corpus(corpus_dir())
+}
+
+#[test]
+fn all_shipped_oracles_agree_on_seeded_random_networks() {
+    // The in-tree smoke slice of the CI `conform-fuzz` acceptance run:
+    // sim, SBDD, every crossbar strategy and γ, and all three baselines
+    // must produce identical truth tables on every generated case.
+    let oracles = shipped_oracles(&[0.0, 1.0]);
+    assert!(oracles.len() >= 8, "the shipped matrix must stay wide");
+    harness("all_shipped_oracles_agree_on_seeded_random_networks")
+        .with_cases(24)
+        .check_network(&NetworkGen::new(4, 9), |network, _rng| {
+            let outcome = differential_check(network, &oracles, &DiffConfig::default())
+                .unwrap_or_else(|d| panic!("{d}"));
+            assert_eq!(outcome.oracles, oracles.len());
+            assert!(outcome.assignments > 0);
+        });
+}
+
+#[test]
+fn differential_check_reports_a_disagreement_with_provenance() {
+    // A deliberately wrong oracle: claims every output is constant false.
+    struct ZeroOracle;
+    impl flowc::conform::Oracle for ZeroOracle {
+        fn name(&self) -> String {
+            "zero".into()
+        }
+        fn table(
+            &self,
+            network: &Network,
+            assignments: &[Vec<bool>],
+        ) -> Result<Vec<Vec<bool>>, String> {
+            Ok(assignments
+                .iter()
+                .map(|_| vec![false; network.num_outputs()])
+                .collect())
+        }
+    }
+    let mut n = Network::new("or2");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let f = n.add_gate(GateKind::Or, &[a, b], "f").unwrap();
+    n.mark_output(f);
+    let mut oracles = shipped_oracles(&[0.5]);
+    oracles.push(Box::new(ZeroOracle));
+    let cfg = DiffConfig {
+        symbolic: false,
+        ..DiffConfig::default()
+    };
+    let d = differential_check(&n, &oracles, &cfg).expect_err("zero oracle must be flagged");
+    assert_eq!(d.left, "sim", "the reference oracle is always the left arm");
+    assert_eq!(d.right, "zero");
+    assert_ne!(d.left_output, d.right_output);
+    // The recorded assignment must actually witness the disagreement.
+    let sim = n.simulate(&d.assignment).unwrap();
+    assert_eq!(sim, d.left_output);
+    assert!(d.to_string().contains("zero"), "{d}");
+}
+
+#[test]
+fn shrinking_a_single_gate_failure_reaches_one_gate() {
+    // Failure condition: "some output depends on an Xor gate". The minimal
+    // network satisfying it has exactly one gate; greedy delta debugging
+    // must find it no matter how much irrelevant structure surrounds it.
+    let mut rng = Rng::new(0xD1FF_0000_0000_0001);
+    let gen = NetworkGen::new(4, 10);
+    let mut shrunk_sizes = Vec::new();
+    for _ in 0..32 {
+        let network = gen.generate(&mut rng);
+        let has_xor = |n: &Network| n.gates().iter().any(|g| g.kind == GateKind::Xor);
+        if !has_xor(&network) {
+            continue;
+        }
+        let result = shrink_network(&network, &mut |c| has_xor(c), &Budget::unlimited());
+        assert!(has_xor(&result.network), "shrunk case must still fail");
+        assert!(result.network.num_gates() <= network.num_gates());
+        shrunk_sizes.push(result.network.num_gates());
+    }
+    assert!(!shrunk_sizes.is_empty(), "the seed must produce Xor cases");
+    assert!(
+        shrunk_sizes.iter().all(|&g| g == 1),
+        "an Xor-presence failure always shrinks to one gate, got {shrunk_sizes:?}"
+    );
+}
+
+#[test]
+fn shrinking_respects_its_deadline() {
+    let mut rng = Rng::new(0xD1FF_0000_0000_0002);
+    let network = NetworkGen::new(5, 12).generate(&mut rng);
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let result = shrink_network(&network, &mut |_| true, &budget);
+    assert!(result.budget_exhausted);
+    assert_eq!(
+        result.steps, 0,
+        "a zero deadline must not accept any candidate"
+    );
+}
+
+#[test]
+fn shrunk_counterexamples_round_trip_through_blif() {
+    // The corpus persists shrunk cases as BLIF; a written-then-parsed
+    // network must compute the same function, or replays are meaningless.
+    let mut rng = Rng::new(0xD1FF_0000_0000_0003);
+    let gen = NetworkGen::new(4, 8);
+    for _ in 0..16 {
+        let network = gen.generate(&mut rng);
+        let result = shrink_network(
+            &network,
+            &mut |c| c.num_gates() >= 1,
+            &Budget::unlimited().with_deadline(Duration::from_secs(10)),
+        );
+        let text = blif::write(&result.network);
+        let reparsed = blif::parse(&text).expect("shrunk output must be valid BLIF");
+        assert_eq!(reparsed.num_inputs(), result.network.num_inputs());
+        let k = reparsed.num_inputs();
+        for bits in 0..1usize << k {
+            let a: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                reparsed.simulate(&a).unwrap(),
+                result.network.simulate(&a).unwrap(),
+                "BLIF round-trip changed the function"
+            );
+        }
+    }
+}
+
+#[test]
+fn persisted_seed_corpus_is_replayed_before_fresh_cases() {
+    // A harness pointed at a corpus directory containing a persisted seed
+    // must replay that exact seed first, even with zero fresh cases.
+    let dir = std::env::temp_dir().join(format!(
+        "flowc-conformance-replay-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = flowc::conform::Corpus::new(&dir);
+    corpus.persist_seed("persisted_seed_corpus_is_replayed_before_fresh_cases", 42);
+    let seen = std::cell::Cell::new(0usize);
+    Harness::new("persisted_seed_corpus_is_replayed_before_fresh_cases")
+        .with_corpus(&dir)
+        .with_cases(0)
+        .check_network(&NetworkGen::default(), |network, _rng| {
+            // Regenerating from the persisted seed must be deterministic:
+            // the replayed network equals a fresh generation from seed 42.
+            let mut replay = Rng::new(42);
+            let expected = NetworkGen::default().generate(&mut replay);
+            assert_eq!(blif::write(network), blif::write(&expected));
+            seen.set(seen.get() + 1);
+        });
+    assert_eq!(seen.get(), 1, "exactly the one persisted seed runs");
+    let _ = std::fs::remove_dir_all(&dir);
+}

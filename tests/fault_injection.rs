@@ -10,22 +10,10 @@ use std::time::{Duration, Instant};
 use flowc::budget::{Budget, BudgetExceeded};
 use flowc::compact::supervisor::{synthesize_with_budget, Rung, Trigger};
 use flowc::compact::{synthesize, Config};
+use flowc::conform::fixtures::{fig2_network, fig2_pair, two_output_network};
 use flowc::logic::bench_suite;
-use flowc::logic::{GateKind, Network};
 use flowc::xbar::verify::verify_functional;
 use flowc::xbar::{Crossbar, DeviceAssignment};
-
-fn fig2_pair() -> (Network, Crossbar) {
-    let mut n = Network::new("fig2");
-    let a = n.add_input("a");
-    let b = n.add_input("b");
-    let c = n.add_input("c");
-    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
-    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
-    n.mark_output(f);
-    let design = synthesize(&n, &Config::default()).unwrap();
-    (n, design.crossbar)
-}
 
 #[test]
 fn every_stuck_open_literal_fault_is_caught_on_fig2() {
@@ -155,13 +143,7 @@ fn wrong_input_port_is_caught() {
 
 #[test]
 fn swapped_outputs_are_caught_on_multi_output_designs() {
-    let mut n = Network::new("two");
-    let a = n.add_input("a");
-    let b = n.add_input("b");
-    let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
-    let g = n.add_gate(GateKind::Or, &[a, b], "g").unwrap();
-    n.mark_output(f);
-    n.mark_output(g);
+    let n = two_output_network();
     let design = synthesize(&n, &Config::default()).unwrap();
     // Rebind the ports in swapped order on a fresh crossbar clone.
     let mut swapped = design.crossbar.clone();
@@ -182,17 +164,6 @@ fn swapped_outputs_are_caught_on_multi_output_designs() {
 // ---------------------------------------------------------------------------
 // Supervisor fault injection: damaged budgets and panicking solvers.
 // ---------------------------------------------------------------------------
-
-fn fig2_network() -> Network {
-    let mut n = Network::new("fig2");
-    let a = n.add_input("a");
-    let b = n.add_input("b");
-    let c = n.add_input("c");
-    let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
-    let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
-    n.mark_output(f);
-    n
-}
 
 #[test]
 fn zero_deadline_yields_a_degraded_but_valid_crossbar() {

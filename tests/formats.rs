@@ -3,21 +3,13 @@
 //! their semantics — and therefore their synthesized crossbars — intact.
 
 use flowc::bdd::build_sbdd;
+use flowc::conform::Rng;
 use flowc::logic::{bench_suite, blif, pla, verilog, Network};
 
 fn random_assignments(n: usize, count: usize) -> Vec<Vec<bool>> {
-    let mut seed = 0xF0F0_1234_5678_9ABCu64 ^ (n as u64);
+    let mut rng = Rng::new(0xF0F0_1234_5678_9ABC ^ (n as u64));
     (0..count)
-        .map(|_| {
-            (0..n)
-                .map(|_| {
-                    seed ^= seed << 13;
-                    seed ^= seed >> 7;
-                    seed ^= seed << 17;
-                    seed & 1 == 1
-                })
-                .collect()
-        })
+        .map(|_| (0..n).map(|_| rng.coin()).collect())
         .collect()
 }
 

@@ -3,184 +3,35 @@
 //! random graphs yield valid transversals and labelings; format round-trips
 //! preserve semantics.
 //!
-//! The harness is in-tree and fully deterministic: every test derives its
-//! case seeds from a fixed per-test base seed, so CI runs are reproducible
-//! bit-for-bit. `PROPTEST_CASES` overrides the case count (default 32) and
+//! The harness lives in `flowc::conform` (the crate this suite seeded): it
+//! is fully deterministic — every test derives its case seeds from a fixed
+//! per-test base seed, so CI runs are reproducible bit-for-bit.
+//! `PROPTEST_CASES` overrides the case count (default 32) and
 //! `PROPTEST_SEED` overrides the base seed for local fuzzing. Failing case
 //! seeds are persisted to `tests/regressions/<test>.txt` and replayed first
-//! on every subsequent run.
+//! on every subsequent run; network-shaped failures are also shrunk and
+//! persisted as replayable BLIF.
 
 use std::collections::HashSet;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use flowc::compact::pipeline::{synthesize, Config, VhStrategy};
 use flowc::compact::BddGraph;
+use flowc::conform::gen::gen_graph;
+use flowc::conform::{Harness, NetworkGen, Rng};
 use flowc::graph::{odd_cycle_transversal, two_color, ColorResult, OctConfig, UGraph};
-use flowc::logic::{GateKind, NetId, Network};
+use flowc::logic::Network;
 
-// ---------------------------------------------------------------------------
-// Deterministic property harness (proptest stand-in; no external deps).
-// ---------------------------------------------------------------------------
-
-/// splitmix64 — every case gets a statistically independent stream from a
-/// sequential seed.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
 }
 
-/// A deterministic case-local RNG.
-pub struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed)
-    }
-
-    fn next(&mut self) -> u64 {
-        splitmix64(&mut self.0)
-    }
-
-    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
-    fn below(&mut self, bound: usize) -> usize {
-        (self.next() % bound as u64) as usize
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    fn range(&mut self, lo: usize, hi: usize) -> usize {
-        lo + self.below(hi - lo)
-    }
+fn harness(name: &str) -> Harness {
+    Harness::new(name).with_corpus(corpus_dir())
 }
 
-fn case_count() -> usize {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32)
-}
-
-fn base_seed(test_name: &str) -> u64 {
-    if let Ok(s) = std::env::var("PROPTEST_SEED") {
-        if let Ok(v) = s.parse() {
-            return v;
-        }
-    }
-    // FNV-1a over the test name: fixed, but distinct per test.
-    let mut h = 0xCBF29CE484222325u64;
-    for b in test_name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001B3);
-    }
-    h
-}
-
-fn regression_path(test_name: &str) -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/regressions")
-        .join(format!("{test_name}.txt"))
-}
-
-fn load_regression_seeds(test_name: &str) -> Vec<u64> {
-    let Ok(text) = std::fs::read_to_string(regression_path(test_name)) else {
-        return Vec::new();
-    };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| l.parse().ok())
-        .collect()
-}
-
-fn persist_regression_seed(test_name: &str, seed: u64) {
-    let path = regression_path(test_name);
-    if load_regression_seeds(test_name).contains(&seed) {
-        return;
-    }
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    {
-        let _ = writeln!(f, "{seed}");
-    }
-}
-
-/// Runs `property` on the persisted regression seeds first, then on
-/// `PROPTEST_CASES` fresh deterministic seeds. A failing seed is persisted
-/// before the panic is re-raised.
-fn check(test_name: &str, property: impl Fn(&mut Rng)) {
-    let mut seeds = load_regression_seeds(test_name);
-    let mut state = base_seed(test_name);
-    for _ in 0..case_count() {
-        seeds.push(splitmix64(&mut state));
-    }
-    for seed in seeds {
-        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut Rng::new(seed)))) {
-            persist_regression_seed(test_name, seed);
-            eprintln!(
-                "property `{test_name}` failed with seed {seed} \
-                 (persisted to tests/regressions/{test_name}.txt)"
-            );
-            resume_unwind(panic);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Generators.
-// ---------------------------------------------------------------------------
-
-/// A random combinational network over `num_inputs` inputs with up to
-/// `max_gates` gates and up to 4 outputs.
-fn gen_network(rng: &mut Rng, num_inputs: usize, max_gates: usize) -> Network {
-    let mut n = Network::new("random");
-    let mut nets: Vec<NetId> = (0..num_inputs)
-        .map(|i| n.add_input(format!("x{i}")))
-        .collect();
-    let num_gates = rng.range(1, max_gates);
-    for g in 0..num_gates {
-        let arity = rng.range(1, 4);
-        let operands: Vec<NetId> = (0..arity).map(|_| nets[rng.below(nets.len())]).collect();
-        let kind_sel = rng.below(7) as u8;
-        let out = match kind_sel {
-            0 => n.add_gate(GateKind::Not, &operands[..1], format!("g{g}")),
-            1 if operands.len() >= 2 => n.add_gate(GateKind::And, &operands, format!("g{g}")),
-            2 if operands.len() >= 2 => n.add_gate(GateKind::Or, &operands, format!("g{g}")),
-            3 if operands.len() >= 2 => n.add_gate(GateKind::Xor, &operands, format!("g{g}")),
-            4 if operands.len() >= 2 => n.add_gate(GateKind::Nand, &operands, format!("g{g}")),
-            5 if operands.len() >= 2 => n.add_gate(GateKind::Nor, &operands, format!("g{g}")),
-            6 if operands.len() == 3 => n.add_gate(GateKind::Mux, &operands, format!("g{g}")),
-            _ => n.add_gate(GateKind::Buf, &operands[..1], format!("g{g}")),
-        }
-        .expect("arities are satisfied by construction");
-        nets.push(out);
-    }
-    for _ in 0..rng.range(1, 5) {
-        let net = nets[rng.below(nets.len())];
-        n.mark_output(net);
-    }
-    n
-}
-
-/// A random simple undirected graph over `n` vertices.
-fn gen_graph(rng: &mut Rng, n: usize) -> UGraph {
-    let mut g = UGraph::new(n);
-    for _ in 0..rng.below(3 * n) {
-        let u = rng.below(n);
-        let v = rng.below(n);
-        if u != v {
-            g.add_edge(u, v);
-        }
-    }
-    g
+fn gen_small_graph(rng: &mut Rng, n: usize) -> UGraph {
+    gen_graph(rng, n)
 }
 
 fn exhaustive_equiv(network: &Network, crossbar: &flowc::xbar::Crossbar) -> Result<(), String> {
@@ -202,12 +53,11 @@ fn exhaustive_equiv(network: &Network, crossbar: &flowc::xbar::Crossbar) -> Resu
 
 #[test]
 fn synthesized_crossbars_are_equivalent_to_their_networks() {
-    check(
-        "synthesized_crossbars_are_equivalent_to_their_networks",
-        |rng| {
-            let network = gen_network(rng, 5, 12);
-            let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
-            exhaustive_equiv(&network, &r.crossbar).unwrap();
+    harness("synthesized_crossbars_are_equivalent_to_their_networks").check_network(
+        &NetworkGen::new(5, 12),
+        |network, _rng| {
+            let r = synthesize(network, &Config::default()).expect("synthesis succeeds");
+            exhaustive_equiv(network, &r.crossbar).unwrap();
             // Cost-model invariants.
             assert_eq!(r.stats.semiperimeter, r.stats.rows + r.stats.cols);
             assert_eq!(r.stats.max_dimension, r.stats.rows.max(r.stats.cols));
@@ -219,36 +69,37 @@ fn synthesized_crossbars_are_equivalent_to_their_networks() {
 
 #[test]
 fn min_semiperimeter_strategy_is_equivalent_too() {
-    check("min_semiperimeter_strategy_is_equivalent_too", |rng| {
-        let network = gen_network(rng, 4, 10);
-        let cfg = Config {
-            strategy: VhStrategy::MinSemiperimeter {
-                time_limit: Duration::from_secs(5),
-            },
-            ..Config::default()
-        };
-        let r = synthesize(&network, &cfg).expect("synthesis succeeds");
-        exhaustive_equiv(&network, &r.crossbar).unwrap();
-    });
+    harness("min_semiperimeter_strategy_is_equivalent_too").check_network(
+        &NetworkGen::new(4, 10),
+        |network, _rng| {
+            let cfg = Config {
+                strategy: VhStrategy::MinSemiperimeter {
+                    time_limit: Duration::from_secs(5),
+                },
+                ..Config::default()
+            };
+            let r = synthesize(network, &cfg).expect("synthesis succeeds");
+            exhaustive_equiv(network, &r.crossbar).unwrap();
+        },
+    );
 }
 
 #[test]
 fn heuristic_strategy_is_equivalent_and_never_beats_exact_s() {
-    check(
-        "heuristic_strategy_is_equivalent_and_never_beats_exact_s",
-        |rng| {
-            let network = gen_network(rng, 4, 10);
+    harness("heuristic_strategy_is_equivalent_and_never_beats_exact_s").check_network(
+        &NetworkGen::new(4, 10),
+        |network, _rng| {
             let heuristic = synthesize(
-                &network,
+                network,
                 &Config {
                     strategy: VhStrategy::Heuristic { gamma: 0.5 },
                     ..Config::default()
                 },
             )
             .expect("synthesis succeeds");
-            exhaustive_equiv(&network, &heuristic.crossbar).unwrap();
+            exhaustive_equiv(network, &heuristic.crossbar).unwrap();
             let exact = synthesize(
-                &network,
+                network,
                 &Config {
                     strategy: VhStrategy::MinSemiperimeter {
                         time_limit: Duration::from_secs(5),
@@ -271,8 +122,8 @@ fn heuristic_strategy_is_equivalent_and_never_beats_exact_s() {
 
 #[test]
 fn oct_makes_random_graphs_bipartite() {
-    check("oct_makes_random_graphs_bipartite", |rng| {
-        let g = gen_graph(rng, 14);
+    harness("oct_makes_random_graphs_bipartite").check(|rng| {
+        let g = gen_small_graph(rng, 14);
         let r = odd_cycle_transversal(
             &g,
             &OctConfig {
@@ -290,11 +141,10 @@ fn oct_makes_random_graphs_bipartite() {
 
 #[test]
 fn bdd_graph_edges_have_literals_and_no_zero_terminal() {
-    check(
-        "bdd_graph_edges_have_literals_and_no_zero_terminal",
-        |rng| {
-            let network = gen_network(rng, 5, 12);
-            let bdds = flowc::bdd::build_sbdd(&network, None);
+    harness("bdd_graph_edges_have_literals_and_no_zero_terminal").check_network(
+        &NetworkGen::new(5, 12),
+        |network, _rng| {
+            let bdds = flowc::bdd::build_sbdd(network, None);
             let g = BddGraph::from_bdds(&bdds);
             // Every edge is labelled.
             assert_eq!(g.labels.len(), g.num_edges());
@@ -313,139 +163,57 @@ fn bdd_graph_edges_have_literals_and_no_zero_terminal() {
 
 #[test]
 fn blif_roundtrip_preserves_semantics() {
-    check("blif_roundtrip_preserves_semantics", |rng| {
-        let network = gen_network(rng, 4, 10);
-        let text = flowc::logic::blif::write(&network);
-        let back = flowc::logic::blif::parse(&text).expect("own output parses");
-        for bits in 0..1usize << 4 {
-            let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
-            assert_eq!(
-                back.simulate(&assignment).expect("simulates"),
-                network.simulate(&assignment).expect("simulates")
-            );
-        }
-    });
+    harness("blif_roundtrip_preserves_semantics").check_network(
+        &NetworkGen::new(4, 10),
+        |network, _rng| {
+            let text = flowc::logic::blif::write(network);
+            let back = flowc::logic::blif::parse(&text).expect("own output parses");
+            for bits in 0..1usize << 4 {
+                let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    back.simulate(&assignment).expect("simulates"),
+                    network.simulate(&assignment).expect("simulates")
+                );
+            }
+        },
+    );
 }
 
 #[test]
 fn nor_decomposition_is_equivalent() {
-    check("nor_decomposition_is_equivalent", |rng| {
-        let network = gen_network(rng, 5, 12);
-        let nor = flowc::baselines::magic::NorNetlist::from_network(&network);
-        for bits in 0..1usize << 5 {
-            let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
-            assert_eq!(
-                nor.eval(&assignment),
-                network.simulate(&assignment).expect("simulates")
-            );
-        }
-    });
+    harness("nor_decomposition_is_equivalent").check_network(
+        &NetworkGen::new(5, 12),
+        |network, _rng| {
+            let nor = flowc::baselines::magic::NorNetlist::from_network(network);
+            for bits in 0..1usize << 5 {
+                let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(
+                    nor.eval(&assignment),
+                    network.simulate(&assignment).expect("simulates")
+                );
+            }
+        },
+    );
 }
 
 #[test]
 fn wide_crossbar_evaluation_matches_scalar() {
-    check("wide_crossbar_evaluation_matches_scalar", |rng| {
-        let network = gen_network(rng, 6, 12);
-        let r = synthesize(&network, &Config::default()).expect("synthesis succeeds");
-        // 64 random assignments, evaluated wide and lane-by-lane.
-        let k = network.num_inputs();
-        let mut words = vec![0u64; k];
-        for w in &mut words {
-            *w = rng.next();
-        }
-        let wide = r.crossbar.evaluate64(&words).expect("evaluable");
-        for lane in 0..64u64 {
-            let assignment: Vec<bool> = (0..k).map(|i| words[i] >> lane & 1 == 1).collect();
-            let scalar = r.crossbar.evaluate(&assignment).expect("evaluable");
-            for (j, &s) in scalar.iter().enumerate() {
-                assert_eq!(wide[j] >> lane & 1 == 1, s, "lane {lane} out {j}");
+    harness("wide_crossbar_evaluation_matches_scalar").check_network(
+        &NetworkGen::new(6, 12),
+        |network, rng| {
+            let r = synthesize(network, &Config::default()).expect("synthesis succeeds");
+            // 64 random assignments, evaluated wide and lane-by-lane.
+            let k = network.num_inputs();
+            let mut words = vec![0u64; k];
+            for w in &mut words {
+                *w = rng.next();
             }
-        }
-    });
-}
-
-#[test]
-fn simplify_and_binarize_preserve_synthesis() {
-    check("simplify_and_binarize_preserve_synthesis", |rng| {
-        use flowc::logic::xform::{binarize, simplify};
-        let network = gen_network(rng, 5, 10);
-        let simplified = simplify(&network).expect("valid");
-        let binary = binarize(&network).expect("valid");
-        for bits in 0..1usize << 5 {
-            let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
-            let want = network.simulate(&assignment).expect("simulates");
-            assert_eq!(simplified.simulate(&assignment).expect("simulates"), want);
-            assert_eq!(binary.simulate(&assignment).expect("simulates"), want);
-        }
-        // Canonical SBDD sizes agree across the semantic-preserving forms.
-        let base = flowc::bdd::build_sbdd(&network, None).shared_size();
-        let simp = flowc::bdd::build_sbdd(&simplified, None).shared_size();
-        let bin = flowc::bdd::build_sbdd(&binary, None).shared_size();
-        assert_eq!(base, simp);
-        assert_eq!(base, bin);
-    });
-}
-
-#[test]
-fn milp_solver_matches_brute_force_on_random_01_programs() {
-    check(
-        "milp_solver_matches_brute_force_on_random_01_programs",
-        |rng| {
-            use flowc::milp::{BranchBound, MilpError, Model, Sense};
-            let n = rng.range(2, 7);
-            let costs: Vec<i64> = (0..n).map(|_| rng.below(11) as i64 - 5).collect();
-            let mut model = Model::new();
-            let vars: Vec<_> = costs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| model.add_binary(format!("x{i}"), c as f64))
-                .collect();
-            let mut constraints = Vec::new();
-            for _ in 0..rng.below(6) {
-                let coeffs: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
-                let sense = match rng.below(3) {
-                    0 => Sense::Le,
-                    1 => Sense::Ge,
-                    _ => Sense::Eq,
-                };
-                let rhs = rng.below(11) as i64 - 4;
-                let terms: Vec<_> = vars
-                    .iter()
-                    .zip(&coeffs)
-                    .map(|(&v, &c)| (v, c as f64))
-                    .collect();
-                model.add_constraint(&terms, sense, rhs as f64);
-                constraints.push((coeffs, sense, rhs));
-            }
-            // Brute force.
-            let mut best: Option<i64> = None;
-            for mask in 0..1usize << n {
-                let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
-                    let lhs: i64 = (0..n).map(|i| coeffs[i] * ((mask >> i & 1) as i64)).sum();
-                    match sense {
-                        Sense::Le => lhs <= *rhs,
-                        Sense::Ge => lhs >= *rhs,
-                        Sense::Eq => lhs == *rhs,
-                    }
-                });
-                if feasible {
-                    let obj: i64 = (0..n).map(|i| costs[i] * ((mask >> i & 1) as i64)).sum();
-                    best = Some(best.map_or(obj, |b: i64| b.min(obj)));
-                }
-            }
-            match (BranchBound::new().solve(&model), best) {
-                (Ok(sol), Some(expect)) => {
-                    assert!(
-                        (sol.objective - expect as f64).abs() < 1e-6,
-                        "solver {} vs brute force {}",
-                        sol.objective,
-                        expect
-                    );
-                    assert!(model.is_feasible(&sol.values, 1e-6));
-                }
-                (Err(MilpError::Infeasible), None) => {}
-                (got, want) => {
-                    panic!("solver {got:?} disagrees with brute force {want:?}");
+            let wide = r.crossbar.evaluate64(&words).expect("evaluable");
+            for lane in 0..64u64 {
+                let assignment: Vec<bool> = (0..k).map(|i| words[i] >> lane & 1 == 1).collect();
+                let scalar = r.crossbar.evaluate(&assignment).expect("evaluable");
+                for (j, &s) in scalar.iter().enumerate() {
+                    assert_eq!(wide[j] >> lane & 1 == 1, s, "lane {lane} out {j}");
                 }
             }
         },
@@ -453,9 +221,96 @@ fn milp_solver_matches_brute_force_on_random_01_programs() {
 }
 
 #[test]
+fn simplify_and_binarize_preserve_synthesis() {
+    harness("simplify_and_binarize_preserve_synthesis").check_network(
+        &NetworkGen::new(5, 10),
+        |network, _rng| {
+            use flowc::logic::xform::{binarize, simplify};
+            let simplified = simplify(network).expect("valid");
+            let binary = binarize(network).expect("valid");
+            for bits in 0..1usize << 5 {
+                let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                let want = network.simulate(&assignment).expect("simulates");
+                assert_eq!(simplified.simulate(&assignment).expect("simulates"), want);
+                assert_eq!(binary.simulate(&assignment).expect("simulates"), want);
+            }
+            // Canonical SBDD sizes agree across the semantic-preserving forms.
+            let base = flowc::bdd::build_sbdd(network, None).shared_size();
+            let simp = flowc::bdd::build_sbdd(&simplified, None).shared_size();
+            let bin = flowc::bdd::build_sbdd(&binary, None).shared_size();
+            assert_eq!(base, simp);
+            assert_eq!(base, bin);
+        },
+    );
+}
+
+#[test]
+fn milp_solver_matches_brute_force_on_random_01_programs() {
+    harness("milp_solver_matches_brute_force_on_random_01_programs").check(|rng| {
+        use flowc::milp::{BranchBound, MilpError, Model, Sense};
+        let n = rng.range(2, 7);
+        let costs: Vec<i64> = (0..n).map(|_| rng.below(11) as i64 - 5).collect();
+        let mut model = Model::new();
+        let vars: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| model.add_binary(format!("x{i}"), c as f64))
+            .collect();
+        let mut constraints = Vec::new();
+        for _ in 0..rng.below(6) {
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.below(7) as i64 - 3).collect();
+            let sense = match rng.below(3) {
+                0 => Sense::Le,
+                1 => Sense::Ge,
+                _ => Sense::Eq,
+            };
+            let rhs = rng.below(11) as i64 - 4;
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(&coeffs)
+                .map(|(&v, &c)| (v, c as f64))
+                .collect();
+            model.add_constraint(&terms, sense, rhs as f64);
+            constraints.push((coeffs, sense, rhs));
+        }
+        // Brute force.
+        let mut best: Option<i64> = None;
+        for mask in 0..1usize << n {
+            let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
+                let lhs: i64 = (0..n).map(|i| coeffs[i] * ((mask >> i & 1) as i64)).sum();
+                match sense {
+                    Sense::Le => lhs <= *rhs,
+                    Sense::Ge => lhs >= *rhs,
+                    Sense::Eq => lhs == *rhs,
+                }
+            });
+            if feasible {
+                let obj: i64 = (0..n).map(|i| costs[i] * ((mask >> i & 1) as i64)).sum();
+                best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+            }
+        }
+        match (BranchBound::new().solve(&model), best) {
+            (Ok(sol), Some(expect)) => {
+                assert!(
+                    (sol.objective - expect as f64).abs() < 1e-6,
+                    "solver {} vs brute force {}",
+                    sol.objective,
+                    expect
+                );
+                assert!(model.is_feasible(&sol.values, 1e-6));
+            }
+            (Err(MilpError::Infeasible), None) => {}
+            (got, want) => {
+                panic!("solver {got:?} disagrees with brute force {want:?}");
+            }
+        }
+    });
+}
+
+#[test]
 fn vertex_cover_is_minimum_on_small_graphs() {
-    check("vertex_cover_is_minimum_on_small_graphs", |rng| {
-        let g = gen_graph(rng, 10);
+    harness("vertex_cover_is_minimum_on_small_graphs").check(|rng| {
+        let g = gen_small_graph(rng, 10);
         let r = flowc::graph::minimum_vertex_cover(
             &g,
             &flowc::graph::VcConfig {
@@ -482,4 +337,51 @@ fn vertex_cover_is_minimum_on_small_graphs() {
         assert_eq!(r.cover.len(), best);
         assert_eq!(r.lower_bound, best);
     });
+}
+
+// The old private gen_network drew its gate count as `range(1, max_gates)`
+// and its output count as `range(1, 5)`; NetworkGen must keep designating
+// the same circuits for the same seeds so persisted regression seeds stay
+// meaningful. This pins the stream layout.
+#[test]
+fn network_generator_is_bit_compatible_with_the_historical_one() {
+    use flowc::logic::{GateKind, NetId};
+    fn historical(rng: &mut Rng, num_inputs: usize, max_gates: usize) -> Network {
+        let mut n = Network::new("random");
+        let mut nets: Vec<NetId> = (0..num_inputs)
+            .map(|i| n.add_input(format!("x{i}")))
+            .collect();
+        let num_gates = rng.range(1, max_gates);
+        for g in 0..num_gates {
+            let arity = rng.range(1, 4);
+            let operands: Vec<NetId> = (0..arity).map(|_| nets[rng.below(nets.len())]).collect();
+            let kind_sel = rng.below(7) as u8;
+            let out = match kind_sel {
+                0 => n.add_gate(GateKind::Not, &operands[..1], format!("g{g}")),
+                1 if operands.len() >= 2 => n.add_gate(GateKind::And, &operands, format!("g{g}")),
+                2 if operands.len() >= 2 => n.add_gate(GateKind::Or, &operands, format!("g{g}")),
+                3 if operands.len() >= 2 => n.add_gate(GateKind::Xor, &operands, format!("g{g}")),
+                4 if operands.len() >= 2 => n.add_gate(GateKind::Nand, &operands, format!("g{g}")),
+                5 if operands.len() >= 2 => n.add_gate(GateKind::Nor, &operands, format!("g{g}")),
+                6 if operands.len() == 3 => n.add_gate(GateKind::Mux, &operands, format!("g{g}")),
+                _ => n.add_gate(GateKind::Buf, &operands[..1], format!("g{g}")),
+            }
+            .expect("arities are satisfied by construction");
+            nets.push(out);
+        }
+        for _ in 0..rng.range(1, 5) {
+            let net = nets[rng.below(nets.len())];
+            n.mark_output(net);
+        }
+        n
+    }
+    for seed in 0..128 {
+        let old = historical(&mut Rng::new(seed), 5, 12);
+        let new = NetworkGen::new(5, 12).generate(&mut Rng::new(seed));
+        assert_eq!(
+            flowc::logic::blif::write(&old),
+            flowc::logic::blif::write(&new),
+            "seed {seed} designates different circuits"
+        );
+    }
 }

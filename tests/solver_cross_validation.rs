@@ -9,6 +9,7 @@ use flowc::bdd::build_sbdd;
 use flowc::compact::mip_method::{solve as mip_solve, MipConfig};
 use flowc::compact::oct_method::{min_semiperimeter, OctMethodConfig};
 use flowc::compact::BddGraph;
+use flowc::conform::Rng;
 use flowc::graph::lp_lower_bound;
 use flowc::logic::bench_suite;
 use flowc::logic::{GateKind, Network};
@@ -68,27 +69,21 @@ fn mip_and_oct_are_consistent_on_ctrl_at_gamma_one() {
 
 #[test]
 fn mip_and_oct_agree_on_random_functions_at_gamma_one() {
-    let mut seed = 0x5151_5151_5151_5151u64;
-    let mut rng = move || {
-        seed ^= seed << 13;
-        seed ^= seed >> 7;
-        seed ^= seed << 17;
-        seed
-    };
+    let mut rng = Rng::new(0x5151_5151_5151_5151);
     for trial in 0..8 {
         // A random 4-input, 2-output network.
         let mut n = Network::new("rand");
         let mut nets: Vec<_> = (0..4).map(|i| n.add_input(format!("x{i}"))).collect();
         for g in 0..6 {
-            let kind = match rng() % 5 {
+            let kind = match rng.below(5) {
                 0 => GateKind::And,
                 1 => GateKind::Or,
                 2 => GateKind::Xor,
                 3 => GateKind::Nand,
                 _ => GateKind::Nor,
             };
-            let a = nets[(rng() as usize) % nets.len()];
-            let b = nets[(rng() as usize) % nets.len()];
+            let a = nets[rng.below(nets.len())];
+            let b = nets[rng.below(nets.len())];
             let out = n.add_gate(kind, &[a, b], format!("g{g}")).unwrap();
             nets.push(out);
         }
