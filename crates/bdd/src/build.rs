@@ -32,6 +32,39 @@ impl NetworkBdds {
             .collect()
     }
 
+    /// A stable structural fingerprint of the forest: FNV-1a over the
+    /// variable order, every reachable node's `(var, lo, hi)` triple in
+    /// reachability order, and the root list. Two forests built by the
+    /// same deterministic construction hash identically, so the hash can
+    /// serve as an artifact identity in caches (and lets tests assert two
+    /// cache reads returned byte-identical BDDs without walking them).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01B3);
+            }
+        };
+        mix(self.vars.len() as u64);
+        for &v in &self.vars {
+            mix(v.index() as u64);
+        }
+        for r in self.manager.reachable(&self.roots) {
+            mix(r.index() as u64);
+            if !r.is_terminal() {
+                mix(self.manager.node_var(r).index() as u64);
+                mix(self.manager.node_lo(r).index() as u64);
+                mix(self.manager.node_hi(r).index() as u64);
+            }
+        }
+        mix(self.roots.len() as u64);
+        for &r in &self.roots {
+            mix(r.index() as u64);
+        }
+        h
+    }
+
     /// Evaluates every output under an input assignment (network input
     /// order), mirroring [`flowc_logic::Network::simulate`].
     pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {

@@ -1,0 +1,229 @@
+//! Session/batch synthesis benchmark: cold per-point synthesis vs a γ
+//! sweep through one shared [`Session`] (DESIGN.md §11).
+//!
+//! ```text
+//! bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...]
+//!                 [--threads N] [--out PATH]
+//! ```
+//!
+//! For each benchmark the sweep runs twice: *cold* (a fresh session per γ
+//! point, so every point rebuilds the BDD and graph) and *cached* (one
+//! session + [`flowc_compact::synthesize_batch`], so the whole sweep
+//! performs one BDD build and one graph extraction). Per-stage timings,
+//! cache hit rates, and the cold/cached walls land atomically in
+//! `results/BENCH_synthesis.json` (or `--out`). Exits non-zero on any
+//! failed synthesis or if a cached sweep recomputes a shared artifact.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowc_bench::report::{self, Json};
+use flowc_bench::{build_network, time_limit};
+use flowc_budget::Stopwatch;
+use flowc_compact::{
+    gamma_sweep_tasks, synthesize_batch, BatchConfig, Session, StageKind, StageTrace,
+};
+use flowc_logic::bench_suite;
+
+struct Options {
+    benchmarks: Vec<String>,
+    gammas: Vec<f64>,
+    threads: usize,
+    out: std::path::PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...] \
+         [--threads N] [--out PATH]"
+    );
+    exit(1);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        // The small exactly-solved circuits: big enough that a BDD build
+        // is measurable, small enough for a CI smoke step.
+        benchmarks: vec!["ctrl".into(), "int2float".into(), "router".into()],
+        gammas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        threads: 4,
+        out: std::path::PathBuf::from("results/BENCH_synthesis.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--benchmarks" => {
+                opts.benchmarks = value(&mut args, "--benchmarks")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if opts.benchmarks.is_empty() {
+                    usage();
+                }
+            }
+            "--gammas" => {
+                opts.gammas = value(&mut args, "--gammas")
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.gammas.is_empty() {
+                    usage();
+                }
+            }
+            "--threads" => {
+                opts.threads = value(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--out" => opts.out = value(&mut args, "--out").into(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn stage_json(trace: &StageTrace) -> Json {
+    Json::Arr(
+        StageKind::all()
+            .iter()
+            .filter(|&&k| trace.runs(k) > 0)
+            .map(|&k| {
+                Json::Obj(vec![
+                    ("stage".into(), Json::str(k.name())),
+                    ("runs".into(), Json::int(trace.runs(k))),
+                    ("builds".into(), Json::int(trace.builds(k))),
+                    ("hits".into(), Json::int(trace.hits(k))),
+                    (
+                        "wall_s".into(),
+                        Json::Num(trace.total_wall(k).as_secs_f64()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let opts = parse_options();
+    let budget = time_limit(10);
+    println!(
+        "Synthesis benchmark — {} benchmark(s), {} γ point(s), {} thread(s), {}s/point budget",
+        opts.benchmarks.len(),
+        opts.gammas.len(),
+        opts.threads,
+        budget.as_secs()
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for name in &opts.benchmarks {
+        let Some(b) = bench_suite::by_name(name) else {
+            eprintln!("unknown benchmark {name:?}");
+            exit(1);
+        };
+        let network = Arc::new(build_network(&b));
+        let tasks = gamma_sweep_tasks(&network, &opts.gammas, budget);
+
+        // Cold: a fresh session per point — every point pays the full
+        // BDD build and graph extraction.
+        let cold_sw = Stopwatch::unbudgeted();
+        let mut cold_bdd_wall = Duration::ZERO;
+        for task in &tasks {
+            let session = Session::default();
+            match flowc_compact::synthesize_in(&session, &network, &task.config) {
+                Ok(_) => cold_bdd_wall += session.trace().total_wall(StageKind::BddBuild),
+                Err(e) => {
+                    eprintln!("{name} {}: cold synthesis failed: {e}", task.label);
+                    failed = true;
+                }
+            }
+        }
+        let cold_wall = cold_sw.elapsed();
+
+        // Cached: one session, the whole sweep batched.
+        let session = Session::default();
+        let cached_sw = Stopwatch::unbudgeted();
+        let results = synthesize_batch(
+            &session,
+            &tasks,
+            &BatchConfig {
+                threads: opts.threads,
+                per_task_budget: None,
+            },
+        );
+        let cached_wall = cached_sw.elapsed();
+        for (task, r) in tasks.iter().zip(&results) {
+            if let Err(e) = r {
+                eprintln!("{name} {}: batched synthesis failed: {e}", task.label);
+                failed = true;
+            }
+        }
+        let trace = session.trace();
+        let cache = session.cache_stats();
+        if trace.builds(StageKind::BddBuild) > 1 || trace.builds(StageKind::GraphExtract) > 1 {
+            eprintln!(
+                "{name}: cached sweep recomputed a shared artifact ({} BDD build(s), {} extraction(s))",
+                trace.builds(StageKind::BddBuild),
+                trace.builds(StageKind::GraphExtract)
+            );
+            failed = true;
+        }
+        println!(
+            "{name:<11} cold {:>8.3}s (BDD {:>7.3}s)   cached {:>8.3}s (BDD {:>7.3}s)   hits {}/{}",
+            cold_wall.as_secs_f64(),
+            cold_bdd_wall.as_secs_f64(),
+            cached_wall.as_secs_f64(),
+            trace.total_wall(StageKind::BddBuild).as_secs_f64(),
+            cache.hits,
+            cache.hits + cache.misses,
+        );
+        rows.push(Json::Obj(vec![
+            ("benchmark".into(), Json::str(name.clone())),
+            ("cold_wall_s".into(), Json::Num(cold_wall.as_secs_f64())),
+            (
+                "cold_bdd_wall_s".into(),
+                Json::Num(cold_bdd_wall.as_secs_f64()),
+            ),
+            ("cached_wall_s".into(), Json::Num(cached_wall.as_secs_f64())),
+            (
+                "speedup".into(),
+                Json::Num(cold_wall.as_secs_f64() / cached_wall.as_secs_f64().max(1e-9)),
+            ),
+            ("stages".into(), stage_json(&trace)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::int(cache.hits)),
+                    ("misses".into(), Json::int(cache.misses)),
+                    ("entries".into(), Json::int(cache.entries)),
+                    ("evicted".into(), Json::int(cache.evicted)),
+                ]),
+            ),
+        ]));
+    }
+    let json = Json::Obj(vec![
+        (
+            "gammas".into(),
+            Json::Arr(opts.gammas.iter().map(|&g| Json::Num(g)).collect()),
+        ),
+        ("threads".into(), Json::int(opts.threads)),
+        ("time_limit_secs".into(), Json::Num(budget.as_secs_f64())),
+        ("benchmarks".into(), Json::Arr(rows)),
+    ]);
+    if let Err(e) = report::write_json(&opts.out, &json) {
+        eprintln!("writing {}: {e}", opts.out.display());
+        exit(1);
+    }
+    println!("\nwrote {}", opts.out.display());
+    if failed {
+        exit(1);
+    }
+}

@@ -3,7 +3,8 @@
 //! γ ∈ {0, 0.5, 1}, on the benchmark subset that solves within the budget
 //! (the paper likewise lists only its optimally-solved subset).
 
-use flowc_bench::{build_network, run_compact, secs, time_limit, EXACT_SET};
+use flowc_bench::{build_network, run_compact_in, secs, time_limit, EXACT_SET};
+use flowc_compact::Session;
 use flowc_logic::bench_suite;
 
 fn main() {
@@ -18,11 +19,14 @@ fn main() {
     );
     let mut s_by_gamma = vec![Vec::new(); 3];
     let mut d_by_gamma = vec![Vec::new(); 3];
+    // One session across the whole table: the three γ points of each
+    // benchmark share one BDD build and one graph extraction.
+    let session = Session::default();
     for name in EXACT_SET {
         let b = bench_suite::by_name(name).expect("registered");
         let n = build_network(&b);
         for (gi, gamma) in [0.0, 0.5, 1.0].into_iter().enumerate() {
-            let r = run_compact(&n, gamma, budget);
+            let r = run_compact_in(&session, &n, gamma, budget);
             println!(
                 "{:<11} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>8} {:>4}",
                 b.name,

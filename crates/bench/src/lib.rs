@@ -28,6 +28,7 @@
 use std::time::Duration;
 
 use flowc_compact::pipeline::{synthesize, CompactResult, Config, VhStrategy};
+use flowc_compact::{synthesize_in, Session};
 use flowc_logic::bench_suite::Benchmark;
 use flowc_logic::Network;
 
@@ -70,7 +71,29 @@ pub const HARD_SET: &[&str] = &[
 /// Panics if synthesis fails (indicates a labeling bug; surfaced loudly in
 /// the harness).
 pub fn run_compact(network: &Network, gamma: f64, budget: Duration) -> CompactResult {
-    let cfg = Config {
+    let cfg = compact_config(gamma, budget);
+    synthesize(network, &cfg).expect("synthesis must succeed on valid labelings")
+}
+
+/// [`run_compact`] through a shared [`Session`], so sweeps over γ reuse
+/// one BDD build and one graph extraction per network.
+///
+/// # Panics
+///
+/// As [`run_compact`].
+pub fn run_compact_in(
+    session: &Session,
+    network: &Network,
+    gamma: f64,
+    budget: Duration,
+) -> CompactResult {
+    let cfg = compact_config(gamma, budget);
+    synthesize_in(session, network, &cfg).expect("synthesis must succeed on valid labelings")
+}
+
+/// The harness-standard weighted configuration at `gamma`.
+pub fn compact_config(gamma: f64, budget: Duration) -> Config {
+    Config {
         strategy: VhStrategy::Weighted {
             gamma,
             time_limit: budget,
@@ -78,8 +101,7 @@ pub fn run_compact(network: &Network, gamma: f64, budget: Duration) -> CompactRe
         },
         align: true,
         var_order: None,
-    };
-    synthesize(network, &cfg).expect("synthesis must succeed on valid labelings")
+    }
 }
 
 /// Builds a benchmark's network, panicking with its name on failure.
@@ -105,7 +127,9 @@ pub fn secs(d: Duration) -> String {
 /// A registry-free timing harness for the `benches/` binaries (the image
 /// has no criterion; these benches run offline with `cargo bench`).
 pub mod timing {
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
+
+    use flowc_budget::Stopwatch;
 
     /// Per-case sample count: `FLOWC_BENCH_SAMPLES`, default 10.
     fn samples() -> usize {
@@ -125,9 +149,9 @@ pub mod timing {
         let n = samples();
         let mut times = Vec::with_capacity(n);
         for _ in 0..n {
-            let t0 = Instant::now();
+            let sw = Stopwatch::unbudgeted();
             out = f();
-            times.push(t0.elapsed());
+            times.push(sw.elapsed());
         }
         times.sort();
         let fmt = |d: Duration| {

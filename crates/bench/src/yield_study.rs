@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use flowc_budget::Budget;
 use flowc_compact::{
-    repair_placement, repair_with_resynthesis, Config, RepairConfig, RepairStrategy,
+    repair_placement, repair_with_resynthesis_in, Config, RepairConfig, RepairStrategy, Session,
 };
 use flowc_logic::Network;
 use flowc_xbar::fault::{apply_defects, inject, DefectRates};
@@ -119,6 +119,11 @@ pub fn run_campaign(
         verify_samples: cfg.verify_samples,
         ..RepairConfig::default()
     };
+    // One session for the whole campaign: every resynthesis trial perturbs
+    // the same network, so the candidate BDDs and graphs are built once and
+    // served from the cache for the remaining trials. Each trial still gets
+    // its own wall-clock deadline below.
+    let session = Session::default();
     let mut seed_stream = XorShift64::new(cfg.seed);
     rates
         .iter()
@@ -152,7 +157,8 @@ pub fn run_campaign(
                     repair_placement(network, design, &map, &repair_cfg)
                 } else {
                     let budget = Budget::unlimited().with_deadline(cfg.resynthesis_budget);
-                    repair_with_resynthesis(
+                    repair_with_resynthesis_in(
+                        &session,
                         network,
                         synth_config,
                         design,

@@ -218,6 +218,72 @@ impl Budget {
         sub.deadline = Some(self.deadline.map_or(cap, |d| d.min(cap)));
         sub
     }
+
+    /// Starts a [`Stopwatch`] against this budget. Equivalent to
+    /// [`Stopwatch::start`].
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start(self)
+    }
+}
+
+/// A budget-backed wall-clock timer: the single source of truth for both
+/// *how long a stage has run* and *whether its deadline has passed*, so the
+/// two can never drift apart (the pre-session pipeline measured elapsed
+/// time with ad-hoc `Instant::now()` pairs while deadline checks went
+/// through the [`Budget`], and the two could disagree around the cutoff).
+///
+/// A stopwatch shares the originating budget's cancellation flag and
+/// deadline; [`Stopwatch::check`] is exactly [`Budget::check`], and
+/// [`Stopwatch::lap`] reads elapsed time from the same clock.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+    budget: Budget,
+}
+
+impl Stopwatch {
+    /// Starts timing now, bound to `budget`'s deadline and cancellation.
+    pub fn start(budget: &Budget) -> Self {
+        Stopwatch {
+            start: Instant::now(),
+            budget: budget.clone(),
+        }
+    }
+
+    /// Starts timing now with no deadline (pure elapsed-time measurement).
+    pub fn unbudgeted() -> Self {
+        Stopwatch::start(&Budget::unlimited())
+    }
+
+    /// Wall-clock time since the stopwatch started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time since the last call to `lap` (or since start), and
+    /// resets the lap origin — for timing consecutive stages off one clock.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now.saturating_duration_since(self.start);
+        self.start = now;
+        lap
+    }
+
+    /// The cooperative budget checkpoint ([`Budget::check`]).
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        self.budget.check()
+    }
+
+    /// The budget this stopwatch is bound to.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Time left on the budget's deadline clamped to `cap`
+    /// ([`Budget::remaining_or`]).
+    pub fn remaining_or(&self, cap: Duration) -> Duration {
+        self.budget.remaining_or(cap)
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +359,32 @@ mod tests {
         );
         let b = b.with_deadline(Duration::ZERO);
         assert_eq!(b.remaining_or(Duration::from_secs(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn stopwatch_shares_the_budget_clock() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        let sw = b.stopwatch();
+        assert_eq!(sw.check(), Err(BudgetExceeded::Deadline));
+        assert_eq!(sw.remaining_or(Duration::from_secs(5)), Duration::ZERO);
+
+        let b = Budget::unlimited();
+        let sw = Stopwatch::start(&b);
+        assert!(sw.check().is_ok());
+        b.cancel_handle().cancel();
+        assert_eq!(sw.check(), Err(BudgetExceeded::Cancelled));
+        // Elapsed keeps counting regardless of budget state.
+        assert!(sw.elapsed() < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn stopwatch_laps_partition_elapsed_time() {
+        let mut sw = Stopwatch::unbudgeted();
+        let a = sw.lap();
+        let b = sw.lap();
+        // Laps are non-negative and restart the origin; both tiny here.
+        assert!(a + b < Duration::from_secs(60));
+        assert!(sw.elapsed() <= a + b + Duration::from_secs(60));
     }
 
     #[test]

@@ -53,12 +53,14 @@ pub fn verify_symbolic(xbar: &Crossbar, reference: &Network) -> SymbolicReport {
     let input_row = xbar.input_row().expect("crossbar must bind an input port");
 
     // Specification BDDs (shared manager; same input order as the wires).
+    // The build is owned here, so take the manager by value — cloning it
+    // would copy the whole node table and ITE cache per verification.
     let spec = build_sbdd(reference, None);
-    let mut manager = spec.manager.clone();
-    let spec_roots = spec.roots.clone();
+    let spec_vars = spec.vars;
+    let spec_roots = spec.roots;
+    let mut manager = spec.manager;
     // Literal BDDs per input, in network input order.
-    let literals: Vec<(Ref, Ref)> = spec
-        .vars
+    let literals: Vec<(Ref, Ref)> = spec_vars
         .iter()
         .map(|&v| {
             let pos = manager.var(v);
@@ -128,7 +130,7 @@ pub fn verify_symbolic(xbar: &Crossbar, reference: &Network) -> SymbolicReport {
                 .expect("differing canonical BDDs have a differing assignment");
             // Map variable order back to network input order.
             let mut assignment = vec![false; reference.num_inputs()];
-            for (input_idx, v) in spec.vars.iter().enumerate() {
+            for (input_idx, v) in spec_vars.iter().enumerate() {
                 assignment[input_idx] = witness[v.index()];
             }
             counterexamples.push(Some(assignment));

@@ -49,9 +49,11 @@ pub mod mapping;
 pub mod mip_method;
 pub mod oct_method;
 pub mod pareto;
+pub mod pass;
 pub mod pipeline;
 pub mod preprocess;
 pub mod repair;
+pub mod session;
 pub mod supervisor;
 
 pub use constrained::{synthesize_constrained, ConstraintError, SizeLimits};
@@ -60,7 +62,12 @@ pub use labeling::{Labeling, LabelingStats, VhLabel};
 pub use pipeline::{synthesize, CompactError, CompactResult, Config, VhStrategy};
 pub use preprocess::BddGraph;
 pub use repair::{
-    repair_placement, repair_with_resynthesis, RepairConfig, RepairError, RepairReport,
-    RepairStrategy, RepairedDesign,
+    repair_placement, repair_with_resynthesis, repair_with_resynthesis_in, RepairConfig,
+    RepairError, RepairReport, RepairStrategy, RepairedDesign,
+};
+pub use session::{
+    gamma_sweep_tasks, synthesize_batch, synthesize_in, synthesize_in_budgeted, ArtifactKey,
+    BatchConfig, BatchTask, CacheOutcome, CacheStats, Session, SessionConfig, StageKind,
+    StageRecord, StageTrace,
 };
 pub use supervisor::{synthesize_with_budget, DegradationReport, Rung, StageAttempt, Trigger};

@@ -4,7 +4,8 @@ use std::time::Duration;
 
 use flowc_logic::Network;
 
-use crate::pipeline::{synthesize, Config, VhStrategy};
+use crate::pipeline::{Config, VhStrategy};
+use crate::session::{synthesize_in, Session};
 
 /// One point of the sweep: the γ that produced it and the design's shape.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,8 +19,22 @@ pub struct SweepPoint {
 }
 
 /// Sweeps γ over `steps` evenly spaced values in `[0, 1]` and returns every
-/// produced design shape.
+/// produced design shape. Runs through a one-shot [`Session`], so the BDD
+/// and graph are built once and every γ point reuses them; to share the
+/// artifacts with other work too, use [`gamma_sweep_in`].
 pub fn gamma_sweep(network: &Network, steps: usize, time_limit: Duration) -> Vec<SweepPoint> {
+    gamma_sweep_in(&Session::default(), network, steps, time_limit)
+}
+
+/// [`gamma_sweep`] inside an existing [`Session`]: every γ point varies
+/// only the labeling objective, so the session serves one BDD build and
+/// one graph extraction to the whole sweep.
+pub fn gamma_sweep_in(
+    session: &Session,
+    network: &Network,
+    steps: usize,
+    time_limit: Duration,
+) -> Vec<SweepPoint> {
     let steps = steps.max(2);
     (0..steps)
         .filter_map(|i| {
@@ -35,7 +50,7 @@ pub fn gamma_sweep(network: &Network, steps: usize, time_limit: Duration) -> Vec
             };
             // The supervised pipeline only errs on internal bugs; a failed
             // γ point degrades the sweep's resolution, not the caller.
-            let r = synthesize(network, &cfg).ok()?;
+            let r = synthesize_in(session, network, &cfg).ok()?;
             Some(SweepPoint {
                 gamma,
                 rows: r.stats.rows,
@@ -189,6 +204,25 @@ mod tests {
         for w in f.windows(2) {
             assert!(w[0].rows < w[1].rows && w[0].cols > w[1].cols);
         }
+    }
+
+    #[test]
+    fn gamma_sweep_shares_one_bdd_build() {
+        use crate::session::StageKind;
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        let session = Session::default();
+        let pts = gamma_sweep_in(&session, &n, 4, Duration::from_secs(5));
+        assert_eq!(pts.len(), 4);
+        let trace = session.trace();
+        assert_eq!(trace.builds(StageKind::BddBuild), 1);
+        assert_eq!(trace.hits(StageKind::BddBuild), 3);
+        assert_eq!(trace.builds(StageKind::GraphExtract), 1);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! BDD → undirected graph → VH-labeling → crossbar.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use flowc_budget::Stopwatch;
 
 use flowc_bdd::NetworkBdds;
 use flowc_logic::Network;
@@ -177,7 +179,7 @@ pub fn synthesize_bdds(
     output_names: &[String],
     config: &Config,
 ) -> Result<CompactResult, CompactError> {
-    let start = Instant::now();
+    let sw = Stopwatch::unbudgeted();
     let graph = BddGraph::from_bdds(bdds);
     let (mut labeling, optimal, relative_gap, trace) = run_strategy(&graph, config);
     // Mapping requires wordlines on all ports even when alignment was not
@@ -196,7 +198,7 @@ pub fn synthesize_bdds(
         optimal,
         relative_gap,
         trace,
-        synthesis_time: start.elapsed(),
+        synthesis_time: sw.elapsed(),
         degradation: None,
     })
 }

@@ -79,10 +79,15 @@ impl BddGraph {
 
         let mut graph = UGraph::new(vertex_of.len());
         let mut labels = HashMap::new();
-        for (&r, &u) in &vertex_of {
+        // Insert edges in the deterministic `live` (DFS) order, not HashMap
+        // iteration order: downstream solvers tie-break equally-optimal
+        // labelings by edge order, so two builds of the same BDD must
+        // produce identically-ordered graphs.
+        for &r in &live {
             if r.is_terminal() {
                 continue;
             }
+            let u = vertex_of[&r];
             let var = m.node_var(r);
             let input = var_to_input[var.index()];
             for (child, negated) in [(m.node_hi(r), false), (m.node_lo(r), true)] {

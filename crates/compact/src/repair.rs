@@ -38,7 +38,7 @@ use flowc_xbar::verify::verify_functional;
 use flowc_xbar::{Crossbar, DeviceAssignment, XbarError};
 
 use crate::pipeline::Config;
-use crate::supervisor::synthesize_with_budget;
+use crate::session::{synthesize_in_budgeted, Session};
 
 /// Tuning knobs for the repair ladder.
 #[derive(Debug, Clone)]
@@ -542,6 +542,29 @@ pub fn repair_with_resynthesis(
     cfg: &RepairConfig,
     budget: &Budget,
 ) -> Result<RepairedDesign, RepairError> {
+    let session = Session::with_budget(budget.clone());
+    repair_with_resynthesis_in(&session, network, config, design, defects, cfg, budget)
+}
+
+/// [`repair_with_resynthesis`] inside an existing [`Session`]: candidate
+/// synthesis is bounded by `budget` (typically a fresh per-trial deadline)
+/// while the variants that keep the original variable order — the
+/// heuristic labeling — reuse the session's cached BDD and graph
+/// artifacts instead of rebuilding them every trial.
+///
+/// # Errors
+///
+/// See [`repair_with_resynthesis`].
+#[allow(clippy::too_many_arguments)]
+pub fn repair_with_resynthesis_in(
+    session: &Session,
+    network: &Network,
+    config: &Config,
+    design: &Crossbar,
+    defects: &DefectMap,
+    cfg: &RepairConfig,
+    budget: &Budget,
+) -> Result<RepairedDesign, RepairError> {
     let mut attempts = match repair_placement(network, design, defects, cfg) {
         Ok(done) => return Ok(done),
         Err(RepairError::Irreparable { attempts, .. }) => attempts,
@@ -551,7 +574,7 @@ pub fn repair_with_resynthesis(
         let action = RepairAction::Resynthesize {
             variant: variant.clone(),
         };
-        let fresh = match synthesize_with_budget(network, &alt_config, budget) {
+        let fresh = match synthesize_in_budgeted(session, network, &alt_config, budget) {
             Ok(r) => r,
             Err(e) => {
                 attempts.push(RepairAttempt {

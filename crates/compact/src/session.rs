@@ -1,0 +1,801 @@
+//! The shared synthesis `Session`: budgets, seeded randomness, per-stage
+//! statistics, and a content-addressed artifact cache for the staged
+//! COMPACT pipeline.
+//!
+//! The paper's flow (Figure 3: network → shared BDD → undirected graph →
+//! VH-labeling → crossbar) used to run as one monolithic `synthesize`
+//! call, so every caller that varied only a late stage — a γ sweep, a
+//! strategy cross-check, repair's budget-bounded resynthesis — rebuilt the
+//! BDD and graph from scratch. A [`Session`] separates the stages behind
+//! explicit, cacheable artifacts:
+//!
+//! - **BDD artifacts** ([`flowc_bdd::NetworkBdds`]) are keyed by a stable
+//!   content hash of the network structure plus the variable order.
+//! - **Graph artifacts** ([`crate::BddGraph`]) are keyed by the BDD key.
+//!
+//! Both live behind [`Arc`] handles, so a cache hit is a refcount bump —
+//! no rebuild, no deep clone. Each stage execution is recorded in a
+//! [`StageTrace`] (wall-clock, item counts, cache hit/miss), which tests
+//! and the bench harness assert on: a 5-point γ sweep through one session
+//! performs exactly **one** BDD build and one graph extraction.
+//!
+//! [`synthesize_batch`] runs many tasks (different networks, or γ /
+//! strategy points of one network) across `std::thread::scope` workers.
+//! Results come back in task order regardless of scheduling, and each
+//! task may be given a budget slice ([`BatchConfig::per_task_budget`])
+//! carved from the session budget with [`Budget::capped`].
+//!
+//! **Determinism contract.** Every stage is a deterministic function of
+//! its input artifact and configuration (no `RandomState`, seeded RNG
+//! streams only), so with solver time limits generous enough for every
+//! point to close — or with the deterministic heuristic strategies — a
+//! batch produces identical results at any thread count, in task order.
+//! Under tight wall-clock budgets the anytime solvers may stop at
+//! different incumbents run-to-run; that nondeterminism comes from the
+//! clock, not from the session or the batch machinery.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use flowc_bdd::NetworkBdds;
+use flowc_budget::Budget;
+use flowc_logic::Network;
+
+use crate::pass::{BddBuildPass, GraphExtractPass, LadderPass, NormalizePass, Pass, VerifyPass};
+use crate::pipeline::{CompactError, CompactResult, Config, VhStrategy};
+use crate::preprocess::BddGraph;
+use crate::supervisor::{DegradationReport, LadderOutcome};
+
+/// Content-addressed identity of a cached artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey(pub u64);
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a combination of key material (stage tags + upstream hashes).
+fn combine(parts: &[u64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &x in parts {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Stage tags folded into artifact keys so different stages of the same
+/// upstream content never collide.
+const TAG_BDD: u64 = 0xB00D_0001;
+const TAG_GRAPH: u64 = 0x6AA9_0002;
+
+/// The key of the BDD artifact for `network` under `var_order`.
+pub fn bdd_key(network: &Network, var_order: Option<&[usize]>) -> ArtifactKey {
+    let mut parts = vec![TAG_BDD, network.content_hash()];
+    match var_order {
+        Some(order) => {
+            parts.push(1 + order.len() as u64);
+            parts.extend(order.iter().map(|&i| i as u64));
+        }
+        None => parts.push(0),
+    }
+    ArtifactKey(combine(&parts))
+}
+
+/// The key of the graph artifact extracted from the BDD artifact `bdd`.
+pub fn graph_key(bdd: ArtifactKey) -> ArtifactKey {
+    ArtifactKey(combine(&[TAG_GRAPH, bdd.0]))
+}
+
+/// The pipeline stages a session traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StageKind {
+    /// Netlist validation and artifact-key derivation.
+    Normalize,
+    /// (Shared) BDD construction.
+    BddBuild,
+    /// BDD → undirected graph extraction.
+    GraphExtract,
+    /// VH-labeling (the supervised degradation ladder).
+    VhLabel,
+    /// Crossbar mapping of the winning labeling.
+    Map,
+    /// Functional verification of the mapped design.
+    Verify,
+}
+
+impl StageKind {
+    /// Stable lowercase stage name (used in traces and JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Normalize => "normalize",
+            StageKind::BddBuild => "bdd-build",
+            StageKind::GraphExtract => "graph-extract",
+            StageKind::VhLabel => "vh-label",
+            StageKind::Map => "map",
+            StageKind::Verify => "verify",
+        }
+    }
+
+    /// Every stage kind, in pipeline order.
+    pub fn all() -> [StageKind; 6] {
+        [
+            StageKind::Normalize,
+            StageKind::BddBuild,
+            StageKind::GraphExtract,
+            StageKind::VhLabel,
+            StageKind::Map,
+            StageKind::Verify,
+        ]
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether a stage execution was served from the artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The artifact was found in the cache; no work was done.
+    Hit,
+    /// The artifact was computed and inserted into the cache.
+    Miss,
+    /// The stage's output is not cacheable (labeling, mapping, verify).
+    Uncached,
+}
+
+/// One stage execution recorded by a session.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Which stage ran.
+    pub kind: StageKind,
+    /// Wall-clock time spent (≈0 for cache hits).
+    pub wall: Duration,
+    /// Cache interaction of this execution.
+    pub cache: CacheOutcome,
+    /// Stage-specific size figure: gates normalized, BDD nodes built,
+    /// graph nodes extracted/labeled, devices mapped, or assignments
+    /// verified.
+    pub items: usize,
+    /// The artifact key involved, when the stage is cacheable.
+    pub key: Option<ArtifactKey>,
+}
+
+/// The per-stage execution log of a session, with counter views.
+#[derive(Debug, Clone, Default)]
+pub struct StageTrace {
+    /// Every stage execution, in completion order.
+    pub records: Vec<StageRecord>,
+}
+
+impl StageTrace {
+    /// Number of times `kind` executed (cache hits included).
+    pub fn runs(&self, kind: StageKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Number of times `kind` actually computed its output (cache misses
+    /// plus uncached executions) — the figure the γ-sweep reuse tests
+    /// assert equals 1 for [`StageKind::BddBuild`].
+    pub fn builds(&self, kind: StageKind) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind && r.cache != CacheOutcome::Hit)
+            .count()
+    }
+
+    /// Number of cache hits for `kind`.
+    pub fn hits(&self, kind: StageKind) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind && r.cache == CacheOutcome::Hit)
+            .count()
+    }
+
+    /// Total wall-clock time spent in `kind`.
+    pub fn total_wall(&self, kind: StageKind) -> Duration {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.wall)
+            .sum()
+    }
+
+    /// One line per stage kind with runs, builds, hits, and wall time —
+    /// for logs and the CLI's `--gamma-sweep` summary.
+    pub fn summary(&self) -> String {
+        StageKind::all()
+            .iter()
+            .filter(|&&k| self.runs(k) > 0)
+            .map(|&k| {
+                format!(
+                    "{}: {} run(s), {} build(s), {} hit(s), {:.3}s",
+                    k,
+                    self.runs(k),
+                    self.builds(k),
+                    self.hits(k),
+                    self.total_wall(k).as_secs_f64()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Aggregate cache statistics of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache hits across all cacheable stages.
+    pub hits: usize,
+    /// Cache misses (artifact computed and stored).
+    pub misses: usize,
+    /// Artifacts currently cached.
+    pub entries: usize,
+    /// Artifacts evicted to respect the capacity bound.
+    pub evicted: usize,
+}
+
+/// Session construction parameters.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The shared resource budget for every stage run in the session.
+    pub budget: Budget,
+    /// Seed for the session's deterministic RNG stream.
+    pub seed: u64,
+    /// Maximum cached artifacts per stage kind; oldest-inserted entries
+    /// are evicted first, so long-running consumers (the conform fuzzer
+    /// pushes thousands of distinct networks through one session) stay
+    /// bounded in memory.
+    pub cache_capacity: usize,
+    /// When set, every synthesized design is functionally verified on
+    /// this many assignments as a traced [`StageKind::Verify`] stage; a
+    /// mismatch is a [`CompactError::Synthesis`] (an internal bug, never
+    /// a budget condition).
+    pub verify_samples: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            budget: Budget::unlimited(),
+            seed: 0xC0AC_7000_5EED,
+            cache_capacity: 64,
+            verify_samples: None,
+        }
+    }
+}
+
+/// A bounded insertion-order (FIFO) artifact cache.
+#[derive(Debug)]
+struct ArtifactCache<T> {
+    map: HashMap<ArtifactKey, T>,
+    order: Vec<ArtifactKey>,
+    capacity: usize,
+    evicted: usize,
+}
+
+impl<T: Clone> ArtifactCache<T> {
+    fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            map: HashMap::new(),
+            order: Vec::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn get(&self, key: ArtifactKey) -> Option<T> {
+        self.map.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: ArtifactKey, value: T) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push(key);
+            if self.order.len() > self.capacity {
+                let oldest = self.order.remove(0);
+                self.map.remove(&oldest);
+                self.evicted += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Mutable session state behind one lock: both artifact caches, the stage
+/// trace, the RNG stream, and hit/miss counters. One coarse mutex keeps
+/// lock ordering trivial; every critical section is a map probe or a
+/// record push, never a build (artifacts are computed outside the lock).
+#[derive(Debug)]
+struct SessionState {
+    bdds: ArtifactCache<Arc<NetworkBdds>>,
+    graphs: ArtifactCache<Arc<BddGraph>>,
+    trace: StageTrace,
+    rng_state: u64,
+    hits: usize,
+    misses: usize,
+}
+
+/// A synthesis session: the shared context every pass runs in.
+///
+/// Owns the [`Budget`], a seeded deterministic RNG stream, the per-stage
+/// [`StageTrace`], and the content-addressed artifact cache. All state is
+/// behind interior mutability (`&Session` suffices everywhere), so one
+/// session can be shared by [`synthesize_batch`] workers and by the
+/// conformance oracles without cloning artifacts.
+#[derive(Debug)]
+pub struct Session {
+    budget: Budget,
+    seed: u64,
+    verify_samples: Option<usize>,
+    state: Mutex<SessionState>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(SessionConfig::default())
+    }
+}
+
+impl Session {
+    /// Creates a session from explicit parameters.
+    pub fn new(config: SessionConfig) -> Self {
+        Session {
+            budget: config.budget,
+            seed: config.seed,
+            verify_samples: config.verify_samples,
+            state: Mutex::new(SessionState {
+                bdds: ArtifactCache::new(config.cache_capacity),
+                graphs: ArtifactCache::new(config.cache_capacity),
+                trace: StageTrace::default(),
+                rng_state: config.seed,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// A session with the default configuration except for `budget`.
+    pub fn with_budget(budget: Budget) -> Self {
+        Session::new(SessionConfig {
+            budget,
+            ..SessionConfig::default()
+        })
+    }
+
+    /// The session budget (shared by every stage).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The seed the session's RNG stream started from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Assignments to verify each design on, when verification is enabled.
+    pub fn verify_samples(&self) -> Option<usize> {
+        self.verify_samples
+    }
+
+    /// The next value of the session's deterministic RNG stream
+    /// (splitmix64). Consumers that need per-task seeds (defect
+    /// injection, sampling) draw here so a session replays bit-for-bit
+    /// from its seed.
+    pub fn next_seed(&self) -> u64 {
+        let mut state = self.lock();
+        state.rng_state = state.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A snapshot of the stage trace so far.
+    pub fn trace(&self) -> StageTrace {
+        self.lock().trace.clone()
+    }
+
+    /// Aggregate cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            entries: state.bdds.len() + state.graphs.len(),
+            evicted: state.bdds.evicted + state.graphs.evicted,
+        }
+    }
+
+    /// Drops every cached artifact (the trace is kept).
+    pub fn clear_cache(&self) {
+        let mut state = self.lock();
+        state.bdds.clear();
+        state.graphs.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        // A panicking stage can poison the lock while holding only
+        // consistent state (probes and pushes); recover the guard.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn cached_bdd(&self, key: ArtifactKey) -> Option<Arc<NetworkBdds>> {
+        self.lock().bdds.get(key)
+    }
+
+    pub(crate) fn store_bdd(&self, key: ArtifactKey, bdds: Arc<NetworkBdds>) {
+        self.lock().bdds.insert(key, bdds);
+    }
+
+    pub(crate) fn cached_graph(&self, key: ArtifactKey) -> Option<Arc<BddGraph>> {
+        self.lock().graphs.get(key)
+    }
+
+    pub(crate) fn store_graph(&self, key: ArtifactKey, graph: Arc<BddGraph>) {
+        self.lock().graphs.insert(key, graph);
+    }
+
+    pub(crate) fn record(&self, record: StageRecord) {
+        let mut state = self.lock();
+        match record.cache {
+            CacheOutcome::Hit => state.hits += 1,
+            CacheOutcome::Miss => state.misses += 1,
+            CacheOutcome::Uncached => {}
+        }
+        state.trace.records.push(record);
+    }
+}
+
+/// Runs the full staged pipeline inside `session`: normalize → BDD build
+/// (cached) → graph extraction (cached) → VH-labeling ladder → mapping →
+/// optional verification. This is the engine behind
+/// [`crate::pipeline::synthesize`] and
+/// [`crate::supervisor::synthesize_with_budget`], which wrap it with a
+/// one-shot session.
+///
+/// # Errors
+///
+/// As [`crate::pipeline::synthesize`]: an error indicates an internal bug
+/// (budget and input conditions degrade instead of failing).
+pub fn synthesize_in(
+    session: &Session,
+    network: &Network,
+    config: &Config,
+) -> Result<CompactResult, CompactError> {
+    run_staged(session, network, config, session.budget())
+}
+
+/// [`synthesize_in`] under an explicit budget instead of the session's
+/// own: solver work is bounded by `budget` while artifacts still come
+/// from (and land in) the session cache. This is what a campaign wants
+/// when each trial gets a fresh deadline but all trials share one BDD.
+///
+/// # Errors
+///
+/// See [`synthesize_in`].
+pub fn synthesize_in_budgeted(
+    session: &Session,
+    network: &Network,
+    config: &Config,
+    budget: &Budget,
+) -> Result<CompactResult, CompactError> {
+    run_staged(session, network, config, budget)
+}
+
+/// The staged engine under an explicit budget (the session budget for
+/// direct calls, a [`Budget::capped`] slice for batch tasks). The
+/// session's cache and trace are shared either way.
+fn run_staged(
+    session: &Session,
+    network: &Network,
+    config: &Config,
+    budget: &Budget,
+) -> Result<CompactResult, CompactError> {
+    let sw = budget.stopwatch();
+    let norm = NormalizePass.run_with_budget(session, network, budget)?;
+    let bdd =
+        BddBuildPass.run_with_budget(session, (network, config.var_order.as_deref()), budget)?;
+    let graph = GraphExtractPass.run_with_budget(session, (&bdd.bdds, bdd.key), budget)?;
+    let ladder = LadderPass { config }.run_with_budget(
+        session,
+        (&*graph, norm.output_names.as_slice(), bdd.lift_trigger),
+        budget,
+    )?;
+    if let Some(samples) = session.verify_samples() {
+        VerifyPass { samples }.run_with_budget(session, (&ladder.crossbar, network), budget)?;
+    }
+    let LadderOutcome {
+        crossbar,
+        labeling,
+        metrics,
+        rung,
+        degraded,
+        optimal,
+        relative_gap,
+        trace,
+        attempts,
+        exhausted,
+        ..
+    } = ladder;
+    let stats = labeling.stats();
+    Ok(CompactResult {
+        crossbar,
+        stats,
+        metrics,
+        graph_nodes: graph.num_nodes(),
+        graph_edges: graph.num_edges(),
+        labeling,
+        optimal,
+        relative_gap,
+        trace,
+        synthesis_time: sw.elapsed(),
+        degradation: Some(DegradationReport {
+            rung,
+            degraded: degraded || bdd.budget_lifted,
+            attempts,
+            relative_gap,
+            bdd_wall: bdd.wall,
+            bdd_budget_lifted: bdd.budget_lifted,
+            exhausted,
+        }),
+    })
+}
+
+/// One unit of work for [`synthesize_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchTask {
+    /// Display label carried into results and reports (e.g. `"γ=0.25"`).
+    pub label: String,
+    /// The network to synthesize. An [`Arc`] handle so many tasks over
+    /// one network share it without deep clones.
+    pub network: Arc<Network>,
+    /// The synthesis configuration for this task.
+    pub config: Config,
+}
+
+impl BatchTask {
+    /// A task synthesizing `network` under `config`, labeled `label`.
+    pub fn new(label: impl Into<String>, network: Arc<Network>, config: Config) -> Self {
+        BatchTask {
+            label: label.into(),
+            network,
+            config,
+        }
+    }
+}
+
+/// Tuning for [`synthesize_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchConfig {
+    /// Worker threads; 0 means `std::thread::available_parallelism`.
+    pub threads: usize,
+    /// Optional per-task wall-clock slice, carved from the session budget
+    /// with [`Budget::capped`] (the sooner of the slice and the session
+    /// deadline wins; cancellation stays shared).
+    pub per_task_budget: Option<Duration>,
+}
+
+/// Tasks for a γ sweep of one network: `gammas.len()` weighted-strategy
+/// points sharing one [`Arc<Network>`], so a session-backed batch builds
+/// the BDD and extracts the graph exactly once.
+pub fn gamma_sweep_tasks(
+    network: &Arc<Network>,
+    gammas: &[f64],
+    time_limit: Duration,
+) -> Vec<BatchTask> {
+    gammas
+        .iter()
+        .map(|&gamma| {
+            let mut config = Config::gamma(gamma);
+            if let VhStrategy::Weighted { time_limit: tl, .. } = &mut config.strategy {
+                *tl = time_limit;
+            }
+            BatchTask::new(format!("γ={gamma:.3}"), Arc::clone(network), config)
+        })
+        .collect()
+}
+
+/// Runs every task through `session`, in parallel across scoped threads,
+/// and returns the results **in task order** (worker scheduling cannot
+/// reorder them). Artifacts are shared through the session cache, so
+/// tasks that agree on network + variable order reuse one BDD and one
+/// graph. Panics inside a task are isolated per task and surfaced as
+/// [`CompactError::Synthesis`] results, never poisoning sibling tasks.
+pub fn synthesize_batch(
+    session: &Session,
+    tasks: &[BatchTask],
+    batch: &BatchConfig,
+) -> Vec<Result<CompactResult, CompactError>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let threads = if batch.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        batch.threads
+    }
+    .min(tasks.len());
+
+    // Artifacts shared by more than one task are warmed on the calling
+    // thread so parallel workers cannot race to build the same BDD twice
+    // (a benign but wasteful duplication that would also double-count
+    // builds in the trace).
+    if threads > 1 {
+        let mut warmed: Vec<ArtifactKey> = Vec::new();
+        for task in tasks {
+            let key = bdd_key(&task.network, task.config.var_order.as_deref());
+            if warmed.contains(&key) {
+                continue;
+            }
+            let sharers = tasks
+                .iter()
+                .filter(|t| bdd_key(&t.network, t.config.var_order.as_deref()) == key)
+                .count();
+            if sharers > 1 {
+                if let Ok(bdd) =
+                    BddBuildPass.run(session, (&*task.network, task.config.var_order.as_deref()))
+                {
+                    let _ = GraphExtractPass.run(session, (&bdd.bdds, bdd.key));
+                }
+                warmed.push(key);
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CompactResult, CompactError>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let task = &tasks[i];
+                let sliced;
+                let budget = match batch.per_task_budget {
+                    Some(slice) => {
+                        sliced = session.budget().capped(slice);
+                        &sliced
+                    }
+                    None => session.budget(),
+                };
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    run_staged(session, &task.network, &task.config, budget)
+                }));
+                let result = match run {
+                    Ok(r) => r,
+                    Err(_) => Err(CompactError::Synthesis(format!(
+                        "batch task `{}` panicked",
+                        task.label
+                    ))),
+                };
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot is filled before the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowc_logic::{GateKind, Network};
+
+    fn fig2_network() -> Network {
+        let mut n = Network::new("fig2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, &[a, b], "ab").unwrap();
+        let f = n.add_gate(GateKind::Or, &[ab, c], "f").unwrap();
+        n.mark_output(f);
+        n
+    }
+
+    #[test]
+    fn artifact_keys_separate_stage_and_order() {
+        let n = fig2_network();
+        let k1 = bdd_key(&n, None);
+        let k2 = bdd_key(&n, Some(&[2, 1, 0]));
+        let k3 = bdd_key(&n, Some(&[0, 1, 2]));
+        assert_ne!(k1, k2, "variable order is part of the key");
+        assert_ne!(k2, k3);
+        assert_ne!(k1, graph_key(k1), "stage tag is part of the key");
+        assert_eq!(k1, bdd_key(&n, None), "keys are stable");
+    }
+
+    #[test]
+    fn second_synthesis_hits_the_cache() {
+        let n = fig2_network();
+        let session = Session::default();
+        let a = synthesize_in(&session, &n, &Config::gamma(0.3)).unwrap();
+        let b = synthesize_in(&session, &n, &Config::gamma(0.7)).unwrap();
+        assert_eq!(a.graph_nodes, b.graph_nodes);
+        let trace = session.trace();
+        assert_eq!(trace.builds(StageKind::BddBuild), 1);
+        assert_eq!(trace.hits(StageKind::BddBuild), 1);
+        assert_eq!(trace.builds(StageKind::GraphExtract), 1);
+        assert_eq!(trace.hits(StageKind::GraphExtract), 1);
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_fifo() {
+        let mut cache: ArtifactCache<usize> = ArtifactCache::new(2);
+        cache.insert(ArtifactKey(1), 10);
+        cache.insert(ArtifactKey(2), 20);
+        cache.insert(ArtifactKey(1), 11); // update, not a new entry
+        cache.insert(ArtifactKey(3), 30); // evicts key 1 (oldest inserted)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evicted, 1);
+        assert_eq!(cache.get(ArtifactKey(1)), None);
+        assert_eq!(cache.get(ArtifactKey(2)), Some(20));
+        assert_eq!(cache.get(ArtifactKey(3)), Some(30));
+    }
+
+    #[test]
+    fn session_rng_stream_is_deterministic() {
+        let a = Session::new(SessionConfig {
+            seed: 42,
+            ..SessionConfig::default()
+        });
+        let b = Session::new(SessionConfig {
+            seed: 42,
+            ..SessionConfig::default()
+        });
+        let xs: Vec<u64> = (0..4).map(|_| a.next_seed()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_seed()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn verify_samples_records_a_verify_stage() {
+        let n = fig2_network();
+        let session = Session::new(SessionConfig {
+            verify_samples: Some(64),
+            ..SessionConfig::default()
+        });
+        synthesize_in(&session, &n, &Config::default()).unwrap();
+        let trace = session.trace();
+        assert_eq!(trace.runs(StageKind::Verify), 1);
+        // fig2 has 3 inputs, so verification is exhaustive: 8 assignments.
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| r.kind == StageKind::Verify && r.items == 8));
+    }
+}

@@ -22,10 +22,15 @@
 //! all falls through. Every attempt is recorded in a [`DegradationReport`]
 //! attached to the result.
 //!
-//! The BDD build stage sits above the ladder: it is budgeted (deadline,
-//! cancellation, and node ceiling) on the first attempt, but since no rung
-//! can synthesize anything without a BDD, exhaustion or a panic there is
-//! answered by one unbudgeted rebuild (`bdd_budget_lifted` in the report).
+//! Since PR 4 the supervisor is staged through [`crate::session`]:
+//! [`synthesize_with_budget`] wraps a one-shot [`crate::session::Session`],
+//! the BDD build runs as [`crate::pass::BddBuildPass`] (budgeted first
+//! attempt, one unbudgeted rebuild on exhaustion or panic —
+//! `bdd_budget_lifted` in the report), and the ladder itself is
+//! [`run_ladder`], driven by [`crate::pass::LadderPass`]. Callers that
+//! want artifact reuse across calls (γ sweeps, repair, the conformance
+//! oracles) hold a long-lived session and use
+//! [`crate::session::synthesize_in`] directly.
 //!
 //! For fault-injection tests, the `FLOWC_CHAOS_PANIC` environment variable
 //! (a comma-separated list of stage names: `bdd`, `exact-mip`, `exact-oct`,
@@ -35,14 +40,14 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use flowc_bdd::{try_build_sbdd, NetworkBdds};
-use flowc_budget::{Budget, BudgetExceeded};
+use flowc_budget::{Budget, BudgetExceeded, Stopwatch};
 use flowc_graph::oct_heuristic;
 use flowc_logic::Network;
 use flowc_milp::SolveTrace;
 use flowc_xbar::metrics::CrossbarMetrics;
+use flowc_xbar::Crossbar;
 
 use crate::balance::balanced_labeling;
 use crate::labeling::Labeling;
@@ -51,6 +56,7 @@ use crate::mip_method::{solve_anytime_budgeted, solve_exact_budgeted, MipConfig}
 use crate::oct_method::{min_semiperimeter_budgeted, OctMethodConfig};
 use crate::pipeline::{CompactError, CompactResult, Config, VhStrategy};
 use crate::preprocess::BddGraph;
+use crate::session::Session;
 
 /// A rung of the degradation ladder, ordered from most to least ambitious.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +143,8 @@ pub struct DegradationReport {
     /// Relative optimality gap of the shipped labeling (0 when proven
     /// optimal, 1 when no nontrivial bound is known).
     pub relative_gap: f64,
-    /// Wall-clock time of the BDD build stage.
+    /// Wall-clock time of the BDD build stage (≈0 when the session served
+    /// the BDD from its artifact cache).
     pub bdd_wall: Duration,
     /// Whether the BDD had to be rebuilt without a budget after the
     /// budgeted build was exhausted or panicked.
@@ -173,7 +180,7 @@ struct RungOutput {
     trace: Option<SolveTrace>,
 }
 
-fn chaos(stage: &str) {
+pub(crate) fn chaos(stage: &str) {
     if let Ok(v) = std::env::var("FLOWC_CHAOS_PANIC") {
         if v.split(',').any(|s| s.trim() == stage) {
             panic!("chaos injection: forced panic in stage `{stage}`");
@@ -181,7 +188,7 @@ fn chaos(stage: &str) {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -313,82 +320,74 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
     }
 }
 
-/// Supervised end-to-end synthesis: build the SBDD and synthesize under a
-/// shared [`Budget`]. See the module documentation for the guarantees.
+/// What the degradation ladder shipped, with full provenance. Produced by
+/// [`run_ladder`] / [`crate::pass::LadderPass`] and folded into a
+/// [`CompactResult`] by [`crate::session::synthesize_in`].
+#[derive(Debug)]
+pub struct LadderOutcome {
+    /// The mapped design.
+    pub crossbar: Crossbar,
+    /// The labeling behind it (alignment already enforced).
+    pub labeling: Labeling,
+    /// Crossbar-level metrics of the shipped design.
+    pub metrics: CrossbarMetrics,
+    /// The rung that shipped.
+    pub rung: Rung,
+    /// Whether a rung below the strategy's first choice shipped, or the
+    /// budget ran out before optimality was proven (the BDD-lift
+    /// contribution is added by the caller, which owns that stage).
+    pub degraded: bool,
+    /// Whether the labeling was proven optimal for its objective.
+    pub optimal: bool,
+    /// Relative optimality gap at termination.
+    pub relative_gap: f64,
+    /// Solver convergence trace, when the shipping rung produced one.
+    pub trace: Option<SolveTrace>,
+    /// Every stage attempted, in order.
+    pub attempts: Vec<StageAttempt>,
+    /// The budget violation observed when the ladder finished, if any.
+    pub exhausted: Option<BudgetExceeded>,
+    /// Wall-clock time spent in labeling rungs.
+    pub label_wall: Duration,
+    /// Wall-clock time spent mapping labelings to crossbars.
+    pub map_wall: Duration,
+}
+
+/// Walks the degradation ladder over an extracted graph: run a rung,
+/// enforce alignment, map; on panic, empty output, or mapping rejection,
+/// fall to the next rung. `bdd_trigger` (why the budgeted BDD build was
+/// abandoned upstream, if it was) is recorded ahead of the ladder so the
+/// report tells the full story in order.
 ///
 /// # Errors
 ///
-/// Returns an error only when the BDD cannot be built at all (the
-/// unbudgeted rebuild also panicked) or when even the terminal all-VH rung
-/// cannot be mapped — both indicate a bug, not an input or budget
-/// condition.
-pub fn synthesize_with_budget(
-    network: &Network,
+/// Only when every rung fails — unreachable in practice, since the
+/// terminal all-VH rung cannot fail; kept as a typed error so the
+/// supervisor itself never panics.
+pub(crate) fn run_ladder(
+    graph: &BddGraph,
     config: &Config,
     budget: &Budget,
-) -> Result<CompactResult, CompactError> {
-    let start = Instant::now();
-    let bdd_start = Instant::now();
-    let mut bdd_budget_lifted = false;
-    let mut bdd_trigger: Option<Trigger> = None;
-    let order = config.var_order.clone();
-    let first = catch_unwind(AssertUnwindSafe(|| {
-        chaos("bdd");
-        try_build_sbdd(network, order.as_deref(), budget)
-    }));
-    let bdds: NetworkBdds = match first {
-        Ok(Ok(b)) => b,
-        other => {
-            // No rung can run without a BDD: lift the budget and rebuild.
-            bdd_trigger = Some(match other {
-                Ok(Err(e)) => Trigger::Budget(e),
-                Err(p) => Trigger::Panicked(panic_message(p)),
-                Ok(Ok(_)) => unreachable!("handled above"),
-            });
-            bdd_budget_lifted = true;
-            match catch_unwind(AssertUnwindSafe(|| {
-                try_build_sbdd(network, order.as_deref(), &Budget::unlimited())
-            })) {
-                Ok(Ok(b)) => b,
-                Ok(Err(e)) => {
-                    return Err(CompactError::Synthesis(format!(
-                        "unbudgeted BDD rebuild reported exhaustion: {e}"
-                    )))
-                }
-                Err(p) => {
-                    return Err(CompactError::Synthesis(format!(
-                        "BDD build panicked: {}",
-                        panic_message(p)
-                    )))
-                }
-            }
-        }
-    };
-    let bdd_wall = bdd_start.elapsed();
-    let names: Vec<String> = network
-        .outputs()
-        .iter()
-        .map(|&o| network.net_name(o).to_string())
-        .collect();
-
-    let graph = BddGraph::from_bdds(&bdds);
+    names: &[String],
+    bdd_trigger: Option<Trigger>,
+) -> Result<LadderOutcome, CompactError> {
     let rungs = ladder(&config.strategy);
     let first_rung = rungs[0];
     let mut attempts: Vec<StageAttempt> = Vec::new();
     if let Some(t) = bdd_trigger {
-        // Record the abandoned budgeted BDD attempt ahead of the ladder so
-        // the report shows the full story in order.
         attempts.push(StageAttempt {
             rung: first_rung,
             wall: Duration::ZERO,
             trigger: Some(Trigger::Failed(format!("budgeted BDD build: {t}"))),
         });
     }
-
+    let mut label_wall = Duration::ZERO;
+    let mut map_wall = Duration::ZERO;
     for rung in rungs {
-        let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_rung(rung, &graph, config, budget)));
-        let wall = t0.elapsed();
+        let sw = Stopwatch::unbudgeted();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_rung(rung, graph, config, budget)));
+        let wall = sw.elapsed();
+        label_wall += wall;
         let output = match outcome {
             Ok(Some(out)) => out,
             Ok(None) => {
@@ -413,10 +412,13 @@ pub fn synthesize_with_budget(
         let mut labeling = output.labeling;
         // Mapping requires wordlines on all ports even when alignment was
         // not requested as a constraint.
-        labeling.enforce_alignment(&graph);
-        let crossbar = match catch_unwind(AssertUnwindSafe(|| {
-            map_to_crossbar(&graph, &labeling, &names)
-        })) {
+        labeling.enforce_alignment(graph);
+        let map_sw = Stopwatch::unbudgeted();
+        let mapped = catch_unwind(AssertUnwindSafe(|| {
+            map_to_crossbar(graph, &labeling, names)
+        }));
+        map_wall += map_sw.elapsed();
+        let crossbar = match mapped {
             Ok(Ok(x)) => x,
             Ok(Err(e)) => {
                 attempts.push(StageAttempt {
@@ -444,34 +446,23 @@ pub fn synthesize_with_budget(
             trigger: None,
         });
         let exhausted = budget.check().err();
-        let degraded =
-            rung != first_rung || bdd_budget_lifted || (exhausted.is_some() && !output.optimal);
-        let stats = labeling.stats();
+        let degraded = rung != first_rung || (exhausted.is_some() && !output.optimal);
         let metrics = CrossbarMetrics::of(&crossbar);
-        return Ok(CompactResult {
+        return Ok(LadderOutcome {
             crossbar,
-            stats,
-            metrics,
-            graph_nodes: graph.num_nodes(),
-            graph_edges: graph.num_edges(),
             labeling,
+            metrics,
+            rung,
+            degraded,
             optimal: output.optimal,
             relative_gap: output.relative_gap,
             trace: output.trace,
-            synthesis_time: start.elapsed(),
-            degradation: Some(DegradationReport {
-                rung,
-                degraded,
-                attempts,
-                relative_gap: output.relative_gap,
-                bdd_wall,
-                bdd_budget_lifted,
-                exhausted,
-            }),
+            attempts,
+            exhausted,
+            label_wall,
+            map_wall,
         });
     }
-    // Unreachable in practice: the all-VH rung cannot fail. Kept as a typed
-    // error so the supervisor itself never panics.
     Err(CompactError::Synthesis(format!(
         "every ladder rung failed: {}",
         attempts
@@ -486,6 +477,29 @@ pub fn synthesize_with_budget(
             .collect::<Vec<_>>()
             .join(", ")
     )))
+}
+
+/// Supervised end-to-end synthesis: build the SBDD and synthesize under a
+/// shared [`Budget`]. See the module documentation for the guarantees.
+///
+/// Runs through a one-shot [`Session`]; callers that synthesize the same
+/// network repeatedly (γ sweeps, repair, conformance oracles) should hold
+/// a long-lived session and call [`crate::session::synthesize_in`], which
+/// reuses the BDD and graph artifacts across calls.
+///
+/// # Errors
+///
+/// Returns an error only when the BDD cannot be built at all (the
+/// unbudgeted rebuild also panicked) or when even the terminal all-VH rung
+/// cannot be mapped — both indicate a bug, not an input or budget
+/// condition.
+pub fn synthesize_with_budget(
+    network: &Network,
+    config: &Config,
+    budget: &Budget,
+) -> Result<CompactResult, CompactError> {
+    let session = Session::with_budget(budget.clone());
+    crate::session::synthesize_in(&session, network, config)
 }
 
 #[cfg(test)]
@@ -588,5 +602,25 @@ mod tests {
             Rung::ExactMip,
             "weighted starts exact"
         );
+    }
+
+    #[test]
+    fn supervised_calls_trace_their_stages() {
+        use crate::session::{Session, StageKind};
+        let n = fig2_network();
+        let session = Session::default();
+        let r = crate::session::synthesize_in(&session, &n, &Config::default()).unwrap();
+        assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+        let trace = session.trace();
+        for kind in [
+            StageKind::Normalize,
+            StageKind::BddBuild,
+            StageKind::GraphExtract,
+            StageKind::VhLabel,
+            StageKind::Map,
+        ] {
+            assert_eq!(trace.runs(kind), 1, "stage {kind} should run once");
+        }
+        assert_eq!(trace.runs(StageKind::Verify), 0, "verify is opt-in");
     }
 }

@@ -25,13 +25,17 @@
 //! loop can be validated end-to-end.
 
 use std::fmt;
+use std::sync::Arc;
 
 use flowc_baselines::magic::NorNetlist;
 use flowc_baselines::robdd_diagonal::compact_per_output;
 use flowc_baselines::staircase::staircase_map;
 use flowc_bdd::build_sbdd;
+use flowc_compact::pass::{BddBuildPass, GraphExtractPass, Pass};
 use flowc_compact::preprocess::BddGraph;
-use flowc_compact::{synthesize, verify_symbolic, Config, VhStrategy};
+use flowc_compact::{
+    synthesize, synthesize_in, verify_symbolic, Config, Session, SessionConfig, VhStrategy,
+};
 use flowc_logic::Network;
 use flowc_xbar::Crossbar;
 
@@ -110,6 +114,7 @@ impl Oracle for BddOracle {
 pub struct CompactOracle {
     label: String,
     config: Config,
+    session: Option<Arc<Session>>,
 }
 
 impl CompactOracle {
@@ -119,6 +124,18 @@ impl CompactOracle {
         CompactOracle {
             label: label.into(),
             config,
+            session: None,
+        }
+    }
+
+    /// An oracle synthesizing through a shared [`Session`], so sibling
+    /// oracles that differ only in strategy or γ reuse one BDD build and
+    /// one graph extraction per checked network.
+    pub fn with_session(label: impl Into<String>, config: Config, session: Arc<Session>) -> Self {
+        CompactOracle {
+            label: label.into(),
+            config,
+            session: Some(session),
         }
     }
 }
@@ -129,14 +146,30 @@ impl Oracle for CompactOracle {
     }
 
     fn table(&self, network: &Network, assignments: &[Vec<bool>]) -> Result<Table, String> {
-        let r = synthesize(network, &self.config).map_err(|e| e.to_string())?;
+        let r = match &self.session {
+            Some(session) => synthesize_in(session, network, &self.config),
+            None => synthesize(network, &self.config),
+        }
+        .map_err(|e| e.to_string())?;
         crossbar_table(&r.crossbar, assignments)
     }
 }
 
 /// The prior-art staircase mapping (reference \[16\] of the paper).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StaircaseOracle;
+#[derive(Debug, Clone, Default)]
+pub struct StaircaseOracle {
+    session: Option<Arc<Session>>,
+}
+
+impl StaircaseOracle {
+    /// A staircase oracle drawing its BDD graph from a shared [`Session`]
+    /// instead of rebuilding it per call.
+    pub fn with_session(session: Arc<Session>) -> Self {
+        StaircaseOracle {
+            session: Some(session),
+        }
+    }
+}
 
 impl Oracle for StaircaseOracle {
     fn name(&self) -> String {
@@ -144,13 +177,24 @@ impl Oracle for StaircaseOracle {
     }
 
     fn table(&self, network: &Network, assignments: &[Vec<bool>]) -> Result<Table, String> {
-        let graph = BddGraph::from_bdds(&build_sbdd(network, None));
         let names: Vec<String> = network
             .outputs()
             .iter()
             .map(|&o| network.net_name(o).to_string())
             .collect();
-        crossbar_table(&staircase_map(&graph, &names), assignments)
+        let xbar = match &self.session {
+            Some(session) => {
+                let bdd = BddBuildPass
+                    .run(session, (network, None))
+                    .map_err(|e| e.to_string())?;
+                let graph = GraphExtractPass
+                    .run(session, (&bdd.bdds, bdd.key))
+                    .map_err(|e| e.to_string())?;
+                staircase_map(&graph, &names)
+            }
+            None => staircase_map(&BddGraph::from_bdds(&build_sbdd(network, None)), &names),
+        };
+        crossbar_table(&xbar, assignments)
     }
 }
 
@@ -240,10 +284,15 @@ pub fn default_gammas() -> Vec<f64> {
 /// feature the deliberately wrong oracle is appended.
 pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
     use std::time::Duration;
+    // One shared session: all synthesis oracles differ only in labeling
+    // strategy/γ, so each checked network costs one BDD build and one graph
+    // extraction across the whole panel. The cache is bounded (FIFO), so
+    // memory stays flat over long fuzz campaigns.
+    let session = Arc::new(Session::new(SessionConfig::default()));
     let mut oracles: Vec<Box<dyn Oracle>> = vec![
         Box::new(SimOracle),
         Box::new(BddOracle),
-        Box::new(CompactOracle::new(
+        Box::new(CompactOracle::with_session(
             "min-s",
             Config {
                 strategy: VhStrategy::MinSemiperimeter {
@@ -252,23 +301,26 @@ pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
                 align: true,
                 var_order: None,
             },
+            Arc::clone(&session),
         )),
     ];
     for &gamma in gammas {
-        oracles.push(Box::new(CompactOracle::new(
+        oracles.push(Box::new(CompactOracle::with_session(
             format!("weighted γ={gamma}"),
             Config::gamma(gamma),
+            Arc::clone(&session),
         )));
-        oracles.push(Box::new(CompactOracle::new(
+        oracles.push(Box::new(CompactOracle::with_session(
             format!("heuristic γ={gamma}"),
             Config {
                 strategy: VhStrategy::Heuristic { gamma },
                 align: true,
                 var_order: None,
             },
+            Arc::clone(&session),
         )));
     }
-    oracles.push(Box::new(StaircaseOracle));
+    oracles.push(Box::new(StaircaseOracle::with_session(session)));
     oracles.push(Box::new(DiagonalOracle));
     oracles.push(Box::new(MagicOracle));
     #[cfg(feature = "broken-oracle")]

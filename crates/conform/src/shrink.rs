@@ -220,6 +220,8 @@ pub fn shrink_network(
     budget: &Budget,
 ) -> ShrinkResult {
     let mut current = Ir::from_network(network);
+    // Must-stay clone: the caller keeps the original while shrinking
+    // mutates candidates; `best` is the returned owned reduction.
     let mut best = network.clone();
     let mut steps = 0usize;
     let mut candidates_tried = 0usize;

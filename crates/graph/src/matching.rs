@@ -214,10 +214,10 @@ mod tests {
             let cover_size = cl.iter().filter(|&&b| b).count() + cr.iter().filter(|&&b| b).count();
             assert_eq!(cover_size, m.size, "König equality failed on trial {trial}");
             // Matching is consistent.
-            for u in 0..nl {
+            for (u, nbrs) in adj.iter().enumerate().take(nl) {
                 if m.pair_left[u] != NIL {
                     assert_eq!(m.pair_right[m.pair_left[u]], u);
-                    assert!(adj[u].contains(&m.pair_left[u]));
+                    assert!(nbrs.contains(&m.pair_left[u]));
                 }
             }
         }

@@ -93,6 +93,26 @@ impl UGraph {
         self.adj.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// A stable structural fingerprint: FNV-1a over the vertex count and
+    /// the edge list in insertion order. Deterministic across processes
+    /// (no `RandomState`), so it can identify cached graph artifacts.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01B3);
+            }
+        };
+        mix(self.adj.len() as u64);
+        mix(self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            mix(u as u64);
+            mix(v as u64);
+        }
+        h
+    }
+
     /// The subgraph induced by keeping vertices where `keep[v]` is true.
     /// Returns the subgraph plus the map from new to original indices.
     ///

@@ -582,18 +582,19 @@ mod tests {
         let a = n.add_input("a");
         let b = n.add_input("b");
         let c = n.add_input("c");
-        let mut outs = Vec::new();
-        outs.push(n.add_gate(GateKind::And, &[a, b, c], "g_and").unwrap());
-        outs.push(n.add_gate(GateKind::Or, &[a, b, c], "g_or").unwrap());
-        outs.push(n.add_gate(GateKind::Nand, &[a, b], "g_nand").unwrap());
-        outs.push(n.add_gate(GateKind::Nor, &[a, b], "g_nor").unwrap());
-        outs.push(n.add_gate(GateKind::Xor, &[a, b, c], "g_xor").unwrap());
-        outs.push(n.add_gate(GateKind::Xnor, &[a, b, c], "g_xnor").unwrap());
-        outs.push(n.add_gate(GateKind::Not, &[a], "g_not").unwrap());
-        outs.push(n.add_gate(GateKind::Buf, &[b], "g_buf").unwrap());
-        outs.push(n.add_gate(GateKind::Mux, &[a, b, c], "g_mux").unwrap());
-        outs.push(n.add_const0("g_zero"));
-        outs.push(n.add_const1("g_one"));
+        let outs = vec![
+            n.add_gate(GateKind::And, &[a, b, c], "g_and").unwrap(),
+            n.add_gate(GateKind::Or, &[a, b, c], "g_or").unwrap(),
+            n.add_gate(GateKind::Nand, &[a, b], "g_nand").unwrap(),
+            n.add_gate(GateKind::Nor, &[a, b], "g_nor").unwrap(),
+            n.add_gate(GateKind::Xor, &[a, b, c], "g_xor").unwrap(),
+            n.add_gate(GateKind::Xnor, &[a, b, c], "g_xnor").unwrap(),
+            n.add_gate(GateKind::Not, &[a], "g_not").unwrap(),
+            n.add_gate(GateKind::Buf, &[b], "g_buf").unwrap(),
+            n.add_gate(GateKind::Mux, &[a, b, c], "g_mux").unwrap(),
+            n.add_const0("g_zero"),
+            n.add_const1("g_one"),
+        ];
         for o in outs {
             n.mark_output(o);
         }

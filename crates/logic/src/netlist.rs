@@ -379,6 +379,41 @@ impl Network {
     ///
     /// # Errors
     ///
+    /// A stable structural fingerprint of the network: FNV-1a over the
+    /// input count, every gate (kind, fan-in ids, output id), and the
+    /// output list. Net *names* and the model name are excluded — two
+    /// networks with identical gate structure hash identically — and the
+    /// hash is reproducible across processes and platforms (no
+    /// `RandomState`), so it can key persistent or shared artifact caches
+    /// (`flowc-compact`'s synthesis `Session`).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01B3);
+            }
+        };
+        mix(self.inputs.len() as u64);
+        for &i in &self.inputs {
+            mix(i.index() as u64);
+        }
+        mix(self.gates.len() as u64);
+        for gate in &self.gates {
+            mix(gate.kind as u64);
+            mix(gate.inputs.len() as u64);
+            for &i in &gate.inputs {
+                mix(i.index() as u64);
+            }
+            mix(gate.output.index() as u64);
+        }
+        mix(self.outputs.len() as u64);
+        for &o in &self.outputs {
+            mix(o.index() as u64);
+        }
+        h
+    }
+
     /// Returns the first violated invariant: [`LogicError::UnknownNet`] for
     /// dangling ids, [`LogicError::MultipleDrivers`] /
     /// [`LogicError::Undriven`] for driver inconsistencies,
@@ -643,5 +678,26 @@ mod tests {
         assert_eq!(n.num_outputs(), 2);
         assert_eq!(n.num_gates(), 5);
         assert_eq!(n.num_nets(), 8);
+    }
+
+    #[test]
+    fn content_hash_ignores_names_but_sees_structure() {
+        let (a, _, _) = full_adder();
+        let (b, _, _) = full_adder();
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Same structure under different names hashes identically.
+        let mut renamed = a.clone();
+        renamed.set_name("other-model");
+        assert_eq!(a.content_hash(), renamed.content_hash());
+
+        // Any structural change — an extra gate, a different kind, or a
+        // different output list — changes the hash.
+        let mut extra = a.clone();
+        let x = extra.find_net("a").unwrap();
+        let g = extra.add_gate(GateKind::Not, &[x], "extra").unwrap();
+        assert_ne!(a.content_hash(), extra.content_hash());
+        extra.mark_output(g);
+        assert_ne!(a.content_hash(), extra.content_hash());
     }
 }

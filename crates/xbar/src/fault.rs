@@ -355,6 +355,8 @@ pub fn apply_defects(xbar: &Crossbar, map: &DefectMap) -> Result<Crossbar> {
             ),
         });
     }
+    // Must-stay clone: injection is non-destructive by contract — every
+    // campaign trial derives a fresh faulty copy from the pristine design.
     let mut faulty = xbar.clone();
     for fault in map.faults() {
         match fault {

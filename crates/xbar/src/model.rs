@@ -186,7 +186,7 @@ impl std::error::Error for XbarError {}
 /// Rows are wordlines, columns are bitlines. `input_row` is the wordline
 /// driven with the supply voltage during evaluation (the paper drives the
 /// bottom-most wordline); each output is sensed on its own wordline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Crossbar {
     rows: usize,
     cols: usize,

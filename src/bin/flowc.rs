@@ -8,6 +8,10 @@
 //!
 //! options:
 //!   --gamma <0..1>        trade-off weight (default 0.5)
+//!   --gamma-sweep <n>     synthesize n evenly spaced γ points through one
+//!                         shared session (the BDD and graph are built
+//!                         once) and print each design's shape plus the
+//!                         per-stage trace and cache statistics
 //!   --strategy <weighted|min-s|heuristic>
 //!   --time-limit <secs>   solver budget (default 30)
 //!   --deadline <secs>     hard wall-clock budget for the whole synthesis;
@@ -77,6 +81,7 @@ fn save(network: &Network, path: &str) -> Result<(), String> {
 
 struct Options {
     gamma: f64,
+    gamma_sweep: Option<usize>,
     strategy: String,
     time_limit: Duration,
     align: bool,
@@ -96,6 +101,7 @@ impl Options {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = Options {
             gamma: 0.5,
+            gamma_sweep: None,
             strategy: "weighted".to_string(),
             time_limit: Duration::from_secs(30),
             align: true,
@@ -125,6 +131,15 @@ impl Options {
                     if !(0.0..=1.0).contains(&opts.gamma) {
                         return Err("--gamma must be within [0, 1]".into());
                     }
+                }
+                "--gamma-sweep" => {
+                    let steps = value("--gamma-sweep")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--gamma-sweep: {e}"))?;
+                    if steps < 2 {
+                        return Err("--gamma-sweep needs at least 2 points".into());
+                    }
+                    opts.gamma_sweep = Some(steps);
                 }
                 "--strategy" => opts.strategy = value("--strategy")?,
                 "--time-limit" => {
@@ -226,8 +241,68 @@ impl Options {
     }
 }
 
+/// Runs `--gamma-sweep`: every γ point goes through one shared [`Session`],
+/// so the whole sweep performs a single BDD build and graph extraction
+/// (the per-stage trace printed at the end proves it).
+fn gamma_sweep(network: &Network, steps: usize, opts: &Options) -> Result<bool, String> {
+    use flowc::compact::{gamma_sweep_tasks, synthesize_batch, BatchConfig, Session};
+
+    let session = Session::with_budget(opts.budget());
+    let gammas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
+    let network = std::sync::Arc::new(network.clone());
+    let tasks = gamma_sweep_tasks(&network, &gammas, opts.time_limit);
+    let results = synthesize_batch(
+        &session,
+        &tasks,
+        &BatchConfig {
+            threads: 0, // all available cores
+            per_task_budget: None,
+        },
+    );
+    println!("circuit    : {}", network.name());
+    println!(
+        "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4}",
+        "γ", "R", "C", "D", "S", "opt"
+    );
+    let mut degraded = false;
+    for (task, result) in tasks.iter().zip(&results) {
+        match result {
+            Ok(r) => {
+                println!(
+                    "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4}",
+                    task.label.trim_start_matches("γ="),
+                    r.stats.rows,
+                    r.stats.cols,
+                    r.stats.max_dimension,
+                    r.stats.semiperimeter,
+                    if r.optimal { "yes" } else { "no" },
+                );
+                degraded |= r.degradation.as_ref().is_some_and(|d| d.degraded);
+            }
+            Err(e) => return Err(format!("{}: {e}", task.label)),
+        }
+    }
+    let trace = session.trace();
+    println!("\nstage trace:");
+    for part in trace.summary().split("; ") {
+        println!("  {part}");
+    }
+    let cache = session.cache_stats();
+    println!(
+        "cache      : {} hit(s), {} miss(es), {} entr{}",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        if cache.entries == 1 { "y" } else { "ies" }
+    );
+    Ok(degraded)
+}
+
 /// Returns whether the synthesis degraded (exit code 2).
 fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
+    if let Some(steps) = opts.gamma_sweep {
+        return gamma_sweep(network, steps, opts);
+    }
     let cfg = opts.config()?;
     let result =
         synthesize_with_budget(network, &cfg, &opts.budget()).map_err(|e| e.to_string())?;
