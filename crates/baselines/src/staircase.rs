@@ -172,16 +172,17 @@ mod tests {
 
     #[test]
     fn degraded_supervision_never_loses_to_the_staircase_baseline() {
-        // Even with a cancelled budget the supervisor's ladder lands on a
-        // design no larger than the prior-art staircase (the terminal rung
-        // *is* the staircase assignment, and every higher rung is smaller).
+        // Even with an already-exhausted deadline the supervisor's ladder
+        // lands on a design no larger than the prior-art staircase (the
+        // terminal rung *is* the staircase assignment, and every higher
+        // rung is smaller). Explicit cancellation, by contrast, now
+        // aborts with a typed error instead of shipping anything.
         use flowc_budget::Budget;
         use flowc_compact::supervisor::synthesize_with_budget;
         let n = fig2_network();
         let g = BddGraph::from_bdds(&build_sbdd(&n, None));
         let stair = CrossbarMetrics::of(&staircase_map(&g, &["f".to_string()]));
-        let budget = Budget::unlimited();
-        budget.cancel_handle().cancel();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
         let r = synthesize_with_budget(&n, &flowc_compact::Config::default(), &budget).unwrap();
         assert!(r.stats.semiperimeter <= stair.semiperimeter);
         assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());

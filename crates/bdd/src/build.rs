@@ -134,6 +134,7 @@ pub fn try_build_sbdd(
 
     let mut manager = Manager::new();
     manager.set_node_limit(budget.max_bdd_nodes());
+    manager.set_cancel(Some(budget.cancel_handle()));
     // Declare variables in the requested order; remember each input's var.
     let mut vars: Vec<Option<VarId>> = vec![None; n_inputs];
     for &input_idx in order {
@@ -154,12 +155,16 @@ pub fn try_build_sbdd(
     for gate in network.gates() {
         // Cooperative checkpoint: deadline/cancellation between gates, and
         // the arena ceiling after every apply (growth *within* an apply is
-        // already bounded — `mk` refuses allocations past the cap and
-        // poisons the manager).
+        // already bounded — `mk` refuses allocations past the cap or once
+        // the cancel token fires, and poisons the manager).
         budget.check()?;
         operands.clear();
         operands.extend(gate.inputs.iter().map(|i| node_fn[i.index()]));
         let f = apply_gate(&mut manager, gate.kind, &operands);
+        // Budget before poison flags: when the cancel poll (or the clock)
+        // aborted this apply from inside, report `Cancelled`/`Deadline`,
+        // not a node-ceiling violation.
+        budget.check()?;
         if manager.limit_hit() {
             return Err(BudgetExceeded::BddNodes {
                 limit: budget.max_bdd_nodes().unwrap_or(0),
@@ -393,6 +398,48 @@ mod tests {
             assert_eq!(singles[0].eval(&vals), vec![expect[0]]);
             assert_eq!(singles[1].eval(&vals), vec![expect[1]]);
         }
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_apply_promptly() {
+        // A 24-bit adder in the separated (worst-case) order: the final
+        // carry chain applies are exponential, so an uncancelled build
+        // runs for a long time. Cancelling shortly after the start must
+        // abort from *inside* the in-flight apply — `mk` polls the token
+        // on every fresh allocation — not merely at the next between-gate
+        // checkpoint. The node ceiling is a memory backstop: if the cancel
+        // poll ever regresses, the test fails on the error kind instead of
+        // exhausting RAM. The 2s ceiling is a wide CI-proof margin.
+        let mut n = Network::new("add");
+        let a: Vec<_> = (0..24).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..24).map(|i| n.add_input(format!("b{i}"))).collect();
+        let cin = n.add_input("cin");
+        let (sum, cout) =
+            flowc_logic::bench_suite::blocks::ripple_adder(&mut n, &a, &b, cin, "fa").unwrap();
+        for s in sum {
+            n.mark_output(s);
+        }
+        n.mark_output(cout);
+
+        let budget = Budget::unlimited().with_max_bdd_nodes(50_000_000);
+        let handle = budget.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            handle.cancel();
+        });
+        let start = std::time::Instant::now();
+        let result = try_build_sbdd(&n, None, &budget);
+        let elapsed = start.elapsed();
+        canceller.join().unwrap();
+        match result {
+            Err(BudgetExceeded::Cancelled) => {}
+            Err(other) => panic!("expected Cancelled, got {other:?}"),
+            Ok(_) => panic!("expected Cancelled, got a completed build"),
+        }
+        assert!(
+            elapsed < std::time::Duration::from_secs(2),
+            "cancelled build took {elapsed:?}"
+        );
     }
 
     #[test]

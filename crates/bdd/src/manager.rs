@@ -1,5 +1,7 @@
 use std::collections::HashMap;
 
+use flowc_budget::CancelHandle;
+
 /// A reference to a BDD node inside a [`Manager`].
 ///
 /// References are only meaningful for the manager that produced them; they
@@ -62,6 +64,11 @@ pub struct Manager {
     /// allocating, poisons the manager (`limit_hit`), and returns `ZERO`.
     node_limit: Option<usize>,
     limit_hit: bool,
+    /// Cooperative cancellation token polled on every fresh allocation, so
+    /// a cancel lands mid-`apply` (one `mk` granularity) instead of waiting
+    /// for the per-gate budget checkpoint in the builder.
+    cancel: Option<CancelHandle>,
+    cancel_hit: bool,
 }
 
 impl Default for Manager {
@@ -93,6 +100,8 @@ impl Manager {
             level2var: Vec::new(),
             node_limit: None,
             limit_hit: false,
+            cancel: None,
+            cancel_hit: false,
         }
     }
 
@@ -117,6 +126,21 @@ impl Manager {
     /// limit. Once set, everything computed since the hit is suspect.
     pub fn limit_hit(&self) -> bool {
         self.limit_hit
+    }
+
+    /// Attaches a cancellation token polled on every fresh allocation
+    /// (`None` detaches). Once the token is observed cancelled the manager
+    /// is poisoned exactly like a node-limit hit — [`Manager::mk`] refuses
+    /// allocations, [`Manager::cancel_hit`] stays `true`, and the partial
+    /// forest must be discarded.
+    pub fn set_cancel(&mut self, cancel: Option<CancelHandle>) {
+        self.cancel = cancel;
+    }
+
+    /// Whether an allocation has ever been refused because the attached
+    /// cancellation token fired. Once set, results are suspect.
+    pub fn cancel_hit(&self) -> bool {
+        self.cancel_hit
     }
 
     /// Declares a new variable at the bottom of the current order.
@@ -205,6 +229,13 @@ impl Manager {
         );
         if let Some(&r) = self.unique.get(&(var, lo, hi)) {
             return r;
+        }
+        if self.cancel_hit || self.cancel.as_ref().is_some_and(CancelHandle::is_cancelled) {
+            // Same poisoned-but-total contract as the node limit: refuse
+            // the allocation so the in-flight apply drains within its
+            // existing arena, and let the caller see the right error.
+            self.cancel_hit = true;
+            return Ref::ZERO;
         }
         if self
             .node_limit

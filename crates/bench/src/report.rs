@@ -1,228 +1,8 @@
 //! Atomic JSON result artifacts for the experiment harness.
 //!
-//! The workspace is registry-free, so this is a small hand-rolled JSON
-//! value tree plus an atomic file writer (temp file in the destination
-//! directory, then `rename`). An interrupted run can therefore never
-//! leave a truncated artifact under `results/` — readers either see the
-//! previous complete file or the new complete file.
+//! The implementation moved to the shared `flowc-report` crate when the
+//! serve layer started needing the same JSON tree and atomic writer;
+//! this module re-exports it so existing `crate::report::...` callers
+//! and downstream users keep working unchanged.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::io;
-use std::path::Path;
-
-/// A JSON value. Numbers are `f64`; non-finite values serialize as
-/// `null` (JSON has no NaN/Infinity).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number (rendered via the shortest round-trip `f64` format).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience constructor for an integer value.
-    pub fn int(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-
-    /// Renders the value as pretty-printed JSON (2-space indent) with a
-    /// trailing newline.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    if *n == n.trunc() && n.abs() < 1e15 {
-                        let _ = write!(out, "{}", *n as i64);
-                    } else {
-                        let _ = write!(out, "{n}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for ch in s.chars() {
-                    match ch {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.render(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    Json::Str(key.clone()).render(out, depth + 1);
-                    out.push_str(": ");
-                    value.render(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-/// Writes `contents` to `path` atomically: the bytes go to a temporary
-/// file in the same directory (so the final `rename` cannot cross a
-/// filesystem boundary), are flushed to disk, and only then replace the
-/// destination. Parent directories are created as needed.
-///
-/// # Errors
-///
-/// Propagates I/O errors; on failure the temporary file is removed and
-/// any previous artifact at `path` is left untouched.
-pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    if let Some(dir) = dir {
-        fs::create_dir_all(dir)?;
-    }
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
-    let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        {
-            use std::io::Write as _;
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(contents.as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
-    }
-    result
-}
-
-/// Renders `json` pretty-printed and writes it atomically to `path`.
-///
-/// # Errors
-///
-/// Propagates I/O errors from [`write_atomic`].
-pub fn write_json(path: &Path, json: &Json) -> io::Result<()> {
-    write_atomic(path, &json.to_pretty())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_escaped_and_typed_values() {
-        let j = Json::Obj(vec![
-            ("name".into(), Json::str("a\"b\\c\nd")),
-            ("count".into(), Json::int(3)),
-            ("ratio".into(), Json::Num(0.5)),
-            ("bad".into(), Json::Num(f64::NAN)),
-            (
-                "flags".into(),
-                Json::Arr(vec![Json::Bool(true), Json::Null]),
-            ),
-            ("empty".into(), Json::Obj(vec![])),
-        ]);
-        let s = j.to_pretty();
-        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
-        assert!(s.contains("\"count\": 3"));
-        assert!(s.contains("\"ratio\": 0.5"));
-        assert!(s.contains("\"bad\": null"));
-        assert!(s.contains("[\n"));
-        assert!(s.contains("\"empty\": {}"));
-        assert!(s.ends_with('\n'));
-    }
-
-    #[test]
-    fn write_atomic_replaces_and_leaves_no_temp() {
-        let dir = std::env::temp_dir().join(format!("flowc-report-{}", std::process::id()));
-        let path = dir.join("out.json");
-        write_atomic(&path, "first").unwrap();
-        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
-        write_atomic(&path, "second").unwrap();
-        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
-        let leftovers: Vec<_> = fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name())
-            .collect();
-        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.json")]);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn write_json_round_trips_through_disk() {
-        let dir = std::env::temp_dir().join(format!("flowc-report-json-{}", std::process::id()));
-        let path = dir.join("r.json");
-        let j = Json::Obj(vec![("x".into(), Json::int(1))]);
-        write_json(&path, &j).unwrap();
-        assert_eq!(fs::read_to_string(&path).unwrap(), j.to_pretty());
-        fs::remove_dir_all(&dir).unwrap();
-    }
-}
+pub use flowc_report::{write_atomic, write_json, Json, JsonError};

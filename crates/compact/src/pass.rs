@@ -29,7 +29,7 @@ use flowc_xbar::Crossbar;
 use crate::pipeline::{CompactError, Config};
 use crate::preprocess::BddGraph;
 use crate::session::{
-    bdd_key, graph_key, ArtifactKey, CacheOutcome, Session, StageKind, StageRecord,
+    bdd_key, graph_key, ArtifactKey, CacheOutcome, Claim, Session, StageKind, StageRecord,
 };
 use crate::supervisor::{chaos, panic_message, run_ladder, LadderOutcome, Trigger};
 
@@ -154,23 +154,29 @@ impl Pass<(&Network, Option<&[usize]>)> for BddBuildPass {
     ) -> Result<BddArtifact, CompactError> {
         let sw = session.budget().stopwatch();
         let key = bdd_key(network, var_order);
-        if let Some(bdds) = session.cached_bdd(key) {
-            let wall = sw.elapsed();
-            session.record(StageRecord {
-                kind: StageKind::BddBuild,
-                wall,
-                cache: CacheOutcome::Hit,
-                items: bdds.manager.reachable(&bdds.roots).len(),
-                key: Some(key),
-            });
-            return Ok(BddArtifact {
-                bdds,
-                key,
-                budget_lifted: false,
-                wall,
-                lift_trigger: None,
-            });
-        }
+        // Single-flight claim: either the artifact is ready (cached, or a
+        // sibling thread just published it while we waited) or this thread
+        // owns the build; the ticket releases the claim even on unwind.
+        let ticket = match session.claim_bdd(key) {
+            Claim::Ready(bdds) => {
+                let wall = sw.elapsed();
+                session.record(StageRecord {
+                    kind: StageKind::BddBuild,
+                    wall,
+                    cache: CacheOutcome::Hit,
+                    items: bdds.manager.reachable(&bdds.roots).len(),
+                    key: Some(key),
+                });
+                return Ok(BddArtifact {
+                    bdds,
+                    key,
+                    budget_lifted: false,
+                    wall,
+                    lift_trigger: None,
+                });
+            }
+            Claim::Build(ticket) => ticket,
+        };
         let mut budget_lifted = false;
         let mut lift_trigger: Option<Trigger> = None;
         let first = catch_unwind(AssertUnwindSafe(|| {
@@ -179,6 +185,13 @@ impl Pass<(&Network, Option<&[usize]>)> for BddBuildPass {
         }));
         let bdds = match first {
             Ok(Ok(b)) => b,
+            // An explicit cancellation means *stop now* — lifting the
+            // budget here would start an unbounded rebuild the client
+            // just asked to abort. Deadline/node exhaustion still lifts
+            // (shipping a degraded design beats shipping nothing).
+            Ok(Err(flowc_budget::BudgetExceeded::Cancelled)) => {
+                return Err(CompactError::Cancelled)
+            }
             other => {
                 // No downstream stage can run without a BDD: lift the
                 // budget and rebuild.
@@ -208,6 +221,7 @@ impl Pass<(&Network, Option<&[usize]>)> for BddBuildPass {
         };
         let bdds = Arc::new(bdds);
         session.store_bdd(key, Arc::clone(&bdds));
+        drop(ticket); // publish before waking claim waiters
         let wall = sw.elapsed();
         session.record(StageRecord {
             kind: StageKind::BddBuild,
@@ -246,18 +260,22 @@ impl Pass<(&Arc<NetworkBdds>, ArtifactKey)> for GraphExtractPass {
     ) -> Result<Arc<BddGraph>, CompactError> {
         let sw = session.budget().stopwatch();
         let key = graph_key(bdd_key);
-        if let Some(graph) = session.cached_graph(key) {
-            session.record(StageRecord {
-                kind: StageKind::GraphExtract,
-                wall: sw.elapsed(),
-                cache: CacheOutcome::Hit,
-                items: graph.num_nodes(),
-                key: Some(key),
-            });
-            return Ok(graph);
-        }
+        let ticket = match session.claim_graph(key) {
+            Claim::Ready(graph) => {
+                session.record(StageRecord {
+                    kind: StageKind::GraphExtract,
+                    wall: sw.elapsed(),
+                    cache: CacheOutcome::Hit,
+                    items: graph.num_nodes(),
+                    key: Some(key),
+                });
+                return Ok(graph);
+            }
+            Claim::Build(ticket) => ticket,
+        };
         let graph = Arc::new(BddGraph::from_bdds(bdds));
         session.store_graph(key, Arc::clone(&graph));
+        drop(ticket); // publish before waking claim waiters
         session.record(StageRecord {
             kind: StageKind::GraphExtract,
             wall: sw.elapsed(),

@@ -43,6 +43,13 @@ pub enum VhStrategy {
         /// The trade-off weight γ (used by the balancing objective).
         gamma: f64,
     },
+    /// The all-VH staircase diagonal (every node labeled `VH`, `S = 2n`):
+    /// no search at all, valid for any graph. This is the terminal rung of
+    /// the degradation ladder exposed as a strategy of its own, so load
+    /// shedding (the serve admission controller) can force the cheapest
+    /// possible synthesis up front instead of discovering it by falling
+    /// down the ladder.
+    Staircase,
 }
 
 impl Default for VhStrategy {
@@ -102,6 +109,12 @@ pub enum CompactError {
     /// the terminal fallback failed) — indicates a bug, not a budget or
     /// input condition.
     Synthesis(String),
+    /// The budget's cancel flag fired before any design could ship (e.g.
+    /// during the BDD build, which has no degraded fallback). Unlike
+    /// deadline or node-ceiling exhaustion — which degrade and still ship
+    /// a design — an explicit cancellation must *stop*, so it surfaces as
+    /// this typed error instead of triggering an unbounded rebuild.
+    Cancelled,
 }
 
 impl fmt::Display for CompactError {
@@ -109,6 +122,7 @@ impl fmt::Display for CompactError {
         match self {
             CompactError::Map(e) => write!(f, "crossbar mapping failed: {e}"),
             CompactError::Synthesis(msg) => write!(f, "synthesis failed: {msg}"),
+            CompactError::Cancelled => write!(f, "synthesis cancelled"),
         }
     }
 }
@@ -117,7 +131,7 @@ impl std::error::Error for CompactError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompactError::Map(e) => Some(e),
-            CompactError::Synthesis(_) => None,
+            CompactError::Synthesis(_) | CompactError::Cancelled => None,
         }
     }
 }
@@ -241,6 +255,11 @@ fn run_strategy(graph: &BddGraph, config: &Config) -> (Labeling, bool, f64, Opti
             let _ = gamma;
             (labeling, false, 1.0, None)
         }
+        VhStrategy::Staircase => {
+            let vh: std::collections::HashSet<usize> = (0..graph.num_nodes()).collect();
+            let labeling = crate::balance::balanced_labeling(graph, &vh, config.align);
+            (labeling, false, 1.0, None)
+        }
     }
 }
 
@@ -285,6 +304,7 @@ mod tests {
                 exact_node_limit: 80,
             },
             VhStrategy::Heuristic { gamma: 0.5 },
+            VhStrategy::Staircase,
         ] {
             let cfg = Config {
                 strategy,

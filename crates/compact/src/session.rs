@@ -34,9 +34,9 @@
 //! different incumbents run-to-run; that nondeterminism comes from the
 //! clock, not from the session or the batch machinery.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use flowc_bdd::NetworkBdds;
@@ -331,6 +331,10 @@ struct SessionState {
     rng_state: u64,
     hits: usize,
     misses: usize,
+    /// Keys whose artifact is being built right now (single-flight): a
+    /// second thread asking for the same key blocks on [`Session::build_cv`]
+    /// instead of duplicating the build.
+    in_flight: HashSet<ArtifactKey>,
 }
 
 /// A synthesis session: the shared context every pass runs in.
@@ -346,6 +350,9 @@ pub struct Session {
     seed: u64,
     verify_samples: Option<usize>,
     state: Mutex<SessionState>,
+    /// Signaled whenever an in-flight build finishes (published or
+    /// abandoned), waking threads blocked on the same artifact key.
+    build_cv: Condvar,
 }
 
 impl Default for Session {
@@ -368,7 +375,9 @@ impl Session {
                 rng_state: config.seed,
                 hits: 0,
                 misses: 0,
+                in_flight: HashSet::new(),
             }),
+            build_cv: Condvar::new(),
         }
     }
 
@@ -437,16 +446,42 @@ impl Session {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    pub(crate) fn cached_bdd(&self, key: ArtifactKey) -> Option<Arc<NetworkBdds>> {
-        self.lock().bdds.get(key)
+    /// Claims the BDD artifact `key` for single-flight construction: a
+    /// cached artifact (possibly published by a sibling thread we waited
+    /// out) comes back [`Claim::Ready`]; otherwise the caller owns the
+    /// build and must publish via [`Session::store_bdd`] before dropping
+    /// the ticket.
+    pub(crate) fn claim_bdd(&self, key: ArtifactKey) -> Claim<'_, Arc<NetworkBdds>> {
+        self.claim_with(key, |state| state.bdds.get(key))
+    }
+
+    /// [`Session::claim_bdd`] for graph artifacts.
+    pub(crate) fn claim_graph(&self, key: ArtifactKey) -> Claim<'_, Arc<BddGraph>> {
+        self.claim_with(key, |state| state.graphs.get(key))
+    }
+
+    fn claim_with<T>(
+        &self,
+        key: ArtifactKey,
+        get: impl Fn(&SessionState) -> Option<T>,
+    ) -> Claim<'_, T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(value) = get(&state) {
+                return Claim::Ready(value);
+            }
+            if state.in_flight.insert(key) {
+                return Claim::Build(BuildTicket { session: self, key });
+            }
+            // Another thread is building this artifact; wait for it to
+            // publish (then hit the cache) or abandon (then claim the
+            // build ourselves on the next loop iteration).
+            state = self.build_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     pub(crate) fn store_bdd(&self, key: ArtifactKey, bdds: Arc<NetworkBdds>) {
         self.lock().bdds.insert(key, bdds);
-    }
-
-    pub(crate) fn cached_graph(&self, key: ArtifactKey) -> Option<Arc<BddGraph>> {
-        self.lock().graphs.get(key)
     }
 
     pub(crate) fn store_graph(&self, key: ArtifactKey, graph: Arc<BddGraph>) {
@@ -461,6 +496,32 @@ impl Session {
             CacheOutcome::Uncached => {}
         }
         state.trace.records.push(record);
+    }
+}
+
+/// Outcome of claiming a cacheable artifact (see [`Session::claim_bdd`]).
+pub(crate) enum Claim<'s, T> {
+    /// The artifact is available — either it was already cached, or this
+    /// thread waited out a sibling's in-flight build of the same key.
+    Ready(T),
+    /// This thread owns the build. Publish the artifact with the matching
+    /// `store_*`, then drop the ticket; dropping without publishing
+    /// (failure, panic unwind) releases the claim so a waiter can retry.
+    Build(BuildTicket<'s>),
+}
+
+/// Exclusive permission to build one artifact key (single-flight lease).
+pub(crate) struct BuildTicket<'s> {
+    session: &'s Session,
+    key: ArtifactKey,
+}
+
+impl Drop for BuildTicket<'_> {
+    fn drop(&mut self) {
+        let mut state = self.session.lock();
+        state.in_flight.remove(&self.key);
+        drop(state);
+        self.session.build_cv.notify_all();
     }
 }
 
@@ -637,31 +698,10 @@ pub fn synthesize_batch(
     }
     .min(tasks.len());
 
-    // Artifacts shared by more than one task are warmed on the calling
-    // thread so parallel workers cannot race to build the same BDD twice
-    // (a benign but wasteful duplication that would also double-count
-    // builds in the trace).
-    if threads > 1 {
-        let mut warmed: Vec<ArtifactKey> = Vec::new();
-        for task in tasks {
-            let key = bdd_key(&task.network, task.config.var_order.as_deref());
-            if warmed.contains(&key) {
-                continue;
-            }
-            let sharers = tasks
-                .iter()
-                .filter(|t| bdd_key(&t.network, t.config.var_order.as_deref()) == key)
-                .count();
-            if sharers > 1 {
-                if let Ok(bdd) =
-                    BddBuildPass.run(session, (&*task.network, task.config.var_order.as_deref()))
-                {
-                    let _ = GraphExtractPass.run(session, (&bdd.bdds, bdd.key));
-                }
-                warmed.push(key);
-            }
-        }
-    }
+    // Tasks that agree on network + variable order dedupe through the
+    // session's single-flight claims: the first worker to reach a key
+    // builds it, siblings block on the claim and then hit the cache, so
+    // the trace records one build regardless of scheduling.
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<CompactResult, CompactError>>>> =

@@ -212,6 +212,7 @@ fn ladder(strategy: &VhStrategy) -> Vec<Rung> {
             Rung::AllVh,
         ],
         VhStrategy::Heuristic { .. } => vec![Rung::HeuristicOct, Rung::AllVh],
+        VhStrategy::Staircase => vec![Rung::AllVh],
     }
 }
 
@@ -229,6 +230,7 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 // strategy; these defaults are never reached in practice.
                 VhStrategy::MinSemiperimeter { time_limit } => (1.0, *time_limit, 80),
                 VhStrategy::Heuristic { gamma } => (*gamma, Duration::from_secs(30), 80),
+                VhStrategy::Staircase => (0.5, Duration::ZERO, 0),
             };
             let out = solve_exact_budgeted(
                 graph,
@@ -281,6 +283,7 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 } => (*gamma, *time_limit),
                 VhStrategy::MinSemiperimeter { time_limit } => (1.0, *time_limit),
                 VhStrategy::Heuristic { gamma } => (*gamma, Duration::from_secs(30)),
+                VhStrategy::Staircase => (0.5, Duration::ZERO),
             };
             let out = solve_anytime_budgeted(
                 graph,
@@ -552,14 +555,16 @@ mod tests {
     }
 
     #[test]
-    fn cancelled_budget_still_returns_a_design() {
+    fn cancelled_budget_aborts_with_typed_error() {
+        // Explicit cancellation is a stop order, not a resource ceiling:
+        // unlike deadline/node exhaustion (which degrade and still ship a
+        // design), it must surface as `CompactError::Cancelled` without
+        // falling back to an unbudgeted rebuild.
         let n = fig2_network();
         let budget = Budget::unlimited();
         budget.cancel_handle().cancel();
-        let r = synthesize_with_budget(&n, &Config::default(), &budget).unwrap();
-        assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
-        let report = r.degradation.as_ref().unwrap();
-        assert!(matches!(report.exhausted, Some(BudgetExceeded::Cancelled)));
+        let err = synthesize_with_budget(&n, &Config::default(), &budget).unwrap_err();
+        assert!(matches!(err, CompactError::Cancelled), "{err}");
     }
 
     #[test]
@@ -575,6 +580,7 @@ mod tests {
                 exact_node_limit: 80,
             },
             VhStrategy::Heuristic { gamma: 0.5 },
+            VhStrategy::Staircase,
         ] {
             let cfg = Config {
                 strategy,
@@ -596,6 +602,11 @@ mod tests {
         assert_eq!(
             ladder(&VhStrategy::Heuristic { gamma: 0.5 }),
             vec![Rung::HeuristicOct, Rung::AllVh]
+        );
+        assert_eq!(
+            ladder(&VhStrategy::Staircase),
+            vec![Rung::AllVh],
+            "staircase goes straight to the terminal rung"
         );
         assert_eq!(
             ladder(&VhStrategy::default())[0],

@@ -92,7 +92,9 @@ impl Corpus {
             text.push_str(&format!("# {line}\n"));
         }
         text.push_str(&blif::write(network));
-        std::fs::write(&path, text).ok()?;
+        // Atomic write: a fuzz worker dying mid-write must not leave a
+        // truncated counterexample that later poisons replay.
+        flowc_report::write_atomic(&path, &text).ok()?;
         Some(path)
     }
 

@@ -215,10 +215,7 @@ impl BranchBound {
             // Budget first: a cancelled or exhausted budget must stop the
             // search immediately, even when the next pop would have closed
             // the gap.
-            let out_of_budget = self
-                .budget
-                .as_ref()
-                .is_some_and(|b| b.check_solver_nodes(explored as u64).is_err());
+            let out_of_budget = self.budget_exhausted(explored);
             if let Some((_, inc_obj)) = &incumbent {
                 let denom = inc_obj.abs().max(1e-10);
                 if !out_of_budget
@@ -294,6 +291,25 @@ impl BranchBound {
                 }
             }
             for value in [true, false] {
+                // Re-check the budget before each child relaxation: a node
+                // expansion runs up to three LP solves, and waiting for the
+                // next pop to notice a cancellation would stretch abort
+                // latency to a full expansion instead of one LP.
+                if self.budget_exhausted(explored) {
+                    trace.push(TracePoint {
+                        elapsed: start.elapsed(),
+                        best_integer: incumbent.as_ref().map(|(_, o)| *o),
+                        best_bound: global_bound,
+                        open_nodes: heap.len() + 1,
+                    });
+                    return self.finish(
+                        model,
+                        incumbent,
+                        global_bound,
+                        trace,
+                        SolveStatus::TimeLimit,
+                    );
+                }
                 let mut child = node.fixed.clone();
                 child[branch_var] = Some(value);
                 let Some(child) = propagate(model, child) else {
@@ -349,6 +365,12 @@ impl BranchBound {
             open_nodes: heap.len(),
         });
         self.finish(model, incumbent, global_bound, trace, SolveStatus::Optimal)
+    }
+
+    fn budget_exhausted(&self, explored: usize) -> bool {
+        self.budget
+            .as_ref()
+            .is_some_and(|b| b.check_solver_nodes(explored as u64).is_err())
     }
 
     fn finish(
@@ -695,6 +717,65 @@ mod tests {
             Ok(sol) => assert_eq!(sol.status, SolveStatus::TimeLimit),
             Err(e) => assert_eq!(e, MilpError::Infeasible),
         }
+    }
+
+    /// A market-split instance: a few dense equality knapsacks over many
+    /// binaries. The LP bound is uselessly weak here, so branch & bound
+    /// grinds through an enormous tree — exactly what a mid-flight cancel
+    /// needs to land in.
+    fn market_split_model(vars: usize, rows: usize) -> Model {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..vars)
+            .map(|j| m.add_binary(format!("x{j}"), 1.0))
+            .collect();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..rows {
+            let mut terms = Vec::with_capacity(vars);
+            let mut total = 0i64;
+            for &x in &xs {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let c = (state % 97 + 1) as i64;
+                total += c;
+                terms.push((x, c as f64));
+            }
+            m.add_constraint(&terms, Sense::Eq, (total / 2) as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn cancellation_mid_solve_returns_promptly() {
+        // The search tree on this instance is nowhere near exhausted when
+        // the cancel fires, so the solve must notice the token between LP
+        // bound calls — not only at node pops — for the abort to land
+        // within a couple of LP solves. The 2s ceiling is a wide CI-proof
+        // margin over the observed latency; the 30s solver time limit is a
+        // backstop so a cancellation regression fails the test instead of
+        // hanging it.
+        let m = market_split_model(40, 4);
+        let budget = Budget::unlimited();
+        let handle = budget.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            handle.cancel();
+        });
+        let start = Instant::now();
+        let result = BranchBound::new()
+            .time_limit(Duration::from_secs(30))
+            .budget(&budget)
+            .solve(&m);
+        let elapsed = start.elapsed();
+        canceller.join().unwrap();
+        match result {
+            Ok(sol) => assert_eq!(sol.status, SolveStatus::TimeLimit),
+            Err(e) => assert_eq!(e, MilpError::Infeasible),
+        }
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "cancelled solve took {elapsed:?}"
+        );
     }
 
     #[test]

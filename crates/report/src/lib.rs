@@ -1,0 +1,658 @@
+//! Shared JSON plumbing and atomic result artifacts.
+//!
+//! The workspace is registry-free, so this is a small hand-rolled JSON
+//! value tree ([`Json`]), a strict parser ([`Json::parse`] — the service
+//! protocol and the client mode round-trip through it), and an atomic
+//! file writer ([`write_atomic`]: temp file in the destination directory,
+//! then `rename`). An interrupted run — or a worker that dies mid-write —
+//! can therefore never leave a truncated artifact under `results/`:
+//! readers either see the previous complete file or the new complete file.
+//!
+//! This crate grew out of `flowc-bench`'s report module once the serve
+//! layer needed the same machinery for request/response bodies and
+//! metrics snapshots; `flowc_bench::report` re-exports it for
+//! compatibility.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A JSON value. Numbers are `f64`; non-finite values serialize as
+/// `null` (JSON has no NaN/Infinity).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (rendered via the shortest round-trip `f64` format).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an integer value.
+    pub fn int(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64`, if this is a non-negative
+    /// finite number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.is_finite() && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (one value, surrounding whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with a byte offset on malformed input, trailing
+    /// garbage, or nesting deeper than 128 levels.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent) with a
+    /// trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the value as compact single-line JSON (for wire protocols
+    /// and JSON-lines logs).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact(&mut out);
+        out
+    }
+
+    fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).render_compact(out);
+                    out.push(':');
+                    value.render_compact(out);
+                }
+                out.push('}');
+            }
+            other => other.render(out, 0),
+        }
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    Json::Str(key.clone()).render(out, depth + 1);
+                    out.push_str(": ");
+                    value.render(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A JSON parse failure: what went wrong and the byte offset it was
+/// detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                break;
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `]`"));
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Arr(items))
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `}`"));
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Obj(fields))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("unescaped control character")),
+                _ => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// file in the same directory (so the final `rename` cannot cross a
+/// filesystem boundary), are flushed to disk, and only then replace the
+/// destination. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the temporary file is removed and
+/// any previous artifact at `path` is left untouched.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Renders `json` pretty-printed and writes it atomically to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`write_atomic`].
+pub fn write_json(path: &Path, json: &Json) -> io::Result<()> {
+    write_atomic(path, &json.to_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_and_typed_values() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::str("a\"b\\c\nd")),
+            ("count".into(), Json::int(3)),
+            ("ratio".into(), Json::Num(0.5)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            (
+                "flags".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let s = j.to_pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("[\n"));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("flowc-report-{}", std::process::id()));
+        let path = dir.join("out.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.json")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_json_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("flowc-report-json-{}", std::process::id()));
+        let path = dir.join("r.json");
+        let j = Json::Obj(vec![("x".into(), Json::int(1))]);
+        write_json(&path, &j).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), j.to_pretty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_and_compact() {
+        let j = Json::Obj(vec![
+            ("s".into(), Json::str("hé\t\"x\"\\")),
+            ("n".into(), Json::Num(-12.75)),
+            ("i".into(), Json::int(42)),
+            ("b".into(), Json::Bool(false)),
+            ("z".into(), Json::Null),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::int(1), Json::str(""), Json::Obj(vec![])]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&j.to_pretty()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_accepts_escapes_and_surrogates() {
+        let j = Json::parse(r#""a\u0041\n\ud83d\ude00b""#).unwrap();
+        assert_eq!(j.as_str().unwrap(), "aA\n😀b");
+        assert_eq!(
+            Json::parse("1e3").unwrap().as_f64().unwrap(),
+            1000.0 // exponent form
+        );
+        assert_eq!(Json::parse("-0.5").unwrap().as_f64().unwrap(), -0.5);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{'a':1}",
+            "tru",
+            "1 2",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "[1]]",
+            "nul",
+            "+1",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject: {bad}");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let j = Json::parse(r#"{"job":"j-1","deadline_ms":250,"ok":true,"xs":[1,2]}"#).unwrap();
+        assert_eq!(j.get("job").and_then(Json::as_str), Some("j-1"));
+        assert_eq!(j.get("deadline_ms").and_then(Json::as_u64), Some(250));
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            j.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deadline-aware admission control: decide *before* queueing whether a
+//! job's deadline is achievable, and at which rung of the degradation
+//! ladder. The estimate comes from an EWMA of recent per-rung service
+//! latencies (seeded with pessimistic priors until real samples arrive),
+//! inflated by a safety factor and the expected queue wait. A job whose
+//! deadline not even the all-VH staircase can meet is rejected with a
+//! typed, retry-after-bearing error instead of being queued to die.
+
+use std::time::Duration;
+
+use flowc_compact::pipeline::VhStrategy;
+
+/// The admission-facing rungs of the supervisor ladder, most to least
+/// ambitious. Each maps to the [`VhStrategy`] that *enters* the internal
+/// ladder at that rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeRung {
+    /// Exact weighted MIP (falls back internally if the graph is large).
+    ExactMip,
+    /// Staged anytime MIP (exact path disabled).
+    AnytimeMip,
+    /// Greedy OCT heuristic + balancing.
+    HeuristicOct,
+    /// All-VH staircase: no search at all.
+    Staircase,
+}
+
+/// Ladder order, most ambitious first.
+pub const RUNGS: [ServeRung; 4] = [
+    ServeRung::ExactMip,
+    ServeRung::AnytimeMip,
+    ServeRung::HeuristicOct,
+    ServeRung::Staircase,
+];
+
+impl ServeRung {
+    /// Stable wire/metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeRung::ExactMip => "exact-mip",
+            ServeRung::AnytimeMip => "anytime-mip",
+            ServeRung::HeuristicOct => "heuristic-oct",
+            ServeRung::Staircase => "staircase",
+        }
+    }
+
+    /// Parses a client-requested rung name.
+    pub fn parse(name: &str) -> Option<ServeRung> {
+        RUNGS.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Index into [`RUNGS`] (0 = most ambitious).
+    fn index(self) -> usize {
+        RUNGS.iter().position(|&r| r == self).expect("in ladder")
+    }
+
+    /// The strategy that enters the supervisor ladder at this rung. The
+    /// solver time limit is the job's remaining wall-clock — the budget
+    /// deadline is the real enforcer; this just keeps the solver's own
+    /// pacing consistent with it.
+    pub fn strategy(self, gamma: f64, time_limit: Duration) -> VhStrategy {
+        match self {
+            ServeRung::ExactMip => VhStrategy::Weighted {
+                gamma,
+                time_limit,
+                exact_node_limit: 80,
+            },
+            // exact_node_limit 0 skips the exact path: every graph takes
+            // the staged anytime route.
+            ServeRung::AnytimeMip => VhStrategy::Weighted {
+                gamma,
+                time_limit,
+                exact_node_limit: 0,
+            },
+            ServeRung::HeuristicOct => VhStrategy::Heuristic { gamma },
+            ServeRung::Staircase => VhStrategy::Staircase,
+        }
+    }
+}
+
+/// What admission decided for an accepted job.
+#[derive(Debug, Clone, Copy)]
+pub struct Admission {
+    /// The rung the job will run at.
+    pub rung: ServeRung,
+    /// Whether that is below the rung the client asked for.
+    pub degraded: bool,
+    /// The latency estimate that justified the decision.
+    pub estimate: Duration,
+}
+
+/// Rejection: not even the cheapest rung fits the deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Infeasible {
+    /// Cheapest-rung estimate (what the deadline would need to cover).
+    pub estimate: Duration,
+    /// Suggested retry delay (the expected queue-drain time: retrying
+    /// sooner cannot help if the deadline itself is the problem, but the
+    /// queue contribution will have decayed by then).
+    pub retry_after: Duration,
+}
+
+/// EWMA per-rung latency model.
+#[derive(Debug)]
+pub struct LatencyModel {
+    /// Current estimate per rung, microseconds.
+    ewma_us: [f64; RUNGS.len()],
+    /// Samples folded in per rung.
+    samples: [u64; RUNGS.len()],
+    /// Smoothing factor for new samples.
+    alpha: f64,
+    /// Multiplier on the estimate before comparing to the deadline.
+    safety: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Pessimistic priors, most ambitious slowest. They only matter
+        // until the first few real samples arrive.
+        LatencyModel {
+            ewma_us: [2_000_000.0, 500_000.0, 50_000.0, 5_000.0],
+            samples: [0; RUNGS.len()],
+            alpha: 0.3,
+            safety: 2.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Folds one observed service latency for `rung` into the model.
+    pub fn record(&mut self, rung: ServeRung, latency: Duration) {
+        let i = rung.index();
+        let us = latency.as_micros() as f64;
+        if self.samples[i] == 0 {
+            self.ewma_us[i] = us;
+        } else {
+            self.ewma_us[i] += self.alpha * (us - self.ewma_us[i]);
+        }
+        self.samples[i] += 1;
+    }
+
+    /// The current estimate for `rung`, safety factor *not* applied.
+    pub fn estimate(&self, rung: ServeRung) -> Duration {
+        Duration::from_micros(self.ewma_us[rung.index()] as u64)
+    }
+
+    /// Decides the highest rung (starting at `requested`) whose safety-
+    /// inflated estimate plus the expected queue wait fits `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`Infeasible`] when not even the staircase rung fits.
+    pub fn plan(
+        &self,
+        requested: ServeRung,
+        deadline: Duration,
+        queue_wait: Duration,
+    ) -> Result<Admission, Infeasible> {
+        for &rung in &RUNGS[requested.index()..] {
+            let estimate = self.estimate(rung);
+            let needed = estimate.mul_f64(self.safety) + queue_wait;
+            if needed <= deadline {
+                return Ok(Admission {
+                    rung,
+                    degraded: rung != requested,
+                    estimate,
+                });
+            }
+        }
+        Err(Infeasible {
+            estimate: self.estimate(ServeRung::Staircase),
+            retry_after: queue_wait.max(Duration::from_millis(1)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_admits_degrades_and_rejects() {
+        let model = LatencyModel::default();
+        // Generous deadline: the requested rung is admitted as-is.
+        let adm = model
+            .plan(ServeRung::ExactMip, Duration::from_secs(30), Duration::ZERO)
+            .unwrap();
+        assert_eq!(adm.rung, ServeRung::ExactMip);
+        assert!(!adm.degraded);
+        // 300ms deadline: exact (2s prior × 2) cannot fit, heuristic can.
+        let adm = model
+            .plan(
+                ServeRung::ExactMip,
+                Duration::from_millis(300),
+                Duration::ZERO,
+            )
+            .unwrap();
+        assert_eq!(adm.rung, ServeRung::HeuristicOct);
+        assert!(adm.degraded);
+        // 1ms deadline: not even the staircase (5ms prior × 2) fits.
+        let rej = model
+            .plan(
+                ServeRung::ExactMip,
+                Duration::from_millis(1),
+                Duration::ZERO,
+            )
+            .unwrap_err();
+        assert!(rej.estimate >= Duration::from_millis(1));
+        assert!(rej.retry_after > Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_wait_pushes_jobs_down_the_ladder() {
+        let model = LatencyModel::default();
+        // Alone, heuristic (50ms × 2) fits a 150ms deadline...
+        let adm = model
+            .plan(
+                ServeRung::HeuristicOct,
+                Duration::from_millis(150),
+                Duration::ZERO,
+            )
+            .unwrap();
+        assert_eq!(adm.rung, ServeRung::HeuristicOct);
+        // ...but a 100ms expected queue wait forces the staircase.
+        let adm = model
+            .plan(
+                ServeRung::HeuristicOct,
+                Duration::from_millis(150),
+                Duration::from_millis(100),
+            )
+            .unwrap();
+        assert_eq!(adm.rung, ServeRung::Staircase);
+    }
+
+    #[test]
+    fn ewma_follows_observations() {
+        let mut model = LatencyModel::default();
+        // First sample replaces the prior outright.
+        model.record(ServeRung::Staircase, Duration::from_millis(40));
+        assert_eq!(
+            model.estimate(ServeRung::Staircase),
+            Duration::from_millis(40)
+        );
+        // Subsequent samples move the estimate smoothly.
+        model.record(ServeRung::Staircase, Duration::from_millis(80));
+        let e = model.estimate(ServeRung::Staircase);
+        assert!(e > Duration::from_millis(40) && e < Duration::from_millis(80));
+    }
+}

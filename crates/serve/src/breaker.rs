@@ -1,0 +1,236 @@
+//! A circuit breaker for the synthesis service: when the recent failure
+//! rate or the queue depth says the backend is unhealthy, new work is
+//! rejected *fast* (with a retry hint) instead of piling onto a struggling
+//! queue. After a cooldown the breaker half-opens and admits a single
+//! probe; the probe's outcome decides between closing and re-opening with
+//! a doubled cooldown.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning. The defaults are deliberately conservative: ten
+/// samples minimum before a rate trip, and a short base cooldown so tests
+/// (and recoveries) are fast.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding window length (job outcomes).
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate can trip.
+    pub min_samples: usize,
+    /// Failure rate in `[0, 1]` at which the breaker opens.
+    pub failure_threshold: f64,
+    /// First open-state cooldown; doubles on every consecutive re-open,
+    /// capped at [`BreakerConfig::max_cooldown`].
+    pub base_cooldown: Duration,
+    /// Upper bound for the doubled cooldown.
+    pub max_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_samples: 10,
+            failure_threshold: 0.5,
+            base_cooldown: Duration::from_millis(250),
+            max_cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The classic three states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all admissions pass.
+    Closed,
+    /// Tripped: admissions are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe job is in flight.
+    HalfOpen,
+}
+
+/// Why an admission was refused, with the suggested retry delay.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerRejection {
+    /// How long the client should wait before retrying.
+    pub retry_after: Duration,
+}
+
+/// The breaker itself. Not internally synchronized — the server holds it
+/// behind its own mutex.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// `true` = failure, most recent at the back.
+    window: VecDeque<bool>,
+    /// When the open state ends (meaningful in `Open`).
+    open_until: Instant,
+    /// The cooldown the *next* trip will use.
+    cooldown: Duration,
+    /// Total closed → open transitions.
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        let cooldown = config.base_cooldown;
+        Breaker {
+            config,
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            open_until: Instant::now(),
+            cooldown,
+            trips: 0,
+        }
+    }
+
+    /// Current state (transitions lazily on [`Breaker::admit`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total number of trips so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Asks to admit one job at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`BreakerRejection`] while open (with the remaining cooldown) or
+    /// while a half-open probe is already in flight.
+    pub fn admit(&mut self, now: Instant) -> Result<(), BreakerRejection> {
+        match self.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    // Cooldown served: admit this one job as the probe.
+                    self.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(BreakerRejection {
+                        retry_after: self.open_until - now,
+                    })
+                }
+            }
+            BreakerState::HalfOpen => Err(BreakerRejection {
+                retry_after: self.cooldown,
+            }),
+        }
+    }
+
+    /// Records one finished job. In half-open state the outcome belongs to
+    /// the probe: success closes the breaker (and resets the cooldown),
+    /// failure re-opens it with a doubled cooldown.
+    pub fn record(&mut self, success: bool, now: Instant) {
+        self.window.push_back(!success);
+        while self.window.len() > self.config.window {
+            self.window.pop_front();
+        }
+        match self.state {
+            BreakerState::HalfOpen => {
+                if success {
+                    self.state = BreakerState::Closed;
+                    self.cooldown = self.config.base_cooldown;
+                    self.window.clear();
+                } else {
+                    self.cooldown = (self.cooldown * 2).min(self.config.max_cooldown);
+                    self.trip(now);
+                }
+            }
+            BreakerState::Closed => {
+                let failures = self.window.iter().filter(|&&f| f).count();
+                if self.window.len() >= self.config.min_samples
+                    && failures as f64 >= self.config.failure_threshold * self.window.len() as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Trips the breaker directly (queue-depth overload): the queue being
+    /// at capacity is evidence enough without waiting for failures.
+    pub fn trip_for_overload(&mut self, now: Instant) {
+        if self.state != BreakerState::Open {
+            self.trip(now);
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.open_until = now + self.cooldown;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            base_cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn trips_on_failure_rate_and_recovers_via_probe() {
+        let mut b = Breaker::new(fast_config());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record(false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Rejected during cooldown, with a retry hint.
+        let rej = b.admit(t0 + Duration::from_millis(10)).unwrap_err();
+        assert!(rej.retry_after > Duration::ZERO);
+        // After the cooldown one probe is admitted; a second ask is not.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.admit(t1).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(t1).is_err());
+        // Probe success closes the breaker and clears the window.
+        b.record(true, t1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(t1).is_ok());
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_cooldown() {
+        let mut b = Breaker::new(fast_config());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record(false, t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.admit(t1).is_ok()); // probe
+        b.record(false, t1); // probe fails → open again, cooldown doubled
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // 100ms base doubled to 200ms: still rejected at +150ms.
+        assert!(b.admit(t1 + Duration::from_millis(150)).is_err());
+        assert!(b.admit(t1 + Duration::from_millis(250)).is_ok());
+    }
+
+    #[test]
+    fn overload_trip_is_immediate() {
+        let mut b = Breaker::new(fast_config());
+        let t0 = Instant::now();
+        b.trip_for_overload(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.admit(t0).is_err());
+        // Tripping again while already open does not extend or re-count.
+        b.trip_for_overload(t0 + Duration::from_millis(1));
+        assert_eq!(b.trips(), 1);
+    }
+}

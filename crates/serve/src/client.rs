@@ -1,0 +1,82 @@
+//! Minimal HTTP/1.1 client for talking to a running `flowc-serve`.
+//!
+//! One connection per request (the server speaks `Connection: close`), a
+//! bounded read/write timeout so a wedged server can never hang the
+//! client, and the response body decoded straight into [`Json`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use flowc_report::Json;
+
+/// Per-request I/O timeout: generous enough for a slow `/metrics` scrape,
+/// small enough that a dead server fails the client promptly.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Performs one HTTP exchange and returns `(status, parsed body)`.
+///
+/// An empty body decodes as [`Json::Null`].
+///
+/// # Errors
+///
+/// A human-readable message when the connection fails, times out, or the
+/// server answers something that is not HTTP-with-JSON.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, Json), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    let payload = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json = if payload.trim().is_empty() {
+        Json::Null
+    } else {
+        Json::parse(payload).map_err(|e| format!("response body from {addr}: {e}"))?
+    };
+    Ok((status, json))
+}
+
+/// Formats a typed error body (`{"error", "message", "retry_after_ms"?}`)
+/// into a one-line human message, keeping the machine tag visible.
+pub fn describe_error(status: u16, body: &Json) -> String {
+    let tag = body.get("error").and_then(Json::as_str).unwrap_or("error");
+    let message = body.get("message").and_then(Json::as_str).unwrap_or("");
+    match body.get("retry_after_ms").and_then(Json::as_u64) {
+        Some(ms) => format!("server answered {status} {tag}: {message} (retry after {ms} ms)"),
+        None => format!("server answered {status} {tag}: {message}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+
+    #[test]
+    fn round_trips_against_a_real_server() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = request(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("ok").and_then(Json::as_bool), Some(true));
+        let (status, body) = request(&addr, "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+        assert!(describe_error(status, &body).contains("404"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,217 @@
+//! A deliberately small HTTP/1.1 subset over [`std::net::TcpStream`]:
+//! enough for the service's JSON request/response endpoints, hand-rolled
+//! so the server stays dependency-free.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, one
+//! request per connection (`Connection: close` semantics). Not supported
+//! (and rejected with typed status codes): chunked transfer encoding,
+//! pipelining, bodies beyond [`MAX_BODY`].
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on a request body; larger submissions are rejected with
+/// `413` instead of buffering without bound.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Upper bound on the header block (request line + all headers).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, query parameters, and the raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased as received).
+    pub method: String,
+    /// The path component, query string stripped (e.g. `/status`).
+    pub path: String,
+    /// Decoded `?key=value` pairs (no percent-decoding: the API only uses
+    /// numeric ids and bare words).
+    pub query: HashMap<String, String>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Why a request could not be parsed, mapped to a status code.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Short machine-readable error tag.
+    pub tag: &'static str,
+}
+
+impl HttpError {
+    fn new(status: u16, tag: &'static str) -> Self {
+        HttpError { status, tag }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// [`HttpError`] with `400` on malformed syntax, `413` on oversized
+/// bodies or header blocks, `501` on transfer encodings we don't speak.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+
+    reader
+        .read_line(&mut line)
+        .map_err(|_| HttpError::new(400, "bad_request_line"))?;
+    header_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "bad_request_line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "bad_request_line"))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|_| HttpError::new(400, "bad_header"))?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::new(413, "headers_too_large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "bad_content_length"))?;
+            } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+                chunked = true;
+            }
+        }
+    }
+    if chunked {
+        return Err(HttpError::new(501, "transfer_encoding_unsupported"));
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::new(413, "body_too_large"));
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body_bytes)
+        .map_err(|_| HttpError::new(400, "truncated_body"))?;
+    let body = String::from_utf8(body_bytes).map_err(|_| HttpError::new(400, "body_not_utf8"))?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// The reason phrase for the handful of status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. Errors are swallowed: a
+/// client that hung up mid-response is its own problem, not the server's.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = round_trip(
+            "POST /submit?x=1&flag HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.query.get("x").map(String::as_str), Some("1"));
+        assert_eq!(req.query.get("flag").map(String::as_str), Some(""));
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_chunked_and_oversize() {
+        let e = round_trip("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 501);
+        let e = round_trip(&format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+}

@@ -1,0 +1,283 @@
+//! The job table: every submitted job's lifecycle, budget, and result.
+//!
+//! Terminal entries are retained for result pickup but only up to a
+//! bound — the oldest finished jobs are evicted first, so a long-running
+//! server's memory is bounded by `queue + running + retained`, never by
+//! total jobs served.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use flowc_budget::{Budget, CancelHandle};
+use flowc_report::Json;
+
+use crate::admission::ServeRung;
+use crate::protocol::SubmitSpec;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the queue.
+    Queued,
+    /// A worker is synthesizing it right now.
+    Running,
+    /// Finished with a design (possibly degraded; see the result body).
+    Done,
+    /// Failed outright (synthesis bug or worker crash).
+    Failed,
+    /// Cancelled before completion (queued-cancel, or mid-flight cancel
+    /// that aborted before any design shipped).
+    Cancelled,
+    /// Dropped unstarted because the server shut down.
+    Shed,
+}
+
+impl JobState {
+    /// Stable wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Shed => "shed",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One job's record.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// The job id.
+    pub id: u64,
+    /// The validated submission.
+    pub spec: SubmitSpec,
+    /// The rung admission assigned (≤ the requested rung).
+    pub rung: ServeRung,
+    /// Whether admission degraded the requested rung.
+    pub admission_degraded: bool,
+    /// The job budget: deadline fixed at submission, shared cancel flag.
+    pub budget: Budget,
+    /// Cancels the budget (fires mid-solve aborts).
+    pub cancel: CancelHandle,
+    /// Set once a client asked to cancel.
+    pub cancel_requested: bool,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Submission instant (queue-wait measurement).
+    pub submitted: Instant,
+    /// The result body (`Done`) or error body (`Failed`/`Cancelled`).
+    pub outcome: Option<Json>,
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    jobs: HashMap<u64, JobEntry>,
+    /// Terminal job ids, oldest first, for bounded retention.
+    finished: Vec<u64>,
+}
+
+/// The table: a mutex-guarded map plus FIFO eviction of finished jobs.
+#[derive(Debug)]
+pub struct JobTable {
+    inner: Mutex<TableInner>,
+    retain: usize,
+}
+
+impl JobTable {
+    /// A table retaining at most `retain` finished jobs (min 1).
+    pub fn new(retain: usize) -> Self {
+        JobTable {
+            inner: Mutex::new(TableInner::default()),
+            retain: retain.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts a freshly admitted job (state `Queued`).
+    pub fn insert(&self, entry: JobEntry) {
+        self.lock().jobs.insert(entry.id, entry);
+    }
+
+    /// Claims `id` for a worker: flips `Queued` → `Running` and hands the
+    /// worker what it needs. `None` when the job is gone or was cancelled
+    /// while queued (the worker just skips it).
+    pub fn claim_for_run(&self, id: u64) -> Option<(SubmitSpec, ServeRung, bool, Budget)> {
+        let mut inner = self.lock();
+        let entry = inner.jobs.get_mut(&id)?;
+        if entry.state != JobState::Queued || entry.cancel_requested {
+            return None;
+        }
+        entry.state = JobState::Running;
+        Some((
+            entry.spec.clone(),
+            entry.rung,
+            entry.admission_degraded,
+            entry.budget.clone(),
+        ))
+    }
+
+    /// Moves a job to a terminal state with its outcome body.
+    pub fn finish(&self, id: u64, state: JobState, outcome: Json) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.lock();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.state = state;
+            entry.outcome = Some(outcome);
+            inner.finished.push(id);
+            while inner.finished.len() > self.retain {
+                let oldest = inner.finished.remove(0);
+                inner.jobs.remove(&oldest);
+            }
+        }
+    }
+
+    /// Requests cancellation: fires the budget's cancel flag; a queued job
+    /// is finished as `Cancelled` immediately (the worker will skip it), a
+    /// running one aborts cooperatively and reports through its worker.
+    /// Returns the state *after* the request, or `None` if unknown.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut inner = self.lock();
+        let entry = inner.jobs.get_mut(&id)?;
+        if entry.state.is_terminal() {
+            return Some(entry.state.clone());
+        }
+        entry.cancel_requested = true;
+        entry.cancel.cancel();
+        if entry.state == JobState::Queued {
+            entry.state = JobState::Cancelled;
+            entry.outcome = Some(Json::Obj(vec![(
+                "cancelled_while".into(),
+                Json::str("queued"),
+            )]));
+            inner.finished.push(id);
+            while inner.finished.len() > self.retain {
+                let oldest = inner.finished.remove(0);
+                inner.jobs.remove(&oldest);
+            }
+        }
+        Some(inner.jobs[&id].state.clone())
+    }
+
+    /// Whether a cancel was requested for `id` (worker-side check).
+    pub fn cancel_requested(&self, id: u64) -> bool {
+        self.lock()
+            .jobs
+            .get(&id)
+            .is_some_and(|e| e.cancel_requested)
+    }
+
+    /// A status snapshot: `(state, queue-age, label)`.
+    pub fn status(&self, id: u64) -> Option<(JobState, Instant, String)> {
+        let inner = self.lock();
+        inner
+            .jobs
+            .get(&id)
+            .map(|e| (e.state.clone(), e.submitted, e.spec.label.clone()))
+    }
+
+    /// The outcome body of a terminal job; `None` while pending or when
+    /// the id is unknown/evicted.
+    pub fn outcome(&self, id: u64) -> Option<(JobState, Json)> {
+        let inner = self.lock();
+        inner.jobs.get(&id).and_then(|e| {
+            e.state
+                .is_terminal()
+                .then(|| (e.state.clone(), e.outcome.clone().unwrap_or(Json::Null)))
+        })
+    }
+
+    /// Jobs currently in non-terminal states (gauge for `/metrics`).
+    pub fn live_count(&self) -> usize {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|e| !e.state.is_terminal())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entry(id: u64) -> JobEntry {
+        let budget = Budget::unlimited().with_deadline(Duration::from_secs(30));
+        let cancel = budget.cancel_handle();
+        let spec =
+            crate::protocol::parse_submit(r#"{"circuit": "dec", "format": "bench"}"#).unwrap();
+        JobEntry {
+            id,
+            spec,
+            rung: ServeRung::HeuristicOct,
+            admission_degraded: false,
+            budget,
+            cancel,
+            cancel_requested: false,
+            state: JobState::Queued,
+            submitted: Instant::now(),
+            outcome: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let t = JobTable::new(8);
+        t.insert(entry(1));
+        assert_eq!(t.status(1).unwrap().0, JobState::Queued);
+        let claim = t.claim_for_run(1).unwrap();
+        assert_eq!(claim.1, ServeRung::HeuristicOct);
+        assert_eq!(t.status(1).unwrap().0, JobState::Running);
+        assert!(t.outcome(1).is_none());
+        t.finish(1, JobState::Done, Json::Obj(vec![]));
+        assert_eq!(t.outcome(1).unwrap().0, JobState::Done);
+        // Claiming a terminal job is refused.
+        assert!(t.claim_for_run(1).is_none());
+    }
+
+    #[test]
+    fn queued_cancel_is_immediate_and_skips_the_worker() {
+        let t = JobTable::new(8);
+        t.insert(entry(1));
+        assert_eq!(t.cancel(1), Some(JobState::Cancelled));
+        // The budget's cancel flag fired too.
+        let (state, _) = t.outcome(1).unwrap();
+        assert_eq!(state, JobState::Cancelled);
+        assert!(t.claim_for_run(1).is_none());
+        assert_eq!(t.cancel(99), None);
+    }
+
+    #[test]
+    fn running_cancel_fires_the_budget() {
+        let t = JobTable::new(8);
+        t.insert(entry(1));
+        let (_, _, _, budget) = t.claim_for_run(1).unwrap();
+        assert_eq!(t.cancel(1), Some(JobState::Running));
+        assert!(budget.is_cancelled());
+        assert!(t.cancel_requested(1));
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_fifo() {
+        let t = JobTable::new(2);
+        for id in 1..=4 {
+            t.insert(entry(id));
+            t.claim_for_run(id).unwrap();
+            t.finish(id, JobState::Done, Json::Obj(vec![]));
+        }
+        assert!(t.outcome(1).is_none());
+        assert!(t.outcome(2).is_none());
+        assert!(t.outcome(3).is_some());
+        assert!(t.outcome(4).is_some());
+    }
+}

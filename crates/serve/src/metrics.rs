@@ -1,0 +1,210 @@
+//! Service metrics: log₂-bucketed latency histograms plus the counters
+//! the overload machinery is judged by (sheds, degradations, restarts,
+//! cache effectiveness). Everything is rendered to one JSON document for
+//! `GET /metrics`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use flowc_report::Json;
+
+/// A latency histogram with power-of-two microsecond buckets: bucket `i`
+/// counts observations in `[2^i, 2^(i+1))` µs. 40 buckets cover ~12 days;
+/// the last bucket absorbs anything beyond.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 40],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 40],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// JSON rendering: count/mean/max plus the non-empty buckets keyed by
+    /// their lower bound in µs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::Obj(vec![
+                    ("ge_us".into(), Json::Num((1u64 << i) as f64)),
+                    ("count".into(), Json::Num(c as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("mean_us".into(), Json::Num(self.mean_us() as f64)),
+            ("max_us".into(), Json::Num(self.max_us as f64)),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Every counter the service exposes. Plain `u64`s behind the server's
+/// metrics mutex — contention is per-request, not per-solver-node.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Submissions received (before any admission decision).
+    pub submitted: u64,
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs accepted but moved to a lower ladder rung by admission.
+    pub degraded_admission: u64,
+    /// Jobs rejected because the queue was full.
+    pub shed_queue_full: u64,
+    /// Jobs rejected by the open circuit breaker.
+    pub shed_breaker: u64,
+    /// Jobs rejected because no rung could meet the deadline.
+    pub shed_deadline: u64,
+    /// Jobs rejected because the server was shutting down.
+    pub shed_shutdown: u64,
+    /// Jobs that finished with a design and no degradation.
+    pub completed_ok: u64,
+    /// Jobs that finished with a degraded (but valid) design.
+    pub completed_degraded: u64,
+    /// Jobs that failed outright (synthesis bug or worker crash).
+    pub failed: u64,
+    /// Jobs cancelled by the client (queued or mid-flight).
+    pub cancelled: u64,
+    /// Worker threads restarted after a panic.
+    pub worker_restarts: u64,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub breaker_trips: u64,
+}
+
+impl Counters {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("submitted".into(), Json::Num(self.submitted as f64)),
+            ("accepted".into(), Json::Num(self.accepted as f64)),
+            (
+                "degraded_admission".into(),
+                Json::Num(self.degraded_admission as f64),
+            ),
+            (
+                "shed_queue_full".into(),
+                Json::Num(self.shed_queue_full as f64),
+            ),
+            ("shed_breaker".into(), Json::Num(self.shed_breaker as f64)),
+            ("shed_deadline".into(), Json::Num(self.shed_deadline as f64)),
+            ("shed_shutdown".into(), Json::Num(self.shed_shutdown as f64)),
+            ("completed_ok".into(), Json::Num(self.completed_ok as f64)),
+            (
+                "completed_degraded".into(),
+                Json::Num(self.completed_degraded as f64),
+            ),
+            ("failed".into(), Json::Num(self.failed as f64)),
+            ("cancelled".into(), Json::Num(self.cancelled as f64)),
+            (
+                "worker_restarts".into(),
+                Json::Num(self.worker_restarts as f64),
+            ),
+            ("breaker_trips".into(), Json::Num(self.breaker_trips as f64)),
+        ])
+    }
+}
+
+/// The metrics registry: counters plus named latency histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// The service counters.
+    pub counters: Counters,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Records a latency observation under `name` (e.g. `"job"`,
+    /// `"stage.bdd-build"`, `"rung.heuristic-oct"`).
+    pub fn observe(&mut self, name: &'static str, d: Duration) {
+        self.histograms.entry(name).or_default().observe(d);
+    }
+
+    /// The histogram registered under `name`, if any observation landed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Renders counters + histograms (gauges are appended by the server,
+    /// which owns the queue and sessions).
+    pub fn to_json(&self, extra: Vec<(String, Json)>) -> Json {
+        let mut fields = vec![("counters".into(), self.counters.to_json())];
+        let hists: Vec<(String, Json)> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| ((*name).to_string(), h.to_json()))
+            .collect();
+        fields.push(("latency".into(), Json::Obj(hists)));
+        fields.extend(extra);
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let mut h = Histogram::default();
+        h.observe(Duration::from_micros(1));
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_micros(1000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_us(), (1 + 3 + 1000) / 3);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
+        // 1µs → bucket 2^0, 3µs → 2^1, 1000µs → 2^9: three distinct buckets.
+        assert_eq!(buckets.len(), 3);
+    }
+
+    #[test]
+    fn metrics_render_counters_and_histograms() {
+        let mut m = Metrics::default();
+        m.counters.submitted = 7;
+        m.observe("job", Duration::from_millis(2));
+        let json = m.to_json(vec![("queue_depth".into(), Json::Num(3.0))]);
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("submitted"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert!(json.get("latency").and_then(|l| l.get("job")).is_some());
+        assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(3));
+    }
+}

@@ -1,0 +1,220 @@
+//! The service's JSON wire protocol: submit-request parsing, typed error
+//! bodies, and the little vocabulary of job states.
+//!
+//! Every error response has the same shape —
+//! `{"error": <tag>, "message": <human>, "retry_after_ms"?: <n>}` — so
+//! clients can switch on `error` and honor `retry_after_ms` mechanically.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowc_logic::{bench_suite, blif, pla, verilog, Network};
+use flowc_report::Json;
+
+use crate::admission::ServeRung;
+
+/// How the submitted circuit text is to be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitFormat {
+    /// Berkeley BLIF netlist text.
+    Blif,
+    /// Espresso PLA truth-table text.
+    Pla,
+    /// The structural Verilog subset.
+    Verilog,
+    /// `circuit` names a built-in benchmark instead of carrying text.
+    Bench,
+}
+
+impl CircuitFormat {
+    fn parse(name: &str) -> Option<CircuitFormat> {
+        match name {
+            "blif" => Some(CircuitFormat::Blif),
+            "pla" => Some(CircuitFormat::Pla),
+            "verilog" | "v" => Some(CircuitFormat::Verilog),
+            "bench" => Some(CircuitFormat::Bench),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed, validated submission. The network is parsed at submit time
+/// so malformed circuits fail fast with `400` instead of inside a worker.
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// The circuit, already parsed.
+    pub network: Arc<Network>,
+    /// Display label (client-chosen or derived from the network name).
+    pub label: String,
+    /// Trade-off weight γ for the weighted objective.
+    pub gamma: f64,
+    /// The most ambitious rung the client wants.
+    pub rung: ServeRung,
+    /// Wall-clock deadline, measured from submission.
+    pub deadline: Duration,
+    /// Priority 0–9, higher first.
+    pub priority: u8,
+    /// Chaos directive (only honored when the server enables chaos):
+    /// `"panic-worker"` kills the worker thread mid-job.
+    pub chaos: Option<String>,
+}
+
+/// Parses and validates a `POST /submit` body.
+///
+/// # Errors
+///
+/// A human-readable message for any malformed field (the server answers
+/// `400` with it).
+pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
+    let json = Json::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let circuit = json
+        .get("circuit")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `circuit`")?;
+    let format = json
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `format` (blif|pla|verilog|bench)")?;
+    let format = CircuitFormat::parse(format)
+        .ok_or_else(|| format!("unknown format `{format}` (blif|pla|verilog|bench)"))?;
+
+    let network = match format {
+        CircuitFormat::Blif => blif::parse(circuit).map_err(|e| format!("blif: {e}"))?,
+        CircuitFormat::Pla => pla::parse(circuit).map_err(|e| format!("pla: {e}"))?,
+        CircuitFormat::Verilog => verilog::parse(circuit).map_err(|e| format!("verilog: {e}"))?,
+        CircuitFormat::Bench => bench_suite::by_name(circuit)
+            .ok_or_else(|| format!("unknown benchmark `{circuit}`"))?
+            .network()
+            .map_err(|e| format!("benchmark `{circuit}`: {e}"))?,
+    };
+
+    let gamma = match json.get("gamma") {
+        None => 0.5,
+        Some(v) => {
+            let g = v.as_f64().ok_or("`gamma` must be a number")?;
+            if !(0.0..=1.0).contains(&g) {
+                return Err(format!("`gamma` must be in [0, 1], got {g}"));
+            }
+            g
+        }
+    };
+    let rung = match json.get("strategy") {
+        None => ServeRung::ExactMip,
+        Some(v) => {
+            let name = v.as_str().ok_or("`strategy` must be a string")?;
+            ServeRung::parse(name).ok_or_else(|| {
+                format!("unknown strategy `{name}` (exact-mip|anytime-mip|heuristic-oct|staircase)")
+            })?
+        }
+    };
+    let deadline_ms = match json.get("deadline_ms") {
+        None => 30_000,
+        Some(v) => v
+            .as_u64()
+            .ok_or("`deadline_ms` must be a non-negative number")?,
+    };
+    let priority = match json.get("priority") {
+        None => 0,
+        Some(v) => {
+            let p = v.as_u64().ok_or("`priority` must be a number in 0..=9")?;
+            u8::try_from(p.min(9)).expect("capped at 9")
+        }
+    };
+    let chaos = json.get("chaos").and_then(Json::as_str).map(str::to_string);
+    let label = json
+        .get("label")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| network.name().to_string());
+
+    Ok(SubmitSpec {
+        network: Arc::new(network),
+        label,
+        gamma,
+        rung,
+        deadline: Duration::from_millis(deadline_ms),
+        priority,
+        chaos,
+    })
+}
+
+/// The uniform typed error body.
+pub fn error_json(tag: &str, message: &str, retry_after: Option<Duration>) -> Json {
+    let mut fields = vec![
+        ("error".into(), Json::str(tag)),
+        ("message".into(), Json::str(message)),
+    ];
+    if let Some(d) = retry_after {
+        fields.push((
+            "retry_after_ms".into(),
+            Json::Num(d.as_millis().max(1) as f64),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_bench_submission_with_defaults() {
+        let spec = parse_submit(r#"{"circuit": "dec", "format": "bench"}"#).unwrap();
+        assert_eq!(spec.rung, ServeRung::ExactMip);
+        assert_eq!(spec.deadline, Duration::from_secs(30));
+        assert_eq!(spec.priority, 0);
+        assert!((spec.gamma - 0.5).abs() < 1e-9);
+        assert!(spec.network.num_inputs() > 0);
+    }
+
+    #[test]
+    fn parses_explicit_fields_and_pla_text() {
+        let body = r#"{
+            "circuit": ".i 2\n.o 1\n11 1\n.e\n",
+            "format": "pla",
+            "gamma": 0.25,
+            "strategy": "heuristic-oct",
+            "deadline_ms": 1500,
+            "priority": 7,
+            "label": "and2"
+        }"#;
+        let spec = parse_submit(body).unwrap();
+        assert_eq!(spec.rung, ServeRung::HeuristicOct);
+        assert_eq!(spec.deadline, Duration::from_millis(1500));
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.label, "and2");
+        assert_eq!(spec.network.num_inputs(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_submissions_with_messages() {
+        for (body, needle) in [
+            ("not json", "valid JSON"),
+            (r#"{"format": "blif"}"#, "circuit"),
+            (r#"{"circuit": "x", "format": "doc"}"#, "unknown format"),
+            (
+                r#"{"circuit": "no-such", "format": "bench"}"#,
+                "unknown benchmark",
+            ),
+            (
+                r#"{"circuit": "dec", "format": "bench", "gamma": 1.5}"#,
+                "gamma",
+            ),
+            (
+                r#"{"circuit": "dec", "format": "bench", "strategy": "warp"}"#,
+                "unknown strategy",
+            ),
+        ] {
+            let err = parse_submit(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn error_body_is_uniform() {
+        let e = error_json("queue_full", "try later", Some(Duration::from_millis(250)));
+        assert_eq!(e.get("error").and_then(Json::as_str), Some("queue_full"));
+        assert_eq!(e.get("retry_after_ms").and_then(Json::as_u64), Some(250));
+        assert!(error_json("x", "y", None).get("retry_after_ms").is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! A bounded, priority-ordered job queue. Capacity is a hard bound —
+//! a full queue rejects the push with a typed error (the server turns
+//! that into `429 queue_full`), it never grows. Among queued jobs the
+//! highest priority runs first; ties break FIFO by submission sequence.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// One queued job reference: ordering metadata plus the job id. The job's
+/// payload lives in the job table; the queue only orders ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Client-chosen priority, 0–9; higher runs first.
+    pub priority: u8,
+    /// Monotonic submission sequence (tie-breaker: lower = older = first).
+    pub seq: u64,
+    /// The job id to look up in the table.
+    pub id: u64,
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then older seq first.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Push rejection: the queue is at capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueFull {
+    /// The capacity that was hit.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    heap: BinaryHeap<QueuedJob>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// The queue: a mutex-guarded binary heap plus a condvar for blocking
+/// pops. Closing wakes every waiter; a closed queue pops `None` (workers
+/// exit) and rejects pushes as if full.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue bounded at `capacity` (min 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] at capacity or after [`JobQueue::close`] — the queue
+    /// never grows past its bound, and a draining server accepts nothing.
+    pub fn push(&self, job: QueuedJob) -> Result<(), QueueFull> {
+        let mut inner = self.lock();
+        if inner.closed || inner.heap.len() >= inner.capacity {
+            return Err(QueueFull {
+                capacity: inner.capacity,
+            });
+        }
+        inner.heap.push(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed; `None`
+    /// means closed (worker should exit).
+    pub fn pop_blocking(&self) -> Option<QueuedJob> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(job) = inner.heap.pop() {
+                return Some(job);
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Closes the queue: wakes all waiting workers and returns the jobs
+    /// that will now never run (the server marks them shed).
+    pub fn close(&self) -> Vec<QueuedJob> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let drained = inner.heap.drain().collect();
+        drop(inner);
+        self.ready.notify_all();
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn job(priority: u8, seq: u64) -> QueuedJob {
+        QueuedJob {
+            priority,
+            seq,
+            id: seq,
+        }
+    }
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(8);
+        q.push(job(1, 0)).unwrap();
+        q.push(job(5, 1)).unwrap();
+        q.push(job(5, 2)).unwrap();
+        q.push(job(9, 3)).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop_blocking().unwrap().seq).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let q = JobQueue::new(2);
+        q.push(job(0, 0)).unwrap();
+        q.push(job(0, 1)).unwrap();
+        let err = q.push(job(0, 2)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_drains() {
+        let q = Arc::new(JobQueue::new(4));
+        q.push(job(0, 0)).unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // First pop gets the job; second blocks until close.
+                let first = q.pop_blocking();
+                let second = q.pop_blocking();
+                (first, second)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.push(job(0, 1)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let shed = q.close();
+        let (first, second) = waiter.join().unwrap();
+        assert!(first.is_some());
+        // The waiter either consumed seq 1 before close (second Some) or
+        // close drained it (shed non-empty) — never both, never neither.
+        assert_eq!(second.is_some() as usize + shed.len(), 1);
+        assert!(q.push(job(0, 9)).is_err());
+        assert!(q.pop_blocking().is_none());
+    }
+}

@@ -1,0 +1,873 @@
+//! The service itself: acceptor, worker pool, supervisor, and the
+//! endpoint handlers, wired around the overload machinery
+//! ([`crate::admission`], [`crate::breaker`], [`crate::queue`]).
+//!
+//! Fault containment layers, outermost first:
+//!
+//! 1. **Admission** — a job is accepted, degraded to a cheaper ladder
+//!    rung, or rejected with a typed retry-after error *before* it can
+//!    occupy memory. The queue is bounded; nothing ever waits unboundedly.
+//! 2. **Circuit breaker** — failure-rate or queue-depth trips switch the
+//!    server to reject-fast; a half-open probe decides recovery.
+//! 3. **Worker isolation** — each job runs on a worker thread whose panic
+//!    kills only that job; the supervisor restarts the worker with
+//!    exponential backoff and fails the in-flight job with a typed error.
+//! 4. **Budget enforcement** — every job carries a deadline-bearing
+//!    [`Budget`] whose cancel flag `POST /cancel` fires; the pipeline
+//!    aborts mid-solve and ships a degraded-but-valid design when it can.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flowc_budget::Budget;
+use flowc_compact::pipeline::Config;
+use flowc_compact::session::bdd_key;
+use flowc_compact::{synthesize_in_budgeted, Session, SessionConfig, StageKind};
+use flowc_report::Json;
+
+use crate::admission::{LatencyModel, ServeRung};
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::{JobEntry, JobState, JobTable};
+use crate::metrics::Metrics;
+use crate::protocol::{error_json, parse_submit};
+use crate::queue::{JobQueue, QueuedJob};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Synthesis worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Artifact-cache shards (one [`Session`] each), keyed by BDD key.
+    pub session_shards: usize,
+    /// Artifacts cached per stage per shard.
+    pub cache_capacity: usize,
+    /// Finished jobs retained for result pickup.
+    pub retain: usize,
+    /// Honor the `chaos` job field (test/CI only: a chaos job kills its
+    /// worker thread to exercise the supervisor).
+    pub enable_chaos: bool,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            session_shards: 4,
+            cache_capacity: 64,
+            retain: 1024,
+            enable_chaos: false,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Which worker is running which job (crash attribution).
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    current: Mutex<Option<u64>>,
+}
+
+/// Shared server state: everything the acceptor, handlers, workers, and
+/// supervisor touch.
+struct ServerInner {
+    config: ServeConfig,
+    queue: JobQueue,
+    jobs: JobTable,
+    sessions: Vec<Arc<Session>>,
+    metrics: Mutex<Metrics>,
+    model: Mutex<LatencyModel>,
+    breaker: Mutex<Breaker>,
+    slots: Vec<WorkerSlot>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] aborts the
+/// process-shared threads ungracefully; call `shutdown` for a clean drain.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service: acceptor thread, `workers` synthesis
+    /// workers, and the supervisor that restarts crashed workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (address in use, permission).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shards = config.session_shards.max(1);
+        let sessions = (0..shards)
+            .map(|_| {
+                Arc::new(Session::new(SessionConfig {
+                    cache_capacity: config.cache_capacity,
+                    ..SessionConfig::default()
+                }))
+            })
+            .collect();
+        let slots = (0..config.workers.max(1))
+            .map(|_| WorkerSlot::default())
+            .collect();
+        let inner = Arc::new(ServerInner {
+            queue: JobQueue::new(config.queue_capacity),
+            jobs: JobTable::new(config.retain),
+            sessions,
+            metrics: Mutex::new(Metrics::default()),
+            model: Mutex::new(LatencyModel::default()),
+            breaker: Mutex::new(Breaker::new(config.breaker.clone())),
+            slots,
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            config,
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || accept_loop(&inner, &listener))
+                .expect("spawn acceptor")
+        };
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervise(&inner))
+                .expect("spawn supervisor")
+        };
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting, shed unstarted jobs,
+    /// let running jobs finish. Returns immediately; [`Server::join`]
+    /// waits for the drain.
+    pub fn request_shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let shed = self.inner.queue.close();
+        let mut metrics = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        for q in &shed {
+            self.inner.jobs.finish(
+                q.id,
+                JobState::Shed,
+                error_json(
+                    "shed_shutdown",
+                    "server shutting down before the job started",
+                    None,
+                ),
+            );
+            metrics.counters.shed_shutdown += 1;
+        }
+    }
+
+    /// Waits for the acceptor, workers, and supervisor to exit. Call
+    /// after [`Server::request_shutdown`] (or let a signal handler set it).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Convenience: request shutdown and wait for the drain.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Accept loop: nonblocking accepts with a short sleep so the shutdown
+/// flag is honored within ~10ms even when no connections arrive.
+fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                // One short-lived thread per connection: requests are tiny
+                // and `read_request` enforces size bounds, so the only
+                // way to hold the thread is a slow client — bounded by the
+                // read timeout below.
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(&inner, stream));
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(inner: &Arc<ServerInner>, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = error_json(e.tag, "request rejected", None).to_compact();
+            write_response(&mut stream, e.status, &body);
+            return;
+        }
+    };
+    let (status, body) = route(inner, &request);
+    write_response(&mut stream, status, &body.to_compact());
+}
+
+fn route(inner: &Arc<ServerInner>, request: &Request) -> (u16, Json) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/submit") => submit(inner, &request.body),
+        ("GET", "/status") => with_id(request, |id| status(inner, id)),
+        ("GET", "/result") => with_id(request, |id| result(inner, id)),
+        ("POST", "/cancel") => {
+            let id = Json::parse(&request.body)
+                .ok()
+                .and_then(|j| j.get("id").and_then(Json::as_u64))
+                .or_else(|| request.query.get("id").and_then(|s| s.parse().ok()));
+            match id {
+                Some(id) => cancel(inner, id),
+                None => (
+                    400,
+                    error_json(
+                        "bad_request",
+                        "missing job id (body `{\"id\": n}` or ?id=n)",
+                        None,
+                    ),
+                ),
+            }
+        }
+        ("GET", "/metrics") => (200, metrics_json(inner)),
+        ("GET", "/healthz") => (200, Json::Obj(vec![("ok".into(), Json::Bool(true))])),
+        (_, "/submit" | "/status" | "/result" | "/cancel" | "/metrics" | "/healthz") => (
+            405,
+            error_json("method_not_allowed", "wrong method for this endpoint", None),
+        ),
+        _ => (404, error_json("not_found", "unknown endpoint", None)),
+    }
+}
+
+fn with_id(request: &Request, f: impl FnOnce(u64) -> (u16, Json)) -> (u16, Json) {
+    match request.query.get("id").and_then(|s| s.parse().ok()) {
+        Some(id) => f(id),
+        None => (400, error_json("bad_request", "missing ?id=<job id>", None)),
+    }
+}
+
+/// The expected queueing delay: mean observed job latency × depth,
+/// divided across workers. Zero until the first job completes.
+fn queue_wait_estimate(inner: &ServerInner) -> Duration {
+    let metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+    let mean_us = metrics.histogram("job").map_or(0, |h| h.mean_us());
+    drop(metrics);
+    let depth = inner.queue.depth() as u64;
+    let workers = inner.config.workers.max(1) as u64;
+    Duration::from_micros(mean_us.saturating_mul(depth) / workers)
+}
+
+fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
+    {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.submitted += 1;
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.shed_shutdown += 1;
+        return (503, error_json("shutting_down", "server is draining", None));
+    }
+
+    // Breaker first: reject-fast must not pay for JSON/netlist parsing.
+    let now = Instant::now();
+    let admitted = inner
+        .breaker
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .admit(now);
+    if let Err(rej) = admitted {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.shed_breaker += 1;
+        return (
+            503,
+            error_json(
+                "breaker_open",
+                "the service is shedding load after repeated failures or overload",
+                Some(rej.retry_after),
+            ),
+        );
+    }
+
+    let spec = match parse_submit(body) {
+        Ok(s) => s,
+        Err(msg) => return (400, error_json("bad_request", &msg, None)),
+    };
+
+    // Queue-depth shed: a full queue trips the breaker (overload evidence)
+    // and rejects with the expected drain time.
+    let wait = queue_wait_estimate(inner);
+    if inner.queue.depth() >= inner.queue.capacity() {
+        let trips = {
+            let mut breaker = inner.breaker.lock().unwrap_or_else(|e| e.into_inner());
+            breaker.trip_for_overload(now);
+            breaker.trips()
+        };
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.shed_queue_full += 1;
+        metrics.counters.breaker_trips = trips;
+        return (
+            429,
+            error_json(
+                "queue_full",
+                "the job queue is at capacity",
+                Some(wait.max(Duration::from_millis(10))),
+            ),
+        );
+    }
+
+    // Deadline feasibility: accept at the requested rung, degrade to a
+    // cheaper one, or reject — never enqueue a job that cannot finish.
+    let plan = {
+        let model = inner.model.lock().unwrap_or_else(|e| e.into_inner());
+        model.plan(spec.rung, spec.deadline, wait)
+    };
+    let admission = match plan {
+        Ok(a) => a,
+        Err(inf) => {
+            let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            metrics.counters.shed_deadline += 1;
+            let msg = format!(
+                "deadline {}ms is below the cheapest-rung estimate {}ms",
+                spec.deadline.as_millis(),
+                inf.estimate.as_millis().max(1)
+            );
+            return (
+                422,
+                error_json("deadline_infeasible", &msg, Some(inf.retry_after)),
+            );
+        }
+    };
+
+    let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+    let budget = Budget::unlimited().with_deadline(spec.deadline);
+    let cancel = budget.cancel_handle();
+    let priority = spec.priority;
+    let requested = spec.rung;
+    inner.jobs.insert(JobEntry {
+        id,
+        spec,
+        rung: admission.rung,
+        admission_degraded: admission.degraded,
+        budget,
+        cancel,
+        cancel_requested: false,
+        state: JobState::Queued,
+        submitted: now,
+        outcome: None,
+    });
+    if inner
+        .queue
+        .push(QueuedJob {
+            priority,
+            seq: id,
+            id,
+        })
+        .is_err()
+    {
+        // Lost the race between the depth check and the push.
+        inner.jobs.finish(
+            id,
+            JobState::Shed,
+            error_json("queue_full", "queue filled during admission", None),
+        );
+        inner
+            .breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .trip_for_overload(now);
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.shed_queue_full += 1;
+        return (
+            429,
+            error_json(
+                "queue_full",
+                "the job queue is at capacity",
+                Some(wait.max(Duration::from_millis(10))),
+            ),
+        );
+    }
+
+    {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.accepted += 1;
+        if admission.degraded {
+            metrics.counters.degraded_admission += 1;
+        }
+    }
+    (
+        200,
+        Json::Obj(vec![
+            ("id".into(), Json::Num(id as f64)),
+            ("rung".into(), Json::str(admission.rung.name())),
+            ("requested_rung".into(), Json::str(requested.name())),
+            ("degraded".into(), Json::Bool(admission.degraded)),
+            (
+                "estimated_ms".into(),
+                Json::Num(admission.estimate.as_millis() as f64),
+            ),
+        ]),
+    )
+}
+
+fn status(inner: &Arc<ServerInner>, id: u64) -> (u16, Json) {
+    match inner.jobs.status(id) {
+        None => (
+            404,
+            error_json("not_found", "unknown or evicted job id", None),
+        ),
+        Some((state, submitted, label)) => (
+            200,
+            Json::Obj(vec![
+                ("id".into(), Json::Num(id as f64)),
+                ("state".into(), Json::str(state.name())),
+                ("label".into(), Json::str(label)),
+                (
+                    "age_ms".into(),
+                    Json::Num(submitted.elapsed().as_millis() as f64),
+                ),
+            ]),
+        ),
+    }
+}
+
+fn result(inner: &Arc<ServerInner>, id: u64) -> (u16, Json) {
+    match inner.jobs.outcome(id) {
+        Some((state, outcome)) => (
+            200,
+            Json::Obj(vec![
+                ("id".into(), Json::Num(id as f64)),
+                ("state".into(), Json::str(state.name())),
+                ("outcome".into(), outcome),
+            ]),
+        ),
+        None => match inner.jobs.status(id) {
+            Some(_) => (
+                409,
+                error_json("not_finished", "job has not reached a terminal state", None),
+            ),
+            None => (
+                404,
+                error_json("not_found", "unknown or evicted job id", None),
+            ),
+        },
+    }
+}
+
+fn cancel(inner: &Arc<ServerInner>, id: u64) -> (u16, Json) {
+    match inner.jobs.cancel(id) {
+        None => (
+            404,
+            error_json("not_found", "unknown or evicted job id", None),
+        ),
+        Some(state) => {
+            if state == JobState::Cancelled {
+                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                metrics.counters.cancelled += 1;
+            }
+            (
+                200,
+                Json::Obj(vec![
+                    ("id".into(), Json::Num(id as f64)),
+                    ("state".into(), Json::str(state.name())),
+                ]),
+            )
+        }
+    }
+}
+
+fn metrics_json(inner: &Arc<ServerInner>) -> Json {
+    let breaker = inner.breaker.lock().unwrap_or_else(|e| e.into_inner());
+    let breaker_state = match breaker.state() {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    };
+    let trips = breaker.trips();
+    drop(breaker);
+
+    // Aggregate the session shards: cache effectiveness + per-stage work.
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut entries = 0usize;
+    let mut evicted = 0usize;
+    let mut stages: Vec<(String, Json)> = Vec::new();
+    let mut per_stage: Vec<(StageKind, usize, usize, usize, Duration)> = StageKind::all()
+        .into_iter()
+        .map(|k| (k, 0, 0, 0, Duration::ZERO))
+        .collect();
+    for session in &inner.sessions {
+        let stats = session.cache_stats();
+        hits += stats.hits;
+        misses += stats.misses;
+        entries += stats.entries;
+        evicted += stats.evicted;
+        let trace = session.trace();
+        for (kind, runs, builds, cache_hits, wall) in &mut per_stage {
+            *runs += trace.runs(*kind);
+            *builds += trace.builds(*kind);
+            *cache_hits += trace.hits(*kind);
+            *wall += trace.total_wall(*kind);
+        }
+    }
+    for (kind, runs, builds, cache_hits, wall) in per_stage {
+        if runs == 0 {
+            continue;
+        }
+        stages.push((
+            kind.name().to_string(),
+            Json::Obj(vec![
+                ("runs".into(), Json::int(runs)),
+                ("builds".into(), Json::int(builds)),
+                ("cache_hits".into(), Json::int(cache_hits)),
+                ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
+            ]),
+        ));
+    }
+    let cache_total = hits + misses;
+    let hit_rate = if cache_total == 0 {
+        0.0
+    } else {
+        hits as f64 / cache_total as f64
+    };
+
+    let extra = vec![
+        ("queue_depth".into(), Json::int(inner.queue.depth())),
+        ("queue_capacity".into(), Json::int(inner.queue.capacity())),
+        ("live_jobs".into(), Json::int(inner.jobs.live_count())),
+        ("workers".into(), Json::int(inner.config.workers.max(1))),
+        ("breaker_state".into(), Json::str(breaker_state)),
+        ("breaker_trips".into(), Json::Num(trips as f64)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::int(hits)),
+                ("misses".into(), Json::int(misses)),
+                ("entries".into(), Json::int(entries)),
+                ("evicted".into(), Json::int(evicted)),
+                ("hit_rate".into(), Json::Num(hit_rate)),
+            ]),
+        ),
+        ("stages".into(), Json::Obj(stages)),
+    ];
+    let metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+    metrics.to_json(extra)
+}
+
+/// The worker loop: pop → claim → synthesize under the job budget →
+/// record. A panic anywhere in here kills only this thread; the
+/// supervisor attributes the in-flight job and respawns.
+fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
+    while let Some(queued) = inner.queue.pop_blocking() {
+        let Some((spec, rung, admission_degraded, budget)) = inner.jobs.claim_for_run(queued.id)
+        else {
+            continue; // cancelled while queued, or evicted
+        };
+        *inner.slots[slot]
+            .current
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(queued.id);
+
+        // Chaos hooks (opt-in, test/CI only): `panic-worker` kills this
+        // worker mid-job to exercise the supervisor's crash containment
+        // (the slot still names the job, so it is failed as
+        // `worker_crashed`); `stall:<ms>` holds the worker to create
+        // deterministic backpressure for overload tests.
+        if inner.config.enable_chaos {
+            if spec.chaos.as_deref() == Some("panic-worker") {
+                panic!("chaos: panic-worker requested by job {}", queued.id);
+            }
+            if let Some(ms) = spec
+                .chaos
+                .as_deref()
+                .and_then(|c| c.strip_prefix("stall:"))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+            }
+        }
+
+        let start = Instant::now();
+        let remaining = budget.remaining_or(Duration::from_secs(3600));
+        let config = Config {
+            strategy: rung.strategy(spec.gamma, remaining),
+            align: true,
+            var_order: None,
+        };
+        let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
+        let session = &inner.sessions[shard];
+        let outcome = synthesize_in_budgeted(session, &spec.network, &config, &budget);
+        let wall = start.elapsed();
+        *inner.slots[slot]
+            .current
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
+
+        let cancelled = inner.jobs.cancel_requested(queued.id);
+        match outcome {
+            Ok(result) => {
+                let degradation = result.degradation.as_ref();
+                let pipeline_degraded = degradation.is_some_and(|d| d.degraded);
+                let shipped_rung = degradation.map_or("unknown", |d| d.rung.name()).to_string();
+                let exhausted = degradation
+                    .and_then(|d| d.exhausted.as_ref())
+                    .map(|e| e.to_string());
+                let degraded = pipeline_degraded || admission_degraded;
+                let body = Json::Obj(vec![
+                    ("label".into(), Json::str(spec.label.clone())),
+                    ("rows".into(), Json::int(result.stats.rows)),
+                    ("cols".into(), Json::int(result.stats.cols)),
+                    (
+                        "semiperimeter".into(),
+                        Json::int(result.stats.semiperimeter),
+                    ),
+                    (
+                        "max_dimension".into(),
+                        Json::int(result.stats.max_dimension),
+                    ),
+                    ("admission_rung".into(), Json::str(rung.name())),
+                    ("shipped_rung".into(), Json::str(shipped_rung)),
+                    ("degraded".into(), Json::Bool(degraded)),
+                    ("cancelled".into(), Json::Bool(cancelled)),
+                    ("relative_gap".into(), Json::Num(result.relative_gap)),
+                    ("exhausted".into(), exhausted.map_or(Json::Null, Json::str)),
+                    ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
+                ]);
+                let state = if cancelled {
+                    JobState::Cancelled
+                } else {
+                    JobState::Done
+                };
+                inner.jobs.finish(queued.id, state, body);
+                {
+                    let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    metrics.observe("job", wall);
+                    metrics.observe(rung_latency_name(rung), wall);
+                    if let Some(d) = degradation {
+                        metrics.observe("stage.bdd-build", d.bdd_wall);
+                        let label_wall: Duration = d.attempts.iter().map(|a| a.wall).sum();
+                        metrics.observe("stage.vh-label", label_wall);
+                    }
+                    if cancelled {
+                        metrics.counters.cancelled += 1;
+                    } else if degraded {
+                        metrics.counters.completed_degraded += 1;
+                    } else {
+                        metrics.counters.completed_ok += 1;
+                    }
+                }
+                // Cancelled runs finish artificially fast; folding them
+                // into the latency model would bias admission optimistic.
+                if !cancelled {
+                    inner
+                        .model
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .record(rung, wall);
+                }
+                inner
+                    .breaker
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(true, Instant::now());
+            }
+            // A cancel that fired before any design could ship (e.g. mid
+            // BDD build): the client asked for this, so it is a cancelled
+            // job, not a service failure.
+            Err(flowc_compact::CompactError::Cancelled) => {
+                inner.jobs.finish(
+                    queued.id,
+                    JobState::Cancelled,
+                    Json::Obj(vec![
+                        ("label".into(), Json::str(spec.label.clone())),
+                        ("cancelled_while".into(), Json::str("running")),
+                        ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
+                    ]),
+                );
+                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                metrics.counters.cancelled += 1;
+                drop(metrics);
+                inner
+                    .breaker
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(true, Instant::now());
+            }
+            Err(e) => {
+                inner.jobs.finish(
+                    queued.id,
+                    JobState::Failed,
+                    error_json("synthesis_failed", &e.to_string(), None),
+                );
+                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                metrics.counters.failed += 1;
+                drop(metrics);
+                inner
+                    .breaker
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(false, Instant::now());
+            }
+        }
+        sync_breaker_trips(inner);
+    }
+}
+
+fn rung_latency_name(rung: ServeRung) -> &'static str {
+    match rung {
+        ServeRung::ExactMip => "rung.exact-mip",
+        ServeRung::AnytimeMip => "rung.anytime-mip",
+        ServeRung::HeuristicOct => "rung.heuristic-oct",
+        ServeRung::Staircase => "rung.staircase",
+    }
+}
+
+fn sync_breaker_trips(inner: &ServerInner) {
+    let trips = inner
+        .breaker
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .trips();
+    let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+    metrics.counters.breaker_trips = trips;
+}
+
+/// Supervisor: spawn the workers, watch for crashes, restart with
+/// exponential backoff, and attribute the crashed worker's in-flight job.
+fn supervise(inner: &Arc<ServerInner>) {
+    let workers = inner.config.workers.max(1);
+    let base_backoff = Duration::from_millis(50);
+    let max_backoff = Duration::from_secs(5);
+    let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(workers);
+    let mut backoff = vec![base_backoff; workers];
+    let mut spawned_at = vec![Instant::now(); workers];
+    let mut restart_due: Vec<Option<Instant>> = vec![None; workers];
+
+    for slot in 0..workers {
+        handles.push(Some(spawn_worker(inner, slot)));
+    }
+
+    loop {
+        let shutting_down = inner.shutdown.load(Ordering::SeqCst);
+        for slot in 0..workers {
+            // A pending restart fires once its backoff deadline passes.
+            if let Some(due) = restart_due[slot] {
+                if !shutting_down && Instant::now() >= due {
+                    restart_due[slot] = None;
+                    spawned_at[slot] = Instant::now();
+                    handles[slot] = Some(spawn_worker(inner, slot));
+                }
+                continue;
+            }
+            let finished = handles[slot].as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = handles[slot].take().expect("checked above");
+            let crashed = handle.join().is_err();
+            if shutting_down && !crashed {
+                continue; // clean exit through queue close
+            }
+            // Crash (or an impossible clean exit while serving): fail the
+            // in-flight job, then schedule a backoff restart.
+            let in_flight = inner.slots[slot]
+                .current
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            if let Some(job_id) = in_flight {
+                inner.jobs.finish(
+                    job_id,
+                    JobState::Failed,
+                    error_json(
+                        "worker_crashed",
+                        "the worker thread running this job panicked; the worker was restarted",
+                        None,
+                    ),
+                );
+                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                metrics.counters.failed += 1;
+                drop(metrics);
+                inner
+                    .breaker
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(false, Instant::now());
+                sync_breaker_trips(inner);
+            }
+            if shutting_down {
+                continue;
+            }
+            // A worker that survived a while has proven the previous
+            // incident over; start the backoff ladder fresh.
+            if spawned_at[slot].elapsed() > Duration::from_secs(10) {
+                backoff[slot] = base_backoff;
+            }
+            {
+                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                metrics.counters.worker_restarts += 1;
+            }
+            restart_due[slot] = Some(Instant::now() + backoff[slot]);
+            backoff[slot] = (backoff[slot] * 2).min(max_backoff);
+        }
+
+        if shutting_down {
+            // Drain: join everything that is still running; pending
+            // restarts are abandoned.
+            for handle in handles.iter_mut() {
+                if let Some(h) = handle.take() {
+                    let _ = h.join();
+                }
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn spawn_worker(inner: &Arc<ServerInner>, slot: usize) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{slot}"))
+        .spawn(move || worker_loop(&inner, slot))
+        .expect("spawn worker")
+}

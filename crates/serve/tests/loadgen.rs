@@ -1,0 +1,368 @@
+//! Load-generation integration tests: drive a real server over TCP and
+//! assert the overload contract — typed rejections and degradations,
+//! never unbounded queueing; worker crashes contained and repaired;
+//! cancellation honored mid-flight; `/metrics` reflecting all of it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use flowc_report::Json;
+use flowc_serve::{BreakerConfig, ServeConfig, Server};
+
+/// One HTTP exchange against the server (connection-per-request, exactly
+/// like the service's own `Connection: close` contract).
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json = if body.is_empty() {
+        Json::Null
+    } else {
+        Json::parse(body).unwrap_or_else(|e| panic!("bad response JSON ({e}): {body}"))
+    };
+    (status, json)
+}
+
+fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
+    call(addr, "POST", "/submit", body)
+}
+
+/// Polls `/status` until the job reaches a terminal state; panics on
+/// timeout. Returns the terminal state name.
+fn await_terminal(addr: SocketAddr, id: u64, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, json) = call(addr, "GET", &format!("/status?id={id}"), "");
+        assert_eq!(status, 200, "status for {id}: {}", json.to_compact());
+        let state = json
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        if !matches!(state.as_str(), "queued" | "running") {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} still `{state}` after {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn metrics(addr: SocketAddr) -> Json {
+    let (status, json) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    json
+}
+
+fn counter(m: &Json, name: &str) -> u64 {
+    m.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing counter {name}: {}", m.to_compact()))
+}
+
+/// Overload: a stalled worker plus a tiny queue. Every submission gets a
+/// typed answer (accept / queue_full / breaker_open) with retry hints,
+/// depth never exceeds the bound, accepted jobs all finish, and the
+/// breaker recovers through its half-open probe once the overload clears.
+#[test]
+fn overload_sheds_typed_and_recovers() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 3,
+        enable_chaos: true,
+        breaker: BreakerConfig {
+            base_cooldown: Duration::from_millis(200),
+            ..BreakerConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // Occupy the only worker deterministically.
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+            "deadline_ms": 30000, "chaos": "stall:1200"}"#,
+    );
+    assert_eq!(status, 200, "{}", json.to_compact());
+    let stalled = json.get("id").and_then(Json::as_u64).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // worker picked it up
+
+    // Fill the queue to its bound.
+    let mut accepted = vec![stalled];
+    for _ in 0..3 {
+        let (status, json) = submit(
+            addr,
+            r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+                "deadline_ms": 30000}"#,
+        );
+        assert_eq!(status, 200, "{}", json.to_compact());
+        accepted.push(json.get("id").and_then(Json::as_u64).unwrap());
+    }
+
+    // The next submission is shed with a typed, retry-bearing error...
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+            "deadline_ms": 30000}"#,
+    );
+    assert_eq!(status, 429, "{}", json.to_compact());
+    assert_eq!(json.get("error").and_then(Json::as_str), Some("queue_full"));
+    assert!(json.get("retry_after_ms").and_then(Json::as_u64).is_some());
+
+    // ...and the overload has tripped the breaker: reject-fast now.
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+            "deadline_ms": 30000}"#,
+    );
+    assert_eq!(status, 503, "{}", json.to_compact());
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("breaker_open")
+    );
+    assert!(json.get("retry_after_ms").and_then(Json::as_u64).is_some());
+
+    let m = metrics(addr);
+    assert!(counter(&m, "shed_queue_full") >= 1);
+    assert!(counter(&m, "breaker_trips") >= 1);
+    let depth = m.get("queue_depth").and_then(Json::as_u64).unwrap();
+    assert!(depth <= 3, "queue depth {depth} exceeded its bound");
+
+    // Every accepted job still completes — shedding protected them.
+    for id in accepted {
+        assert_eq!(await_terminal(addr, id, Duration::from_secs(20)), "done");
+    }
+
+    // Overload over, cooldown served: the half-open probe admits a job,
+    // its success closes the breaker, and service resumes.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recovered_id = loop {
+        let (status, json) = submit(
+            addr,
+            r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+                "deadline_ms": 30000}"#,
+        );
+        if status == 200 {
+            break json.get("id").and_then(Json::as_u64).unwrap();
+        }
+        assert!(Instant::now() < deadline, "breaker never recovered");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(
+        await_terminal(addr, recovered_id, Duration::from_secs(20)),
+        "done"
+    );
+    let m = metrics(addr);
+    assert_eq!(
+        m.get("breaker_state").and_then(Json::as_str),
+        Some("closed")
+    );
+
+    server.shutdown();
+}
+
+/// Admission control: an impossible deadline is rejected with a typed
+/// error up front; a tight-but-possible one is admitted at a cheaper
+/// rung, and the result says so.
+#[test]
+fn deadlines_reject_or_degrade_at_admission() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // 1ms cannot fit even the staircase estimate (5ms prior × safety 2).
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "deadline_ms": 1}"#,
+    );
+    assert_eq!(status, 422, "{}", json.to_compact());
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("deadline_infeasible")
+    );
+    assert!(json.get("retry_after_ms").and_then(Json::as_u64).is_some());
+
+    // 300ms cannot fit the exact-MIP prior (2s × 2) but fits the
+    // heuristic: admitted, degraded, and honest about it end-to-end.
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "exact-mip",
+            "deadline_ms": 300}"#,
+    );
+    assert_eq!(status, 200, "{}", json.to_compact());
+    assert_eq!(json.get("degraded").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        json.get("rung").and_then(Json::as_str),
+        Some("heuristic-oct")
+    );
+    let id = json.get("id").and_then(Json::as_u64).unwrap();
+    assert_eq!(await_terminal(addr, id, Duration::from_secs(20)), "done");
+    let (status, json) = call(addr, "GET", &format!("/result?id={id}"), "");
+    assert_eq!(status, 200);
+    let outcome = json.get("outcome").unwrap();
+    assert_eq!(outcome.get("degraded").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        outcome.get("admission_rung").and_then(Json::as_str),
+        Some("heuristic-oct")
+    );
+
+    let m = metrics(addr);
+    assert!(counter(&m, "shed_deadline") >= 1);
+    assert!(counter(&m, "degraded_admission") >= 1);
+
+    server.shutdown();
+}
+
+/// Crash containment: a chaos job panics its worker; only that job fails
+/// (typed `worker_crashed`), sibling jobs complete, the supervisor
+/// restarts the worker, and the pool serves again afterwards.
+#[test]
+fn worker_panic_is_contained_and_repaired() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        enable_chaos: true,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+            "deadline_ms": 30000, "chaos": "panic-worker"}"#,
+    );
+    assert_eq!(status, 200, "{}", json.to_compact());
+    let chaos_id = json.get("id").and_then(Json::as_u64).unwrap();
+
+    let mut normal = Vec::new();
+    for _ in 0..4 {
+        let (status, json) = submit(
+            addr,
+            r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+                "deadline_ms": 30000}"#,
+        );
+        assert_eq!(status, 200, "{}", json.to_compact());
+        normal.push(json.get("id").and_then(Json::as_u64).unwrap());
+    }
+
+    // The chaos job is failed by the supervisor with a typed error.
+    assert_eq!(
+        await_terminal(addr, chaos_id, Duration::from_secs(20)),
+        "failed"
+    );
+    let (_, json) = call(addr, "GET", &format!("/result?id={chaos_id}"), "");
+    assert_eq!(
+        json.get("outcome")
+            .and_then(|o| o.get("error"))
+            .and_then(Json::as_str),
+        Some("worker_crashed")
+    );
+    // Sibling jobs are untouched by the crash.
+    for id in normal {
+        assert_eq!(await_terminal(addr, id, Duration::from_secs(20)), "done");
+    }
+    let m = metrics(addr);
+    assert!(counter(&m, "worker_restarts") >= 1);
+    assert!(counter(&m, "failed") >= 1);
+
+    // The restarted pool still serves.
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, json) = submit(
+        addr,
+        r#"{"circuit": "dec", "format": "bench", "strategy": "staircase",
+            "deadline_ms": 30000}"#,
+    );
+    assert_eq!(status, 200, "{}", json.to_compact());
+    let id = json.get("id").and_then(Json::as_u64).unwrap();
+    assert_eq!(await_terminal(addr, id, Duration::from_secs(20)), "done");
+
+    server.shutdown();
+}
+
+/// End-to-end cancellation: a job whose BDD build runs for tens of
+/// seconds uncancelled is cancelled mid-flight and aborts promptly with
+/// the typed cancelled state.
+#[test]
+fn cancel_stops_a_running_solve() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    // A 24-bit ripple adder in the natural (worst-case) variable order:
+    // the shared-BDD build alone dwarfs the test timeout if not aborted.
+    let mut n = flowc_logic::Network::new("wide-add");
+    let a: Vec<_> = (0..24).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..24).map(|i| n.add_input(format!("b{i}"))).collect();
+    let cin = n.add_input("cin");
+    let (sum, cout) =
+        flowc_logic::bench_suite::blocks::ripple_adder(&mut n, &a, &b, cin, "fa").unwrap();
+    for s in sum {
+        n.mark_output(s);
+    }
+    n.mark_output(cout);
+    let blif = flowc_logic::blif::write(&n);
+    let body = Json::Obj(vec![
+        ("circuit".into(), Json::str(blif)),
+        ("format".into(), Json::str("blif")),
+        ("strategy".into(), Json::str("staircase")),
+        ("deadline_ms".into(), Json::Num(120_000.0)),
+    ])
+    .to_compact();
+    let (status, json) = submit(addr, &body);
+    assert_eq!(status, 200, "{}", json.to_compact());
+    let id = json.get("id").and_then(Json::as_u64).unwrap();
+
+    // Wait until the worker is actually inside the solve.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, json) = call(addr, "GET", &format!("/status?id={id}"), "");
+        if json.get("state").and_then(Json::as_str) == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let cancel_at = Instant::now();
+    let (status, json) = call(addr, "POST", "/cancel", &format!("{{\"id\": {id}}}"));
+    assert_eq!(status, 200, "{}", json.to_compact());
+
+    let state = await_terminal(addr, id, Duration::from_secs(5));
+    let latency = cancel_at.elapsed();
+    assert_eq!(state, "cancelled");
+    assert!(
+        latency < Duration::from_secs(3),
+        "cancel took {latency:?} to land"
+    );
+    let m = metrics(addr);
+    assert!(counter(&m, "cancelled") >= 1);
+
+    server.shutdown();
+}

@@ -5,6 +5,8 @@
 //! flowc synth <circuit.{blif,pla,v}> [options]
 //! flowc bench <name> [options]
 //! flowc convert <in.{blif,pla,v}> <out.{blif,pla,v}>
+//! flowc remote <submit|status|result|cancel|metrics> [args] [options]
+//! flowc help
 //!
 //! options:
 //!   --gamma <0..1>        trade-off weight (default 0.5)
@@ -12,7 +14,7 @@
 //!                         shared session (the BDD and graph are built
 //!                         once) and print each design's shape plus the
 //!                         per-stage trace and cache statistics
-//!   --strategy <weighted|min-s|heuristic>
+//!   --strategy <weighted|min-s|heuristic|staircase>
 //!   --time-limit <secs>   solver budget (default 30)
 //!   --deadline <secs>     hard wall-clock budget for the whole synthesis;
 //!                         on exhaustion a degraded (but valid) design is
@@ -33,6 +35,10 @@
 //! With defects, the exit code distinguishes outcomes: 0 when all defects
 //! were benign, 2 when the design needed repair (a repaired, verified
 //! design was produced), 1 when the array is irreparable.
+//!
+//! `flowc remote` is the client side of `flowc-serve`: it submits
+//! circuits to a running service, polls status, fetches results, cancels
+//! jobs, and scrapes `/metrics` (see `flowc help`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -76,7 +82,7 @@ fn save(network: &Network, path: &str) -> Result<(), String> {
         "v" | "verilog" => verilog::write(network),
         other => return Err(format!("unknown output extension `.{other}`")),
     };
-    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+    flowc_report::write_atomic(Path::new(path), &text).map_err(|e| format!("{path}: {e}"))
 }
 
 struct Options {
@@ -220,6 +226,7 @@ impl Options {
                 time_limit: self.time_limit,
             },
             "heuristic" => VhStrategy::Heuristic { gamma: self.gamma },
+            "staircase" => VhStrategy::Staircase,
             other => return Err(format!("unknown strategy `{other}`")),
         };
         Ok(Config {
@@ -354,7 +361,7 @@ fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
     if let Some(path) = &opts.svg {
         let svg =
             flowc::xbar::svg::to_svg(&result.crossbar, &flowc::xbar::svg::SvgOptions::default());
-        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        flowc_report::write_atomic(Path::new(path), &svg).map_err(|e| format!("{path}: {e}"))?;
         println!("svg        : wrote {path}");
     }
     if let Some(samples) = opts.validate {
@@ -426,9 +433,282 @@ fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
     Ok(outcome)
 }
 
+const HELP: &str = "\
+flowc — COMPACT flow-based crossbar synthesis
+
+USAGE:
+    flowc list
+    flowc synth <circuit.{blif,pla,v}> [options]
+    flowc bench <name> [options]
+    flowc convert <in.{blif,pla,v}> <out.{blif,pla,v}>
+    flowc remote <submit|status|result|cancel|metrics> [args] [options]
+    flowc help | -h | --help
+
+SYNTHESIS OPTIONS (synth/bench):
+    --gamma <0..1>         trade-off weight (default 0.5)
+    --gamma-sweep <n>      n γ points through one shared session
+    --strategy <weighted|min-s|heuristic|staircase>
+    --time-limit <secs>    solver budget (default 30)
+    --deadline <secs>      hard wall-clock budget; exhaustion degrades
+    --max-bdd-nodes <n>    BDD node ceiling; exceeding it degrades
+    --no-align             drop the Eq. 7 alignment constraints
+    --render / --svg <f>   print or write the device matrix
+    --validate <n>         check n assignments against simulation
+    --defect-map <f> | --defect-rate <p>   repair against defects
+    --seed/--spare-rows/--spare-cols       defect-injection knobs
+
+REMOTE (client for a running flowc-serve):
+    flowc remote submit <circuit file | bench:<name>> [--server <addr>]
+          [--gamma g] [--strategy s] [--deadline secs] [--priority 0..9]
+          [--label text] [--wait]
+    flowc remote status <id> | result <id> | cancel <id> | metrics
+          [--server <addr>]          (default server 127.0.0.1:7878)
+
+EXIT CODES (shared flowc convention):
+    0  success — a clean, non-degraded design (or the command's output)
+    2  valid but degraded — the budget ran out and a lower rung shipped,
+       the BDD ceiling was lifted, or defects forced a repair; with
+       `remote`, the service admitted or finished the job degraded
+    1  hard failure — parse error, infeasible deadline, irreparable
+       array, cancelled/failed remote job, or an unreachable server
+";
+
+/// Formats the body of `remote submit`: reads the circuit (or names a
+/// built-in benchmark) and carries the optional knobs through verbatim —
+/// the server revalidates everything.
+struct RemoteOptions {
+    server: String,
+    gamma: Option<f64>,
+    strategy: Option<String>,
+    deadline: Option<Duration>,
+    priority: Option<u64>,
+    label: Option<String>,
+    wait: bool,
+    positional: Vec<String>,
+}
+
+impl RemoteOptions {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = RemoteOptions {
+            server: "127.0.0.1:7878".to_string(),
+            gamma: None,
+            strategy: None,
+            deadline: None,
+            priority: None,
+            label: None,
+            wait: false,
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--server" => opts.server = value("--server")?,
+                "--gamma" => {
+                    opts.gamma = Some(
+                        value("--gamma")?
+                            .parse::<f64>()
+                            .map_err(|e| format!("--gamma: {e}"))?,
+                    )
+                }
+                "--strategy" => opts.strategy = Some(value("--strategy")?),
+                "--deadline" => {
+                    let secs = value("--deadline")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--deadline: {e}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err("--deadline must be a non-negative number of seconds".into());
+                    }
+                    opts.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                "--priority" => {
+                    opts.priority = Some(
+                        value("--priority")?
+                            .parse::<u64>()
+                            .map_err(|e| format!("--priority: {e}"))?,
+                    )
+                }
+                "--label" => opts.label = Some(value("--label")?),
+                "--wait" => opts.wait = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option `{other}`"))
+                }
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn job_id(&self, action: &str) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| format!("remote {action} needs a job id"))
+    }
+}
+
+/// Builds the `POST /submit` body from a circuit file or `bench:<name>`.
+fn submit_body(target: &str, opts: &RemoteOptions) -> Result<String, String> {
+    use flowc_report::Json;
+    let (circuit, format) = if let Some(name) = target.strip_prefix("bench:") {
+        (name.to_string(), "bench")
+    } else {
+        let ext = Path::new(target)
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("");
+        let format = match ext {
+            "blif" => "blif",
+            "pla" => "pla",
+            "v" | "verilog" => "verilog",
+            other => {
+                return Err(format!(
+                    "unknown circuit extension `.{other}` (use .blif/.pla/.v or bench:<name>)"
+                ))
+            }
+        };
+        let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        (text, format)
+    };
+    let mut fields = vec![
+        ("circuit".to_string(), Json::str(circuit)),
+        ("format".to_string(), Json::str(format)),
+    ];
+    if let Some(g) = opts.gamma {
+        fields.push(("gamma".to_string(), Json::Num(g)));
+    }
+    if let Some(s) = &opts.strategy {
+        fields.push(("strategy".to_string(), Json::str(s.as_str())));
+    }
+    if let Some(d) = opts.deadline {
+        fields.push(("deadline_ms".to_string(), Json::Num(d.as_millis() as f64)));
+    }
+    if let Some(p) = opts.priority {
+        fields.push(("priority".to_string(), Json::Num(p as f64)));
+    }
+    if let Some(l) = &opts.label {
+        fields.push(("label".to_string(), Json::str(l.as_str())));
+    }
+    Ok(Json::Obj(fields).to_compact())
+}
+
+/// The `flowc remote` client: talks to a running `flowc-serve`. Returns
+/// whether the outcome was degraded (exit code 2), mirroring local synth.
+fn remote(action: &str, args: &[String]) -> Result<bool, String> {
+    use flowc::serve::client::{describe_error, request};
+    use flowc_report::Json;
+
+    let opts = RemoteOptions::parse(args)?;
+    let server = opts.server.as_str();
+    match action {
+        "submit" => {
+            let target = opts
+                .positional
+                .first()
+                .ok_or("remote submit needs a circuit file or bench:<name>")?;
+            let body = submit_body(target, &opts)?;
+            let (status, resp) = request(server, "POST", "/submit", &body)?;
+            if status != 200 {
+                return Err(describe_error(status, &resp));
+            }
+            let id = resp
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("server response is missing `id`")?;
+            let degraded_admission = resp.get("degraded").and_then(Json::as_bool) == Some(true);
+            println!("id         : {id}");
+            if let Some(rung) = resp.get("rung").and_then(Json::as_str) {
+                println!(
+                    "rung       : {rung}{}",
+                    if degraded_admission {
+                        " (degraded at admission)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if let Some(est) = resp.get("estimated_ms").and_then(Json::as_u64) {
+                println!("estimate   : {est} ms");
+            }
+            if !opts.wait {
+                return Ok(degraded_admission);
+            }
+            // Poll until terminal, then fetch and print the outcome.
+            let state = loop {
+                let (status, resp) = request(server, "GET", &format!("/status?id={id}"), "")?;
+                if status != 200 {
+                    return Err(describe_error(status, &resp));
+                }
+                let state = resp
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                if !matches!(state.as_str(), "queued" | "running") {
+                    break state;
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            };
+            let (status, resp) = request(server, "GET", &format!("/result?id={id}"), "")?;
+            if status != 200 {
+                return Err(describe_error(status, &resp));
+            }
+            println!("{}", resp.to_pretty());
+            match state.as_str() {
+                "done" => {
+                    let degraded = resp
+                        .get("outcome")
+                        .and_then(|o| o.get("degraded"))
+                        .and_then(Json::as_bool)
+                        == Some(true);
+                    Ok(degraded || degraded_admission)
+                }
+                other => Err(format!("job {id} ended `{other}`")),
+            }
+        }
+        "status" | "result" => {
+            let id = opts.job_id(action)?;
+            let (status, resp) = request(server, "GET", &format!("/{action}?id={id}"), "")?;
+            if status != 200 {
+                return Err(describe_error(status, &resp));
+            }
+            println!("{}", resp.to_pretty());
+            Ok(false)
+        }
+        "cancel" => {
+            let id = opts.job_id("cancel")?;
+            let (status, resp) = request(server, "POST", "/cancel", &format!("{{\"id\": {id}}}"))?;
+            if status != 200 {
+                return Err(describe_error(status, &resp));
+            }
+            println!("{}", resp.to_pretty());
+            Ok(false)
+        }
+        "metrics" => {
+            let (status, resp) = request(server, "GET", "/metrics", "")?;
+            if status != 200 {
+                return Err(describe_error(status, &resp));
+            }
+            println!("{}", resp.to_pretty());
+            Ok(false)
+        }
+        other => Err(format!(
+            "unknown remote action `{other}` (submit|status|result|cancel|metrics)"
+        )),
+    }
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("help") | Some("-h") | Some("--help") => {
+            print!("{HELP}");
+            Ok(false)
+        }
         Some("list") => {
             println!("{:<11} {:>7} {:>8} suite", "name", "inputs", "outputs");
             for b in flowc::logic::bench_suite::all() {
@@ -464,7 +744,15 @@ fn run() -> Result<bool, String> {
             println!("wrote {output}");
             Ok(false)
         }
-        _ => Err("usage: flowc <list|synth|bench|convert> …  (see --help in the README)".into()),
+        Some("remote") => {
+            let action = args
+                .get(1)
+                .ok_or("remote needs an action: submit|status|result|cancel|metrics")?;
+            remote(action, &args[2..])
+        }
+        _ => {
+            Err("usage: flowc <list|synth|bench|convert|remote|help> …  (see `flowc help`)".into())
+        }
     }
 }
 

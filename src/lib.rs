@@ -19,6 +19,9 @@
 //!   crossbar mapping;
 //! - [`baselines`]: the prior-art staircase mapping, the per-output ROBDD
 //!   flow, and a CONTRA-style MAGIC comparator;
+//! - [`serve`]: the fault-contained synthesis service (`flowc-serve`)
+//!   with admission control, a bounded priority queue, a circuit breaker,
+//!   and panic-isolated workers (plus the `flowc remote` client mode);
 //! - [`conform`]: the conformance subsystem — multi-oracle differential
 //!   fuzzing with delta-debugging shrinking and a persisted counterexample
 //!   corpus (plus the `conform-fuzz` binary).
@@ -59,4 +62,5 @@ pub use flowc_conform as conform;
 pub use flowc_graph as graph;
 pub use flowc_logic as logic;
 pub use flowc_milp as milp;
+pub use flowc_serve as serve;
 pub use flowc_xbar as xbar;

@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use flowc::budget::{Budget, BudgetExceeded};
+use flowc::budget::Budget;
 use flowc::compact::supervisor::{synthesize_with_budget, Rung, Trigger};
 use flowc::compact::{synthesize, Config};
 use flowc::conform::fixtures::{fig2_network, fig2_pair, two_output_network};
@@ -234,14 +234,18 @@ fn injected_bdd_panic_is_answered_by_an_unbudgeted_rebuild() {
 }
 
 #[test]
-fn cancellation_mid_flight_returns_a_valid_design() {
+fn cancellation_mid_flight_aborts_with_typed_error() {
+    // Explicit cancellation is a stop order, not a resource ceiling: it
+    // must abort with `CompactError::Cancelled` instead of degrading
+    // into the budget-lift rebuild the deadline/node ceilings use.
     let n = fig2_network();
     let budget = Budget::unlimited();
     budget.cancel_handle().cancel();
-    let r = synthesize_with_budget(&n, &Config::default(), &budget).unwrap();
-    let report = r.degradation.as_ref().unwrap();
-    assert!(matches!(report.exhausted, Some(BudgetExceeded::Cancelled)));
-    assert!(verify_functional(&r.crossbar, &n, 64).unwrap().is_valid());
+    let err = synthesize_with_budget(&n, &Config::default(), &budget).unwrap_err();
+    assert!(
+        matches!(err, flowc::compact::CompactError::Cancelled),
+        "{err}"
+    );
 }
 
 #[test]

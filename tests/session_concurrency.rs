@@ -1,0 +1,121 @@
+//! Concurrency acceptance tests for the shared synthesis `Session`:
+//! the artifact cache stays bounded (FIFO eviction) under many writer
+//! threads, and concurrent identical jobs dedupe through the
+//! single-flight claims — one build, every sibling a cache hit.
+
+use std::sync::{Arc, Barrier};
+
+use flowc::compact::pipeline::VhStrategy;
+use flowc::compact::{synthesize_in, Config, Session, SessionConfig, StageKind};
+use flowc::logic::{GateKind, Network};
+use flowc::xbar::verify::verify_functional;
+
+/// The heuristic strategy: these tests pin cache semantics, not labeling
+/// quality, and the solver-free path keeps them fast under contention.
+fn heuristic_config() -> Config {
+    Config {
+        strategy: VhStrategy::Heuristic { gamma: 0.5 },
+        ..Config::default()
+    }
+}
+
+/// A parity chain over `width` inputs — a cheap family of structurally
+/// distinct networks (distinct artifact keys) for cache-pressure tests.
+fn parity_chain(width: usize) -> Network {
+    let mut n = Network::new(format!("parity{width}"));
+    let inputs: Vec<_> = (0..width).map(|i| n.add_input(format!("x{i}"))).collect();
+    let mut acc = inputs[0];
+    for (i, &x) in inputs.iter().enumerate().skip(1) {
+        acc = n
+            .add_gate(GateKind::Xor, &[acc, x], format!("p{i}"))
+            .unwrap();
+    }
+    n.mark_output(acc);
+    n
+}
+
+/// 16 structurally distinct networks pushed through a capacity-4 session
+/// by 8 threads: the cache never exceeds its bound, the eviction count is
+/// exactly (inserts − capacity) per artifact kind regardless of thread
+/// interleaving, and every design stays functionally valid.
+#[test]
+fn eviction_stays_bounded_fifo_under_many_threads() {
+    const CAPACITY: usize = 4;
+    const NETWORKS: usize = 16;
+    const THREADS: usize = 8;
+
+    let session = Session::new(SessionConfig {
+        cache_capacity: CAPACITY,
+        ..SessionConfig::default()
+    });
+    let networks: Vec<Network> = (2..2 + NETWORKS).map(parity_chain).collect();
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let networks = &networks;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for network in networks.iter().skip(t).step_by(THREADS) {
+                    let r = synthesize_in(session, network, &heuristic_config()).unwrap();
+                    let report = verify_functional(&r.crossbar, network, 64).unwrap();
+                    assert!(report.is_valid(), "{}", network.name());
+                }
+            });
+        }
+    });
+
+    let stats = session.cache_stats();
+    // Each of the 16 distinct networks built one BDD and one graph; a
+    // capacity-4 cache per artifact kind retains 4 of each and evicted
+    // the other 12 of each, whatever order the threads ran in.
+    assert_eq!(stats.misses, 2 * NETWORKS);
+    assert_eq!(stats.hits, 0, "all keys are distinct");
+    assert_eq!(stats.entries, 2 * CAPACITY);
+    assert_eq!(stats.evicted, 2 * (NETWORKS - CAPACITY));
+
+    let trace = session.trace();
+    assert_eq!(trace.builds(StageKind::BddBuild), NETWORKS);
+    assert_eq!(trace.builds(StageKind::GraphExtract), NETWORKS);
+}
+
+/// The single-flight pin: two (and more) concurrent identical jobs
+/// released simultaneously share one BDD build and one graph extraction —
+/// a single `builds`, all sibling executions `hits`. Before single-flight
+/// claims this raced: both threads could miss the cache probe and build
+/// the same artifact twice.
+#[test]
+fn concurrent_identical_jobs_share_one_build() {
+    const THREADS: usize = 8;
+
+    let network = Arc::new(parity_chain(6));
+    let session = Session::default();
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let session = &session;
+            let network = Arc::clone(&network);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let r = synthesize_in(session, &network, &heuristic_config()).unwrap();
+                assert!(verify_functional(&r.crossbar, &network, 64)
+                    .unwrap()
+                    .is_valid());
+            });
+        }
+    });
+
+    let trace = session.trace();
+    assert_eq!(trace.runs(StageKind::BddBuild), THREADS);
+    assert_eq!(trace.builds(StageKind::BddBuild), 1, "{}", trace.summary());
+    assert_eq!(trace.hits(StageKind::BddBuild), THREADS - 1);
+    assert_eq!(trace.builds(StageKind::GraphExtract), 1);
+    assert_eq!(trace.hits(StageKind::GraphExtract), THREADS - 1);
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 2, "one BDD artifact + one graph artifact");
+    assert_eq!(stats.hits, 2 * (THREADS - 1));
+}
