@@ -43,6 +43,7 @@ fn bench_kernelization() {
                 &product,
                 &VcConfig {
                     time_limit: Duration::from_secs(10),
+                    threads: 1,
                 },
             )
             .cover

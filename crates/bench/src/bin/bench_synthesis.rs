@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...]
-//!                 [--threads N] [--out PATH]
+//!                 [--threads N] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! For each benchmark the sweep runs twice: *cold* (a fresh session per γ
@@ -12,7 +12,14 @@
 //! performs one BDD build and one graph extraction). Per-stage timings,
 //! cache hit rates, and the cold/cached walls land atomically in
 //! `results/BENCH_synthesis.json` (or `--out`). Exits non-zero on any
-//! failed synthesis or if a cached sweep recomputes a shared artifact.
+//! failed synthesis, if a cached sweep recomputes a shared artifact, or
+//! if any benchmark's cold/cached speedup drops below 1.0 (the cached
+//! sweep must never lose to cold re-synthesis).
+//!
+//! With `--baseline PATH` the run is additionally diffed against a
+//! committed result file: the cached sweep's `vh-label` wall must not
+//! regress more than 20% (plus a 250ms noise floor, so sub-second walls
+//! don't flake CI on timer jitter).
 
 use std::process::exit;
 use std::sync::Arc;
@@ -31,12 +38,13 @@ struct Options {
     gammas: Vec<f64>,
     threads: usize,
     out: std::path::PathBuf,
+    baseline: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...] \
-         [--threads N] [--out PATH]"
+         [--threads N] [--out PATH] [--baseline PATH]"
     );
     exit(1);
 }
@@ -49,6 +57,7 @@ fn parse_options() -> Options {
         gammas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
         threads: 4,
         out: std::path::PathBuf::from("results/BENCH_synthesis.json"),
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -84,11 +93,28 @@ fn parse_options() -> Options {
                     .unwrap_or_else(|_| usage())
             }
             "--out" => opts.out = value(&mut args, "--out").into(),
+            "--baseline" => opts.baseline = Some(value(&mut args, "--baseline").into()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     opts
+}
+
+/// The cached sweep's `vh-label` wall for `benchmark` in a previously
+/// written result file, if the file records one.
+fn baseline_label_wall(baseline: &Json, benchmark: &str) -> Option<f64> {
+    baseline
+        .get("benchmarks")?
+        .as_arr()?
+        .iter()
+        .find(|row| row.get("benchmark").and_then(Json::as_str) == Some(benchmark))?
+        .get("stages")?
+        .as_arr()?
+        .iter()
+        .find(|s| s.get("stage").and_then(Json::as_str) == Some("vh-label"))?
+        .get("wall_s")?
+        .as_f64()
 }
 
 fn stage_json(trace: &StageTrace) -> Json {
@@ -122,6 +148,16 @@ fn main() {
         opts.threads,
         budget.as_secs()
     );
+    let baseline = opts.baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading baseline {}: {e}", path.display());
+            exit(1);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("parsing baseline {}: {e}", path.display());
+            exit(1);
+        })
+    });
     let mut rows = Vec::new();
     let mut failed = false;
     for name in &opts.benchmarks {
@@ -136,10 +172,14 @@ fn main() {
         // BDD build and graph extraction.
         let cold_sw = Stopwatch::unbudgeted();
         let mut cold_bdd_wall = Duration::ZERO;
+        let mut cold_label_wall = Duration::ZERO;
         for task in &tasks {
             let session = Session::default();
             match flowc_compact::synthesize_in(&session, &network, &task.config) {
-                Ok(_) => cold_bdd_wall += session.trace().total_wall(StageKind::BddBuild),
+                Ok(_) => {
+                    cold_bdd_wall += session.trace().total_wall(StageKind::BddBuild);
+                    cold_label_wall += session.trace().total_wall(StageKind::VhLabel);
+                }
                 Err(e) => {
                     eprintln!("{name} {}: cold synthesis failed: {e}", task.label);
                     failed = true;
@@ -176,6 +216,35 @@ fn main() {
             );
             failed = true;
         }
+        let speedup = cold_wall.as_secs_f64() / cached_wall.as_secs_f64().max(1e-9);
+        // 50ms absolute slack: sub-10ms sweeps jitter across 1.0 without
+        // any real regression behind them.
+        if speedup < 1.0 && cached_wall.as_secs_f64() - cold_wall.as_secs_f64() > 0.05 {
+            eprintln!(
+                "{name}: cached sweep slower than cold ({:.3}s vs {:.3}s, speedup {speedup:.2})",
+                cached_wall.as_secs_f64(),
+                cold_wall.as_secs_f64()
+            );
+            failed = true;
+        }
+        let cached_label_wall = trace.total_wall(StageKind::VhLabel).as_secs_f64();
+        if let Some(base) = baseline.as_ref().and_then(|b| baseline_label_wall(b, name)) {
+            // 20% relative slack plus a 250ms absolute noise floor: the
+            // post-optimization labeling walls are fractions of a second,
+            // where a bare 20% gate would trip on timer jitter.
+            let limit = base * 1.2 + 0.25;
+            println!(
+                "{name:<11} vh-label {cached_label_wall:>8.3}s vs baseline {base:>8.3}s \
+                 (limit {limit:.3}s)"
+            );
+            if cached_label_wall > limit {
+                eprintln!(
+                    "{name}: labeling wall regressed >20% vs baseline \
+                     ({cached_label_wall:.3}s > {limit:.3}s)"
+                );
+                failed = true;
+            }
+        }
         println!(
             "{name:<11} cold {:>8.3}s (BDD {:>7.3}s)   cached {:>8.3}s (BDD {:>7.3}s)   hits {}/{}",
             cold_wall.as_secs_f64(),
@@ -192,11 +261,12 @@ fn main() {
                 "cold_bdd_wall_s".into(),
                 Json::Num(cold_bdd_wall.as_secs_f64()),
             ),
-            ("cached_wall_s".into(), Json::Num(cached_wall.as_secs_f64())),
             (
-                "speedup".into(),
-                Json::Num(cold_wall.as_secs_f64() / cached_wall.as_secs_f64().max(1e-9)),
+                "cold_label_wall_s".into(),
+                Json::Num(cold_label_wall.as_secs_f64()),
             ),
+            ("cached_wall_s".into(), Json::Num(cached_wall.as_secs_f64())),
+            ("speedup".into(), Json::Num(speedup)),
             ("stages".into(), stage_json(&trace)),
             (
                 "cache".into(),

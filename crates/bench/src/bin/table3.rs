@@ -35,6 +35,7 @@ fn main() {
             },
             align: true,
             var_order: None,
+            label_threads: 1,
         };
         let t0 = Instant::now();
         let multi = compact_per_output(&n, &cfg).expect("per-output synthesis");

@@ -101,6 +101,7 @@ pub fn compact_config(gamma: f64, budget: Duration) -> Config {
         },
         align: true,
         var_order: None,
+        label_threads: 1,
     }
 }
 

@@ -125,6 +125,7 @@ pub fn synthesize_constrained(
             time_limit: deadline
                 .saturating_duration_since(Instant::now())
                 .mul_f64(0.5),
+            threads: 1,
         },
     );
     let s_lower = graph.num_nodes() + oct.lower_bound + const0;

@@ -229,6 +229,7 @@ mod tests {
             },
             align: true,
             var_order: None,
+            label_threads: 1,
         };
         let r = synthesize(&n, &cfg).unwrap();
         assert!(verify_symbolic(&r.crossbar, &n).equivalent);

@@ -18,7 +18,8 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use flowc_budget::Budget;
-use flowc_graph::{oct_heuristic, odd_cycle_transversal_budgeted, OctConfig};
+use flowc_graph::{oct_heuristic, odd_cycle_transversal_budgeted, OctConfig, OctResult};
+use flowc_milp::metrics::{HybridBounder, VhBounder, VhLayout};
 use flowc_milp::{BranchBound, Model, Sense, SolveStatus, SolveTrace, TracePoint, VarId};
 
 use crate::balance::balanced_labeling;
@@ -37,6 +38,8 @@ pub struct MipConfig {
     pub time_limit: Duration,
     /// Maximum node count for the exact LP-based MIP path.
     pub exact_node_limit: usize,
+    /// Worker threads for the exact branch & bound (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for MipConfig {
@@ -46,6 +49,7 @@ impl Default for MipConfig {
             align: true,
             time_limit: Duration::from_secs(30),
             exact_node_limit: 80,
+            threads: 1,
         }
     }
 }
@@ -57,6 +61,10 @@ pub struct MipVars {
     pub xv: Vec<VarId>,
     /// `x_i^H`: node `i` is mapped to a wordline.
     pub xh: Vec<VarId>,
+    /// Orientation helper per graph edge (model order = edge order).
+    pub orient: Vec<VarId>,
+    /// The continuous `D = max(R, C)` variable.
+    pub d: VarId,
 }
 
 /// Outcome of the weighted solve.
@@ -74,6 +82,11 @@ pub struct MipOutcome {
     pub relative_gap: f64,
     /// Incumbent/bound/gap trajectory (Figures 10/11).
     pub trace: SolveTrace,
+    /// Branch & bound nodes explored (0 on the anytime path).
+    pub nodes: u64,
+    /// Warm-start outcome: `None` when no warm start was offered,
+    /// `Some(accepted)` otherwise.
+    pub warm_start: Option<bool>,
 }
 
 /// Builds the Eq. 4 MIP: indicator variables per node, helper orientation
@@ -104,10 +117,49 @@ pub fn build_model(graph: &BddGraph, gamma: f64, align: bool) -> (Model, MipVars
     }
     // Connection constraints with an orientation helper per edge:
     //   x_i^V + x_j^H >= 2 − 2·x_ij   and   x_i^H + x_j^V >= 2·x_ij.
+    let mut orient = Vec::with_capacity(graph.num_edges());
     for (e, &(i, j)) in graph.graph.edges().iter().enumerate() {
         let o = m.add_binary(format!("e{e}"), 0.0);
         m.add_constraint(&[(xv[i], 1.0), (xh[j], 1.0), (o, 2.0)], Sense::Ge, 2.0);
         m.add_constraint(&[(xh[i], 1.0), (xv[j], 1.0), (o, -2.0)], Sense::Ge, 0.0);
+        // Orientation-free cover rows: whichever way the edge is oriented,
+        // one endpoint is a bitline and the other a wordline, so the V-set
+        // and the H-set are each vertex covers. The pair of big-M rows
+        // above is vacuous in the LP until `o` is fixed (summing them
+        // eliminates `o` into a row the coverage constraints imply); these
+        // rows carry the edge structure into the relaxation — on the
+        // König-integral (bipartite-ish) parts of a BDD graph they pull
+        // the root bound up to the integer optimum — and give activity
+        // propagation a cascade: fixing `xh_i = 0` forces `xh_j = 1`.
+        m.add_constraint(&[(xv[i], 1.0), (xv[j], 1.0)], Sense::Ge, 1.0);
+        m.add_constraint(&[(xh[i], 1.0), (xh[j], 1.0)], Sense::Ge, 1.0);
+        orient.push(o);
+    }
+    // Odd-cycle cover cuts: every edge is V→H oriented, so the H-set and
+    // the V-set are each vertex covers of the graph. A triangle needs at
+    // least two members in any vertex cover, so Σ xh ≥ 2 and Σ xv ≥ 2 over
+    // each triangle — valid rows that cut off the LP's half-integral
+    // covers and close the relaxation's unit gap at the sweep extremes.
+    {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(i, j) in graph.graph.edges() {
+            if i != j && !adj[i].contains(&j) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        for nbrs in &mut adj {
+            nbrs.sort_unstable();
+        }
+        for &(i, j) in graph.graph.edges() {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            for &k in &adj[a] {
+                if k > b && adj[b].binary_search(&k).is_ok() {
+                    m.add_constraint(&[(xh[a], 1.0), (xh[b], 1.0), (xh[k], 1.0)], Sense::Ge, 2.0);
+                    m.add_constraint(&[(xv[a], 1.0), (xv[b], 1.0), (xv[k], 1.0)], Sense::Ge, 2.0);
+                }
+            }
+        }
     }
     // Alignment (Eq. 7): roots and terminal provide wordlines.
     if align {
@@ -121,7 +173,58 @@ pub fn build_model(graph: &BddGraph, gamma: f64, align: bool) -> (Model, MipVars
             m.add_constraint(&[(xh[v], 1.0)], Sense::Ge, 1.0);
         }
     }
-    (m, MipVars { xv, xh })
+    (m, MipVars { xv, xh, orient, d })
+}
+
+/// Describes the Eq. 4 model to the VH-specialized combinatorial bounder
+/// of `flowc-milp` (column indices of every structural variable).
+fn vh_layout(graph: &BddGraph, vars: &MipVars, gamma: f64) -> VhLayout {
+    VhLayout {
+        n: graph.num_nodes(),
+        xv: vars.xv.iter().map(|v| v.index()).collect(),
+        xh: vars.xh.iter().map(|v| v.index()).collect(),
+        edges: graph
+            .graph
+            .edges()
+            .iter()
+            .zip(&vars.orient)
+            .map(|(&(i, j), o)| (i, j, o.index()))
+            .collect(),
+        d_var: vars.d.index(),
+        gamma,
+    }
+}
+
+/// Encodes a known-valid labeling as a full assignment of the Eq. 4 model,
+/// for use as a branch & bound warm start. Orientation helpers are set to
+/// whichever disjunct the labeling satisfies, and `D = max(R, C)`.
+pub fn warm_start_values(
+    graph: &BddGraph,
+    vars: &MipVars,
+    num_vars: usize,
+    labeling: &Labeling,
+) -> Vec<f64> {
+    let mut values = vec![0.0; num_vars];
+    let mut rows = 0usize;
+    let mut cols = 0usize;
+    let has_v = |v: usize| matches!(labeling.label(v), VhLabel::V | VhLabel::Vh);
+    let has_h = |v: usize| matches!(labeling.label(v), VhLabel::H | VhLabel::Vh);
+    for v in 0..graph.num_nodes() {
+        if has_v(v) {
+            values[vars.xv[v].index()] = 1.0;
+            cols += 1;
+        }
+        if has_h(v) {
+            values[vars.xh[v].index()] = 1.0;
+            rows += 1;
+        }
+    }
+    for (&(i, j), o) in graph.graph.edges().iter().zip(&vars.orient) {
+        // o = 0 requires xv_i ∧ xh_j; o = 1 requires xh_i ∧ xv_j.
+        values[o.index()] = if has_v(i) && has_h(j) { 0.0 } else { 1.0 };
+    }
+    values[vars.d.index()] = rows.max(cols) as f64;
+    values
 }
 
 /// Decodes a MIP solution into a labeling.
@@ -248,16 +351,44 @@ pub fn solve_exact_budgeted(
     config: &MipConfig,
     budget: &Budget,
 ) -> Option<MipOutcome> {
+    solve_exact_warm(graph, config, budget, None)
+}
+
+/// [`solve_exact_budgeted`] with an optional warm-start labeling (typically
+/// the incumbent of an adjacent γ point in a sweep). The labeling is
+/// re-encoded — and re-costed — under this model's γ; an invalid hint is
+/// ignored by the solver rather than trusted.
+pub fn solve_exact_warm(
+    graph: &BddGraph,
+    config: &MipConfig,
+    budget: &Budget,
+    warm: Option<&Labeling>,
+) -> Option<MipOutcome> {
     if graph.num_nodes() > config.exact_node_limit {
         return None;
     }
     let gamma = config.gamma;
     let (model, vars) = build_model(graph, gamma, config.align);
-    let solver = BranchBound::new()
+    let mut solver = BranchBound::new()
         .time_limit(budget.remaining_or(config.time_limit))
         .trace_every(10)
-        .budget(budget);
-    let sol = solver.solve(&model).ok()?;
+        .budget(budget)
+        .threads(config.threads.max(1));
+    if let Some(labeling) = warm {
+        solver = solver.warm_start(warm_start_values(graph, &vars, model.num_vars(), labeling));
+    }
+    let layout = vh_layout(graph, &vars, gamma);
+    let sol = if config.threads.max(1) > 1 {
+        let layout = &layout;
+        solver
+            .solve_parallel_with(&model, move || {
+                HybridBounder::new(VhBounder::new(layout.clone()))
+            })
+            .ok()?
+    } else {
+        let mut bounder = HybridBounder::new(VhBounder::new(layout));
+        solver.solve_with(&model, &mut bounder).ok()?
+    };
     let labeling = labeling_from_solution(&vars, &sol.values);
     debug_assert!(labeling.is_valid(graph));
     let objective = labeling.stats().objective(gamma);
@@ -268,6 +399,8 @@ pub fn solve_exact_budgeted(
         best_bound: sol.best_bound,
         relative_gap: sol.relative_gap(),
         trace: sol.trace,
+        nodes: sol.nodes,
+        warm_start: sol.warm_start,
     })
 }
 
@@ -275,6 +408,22 @@ pub fn solve_exact_budgeted(
 /// OCT (bound + incumbent) → VH-addition hill climbing. Always returns a
 /// valid labeling, even on an already-exhausted budget.
 pub fn solve_anytime_budgeted(graph: &BddGraph, config: &MipConfig, budget: &Budget) -> MipOutcome {
+    solve_anytime_with_oct(graph, config, budget, None).0
+}
+
+/// [`solve_anytime_budgeted`] with an optional precomputed odd cycle
+/// transversal. The OCT stage dominates the anytime wall and is
+/// γ-independent, so sweep drivers cache it per graph: a `hint` replaces
+/// the stage-2 solve outright. The second return value is a freshly
+/// computed, proven-optimal OCT for the caller to cache (`None` when the
+/// hint was used or the solve timed out — a timed-out transversal depends
+/// on the budget and must not be reused).
+pub fn solve_anytime_with_oct(
+    graph: &BddGraph,
+    config: &MipConfig,
+    budget: &Budget,
+    hint: Option<&OctResult>,
+) -> (MipOutcome, Option<OctResult>) {
     let start = Instant::now();
     let deadline = start + budget.remaining_or(config.time_limit);
     let n = graph.num_nodes();
@@ -296,14 +445,21 @@ pub fn solve_anytime_budgeted(graph: &BddGraph, config: &MipConfig, budget: &Bud
 
     // Stage 2: exact (or time-limited) OCT improves both the incumbent and
     // the proven bound.
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    let oct = odd_cycle_transversal_budgeted(
-        &graph.graph,
-        &OctConfig {
-            time_limit: remaining.mul_f64(0.6),
-        },
-        budget,
-    );
+    let (oct, computed) = match hint {
+        Some(h) => (h.clone(), false),
+        None => {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let fresh = odd_cycle_transversal_budgeted(
+                &graph.graph,
+                &OctConfig {
+                    time_limit: remaining.mul_f64(0.6),
+                    threads: config.threads,
+                },
+                budget,
+            );
+            (fresh, true)
+        }
+    };
     let oct_vh: HashSet<usize> = oct.transversal.iter().copied().collect();
     let cand = balanced_labeling(graph, &oct_vh, config.align);
     let cand_obj = cand.stats().objective(gamma);
@@ -357,14 +513,23 @@ pub fn solve_anytime_budgeted(graph: &BddGraph, config: &MipConfig, budget: &Bud
         best_bound,
         open_nodes: 0,
     });
-    MipOutcome {
-        labeling: best,
-        optimal,
-        objective: best_obj,
-        best_bound,
-        relative_gap,
-        trace,
-    }
+    // Only a proven-optimal OCT is budget-independent and safe to reuse.
+    let publish = (computed && oct.optimal).then(|| oct.clone());
+    (
+        MipOutcome {
+            labeling: best,
+            optimal,
+            objective: best_obj,
+            best_bound,
+            relative_gap,
+            trace,
+            // A reused OCT expands no nodes here; report the reuse as an
+            // accepted warm start instead.
+            nodes: if computed { oct.nodes } else { 0 },
+            warm_start: (!computed).then_some(true),
+        },
+        publish,
+    )
 }
 
 #[cfg(test)]
@@ -493,8 +658,23 @@ mod tests {
         assert_eq!(vars.xh.len(), n);
         // 2n node binaries + e edge helpers + D.
         assert_eq!(m.num_vars(), 2 * n + e + 1);
-        // 2 aggregate rows + n coverage rows + 2e connection rows.
-        assert_eq!(m.num_constraints(), 2 + n + 2 * e);
+        // 2 aggregate rows + n coverage rows + 2e connection rows + 2e
+        // orientation-free cover rows + 2 rows per triangle.
+        let mut triangles = 0;
+        let edge_set: std::collections::HashSet<(usize, usize)> = g
+            .graph
+            .edges()
+            .iter()
+            .map(|&(i, j)| (i.min(j), i.max(j)))
+            .collect();
+        for &(a, b) in &edge_set {
+            for k in (b + 1)..n {
+                if edge_set.contains(&(a, k)) && edge_set.contains(&(b, k)) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert_eq!(m.num_constraints(), 2 + n + 4 * e + 2 * triangles);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub fn min_semiperimeter_budgeted(
             &graph.graph,
             &OctConfig {
                 time_limit: budget.remaining_or(config.time_limit),
+                threads: 1,
             },
             budget,
         );

@@ -28,7 +28,10 @@ pub fn gamma_sweep(network: &Network, steps: usize, time_limit: Duration) -> Vec
 
 /// [`gamma_sweep`] inside an existing [`Session`]: every γ point varies
 /// only the labeling objective, so the session serves one BDD build and
-/// one graph extraction to the whole sweep.
+/// one graph extraction to the whole sweep. Points run in descending γ
+/// order (γ = 1 closes fastest) so each point's optimum warm-starts the
+/// next through the session's warm-hint registry; results are still
+/// returned in ascending γ order.
 pub fn gamma_sweep_in(
     session: &Session,
     network: &Network,
@@ -36,7 +39,8 @@ pub fn gamma_sweep_in(
     time_limit: Duration,
 ) -> Vec<SweepPoint> {
     let steps = steps.max(2);
-    (0..steps)
+    let mut points: Vec<SweepPoint> = (0..steps)
+        .rev()
         .filter_map(|i| {
             let gamma = i as f64 / (steps - 1) as f64;
             let cfg = Config {
@@ -47,6 +51,7 @@ pub fn gamma_sweep_in(
                 },
                 align: true,
                 var_order: None,
+                label_threads: 1,
             };
             // The supervised pipeline only errs on internal bugs; a failed
             // γ point degrades the sweep's resolution, not the caller.
@@ -57,7 +62,9 @@ pub fn gamma_sweep_in(
                 cols: r.stats.cols,
             })
         })
-        .collect()
+        .collect();
+    points.reverse();
+    points
 }
 
 /// Sweeps the *aspect ratio* at (near-)minimal semiperimeter: starting from
@@ -72,8 +79,13 @@ pub fn aspect_sweep(network: &Network, steps: usize, time_limit: Duration) -> Ve
 
     let bdds = flowc_bdd::build_sbdd(network, None);
     let graph = BddGraph::from_bdds(&bdds);
-    let oct =
-        flowc_graph::odd_cycle_transversal(&graph.graph, &flowc_graph::OctConfig { time_limit });
+    let oct = flowc_graph::odd_cycle_transversal(
+        &graph.graph,
+        &flowc_graph::OctConfig {
+            time_limit,
+            threads: 1,
+        },
+    );
     let vh: std::collections::HashSet<usize> = oct.transversal.into_iter().collect();
     // The feasible row range is bracketed by the balanced solution (rows ≈
     // S/2) and the all-rows extreme (rows ≈ S − #VH); sweep targets across

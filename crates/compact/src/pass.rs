@@ -26,12 +26,16 @@ use flowc_logic::Network;
 use flowc_xbar::verify::verify_functional;
 use flowc_xbar::Crossbar;
 
+use crate::mapping::map_to_crossbar;
 use crate::pipeline::{CompactError, Config};
 use crate::preprocess::BddGraph;
 use crate::session::{
-    bdd_key, graph_key, ArtifactKey, CacheOutcome, Claim, Session, StageKind, StageRecord,
+    bdd_key, graph_key, label_key, ArtifactKey, CacheOutcome, Claim, LabelArtifact, Session,
+    SolveStats, StageKind, StageRecord,
 };
-use crate::supervisor::{chaos, panic_message, run_ladder, LadderOutcome, Trigger};
+use crate::supervisor::{chaos, panic_message, run_ladder, LadderOutcome, StageAttempt, Trigger};
+use flowc_budget::Stopwatch;
+use flowc_xbar::metrics::CrossbarMetrics;
 
 /// A pipeline stage: deterministic work over a shared [`Session`].
 ///
@@ -110,6 +114,7 @@ impl Pass<&Network> for NormalizePass {
             cache: CacheOutcome::Uncached,
             items: network.num_gates(),
             key: Some(key),
+            solve: None,
         });
         Ok(NormalizeOutput {
             output_names,
@@ -166,6 +171,7 @@ impl Pass<(&Network, Option<&[usize]>)> for BddBuildPass {
                     cache: CacheOutcome::Hit,
                     items: bdds.manager.reachable(&bdds.roots).len(),
                     key: Some(key),
+                    solve: None,
                 });
                 return Ok(BddArtifact {
                     bdds,
@@ -229,6 +235,7 @@ impl Pass<(&Network, Option<&[usize]>)> for BddBuildPass {
             cache: CacheOutcome::Miss,
             items: bdds.manager.reachable(&bdds.roots).len(),
             key: Some(key),
+            solve: None,
         });
         Ok(BddArtifact {
             bdds,
@@ -268,6 +275,7 @@ impl Pass<(&Arc<NetworkBdds>, ArtifactKey)> for GraphExtractPass {
                     cache: CacheOutcome::Hit,
                     items: graph.num_nodes(),
                     key: Some(key),
+                    solve: None,
                 });
                 return Ok(graph);
             }
@@ -282,6 +290,7 @@ impl Pass<(&Arc<NetworkBdds>, ArtifactKey)> for GraphExtractPass {
             cache: CacheOutcome::Miss,
             items: graph.num_nodes(),
             key: Some(key),
+            solve: None,
         });
         Ok(graph)
     }
@@ -290,12 +299,81 @@ impl Pass<(&Arc<NetworkBdds>, ArtifactKey)> for GraphExtractPass {
 /// Stages 4–5: the supervised VH-labeling degradation ladder plus crossbar
 /// mapping. One pass because the ladder interleaves them; records separate
 /// [`StageKind::VhLabel`] and [`StageKind::Map`] trace entries.
+///
+/// Labeling artifacts are cached under [`label_key`] when the outcome is
+/// budget-independent (proven optimal, or a deterministic heuristic
+/// strategy): a repeated sweep over the same graph and strategy maps a
+/// cached labeling instead of re-running the solver. Exact solves over a
+/// graph the session has already labeled (at any γ) are seeded with the
+/// previous labeling as a branch & bound warm start.
 pub struct LadderPass<'c> {
     /// The synthesis configuration (strategy, alignment).
     pub config: &'c Config,
 }
 
-impl<'c> Pass<(&BddGraph, &[String], Option<Trigger>)> for LadderPass<'c> {
+impl<'c> LadderPass<'c> {
+    /// Ships a cache-served labeling: re-map it (mapping is cheap and
+    /// uncached) and reconstruct a [`LadderOutcome`] with zero label wall.
+    fn ship_cached(
+        &self,
+        session: &Session,
+        graph: &BddGraph,
+        names: &[String],
+        budget: &Budget,
+        key: ArtifactKey,
+        artifact: &LabelArtifact,
+    ) -> Result<LadderOutcome, CompactError> {
+        session.record(StageRecord {
+            kind: StageKind::VhLabel,
+            wall: std::time::Duration::ZERO,
+            cache: CacheOutcome::Hit,
+            items: graph.num_nodes(),
+            key: Some(key),
+            solve: Some(SolveStats {
+                nodes: 0,
+                gap: artifact.relative_gap,
+                warm_start: None,
+            }),
+        });
+        let map_sw = Stopwatch::unbudgeted();
+        let crossbar = map_to_crossbar(graph, &artifact.labeling, names)
+            .map_err(|e| CompactError::Synthesis(format!("cached labeling failed to map: {e}")))?;
+        let map_wall = map_sw.elapsed();
+        let metrics = CrossbarMetrics::of(&crossbar);
+        session.record(StageRecord {
+            kind: StageKind::Map,
+            wall: map_wall,
+            cache: CacheOutcome::Uncached,
+            items: metrics.active_devices,
+            key: None,
+            solve: None,
+        });
+        Ok(LadderOutcome {
+            crossbar,
+            labeling: artifact.labeling.clone(),
+            metrics,
+            rung: artifact.rung,
+            degraded: false,
+            optimal: artifact.optimal,
+            relative_gap: artifact.relative_gap,
+            trace: None,
+            attempts: vec![StageAttempt {
+                rung: artifact.rung,
+                wall: std::time::Duration::ZERO,
+                trigger: None,
+            }],
+            exhausted: budget.check().err(),
+            label_wall: std::time::Duration::ZERO,
+            map_wall,
+            solver_nodes: 0,
+            warm_start: None,
+            from_cache: true,
+            oct: None,
+        })
+    }
+}
+
+impl<'c> Pass<(&BddGraph, ArtifactKey, &[String], Option<Trigger>)> for LadderPass<'c> {
     type Output = LadderOutcome;
 
     fn kind(&self) -> StageKind {
@@ -305,16 +383,74 @@ impl<'c> Pass<(&BddGraph, &[String], Option<Trigger>)> for LadderPass<'c> {
     fn run_with_budget(
         &self,
         session: &Session,
-        (graph, names, bdd_trigger): (&BddGraph, &[String], Option<Trigger>),
+        (graph, graph_key, names, bdd_trigger): (
+            &BddGraph,
+            ArtifactKey,
+            &[String],
+            Option<Trigger>,
+        ),
         budget: &Budget,
     ) -> Result<LadderOutcome, CompactError> {
-        let outcome = run_ladder(graph, self.config, budget, names, bdd_trigger)?;
+        let key = label_key(graph_key, self.config);
+        // Single-flight claim: if a sibling is solving the same point we
+        // wait it out; if its outcome was not cacheable, we solve too.
+        let ticket = match session.claim_label(key) {
+            Claim::Ready(artifact) => {
+                return self.ship_cached(session, graph, names, budget, key, &artifact)
+            }
+            Claim::Build(ticket) => ticket,
+        };
+        let warm = session.warm_hint(graph_key);
+        let oct_hint = session.oct_hint(graph_key);
+        let outcome = run_ladder(
+            graph,
+            self.config,
+            budget,
+            names,
+            bdd_trigger,
+            warm.as_ref(),
+            oct_hint.as_deref(),
+        )?;
+        // Publish budget-independent outcomes: proven optimal, or a
+        // deterministic heuristic strategy (no solver, no clock).
+        let deterministic = matches!(
+            self.config.strategy,
+            crate::pipeline::VhStrategy::Heuristic { .. } | crate::pipeline::VhStrategy::Staircase
+        );
+        let cacheable = outcome.optimal || deterministic;
+        if cacheable {
+            session.store_label(
+                key,
+                Arc::new(LabelArtifact {
+                    labeling: outcome.labeling.clone(),
+                    optimal: outcome.optimal,
+                    relative_gap: outcome.relative_gap,
+                    rung: outcome.rung,
+                }),
+            );
+        }
+        drop(ticket); // publish (or release) before waking claim waiters
+                      // Any shipped labeling seeds later solves over this graph; a fresh
+                      // proven-optimal OCT (γ-independent) serves every later sweep point.
+        session.offer_warm_hint(graph_key, outcome.labeling.clone());
+        if let Some(oct) = &outcome.oct {
+            session.offer_oct_hint(graph_key, Arc::new(oct.clone()));
+        }
         session.record(StageRecord {
             kind: StageKind::VhLabel,
             wall: outcome.label_wall,
-            cache: CacheOutcome::Uncached,
+            cache: if cacheable {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Uncached
+            },
             items: graph.num_nodes(),
-            key: None,
+            key: Some(key),
+            solve: Some(SolveStats {
+                nodes: outcome.solver_nodes,
+                gap: outcome.relative_gap,
+                warm_start: outcome.warm_start,
+            }),
         });
         session.record(StageRecord {
             kind: StageKind::Map,
@@ -322,6 +458,7 @@ impl<'c> Pass<(&BddGraph, &[String], Option<Trigger>)> for LadderPass<'c> {
             cache: CacheOutcome::Uncached,
             items: outcome.metrics.active_devices,
             key: None,
+            solve: None,
         });
         Ok(outcome)
     }
@@ -359,6 +496,7 @@ impl Pass<(&Crossbar, &Network)> for VerifyPass {
             cache: CacheOutcome::Uncached,
             items: report.checked,
             key: None,
+            solve: None,
         });
         if !report.is_valid() {
             return Err(CompactError::Synthesis(format!(

@@ -74,6 +74,9 @@ pub struct Config {
     pub align: bool,
     /// Optional BDD variable order (a permutation of the input indices).
     pub var_order: Option<Vec<usize>>,
+    /// Worker threads for the exact VH-labeling branch & bound (1 =
+    /// sequential; the parallel engine proves the same optimum).
+    pub label_threads: usize,
 }
 
 impl Default for Config {
@@ -95,6 +98,7 @@ impl Config {
             },
             align: true,
             var_order: None,
+            label_threads: 1,
         }
     }
 }
@@ -243,6 +247,7 @@ fn run_strategy(graph: &BddGraph, config: &Config) -> (Labeling, bool, f64, Opti
                     align: config.align,
                     time_limit: *time_limit,
                     exact_node_limit: *exact_node_limit,
+                    threads: config.label_threads.max(1),
                 },
             );
             (out.labeling, out.optimal, out.relative_gap, Some(out.trace))
@@ -310,6 +315,7 @@ mod tests {
                 strategy,
                 align: true,
                 var_order: None,
+                label_threads: 1,
             };
             let r = synthesize(&n, &cfg).unwrap();
             let report = verify_functional(&r.crossbar, &n, 64).unwrap();

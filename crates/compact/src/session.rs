@@ -34,19 +34,21 @@
 //! different incumbents run-to-run; that nondeterminism comes from the
 //! clock, not from the session or the batch machinery.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use flowc_bdd::NetworkBdds;
 use flowc_budget::Budget;
+use flowc_graph::OctResult;
 use flowc_logic::Network;
 
+use crate::labeling::Labeling;
 use crate::pass::{BddBuildPass, GraphExtractPass, LadderPass, NormalizePass, Pass, VerifyPass};
 use crate::pipeline::{CompactError, CompactResult, Config, VhStrategy};
 use crate::preprocess::BddGraph;
-use crate::supervisor::{DegradationReport, LadderOutcome};
+use crate::supervisor::{DegradationReport, LadderOutcome, Rung};
 
 /// Content-addressed identity of a cached artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +76,7 @@ fn combine(parts: &[u64]) -> u64 {
 /// upstream content never collide.
 const TAG_BDD: u64 = 0xB00D_0001;
 const TAG_GRAPH: u64 = 0x6AA9_0002;
+const TAG_LABEL: u64 = 0x1ABE_0003;
 
 /// The key of the BDD artifact for `network` under `var_order`.
 pub fn bdd_key(network: &Network, var_order: Option<&[usize]>) -> ArtifactKey {
@@ -91,6 +94,34 @@ pub fn bdd_key(network: &Network, var_order: Option<&[usize]>) -> ArtifactKey {
 /// The key of the graph artifact extracted from the BDD artifact `bdd`.
 pub fn graph_key(bdd: ArtifactKey) -> ArtifactKey {
     ArtifactKey(combine(&[TAG_GRAPH, bdd.0]))
+}
+
+/// The key of the labeling artifact for the graph artifact `graph` under
+/// `config`'s strategy (γ bits, alignment, strategy shape). The solver
+/// time limit is deliberately **not** part of the key: a labeling is only
+/// stored when its content is budget-independent — proven optimal, or
+/// produced by a deterministic heuristic strategy — so any budget that
+/// reaches the cache would have computed the same artifact.
+pub fn label_key(graph: ArtifactKey, config: &Config) -> ArtifactKey {
+    let mut parts = vec![TAG_LABEL, graph.0, u64::from(config.align)];
+    match &config.strategy {
+        VhStrategy::Weighted {
+            gamma,
+            exact_node_limit,
+            ..
+        } => {
+            parts.push(1);
+            parts.push(gamma.to_bits());
+            parts.push(*exact_node_limit as u64);
+        }
+        VhStrategy::MinSemiperimeter { .. } => parts.push(2),
+        VhStrategy::Heuristic { gamma } => {
+            parts.push(3);
+            parts.push(gamma.to_bits());
+        }
+        VhStrategy::Staircase => parts.push(4),
+    }
+    ArtifactKey(combine(&parts))
 }
 
 /// The pipeline stages a session traces.
@@ -154,6 +185,20 @@ pub enum CacheOutcome {
     Uncached,
 }
 
+/// Branch & bound solver statistics attached to a [`StageKind::VhLabel`]
+/// record (the per-γ-point figures the `--gamma-sweep` report and the
+/// serve `/metrics` endpoint surface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Branch & bound nodes explored (0 for non-MIP rungs and cache hits).
+    pub nodes: u64,
+    /// Proven relative optimality gap at termination.
+    pub gap: f64,
+    /// Warm-start outcome: `None` when no warm start was offered,
+    /// `Some(accepted)` otherwise.
+    pub warm_start: Option<bool>,
+}
+
 /// One stage execution recorded by a session.
 #[derive(Debug, Clone)]
 pub struct StageRecord {
@@ -169,6 +214,8 @@ pub struct StageRecord {
     pub items: usize,
     /// The artifact key involved, when the stage is cacheable.
     pub key: Option<ArtifactKey>,
+    /// Solver statistics, for [`StageKind::VhLabel`] records.
+    pub solve: Option<SolveStats>,
 }
 
 /// The per-stage execution log of a session, with counter views.
@@ -262,6 +309,13 @@ pub struct SessionConfig {
     /// mismatch is a [`CompactError::Synthesis`] (an internal bug, never
     /// a budget condition).
     pub verify_samples: Option<usize>,
+    /// Chain branch & bound warm starts across solves over the same graph
+    /// (a γ sweep seeds each point with the previous incumbent, re-costed
+    /// under the new γ). Off by default: a warm start can pick a different
+    /// *tied* optimum, so sessions that must be bit-deterministic across
+    /// execution orders (batch vs. sequential) leave it disabled. Sweep
+    /// drivers that run points sequentially opt in.
+    pub warm_labels: bool,
 }
 
 impl Default for SessionConfig {
@@ -271,6 +325,7 @@ impl Default for SessionConfig {
             seed: 0xC0AC_7000_5EED,
             cache_capacity: 64,
             verify_samples: None,
+            warm_labels: false,
         }
     }
 }
@@ -319,7 +374,22 @@ impl<T: Clone> ArtifactCache<T> {
     }
 }
 
-/// Mutable session state behind one lock: both artifact caches, the stage
+/// A cached VH-labeling outcome. Stored only when budget-independent:
+/// proven optimal for its objective, or produced by a deterministic
+/// heuristic strategy (see [`label_key`]).
+#[derive(Debug, Clone)]
+pub struct LabelArtifact {
+    /// The labeling (alignment already enforced by the ladder).
+    pub labeling: Labeling,
+    /// Whether it was proven optimal for its objective.
+    pub optimal: bool,
+    /// Relative optimality gap at the original solve's termination.
+    pub relative_gap: f64,
+    /// The ladder rung that originally produced it.
+    pub rung: Rung,
+}
+
+/// Mutable session state behind one lock: the artifact caches, the stage
 /// trace, the RNG stream, and hit/miss counters. One coarse mutex keeps
 /// lock ordering trivial; every critical section is a map probe or a
 /// record push, never a build (artifacts are computed outside the lock).
@@ -327,6 +397,17 @@ impl<T: Clone> ArtifactCache<T> {
 struct SessionState {
     bdds: ArtifactCache<Arc<NetworkBdds>>,
     graphs: ArtifactCache<Arc<BddGraph>>,
+    labels: ArtifactCache<Arc<LabelArtifact>>,
+    /// Best known labeling per *graph* key, offered as a branch & bound
+    /// warm start to subsequent solves over the same graph (a γ sweep
+    /// re-costs it under each point's objective).
+    warm_hints: HashMap<ArtifactKey, Labeling>,
+    /// Proven-optimal odd cycle transversals per *graph* key. The OCT is a
+    /// pure, γ-independent function of the graph, so reuse never changes a
+    /// result — it only skips the dominant stage of the anytime path.
+    /// Bounded FIFO: `oct_order` tracks insertion for eviction.
+    octs: HashMap<ArtifactKey, Arc<OctResult>>,
+    oct_order: VecDeque<ArtifactKey>,
     trace: StageTrace,
     rng_state: u64,
     hits: usize,
@@ -349,6 +430,7 @@ pub struct Session {
     budget: Budget,
     seed: u64,
     verify_samples: Option<usize>,
+    warm_labels: bool,
     state: Mutex<SessionState>,
     /// Signaled whenever an in-flight build finishes (published or
     /// abandoned), waking threads blocked on the same artifact key.
@@ -368,9 +450,14 @@ impl Session {
             budget: config.budget,
             seed: config.seed,
             verify_samples: config.verify_samples,
+            warm_labels: config.warm_labels,
             state: Mutex::new(SessionState {
                 bdds: ArtifactCache::new(config.cache_capacity),
                 graphs: ArtifactCache::new(config.cache_capacity),
+                labels: ArtifactCache::new(config.cache_capacity),
+                warm_hints: HashMap::new(),
+                octs: HashMap::new(),
+                oct_order: VecDeque::new(),
                 trace: StageTrace::default(),
                 rng_state: config.seed,
                 hits: 0,
@@ -428,16 +515,20 @@ impl Session {
         CacheStats {
             hits: state.hits,
             misses: state.misses,
-            entries: state.bdds.len() + state.graphs.len(),
-            evicted: state.bdds.evicted + state.graphs.evicted,
+            entries: state.bdds.len() + state.graphs.len() + state.labels.len(),
+            evicted: state.bdds.evicted + state.graphs.evicted + state.labels.evicted,
         }
     }
 
-    /// Drops every cached artifact (the trace is kept).
+    /// Drops every cached artifact and warm hint (the trace is kept).
     pub fn clear_cache(&self) {
         let mut state = self.lock();
         state.bdds.clear();
         state.graphs.clear();
+        state.labels.clear();
+        state.warm_hints.clear();
+        state.octs.clear();
+        state.oct_order.clear();
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
@@ -458,6 +549,65 @@ impl Session {
     /// [`Session::claim_bdd`] for graph artifacts.
     pub(crate) fn claim_graph(&self, key: ArtifactKey) -> Claim<'_, Arc<BddGraph>> {
         self.claim_with(key, |state| state.graphs.get(key))
+    }
+
+    /// [`Session::claim_bdd`] for labeling artifacts. A builder whose
+    /// outcome turns out not to be cacheable (not proven optimal) simply
+    /// drops the ticket unpublished; waiters then solve for themselves.
+    pub(crate) fn claim_label(&self, key: ArtifactKey) -> Claim<'_, Arc<LabelArtifact>> {
+        self.claim_with(key, |state| state.labels.get(key))
+    }
+
+    /// The best known labeling for the graph artifact `graph`, to seed a
+    /// branch & bound warm start (re-costed under the caller's γ).
+    pub(crate) fn warm_hint(&self, graph: ArtifactKey) -> Option<Labeling> {
+        if !self.warm_labels {
+            return None;
+        }
+        self.lock().warm_hints.get(&graph).cloned()
+    }
+
+    /// Offers `labeling` as the warm hint for `graph`. Last writer wins:
+    /// any valid labeling is a usable seed, and adjacent sweep points
+    /// (the most recent writers) make the best ones.
+    pub(crate) fn offer_warm_hint(&self, graph: ArtifactKey, labeling: Labeling) {
+        if !self.warm_labels {
+            return;
+        }
+        self.lock().warm_hints.insert(graph, labeling);
+    }
+
+    /// Caps [`SessionState::octs`]: one entry per distinct graph is fine
+    /// for sweeps, but conformance/serve sessions stream thousands of
+    /// graphs through and must not grow without bound.
+    const OCT_HINT_CAP: usize = 256;
+
+    /// The cached proven-optimal odd cycle transversal for `graph`, if any.
+    /// Unlike warm labels this is not gated behind an opt-in: the OCT is
+    /// deterministic per graph, so a hit returns exactly what a fresh
+    /// solve would compute.
+    pub(crate) fn oct_hint(&self, graph: ArtifactKey) -> Option<Arc<OctResult>> {
+        self.lock().octs.get(&graph).cloned()
+    }
+
+    /// Publishes a proven-optimal OCT for `graph` (first writer wins —
+    /// every writer would publish the same value). Evicts FIFO beyond
+    /// [`Session::OCT_HINT_CAP`] entries.
+    pub(crate) fn offer_oct_hint(&self, graph: ArtifactKey, oct: Arc<OctResult>) {
+        let mut state = self.lock();
+        if state.octs.contains_key(&graph) {
+            return;
+        }
+        while state.octs.len() >= Self::OCT_HINT_CAP {
+            match state.oct_order.pop_front() {
+                Some(old) => {
+                    state.octs.remove(&old);
+                }
+                None => break,
+            }
+        }
+        state.octs.insert(graph, oct);
+        state.oct_order.push_back(graph);
     }
 
     fn claim_with<T>(
@@ -486,6 +636,10 @@ impl Session {
 
     pub(crate) fn store_graph(&self, key: ArtifactKey, graph: Arc<BddGraph>) {
         self.lock().graphs.insert(key, graph);
+    }
+
+    pub(crate) fn store_label(&self, key: ArtifactKey, label: Arc<LabelArtifact>) {
+        self.lock().labels.insert(key, label);
     }
 
     pub(crate) fn record(&self, record: StageRecord) {
@@ -577,7 +731,12 @@ fn run_staged(
     let graph = GraphExtractPass.run_with_budget(session, (&bdd.bdds, bdd.key), budget)?;
     let ladder = LadderPass { config }.run_with_budget(
         session,
-        (&*graph, norm.output_names.as_slice(), bdd.lift_trigger),
+        (
+            &*graph,
+            graph_key(bdd.key),
+            norm.output_names.as_slice(),
+            bdd.lift_trigger,
+        ),
         budget,
     )?;
     if let Some(samples) = session.verify_samples() {
@@ -594,6 +753,9 @@ fn run_staged(
         trace,
         attempts,
         exhausted,
+        solver_nodes,
+        warm_start,
+        from_cache,
         ..
     } = ladder;
     let stats = labeling.stats();
@@ -616,6 +778,9 @@ fn run_staged(
             bdd_wall: bdd.wall,
             bdd_budget_lifted: bdd.budget_lifted,
             exhausted,
+            solver_nodes,
+            warm_start,
+            label_cached: from_cache,
         }),
     })
 }
@@ -657,12 +822,21 @@ pub struct BatchConfig {
 /// Tasks for a γ sweep of one network: `gammas.len()` weighted-strategy
 /// points sharing one [`Arc<Network>`], so a session-backed batch builds
 /// the BDD and extracts the graph exactly once.
+///
+/// Points are ordered by **descending** γ to maximize warm-start reuse:
+/// γ = 1 (pure semiperimeter) closes fastest, and each point's optimum
+/// seeds the next point's branch & bound incumbent through the session's
+/// warm-hint registry. Consumers that want results in a particular γ
+/// order should read each task's γ from its label or
+/// [`BatchTask::config`] rather than assuming input order.
 pub fn gamma_sweep_tasks(
     network: &Arc<Network>,
     gammas: &[f64],
     time_limit: Duration,
 ) -> Vec<BatchTask> {
-    gammas
+    let mut ordered: Vec<f64> = gammas.to_vec();
+    ordered.sort_by(|a, b| b.total_cmp(a));
+    ordered
         .iter()
         .map(|&gamma| {
             let mut config = Config::gamma(gamma);
@@ -787,9 +961,21 @@ mod tests {
         assert_eq!(trace.builds(StageKind::GraphExtract), 1);
         assert_eq!(trace.hits(StageKind::GraphExtract), 1);
         let stats = session.cache_stats();
+        // Two BDD/graph hits; misses and entries count the BDD, the graph,
+        // and one cached labeling per γ (both close optimally on fig2).
         assert_eq!(stats.hits, 2);
-        assert_eq!(stats.misses, 2);
-        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+
+        // Re-running an identical config must serve the labeling itself
+        // from the cache: no new misses, three new hits (BDD, graph, label).
+        let c = synthesize_in(&session, &n, &Config::gamma(0.7)).unwrap();
+        assert_eq!(c.stats.semiperimeter, b.stats.semiperimeter);
+        assert!(c.degradation.as_ref().is_some_and(|d| d.label_cached));
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
     }
 
     #[test]

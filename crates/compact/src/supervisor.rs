@@ -43,7 +43,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use flowc_budget::{Budget, BudgetExceeded, Stopwatch};
-use flowc_graph::oct_heuristic;
+use flowc_graph::{oct_heuristic, OctResult};
 use flowc_logic::Network;
 use flowc_milp::SolveTrace;
 use flowc_xbar::metrics::CrossbarMetrics;
@@ -52,7 +52,7 @@ use flowc_xbar::Crossbar;
 use crate::balance::balanced_labeling;
 use crate::labeling::Labeling;
 use crate::mapping::map_to_crossbar;
-use crate::mip_method::{solve_anytime_budgeted, solve_exact_budgeted, MipConfig};
+use crate::mip_method::{solve_anytime_with_oct, solve_exact_warm, MipConfig};
 use crate::oct_method::{min_semiperimeter_budgeted, OctMethodConfig};
 use crate::pipeline::{CompactError, CompactResult, Config, VhStrategy};
 use crate::preprocess::BddGraph;
@@ -151,6 +151,14 @@ pub struct DegradationReport {
     pub bdd_budget_lifted: bool,
     /// The budget violation observed when the ladder finished, if any.
     pub exhausted: Option<BudgetExceeded>,
+    /// Branch & bound nodes the shipping rung explored (0 for non-MIP
+    /// rungs and cache-served labelings).
+    pub solver_nodes: u64,
+    /// Warm-start outcome of the shipping rung (`None` when no warm
+    /// start was offered, `Some(accepted)` otherwise).
+    pub warm_start: Option<bool>,
+    /// Whether the labeling was served from the session's artifact cache.
+    pub label_cached: bool,
 }
 
 impl DegradationReport {
@@ -178,6 +186,13 @@ struct RungOutput {
     optimal: bool,
     relative_gap: f64,
     trace: Option<SolveTrace>,
+    /// Branch & bound nodes explored (0 for non-MIP rungs).
+    nodes: u64,
+    /// Warm-start outcome of the exact MIP rung, when one was offered.
+    warm_start: Option<bool>,
+    /// Freshly proven-optimal OCT from the anytime rung, for the caller
+    /// to cache (γ-independent, budget-independent).
+    oct: Option<OctResult>,
 }
 
 pub(crate) fn chaos(stage: &str) {
@@ -216,7 +231,14 @@ fn ladder(strategy: &VhStrategy) -> Vec<Rung> {
     }
 }
 
-fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> Option<RungOutput> {
+fn run_rung(
+    rung: Rung,
+    graph: &BddGraph,
+    config: &Config,
+    budget: &Budget,
+    warm: Option<&Labeling>,
+    oct: Option<&OctResult>,
+) -> Option<RungOutput> {
     chaos(rung.name());
     match rung {
         Rung::ExactMip => {
@@ -232,21 +254,26 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 VhStrategy::Heuristic { gamma } => (*gamma, Duration::from_secs(30), 80),
                 VhStrategy::Staircase => (0.5, Duration::ZERO, 0),
             };
-            let out = solve_exact_budgeted(
+            let out = solve_exact_warm(
                 graph,
                 &MipConfig {
                     gamma,
                     align: config.align,
                     time_limit,
                     exact_node_limit,
+                    threads: config.label_threads.max(1),
                 },
                 budget,
+                warm,
             )?;
             Some(RungOutput {
                 labeling: out.labeling,
                 optimal: out.optimal,
                 relative_gap: out.relative_gap,
                 trace: Some(out.trace),
+                nodes: out.nodes,
+                warm_start: out.warm_start,
+                oct: None,
             })
         }
         Rung::ExactOct => {
@@ -274,6 +301,9 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 optimal: r.optimal,
                 relative_gap: gap,
                 trace: None,
+                nodes: 0,
+                warm_start: None,
+                oct: None,
             })
         }
         Rung::AnytimeMip => {
@@ -285,21 +315,26 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 VhStrategy::Heuristic { gamma } => (*gamma, Duration::from_secs(30)),
                 VhStrategy::Staircase => (0.5, Duration::ZERO),
             };
-            let out = solve_anytime_budgeted(
+            let (out, fresh_oct) = solve_anytime_with_oct(
                 graph,
                 &MipConfig {
                     gamma,
                     align: config.align,
                     time_limit,
                     exact_node_limit: 0,
+                    threads: config.label_threads.max(1),
                 },
                 budget,
+                oct,
             );
             Some(RungOutput {
                 labeling: out.labeling,
                 optimal: out.optimal,
                 relative_gap: out.relative_gap,
                 trace: Some(out.trace),
+                nodes: out.nodes,
+                warm_start: out.warm_start,
+                oct: fresh_oct,
             })
         }
         Rung::HeuristicOct => {
@@ -309,6 +344,9 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 optimal: false,
                 relative_gap: 1.0,
                 trace: None,
+                nodes: 0,
+                warm_start: None,
+                oct: None,
             })
         }
         Rung::AllVh => {
@@ -318,6 +356,9 @@ fn run_rung(rung: Rung, graph: &BddGraph, config: &Config, budget: &Budget) -> O
                 optimal: false,
                 relative_gap: 1.0,
                 trace: None,
+                nodes: 0,
+                warm_start: None,
+                oct: None,
             })
         }
     }
@@ -354,6 +395,18 @@ pub struct LadderOutcome {
     pub label_wall: Duration,
     /// Wall-clock time spent mapping labelings to crossbars.
     pub map_wall: Duration,
+    /// Branch & bound nodes the shipping rung explored (0 for non-MIP
+    /// rungs and for cache-served labelings).
+    pub solver_nodes: u64,
+    /// Warm-start outcome of the shipping rung (`None` when no warm start
+    /// was offered, `Some(accepted)` otherwise).
+    pub warm_start: Option<bool>,
+    /// Whether the labeling was served from the session's artifact cache
+    /// (set by [`crate::pass::LadderPass`], never by [`run_ladder`]).
+    pub from_cache: bool,
+    /// Freshly proven-optimal OCT from the anytime rung (γ-independent),
+    /// for the session to cache across sweep points.
+    pub oct: Option<OctResult>,
 }
 
 /// Walks the degradation ladder over an extracted graph: run a rung,
@@ -373,6 +426,8 @@ pub(crate) fn run_ladder(
     budget: &Budget,
     names: &[String],
     bdd_trigger: Option<Trigger>,
+    warm: Option<&Labeling>,
+    oct: Option<&OctResult>,
 ) -> Result<LadderOutcome, CompactError> {
     let rungs = ladder(&config.strategy);
     let first_rung = rungs[0];
@@ -388,7 +443,9 @@ pub(crate) fn run_ladder(
     let mut map_wall = Duration::ZERO;
     for rung in rungs {
         let sw = Stopwatch::unbudgeted();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_rung(rung, graph, config, budget)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_rung(rung, graph, config, budget, warm, oct)
+        }));
         let wall = sw.elapsed();
         label_wall += wall;
         let output = match outcome {
@@ -464,6 +521,10 @@ pub(crate) fn run_ladder(
             exhausted,
             label_wall,
             map_wall,
+            solver_nodes: output.nodes,
+            warm_start: output.warm_start,
+            from_cache: false,
+            oct: output.oct,
         });
     }
     Err(CompactError::Synthesis(format!(
@@ -586,6 +647,7 @@ mod tests {
                 strategy,
                 align: true,
                 var_order: None,
+                label_threads: 1,
             };
             let budget = Budget::unlimited().with_deadline(Duration::ZERO);
             let r = synthesize_with_budget(&n, &cfg, &budget).unwrap();

@@ -300,6 +300,7 @@ pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
                 },
                 align: true,
                 var_order: None,
+                label_threads: 1,
             },
             Arc::clone(&session),
         )),
@@ -316,6 +317,7 @@ pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
                 strategy: VhStrategy::Heuristic { gamma },
                 align: true,
                 var_order: None,
+                label_threads: 1,
             },
             Arc::clone(&session),
         )));

@@ -35,6 +35,6 @@ pub use oct::{
 pub use product::cartesian_with_k2;
 pub use ugraph::UGraph;
 pub use vertex_cover::{
-    greedy_cover, lp_lower_bound, minimum_vertex_cover, minimum_vertex_cover_budgeted, nt_kernel,
-    NtKernel, VcConfig, VcResult,
+    greedy_cover, lp_lower_bound, minimum_vertex_cover, minimum_vertex_cover_budgeted,
+    minimum_vertex_cover_seeded, nt_kernel, NtKernel, VcConfig, VcResult,
 };

@@ -9,7 +9,7 @@ use std::time::Duration;
 use flowc_budget::Budget;
 
 use crate::product::cartesian_with_k2;
-use crate::vertex_cover::{minimum_vertex_cover_budgeted, VcConfig};
+use crate::vertex_cover::{minimum_vertex_cover_seeded, VcConfig};
 use crate::{two_color, ColorResult, UGraph};
 
 /// Configuration for [`odd_cycle_transversal`].
@@ -17,12 +17,15 @@ use crate::{two_color, ColorResult, UGraph};
 pub struct OctConfig {
     /// Wall-clock budget for the underlying vertex-cover solve.
     pub time_limit: Duration,
+    /// Worker threads for the per-component vertex-cover solves.
+    pub threads: usize,
 }
 
 impl Default for OctConfig {
     fn default() -> Self {
         OctConfig {
             time_limit: Duration::from_secs(60),
+            threads: 1,
         }
     }
 }
@@ -36,6 +39,8 @@ pub struct OctResult {
     pub optimal: bool,
     /// A valid lower bound on the minimum OCT size.
     pub lower_bound: usize,
+    /// Branch & bound nodes expanded by the vertex-cover solve.
+    pub nodes: u64,
 }
 
 /// Computes an odd cycle transversal of `g` via Lemma 1 (vertex cover of
@@ -59,16 +64,26 @@ pub fn odd_cycle_transversal_budgeted(
             transversal: Vec::new(),
             optimal: true,
             lower_bound: 0,
+            nodes: 0,
         };
     }
     let n = g.num_vertices();
     let p = cartesian_with_k2(g);
-    let vc = minimum_vertex_cover_budgeted(
+    // Seed the product cover from the greedy transversal via the forward
+    // direction of Lemma 1: both copies of each transversal vertex, plus
+    // one copy of every other vertex picked by its 2-coloring side. The
+    // seed has size `n + |greedy OCT|`, which usually lands within one or
+    // two of the optimum and prunes the branch & bound from the start.
+    let greedy = oct_heuristic(g);
+    let seed = product_cover_from_transversal(g, &greedy, n);
+    let vc = minimum_vertex_cover_seeded(
         &p,
         &VcConfig {
             time_limit: config.time_limit,
+            threads: config.threads,
         },
         budget,
+        seed.as_deref(),
     );
     let in_cover = {
         let mut m = vec![false; 2 * n];
@@ -85,7 +100,6 @@ pub fn odd_cycle_transversal_budgeted(
     let transversal = if vc.optimal {
         transversal
     } else {
-        let greedy = oct_heuristic(g);
         if greedy.len() < transversal.len() {
             greedy
         } else {
@@ -98,7 +112,33 @@ pub fn odd_cycle_transversal_budgeted(
         // by n (clamped at 1: the graph is known non-bipartite here).
         lower_bound: vc.lower_bound.saturating_sub(n).max(1),
         transversal,
+        nodes: vc.nodes,
     }
+}
+
+/// Lemma 1, forward direction: a transversal `t` of `g` plus a 2-coloring
+/// of `g − t` yields a vertex cover of `G □ K₂` of size `n + |t|` (both
+/// copies of each transversal vertex, one color-chosen copy of the rest).
+/// Returns `None` if `g − t` is not bipartite (an invalid transversal).
+fn product_cover_from_transversal(g: &UGraph, t: &[usize], n: usize) -> Option<Vec<usize>> {
+    let mut keep = vec![true; n];
+    for &v in t {
+        keep[v] = false;
+    }
+    let (sub, back) = g.induced_subgraph(&keep);
+    let colors = match two_color(&sub) {
+        ColorResult::Bipartite(colors) => colors,
+        ColorResult::OddCycle(_) => return None,
+    };
+    let mut cover = Vec::with_capacity(n + t.len());
+    for &v in t {
+        cover.push(v);
+        cover.push(v + n);
+    }
+    for (sub_v, &orig) in back.iter().enumerate() {
+        cover.push(if colors[sub_v] == 0 { orig } else { orig + n });
+    }
+    Some(cover)
 }
 
 /// Fast greedy OCT: repeatedly 2-color; on each odd-cycle certificate remove
@@ -290,6 +330,7 @@ mod tests {
             &g,
             &OctConfig {
                 time_limit: Duration::from_millis(0),
+                threads: 1,
             },
         );
         assert!(is_valid_oct(&g, &r.transversal));

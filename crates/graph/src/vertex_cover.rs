@@ -22,12 +22,17 @@ pub struct VcConfig {
     /// Wall-clock budget; on expiry the best cover found is returned with
     /// `optimal == false` and a valid lower bound.
     pub time_limit: Duration,
+    /// Worker threads for solving non-bipartite components concurrently
+    /// (1 = sequential). Components are merged in index order, so the
+    /// result is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for VcConfig {
     fn default() -> Self {
         VcConfig {
             time_limit: Duration::from_secs(60),
+            threads: 1,
         }
     }
 }
@@ -41,6 +46,8 @@ pub struct VcResult {
     pub optimal: bool,
     /// A valid lower bound on the minimum cover size.
     pub lower_bound: usize,
+    /// Branch & bound nodes expanded across all components.
+    pub nodes: u64,
 }
 
 /// Greedy max-degree vertex cover (upper bound / warm start).
@@ -133,45 +140,103 @@ pub fn nt_kernel(g: &UGraph) -> NtKernel {
     }
 }
 
+const NIL: usize = usize::MAX;
+
+/// Branch & bound over one kernelized component. All bound evaluations run
+/// over scratch buffers owned by the solver — the search allocates only when
+/// branching, which keeps the per-node cost at "a few graph scans" instead
+/// of "rebuild the adjacency structure".
 struct Solver<'g> {
     g: &'g UGraph,
+    n: usize,
     best_cover: Vec<usize>,
     deadline: Instant,
     budget: Budget,
     timed_out: bool,
     /// Smallest unexplored lower bound among pruned-by-timeout subtrees.
     open_bound: Option<usize>,
+    /// Branch & bound nodes expanded.
+    nodes: u64,
+    // Scratch, valid only within one bound evaluation.
+    mate: Vec<usize>,
+    pair_left: Vec<usize>,
+    pair_right: Vec<usize>,
+    dist: Vec<usize>,
+    queue: std::collections::VecDeque<usize>,
 }
 
 impl<'g> Solver<'g> {
-    /// Applies degree-0/degree-1 reductions in place; returns extra chosen
-    /// vertices, or `None` if the subproblem exceeds the incumbent anyway.
-    fn reduce(&self, alive: &mut [bool], chosen: &mut Vec<usize>) {
+    fn new(g: &'g UGraph, best_cover: Vec<usize>, deadline: Instant, budget: Budget) -> Self {
+        let n = g.num_vertices();
+        Solver {
+            g,
+            n,
+            best_cover,
+            deadline,
+            budget,
+            timed_out: false,
+            open_bound: None,
+            nodes: 0,
+            mate: vec![NIL; n],
+            pair_left: vec![NIL; n],
+            pair_right: vec![NIL; n],
+            dist: vec![0; n],
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Removes `v` from the residual graph, maintaining alive degrees.
+    fn kill(&self, alive: &mut [bool], deg: &mut [usize], v: usize) {
+        alive[v] = false;
+        for &w in self.g.neighbors(v) {
+            if alive[w] {
+                deg[w] -= 1;
+            }
+        }
+        deg[v] = 0;
+    }
+
+    /// Applies degree-0/degree-1 reductions plus the triangle rule (a
+    /// degree-2 vertex with adjacent neighbors puts both neighbors into
+    /// some minimum cover) until none fires.
+    fn reduce(&self, alive: &mut [bool], deg: &mut [usize], chosen: &mut Vec<usize>) {
         loop {
             let mut changed = false;
-            for v in 0..self.g.num_vertices() {
+            for v in 0..self.n {
                 if !alive[v] {
                     continue;
                 }
-                let nbrs: Vec<usize> = self
-                    .g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&w| alive[w])
-                    .collect();
-                match nbrs.len() {
+                match deg[v] {
                     0 => {
                         alive[v] = false;
                         changed = true;
                     }
                     1 => {
                         // Pendant vertex: take the neighbor.
-                        let w = nbrs[0];
+                        let w = self
+                            .g
+                            .neighbors(v)
+                            .iter()
+                            .copied()
+                            .find(|&w| alive[w])
+                            .expect("degree-1 vertex has an alive neighbor");
                         chosen.push(w);
-                        alive[w] = false;
+                        self.kill(alive, deg, w);
                         alive[v] = false;
                         changed = true;
+                    }
+                    2 => {
+                        let mut nbrs = self.g.neighbors(v).iter().copied().filter(|&w| alive[w]);
+                        let a = nbrs.next().expect("degree-2 vertex");
+                        let b = nbrs.next().expect("degree-2 vertex");
+                        if self.g.has_edge(a, b) {
+                            chosen.push(a);
+                            chosen.push(b);
+                            self.kill(alive, deg, a);
+                            self.kill(alive, deg, b);
+                            alive[v] = false;
+                            changed = true;
+                        }
                     }
                     _ => {}
                 }
@@ -182,7 +247,113 @@ impl<'g> Solver<'g> {
         }
     }
 
-    fn rec(&mut self, mut alive: Vec<bool>, mut chosen: Vec<usize>) {
+    /// A maximal matching of the residual graph. Its edges are disjoint and
+    /// each needs a cover vertex, so the size is a valid (cheap, O(E))
+    /// lower bound on the residual cover.
+    fn greedy_matching_bound(&mut self, alive: &[bool]) -> usize {
+        for v in 0..self.n {
+            self.mate[v] = NIL;
+        }
+        let mut size = 0;
+        for v in 0..self.n {
+            if !alive[v] || self.mate[v] != NIL {
+                continue;
+            }
+            for i in 0..self.g.neighbors(v).len() {
+                let w = self.g.neighbors(v)[i];
+                if alive[w] && self.mate[w] == NIL {
+                    self.mate[v] = w;
+                    self.mate[w] = v;
+                    size += 1;
+                    break;
+                }
+            }
+        }
+        size
+    }
+
+    /// The half-integral LP bound of the residual graph: half the maximum
+    /// matching of its bipartite double, by Hopcroft–Karp over the solver's
+    /// scratch buffers (the double is symmetric, so left = right = V).
+    fn lp_bound(&mut self, alive: &[bool]) -> usize {
+        for v in 0..self.n {
+            self.pair_left[v] = NIL;
+            self.pair_right[v] = NIL;
+        }
+        let mut size = 0usize;
+        // Greedy seed cuts the number of augmentation phases.
+        for u in 0..self.n {
+            if !alive[u] {
+                continue;
+            }
+            for i in 0..self.g.neighbors(u).len() {
+                let v = self.g.neighbors(u)[i];
+                if alive[v] && self.pair_right[v] == NIL {
+                    self.pair_left[u] = v;
+                    self.pair_right[v] = u;
+                    size += 1;
+                    break;
+                }
+            }
+        }
+        loop {
+            // BFS layering from free alive vertices.
+            self.queue.clear();
+            let mut found = false;
+            for (u, &live) in alive.iter().enumerate().take(self.n) {
+                if live && self.pair_left[u] == NIL {
+                    self.dist[u] = 0;
+                    self.queue.push_back(u);
+                } else {
+                    self.dist[u] = NIL;
+                }
+            }
+            while let Some(u) = self.queue.pop_front() {
+                for i in 0..self.g.neighbors(u).len() {
+                    let v = self.g.neighbors(u)[i];
+                    if !alive[v] {
+                        continue;
+                    }
+                    let w = self.pair_right[v];
+                    if w == NIL {
+                        found = true;
+                    } else if self.dist[w] == NIL {
+                        self.dist[w] = self.dist[u] + 1;
+                        self.queue.push_back(w);
+                    }
+                }
+            }
+            if !found {
+                break;
+            }
+            for u in 0..self.n {
+                if alive[u] && self.pair_left[u] == NIL && self.augment(u, alive) {
+                    size += 1;
+                }
+            }
+        }
+        size.div_ceil(2)
+    }
+
+    fn augment(&mut self, u: usize, alive: &[bool]) -> bool {
+        for i in 0..self.g.neighbors(u).len() {
+            let v = self.g.neighbors(u)[i];
+            if !alive[v] {
+                continue;
+            }
+            let w = self.pair_right[v];
+            if w == NIL || (self.dist[w] == self.dist[u] + 1 && self.augment(w, alive)) {
+                self.pair_left[u] = v;
+                self.pair_right[v] = u;
+                return true;
+            }
+        }
+        self.dist[u] = NIL;
+        false
+    }
+
+    fn rec(&mut self, mut alive: Vec<bool>, mut deg: Vec<usize>, mut chosen: Vec<usize>) {
+        self.nodes += 1;
         if Instant::now() >= self.deadline || self.budget.check().is_err() {
             self.timed_out = true;
             // This subtree stays open: its chosen-so-far size is a valid
@@ -191,52 +362,48 @@ impl<'g> Solver<'g> {
             self.open_bound = Some(self.open_bound.map_or(lb, |b| b.min(lb)));
             return;
         }
-        self.reduce(&mut alive, &mut chosen);
+        self.reduce(&mut alive, &mut deg, &mut chosen);
         if chosen.len() >= self.best_cover.len() {
             return; // cannot improve
         }
-        // Any edge left?
-        let branch_vertex = (0..self.g.num_vertices())
-            .filter(|&v| alive[v])
-            .max_by_key(|&v| self.g.neighbors(v).iter().filter(|&&w| alive[w]).count());
-        let branch_vertex = match branch_vertex {
-            Some(v) if self.g.neighbors(v).iter().any(|&w| alive[w]) => v,
-            _ => {
-                // Edge-free: `chosen` is a cover (strictly better than best).
+        // Branch on the highest-degree alive vertex; edge-free residuals
+        // close the node with a strictly better cover.
+        let branch_vertex = match (0..self.n).filter(|&v| deg[v] > 0).max_by_key(|&v| deg[v]) {
+            Some(v) => v,
+            None => {
                 self.best_cover = chosen;
                 return;
             }
         };
-        // Bound: chosen + ceil(LP of residual graph).
-        let lp = lp_bound_masked(self.g, &alive).ceil() as usize;
-        if chosen.len() + lp >= self.best_cover.len() {
+        // Two-tier bound: the maximal-matching bound is nearly free and
+        // prunes most nodes; survivors pay for the exact LP bound.
+        let cheap = chosen.len() + self.greedy_matching_bound(&alive);
+        if cheap >= self.best_cover.len() {
             return;
         }
-        // Branch 2 first (include N(v)): stronger when the branch vertex has
+        if chosen.len() + self.lp_bound(&alive) >= self.best_cover.len() {
+            return;
+        }
+        // Branch include-N(v) first: stronger when the branch vertex has
         // high degree, which the selection maximizes.
-        let nbrs: Vec<usize> = self
-            .g
-            .neighbors(branch_vertex)
-            .iter()
-            .copied()
-            .filter(|&w| alive[w])
-            .collect();
         {
             let mut a = alive.clone();
+            let mut d = deg.clone();
             let mut c = chosen.clone();
-            for &w in &nbrs {
-                c.push(w);
-                a[w] = false;
+            for i in 0..self.g.neighbors(branch_vertex).len() {
+                let w = self.g.neighbors(branch_vertex)[i];
+                if a[w] {
+                    c.push(w);
+                    self.kill(&mut a, &mut d, w);
+                }
             }
             a[branch_vertex] = false;
-            self.rec(a, c);
+            self.rec(a, d, c);
         }
         {
-            let mut a = alive;
-            let mut c = chosen;
-            c.push(branch_vertex);
-            a[branch_vertex] = false;
-            self.rec(a, c);
+            chosen.push(branch_vertex);
+            self.kill(&mut alive, &mut deg, branch_vertex);
+            self.rec(alive, deg, chosen);
         }
     }
 }
@@ -244,8 +411,8 @@ impl<'g> Solver<'g> {
 /// Computes a minimum vertex cover of `g`, component by component:
 /// bipartite components are solved exactly in polynomial time
 /// (Hopcroft–Karp + König), non-bipartite components go through
-/// Nemhauser–Trotter kernelization and branch & bound with the
-/// half-integral LP bound. Within the time limit the result is proven
+/// Nemhauser–Trotter kernelization and branch & bound with greedy-matching
+/// and half-integral LP bounds. Within the time limit the result is proven
 /// optimal; on expiry the best cover found so far is returned together with
 /// a valid global lower bound.
 pub fn minimum_vertex_cover(g: &UGraph, config: &VcConfig) -> VcResult {
@@ -258,12 +425,35 @@ pub fn minimum_vertex_cover(g: &UGraph, config: &VcConfig) -> VcResult {
 /// a time-out — the best cover found so far is returned with
 /// `optimal == false` and a valid lower bound.
 pub fn minimum_vertex_cover_budgeted(g: &UGraph, config: &VcConfig, budget: &Budget) -> VcResult {
+    minimum_vertex_cover_seeded(g, config, budget, None)
+}
+
+/// [`minimum_vertex_cover_budgeted`] warm-started from a known cover of
+/// `g` (need not be minimal): the seed is restricted to each non-bipartite
+/// component — the restriction of a cover to an induced subgraph covers
+/// that subgraph — and adopted as the branch & bound incumbent when it
+/// beats the greedy one. Seeding only ever tightens pruning; the returned
+/// cover is identical to the unseeded one whenever both prove optimality.
+///
+/// With `config.threads > 1`, non-bipartite components are solved on scoped
+/// worker threads. The merge happens in component order, so the result does
+/// not depend on the thread count.
+pub fn minimum_vertex_cover_seeded(
+    g: &UGraph,
+    config: &VcConfig,
+    budget: &Budget,
+    seed: Option<&[usize]>,
+) -> VcResult {
     use crate::{two_color, ColorResult};
     let deadline = Instant::now() + budget.remaining_or(config.time_limit);
     let (comp, count) = g.components();
     let mut cover = Vec::new();
     let mut lower_bound = 0usize;
     let mut optimal = true;
+    let mut nodes = 0u64;
+    // König-solvable bipartite components are handled inline; branch &
+    // bound components are collected for (optionally concurrent) solving.
+    let mut hard: Vec<(UGraph, Vec<usize>, Option<Vec<usize>>)> = Vec::new();
     for c in 0..count {
         let keep: Vec<bool> = comp.iter().map(|&x| x == c).collect();
         let (sub, back) = g.induced_subgraph(&keep);
@@ -277,13 +467,48 @@ pub fn minimum_vertex_cover_budgeted(g: &UGraph, config: &VcConfig, budget: &Bud
                 cover.extend(local.into_iter().map(|v| back[v]));
             }
             ColorResult::OddCycle(_) => {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                let local = vc_nonbipartite(&sub, remaining, budget);
-                lower_bound += local.lower_bound;
-                optimal &= local.optimal;
-                cover.extend(local.cover.into_iter().map(|v| back[v]));
+                let local_seed = seed.map(|seed| {
+                    let mut inv = vec![NIL; g.num_vertices()];
+                    for (k, &orig) in back.iter().enumerate() {
+                        inv[orig] = k;
+                    }
+                    seed.iter()
+                        .filter_map(|&v| (inv[v] != NIL).then_some(inv[v]))
+                        .collect()
+                });
+                hard.push((sub, back, local_seed));
             }
         }
+    }
+    let solved: Vec<VcResult> = if config.threads > 1 && hard.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = hard
+                .iter()
+                .map(|(sub, _back, local_seed)| {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    scope.spawn(move || {
+                        vc_nonbipartite(sub, remaining, budget, local_seed.as_deref())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("vertex-cover worker panicked"))
+                .collect()
+        })
+    } else {
+        hard.iter()
+            .map(|(sub, _back, local_seed)| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                vc_nonbipartite(sub, remaining, budget, local_seed.as_deref())
+            })
+            .collect()
+    };
+    for ((_sub, back, _seed), local) in hard.iter().zip(solved) {
+        lower_bound += local.lower_bound;
+        optimal &= local.optimal;
+        nodes += local.nodes;
+        cover.extend(local.cover.into_iter().map(|v| back[v]));
     }
     cover.sort_unstable();
     cover.dedup();
@@ -291,6 +516,7 @@ pub fn minimum_vertex_cover_budgeted(g: &UGraph, config: &VcConfig, budget: &Bud
         cover,
         optimal,
         lower_bound,
+        nodes,
     }
 }
 
@@ -332,7 +558,12 @@ fn bipartite_cover(g: &UGraph, colors: &[u8]) -> Vec<usize> {
 }
 
 /// NT kernelization + branch & bound for one non-bipartite component.
-fn vc_nonbipartite(g: &UGraph, time_limit: Duration, budget: &Budget) -> VcResult {
+fn vc_nonbipartite(
+    g: &UGraph,
+    time_limit: Duration,
+    budget: &Budget,
+    seed: Option<&[usize]>,
+) -> VcResult {
     let nt = nt_kernel(g);
     // Solve the kernel.
     let mut keep = vec![false; g.num_vertices()];
@@ -340,18 +571,28 @@ fn vc_nonbipartite(g: &UGraph, time_limit: Duration, budget: &Budget) -> VcResul
         keep[v] = true;
     }
     let (kernel_graph, back) = g.induced_subgraph(&keep);
-    let greedy = greedy_cover(&kernel_graph);
+    let mut incumbent = greedy_cover(&kernel_graph);
+    if let Some(seed) = seed {
+        // A cover of `g` restricted to the kernel covers the kernel graph.
+        let mut inv = vec![NIL; g.num_vertices()];
+        for (k, &orig) in back.iter().enumerate() {
+            inv[orig] = k;
+        }
+        let restricted: Vec<usize> = seed
+            .iter()
+            .filter_map(|&v| (inv[v] != NIL).then_some(inv[v]))
+            .collect();
+        if restricted.len() < incumbent.len() {
+            incumbent = restricted;
+        }
+    }
     let deadline = Instant::now() + time_limit;
-    let mut solver = Solver {
-        g: &kernel_graph,
-        best_cover: greedy,
-        deadline,
-        budget: budget.clone(),
-        timed_out: false,
-        open_bound: None,
-    };
+    let mut solver = Solver::new(&kernel_graph, incumbent, deadline, budget.clone());
     let alive = vec![true; kernel_graph.num_vertices()];
-    solver.rec(alive, Vec::new());
+    let deg: Vec<usize> = (0..kernel_graph.num_vertices())
+        .map(|v| kernel_graph.degree(v))
+        .collect();
+    solver.rec(alive, deg, Vec::new());
 
     let mut cover: Vec<usize> = nt.forced_in.clone();
     cover.extend(solver.best_cover.iter().map(|&v| back[v]));
@@ -374,6 +615,7 @@ fn vc_nonbipartite(g: &UGraph, time_limit: Duration, budget: &Budget) -> VcResul
         optimal: !solver.timed_out,
         lower_bound: nt.forced_in.len() + kernel_lb,
         cover,
+        nodes: solver.nodes,
     }
 }
 
@@ -566,6 +808,7 @@ mod tests {
             &g,
             &VcConfig {
                 time_limit: Duration::from_millis(0),
+                threads: 1,
             },
         );
         assert!(is_cover(&g, &r.cover));

@@ -1,4 +1,12 @@
 //! Best-first branch & bound over the binary variables of a [`Model`].
+//!
+//! The search core is shared between the sequential driver in this module
+//! and the work-stealing parallel driver in [`crate::parallel`]: nodes carry
+//! the relaxation point computed when they were *created*, so each node costs
+//! exactly one bounder call (the old driver re-solved the relaxation at every
+//! pop, doubling the LP count). Bounders can short-circuit against a cutoff
+//! (the incumbent), propose greedy completions for early incumbents, and
+//! steer branching — see [`Bounder`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -17,12 +25,29 @@ use crate::Result;
 ///
 /// The default implementation is [`LpBounder`]; domain code can substitute
 /// combinatorial bounds where a dense LP is impractical (the VH-labeling
-/// solver of `flowc-compact` does exactly this).
+/// bounders in [`crate::metrics`] do exactly this).
 pub trait Bounder {
     /// A valid lower bound on the objective over all completions of
     /// `fixed` (entries are `None` for free binaries; continuous variables
     /// are always free). Return `f64::INFINITY` when the node is infeasible.
-    fn lower_bound(&mut self, model: &Model, fixed: &[Option<bool>]) -> f64;
+    ///
+    /// `cutoff` is the current incumbent objective (`f64::INFINITY` when no
+    /// incumbent exists): any bound `>= cutoff` prunes the node, so a
+    /// bounder may stop refining — e.g. skip an LP solve — as soon as a
+    /// cheap bound already reaches it. Returning NaN is treated as
+    /// `+inf` (prune) by the search, never trusted as a bound.
+    fn lower_bound(&mut self, model: &Model, fixed: &[Option<bool>], cutoff: f64) -> f64;
+
+    /// Rounds a valid lower bound **up** to the smallest objective value
+    /// the model can actually achieve (its objective lattice). Must never
+    /// return less than `bound` and must pass non-finite inputs through
+    /// unchanged. The search applies this to every root and child bound,
+    /// so a problem-aware bounder (e.g. an objective known to be a mix of
+    /// two integers) prunes ties that a fractional relaxation bound alone
+    /// cannot. Default: identity.
+    fn tighten_bound(&self, bound: f64) -> f64 {
+        bound
+    }
 
     /// The fractional point backing the last [`Bounder::lower_bound`] call,
     /// if one exists — used to select branching variables and to round for
@@ -30,10 +55,28 @@ pub trait Bounder {
     fn relaxation_point(&self) -> Option<&[f64]> {
         None
     }
+
+    /// A heuristic feasible completion of `fixed`, used to seed and improve
+    /// incumbents without waiting for the search to reach a leaf. The
+    /// returned point must have length `model.num_vars()`; the search
+    /// validates feasibility before accepting it, so a best-effort guess is
+    /// fine. Default: no suggestion.
+    fn suggest_incumbent(&mut self, model: &Model, fixed: &[Option<bool>]) -> Option<Vec<f64>> {
+        let _ = (model, fixed);
+        None
+    }
+
+    /// A preferred branching variable among the free binaries of `fixed`,
+    /// consulted before the generic most-fractional rule. Must return the
+    /// index of a *free* binary (or `None` to defer). Default: defer.
+    fn branch_hint(&self, model: &Model, fixed: &[Option<bool>]) -> Option<usize> {
+        let _ = (model, fixed);
+        None
+    }
 }
 
 /// LP-relaxation bounding via the dense two-phase [`Simplex`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LpBounder {
     simplex: Simplex,
     last_point: Option<Vec<f64>>,
@@ -47,7 +90,7 @@ impl LpBounder {
 }
 
 impl Bounder for LpBounder {
-    fn lower_bound(&mut self, model: &Model, fixed: &[Option<bool>]) -> f64 {
+    fn lower_bound(&mut self, model: &Model, fixed: &[Option<bool>], _cutoff: f64) -> f64 {
         let fixed_pairs: Vec<(usize, f64)> = fixed
             .iter()
             .enumerate()
@@ -55,6 +98,12 @@ impl Bounder for LpBounder {
             .collect();
         match self.simplex.solve(model, &fixed_pairs) {
             LpResult::Optimal { x, objective } => {
+                // A numerically failed LP can surface NaN; treating it as a
+                // bound would corrupt the best-first order, so prune instead.
+                if objective.is_nan() || x.iter().any(|v| v.is_nan()) {
+                    self.last_point = None;
+                    return f64::INFINITY;
+                }
                 self.last_point = Some(x);
                 objective
             }
@@ -74,15 +123,28 @@ impl Bounder for LpBounder {
     }
 }
 
-struct Node {
-    bound: f64,
-    fixed: Vec<Option<bool>>,
-    depth: usize,
+/// Maps NaN bounds to `+inf` so they prune instead of corrupting the heap.
+pub(crate) fn sanitize_bound(bound: f64) -> f64 {
+    if bound.is_nan() {
+        f64::INFINITY
+    } else {
+        bound
+    }
+}
+
+/// An open node: its proven lower bound, the partial fixing, and the
+/// relaxation point computed when the bound was (so expansion never has to
+/// re-solve the relaxation).
+pub(crate) struct Node {
+    pub(crate) bound: f64,
+    pub(crate) fixed: Vec<Option<bool>>,
+    pub(crate) depth: usize,
+    pub(crate) point: Option<Vec<f64>>,
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -94,12 +156,163 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest bound first.
+        // `total_cmp` gives a total order even if a NaN slips through
+        // (NaN sorts above +inf, i.e. last), unlike the old
+        // `partial_cmp().unwrap_or(Equal)` which silently broke heap
+        // invariants on NaN bounds.
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
             .then_with(|| self.depth.cmp(&other.depth))
     }
+}
+
+/// Result of expanding one node: children to enqueue plus any integer
+/// incumbent candidates discovered along the way.
+pub(crate) struct Expansion {
+    pub(crate) children: Vec<Node>,
+    pub(crate) incumbents: Vec<(Vec<f64>, f64)>,
+}
+
+/// Expands `node`: selects a branching variable, bounds both children, and
+/// harvests incumbents (leaf completions, integral relaxation points).
+/// `inc_obj` is the incumbent objective (`+inf` if none); `abort` is polled
+/// between child bounds — returning `true` aborts mid-expansion and yields
+/// `None` (the caller re-opens the node). Shared by the sequential and
+/// parallel drivers.
+pub(crate) fn expand_node(
+    model: &Model,
+    bounder: &mut dyn Bounder,
+    node: &Node,
+    inc_obj: f64,
+    integrality_tol: f64,
+    abort: &mut dyn FnMut() -> bool,
+) -> Option<Expansion> {
+    let mut out = Expansion {
+        children: Vec::with_capacity(2),
+        incumbents: Vec::new(),
+    };
+    let mut best = inc_obj;
+    // If the node's relaxation point is already integral and feasible, it is
+    // optimal for this subtree — record and close.
+    if let Some(p) = node.point.as_deref() {
+        if is_binary_integral(model, p, integrality_tol) && model.is_feasible(p, 1e-6) {
+            let obj = model.objective_value(p);
+            out.incumbents.push((p.to_vec(), obj));
+            return Some(out);
+        }
+    }
+    let branch_var = bounder
+        .branch_hint(model, &node.fixed)
+        .filter(|&i| node.fixed[i].is_none())
+        .or_else(|| select_branch_var(model, &node.fixed, node.point.as_deref(), integrality_tol));
+    let Some(branch_var) = branch_var else {
+        // All binaries fixed: complete the continuous part and record.
+        if let Some((values, obj)) = complete_leaf(model, bounder, &node.fixed) {
+            out.incumbents.push((values, obj));
+        }
+        return Some(out);
+    };
+    for value in [true, false] {
+        // Poll the abort check before each child bound: an expansion runs up
+        // to two bounder calls, and waiting for the next pop to notice a
+        // cancellation would stretch abort latency to a full expansion.
+        if abort() {
+            return None;
+        }
+        let mut child = node.fixed.clone();
+        child[branch_var] = Some(value);
+        let Some(child) = propagate(model, child) else {
+            continue;
+        };
+        let child_bound = sanitize_bound(bounder.lower_bound(model, &child, best));
+        let child_bound = bounder.tighten_bound(child_bound);
+        if child_bound.is_infinite() {
+            continue;
+        }
+        if child_bound >= best - 1e-9 {
+            continue;
+        }
+        // Opportunistic incumbent from the child's relaxation.
+        let point = bounder.relaxation_point().map(<[f64]>::to_vec);
+        if let Some(p) = point.as_deref() {
+            if is_binary_integral(model, p, integrality_tol) && model.is_feasible(p, 1e-6) {
+                let obj = model.objective_value(p);
+                if obj < best - 1e-12 {
+                    best = obj;
+                }
+                out.incumbents.push((p.to_vec(), obj));
+            }
+        }
+        out.children.push(Node {
+            bound: child_bound,
+            fixed: child,
+            depth: node.depth + 1,
+            point,
+        });
+    }
+    Some(out)
+}
+
+/// Completes a fully-fixed node into a feasible point: first via the
+/// bounder's own heuristic, else by solving the continuous remainder by LP.
+pub(crate) fn complete_leaf(
+    model: &Model,
+    bounder: &mut dyn Bounder,
+    fixed: &[Option<bool>],
+) -> Option<(Vec<f64>, f64)> {
+    if let Some(values) = bounder.suggest_incumbent(model, fixed) {
+        if values.len() == model.num_vars() && model.is_feasible(&values, 1e-6) {
+            let obj = model.objective_value(&values);
+            if !obj.is_nan() {
+                return Some((values, obj));
+            }
+        }
+    }
+    let fixed_pairs: Vec<(usize, f64)> = fixed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.map(|b| (i, b as u8 as f64)))
+        .collect();
+    if let LpResult::Optimal { x, objective } = Simplex::new().solve(model, &fixed_pairs) {
+        if !objective.is_nan() && model.is_feasible(&x, 1e-6) {
+            return Some((x, objective));
+        }
+    }
+    None
+}
+
+/// Asks the bounder for a heuristic completion of `fixed` and validates it.
+pub(crate) fn heuristic_incumbent(
+    model: &Model,
+    bounder: &mut dyn Bounder,
+    fixed: &[Option<bool>],
+) -> Option<(Vec<f64>, f64)> {
+    let values = bounder.suggest_incumbent(model, fixed)?;
+    if values.len() != model.num_vars() || !model.is_feasible(&values, 1e-6) {
+        return None;
+    }
+    let obj = model.objective_value(&values);
+    if obj.is_nan() {
+        return None;
+    }
+    Some((values, obj))
+}
+
+/// Validates a warm-start vector: length, binary integrality, feasibility.
+/// Returns its objective when acceptable.
+pub(crate) fn validate_warm_start(model: &Model, values: &[f64], tol: f64) -> Option<f64> {
+    if values.len() != model.num_vars() {
+        return None;
+    }
+    if !is_binary_integral(model, values, tol) || !model.is_feasible(values, 1e-6) {
+        return None;
+    }
+    let obj = model.objective_value(values);
+    if obj.is_nan() {
+        return None;
+    }
+    Some(obj)
 }
 
 /// Best-first branch & bound MILP solver. Configure with the builder-style
@@ -107,11 +320,13 @@ impl Ord for Node {
 /// [`BranchBound::solve_with`] (custom [`Bounder`]).
 #[derive(Debug, Clone)]
 pub struct BranchBound {
-    time_limit: Duration,
-    gap_tolerance: f64,
-    integrality_tol: f64,
-    trace_every: usize,
-    budget: Option<Budget>,
+    pub(crate) time_limit: Duration,
+    pub(crate) gap_tolerance: f64,
+    pub(crate) integrality_tol: f64,
+    pub(crate) trace_every: usize,
+    pub(crate) budget: Option<Budget>,
+    pub(crate) threads: usize,
+    pub(crate) warm: Option<Vec<f64>>,
 }
 
 impl Default for BranchBound {
@@ -122,6 +337,8 @@ impl Default for BranchBound {
             integrality_tol: 1e-6,
             trace_every: 50,
             budget: None,
+            threads: 1,
+            warm: None,
         }
     }
 }
@@ -153,25 +370,64 @@ impl BranchBound {
     }
 
     /// Attaches a shared [`Budget`]: the search loop checks cancellation,
-    /// the budget deadline, and the solver-node ceiling at every node pop,
-    /// on top of the solver's own `time_limit`. Exhaustion ends the solve
-    /// exactly like a time-out — the best incumbent is returned with
-    /// [`SolveStatus::TimeLimit`] and the proven bound (or
-    /// [`MilpError::Infeasible`] when no incumbent exists yet).
+    /// the budget deadline, and the solver-node ceiling at every node pop
+    /// and between child bounds, on top of the solver's own `time_limit`.
+    /// Exhaustion ends the solve exactly like a time-out — the best
+    /// incumbent is returned with [`SolveStatus::TimeLimit`] and the proven
+    /// bound (or [`MilpError::Infeasible`] when no incumbent exists yet).
     pub fn budget(mut self, budget: &Budget) -> Self {
         self.budget = Some(budget.clone());
         self
     }
 
-    /// Solves `model` with LP-relaxation bounding.
+    /// Number of worker threads for [`BranchBound::solve`] (default 1 =
+    /// sequential). With more than one thread the search runs the
+    /// work-stealing driver in [`crate::parallel`]: same optimum, possibly
+    /// a different optimal point when ties exist.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Seeds the search with a known feasible point (e.g. the incumbent of
+    /// an adjacent γ solve re-costed under this model's objective). The
+    /// vector is validated — length, binary integrality, feasibility —
+    /// before use; an invalid warm start is ignored, and
+    /// [`Solution::warm_start`] reports whether it was accepted.
+    pub fn warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm = Some(values);
+        self
+    }
+
+    /// Solves `model` with LP-relaxation bounding, using the parallel
+    /// driver when [`BranchBound::threads`] is above one.
     ///
     /// # Errors
     ///
     /// [`MilpError::Infeasible`] when no integer point exists,
     /// [`MilpError::Unbounded`] when the relaxation has no finite optimum.
     pub fn solve(&self, model: &Model) -> Result<Solution> {
+        if self.threads > 1 {
+            return crate::parallel::solve_parallel(self, model, LpBounder::new);
+        }
         let mut bounder = LpBounder::new();
         self.solve_with(model, &mut bounder)
+    }
+
+    /// Solves `model` on multiple threads with per-worker bounders built by
+    /// `make_bounder`. Equivalent to [`BranchBound::solve_with`] modulo
+    /// tie-breaking: the objective is identical, the optimal point may be a
+    /// different optimum.
+    ///
+    /// # Errors
+    ///
+    /// See [`BranchBound::solve`].
+    pub fn solve_parallel_with<B, F>(&self, model: &Model, make_bounder: F) -> Result<Solution>
+    where
+        B: Bounder,
+        F: Fn() -> B + Sync,
+    {
+        crate::parallel::solve_parallel(self, model, make_bounder)
     }
 
     /// Solves `model` with a caller-supplied [`Bounder`].
@@ -184,28 +440,75 @@ impl BranchBound {
         let n = model.num_vars();
         let mut trace = SolveTrace::new();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut warm_used = self.warm.as_ref().map(|_| false);
+
+        if let Some(warm) = &self.warm {
+            if let Some(obj) = validate_warm_start(model, warm, self.integrality_tol) {
+                incumbent = Some((warm.clone(), obj));
+                warm_used = Some(true);
+            }
+        }
 
         let root_fixed: Vec<Option<bool>> = vec![None; n];
-        let root_fixed = match propagate(model, root_fixed) {
-            Some(f) => f,
-            None => return Err(MilpError::Infeasible),
+        let Some(root_fixed) = propagate(model, root_fixed) else {
+            return Err(MilpError::Infeasible);
         };
-        let root_bound = bounder.lower_bound(model, &root_fixed);
+        let inc_obj = incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        let root_bound = sanitize_bound(bounder.lower_bound(model, &root_fixed, inc_obj));
+        let root_bound = bounder.tighten_bound(root_bound);
         if root_bound == f64::NEG_INFINITY {
             return Err(MilpError::Unbounded);
         }
         if root_bound.is_infinite() {
+            // A warm-started solve proved the root relaxation cut off by the
+            // incumbent: the incumbent is optimal.
+            if let Some((values, objective)) = incumbent {
+                return Ok(Solution {
+                    values,
+                    objective,
+                    status: SolveStatus::Optimal,
+                    best_bound: objective,
+                    trace,
+                    nodes: 0,
+                    warm_start: warm_used,
+                });
+            }
             return Err(MilpError::Infeasible);
         }
-        self.try_incumbent(model, bounder, &root_fixed, &mut incumbent);
+        // Root heuristics: the bounder's greedy completion, then rounding.
+        if let Some((values, obj)) = heuristic_incumbent(model, bounder, &root_fixed) {
+            update_incumbent(
+                &mut incumbent,
+                values,
+                obj,
+                &mut trace,
+                start,
+                root_bound,
+                0,
+            );
+        }
+        if incumbent.is_none() {
+            if let Some((values, obj)) = complete_leaf(model, bounder, &root_fixed) {
+                update_incumbent(
+                    &mut incumbent,
+                    values,
+                    obj,
+                    &mut trace,
+                    start,
+                    root_bound,
+                    0,
+                );
+            }
+        }
 
         let mut heap = BinaryHeap::new();
         heap.push(Node {
             bound: root_bound,
             fixed: root_fixed,
             depth: 0,
+            point: bounder.relaxation_point().map(<[f64]>::to_vec),
         });
-        let mut explored = 0usize;
+        let mut explored = 0u64;
         let mut global_bound = root_bound;
 
         while let Some(node) = heap.pop() {
@@ -234,16 +537,17 @@ impl BranchBound {
                     best_bound: global_bound,
                     open_nodes: heap.len() + 1,
                 });
-                return self.finish(
-                    model,
+                return finish(
                     incumbent,
                     global_bound,
                     trace,
                     SolveStatus::TimeLimit,
+                    explored,
+                    warm_used,
                 );
             }
             explored += 1;
-            if explored.is_multiple_of(self.trace_every) {
+            if (explored as usize).is_multiple_of(self.trace_every) {
                 trace.push(TracePoint {
                     elapsed: start.elapsed(),
                     best_integer: incumbent.as_ref().map(|(_, o)| *o),
@@ -252,101 +556,44 @@ impl BranchBound {
                 });
             }
 
-            // Recompute the relaxation at this node to branch on fresh data.
-            let bound = bounder.lower_bound(model, &node.fixed);
-            if bound.is_infinite() {
-                continue;
-            }
-            if let Some((_, inc_obj)) = &incumbent {
-                if bound >= *inc_obj - 1e-9 {
-                    continue;
-                }
-            }
-            let point = bounder.relaxation_point().map(<[f64]>::to_vec);
-            // Select the branching variable: most fractional in the
-            // relaxation, else the first free binary.
-            let branch_var =
-                select_branch_var(model, &node.fixed, point.as_deref(), self.integrality_tol);
-            let Some(branch_var) = branch_var else {
-                // All binaries fixed: the relaxation point is integral in the
-                // binaries; try it as an incumbent.
-                self.try_incumbent(model, bounder, &node.fixed, &mut incumbent);
-                continue;
-            };
-            // If the relaxation point is already integral, it is optimal for
-            // this subtree — record and close.
-            if let Some(p) = point.as_deref() {
-                if is_binary_integral(model, p, self.integrality_tol) && model.is_feasible(p, 1e-6)
-                {
-                    update_incumbent(
-                        &mut incumbent,
-                        p.to_vec(),
-                        model.objective_value(p),
-                        &mut trace,
-                        start,
-                        global_bound,
-                        heap.len(),
-                    );
-                    continue;
-                }
-            }
-            for value in [true, false] {
-                // Re-check the budget before each child relaxation: a node
-                // expansion runs up to three LP solves, and waiting for the
-                // next pop to notice a cancellation would stretch abort
-                // latency to a full expansion instead of one LP.
-                if self.budget_exhausted(explored) {
-                    trace.push(TracePoint {
-                        elapsed: start.elapsed(),
-                        best_integer: incumbent.as_ref().map(|(_, o)| *o),
-                        best_bound: global_bound,
-                        open_nodes: heap.len() + 1,
-                    });
-                    return self.finish(
-                        model,
-                        incumbent,
-                        global_bound,
-                        trace,
-                        SolveStatus::TimeLimit,
-                    );
-                }
-                let mut child = node.fixed.clone();
-                child[branch_var] = Some(value);
-                let Some(child) = propagate(model, child) else {
-                    continue;
-                };
-                let child_bound = bounder.lower_bound(model, &child);
-                if child_bound.is_infinite() {
-                    continue;
-                }
-                if let Some((_, inc_obj)) = &incumbent {
-                    if child_bound >= *inc_obj - 1e-9 {
-                        continue;
-                    }
-                }
-                // Opportunistic incumbent from the child's relaxation.
-                if let Some(p) = bounder.relaxation_point() {
-                    if is_binary_integral(model, p, self.integrality_tol)
-                        && model.is_feasible(p, 1e-6)
-                    {
-                        let obj = model.objective_value(p);
-                        let p = p.to_vec();
-                        update_incumbent(
-                            &mut incumbent,
-                            p,
-                            obj,
-                            &mut trace,
-                            start,
-                            global_bound,
-                            heap.len(),
-                        );
-                    }
-                }
-                heap.push(Node {
-                    bound: child_bound,
-                    fixed: child,
-                    depth: node.depth + 1,
+            let inc_obj = incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+            let mut abort = || self.budget_exhausted(explored);
+            let Some(expansion) = expand_node(
+                model,
+                bounder,
+                &node,
+                inc_obj,
+                self.integrality_tol,
+                &mut abort,
+            ) else {
+                trace.push(TracePoint {
+                    elapsed: start.elapsed(),
+                    best_integer: incumbent.as_ref().map(|(_, o)| *o),
+                    best_bound: global_bound,
+                    open_nodes: heap.len() + 1,
                 });
+                return finish(
+                    incumbent,
+                    global_bound,
+                    trace,
+                    SolveStatus::TimeLimit,
+                    explored,
+                    warm_used,
+                );
+            };
+            for (values, obj) in expansion.incumbents {
+                update_incumbent(
+                    &mut incumbent,
+                    values,
+                    obj,
+                    &mut trace,
+                    start,
+                    global_bound,
+                    heap.len(),
+                );
+            }
+            for child in expansion.children {
+                heap.push(child);
             }
         }
 
@@ -364,70 +611,42 @@ impl BranchBound {
             best_bound: global_bound,
             open_nodes: heap.len(),
         });
-        self.finish(model, incumbent, global_bound, trace, SolveStatus::Optimal)
+        finish(
+            incumbent,
+            global_bound,
+            trace,
+            SolveStatus::Optimal,
+            explored,
+            warm_used,
+        )
     }
 
-    fn budget_exhausted(&self, explored: usize) -> bool {
+    pub(crate) fn budget_exhausted(&self, explored: u64) -> bool {
         self.budget
             .as_ref()
-            .is_some_and(|b| b.check_solver_nodes(explored as u64).is_err())
+            .is_some_and(|b| b.check_solver_nodes(explored).is_err())
     }
+}
 
-    fn finish(
-        &self,
-        _model: &Model,
-        incumbent: Option<(Vec<f64>, f64)>,
-        best_bound: f64,
-        trace: SolveTrace,
-        status: SolveStatus,
-    ) -> Result<Solution> {
-        match incumbent {
-            Some((values, objective)) => Ok(Solution {
-                values,
-                objective,
-                status,
-                best_bound,
-                trace,
-            }),
-            None => Err(MilpError::Infeasible),
-        }
-    }
-
-    /// Tries to complete `fixed` into a feasible integer point by rounding
-    /// the bounder's relaxation (or zeros) and re-solving the continuous
-    /// part via LP.
-    fn try_incumbent(
-        &self,
-        model: &Model,
-        bounder: &mut dyn Bounder,
-        fixed: &[Option<bool>],
-        incumbent: &mut Option<(Vec<f64>, f64)>,
-    ) {
-        let point = bounder.relaxation_point().map(<[f64]>::to_vec);
-        let mut rounded: Vec<Option<bool>> = fixed.to_vec();
-        for v in model.binaries() {
-            if rounded[v.index()].is_none() {
-                let val = point.as_ref().map(|p| p[v.index()] >= 0.5).unwrap_or(false);
-                rounded[v.index()] = Some(val);
-            }
-        }
-        let Some(rounded) = propagate(model, rounded) else {
-            return;
-        };
-        // Solve the continuous remainder (also validates the binaries).
-        let fixed_pairs: Vec<(usize, f64)> = rounded
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.map(|b| (i, b as u8 as f64)))
-            .collect();
-        if let LpResult::Optimal { x, objective } = Simplex::new().solve(model, &fixed_pairs) {
-            if model.is_feasible(&x, 1e-6) {
-                match incumbent {
-                    Some((_, cur)) if *cur <= objective + 1e-12 => {}
-                    _ => *incumbent = Some((x, objective)),
-                }
-            }
-        }
+pub(crate) fn finish(
+    incumbent: Option<(Vec<f64>, f64)>,
+    best_bound: f64,
+    trace: SolveTrace,
+    status: SolveStatus,
+    nodes: u64,
+    warm_start: Option<bool>,
+) -> Result<Solution> {
+    match incumbent {
+        Some((values, objective)) => Ok(Solution {
+            values,
+            objective,
+            status,
+            best_bound,
+            trace,
+            nodes,
+            warm_start,
+        }),
+        None => Err(MilpError::Infeasible),
     }
 }
 
@@ -455,14 +674,14 @@ fn update_incumbent(
     }
 }
 
-fn is_binary_integral(model: &Model, x: &[f64], tol: f64) -> bool {
+pub(crate) fn is_binary_integral(model: &Model, x: &[f64], tol: f64) -> bool {
     model.binaries().all(|v| {
         x[v.index()].fract().min(1.0 - x[v.index()].fract()).abs() <= tol
             || (x[v.index()] - x[v.index()].round()).abs() <= tol
     })
 }
 
-fn select_branch_var(
+pub(crate) fn select_branch_var(
     model: &Model,
     fixed: &[Option<bool>],
     point: Option<&[f64]>,
@@ -498,7 +717,7 @@ fn select_branch_var(
 
 /// Activity-based constraint propagation: repeatedly fixes binaries forced
 /// by min/max-activity arguments. Returns `None` on detected infeasibility.
-fn propagate(model: &Model, mut fixed: Vec<Option<bool>>) -> Option<Vec<Option<bool>>> {
+pub(crate) fn propagate(model: &Model, mut fixed: Vec<Option<bool>>) -> Option<Vec<Option<bool>>> {
     // Bounds per variable under the current fixing.
     let bounds = |fixed: &[Option<bool>], i: usize| -> (f64, f64) {
         match model.var_kind(crate::VarId(i as u32)) {
@@ -593,7 +812,7 @@ fn propagate(model: &Model, mut fixed: Vec<Option<bool>>) -> Option<Vec<Option<b
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::model::{Model, Sense};
 
@@ -723,7 +942,7 @@ mod tests {
     /// binaries. The LP bound is uselessly weak here, so branch & bound
     /// grinds through an enormous tree — exactly what a mid-flight cancel
     /// needs to land in.
-    fn market_split_model(vars: usize, rows: usize) -> Model {
+    pub(crate) fn market_split_model(vars: usize, rows: usize) -> Model {
         let mut m = Model::new();
         let xs: Vec<_> = (0..vars)
             .map(|j| m.add_binary(format!("x{j}"), 1.0))
@@ -829,7 +1048,7 @@ mod tests {
             pairs: Vec<(usize, usize)>,
         }
         impl Bounder for CoverBounder {
-            fn lower_bound(&mut self, _model: &Model, fixed: &[Option<bool>]) -> f64 {
+            fn lower_bound(&mut self, _model: &Model, fixed: &[Option<bool>], _cutoff: f64) -> f64 {
                 // Each uncovered pair needs at least one endpoint; a vertex
                 // can serve many pairs, so matching-style pairing is needed
                 // for tightness — here the trivial chosen-count bound plus
@@ -881,5 +1100,115 @@ mod tests {
         // Gap is monotone non-increasing at the final point vs the first.
         let first = sol.trace.points().first().unwrap().relative_gap();
         assert!(sol.trace.final_gap() <= first + 1e-9);
+    }
+
+    /// Regression for the NaN heap-order bug: a bounder that reports NaN for
+    /// some nodes must have those nodes pruned (NaN ⇒ `+inf`), not silently
+    /// compared `Equal` — the solve still terminates with the true optimum
+    /// reachable through non-NaN nodes, or proves infeasibility cleanly.
+    #[test]
+    fn nan_bounds_are_pruned_not_trusted() {
+        struct NanBounder {
+            inner: LpBounder,
+            calls: usize,
+        }
+        impl Bounder for NanBounder {
+            fn lower_bound(&mut self, model: &Model, fixed: &[Option<bool>], cutoff: f64) -> f64 {
+                self.calls += 1;
+                // Poison every third bound with NaN; the search must treat
+                // it as prunable, so the optimum is still found through the
+                // remaining nodes of this small complete search space.
+                if self.calls.is_multiple_of(3) {
+                    return f64::NAN;
+                }
+                self.inner.lower_bound(model, fixed, cutoff)
+            }
+            fn relaxation_point(&self) -> Option<&[f64]> {
+                self.inner.relaxation_point()
+            }
+        }
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        for i in 0..6 {
+            m.add_constraint(&[(xs[i], 1.0), (xs[(i + 1) % 6], 1.0)], Sense::Ge, 1.0);
+        }
+        let mut bounder = NanBounder {
+            inner: LpBounder::new(),
+            calls: 0,
+        };
+        // NaN-pruning may cut the true optimum's subtree, but the solve must
+        // terminate with a feasible answer and an internally consistent
+        // bound — never corrupt the heap or loop forever.
+        let sol = BranchBound::new().solve_with(&m, &mut bounder).unwrap();
+        assert!(model_feasible(&m, &sol.values));
+        assert!(!sol.objective.is_nan());
+        assert!(!sol.best_bound.is_nan());
+    }
+
+    fn model_feasible(m: &Model, x: &[f64]) -> bool {
+        m.is_feasible(x, 1e-6)
+    }
+
+    #[test]
+    fn node_ordering_is_nan_safe() {
+        // total_cmp puts a NaN bound *after* +inf in the pop order, so even
+        // a NaN that slips through sanitize cannot shadow real nodes.
+        let mk = |bound: f64| Node {
+            bound,
+            fixed: vec![],
+            depth: 0,
+            point: None,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(f64::NAN));
+        heap.push(mk(2.0));
+        heap.push(mk(1.0));
+        assert_eq!(heap.pop().unwrap().bound, 1.0);
+        assert_eq!(heap.pop().unwrap().bound, 2.0);
+        assert!(heap.pop().unwrap().bound.is_nan());
+        assert_eq!(sanitize_bound(f64::NAN), f64::INFINITY);
+        assert_eq!(sanitize_bound(3.5), 3.5);
+    }
+
+    #[test]
+    fn warm_start_seeds_the_incumbent() {
+        // C5 vertex cover: warm start with the known optimum {0, 2, 4}.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..5).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        for i in 0..5 {
+            m.add_constraint(&[(xs[i], 1.0), (xs[(i + 1) % 5], 1.0)], Sense::Ge, 1.0);
+        }
+        let warm = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+        let sol = BranchBound::new().warm_start(warm).solve(&m).unwrap();
+        assert_eq!(sol.objective.round() as i64, 3);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.warm_start, Some(true));
+
+        // An infeasible warm start is rejected, not trusted.
+        let bad = vec![0.0; 5];
+        let sol = BranchBound::new().warm_start(bad).solve(&m).unwrap();
+        assert_eq!(sol.objective.round() as i64, 3);
+        assert_eq!(sol.warm_start, Some(false));
+
+        // No warm start ⇒ `None`.
+        let sol = BranchBound::new().solve(&m).unwrap();
+        assert_eq!(sol.warm_start, None);
+    }
+
+    #[test]
+    fn solution_reports_explored_nodes() {
+        // C5 vertex cover: the LP root bound (2.5) cannot close against the
+        // integer optimum (3), so at least one node must be expanded.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..5).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        for i in 0..5 {
+            m.add_constraint(&[(xs[i], 1.0), (xs[(i + 1) % 5], 1.0)], Sense::Ge, 1.0);
+        }
+        let sol = BranchBound::new().solve(&m).unwrap();
+        assert!(
+            sol.nodes >= 1,
+            "expected at least one explored node, got {}",
+            sol.nodes
+        );
     }
 }

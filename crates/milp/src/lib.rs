@@ -38,7 +38,9 @@
 
 mod branch;
 pub mod lp;
+pub mod metrics;
 mod model;
+mod parallel;
 mod sol;
 
 pub use branch::{Bounder, BranchBound, LpBounder};

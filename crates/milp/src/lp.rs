@@ -30,7 +30,7 @@ const DANTZIG_LIMIT_FACTOR: usize = 4;
 
 /// A dense two-phase primal simplex solver. Construct with
 /// [`Simplex::new`], then call [`Simplex::solve`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Simplex {
     _private: (),
 }
@@ -77,45 +77,61 @@ impl Simplex {
             }
         }
 
-        // Shift x = lb + x', x' in [0, ub-lb]. Rewrite rows accordingly and
-        // add explicit upper-bound rows for finite ranges.
-        #[derive(Clone)]
-        struct Row {
-            coeffs: Vec<f64>, // dense over structural vars
-            sense: Sense,
-            rhs: f64,
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+        // Shift x = lb + x', x' in [0, ub-lb]. Rewrite rows accordingly;
+        // columns with zero range (fixed variables) are substituted out —
+        // their shifted value is identically zero.
+        let range: Vec<f64> = (0..n).map(|i| (ub[i] - lb[i]).max(0.0)).collect();
+        let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints());
         for c in &model.cons {
             let mut coeffs = vec![0.0; n];
             let mut rhs = c.rhs;
             for &(v, a) in &c.terms {
-                coeffs[v.index()] += a;
                 rhs -= a * lb[v.index()];
+                if range[v.index()] > EPS {
+                    coeffs[v.index()] += a;
+                }
             }
             rows.push(Row {
                 coeffs,
                 sense: c.sense,
                 rhs,
+                alive: true,
             });
         }
-        for i in 0..n {
-            let range = ub[i] - lb[i];
-            if range.is_finite() {
-                // Also emitted when range == 0 (fixed variable): the
-                // degenerate row pins the shifted column at zero.
-                let mut coeffs = vec![0.0; n];
-                coeffs[i] = 1.0;
-                rows.push(Row {
+
+        let mut eliminated = vec![false; n];
+        let mut elims: Vec<Elim> = Vec::new();
+        if presolve(model, &range, &mut rows, &mut eliminated, &mut elims).is_err() {
+            return LpResult::Infeasible;
+        }
+
+        // Compact the live columns and append their upper-bound rows.
+        let cols: Vec<usize> = (0..n)
+            .filter(|&i| range[i] > EPS && !eliminated[i])
+            .collect();
+        let k = cols.len();
+        let mut trows: Vec<TRow> = Vec::with_capacity(rows.len() + k);
+        for row in rows.iter().filter(|r| r.alive) {
+            trows.push(TRow {
+                coeffs: cols.iter().map(|&i| row.coeffs[i]).collect(),
+                sense: row.sense,
+                rhs: row.rhs,
+            });
+        }
+        for (ci, &i) in cols.iter().enumerate() {
+            if range[i].is_finite() {
+                let mut coeffs = vec![0.0; k];
+                coeffs[ci] = 1.0;
+                trows.push(TRow {
                     coeffs,
                     sense: Sense::Le,
-                    rhs: range.max(0.0),
+                    rhs: range[i],
                 });
             }
         }
 
         // Normalize to nonnegative rhs.
-        for r in &mut rows {
+        for r in &mut trows {
             if r.rhs < 0.0 {
                 for c in &mut r.coeffs {
                     *c = -*c;
@@ -129,27 +145,44 @@ impl Simplex {
             }
         }
 
-        let m = rows.len();
-        // Column layout: [structural n][slack/surplus s][artificial a][rhs].
-        let num_slack = rows
+        let m = trows.len();
+        // Column layout: [structural k][slack/surplus s][artificial a][rhs].
+        let num_slack = trows
             .iter()
             .filter(|r| !matches!(r.sense, Sense::Eq))
             .count();
-        let num_art = rows
+        // A `≥` row with zero rhs needs no artificial: negating it turns
+        // the surplus into a plain basic slack at value zero, so only
+        // strictly positive `≥` rows (and equations) enter phase 1.
+        let num_art = trows
             .iter()
-            .filter(|r| !matches!(r.sense, Sense::Le))
+            .filter(|r| match r.sense {
+                Sense::Le => false,
+                Sense::Ge => r.rhs > EPS,
+                Sense::Eq => true,
+            })
             .count();
-        let total = n + num_slack + num_art;
+        let total = k + num_slack + num_art;
         let mut t = vec![vec![0.0f64; total + 1]; m + 1];
         let mut basis = vec![usize::MAX; m];
-        let mut slack_idx = n;
-        let mut art_idx = n + num_slack;
+        let mut slack_idx = k;
+        let mut art_idx = k + num_slack;
         let mut art_cols: Vec<usize> = Vec::new();
-        for (ri, row) in rows.iter().enumerate() {
-            t[ri][..n].copy_from_slice(&row.coeffs);
+        for (ri, row) in trows.iter().enumerate() {
+            t[ri][..k].copy_from_slice(&row.coeffs);
             t[ri][total] = row.rhs;
             match row.sense {
                 Sense::Le => {
+                    t[ri][slack_idx] = 1.0;
+                    basis[ri] = slack_idx;
+                    slack_idx += 1;
+                }
+                Sense::Ge if row.rhs <= EPS => {
+                    // a·x ≥ 0  ⇔  −a·x + s = 0 with s ≥ 0 basic.
+                    for cell in t[ri].iter_mut().take(k) {
+                        *cell = -*cell;
+                    }
+                    t[ri][total] = 0.0;
                     t[ri][slack_idx] = 1.0;
                     basis[ri] = slack_idx;
                     slack_idx += 1;
@@ -196,7 +229,7 @@ impl Simplex {
             // Drive any remaining artificial out of the basis if possible.
             for ri in 0..m {
                 if art_cols.contains(&basis[ri]) {
-                    if let Some(j) = (0..n + num_slack).find(|&j| t[ri][j].abs() > 1e-7) {
+                    if let Some(j) = (0..k + num_slack).find(|&j| t[ri][j].abs() > 1e-7) {
                         pivot(&mut t, ri, j, total);
                         basis[ri] = j;
                     }
@@ -214,8 +247,8 @@ impl Simplex {
         }
 
         // Phase 2 objective (shifted model objective over structurals).
-        for (i, v) in model.vars.iter().enumerate() {
-            t[m][i] = v.obj;
+        for (ci, &i) in cols.iter().enumerate() {
+            t[m][ci] = model.vars[i].obj;
         }
         // Price out basic structural columns.
         for ri in 0..m {
@@ -232,16 +265,288 @@ impl Simplex {
             return LpResult::Unbounded;
         }
 
-        // Extract solution.
+        // Extract solution (shifted basics mapped back to model columns).
         let mut x = lb.clone();
         for ri in 0..m {
-            if basis[ri] < n {
-                x[basis[ri]] = lb[basis[ri]] + t[ri][total];
+            if basis[ri] < k {
+                x[cols[basis[ri]]] = lb[cols[basis[ri]]] + t[ri][total];
+            }
+        }
+        // Reconstruct eliminated columns in reverse elimination order: a
+        // later elimination's rows never mention an earlier eliminated
+        // variable, so each step sees fully reconstructed neighbors.
+        for e in elims.iter().rev() {
+            match e {
+                Elim::AtValue { var, value } => x[*var] = lb[*var] + value,
+                Elim::Pair {
+                    var,
+                    range: r,
+                    pos,
+                    pos_coeff,
+                    pos_rhs,
+                    neg,
+                    neg_coeff,
+                    neg_rhs,
+                } => {
+                    let eval = |terms: &[(usize, f64)]| -> f64 {
+                        terms.iter().map(|&(v, c)| c * (x[v] - lb[v])).sum()
+                    };
+                    let lo = ((pos_rhs - eval(pos)) / pos_coeff).max(0.0);
+                    let hi = ((eval(neg) - neg_rhs) / neg_coeff).min(*r);
+                    // Prefer an integral endpoint of the feasible interval.
+                    let value = if lo <= EPS {
+                        0.0
+                    } else if hi >= r - EPS {
+                        *r
+                    } else {
+                        lo.min(*r)
+                    };
+                    x[*var] = lb[*var] + value;
+                }
             }
         }
         let objective = model.objective_value(&x);
         LpResult::Optimal { x, objective }
     }
+}
+
+/// A shifted model row during presolve (dense coefficients over all
+/// structural columns; `alive == false` once dropped or replaced).
+struct Row {
+    coeffs: Vec<f64>,
+    sense: Sense,
+    rhs: f64,
+    alive: bool,
+}
+
+/// A compacted tableau row (dense over the surviving columns).
+struct TRow {
+    coeffs: Vec<f64>,
+    sense: Sense,
+    rhs: f64,
+}
+
+/// Record of a presolve column elimination, for solution reconstruction.
+/// All coefficients and right-hand sides live in the *shifted* space
+/// (`x' = x − lb`), and `AtValue`/interval values are shifted too.
+enum Elim {
+    /// The column was set to a fixed shifted value (favorable bound of a
+    /// zero-cost variable, or an unconstrained column pinned at zero).
+    AtValue { var: usize, value: f64 },
+    /// Bounded Fourier–Motzkin elimination of a zero-cost column from one
+    /// positive-coefficient `≥` row (`pos`) and one negative-coefficient
+    /// `≥` row (`neg`); `pos_coeff`/`neg_coeff` are the magnitudes.
+    Pair {
+        var: usize,
+        range: f64,
+        pos: Vec<(usize, f64)>,
+        pos_coeff: f64,
+        pos_rhs: f64,
+        neg: Vec<(usize, f64)>,
+        neg_coeff: f64,
+        neg_rhs: f64,
+    },
+}
+
+/// Minimum and maximum activity of a shifted row over the box
+/// `x' ∈ [0, range]`, skipping numerically-zero coefficients.
+fn activity(coeffs: &[f64], range: &[f64]) -> (f64, f64) {
+    let mut lo = 0.0f64;
+    let mut hi = 0.0f64;
+    for (i, &c) in coeffs.iter().enumerate() {
+        if c > EPS {
+            hi += c * range[i];
+        } else if c < -EPS {
+            lo += c * range[i];
+        }
+    }
+    (lo, hi)
+}
+
+/// Drops a row as redundant if every box point satisfies it; reports
+/// `Err(())` if no box point can. Returns whether the row stays alive.
+fn vet_row(row: &mut Row, range: &[f64]) -> Result<(), ()> {
+    let (lo, hi) = activity(&row.coeffs, range);
+    match row.sense {
+        Sense::Ge => {
+            if hi < row.rhs - 1e-6 {
+                return Err(());
+            }
+            if lo >= row.rhs - EPS {
+                row.alive = false;
+            }
+        }
+        Sense::Le => {
+            if lo > row.rhs + 1e-6 {
+                return Err(());
+            }
+            if hi <= row.rhs + EPS {
+                row.alive = false;
+            }
+        }
+        Sense::Eq => {
+            if hi < row.rhs - 1e-6 || lo > row.rhs + 1e-6 {
+                return Err(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Presolve on the shifted rows: activity-based row dropping with quick
+/// infeasibility detection, then elimination of zero-objective bounded
+/// columns that the relaxation can always set freely — either at a
+/// favorable bound (all occurrences relax the same way) or via bounded
+/// Fourier–Motzkin when the column sits between exactly one pair of
+/// opposing `≥` rows (the Eq. 4 orientation binaries). Returns `Err(())`
+/// when the rows are infeasible over the box.
+fn presolve(
+    model: &Model,
+    range: &[f64],
+    rows: &mut Vec<Row>,
+    eliminated: &mut [bool],
+    elims: &mut Vec<Elim>,
+) -> Result<(), ()> {
+    let n = model.num_vars();
+    for row in rows.iter_mut() {
+        vet_row(row, range)?;
+    }
+    for j in 0..n {
+        if model.vars[j].obj != 0.0 || range[j] <= EPS || !range[j].is_finite() {
+            continue;
+        }
+        let occ: Vec<usize> = (0..rows.len())
+            .filter(|&ri| rows[ri].alive && rows[ri].coeffs[j].abs() > EPS)
+            .collect();
+        // Direction each occurrence relaxes toward: +1 if the row loosens
+        // as x_j grows, −1 if it tightens, 0 for equations (never touched).
+        let dir = |ri: usize| -> i8 {
+            let c = rows[ri].coeffs[j];
+            match rows[ri].sense {
+                Sense::Eq => 0,
+                Sense::Ge => {
+                    if c > 0.0 {
+                        1
+                    } else {
+                        -1
+                    }
+                }
+                Sense::Le => {
+                    if c > 0.0 {
+                        -1
+                    } else {
+                        1
+                    }
+                }
+            }
+        };
+        if occ.is_empty() {
+            eliminated[j] = true;
+            elims.push(Elim::AtValue { var: j, value: 0.0 });
+        } else if occ.iter().all(|&ri| dir(ri) == 1) {
+            // Every row loosens as x_j grows: pin at the upper bound.
+            for &ri in &occ {
+                let c = rows[ri].coeffs[j];
+                rows[ri].rhs -= c * range[j];
+                rows[ri].coeffs[j] = 0.0;
+                vet_row(&mut rows[ri], range)?;
+            }
+            eliminated[j] = true;
+            elims.push(Elim::AtValue {
+                var: j,
+                value: range[j],
+            });
+        } else if occ.iter().all(|&ri| dir(ri) == -1) {
+            // Every row loosens as x_j shrinks: pin at zero.
+            for &ri in &occ {
+                rows[ri].coeffs[j] = 0.0;
+                vet_row(&mut rows[ri], range)?;
+            }
+            eliminated[j] = true;
+            elims.push(Elim::AtValue { var: j, value: 0.0 });
+        } else if occ.len() == 2
+            && rows[occ[0]].sense == Sense::Ge
+            && rows[occ[1]].sense == Sense::Ge
+            && (rows[occ[0]].coeffs[j] > 0.0) != (rows[occ[1]].coeffs[j] > 0.0)
+        {
+            let (pi, ni) = if rows[occ[0]].coeffs[j] > 0.0 {
+                (occ[0], occ[1])
+            } else {
+                (occ[1], occ[0])
+            };
+            let a1 = rows[pi].coeffs[j];
+            let a2 = -rows[ni].coeffs[j];
+            let sparse = |ri: usize| -> Vec<(usize, f64)> {
+                rows[ri]
+                    .coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, &c)| v != j && c.abs() > EPS)
+                    .map(|(v, &c)| (v, c))
+                    .collect()
+            };
+            let (pos, neg) = (sparse(pi), sparse(ni));
+            let (pos_rhs, neg_rhs) = (rows[pi].rhs, rows[ni].rhs);
+            rows[pi].alive = false;
+            rows[ni].alive = false;
+            // x_j ∈ [0, u] exists between the two rows iff:
+            //   pos at x_j = u:   rest_pos ≥ pos_rhs − a1·u
+            //   neg at x_j = 0:   rest_neg ≥ neg_rhs
+            //   cross pair:       a2·rest_pos + a1·rest_neg ≥ a2·pos_rhs + a1·neg_rhs
+            let mut fresh = Vec::with_capacity(3);
+            let mut at_upper = vec![0.0; n];
+            for &(v, c) in &pos {
+                at_upper[v] = c;
+            }
+            fresh.push(Row {
+                coeffs: at_upper,
+                sense: Sense::Ge,
+                rhs: pos_rhs - a1 * range[j],
+                alive: true,
+            });
+            let mut at_zero = vec![0.0; n];
+            for &(v, c) in &neg {
+                at_zero[v] = c;
+            }
+            fresh.push(Row {
+                coeffs: at_zero,
+                sense: Sense::Ge,
+                rhs: neg_rhs,
+                alive: true,
+            });
+            let mut cross = vec![0.0; n];
+            for &(v, c) in &pos {
+                cross[v] += a2 * c;
+            }
+            for &(v, c) in &neg {
+                cross[v] += a1 * c;
+            }
+            fresh.push(Row {
+                coeffs: cross,
+                sense: Sense::Ge,
+                rhs: a2 * pos_rhs + a1 * neg_rhs,
+                alive: true,
+            });
+            for mut row in fresh {
+                vet_row(&mut row, range)?;
+                if row.alive {
+                    rows.push(row);
+                }
+            }
+            eliminated[j] = true;
+            elims.push(Elim::Pair {
+                var: j,
+                range: range[j],
+                pos,
+                pos_coeff: a1,
+                pos_rhs,
+                neg,
+                neg_coeff: a2,
+                neg_rhs,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs primal simplex iterations on the tableau until optimal or unbounded.

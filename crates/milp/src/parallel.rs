@@ -1,0 +1,498 @@
+//! Work-stealing parallel driver for [`BranchBound`].
+//!
+//! Architecture (DESIGN.md §13): each worker owns a local best-first heap
+//! and a private [`Bounder`]; surplus children flow through a shared
+//! injector heap that idle workers steal from. The incumbent objective
+//! lives as `f64` bits in an [`AtomicU64`] (CAS-improve), so pruning reads
+//! are lock-free; the incumbent *vector* sits behind a mutex that is only
+//! touched on improvement. An atomic open-node count detects termination:
+//! children are added before the parent is retired, so the count can only
+//! reach zero when no node exists anywhere. Every worker polls the budget
+//! and deadline between bounder calls, and idle workers wake on a timeout,
+//! so cancellation lands within ~10ms from any state.
+//!
+//! The result is deterministic modulo tie-breaking: the proven optimum
+//! matches the sequential driver exactly (pinned by test); the optimal
+//! point may be a different one when several are tied.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::branch::{
+    complete_leaf, expand_node, heuristic_incumbent, propagate, sanitize_bound,
+    validate_warm_start, Bounder, BranchBound, Node,
+};
+use crate::model::Model;
+use crate::sol::{MilpError, Solution, SolveStatus, SolveTrace, TracePoint};
+use crate::Result;
+
+/// How long an idle worker sleeps before re-checking budget/deadline/work.
+/// Keeps worst-case cancellation latency for a fully idle worker well under
+/// the ~10ms target.
+const IDLE_POLL: Duration = Duration::from_millis(2);
+
+struct Shared {
+    /// Bits of the best incumbent objective (`+inf` when none). Monotone
+    /// non-increasing under CAS, so stale reads only delay pruning.
+    incumbent_bits: AtomicU64,
+    /// The incumbent vector; locked only on improvement and at the end.
+    incumbent: Mutex<Option<(Vec<f64>, f64)>>,
+    /// Shared injector pool for stealing; paired with `work_cv`.
+    injector: Mutex<BinaryHeap<Node>>,
+    work_cv: Condvar,
+    /// Nodes alive anywhere (injector + local heaps + in expansion).
+    open: AtomicUsize,
+    /// Nodes fully expanded, for traces and the node ceiling.
+    explored: AtomicU64,
+    /// Search exhausted (open hit zero).
+    done: AtomicBool,
+    /// Budget/deadline stop: abandon open nodes, report `TimeLimit`.
+    stop: AtomicBool,
+    /// Min bound over nodes abandoned at stop (bits, CAS-min folded).
+    abandoned_bits: AtomicU64,
+    trace: Mutex<SolveTrace>,
+}
+
+impl Shared {
+    fn incumbent_obj(&self) -> f64 {
+        f64::from_bits(self.incumbent_bits.load(Ordering::Acquire))
+    }
+
+    /// CAS-improves the shared incumbent; records a trace point on success.
+    fn offer_incumbent(&self, values: Vec<f64>, obj: f64, start: Instant) {
+        let mut cur = self.incumbent_bits.load(Ordering::Acquire);
+        loop {
+            if obj >= f64::from_bits(cur) - 1e-12 {
+                return;
+            }
+            match self.incumbent_bits.compare_exchange_weak(
+                cur,
+                obj.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut guard = poisoned_ok(self.incumbent.lock());
+        let improves = guard.as_ref().is_none_or(|(_, o)| obj < *o - 1e-12);
+        if improves {
+            *guard = Some((values, obj));
+        }
+        drop(guard);
+        let mut trace = poisoned_ok(self.trace.lock());
+        trace.push(TracePoint {
+            elapsed: start.elapsed(),
+            best_integer: Some(obj),
+            best_bound: f64::NEG_INFINITY,
+            open_nodes: self.open.load(Ordering::Relaxed),
+        });
+    }
+
+    /// Folds `bound` into the abandoned-node minimum (stop path only).
+    fn fold_abandoned(&self, bound: f64) {
+        let mut cur = self.abandoned_bits.load(Ordering::Acquire);
+        loop {
+            if bound >= f64::from_bits(cur) {
+                return;
+            }
+            match self.abandoned_bits.compare_exchange_weak(
+                cur,
+                bound.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Retires one node; flips `done` and wakes everyone at zero.
+    fn retire(&self) {
+        if self.open.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::Release);
+            self.work_cv.notify_all();
+        }
+    }
+}
+
+fn poisoned_ok<T>(r: std::result::Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Parallel best-first search. `make_bounder` builds one private bounder
+/// per worker; the root relaxation and heuristics run on the calling
+/// thread first so every worker starts from a seeded incumbent.
+pub(crate) fn solve_parallel<B, F>(
+    cfg: &BranchBound,
+    model: &Model,
+    make_bounder: F,
+) -> Result<Solution>
+where
+    B: Bounder,
+    F: Fn() -> B + Sync,
+{
+    let start = Instant::now();
+    let n = model.num_vars();
+    let mut root_bounder = make_bounder();
+
+    let mut warm_used = cfg.warm.as_ref().map(|_| false);
+    let mut seed_incumbent: Option<(Vec<f64>, f64)> = None;
+    if let Some(warm) = &cfg.warm {
+        if let Some(obj) = validate_warm_start(model, warm, cfg.integrality_tol) {
+            seed_incumbent = Some((warm.clone(), obj));
+            warm_used = Some(true);
+        }
+    }
+
+    let root_fixed: Vec<Option<bool>> = vec![None; n];
+    let Some(root_fixed) = propagate(model, root_fixed) else {
+        return Err(MilpError::Infeasible);
+    };
+    let seed_obj = seed_incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+    let root_bound = sanitize_bound(root_bounder.lower_bound(model, &root_fixed, seed_obj));
+    let root_bound = root_bounder.tighten_bound(root_bound);
+    if root_bound == f64::NEG_INFINITY {
+        return Err(MilpError::Unbounded);
+    }
+    if root_bound.is_infinite() {
+        if let Some((values, objective)) = seed_incumbent {
+            return Ok(Solution {
+                values,
+                objective,
+                status: SolveStatus::Optimal,
+                best_bound: objective,
+                trace: SolveTrace::new(),
+                nodes: 0,
+                warm_start: warm_used,
+            });
+        }
+        return Err(MilpError::Infeasible);
+    }
+    if seed_incumbent.is_none() {
+        seed_incumbent = heuristic_incumbent(model, &mut root_bounder, &root_fixed)
+            .or_else(|| complete_leaf(model, &mut root_bounder, &root_fixed));
+    }
+
+    let shared = Shared {
+        incumbent_bits: AtomicU64::new(
+            seed_incumbent
+                .as_ref()
+                .map_or(f64::INFINITY, |(_, o)| *o)
+                .to_bits(),
+        ),
+        incumbent: Mutex::new(seed_incumbent),
+        injector: Mutex::new(BinaryHeap::new()),
+        work_cv: Condvar::new(),
+        open: AtomicUsize::new(1),
+        explored: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        abandoned_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        trace: Mutex::new(SolveTrace::new()),
+    };
+    poisoned_ok(shared.injector.lock()).push(Node {
+        bound: root_bound,
+        fixed: root_fixed,
+        depth: 0,
+        point: root_bounder.relaxation_point().map(<[f64]>::to_vec),
+    });
+    drop(root_bounder);
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads {
+            let shared = &shared;
+            let make_bounder = &make_bounder;
+            scope.spawn(move || {
+                let mut bounder = make_bounder();
+                worker(cfg, model, shared, &mut bounder, start);
+            });
+        }
+    });
+
+    let explored = shared.explored.load(Ordering::Acquire);
+    let incumbent = poisoned_ok(shared.incumbent.lock()).take();
+    let mut trace = poisoned_ok(shared.trace.lock());
+    let stopped = shared.stop.load(Ordering::Acquire);
+    // Proven bound: on a clean finish every node was processed, so the
+    // incumbent is optimal. On a stop, the weakest abandoned node bounds
+    // the optimum (injector leftovers were folded by the workers).
+    let (status, best_bound) = if stopped {
+        let abandoned = f64::from_bits(shared.abandoned_bits.load(Ordering::Acquire));
+        let obj = incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        let bound = if abandoned.is_finite() {
+            abandoned.min(obj)
+        } else {
+            obj
+        };
+        (SolveStatus::TimeLimit, bound)
+    } else {
+        let obj = incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        (SolveStatus::Optimal, obj)
+    };
+    trace.push(TracePoint {
+        elapsed: start.elapsed(),
+        best_integer: incumbent.as_ref().map(|(_, o)| *o),
+        best_bound,
+        open_nodes: shared.open.load(Ordering::Relaxed),
+    });
+    let trace = std::mem::take(&mut *trace);
+    crate::branch::finish(incumbent, best_bound, trace, status, explored, warm_used)
+}
+
+fn worker(
+    cfg: &BranchBound,
+    model: &Model,
+    shared: &Shared,
+    bounder: &mut dyn Bounder,
+    start: Instant,
+) {
+    let mut local: BinaryHeap<Node> = BinaryHeap::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            drain_abandoned(shared, &mut local);
+            return;
+        }
+        let Some(node) = next_node(shared, &mut local) else {
+            return; // done, nothing left anywhere
+        };
+        // Budget/deadline gate before any bounder work on this node.
+        let explored = shared.explored.load(Ordering::Relaxed);
+        if cfg.budget_exhausted(explored) || start.elapsed() >= cfg.time_limit {
+            shared.stop.store(true, Ordering::Release);
+            shared.work_cv.notify_all();
+            shared.fold_abandoned(node.bound);
+            drain_abandoned(shared, &mut local);
+            return;
+        }
+        // Prune against the freshest incumbent (and the gap tolerance).
+        let inc_obj = shared.incumbent_obj();
+        if inc_obj.is_finite() {
+            let denom = inc_obj.abs().max(1e-10);
+            if node.bound >= inc_obj - 1e-9
+                || (inc_obj - node.bound).abs() / denom <= cfg.gap_tolerance
+            {
+                shared.retire();
+                continue;
+            }
+        }
+        let explored = shared.explored.fetch_add(1, Ordering::AcqRel) + 1;
+        if (explored as usize).is_multiple_of(cfg.trace_every) {
+            let mut trace = poisoned_ok(shared.trace.lock());
+            trace.push(TracePoint {
+                elapsed: start.elapsed(),
+                best_integer: if inc_obj.is_finite() {
+                    Some(inc_obj)
+                } else {
+                    None
+                },
+                best_bound: node.bound,
+                open_nodes: shared.open.load(Ordering::Relaxed),
+            });
+        }
+        let mut abort = || {
+            shared.stop.load(Ordering::Acquire)
+                || cfg.budget_exhausted(shared.explored.load(Ordering::Relaxed))
+                || start.elapsed() >= cfg.time_limit
+        };
+        let Some(expansion) = expand_node(
+            model,
+            bounder,
+            &node,
+            shared.incumbent_obj(),
+            cfg.integrality_tol,
+            &mut abort,
+        ) else {
+            shared.stop.store(true, Ordering::Release);
+            shared.work_cv.notify_all();
+            shared.fold_abandoned(node.bound);
+            drain_abandoned(shared, &mut local);
+            return;
+        };
+        for (values, obj) in expansion.incumbents {
+            shared.offer_incumbent(values, obj, start);
+        }
+        // Children go live before the parent retires so `open` can only hit
+        // zero when the tree is truly exhausted.
+        let mut children = expansion.children;
+        if !children.is_empty() {
+            shared.open.fetch_add(children.len(), Ordering::AcqRel);
+            // Keep the most promising child; share the rest.
+            children.sort_by(|a, b| a.bound.total_cmp(&b.bound));
+            let mut iter = children.into_iter();
+            if let Some(first) = iter.next() {
+                local.push(first);
+            }
+            let rest: Vec<Node> = iter.collect();
+            if !rest.is_empty() {
+                let mut injector = poisoned_ok(shared.injector.lock());
+                for child in rest {
+                    injector.push(child);
+                    shared.work_cv.notify_one();
+                }
+            }
+        }
+        shared.retire();
+    }
+}
+
+/// Pops the best local node, else steals from the injector, else waits.
+/// Returns `None` when the search is exhausted.
+fn next_node(shared: &Shared, local: &mut BinaryHeap<Node>) -> Option<Node> {
+    if let Some(node) = local.pop() {
+        return Some(node);
+    }
+    let mut injector = poisoned_ok(shared.injector.lock());
+    loop {
+        if let Some(node) = injector.pop() {
+            return Some(node);
+        }
+        if shared.done.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        // Timed wait so an idle worker still notices budget cancellation
+        // promptly even if no work ever arrives.
+        let (guard, _) = poisoned_ok(shared.work_cv.wait_timeout(injector, IDLE_POLL));
+        injector = guard;
+    }
+}
+
+/// Folds the bounds of every node this worker still holds (stop path), so
+/// the reported `best_bound` stays valid.
+fn drain_abandoned(shared: &Shared, local: &mut BinaryHeap<Node>) {
+    for node in local.drain() {
+        shared.fold_abandoned(node.bound);
+    }
+    let mut injector = poisoned_ok(shared.injector.lock());
+    for node in injector.drain() {
+        shared.fold_abandoned(node.bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::{BranchBound, LpBounder};
+    use flowc_budget::Budget;
+
+    fn ring_cover_model(n: usize) -> Model {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i % 3) as f64))
+            .collect();
+        for i in 0..n {
+            m.add_constraint(
+                &[(xs[i], 1.0), (xs[(i + 1) % n], 1.0), (xs[(i + 2) % n], 1.0)],
+                Sense::Ge,
+                1.0,
+            );
+        }
+        m
+    }
+
+    /// Determinism modulo tie-breaking: the parallel solve proves the same
+    /// optimum as the sequential solve, run-to-run and thread-count to
+    /// thread-count.
+    #[test]
+    fn parallel_matches_sequential_objective() {
+        for n in [8, 11, 14] {
+            let m = ring_cover_model(n);
+            let seq = BranchBound::new().solve(&m).unwrap();
+            for threads in [2, 4] {
+                let par = BranchBound::new().threads(threads).solve(&m).unwrap();
+                assert_eq!(par.status, SolveStatus::Optimal);
+                assert!(
+                    (par.objective - seq.objective).abs() < 1e-6,
+                    "n={n} threads={threads}: parallel {} vs sequential {}",
+                    par.objective,
+                    seq.objective
+                );
+                assert!(m.is_feasible(&par.values, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_custom_bounder_factory() {
+        let m = ring_cover_model(12);
+        let seq = BranchBound::new().solve(&m).unwrap();
+        let par = BranchBound::new()
+            .threads(3)
+            .solve_parallel_with(&m, LpBounder::new)
+            .unwrap();
+        assert!((par.objective - seq.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_warm_start_accepted() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..5).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        for i in 0..5 {
+            m.add_constraint(&[(xs[i], 1.0), (xs[(i + 1) % 5], 1.0)], Sense::Ge, 1.0);
+        }
+        let sol = BranchBound::new()
+            .threads(2)
+            .warm_start(vec![1.0, 0.0, 1.0, 0.0, 1.0])
+            .solve(&m)
+            .unwrap();
+        assert_eq!(sol.objective.round() as i64, 3);
+        assert_eq!(sol.warm_start, Some(true));
+    }
+
+    #[test]
+    fn parallel_cancellation_is_prompt_from_any_worker() {
+        // Mirror of the sequential cancellation test: every worker must
+        // notice the cancel between bounder calls, not only at pops.
+        let m = crate::branch::tests::market_split_model(40, 4);
+        let budget = Budget::unlimited();
+        let handle = budget.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            handle.cancel();
+        });
+        let start = Instant::now();
+        let result = BranchBound::new()
+            .threads(4)
+            .time_limit(Duration::from_secs(30))
+            .budget(&budget)
+            .solve(&m);
+        let elapsed = start.elapsed();
+        canceller.join().unwrap();
+        match result {
+            Ok(sol) => assert_eq!(sol.status, SolveStatus::TimeLimit),
+            Err(e) => assert_eq!(e, MilpError::Infeasible),
+        }
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "cancelled parallel solve took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_infeasible_model_errors() {
+        let mut m = Model::new();
+        let a = m.add_binary("a", 1.0);
+        m.add_constraint(&[(a, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(
+            BranchBound::new().threads(2).solve(&m).unwrap_err(),
+            MilpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn parallel_counts_nodes() {
+        // C5 vertex cover: LP root bound 2.5 < optimum 3 forces expansion.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..5).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        for i in 0..5 {
+            m.add_constraint(&[(xs[i], 1.0), (xs[(i + 1) % 5], 1.0)], Sense::Ge, 1.0);
+        }
+        let sol = BranchBound::new().threads(2).solve(&m).unwrap();
+        assert!(sol.nodes >= 1);
+    }
+}

@@ -105,6 +105,12 @@ pub struct Solution {
     pub best_bound: f64,
     /// The convergence trace (for Figures 10/11-style reporting).
     pub trace: SolveTrace,
+    /// Branch & bound nodes explored (0 when the root alone decided).
+    pub nodes: u64,
+    /// Warm-start outcome: `None` when no warm start was supplied,
+    /// `Some(true)` when the supplied point was accepted as the initial
+    /// incumbent, `Some(false)` when it failed validation.
+    pub warm_start: Option<bool>,
 }
 
 impl Solution {

@@ -535,6 +535,13 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
         .into_iter()
         .map(|k| (k, 0, 0, 0, Duration::ZERO))
         .collect();
+    // Labeling-solver figures ride along: branch & bound nodes, proven
+    // gaps, and warm-start hit/miss across every VhLabel record.
+    let mut solves = 0usize;
+    let mut bnb_nodes = 0u64;
+    let mut warm_hits = 0usize;
+    let mut warm_misses = 0usize;
+    let mut worst_gap = 0.0f64;
     for session in &inner.sessions {
         let stats = session.cache_stats();
         hits += stats.hits;
@@ -547,6 +554,16 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
             *builds += trace.builds(*kind);
             *cache_hits += trace.hits(*kind);
             *wall += trace.total_wall(*kind);
+        }
+        for solve in trace.records.iter().filter_map(|r| r.solve) {
+            solves += 1;
+            bnb_nodes += solve.nodes;
+            match solve.warm_start {
+                Some(true) => warm_hits += 1,
+                Some(false) => warm_misses += 1,
+                None => {}
+            }
+            worst_gap = worst_gap.max(solve.gap);
         }
     }
     for (kind, runs, builds, cache_hits, wall) in per_stage {
@@ -588,6 +605,16 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
             ]),
         ),
         ("stages".into(), Json::Obj(stages)),
+        (
+            "solver".into(),
+            Json::Obj(vec![
+                ("label_solves".into(), Json::int(solves)),
+                ("bnb_nodes".into(), Json::Num(bnb_nodes as f64)),
+                ("warm_hits".into(), Json::int(warm_hits)),
+                ("warm_misses".into(), Json::int(warm_misses)),
+                ("worst_gap".into(), Json::Num(worst_gap)),
+            ]),
+        ),
     ];
     let metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
     metrics.to_json(extra)
@@ -632,6 +659,7 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
             strategy: rung.strategy(spec.gamma, remaining),
             align: true,
             var_order: None,
+            label_threads: 1,
         };
         let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
         let session = &inner.sessions[shard];

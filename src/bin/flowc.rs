@@ -15,6 +15,9 @@
 //!                         once) and print each design's shape plus the
 //!                         per-stage trace and cache statistics
 //!   --strategy <weighted|min-s|heuristic|staircase>
+//!   --label-threads <n>   worker threads for the labeling branch & bound
+//!                         (default 1; the optimum is identical at any
+//!                         thread count)
 //!   --time-limit <secs>   solver budget (default 30)
 //!   --deadline <secs>     hard wall-clock budget for the whole synthesis;
 //!                         on exhaustion a degraded (but valid) design is
@@ -101,6 +104,7 @@ struct Options {
     seed: u64,
     spare_rows: usize,
     spare_cols: usize,
+    label_threads: usize,
 }
 
 impl Options {
@@ -121,6 +125,7 @@ impl Options {
             seed: 1,
             spare_rows: 0,
             spare_cols: 0,
+            label_threads: 1,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -206,6 +211,12 @@ impl Options {
                         .parse::<usize>()
                         .map_err(|e| format!("--spare-cols: {e}"))?
                 }
+                "--label-threads" => {
+                    opts.label_threads = value("--label-threads")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--label-threads: {e}"))?
+                        .max(1)
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -233,6 +244,7 @@ impl Options {
             strategy,
             align: self.align,
             var_order: None,
+            label_threads: self.label_threads,
         })
     }
 
@@ -252,42 +264,76 @@ impl Options {
 /// so the whole sweep performs a single BDD build and graph extraction
 /// (the per-stage trace printed at the end proves it).
 fn gamma_sweep(network: &Network, steps: usize, opts: &Options) -> Result<bool, String> {
-    use flowc::compact::{gamma_sweep_tasks, synthesize_batch, BatchConfig, Session};
+    use flowc::compact::{
+        gamma_sweep_tasks, synthesize_batch, BatchConfig, Session, SessionConfig,
+    };
 
-    let session = Session::with_budget(opts.budget());
+    let session = Session::new(SessionConfig {
+        budget: opts.budget(),
+        warm_labels: true, // sequential sweep: each point seeds the next
+        ..SessionConfig::default()
+    });
     let gammas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
     let network = std::sync::Arc::new(network.clone());
-    let tasks = gamma_sweep_tasks(&network, &gammas, opts.time_limit);
+    // Tasks come back ordered by descending γ (warm-start chaining);
+    // sequential execution preserves that order so each point seeds the
+    // next. Results are re-sorted to ascending γ for display.
+    let mut tasks = gamma_sweep_tasks(&network, &gammas, opts.time_limit);
+    for task in &mut tasks {
+        task.config.label_threads = opts.label_threads;
+    }
     let results = synthesize_batch(
         &session,
         &tasks,
         &BatchConfig {
-            threads: 0, // all available cores
+            threads: 1, // sequential: adjacent γ points share warm starts
             per_task_budget: None,
         },
     );
     println!("circuit    : {}", network.name());
     println!(
-        "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4}",
-        "γ", "R", "C", "D", "S", "opt"
+        "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4} | {:>7} {:>7} {:>6} {:>6}",
+        "γ", "R", "C", "D", "S", "opt", "nodes", "gap", "warm", "cache"
     );
     let mut degraded = false;
+    let mut rows: Vec<(&flowc::compact::BatchTask, &flowc::compact::CompactResult)> = Vec::new();
     for (task, result) in tasks.iter().zip(&results) {
         match result {
-            Ok(r) => {
-                println!(
-                    "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4}",
-                    task.label.trim_start_matches("γ="),
-                    r.stats.rows,
-                    r.stats.cols,
-                    r.stats.max_dimension,
-                    r.stats.semiperimeter,
-                    if r.optimal { "yes" } else { "no" },
-                );
-                degraded |= r.degradation.as_ref().is_some_and(|d| d.degraded);
-            }
+            Ok(r) => rows.push((task, r)),
             Err(e) => return Err(format!("{}: {e}", task.label)),
         }
+    }
+    rows.sort_by(|a, b| {
+        let gamma = |t: &flowc::compact::BatchTask| match &t.config.strategy {
+            VhStrategy::Weighted { gamma, .. } => *gamma,
+            _ => f64::NAN,
+        };
+        gamma(a.0).total_cmp(&gamma(b.0))
+    });
+    for (task, r) in rows {
+        let report = r.degradation.as_ref();
+        println!(
+            "{:>6} | {:>5} {:>5} {:>5} {:>5} {:>4} | {:>7} {:>6.2}% {:>6} {:>6}",
+            task.label.trim_start_matches("γ="),
+            r.stats.rows,
+            r.stats.cols,
+            r.stats.max_dimension,
+            r.stats.semiperimeter,
+            if r.optimal { "yes" } else { "no" },
+            report.map_or(0, |d| d.solver_nodes),
+            100.0 * r.relative_gap,
+            report.map_or("-", |d| match d.warm_start {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "-",
+            }),
+            if report.is_some_and(|d| d.label_cached) {
+                "hit"
+            } else {
+                "-"
+            },
+        );
+        degraded |= report.is_some_and(|d| d.degraded);
     }
     let trace = session.trace();
     println!("\nstage trace:");
@@ -448,6 +494,8 @@ SYNTHESIS OPTIONS (synth/bench):
     --gamma <0..1>         trade-off weight (default 0.5)
     --gamma-sweep <n>      n γ points through one shared session
     --strategy <weighted|min-s|heuristic|staircase>
+    --label-threads <n>    labeling branch & bound workers (default 1;
+                           same optimum at any thread count)
     --time-limit <secs>    solver budget (default 30)
     --deadline <secs>      hard wall-clock budget; exhaustion degrades
     --max-bdd-nodes <n>    BDD node ceiling; exceeding it degrades

@@ -134,6 +134,7 @@ fn balanced_labelings_are_valid_aligned_and_balanced() {
                 &graph.graph,
                 &OctConfig {
                     time_limit: Duration::from_secs(5),
+                    threads: 1,
                 },
             );
             let vh: HashSet<usize> = oct.transversal.iter().copied().collect();
@@ -164,6 +165,7 @@ fn boxed_labeling_fits_the_box_whenever_the_balanced_one_does() {
                 &graph.graph,
                 &OctConfig {
                     time_limit: Duration::from_secs(5),
+                    threads: 1,
                 },
             );
             let vh: HashSet<usize> = oct.transversal.iter().copied().collect();

@@ -26,6 +26,7 @@ fn quick_config(gamma: f64) -> Config {
         },
         align: true,
         var_order: None,
+        label_threads: 1,
     }
 }
 

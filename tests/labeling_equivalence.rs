@@ -1,0 +1,221 @@
+//! Equivalence suite for the metric-guided branch & bound: on small,
+//! conform-generator-seeded instances, every `Bounder` implementation must
+//! reproduce the exhaustive-enumeration optimum, the parallel driver must
+//! agree with the sequential one, and a warm-started γ sweep must land on
+//! the same optima as cold solves.
+
+use std::time::Duration;
+
+use flowc::budget::Budget;
+use flowc::compact::mip_method::{solve as mip_solve, solve_exact_warm, MipConfig};
+use flowc::compact::BddGraph;
+use flowc::conform::gen::gen_graph;
+use flowc::conform::Rng;
+use flowc::graph::UGraph;
+use flowc::milp::metrics::{CoverProblem, DegreeCoverBounder, HybridBounder, MatchingCoverBounder};
+use flowc::milp::{Bounder, BranchBound, LpBounder, Model, Sense};
+
+/// Wraps a bare conform-generated graph as a labeling instance (no BDD
+/// provenance needed: with `align = false` the solver never consults
+/// roots/terminal, and mapping is not exercised here).
+fn instance(g: UGraph) -> BddGraph {
+    let n = g.num_vertices();
+    BddGraph {
+        graph: g,
+        labels: std::collections::HashMap::new(),
+        terminal: None,
+        roots: Vec::new(),
+        node_names: (0..n).map(|v| format!("n{v}")).collect(),
+        num_inputs: 0,
+    }
+}
+
+/// Exhaustive VH-labeling optimum: every node takes V, H, or VH; each edge
+/// must admit a V→H orientation; the objective is Eq. 4's γ·S + (1−γ)·D.
+fn enumerate_vh_optimum(g: &UGraph, gamma: f64) -> f64 {
+    let n = g.num_vertices();
+    assert!(n <= 10, "enumeration is 3^n");
+    let mut best = f64::INFINITY;
+    // state per node: 0 = V, 1 = H, 2 = VH.
+    let mut state = vec![0u8; n];
+    loop {
+        let has_v = |i: usize| state[i] != 1;
+        let has_h = |i: usize| state[i] != 0;
+        let feasible = g
+            .edges()
+            .iter()
+            .all(|&(i, j)| (has_v(i) && has_h(j)) || (has_h(i) && has_v(j)));
+        if feasible {
+            let rows = (0..n).filter(|&i| has_h(i)).count();
+            let cols = (0..n).filter(|&i| has_v(i)).count();
+            let obj = gamma * (rows + cols) as f64 + (1.0 - gamma) * rows.max(cols) as f64;
+            best = best.min(obj);
+        }
+        // Odometer increment.
+        let mut k = 0;
+        while k < n {
+            state[k] += 1;
+            if state[k] < 3 {
+                break;
+            }
+            state[k] = 0;
+            k += 1;
+        }
+        if k == n {
+            return best;
+        }
+    }
+}
+
+#[test]
+fn conform_seeded_labelings_match_exhaustive_enumeration() {
+    let mut rng = Rng::new(0xC0DE);
+    for case in 0..10u64 {
+        let n = 4 + (case as usize % 5); // 4..=8 nodes
+        let g = gen_graph(&mut rng, n);
+        let graph = instance(g);
+        for gamma in [0.0, 0.5, 1.0] {
+            let want = enumerate_vh_optimum(&graph.graph, gamma);
+            let got = mip_solve(
+                &graph,
+                &MipConfig {
+                    gamma,
+                    align: false,
+                    time_limit: Duration::from_secs(30),
+                    exact_node_limit: 80,
+                    threads: 1,
+                },
+            );
+            assert!(got.optimal, "case {case} γ={gamma} must close");
+            assert!(
+                (got.objective - want).abs() < 1e-6,
+                "case {case} γ={gamma}: bnb {} vs exhaustive {want}",
+                got.objective
+            );
+        }
+    }
+}
+
+/// Minimum-vertex-cover model of `g`: minimize Σx subject to x_i + x_j ≥ 1
+/// per edge — the shape `CoverProblem::from_model` recognizes.
+fn cover_model(g: &UGraph) -> Model {
+    let n = g.num_vertices();
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..n).map(|v| m.add_binary(format!("x{v}"), 1.0)).collect();
+    for &(i, j) in g.edges() {
+        m.add_constraint(&[(xs[i], 1.0), (xs[j], 1.0)], Sense::Ge, 1.0);
+    }
+    m
+}
+
+/// Exhaustive minimum vertex cover size.
+fn enumerate_cover_optimum(g: &UGraph) -> f64 {
+    let n = g.num_vertices();
+    assert!(n <= 14, "enumeration is 2^n");
+    (0..1usize << n)
+        .filter(|&mask| {
+            g.edges()
+                .iter()
+                .all(|&(i, j)| mask >> i & 1 == 1 || mask >> j & 1 == 1)
+        })
+        .map(|mask| mask.count_ones() as f64)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn every_bounder_matches_exhaustive_on_conform_seeded_covers() {
+    let mut rng = Rng::new(0xBEEF);
+    for case in 0..10u64 {
+        let n = 5 + (case as usize % 6); // 5..=10 nodes
+        let g = gen_graph(&mut rng, n);
+        let m = cover_model(&g);
+        let want = enumerate_cover_optimum(&g);
+        let solver = BranchBound::new().time_limit(Duration::from_secs(30));
+        let mut bounders: Vec<(&str, Box<dyn Bounder>)> = vec![
+            ("lp", Box::new(LpBounder::new())),
+            (
+                "hybrid-matching",
+                Box::new(HybridBounder::new(MatchingCoverBounder::new(
+                    CoverProblem::from_model(&m).expect("cover shape"),
+                ))),
+            ),
+            (
+                "matching",
+                Box::new(MatchingCoverBounder::new(
+                    CoverProblem::from_model(&m).expect("cover shape"),
+                )),
+            ),
+            (
+                "degree",
+                Box::new(DegreeCoverBounder::new(
+                    CoverProblem::from_model(&m).expect("cover shape"),
+                )),
+            ),
+        ];
+        for (name, bounder) in &mut bounders {
+            let sol = solver.solve_with(&m, bounder.as_mut()).expect("solvable");
+            assert!(
+                (sol.objective - want).abs() < 1e-6,
+                "case {case} bounder {name}: bnb {} vs exhaustive {want}",
+                sol.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_solves_agree_on_conform_seeded_covers() {
+    let mut rng = Rng::new(0xD15C);
+    for case in 0..6u64 {
+        let n = 8 + (case as usize % 5); // 8..=12 nodes
+        let g = gen_graph(&mut rng, n);
+        let m = cover_model(&g);
+        let seq = BranchBound::new()
+            .time_limit(Duration::from_secs(30))
+            .solve(&m)
+            .expect("sequential solve");
+        let par = BranchBound::new()
+            .time_limit(Duration::from_secs(30))
+            .threads(4)
+            .solve(&m)
+            .expect("parallel solve");
+        assert!(
+            (seq.objective - par.objective).abs() < 1e-6,
+            "case {case}: sequential {} vs parallel {}",
+            seq.objective,
+            par.objective
+        );
+    }
+}
+
+#[test]
+fn warm_started_sweep_lands_on_the_cold_optima() {
+    use flowc::bdd::build_sbdd;
+    use flowc::logic::bench_suite;
+
+    let b = bench_suite::by_name("ctrl").unwrap();
+    let network = b.network().unwrap();
+    let graph = BddGraph::from_bdds(&build_sbdd(&network, None));
+    let budget = Budget::unlimited();
+    let mut warm = None;
+    // Sweep ordered for reuse (γ = 1 closes fastest and seeds the rest).
+    for gamma in [1.0, 0.75, 0.5, 0.25, 0.0] {
+        let config = MipConfig {
+            gamma,
+            align: true,
+            time_limit: Duration::from_secs(60),
+            exact_node_limit: 80,
+            threads: 1,
+        };
+        let cold = solve_exact_warm(&graph, &config, &budget, None).expect("cold solve");
+        let warmed = solve_exact_warm(&graph, &config, &budget, warm.as_ref()).expect("warm solve");
+        assert!(cold.optimal && warmed.optimal, "γ={gamma} must close");
+        assert!(
+            (cold.objective - warmed.objective).abs() < 1e-6,
+            "γ={gamma}: cold {} vs warm {}",
+            cold.objective,
+            warmed.objective
+        );
+        warm = Some(warmed.labeling);
+    }
+}

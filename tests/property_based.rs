@@ -128,6 +128,7 @@ fn oct_makes_random_graphs_bipartite() {
             &g,
             &OctConfig {
                 time_limit: Duration::from_secs(5),
+                threads: 1,
             },
         );
         let keep: Vec<bool> = (0..g.num_vertices())
@@ -315,6 +316,7 @@ fn vertex_cover_is_minimum_on_small_graphs() {
             &g,
             &flowc::graph::VcConfig {
                 time_limit: Duration::from_secs(5),
+                threads: 1,
             },
         );
         assert!(r.optimal);

@@ -68,13 +68,14 @@ fn eviction_stays_bounded_fifo_under_many_threads() {
     });
 
     let stats = session.cache_stats();
-    // Each of the 16 distinct networks built one BDD and one graph; a
-    // capacity-4 cache per artifact kind retains 4 of each and evicted
-    // the other 12 of each, whatever order the threads ran in.
-    assert_eq!(stats.misses, 2 * NETWORKS);
+    // Each of the 16 distinct networks built one BDD, one graph, and one
+    // (deterministic, hence cacheable) heuristic labeling; a capacity-4
+    // cache per artifact kind retains 4 of each and evicted the other 12
+    // of each, whatever order the threads ran in.
+    assert_eq!(stats.misses, 3 * NETWORKS);
     assert_eq!(stats.hits, 0, "all keys are distinct");
-    assert_eq!(stats.entries, 2 * CAPACITY);
-    assert_eq!(stats.evicted, 2 * (NETWORKS - CAPACITY));
+    assert_eq!(stats.entries, 3 * CAPACITY);
+    assert_eq!(stats.evicted, 3 * (NETWORKS - CAPACITY));
 
     let trace = session.trace();
     assert_eq!(trace.builds(StageKind::BddBuild), NETWORKS);
@@ -115,7 +116,9 @@ fn concurrent_identical_jobs_share_one_build() {
     assert_eq!(trace.hits(StageKind::BddBuild), THREADS - 1);
     assert_eq!(trace.builds(StageKind::GraphExtract), 1);
     assert_eq!(trace.hits(StageKind::GraphExtract), THREADS - 1);
+    assert_eq!(trace.builds(StageKind::VhLabel), 1, "{}", trace.summary());
+    assert_eq!(trace.hits(StageKind::VhLabel), THREADS - 1);
     let stats = session.cache_stats();
-    assert_eq!(stats.misses, 2, "one BDD artifact + one graph artifact");
-    assert_eq!(stats.hits, 2 * (THREADS - 1));
+    assert_eq!(stats.misses, 3, "one BDD + one graph + one labeling");
+    assert_eq!(stats.hits, 3 * (THREADS - 1));
 }

@@ -49,6 +49,7 @@ fn mip_and_oct_are_consistent_on_ctrl_at_gamma_one() {
             align: true,
             time_limit: Duration::from_secs(60),
             exact_node_limit: 80,
+            threads: 1,
         },
     );
     assert!(mip.optimal, "ctrl at γ=1 with alignment must close");
@@ -107,6 +108,7 @@ fn mip_and_oct_agree_on_random_functions_at_gamma_one() {
                 align: false,
                 time_limit: Duration::from_secs(30),
                 exact_node_limit: 60,
+                threads: 1,
             },
         );
         assert!(oct.optimal, "trial {trial}");
