@@ -36,6 +36,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -43,8 +44,9 @@ use flowc_bdd::NetworkBdds;
 use flowc_budget::Budget;
 use flowc_graph::OctResult;
 use flowc_logic::Network;
+use flowc_report::Json;
 
-use crate::labeling::Labeling;
+use crate::labeling::{Labeling, VhLabel};
 use crate::pass::{BddBuildPass, GraphExtractPass, LadderPass, NormalizePass, Pass, VerifyPass};
 use crate::pipeline::{CompactError, CompactResult, Config, VhStrategy};
 use crate::preprocess::BddGraph;
@@ -290,6 +292,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Artifacts evicted to respect the capacity bound.
     pub evicted: usize,
+    /// Labelings served from the on-disk cache (checksum verified).
+    pub disk_hits: usize,
+    /// On-disk entries rejected by checksum/format verification and
+    /// treated as misses (the corrupt file is deleted).
+    pub disk_corrupt: usize,
 }
 
 /// Session construction parameters.
@@ -316,6 +323,13 @@ pub struct SessionConfig {
     /// execution orders (batch vs. sequential) leave it disabled. Sweep
     /// drivers that run points sequentially opt in.
     pub warm_labels: bool,
+    /// Directory for a write-through on-disk labeling cache. Cacheable
+    /// labelings (proven-optimal or deterministic — the same ones the
+    /// in-memory cache stores) are persisted as CRC32-enveloped JSON and
+    /// probed on a memory miss, so they survive process restarts. A
+    /// corrupt or torn file fails checksum verification and is treated
+    /// as a miss (and deleted), never served.
+    pub disk_cache: Option<PathBuf>,
 }
 
 impl Default for SessionConfig {
@@ -326,6 +340,7 @@ impl Default for SessionConfig {
             cache_capacity: 64,
             verify_samples: None,
             warm_labels: false,
+            disk_cache: None,
         }
     }
 }
@@ -389,6 +404,54 @@ pub struct LabelArtifact {
     pub rung: Rung,
 }
 
+/// File the labeling artifact `key` persists to under the disk cache root.
+fn label_path(dir: &Path, key: ArtifactKey) -> PathBuf {
+    dir.join(format!("label-{key}.json"))
+}
+
+/// Serializes a [`LabelArtifact`] for the on-disk cache. Labels pack into
+/// one character per node: `V`, `H`, or `B` (both).
+fn label_to_json(artifact: &LabelArtifact) -> Json {
+    let labels: String = artifact
+        .labeling
+        .labels()
+        .iter()
+        .map(|l| match l {
+            VhLabel::V => 'V',
+            VhLabel::H => 'H',
+            VhLabel::Vh => 'B',
+        })
+        .collect();
+    Json::Obj(vec![
+        ("labels".into(), Json::str(labels)),
+        ("optimal".into(), Json::Bool(artifact.optimal)),
+        ("relative_gap".into(), Json::Num(artifact.relative_gap)),
+        ("rung".into(), Json::str(artifact.rung.name())),
+    ])
+}
+
+/// Inverse of [`label_to_json`]; `None` on any shape mismatch (unknown
+/// label character or rung name, missing or mistyped field), which the
+/// caller treats exactly like a checksum failure.
+fn label_from_json(payload: &Json) -> Option<LabelArtifact> {
+    let text = payload.get("labels")?.as_str()?;
+    let mut labels = Vec::with_capacity(text.len());
+    for c in text.chars() {
+        labels.push(match c {
+            'V' => VhLabel::V,
+            'H' => VhLabel::H,
+            'B' => VhLabel::Vh,
+            _ => return None,
+        });
+    }
+    Some(LabelArtifact {
+        labeling: Labeling::new(labels),
+        optimal: payload.get("optimal")?.as_bool()?,
+        relative_gap: payload.get("relative_gap")?.as_f64()?,
+        rung: Rung::parse(payload.get("rung")?.as_str()?)?,
+    })
+}
+
 /// Mutable session state behind one lock: the artifact caches, the stage
 /// trace, the RNG stream, and hit/miss counters. One coarse mutex keeps
 /// lock ordering trivial; every critical section is a map probe or a
@@ -412,6 +475,8 @@ struct SessionState {
     rng_state: u64,
     hits: usize,
     misses: usize,
+    disk_hits: usize,
+    disk_corrupt: usize,
     /// Keys whose artifact is being built right now (single-flight): a
     /// second thread asking for the same key blocks on [`Session::build_cv`]
     /// instead of duplicating the build.
@@ -431,6 +496,7 @@ pub struct Session {
     seed: u64,
     verify_samples: Option<usize>,
     warm_labels: bool,
+    disk_cache: Option<PathBuf>,
     state: Mutex<SessionState>,
     /// Signaled whenever an in-flight build finishes (published or
     /// abandoned), waking threads blocked on the same artifact key.
@@ -451,6 +517,7 @@ impl Session {
             seed: config.seed,
             verify_samples: config.verify_samples,
             warm_labels: config.warm_labels,
+            disk_cache: config.disk_cache,
             state: Mutex::new(SessionState {
                 bdds: ArtifactCache::new(config.cache_capacity),
                 graphs: ArtifactCache::new(config.cache_capacity),
@@ -462,6 +529,8 @@ impl Session {
                 rng_state: config.seed,
                 hits: 0,
                 misses: 0,
+                disk_hits: 0,
+                disk_corrupt: 0,
                 in_flight: HashSet::new(),
             }),
             build_cv: Condvar::new(),
@@ -517,6 +586,8 @@ impl Session {
             misses: state.misses,
             entries: state.bdds.len() + state.graphs.len() + state.labels.len(),
             evicted: state.bdds.evicted + state.graphs.evicted + state.labels.evicted,
+            disk_hits: state.disk_hits,
+            disk_corrupt: state.disk_corrupt,
         }
     }
 
@@ -554,8 +625,52 @@ impl Session {
     /// [`Session::claim_bdd`] for labeling artifacts. A builder whose
     /// outcome turns out not to be cacheable (not proven optimal) simply
     /// drops the ticket unpublished; waiters then solve for themselves.
+    ///
+    /// With [`SessionConfig::disk_cache`] set, a memory miss probes the
+    /// on-disk cache before the caller is handed the build: a checksum-
+    /// verified entry is promoted into memory and returned [`Claim::Ready`]
+    /// (the dropped ticket releases the single-flight claim), while a
+    /// corrupt one is deleted and counted, and the build proceeds.
     pub(crate) fn claim_label(&self, key: ArtifactKey) -> Claim<'_, Arc<LabelArtifact>> {
-        self.claim_with(key, |state| state.labels.get(key))
+        match self.claim_with(key, |state| state.labels.get(key)) {
+            Claim::Build(ticket) => match self.load_label_from_disk(key) {
+                Some(artifact) => {
+                    drop(ticket);
+                    Claim::Ready(artifact)
+                }
+                None => Claim::Build(ticket),
+            },
+            ready => ready,
+        }
+    }
+
+    /// Reads `key`'s labeling from the on-disk cache, promoting a valid
+    /// entry into the in-memory cache. Checksum or format failures delete
+    /// the file and count as [`CacheStats::disk_corrupt`]; a missing file
+    /// (or no disk cache configured) is a plain `None`.
+    fn load_label_from_disk(&self, key: ArtifactKey) -> Option<Arc<LabelArtifact>> {
+        let dir = self.disk_cache.as_ref()?;
+        let path = label_path(dir, key);
+        let corrupt = match flowc_report::read_json_checked(&path) {
+            Ok(payload) => match label_from_json(&payload) {
+                Some(artifact) => {
+                    let artifact = Arc::new(artifact);
+                    let mut state = self.lock();
+                    state.labels.insert(key, Arc::clone(&artifact));
+                    state.disk_hits += 1;
+                    return Some(artifact);
+                }
+                // Envelope checksum passed but the payload shape didn't:
+                // same remedy as a checksum failure.
+                None => true,
+            },
+            Err(e) => e.is_corrupt(),
+        };
+        if corrupt {
+            let _ = std::fs::remove_file(&path);
+            self.lock().disk_corrupt += 1;
+        }
+        None
     }
 
     /// The best known labeling for the graph artifact `graph`, to seed a
@@ -639,6 +754,11 @@ impl Session {
     }
 
     pub(crate) fn store_label(&self, key: ArtifactKey, label: Arc<LabelArtifact>) {
+        if let Some(dir) = &self.disk_cache {
+            // Best-effort write-through (atomic + CRC32-enveloped): a
+            // failed persist only costs future processes the disk hit.
+            let _ = flowc_report::write_json_checked(&label_path(dir, key), &label_to_json(&label));
+        }
         self.lock().labels.insert(key, label);
     }
 
@@ -990,6 +1110,113 @@ mod tests {
         assert_eq!(cache.get(ArtifactKey(1)), None);
         assert_eq!(cache.get(ArtifactKey(2)), Some(20));
         assert_eq!(cache.get(ArtifactKey(3)), Some(30));
+    }
+
+    fn disk_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flowc-session-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn disk_session(dir: &Path) -> Session {
+        Session::new(SessionConfig {
+            disk_cache: Some(dir.to_path_buf()),
+            ..SessionConfig::default()
+        })
+    }
+
+    #[test]
+    fn disk_cache_round_trips_labelings_across_sessions() {
+        let dir = disk_dir("roundtrip");
+        let n = fig2_network();
+
+        let first = disk_session(&dir);
+        let a = synthesize_in(&first, &n, &Config::gamma(0.3)).unwrap();
+        let persisted = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with("label-"))
+            .count();
+        assert_eq!(
+            persisted, 1,
+            "the proven-optimal labeling is written through"
+        );
+
+        // A fresh session over the same directory stands in for a process
+        // restart: the VH solve must come back from disk, not recompute.
+        let second = disk_session(&dir);
+        let b = synthesize_in(&second, &n, &Config::gamma(0.3)).unwrap();
+        assert_eq!(a.stats.semiperimeter, b.stats.semiperimeter);
+        assert!(b.degradation.as_ref().is_some_and(|d| d.label_cached));
+        let stats = second.cache_stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.disk_corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_a_deleted_counted_miss() {
+        let dir = disk_dir("corrupt");
+        let key = ArtifactKey(0x7E57);
+        let artifact = Arc::new(LabelArtifact {
+            labeling: Labeling::new(vec![VhLabel::V, VhLabel::Vh, VhLabel::H]),
+            optimal: true,
+            relative_gap: 0.0,
+            rung: Rung::ExactMip,
+        });
+        disk_session(&dir).store_label(key, Arc::clone(&artifact));
+        let path = label_path(&dir, key);
+
+        // Flip payload bytes under the envelope: the checksum catches it,
+        // the entry is deleted, and the caller owns the build.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("VBH", "HBH", 1)).unwrap();
+        let probe = disk_session(&dir);
+        assert!(matches!(probe.claim_label(key), Claim::Build(_)));
+        assert_eq!(probe.cache_stats().disk_corrupt, 1);
+        assert!(!path.exists(), "the corrupt entry is deleted");
+
+        // Re-probing the now-missing file is a plain miss, not corruption.
+        assert!(matches!(probe.claim_label(key), Claim::Build(_)));
+        assert_eq!(probe.cache_stats().disk_corrupt, 1);
+
+        // A checksum-valid envelope whose payload has the wrong shape is
+        // handled exactly like a checksum failure.
+        flowc_report::write_json_checked(&path, &Json::str("not a labeling")).unwrap();
+        assert!(matches!(probe.claim_label(key), Claim::Build(_)));
+        assert_eq!(probe.cache_stats().disk_corrupt, 2);
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn label_json_round_trips_and_rejects_unknown_shapes() {
+        let artifact = LabelArtifact {
+            labeling: Labeling::new(vec![VhLabel::H, VhLabel::V, VhLabel::Vh]),
+            optimal: false,
+            relative_gap: 0.25,
+            rung: Rung::AnytimeMip,
+        };
+        let back = label_from_json(&label_to_json(&artifact)).unwrap();
+        assert_eq!(back.labeling.labels(), artifact.labeling.labels());
+        assert!(!back.optimal);
+        assert_eq!(back.relative_gap, 0.25);
+        assert_eq!(back.rung, Rung::AnytimeMip);
+
+        let mut bad = label_to_json(&artifact);
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "rung" {
+                    *v = Json::str("warp-drive");
+                }
+            }
+        }
+        assert!(
+            label_from_json(&bad).is_none(),
+            "unknown rung names are rejected"
+        );
+        assert!(label_from_json(&Json::str("nope")).is_none());
     }
 
     #[test]

@@ -85,6 +85,19 @@ impl Rung {
             Rung::AllVh => "all-vh",
         }
     }
+
+    /// Inverse of [`Rung::name`]; `None` for unknown names (so persisted
+    /// artifacts from a different version are rejected, not misread).
+    pub fn parse(name: &str) -> Option<Rung> {
+        Some(match name {
+            "exact-mip" => Rung::ExactMip,
+            "exact-oct" => Rung::ExactOct,
+            "anytime-mip" => Rung::AnytimeMip,
+            "heuristic-oct" => Rung::HeuristicOct,
+            "all-vh" => Rung::AllVh,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Rung {

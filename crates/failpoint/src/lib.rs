@@ -1,0 +1,205 @@
+//! Deterministic failure-injection points for crash-recovery testing.
+//!
+//! A *failpoint* is a named site in production code where a test can
+//! inject a failure: a process crash (`abort`, indistinguishable from
+//! `kill -9` to the recovery path) or a synthetic error the call site
+//! maps to its own error type. Sites are compiled behind the `enabled`
+//! feature — the default build inlines every hit to `Action::Nothing`
+//! with zero registry, zero atomics, zero branches on config.
+//!
+//! Configuration is a spec string, usually from the `FLOWC_FAILPOINTS`
+//! environment variable so a spawned server binary can be armed by its
+//! test harness:
+//!
+//! ```text
+//! FLOWC_FAILPOINTS="serve.journal.torn=crash@3,report.write.temp=error"
+//! ```
+//!
+//! Each entry is `name=action[@n]` where `action` is `crash` or `error`
+//! and `@n` (1-based) fires the action on exactly the *n*-th hit of that
+//! site — every other hit is a no-op. Without `@n` the action fires on
+//! every hit. Hit counting is per-process and deterministic, so a test
+//! that arms `crash@3` kills the process at the same program point on
+//! every run.
+//!
+//! This is the same discipline as the conform crate's `broken-oracle`
+//! plant (a deliberate bug behind a feature gate, used to prove the
+//! harness catches it): the failpoints exist to prove the journal and
+//! atomic writers actually survive the failures they claim to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// What a failpoint hit asks the call site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Not armed (or armed for a different hit count): proceed normally.
+    Nothing,
+    /// Fail this operation with an injected error.
+    Error,
+    /// Crash the process here. Call sites that need to misbehave *before*
+    /// dying (e.g. write half a record to simulate a torn tail) observe
+    /// this and abort themselves; plain sites use [`maybe_crash`].
+    Crash,
+}
+
+#[cfg(feature = "enabled")]
+mod registry {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Debug, Clone)]
+    struct Arm {
+        action: Action,
+        /// 1-based hit that fires; `None` fires every hit.
+        at: Option<u64>,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Arm>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Arm>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("FLOWC_FAILPOINTS") {
+                parse_into(&spec, &mut map);
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn parse_into(spec: &str, map: &mut HashMap<String, Arm>) {
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let Some((name, rhs)) = entry.split_once('=') else {
+                continue;
+            };
+            let (action, at) = match rhs.split_once('@') {
+                Some((a, n)) => (a, n.parse::<u64>().ok()),
+                None => (rhs, None),
+            };
+            let action = match action.trim() {
+                "crash" | "abort" => Action::Crash,
+                "error" | "err" => Action::Error,
+                _ => continue,
+            };
+            map.insert(
+                name.trim().to_string(),
+                Arm {
+                    action,
+                    at,
+                    hits: 0,
+                },
+            );
+        }
+    }
+
+    pub fn configure(spec: &str) {
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        parse_into(spec, &mut map);
+    }
+
+    pub fn reset() {
+        registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    pub fn hit(name: &str) -> Action {
+        let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let Some(arm) = map.get_mut(name) else {
+            return Action::Nothing;
+        };
+        arm.hits += 1;
+        match arm.at {
+            Some(at) if arm.hits != at => Action::Nothing,
+            _ => arm.action,
+        }
+    }
+}
+
+/// Records one hit of the failpoint `name` and returns the armed action
+/// (if the hit count matches the arm). With the `enabled` feature off
+/// this is a free inline no-op.
+#[cfg(feature = "enabled")]
+pub fn hit(name: &str) -> Action {
+    registry::hit(name)
+}
+
+/// Records one hit of the failpoint `name` and returns the armed action.
+/// This build has failpoints compiled out: always [`Action::Nothing`].
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn hit(_name: &str) -> Action {
+    Action::Nothing
+}
+
+/// Hits `name` and aborts the process if it is armed to crash. The abort
+/// is raw (`std::process::abort`) so no destructor, flush, or unwind
+/// runs — exactly the guarantee-free death a `kill -9` delivers.
+#[inline]
+pub fn maybe_crash(name: &str) {
+    if hit(name) == Action::Crash {
+        std::process::abort();
+    }
+}
+
+/// Hits `name` and reports whether the call site should fail with an
+/// injected error. A `crash` arm still aborts here.
+#[inline]
+pub fn should_fail(name: &str) -> bool {
+    match hit(name) {
+        Action::Nothing => false,
+        Action::Error => true,
+        Action::Crash => std::process::abort(),
+    }
+}
+
+/// Arms failpoints from a spec string (same grammar as `FLOWC_FAILPOINTS`).
+/// No-op when failpoints are compiled out.
+pub fn configure(spec: &str) {
+    #[cfg(feature = "enabled")]
+    registry::configure(spec);
+    #[cfg(not(feature = "enabled"))]
+    let _ = spec;
+}
+
+/// Disarms every failpoint and zeroes the hit counters. No-op when
+/// failpoints are compiled out.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    registry::reset();
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    /// One test body: the registry is process-global, so separate `#[test]`
+    /// functions would race each other's `reset()` calls.
+    #[test]
+    fn registry_arms_count_and_fire_deterministically() {
+        reset();
+        // Unarmed points do nothing.
+        assert_eq!(hit("nope"), Action::Nothing);
+        assert!(!should_fail("nope"));
+
+        // `@n` arms fire on exactly the n-th hit, once.
+        configure("t.exact=error@3");
+        assert!(!should_fail("t.exact"));
+        assert!(!should_fail("t.exact"));
+        assert!(should_fail("t.exact"));
+        assert!(!should_fail("t.exact"), "one-shot: only the 3rd hit fires");
+
+        // Unconditional arms fire every hit.
+        configure("t.every=error");
+        assert!(should_fail("t.every"));
+        assert!(should_fail("t.every"));
+
+        // Malformed entries are ignored; valid siblings still parse.
+        configure("garbage,no-equals,x=warp@2,z=error@1");
+        assert_eq!(hit("garbage"), Action::Nothing);
+        assert_eq!(hit("x"), Action::Nothing);
+        assert!(should_fail("z"));
+
+        reset();
+        assert!(!should_fail("t.every"), "reset disarms everything");
+    }
+}

@@ -494,39 +494,164 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-/// Writes `contents` to `path` atomically: the bytes go to a temporary
-/// file in the same directory (so the final `rename` cannot cross a
-/// filesystem boundary), are flushed to disk, and only then replace the
-/// destination. Parent directories are created as needed.
+/// Which step of an atomic write failed. Every variant carries the
+/// underlying I/O error so callers can log the root cause; the variant
+/// itself tells them what the filesystem state is (see [`WriteError`]).
+#[derive(Debug)]
+pub enum WriteStep {
+    /// Creating the destination's parent directory.
+    CreateDir,
+    /// The destination path has no file-name component.
+    BadPath,
+    /// Creating the temporary file next to the destination. The previous
+    /// artifact (if any) is untouched.
+    CreateTemp,
+    /// Writing or flushing the temporary file's bytes.
+    WriteTemp,
+    /// `fsync` of the temporary file before the rename.
+    SyncTemp,
+    /// The `rename` that publishes the artifact.
+    Rename,
+    /// `fsync` of the parent directory after the rename. The new file is
+    /// visible but its directory entry may not survive a power loss.
+    SyncDir,
+}
+
+impl WriteStep {
+    fn name(&self) -> &'static str {
+        match self {
+            WriteStep::CreateDir => "create-dir",
+            WriteStep::BadPath => "bad-path",
+            WriteStep::CreateTemp => "create-temp",
+            WriteStep::WriteTemp => "write-temp",
+            WriteStep::SyncTemp => "sync-temp",
+            WriteStep::Rename => "rename",
+            WriteStep::SyncDir => "sync-dir",
+        }
+    }
+}
+
+/// A typed atomic-write failure: which step failed, on which path, and
+/// the underlying I/O error. In every case except [`WriteStep::SyncDir`]
+/// the destination still holds the previous complete artifact (or does
+/// not exist); a half-written file is never visible.
+#[derive(Debug)]
+pub struct WriteError {
+    /// The step that failed.
+    pub step: WriteStep,
+    /// The destination path the write was for.
+    pub path: std::path::PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "atomic write of {} failed at {}: {}",
+            self.path.display(),
+            self.step.name(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<WriteError> for io::Error {
+    fn from(e: WriteError) -> io::Error {
+        io::Error::new(e.source.kind(), e.to_string())
+    }
+}
+
+/// Writes `contents` to `path` atomically and durably: the bytes go to a
+/// temporary file in the same directory (so the final `rename` cannot
+/// cross a filesystem boundary), are fsynced, renamed over the
+/// destination, and then the parent directory is fsynced so the new
+/// directory entry itself survives a power-loss-style crash. Parent
+/// directories are created as needed.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; on failure the temporary file is removed and
-/// any previous artifact at `path` is left untouched.
-pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+/// A [`WriteError`] naming the failed step; on failure the temporary
+/// file is removed and any previous artifact at `path` is left
+/// untouched (readers never observe a partial file).
+pub fn write_atomic_typed(path: &Path, contents: &str) -> Result<(), WriteError> {
+    let fail = |step: WriteStep, source: io::Error| WriteError {
+        step,
+        path: path.to_path_buf(),
+        source,
+    };
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
-        fs::create_dir_all(dir)?;
+        fs::create_dir_all(dir).map_err(|e| fail(WriteStep::CreateDir, e))?;
     }
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let file_name = path.file_name().ok_or_else(|| {
+        fail(
+            WriteStep::BadPath,
+            io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"),
+        )
+    })?;
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
     let result = (|| {
         {
             use std::io::Write as _;
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(contents.as_bytes())?;
-            f.sync_all()?;
+            if flowc_failpoint::should_fail("report.write.temp") {
+                return Err(fail(
+                    WriteStep::CreateTemp,
+                    io::Error::other("injected temp-create failure"),
+                ));
+            }
+            let mut f = fs::File::create(&tmp).map_err(|e| fail(WriteStep::CreateTemp, e))?;
+            f.write_all(contents.as_bytes())
+                .map_err(|e| fail(WriteStep::WriteTemp, e))?;
+            f.sync_all().map_err(|e| fail(WriteStep::SyncTemp, e))?;
         }
-        fs::rename(&tmp, path)
+        // A crash here must leave only the previous artifact visible:
+        // the temp file is fully synced but not yet published.
+        flowc_failpoint::maybe_crash("report.write.before-rename");
+        fs::rename(&tmp, path).map_err(|e| fail(WriteStep::Rename, e))?;
+        if let Some(dir) = dir {
+            // Durability of the rename itself: fsync the directory so the
+            // entry is on disk, not just in the page cache.
+            fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| fail(WriteStep::SyncDir, e))?;
+        }
+        Ok(())
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// [`write_atomic_typed`] with the error flattened to [`io::Error`]
+/// (compatibility shim for callers that only propagate).
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the temporary file is removed and
+/// any previous artifact at `path` is left untouched.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic_typed(path, contents).map_err(io::Error::from)
+}
+
+/// Renders `json` pretty-printed and writes it atomically + durably to
+/// `path`, with the typed per-step error.
+///
+/// # Errors
+///
+/// A [`WriteError`] naming the failed step (see [`write_atomic_typed`]).
+pub fn write_json_atomic(path: &Path, json: &Json) -> Result<(), WriteError> {
+    write_atomic_typed(path, &json.to_pretty())
 }
 
 /// Renders `json` pretty-printed and writes it atomically to `path`.
@@ -536,6 +661,133 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
 /// Propagates I/O errors from [`write_atomic`].
 pub fn write_json(path: &Path, json: &Json) -> io::Result<()> {
     write_atomic(path, &json.to_pretty())
+}
+
+// ---------------------------------------------------------------------------
+// Integrity-checked artifacts: CRC32-framed JSON with verified read-back.
+// ---------------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, the zlib polynomial), table-driven. Used to frame
+/// journal records and on-disk artifacts so corruption is *detected* at
+/// read time instead of silently poisoning downstream stages.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Why a checksummed artifact could not be read back. Every variant is a
+/// cache *miss* from the caller's point of view; the variants exist so
+/// metrics can distinguish "not there" from "there but corrupt".
+#[derive(Debug)]
+pub enum ReadCheckError {
+    /// The file does not exist.
+    Missing,
+    /// The file exists but could not be read.
+    Io(io::Error),
+    /// The file is not the expected `{"crc32", "data"}` envelope.
+    Malformed(String),
+    /// The payload's checksum does not match the recorded one: the file
+    /// is torn or corrupted.
+    ChecksumMismatch {
+        /// CRC32 recorded in the envelope.
+        expected: u32,
+        /// CRC32 recomputed from the payload.
+        actual: u32,
+    },
+}
+
+impl ReadCheckError {
+    /// Whether the artifact was present-but-corrupt (as opposed to
+    /// absent) — the figure integrity metrics count.
+    pub fn is_corrupt(&self) -> bool {
+        !matches!(self, ReadCheckError::Missing)
+    }
+}
+
+impl std::fmt::Display for ReadCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadCheckError::Missing => write!(f, "artifact missing"),
+            ReadCheckError::Io(e) => write!(f, "artifact unreadable: {e}"),
+            ReadCheckError::Malformed(m) => write!(f, "artifact malformed: {m}"),
+            ReadCheckError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact corrupt: crc32 {actual:08x}, envelope says {expected:08x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReadCheckError {}
+
+/// Writes `payload` to `path` inside a CRC32 envelope
+/// (`{"crc32": "<hex>", "data": <payload>}`), atomically and durably.
+/// Read it back with [`read_json_checked`], which verifies the checksum
+/// and turns any corruption into a typed miss.
+///
+/// # Errors
+///
+/// A [`WriteError`] naming the failed step (see [`write_atomic_typed`]).
+pub fn write_json_checked(path: &Path, payload: &Json) -> Result<(), WriteError> {
+    let body = payload.to_compact();
+    let envelope = Json::Obj(vec![
+        (
+            "crc32".into(),
+            Json::str(format!("{:08x}", crc32(body.as_bytes()))),
+        ),
+        ("data".into(), payload.clone()),
+    ]);
+    write_atomic_typed(path, &envelope.to_pretty())
+}
+
+/// Reads a CRC32-enveloped artifact written by [`write_json_checked`],
+/// verifying the checksum of the payload's canonical (compact) rendering.
+///
+/// # Errors
+///
+/// [`ReadCheckError`]: missing file, I/O failure, a malformed envelope,
+/// or a checksum mismatch. Callers treat all of these as a cache miss;
+/// [`ReadCheckError::is_corrupt`] separates absence from corruption for
+/// metrics.
+pub fn read_json_checked(path: &Path) -> Result<Json, ReadCheckError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ReadCheckError::Missing),
+        Err(e) => return Err(ReadCheckError::Io(e)),
+    };
+    let envelope = Json::parse(&text).map_err(|e| ReadCheckError::Malformed(e.to_string()))?;
+    let expected = envelope
+        .get("crc32")
+        .and_then(Json::as_str)
+        .and_then(|s| u32::from_str_radix(s, 16).ok())
+        .ok_or_else(|| ReadCheckError::Malformed("missing crc32 field".into()))?;
+    let data = envelope
+        .get("data")
+        .ok_or_else(|| ReadCheckError::Malformed("missing data field".into()))?;
+    let actual = crc32(data.to_compact().as_bytes());
+    if actual != expected {
+        return Err(ReadCheckError::ChecksumMismatch { expected, actual });
+    }
+    Ok(data.clone())
 }
 
 #[cfg(test)]
@@ -654,5 +906,72 @@ mod tests {
         );
         assert_eq!(j.get("missing"), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 test vectors (same polynomial as zlib's crc32).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn checked_artifacts_round_trip_and_detect_corruption() {
+        let dir = std::env::temp_dir().join(format!("flowc-report-test-{}", std::process::id()));
+        let path = dir.join("artifact.json");
+        let payload = Json::parse(r#"{"job":"j-1","xs":[1,2,3]}"#).unwrap();
+        write_json_checked(&path, &payload).unwrap();
+        assert_eq!(read_json_checked(&path).unwrap(), payload);
+
+        // Absence is Missing, not corruption.
+        let err = read_json_checked(&dir.join("nope.json")).unwrap_err();
+        assert!(matches!(err, ReadCheckError::Missing));
+        assert!(!err.is_corrupt());
+
+        // Flip a payload byte: the checksum catches it.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("j-1", "j-9")).unwrap();
+        let err = read_json_checked(&path).unwrap_err();
+        assert!(
+            matches!(err, ReadCheckError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.is_corrupt());
+
+        // Truncate mid-document: malformed, still a corrupt miss.
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            read_json_checked(&path).unwrap_err(),
+            ReadCheckError::Malformed(_)
+        ));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_typed_reports_the_failed_step() {
+        // A destination with no file-name component fails typed, early.
+        let err = write_atomic_typed(Path::new("/"), "x").unwrap_err();
+        assert!(matches!(err.step, WriteStep::BadPath));
+        assert!(err.to_string().contains("bad-path"));
+
+        // Creating the temp file inside a non-directory fails as CreateTemp
+        // (the create_dir_all of a file path fails first on most systems,
+        // so park the obstruction one level down).
+        let dir = std::env::temp_dir().join(format!("flowc-report-wt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("occupied"), "not a dir").unwrap();
+        let err = write_atomic_typed(&dir.join("occupied").join("x.json"), "x").unwrap_err();
+        assert!(
+            matches!(err.step, WriteStep::CreateDir | WriteStep::CreateTemp),
+            "{err}"
+        );
+        let io: io::Error = err.into();
+        assert!(io.to_string().contains("atomic write"));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -223,6 +223,64 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_half_open_asks_admit_exactly_one_probe() {
+        use std::sync::{Arc, Barrier, Mutex};
+
+        let breaker = Arc::new(Mutex::new(Breaker::new(fast_config())));
+        let t0 = Instant::now();
+        {
+            let mut b = breaker.lock().unwrap();
+            for _ in 0..4 {
+                b.record(false, t0);
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+
+        // Sixteen threads race `admit` at the same post-cooldown instant —
+        // the server's worst case, where a burst of submissions all find
+        // the cooldown served. The mutex serializes them; the state machine
+        // must hand the half-open probe slot to exactly one.
+        let now = t0 + Duration::from_millis(150);
+        let threads = 16;
+        let barrier = Arc::new(Barrier::new(threads));
+        let outcomes: Vec<Result<(), BreakerRejection>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let breaker = Arc::clone(&breaker);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        breaker.lock().unwrap().admit(now)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let admitted = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(admitted, 1, "exactly one racer wins the probe slot");
+        for rejection in outcomes.iter().filter_map(|o| o.as_ref().err()) {
+            assert!(rejection.retry_after > Duration::ZERO);
+        }
+        assert_eq!(breaker.lock().unwrap().state(), BreakerState::HalfOpen);
+
+        // The losing racers changed nothing: the lone probe's failure still
+        // drives the doubling schedule, capped at max_cooldown.
+        let mut b = breaker.lock().unwrap();
+        b.record(false, now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        let mut t = now;
+        for expected_ms in [200u64, 400, 800, 1000, 1000] {
+            t += Duration::from_secs(2); // comfortably past any cooldown
+            assert!(b.admit(t).is_ok(), "cooldown served: probe admitted");
+            let rejection = b.admit(t).unwrap_err();
+            assert_eq!(rejection.retry_after, Duration::from_millis(expected_ms));
+            b.record(false, t);
+        }
+    }
+
+    #[test]
     fn overload_trip_is_immediate() {
         let mut b = Breaker::new(fast_config());
         let t0 = Instant::now();

@@ -4,6 +4,12 @@
 //! bound — the oldest finished jobs are evicted first, so a long-running
 //! server's memory is bounded by `queue + running + retained`, never by
 //! total jobs served.
+//!
+//! Jobs may carry a client-supplied **job key**: inserting a second
+//! entry with a key already present dedupes to the existing job, which
+//! is what makes resubmission idempotent — within one process lifetime
+//! and, when the journal is on, across a crash/restart (replay restores
+//! the key index along with the jobs).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -46,7 +52,21 @@ impl JobState {
         }
     }
 
-    fn is_terminal(&self) -> bool {
+    /// Parses a wire name back to a state (journal replay).
+    pub fn parse(name: &str) -> Option<JobState> {
+        match name {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            "shed" => Some(JobState::Shed),
+            _ => None,
+        }
+    }
+
+    /// Whether this state is final.
+    pub fn is_terminal(&self) -> bool {
         !matches!(self, JobState::Queued | JobState::Running)
     }
 }
@@ -56,8 +76,14 @@ impl JobState {
 pub struct JobEntry {
     /// The job id.
     pub id: u64,
-    /// The validated submission.
-    pub spec: SubmitSpec,
+    /// Client-supplied idempotency key, if any.
+    pub job_key: Option<String>,
+    /// Display label (kept outside the spec so terminal jobs restored
+    /// from the journal — which have no spec — still report it).
+    pub label: String,
+    /// The validated submission. `None` only for terminal jobs restored
+    /// from the journal: their circuit is gone, their outcome remains.
+    pub spec: Option<SubmitSpec>,
     /// The rung admission assigned (≤ the requested rung).
     pub rung: ServeRung,
     /// Whether admission degraded the requested rung.
@@ -76,11 +102,38 @@ pub struct JobEntry {
     pub outcome: Option<Json>,
 }
 
+/// What [`JobTable::insert`] did with the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insert {
+    /// The entry went in as a new job.
+    Inserted,
+    /// An entry with the same job key already exists (in any state):
+    /// the new entry was dropped; this is the surviving job's id. The
+    /// check and the insert happen under one lock, so two racing
+    /// submissions with the same key cannot both win.
+    Duplicate(u64),
+}
+
 #[derive(Debug, Default)]
 struct TableInner {
     jobs: HashMap<u64, JobEntry>,
     /// Terminal job ids, oldest first, for bounded retention.
     finished: Vec<u64>,
+    /// Job-key → id index for idempotent resubmission.
+    by_key: HashMap<String, u64>,
+}
+
+impl TableInner {
+    fn evict_excess(&mut self, retain: usize) {
+        while self.finished.len() > retain {
+            let oldest = self.finished.remove(0);
+            if let Some(entry) = self.jobs.remove(&oldest) {
+                if let Some(key) = entry.job_key {
+                    self.by_key.remove(&key);
+                }
+            }
+        }
+    }
 }
 
 /// The table: a mutex-guarded map plus FIFO eviction of finished jobs.
@@ -103,56 +156,81 @@ impl JobTable {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Inserts a freshly admitted job (state `Queued`).
-    pub fn insert(&self, entry: JobEntry) {
-        self.lock().jobs.insert(entry.id, entry);
+    /// Inserts a job, deduplicating on the job key: if the key is
+    /// already present the entry is dropped and the existing job's id
+    /// returned. Entries already terminal (journal restores) join the
+    /// retention FIFO immediately.
+    pub fn insert(&self, entry: JobEntry) -> Insert {
+        let mut inner = self.lock();
+        if let Some(key) = &entry.job_key {
+            if let Some(&existing) = inner.by_key.get(key) {
+                return Insert::Duplicate(existing);
+            }
+            inner.by_key.insert(key.clone(), entry.id);
+        }
+        let id = entry.id;
+        let terminal = entry.state.is_terminal();
+        inner.jobs.insert(id, entry);
+        if terminal {
+            inner.finished.push(id);
+            inner.evict_excess(self.retain);
+        }
+        Insert::Inserted
     }
 
     /// Claims `id` for a worker: flips `Queued` → `Running` and hands the
-    /// worker what it needs. `None` when the job is gone or was cancelled
-    /// while queued (the worker just skips it).
+    /// worker what it needs. `None` when the job is gone, was cancelled
+    /// while queued, or has no spec (the worker just skips it).
     pub fn claim_for_run(&self, id: u64) -> Option<(SubmitSpec, ServeRung, bool, Budget)> {
         let mut inner = self.lock();
         let entry = inner.jobs.get_mut(&id)?;
         if entry.state != JobState::Queued || entry.cancel_requested {
             return None;
         }
+        let spec = entry.spec.clone()?;
         entry.state = JobState::Running;
         Some((
-            entry.spec.clone(),
+            spec,
             entry.rung,
             entry.admission_degraded,
             entry.budget.clone(),
         ))
     }
 
-    /// Moves a job to a terminal state with its outcome body.
-    pub fn finish(&self, id: u64, state: JobState, outcome: Json) {
+    /// Moves a job to a terminal state with its outcome body. Returns
+    /// whether the transition happened (`false`: unknown id or already
+    /// terminal — callers use this to avoid double-journaling).
+    pub fn finish(&self, id: u64, state: JobState, outcome: Json) -> bool {
         debug_assert!(state.is_terminal());
         let mut inner = self.lock();
-        if let Some(entry) = inner.jobs.get_mut(&id) {
-            entry.state = state;
-            entry.outcome = Some(outcome);
-            inner.finished.push(id);
-            while inner.finished.len() > self.retain {
-                let oldest = inner.finished.remove(0);
-                inner.jobs.remove(&oldest);
-            }
+        let Some(entry) = inner.jobs.get_mut(&id) else {
+            return false;
+        };
+        if entry.state.is_terminal() {
+            return false;
         }
+        entry.state = state;
+        entry.outcome = Some(outcome);
+        inner.finished.push(id);
+        inner.evict_excess(self.retain);
+        true
     }
 
     /// Requests cancellation: fires the budget's cancel flag; a queued job
     /// is finished as `Cancelled` immediately (the worker will skip it), a
     /// running one aborts cooperatively and reports through its worker.
-    /// Returns the state *after* the request, or `None` if unknown.
-    pub fn cancel(&self, id: u64) -> Option<JobState> {
+    /// Returns the state *after* the request plus whether *this call*
+    /// made the job terminal (so the caller journals the transition
+    /// exactly once), or `None` if unknown.
+    pub fn cancel(&self, id: u64) -> Option<(JobState, bool)> {
         let mut inner = self.lock();
         let entry = inner.jobs.get_mut(&id)?;
         if entry.state.is_terminal() {
-            return Some(entry.state.clone());
+            return Some((entry.state.clone(), false));
         }
         entry.cancel_requested = true;
         entry.cancel.cancel();
+        let mut newly_terminal = false;
         if entry.state == JobState::Queued {
             entry.state = JobState::Cancelled;
             entry.outcome = Some(Json::Obj(vec![(
@@ -160,12 +238,10 @@ impl JobTable {
                 Json::str("queued"),
             )]));
             inner.finished.push(id);
-            while inner.finished.len() > self.retain {
-                let oldest = inner.finished.remove(0);
-                inner.jobs.remove(&oldest);
-            }
+            inner.evict_excess(self.retain);
+            newly_terminal = true;
         }
-        Some(inner.jobs[&id].state.clone())
+        Some((inner.jobs[&id].state.clone(), newly_terminal))
     }
 
     /// Whether a cancel was requested for `id` (worker-side check).
@@ -182,7 +258,7 @@ impl JobTable {
         inner
             .jobs
             .get(&id)
-            .map(|e| (e.state.clone(), e.submitted, e.spec.label.clone()))
+            .map(|e| (e.state.clone(), e.submitted, e.label.clone()))
     }
 
     /// The outcome body of a terminal job; `None` while pending or when
@@ -212,13 +288,19 @@ mod tests {
     use std::time::Duration;
 
     fn entry(id: u64) -> JobEntry {
+        keyed_entry(id, None)
+    }
+
+    fn keyed_entry(id: u64, key: Option<&str>) -> JobEntry {
         let budget = Budget::unlimited().with_deadline(Duration::from_secs(30));
         let cancel = budget.cancel_handle();
         let spec =
             crate::protocol::parse_submit(r#"{"circuit": "dec", "format": "bench"}"#).unwrap();
         JobEntry {
             id,
-            spec,
+            job_key: key.map(str::to_string),
+            label: spec.label.clone(),
+            spec: Some(spec),
             rung: ServeRung::HeuristicOct,
             admission_degraded: false,
             budget,
@@ -233,23 +315,27 @@ mod tests {
     #[test]
     fn lifecycle_queued_running_done() {
         let t = JobTable::new(8);
-        t.insert(entry(1));
+        assert_eq!(t.insert(entry(1)), Insert::Inserted);
         assert_eq!(t.status(1).unwrap().0, JobState::Queued);
         let claim = t.claim_for_run(1).unwrap();
         assert_eq!(claim.1, ServeRung::HeuristicOct);
         assert_eq!(t.status(1).unwrap().0, JobState::Running);
         assert!(t.outcome(1).is_none());
-        t.finish(1, JobState::Done, Json::Obj(vec![]));
+        assert!(t.finish(1, JobState::Done, Json::Obj(vec![])));
         assert_eq!(t.outcome(1).unwrap().0, JobState::Done);
-        // Claiming a terminal job is refused.
+        // Claiming or re-finishing a terminal job is refused.
         assert!(t.claim_for_run(1).is_none());
+        assert!(!t.finish(1, JobState::Failed, Json::Null));
+        assert_eq!(t.outcome(1).unwrap().0, JobState::Done);
     }
 
     #[test]
     fn queued_cancel_is_immediate_and_skips_the_worker() {
         let t = JobTable::new(8);
         t.insert(entry(1));
-        assert_eq!(t.cancel(1), Some(JobState::Cancelled));
+        assert_eq!(t.cancel(1), Some((JobState::Cancelled, true)));
+        // A second cancel is a no-op, not a second terminal transition.
+        assert_eq!(t.cancel(1), Some((JobState::Cancelled, false)));
         // The budget's cancel flag fired too.
         let (state, _) = t.outcome(1).unwrap();
         assert_eq!(state, JobState::Cancelled);
@@ -262,7 +348,7 @@ mod tests {
         let t = JobTable::new(8);
         t.insert(entry(1));
         let (_, _, _, budget) = t.claim_for_run(1).unwrap();
-        assert_eq!(t.cancel(1), Some(JobState::Running));
+        assert_eq!(t.cancel(1), Some((JobState::Running, false)));
         assert!(budget.is_cancelled());
         assert!(t.cancel_requested(1));
     }
@@ -279,5 +365,66 @@ mod tests {
         assert!(t.outcome(2).is_none());
         assert!(t.outcome(3).is_some());
         assert!(t.outcome(4).is_some());
+    }
+
+    #[test]
+    fn job_keys_dedupe_in_every_state_and_free_on_eviction() {
+        let t = JobTable::new(1);
+        assert_eq!(t.insert(keyed_entry(1, Some("k"))), Insert::Inserted);
+        // Queued, running, and terminal duplicates all resolve to job 1.
+        assert_eq!(t.insert(keyed_entry(2, Some("k"))), Insert::Duplicate(1));
+        t.claim_for_run(1).unwrap();
+        assert_eq!(t.insert(keyed_entry(3, Some("k"))), Insert::Duplicate(1));
+        t.finish(1, JobState::Done, Json::Obj(vec![]));
+        assert_eq!(t.insert(keyed_entry(4, Some("k"))), Insert::Duplicate(1));
+        // Distinct keys and keyless entries are independent.
+        assert_eq!(t.insert(keyed_entry(5, Some("other"))), Insert::Inserted);
+        assert_eq!(t.insert(keyed_entry(6, None)), Insert::Inserted);
+        // Evicting job 1 (retain=1) frees its key for reuse.
+        t.finish(5, JobState::Done, Json::Obj(vec![]));
+        assert!(t.outcome(1).is_none(), "job 1 evicted");
+        assert_eq!(t.insert(keyed_entry(7, Some("k"))), Insert::Inserted);
+    }
+
+    #[test]
+    fn restored_terminal_entries_serve_results_without_a_spec() {
+        let t = JobTable::new(8);
+        let budget = Budget::unlimited();
+        let cancel = budget.cancel_handle();
+        t.insert(JobEntry {
+            id: 9,
+            job_key: Some("k-9".into()),
+            label: "restored".into(),
+            spec: None,
+            rung: ServeRung::ExactMip,
+            admission_degraded: false,
+            budget,
+            cancel,
+            cancel_requested: false,
+            state: JobState::Done,
+            submitted: Instant::now(),
+            outcome: Some(Json::Obj(vec![("rows".into(), Json::Num(4.0))])),
+        });
+        let (state, outcome) = t.outcome(9).unwrap();
+        assert_eq!(state, JobState::Done);
+        assert_eq!(outcome.get("rows").and_then(Json::as_u64), Some(4));
+        assert_eq!(t.status(9).unwrap().2, "restored");
+        assert!(t.claim_for_run(9).is_none());
+        assert_eq!(t.insert(keyed_entry(10, Some("k-9"))), Insert::Duplicate(9));
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Shed,
+        ] {
+            assert_eq!(JobState::parse(s.name()), Some(s));
+        }
+        assert_eq!(JobState::parse("warp"), None);
     }
 }

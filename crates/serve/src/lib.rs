@@ -23,6 +23,11 @@
 //! - **Shared artifact cache**: jobs land on one of N session shards by
 //!   BDD content key, so identical circuits reuse BDD/graph artifacts
 //!   across requests (hit rates exported at `/metrics`).
+//! - **Crash durability** ([`journal`]): with `--journal <dir>`, every
+//!   job lifecycle transition is written ahead to a CRC32-framed,
+//!   segment-rotated log; a restarted server replays it (tolerating a
+//!   torn tail), restores finished results, re-enqueues interrupted
+//!   jobs, and deduplicates resubmission by client-supplied job key.
 //!
 //! Endpoints: `POST /submit`, `GET /status?id=`, `GET /result?id=`,
 //! `POST /cancel`, `GET /metrics`, `GET /healthz`.
@@ -35,6 +40,7 @@ pub mod breaker;
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -43,4 +49,5 @@ pub mod server;
 pub use admission::{Admission, Infeasible, LatencyModel, ServeRung};
 pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use jobs::JobState;
-pub use server::{ServeConfig, Server};
+pub use journal::{Journal, JournalConfig, JournalStats};
+pub use server::{Recovery, ServeConfig, Server};

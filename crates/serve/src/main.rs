@@ -1,11 +1,12 @@
 //! The `flowc-serve` binary: bind the synthesis service, run until
 //! SIGTERM/SIGINT, then drain gracefully.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use flowc_serve::{ServeConfig, Server};
+use flowc_serve::{JournalConfig, ServeConfig, Server};
 
 /// Set by the signal handler; polled by the main loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -50,6 +51,20 @@ OPTIONS:
     --retain <n>          finished jobs retained for /result (default 1024)
     --enable-chaos        honor the `chaos` job field (testing only: a chaos
                           job panics its worker to exercise the supervisor)
+    --journal <dir>       write-ahead job journal: every lifecycle record is
+                          CRC32-framed and fsynced there; on startup the log
+                          is replayed (tolerating a torn tail), finished
+                          results are restored, and interrupted jobs re-run.
+                          Submissions may carry a `job_key` for idempotent
+                          resubmission across crashes.
+    --journal-segment <n> records per journal segment before rotation
+                          (default 1024)
+    --journal-segments <n> sealed segments kept before compaction into the
+                          snapshot (default 4)
+    --journal-sync-batch <n> lazy records buffered between fsyncs (default 8;
+                          admissions and terminal records always sync)
+    --port-file <path>    write the actual bound port to <path> after bind
+                          (for harnesses using --addr with port 0)
     -h, --help            print this help
 
 ENDPOINTS:
@@ -72,6 +87,7 @@ EXIT CODES (flowc convention: 0 ok, 2 valid-but-degraded, 1 hard failure):
 
 struct Args {
     config: ServeConfig,
+    port_file: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
@@ -79,6 +95,10 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
         addr: "127.0.0.1:7878".into(),
         ..ServeConfig::default()
     };
+    let mut port_file = None;
+    let mut journal_segment = None;
+    let mut journal_segments = None;
+    let mut journal_sync_batch = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut take = |name: &str| {
@@ -118,10 +138,56 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
                     .map_err(|_| "--retain needs an integer".to_string())?;
             }
             "--enable-chaos" => config.enable_chaos = true,
+            "--journal" => {
+                config.journal = Some(JournalConfig::new(take("--journal")?));
+            }
+            "--journal-segment" => {
+                journal_segment = Some(
+                    take("--journal-segment")?
+                        .parse::<usize>()
+                        .map_err(|_| "--journal-segment needs an integer".to_string())?,
+                );
+            }
+            "--journal-segments" => {
+                journal_segments = Some(
+                    take("--journal-segments")?
+                        .parse::<usize>()
+                        .map_err(|_| "--journal-segments needs an integer".to_string())?,
+                );
+            }
+            "--journal-sync-batch" => {
+                journal_sync_batch = Some(
+                    take("--journal-sync-batch")?
+                        .parse::<usize>()
+                        .map_err(|_| "--journal-sync-batch needs an integer".to_string())?,
+                );
+            }
+            "--port-file" => port_file = Some(PathBuf::from(take("--port-file")?)),
             other => return Err(format!("unknown flag `{other}` (see --help)")),
         }
     }
-    Ok(Some(Args { config }))
+    match &mut config.journal {
+        Some(journal) => {
+            if let Some(n) = journal_segment {
+                journal.segment_max_records = n.max(1);
+            }
+            if let Some(n) = journal_segments {
+                journal.max_segments = n.max(1);
+            }
+            if let Some(n) = journal_sync_batch {
+                journal.sync_batch = n.max(1);
+            }
+            journal.retain = config.retain;
+        }
+        None if journal_segment.is_some()
+            || journal_segments.is_some()
+            || journal_sync_batch.is_some() =>
+        {
+            return Err("--journal-* tuning flags need --journal <dir>".into());
+        }
+        None => {}
+    }
+    Ok(Some(Args { config, port_file }))
 }
 
 fn main() -> ExitCode {
@@ -139,11 +205,36 @@ fn main() -> ExitCode {
     let server = match Server::start(args.config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("flowc-serve: bind failed: {e}");
+            eprintln!("flowc-serve: startup failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     println!("flowc-serve listening on {}", server.addr());
+    if let Some(recovery) = server.recovery() {
+        println!(
+            "flowc-serve: journal replayed {} records: {} results restored, \
+             {} jobs re-enqueued, {} failed replay, {} shed \
+             (torn tails truncated: {}, checksum failures: {})",
+            recovery.journal.records_replayed,
+            recovery.restored_terminal,
+            recovery.requeued,
+            recovery.failed_replay,
+            recovery.shed_on_recovery,
+            recovery.journal.torn_tail_truncations,
+            recovery.journal.checksum_failures,
+        );
+    }
+    if let Some(path) = &args.port_file {
+        // Atomic so a polling harness never reads a half-written port.
+        if let Err(e) = flowc_report::write_atomic(path, &server.addr().port().to_string()) {
+            eprintln!(
+                "flowc-serve: could not write --port-file {}: {e}",
+                path.display()
+            );
+            server.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
 
     while !SHUTDOWN.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(50));

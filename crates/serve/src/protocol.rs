@@ -57,6 +57,10 @@ pub struct SubmitSpec {
     /// Chaos directive (only honored when the server enables chaos):
     /// `"panic-worker"` kills the worker thread mid-job.
     pub chaos: Option<String>,
+    /// Client-supplied idempotency key: resubmitting the same key
+    /// returns the existing job instead of running a second one — also
+    /// across a crash/restart when the journal is enabled.
+    pub job_key: Option<String>,
 }
 
 /// Parses and validates a `POST /submit` body.
@@ -121,6 +125,16 @@ pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
         }
     };
     let chaos = json.get("chaos").and_then(Json::as_str).map(str::to_string);
+    let job_key = match json.get("job_key") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let key = v.as_str().ok_or("`job_key` must be a string")?;
+            if key.is_empty() || key.len() > 128 {
+                return Err("`job_key` must be 1..=128 bytes".into());
+            }
+            Some(key.to_string())
+        }
+    };
     let label = json
         .get("label")
         .and_then(Json::as_str)
@@ -135,6 +149,7 @@ pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
         deadline: Duration::from_millis(deadline_ms),
         priority,
         chaos,
+        job_key,
     })
 }
 
@@ -165,6 +180,20 @@ mod tests {
         assert_eq!(spec.priority, 0);
         assert!((spec.gamma - 0.5).abs() < 1e-9);
         assert!(spec.network.num_inputs() > 0);
+        assert_eq!(spec.job_key, None);
+    }
+
+    #[test]
+    fn job_keys_parse_and_validate() {
+        let spec =
+            parse_submit(r#"{"circuit": "dec", "format": "bench", "job_key": "run-7"}"#).unwrap();
+        assert_eq!(spec.job_key.as_deref(), Some("run-7"));
+        for bad in [
+            r#"{"circuit": "dec", "format": "bench", "job_key": 7}"#,
+            r#"{"circuit": "dec", "format": "bench", "job_key": ""}"#,
+        ] {
+            assert!(parse_submit(bad).unwrap_err().contains("job_key"), "{bad}");
+        }
     }
 
     #[test]

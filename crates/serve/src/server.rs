@@ -31,7 +31,8 @@ use flowc_report::Json;
 use crate::admission::{LatencyModel, ServeRung};
 use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::http::{read_request, write_response, Request};
-use crate::jobs::{JobEntry, JobState, JobTable};
+use crate::jobs::{Insert, JobEntry, JobState, JobTable};
+use crate::journal::{Journal, JournalConfig, JournalStats, Record};
 use crate::metrics::Metrics;
 use crate::protocol::{error_json, parse_submit};
 use crate::queue::{JobQueue, QueuedJob};
@@ -56,6 +57,10 @@ pub struct ServeConfig {
     pub enable_chaos: bool,
     /// Circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Write-ahead journal: `Some` makes every job lifecycle durable and
+    /// replays it on startup. `None` (the default) keeps the PR-5
+    /// memory-only behavior.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -69,8 +74,24 @@ impl Default for ServeConfig {
             retain: 1024,
             enable_chaos: false,
             breaker: BreakerConfig::default(),
+            journal: None,
         }
     }
+}
+
+/// What startup recovery did (populated only when the journal is on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Recovery {
+    /// Terminal jobs restored with their outcomes for result pickup.
+    pub restored_terminal: usize,
+    /// Interrupted (queued/running) jobs re-enqueued for execution.
+    pub requeued: usize,
+    /// Replayed jobs whose submit body no longer parses (failed typed).
+    pub failed_replay: usize,
+    /// Replayed jobs shed because the queue filled during recovery.
+    pub shed_on_recovery: usize,
+    /// Journal replay counters (torn tails, checksum failures, records).
+    pub journal: JournalStats,
 }
 
 /// Which worker is running which job (crash attribution).
@@ -92,6 +113,25 @@ struct ServerInner {
     slots: Vec<WorkerSlot>,
     shutdown: AtomicBool,
     next_id: AtomicU64,
+    journal: Option<Journal>,
+    recovery: Option<Recovery>,
+}
+
+/// Terminal transition + journal append, in that order (the journal is
+/// a lower bound on in-memory state). Returns whether this call made
+/// the transition; duplicates journal nothing.
+fn finish_job(inner: &ServerInner, id: u64, state: JobState, outcome: Json) -> bool {
+    let newly = inner.jobs.finish(id, state.clone(), outcome.clone());
+    if newly {
+        if let Some(journal) = &inner.journal {
+            journal.append(&Record::Terminal {
+                id,
+                state: state.name().into(),
+                outcome,
+            });
+        }
+    }
+    newly
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] aborts the
@@ -116,10 +156,19 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let shards = config.session_shards.max(1);
+        // With a journal directory, labelings also persist to disk (CRC32
+        // enveloped), so cached artifacts survive the same crashes the
+        // journal recovers jobs from. Shards share one directory safely:
+        // entries are content-keyed and written atomically.
+        let disk_cache = config
+            .journal
+            .as_ref()
+            .map(|journal| journal.dir.join("cache"));
         let sessions = (0..shards)
             .map(|_| {
                 Arc::new(Session::new(SessionConfig {
                     cache_capacity: config.cache_capacity,
+                    disk_cache: disk_cache.clone(),
                     ..SessionConfig::default()
                 }))
             })
@@ -127,16 +176,40 @@ impl Server {
         let slots = (0..config.workers.max(1))
             .map(|_| WorkerSlot::default())
             .collect();
+
+        // Journal replay happens before any thread exists: the table and
+        // queue are rebuilt single-threaded, then serving starts.
+        let queue = JobQueue::new(config.queue_capacity);
+        let jobs = JobTable::new(config.retain);
+        let mut next_id = 1u64;
+        let mut journal = None;
+        let mut recovery = None;
+        if let Some(journal_config) = &config.journal {
+            let (j, replay) = Journal::open(journal_config.clone())?;
+            next_id = replay.next_id.max(1);
+            let mut summary = Recovery {
+                journal: replay.stats,
+                ..Recovery::default()
+            };
+            for job in replay.jobs {
+                restore_job(&jobs, &queue, &j, job, &mut summary);
+            }
+            journal = Some(j);
+            recovery = Some(summary);
+        }
+
         let inner = Arc::new(ServerInner {
-            queue: JobQueue::new(config.queue_capacity),
-            jobs: JobTable::new(config.retain),
+            queue,
+            jobs,
             sessions,
             metrics: Mutex::new(Metrics::default()),
             model: Mutex::new(LatencyModel::default()),
             breaker: Mutex::new(Breaker::new(config.breaker.clone())),
             slots,
             shutdown: AtomicBool::new(false),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
+            journal,
+            recovery,
             config,
         });
 
@@ -168,6 +241,11 @@ impl Server {
         self.addr
     }
 
+    /// What startup recovery restored (`None` without a journal).
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.inner.recovery
+    }
+
     /// Requests a graceful shutdown: stop accepting, shed unstarted jobs,
     /// let running jobs finish. Returns immediately; [`Server::join`]
     /// waits for the drain.
@@ -176,9 +254,9 @@ impl Server {
             return;
         }
         let shed = self.inner.queue.close();
-        let mut metrics = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
         for q in &shed {
-            self.inner.jobs.finish(
+            finish_job(
+                &self.inner,
                 q.id,
                 JobState::Shed,
                 error_json(
@@ -187,8 +265,9 @@ impl Server {
                     None,
                 ),
             );
-            metrics.counters.shed_shutdown += 1;
         }
+        let mut metrics = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.shed_shutdown += shed.len() as u64;
     }
 
     /// Waits for the acceptor, workers, and supervisor to exit. Call
@@ -206,6 +285,114 @@ impl Server {
     pub fn shutdown(self) {
         self.request_shutdown();
         self.join();
+    }
+}
+
+/// Rebuilds one replayed job. Terminal jobs come back spec-less with
+/// their outcomes; interrupted jobs re-parse their original submit body
+/// and re-enter the queue with a fresh full deadline (at-least-once:
+/// a job that was `running` when the server died runs again).
+fn restore_job(
+    jobs: &JobTable,
+    queue: &JobQueue,
+    journal: &Journal,
+    job: crate::journal::JobRecord,
+    summary: &mut Recovery,
+) {
+    let id = job.id;
+    let rung = ServeRung::parse(&job.rung).unwrap_or(ServeRung::ExactMip);
+    if job.is_terminal() {
+        let budget = Budget::unlimited();
+        let cancel = budget.cancel_handle();
+        jobs.insert(JobEntry {
+            id,
+            job_key: job.key,
+            label: job.label,
+            spec: None,
+            rung,
+            admission_degraded: job.degraded,
+            budget,
+            cancel,
+            cancel_requested: false,
+            state: JobState::parse(&job.state).unwrap_or(JobState::Failed),
+            submitted: Instant::now(),
+            outcome: Some(job.outcome.unwrap_or(Json::Null)),
+        });
+        summary.restored_terminal += 1;
+        return;
+    }
+    let spec = match parse_submit(&job.body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            // The body journaled at admission no longer parses — only
+            // possible through corruption or a wire-format change. Fail
+            // it typed rather than dropping the id on the floor.
+            let budget = Budget::unlimited();
+            let cancel = budget.cancel_handle();
+            jobs.insert(JobEntry {
+                id,
+                job_key: job.key,
+                label: job.label,
+                spec: None,
+                rung,
+                admission_degraded: job.degraded,
+                budget,
+                cancel,
+                cancel_requested: false,
+                state: JobState::Queued,
+                submitted: Instant::now(),
+                outcome: None,
+            });
+            let outcome = error_json(
+                "replay_failed",
+                &format!("journaled submit body no longer parses: {msg}"),
+                None,
+            );
+            jobs.finish(id, JobState::Failed, outcome.clone());
+            journal.append(&Record::Terminal {
+                id,
+                state: JobState::Failed.name().into(),
+                outcome,
+            });
+            summary.failed_replay += 1;
+            return;
+        }
+    };
+    let budget = Budget::unlimited().with_deadline(spec.deadline);
+    let cancel = budget.cancel_handle();
+    let priority = job.priority;
+    jobs.insert(JobEntry {
+        id,
+        job_key: job.key,
+        label: job.label,
+        spec: Some(spec),
+        rung,
+        admission_degraded: job.degraded,
+        budget,
+        cancel,
+        cancel_requested: false,
+        state: JobState::Queued,
+        submitted: Instant::now(),
+        outcome: None,
+    });
+    if queue
+        .push(QueuedJob {
+            priority,
+            seq: id,
+            id,
+        })
+        .is_err()
+    {
+        let outcome = error_json("queue_full", "queue filled during crash recovery", None);
+        jobs.finish(id, JobState::Shed, outcome.clone());
+        journal.append(&Record::Terminal {
+            id,
+            state: JobState::Shed.name().into(),
+            outcome,
+        });
+        summary.shed_on_recovery += 1;
+    } else {
+        summary.requeued += 1;
     }
 }
 
@@ -383,9 +570,13 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
     let cancel = budget.cancel_handle();
     let priority = spec.priority;
     let requested = spec.rung;
-    inner.jobs.insert(JobEntry {
+    let job_key = spec.job_key.clone();
+    let label = spec.label.clone();
+    match inner.jobs.insert(JobEntry {
         id,
-        spec,
+        job_key: job_key.clone(),
+        label: label.clone(),
+        spec: Some(spec),
         rung: admission.rung,
         admission_degraded: admission.degraded,
         budget,
@@ -394,7 +585,41 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
         state: JobState::Queued,
         submitted: now,
         outcome: None,
-    });
+    }) {
+        Insert::Inserted => {}
+        // Idempotent resubmission: the key already names a job (possibly
+        // restored from the journal after a crash) — hand that one back
+        // instead of running the work twice.
+        Insert::Duplicate(existing) => {
+            let state = inner
+                .jobs
+                .status(existing)
+                .map_or_else(|| "unknown".into(), |(s, _, _)| s.name().to_string());
+            return (
+                200,
+                Json::Obj(vec![
+                    ("id".into(), Json::Num(existing as f64)),
+                    ("state".into(), Json::str(state)),
+                    ("duplicate".into(), Json::Bool(true)),
+                ]),
+            );
+        }
+    }
+    // Journal the admission *before* the queue push: once a worker can
+    // see the job, the journal already covers it (records replay
+    // idempotently, so the harmless reverse orderings don't matter, but
+    // a journaled-then-shed job must never become a popped-then-lost one).
+    if let Some(journal) = &inner.journal {
+        journal.append(&Record::Admitted {
+            id,
+            key: job_key,
+            body: body.to_string(),
+            label,
+            rung: admission.rung.name().into(),
+            degraded: admission.degraded,
+            priority,
+        });
+    }
     if inner
         .queue
         .push(QueuedJob {
@@ -405,7 +630,8 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
         .is_err()
     {
         // Lost the race between the depth check and the push.
-        inner.jobs.finish(
+        finish_job(
+            inner,
             id,
             JobState::Shed,
             error_json("queue_full", "queue filled during admission", None),
@@ -499,10 +725,26 @@ fn cancel(inner: &Arc<ServerInner>, id: u64) -> (u16, Json) {
             404,
             error_json("not_found", "unknown or evicted job id", None),
         ),
-        Some(state) => {
-            if state == JobState::Cancelled {
-                let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
-                metrics.counters.cancelled += 1;
+        Some((state, newly_terminal)) => {
+            // Only the call that actually performed the queued-cancel
+            // counts and journals it; repeats and running-cancels don't
+            // (the latter reach their terminal state through the worker).
+            if newly_terminal {
+                {
+                    let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    metrics.counters.cancelled += 1;
+                }
+                if let Some(journal) = &inner.journal {
+                    let outcome = inner
+                        .jobs
+                        .outcome(id)
+                        .map_or(Json::Null, |(_, outcome)| outcome);
+                    journal.append(&Record::Terminal {
+                        id,
+                        state: JobState::Cancelled.name().into(),
+                        outcome,
+                    });
+                }
             }
             (
                 200,
@@ -530,6 +772,8 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
     let mut misses = 0usize;
     let mut entries = 0usize;
     let mut evicted = 0usize;
+    let mut disk_hits = 0usize;
+    let mut disk_corrupt = 0usize;
     let mut stages: Vec<(String, Json)> = Vec::new();
     let mut per_stage: Vec<(StageKind, usize, usize, usize, Duration)> = StageKind::all()
         .into_iter()
@@ -548,6 +792,8 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
         misses += stats.misses;
         entries += stats.entries;
         evicted += stats.evicted;
+        disk_hits += stats.disk_hits;
+        disk_corrupt += stats.disk_corrupt;
         let trace = session.trace();
         for (kind, runs, builds, cache_hits, wall) in &mut per_stage {
             *runs += trace.runs(*kind);
@@ -587,7 +833,7 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
         hits as f64 / cache_total as f64
     };
 
-    let extra = vec![
+    let mut extra = vec![
         ("queue_depth".into(), Json::int(inner.queue.depth())),
         ("queue_capacity".into(), Json::int(inner.queue.capacity())),
         ("live_jobs".into(), Json::int(inner.jobs.live_count())),
@@ -602,6 +848,8 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
                 ("entries".into(), Json::int(entries)),
                 ("evicted".into(), Json::int(evicted)),
                 ("hit_rate".into(), Json::Num(hit_rate)),
+                ("disk_hits".into(), Json::int(disk_hits)),
+                ("disk_corrupt".into(), Json::int(disk_corrupt)),
             ]),
         ),
         ("stages".into(), Json::Obj(stages)),
@@ -616,6 +864,44 @@ fn metrics_json(inner: &Arc<ServerInner>) -> Json {
             ]),
         ),
     ];
+    if let Some(journal) = &inner.journal {
+        let s = journal.stats();
+        let recovery = inner.recovery.unwrap_or_default();
+        extra.push((
+            "journal".into(),
+            Json::Obj(vec![
+                (
+                    "records_appended".into(),
+                    Json::Num(s.records_appended as f64),
+                ),
+                (
+                    "records_replayed".into(),
+                    Json::Num(s.records_replayed as f64),
+                ),
+                (
+                    "torn_tail_truncations".into(),
+                    Json::Num(s.torn_tail_truncations as f64),
+                ),
+                (
+                    "checksum_failures".into(),
+                    Json::Num(s.checksum_failures as f64),
+                ),
+                ("rotations".into(), Json::Num(s.rotations as f64)),
+                ("compactions".into(), Json::Num(s.compactions as f64)),
+                ("append_errors".into(), Json::Num(s.append_errors as f64)),
+                (
+                    "restored_terminal".into(),
+                    Json::int(recovery.restored_terminal),
+                ),
+                ("requeued".into(), Json::int(recovery.requeued)),
+                ("failed_replay".into(), Json::int(recovery.failed_replay)),
+                (
+                    "shed_on_recovery".into(),
+                    Json::int(recovery.shed_on_recovery),
+                ),
+            ]),
+        ));
+    }
     let metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
     metrics.to_json(extra)
 }
@@ -633,6 +919,9 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
             .current
             .lock()
             .unwrap_or_else(|e| e.into_inner()) = Some(queued.id);
+        if let Some(journal) = &inner.journal {
+            journal.append(&Record::Started { id: queued.id });
+        }
 
         // Chaos hooks (opt-in, test/CI only): `panic-worker` kills this
         // worker mid-job to exercise the supervisor's crash containment
@@ -705,7 +994,7 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
                 } else {
                     JobState::Done
                 };
-                inner.jobs.finish(queued.id, state, body);
+                finish_job(inner, queued.id, state, body);
                 {
                     let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
                     metrics.observe("job", wall);
@@ -742,7 +1031,8 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
             // BDD build): the client asked for this, so it is a cancelled
             // job, not a service failure.
             Err(flowc_compact::CompactError::Cancelled) => {
-                inner.jobs.finish(
+                finish_job(
+                    inner,
                     queued.id,
                     JobState::Cancelled,
                     Json::Obj(vec![
@@ -761,7 +1051,8 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
                     .record(true, Instant::now());
             }
             Err(e) => {
-                inner.jobs.finish(
+                finish_job(
+                    inner,
                     queued.id,
                     JobState::Failed,
                     error_json("synthesis_failed", &e.to_string(), None),
@@ -843,7 +1134,8 @@ fn supervise(inner: &Arc<ServerInner>) {
                 .unwrap_or_else(|e| e.into_inner())
                 .take();
             if let Some(job_id) = in_flight {
-                inner.jobs.finish(
+                finish_job(
+                    inner,
                     job_id,
                     JobState::Failed,
                     error_json(

@@ -3,79 +3,13 @@
 //! never unbounded queueing; worker crashes contained and repaired;
 //! cancellation honored mid-flight; `/metrics` reflecting all of it.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use flowc_report::Json;
 use flowc_serve::{BreakerConfig, ServeConfig, Server};
 
-/// One HTTP exchange against the server (connection-per-request, exactly
-/// like the service's own `Connection: close` contract).
-fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
-    let mut s = TcpStream::connect(addr).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    s.write_all(req.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    s.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
-        .split_whitespace()
-        .nth(1)
-        .expect("status line")
-        .parse()
-        .expect("status code");
-    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
-    let json = if body.is_empty() {
-        Json::Null
-    } else {
-        Json::parse(body).unwrap_or_else(|e| panic!("bad response JSON ({e}): {body}"))
-    };
-    (status, json)
-}
-
-fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
-    call(addr, "POST", "/submit", body)
-}
-
-/// Polls `/status` until the job reaches a terminal state; panics on
-/// timeout. Returns the terminal state name.
-fn await_terminal(addr: SocketAddr, id: u64, timeout: Duration) -> String {
-    let deadline = Instant::now() + timeout;
-    loop {
-        let (status, json) = call(addr, "GET", &format!("/status?id={id}"), "");
-        assert_eq!(status, 200, "status for {id}: {}", json.to_compact());
-        let state = json
-            .get("state")
-            .and_then(Json::as_str)
-            .unwrap()
-            .to_string();
-        if !matches!(state.as_str(), "queued" | "running") {
-            return state;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "job {id} still `{state}` after {timeout:?}"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
-}
-
-fn metrics(addr: SocketAddr) -> Json {
-    let (status, json) = call(addr, "GET", "/metrics", "");
-    assert_eq!(status, 200);
-    json
-}
-
-fn counter(m: &Json, name: &str) -> u64 {
-    m.get("counters")
-        .and_then(|c| c.get(name))
-        .and_then(Json::as_u64)
-        .unwrap_or_else(|| panic!("missing counter {name}: {}", m.to_compact()))
-}
+mod common;
+use common::{await_terminal, call, counter, metrics, submit};
 
 /// Overload: a stalled worker plus a tiny queue. Every submission gets a
 /// typed answer (accept / queue_full / breaker_open) with retry hints,

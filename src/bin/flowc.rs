@@ -508,7 +508,9 @@ SYNTHESIS OPTIONS (synth/bench):
 REMOTE (client for a running flowc-serve):
     flowc remote submit <circuit file | bench:<name>> [--server <addr>]
           [--gamma g] [--strategy s] [--deadline secs] [--priority 0..9]
-          [--label text] [--wait]
+          [--label text] [--job-key key] [--wait]
+          (--job-key makes resubmission idempotent on a journaled server:
+           a key the server has seen returns the original job id)
     flowc remote status <id> | result <id> | cancel <id> | metrics
           [--server <addr>]          (default server 127.0.0.1:7878)
 
@@ -531,6 +533,7 @@ struct RemoteOptions {
     deadline: Option<Duration>,
     priority: Option<u64>,
     label: Option<String>,
+    job_key: Option<String>,
     wait: bool,
     positional: Vec<String>,
 }
@@ -544,6 +547,7 @@ impl RemoteOptions {
             deadline: None,
             priority: None,
             label: None,
+            job_key: None,
             wait: false,
             positional: Vec::new(),
         };
@@ -581,6 +585,7 @@ impl RemoteOptions {
                     )
                 }
                 "--label" => opts.label = Some(value("--label")?),
+                "--job-key" => opts.job_key = Some(value("--job-key")?),
                 "--wait" => opts.wait = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`"))
@@ -641,6 +646,9 @@ fn submit_body(target: &str, opts: &RemoteOptions) -> Result<String, String> {
     if let Some(l) = &opts.label {
         fields.push(("label".to_string(), Json::str(l.as_str())));
     }
+    if let Some(k) = &opts.job_key {
+        fields.push(("job_key".to_string(), Json::str(k.as_str())));
+    }
     Ok(Json::Obj(fields).to_compact())
 }
 
@@ -669,6 +677,9 @@ fn remote(action: &str, args: &[String]) -> Result<bool, String> {
                 .ok_or("server response is missing `id`")?;
             let degraded_admission = resp.get("degraded").and_then(Json::as_bool) == Some(true);
             println!("id         : {id}");
+            if resp.get("duplicate").and_then(Json::as_bool) == Some(true) {
+                println!("duplicate  : job key already submitted; this is the original job");
+            }
             if let Some(rung) = resp.get("rung").and_then(Json::as_str) {
                 println!(
                     "rung       : {rung}{}",
