@@ -4,6 +4,7 @@
 //! ```text
 //! bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...]
 //!                 [--threads N] [--out PATH] [--baseline PATH]
+//!                 [--edits N] [--edit-benchmark NAME]
 //! ```
 //!
 //! For each benchmark the sweep runs twice: *cold* (a fresh session per γ
@@ -20,6 +21,14 @@
 //! committed result file: the cached sweep's `vh-label` wall must not
 //! regress more than 20% (plus a 250ms noise floor, so sub-second walls
 //! don't flake CI on timer jitter).
+//!
+//! The run closes with an *edit-replay* benchmark (DESIGN.md §15): a
+//! fixed-seed stream of `--edits` netlist edits against one benchmark,
+//! replayed through an [`EditSession`] and, separately, as a fresh cold
+//! synthesis after every edit. The incremental contract is gated: the
+//! session must beat per-edit cold re-synthesis by ≥3× wall-clock with
+//! more than half the edits resolved above the cold rung (cache hit,
+//! permutation repair, or warm start). `--edits 0` skips the replay.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -27,11 +36,17 @@ use std::time::Duration;
 
 use flowc_bench::report::{self, Json};
 use flowc_bench::{build_network, time_limit};
-use flowc_budget::Stopwatch;
+use flowc_budget::{Budget, Stopwatch};
 use flowc_compact::{
-    gamma_sweep_tasks, synthesize_batch, BatchConfig, Session, StageKind, StageTrace,
+    gamma_sweep_tasks, synthesize_batch, synthesize_in_budgeted, BatchConfig, Config, EditSession,
+    EditSessionConfig, EditableNetlist, Session, StageKind, StageTrace,
 };
+use flowc_conform::{EditStreamGen, Rng};
 use flowc_logic::bench_suite;
+
+/// Fixed seed for the edit-replay stream: the same edits every run, so
+/// the ≥3× gate measures the repair ladder, not generator luck.
+const EDIT_REPLAY_SEED: u64 = 0xED17_57A6;
 
 struct Options {
     benchmarks: Vec<String>,
@@ -39,12 +54,15 @@ struct Options {
     threads: usize,
     out: std::path::PathBuf,
     baseline: Option<std::path::PathBuf>,
+    edits: usize,
+    edit_benchmark: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...] \
-         [--threads N] [--out PATH] [--baseline PATH]"
+         [--threads N] [--out PATH] [--baseline PATH] \
+         [--edits N] [--edit-benchmark NAME]"
     );
     exit(1);
 }
@@ -58,6 +76,8 @@ fn parse_options() -> Options {
         threads: 4,
         out: std::path::PathBuf::from("results/BENCH_synthesis.json"),
         baseline: None,
+        edits: 50,
+        edit_benchmark: "int2float".into(),
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -94,6 +114,12 @@ fn parse_options() -> Options {
             }
             "--out" => opts.out = value(&mut args, "--out").into(),
             "--baseline" => opts.baseline = Some(value(&mut args, "--baseline").into()),
+            "--edits" => {
+                opts.edits = value(&mut args, "--edits")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--edit-benchmark" => opts.edit_benchmark = value(&mut args, "--edit-benchmark"),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -136,6 +162,134 @@ fn stage_json(trace: &StageTrace) -> Json {
             })
             .collect(),
     )
+}
+
+/// The edit-replay benchmark: a fixed-seed stream of edits against one
+/// benchmark circuit, replayed twice — once through a single
+/// [`EditSession`] (the repair ladder carries state across edits), once
+/// as a fresh cold synthesis of the materialized netlist after every
+/// edit. Every solve runs under the per-point time budget, so a stream
+/// that lands on a pathological netlist fails loudly instead of hanging
+/// the harness. Returns the result row and whether a gate failed.
+fn edit_replay(opts: &Options, budget: Duration) -> (Json, bool) {
+    let Some(b) = bench_suite::by_name(&opts.edit_benchmark) else {
+        eprintln!("unknown edit-replay benchmark {:?}", opts.edit_benchmark);
+        exit(1);
+    };
+    let base = build_network(&b);
+    let gen = EditStreamGen {
+        edits: opts.edits,
+        ..EditStreamGen::default()
+    };
+    let mut rng = Rng::new(EDIT_REPLAY_SEED);
+    let case = gen.replay_for(base, &mut rng);
+    let config = Config::default();
+    let mut failed = false;
+
+    // Incremental: one session carries the whole stream.
+    let inc_sw = Stopwatch::unbudgeted();
+    let mut session = match EditSession::new(
+        &case.base,
+        EditSessionConfig {
+            synthesis: config.clone(),
+            ..EditSessionConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: edit-replay base synthesis failed: {e}", b.name);
+            exit(1);
+        }
+    };
+    for edit in &case.edits {
+        let per_edit = Budget::unlimited().with_deadline(budget);
+        if let Err(e) = session.apply_budgeted(edit, &per_edit) {
+            eprintln!("{}: edit replay refused `{edit}`: {e}", b.name);
+            failed = true;
+        }
+    }
+    let inc_wall = inc_sw.elapsed();
+    let stats = session.stats();
+
+    // Cold: a from-scratch synthesis of the materialized netlist after
+    // every edit — what a caller without the session would pay.
+    let cold_sw = Stopwatch::unbudgeted();
+    let mut shadow = EditableNetlist::from_network(&case.base);
+    let cold_solve = |net: &flowc_logic::Network| {
+        let per_edit = Budget::unlimited().with_deadline(budget);
+        synthesize_in_budgeted(&Session::default(), net, &config, &per_edit)
+            .map_err(|e| e.to_string())
+    };
+    if let Err(e) = cold_solve(&case.base) {
+        eprintln!("{}: cold base synthesis failed: {e}", b.name);
+        failed = true;
+    }
+    for edit in &case.edits {
+        if shadow.apply(edit).is_err() {
+            continue; // the session refused it too (counted above)
+        }
+        let result = shadow
+            .materialize()
+            .map_err(|e| e.to_string())
+            .and_then(|net| cold_solve(&net));
+        if let Err(e) = result {
+            eprintln!("{}: cold synthesis after `{edit}` failed: {e}", b.name);
+            failed = true;
+        }
+    }
+    let cold_wall = cold_sw.elapsed();
+
+    let resolved = stats.hits + stats.repairs + stats.warm_starts;
+    let speedup = cold_wall.as_secs_f64() / inc_wall.as_secs_f64().max(1e-9);
+    println!(
+        "edit-replay {:<11} {} edits: incremental {:>8.3}s vs cold {:>8.3}s \
+         (speedup {speedup:.2}) — {} hit / {} repaired / {} warm / {} cold",
+        b.name,
+        case.edits.len(),
+        inc_wall.as_secs_f64(),
+        cold_wall.as_secs_f64(),
+        stats.hits,
+        stats.repairs,
+        stats.warm_starts,
+        stats.cold_solves,
+    );
+    if speedup < 3.0 {
+        eprintln!(
+            "{}: edit replay speedup below the 3x gate ({:.3}s incremental vs {:.3}s cold, {speedup:.2}x)",
+            b.name,
+            inc_wall.as_secs_f64(),
+            cold_wall.as_secs_f64()
+        );
+        failed = true;
+    }
+    if resolved * 2 <= case.edits.len() {
+        eprintln!(
+            "{}: only {resolved}/{} edits resolved above the cold rung",
+            b.name,
+            case.edits.len()
+        );
+        failed = true;
+    }
+    let row = Json::Obj(vec![
+        ("benchmark".into(), Json::str(b.name)),
+        ("seed".into(), Json::Num(EDIT_REPLAY_SEED as f64)),
+        ("edits".into(), Json::int(case.edits.len())),
+        (
+            "incremental_wall_s".into(),
+            Json::Num(inc_wall.as_secs_f64()),
+        ),
+        ("cold_wall_s".into(), Json::Num(cold_wall.as_secs_f64())),
+        ("speedup".into(), Json::Num(speedup)),
+        ("hits".into(), Json::int(stats.hits)),
+        ("repairs".into(), Json::int(stats.repairs)),
+        ("warm_starts".into(), Json::int(stats.warm_starts)),
+        ("cold_solves".into(), Json::int(stats.cold_solves)),
+        (
+            "outputs_invalidated".into(),
+            Json::int(stats.outputs_invalidated),
+        ),
+    ]);
+    (row, failed)
 }
 
 fn main() {
@@ -279,6 +433,12 @@ fn main() {
             ),
         ]));
     }
+    let (edit_replay_row, replay_failed) = if opts.edits > 0 {
+        edit_replay(&opts, budget)
+    } else {
+        (Json::Null, false)
+    };
+    failed = failed || replay_failed;
     let json = Json::Obj(vec![
         (
             "gammas".into(),
@@ -287,6 +447,7 @@ fn main() {
         ("threads".into(), Json::int(opts.threads)),
         ("time_limit_secs".into(), Json::Num(budget.as_secs_f64())),
         ("benchmarks".into(), Json::Arr(rows)),
+        ("edit_replay".into(), edit_replay_row),
     ]);
     if let Err(e) = report::write_json(&opts.out, &json) {
         eprintln!("writing {}: {e}", opts.out.display());

@@ -44,6 +44,7 @@
 pub mod balance;
 pub mod constrained;
 pub mod formal;
+pub mod incremental;
 pub mod labeling;
 pub mod mapping;
 pub mod mip_method;
@@ -58,6 +59,10 @@ pub mod supervisor;
 
 pub use constrained::{synthesize_constrained, ConstraintError, SizeLimits};
 pub use formal::{verify_symbolic, SymbolicReport};
+pub use incremental::{
+    parse_edit, parse_edit_script, repair_labeling, EditError, EditOutcome, EditResolution,
+    EditSession, EditSessionConfig, EditableNetlist, IncrementalStats, NetlistEdit,
+};
 pub use labeling::{Labeling, LabelingStats, VhLabel};
 pub use pipeline::{synthesize, CompactError, CompactResult, Config, VhStrategy};
 pub use preprocess::BddGraph;

@@ -1,0 +1,280 @@
+//! `incremental-fuzz` — the incremental-vs-cold differential edit-stream
+//! fuzzer.
+//!
+//! Generates a base network plus a stream of netlist edits, replays the
+//! stream through a `flowc_compact::EditSession`, and after *every* edit
+//! checks the incrementally-maintained design against a cold synthesis of
+//! the same netlist: same optimality verdict, same semiperimeter, same
+//! functional behavior. On the first divergence the edit stream is shrunk
+//! to a minimal failing prefix and persisted (seed + `.edits` file) into
+//! the incremental regression corpus, which replays before fresh cases.
+//!
+//! Exit codes match `conform-fuzz`: 0 = clean (including a clean deadline
+//! exit), 1 = divergence found (counterexample persisted), 2 = usage
+//! error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use flowc_budget::Budget;
+use flowc_conform::corpus::Corpus;
+use flowc_conform::editstream::{
+    check_edit_stream, load_edit_cases, persist_edit_case, shrink_edit_case, EditCase,
+    EditCheckConfig, EditStreamFailure, EditStreamGen,
+};
+use flowc_conform::gen::NetworkGen;
+use flowc_conform::rng::{splitmix64, Rng};
+
+/// The corpus test-name under which this binary persists and replays.
+const TEST_NAME: &str = "incremental-fuzz";
+
+#[derive(Debug)]
+struct Options {
+    cases: usize,
+    deadline: Duration,
+    seed: u64,
+    corpus: std::path::PathBuf,
+    max_inputs: usize,
+    max_gates: usize,
+    edits: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cases: 256,
+            deadline: Duration::from_secs(60),
+            seed: 0x01C0_FACE,
+            corpus: std::path::PathBuf::from("tests/regressions/incremental"),
+            max_inputs: 5,
+            max_gates: 10,
+            edits: 8,
+        }
+    }
+}
+
+const USAGE: &str = "\
+incremental-fuzz — incremental-vs-cold differential fuzzing over edit streams
+
+USAGE:
+    incremental-fuzz [OPTIONS]
+
+OPTIONS:
+    --cases <N>        Fresh cases to attempt (default 256)
+    --deadline <DUR>   Wall-clock budget, e.g. 60s, 500ms, 2m, or bare
+                       seconds (default 60s); hitting it exits cleanly
+    --seed <N>         Base seed for the case stream (default 0x1C0FACE;
+                       decimal or 0x-hex)
+    --corpus <DIR>     Corpus directory for replay + persistence
+                       (default tests/regressions/incremental)
+    --max-inputs <N>   Primary inputs per base network (default 5)
+    --max-gates <N>    Gate-count upper bound per base network (default 10)
+    --edits <N>        Edits per stream (default 8)
+    --help             Show this help
+";
+
+/// Parses `60s` / `500ms` / `2m` / bare seconds.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    let (number, unit) = match text.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => text.split_at(i),
+        None => (text, "s"),
+    };
+    let value: f64 = number
+        .parse()
+        .map_err(|_| format!("bad duration `{text}`"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("bad duration `{text}`"));
+    }
+    let secs = match unit {
+        "ms" => value / 1000.0,
+        "s" => value,
+        "m" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("unknown duration unit `{other}` in `{text}`")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let t = text.trim().replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad number `{text}`"))
+    } else {
+        t.parse().map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--cases" => opts.cases = parse_u64(value("--cases")?)? as usize,
+            "--deadline" => opts.deadline = parse_duration(value("--deadline")?)?,
+            "--seed" => opts.seed = parse_u64(value("--seed")?)?,
+            "--corpus" => opts.corpus = value("--corpus")?.into(),
+            "--max-inputs" => opts.max_inputs = parse_u64(value("--max-inputs")?)?.max(1) as usize,
+            "--max-gates" => opts.max_gates = parse_u64(value("--max-gates")?)?.max(1) as usize,
+            "--edits" => opts.edits = parse_u64(value("--edits")?)?.max(1) as usize,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn report_and_persist(
+    corpus: &Corpus,
+    seed: u64,
+    case: &EditCase,
+    failure: &EditStreamFailure,
+    cfg: &EditCheckConfig,
+    budget: &Budget,
+) {
+    eprintln!("incremental-fuzz: DIVERGENCE on seed {seed}");
+    eprintln!("  {failure}");
+    corpus.persist_seed(TEST_NAME, seed);
+    let shrink_budget = Budget::unlimited().with_deadline(
+        budget
+            .remaining()
+            .unwrap_or(Duration::from_secs(30))
+            .max(Duration::from_secs(2)),
+    );
+    let shrunk = shrink_edit_case(case, &shrink_budget, |candidate| {
+        check_edit_stream(candidate, cfg).is_err()
+    });
+    eprintln!(
+        "  shrunk {} → {} edits",
+        case.edits.len(),
+        shrunk.edits.len()
+    );
+    let detail = format!(
+        "{failure}\nshrunk from {} edits to {}",
+        case.edits.len(),
+        shrunk.edits.len()
+    );
+    match persist_edit_case(corpus, TEST_NAME, seed, &shrunk, &detail) {
+        Some(path) => eprintln!("  counterexample persisted to {}", path.display()),
+        None => eprintln!("  warning: could not persist counterexample (read-only corpus?)"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let corpus = Corpus::new(&opts.corpus);
+    let cfg = EditCheckConfig::default();
+    let gen = EditStreamGen {
+        shape: NetworkGen::new(opts.max_inputs, opts.max_gates),
+        edits: opts.edits,
+    };
+    let budget = Budget::unlimited().with_deadline(opts.deadline);
+    eprintln!(
+        "incremental-fuzz: {} cases × {} edits, deadline {:?}, seed {:#x}, corpus {}",
+        opts.cases,
+        opts.edits,
+        opts.deadline,
+        opts.seed,
+        corpus.dir().display()
+    );
+
+    // Phase 1: replay persisted counterexamples (minimal known bugs first).
+    for (path, loaded) in load_edit_cases(&corpus, TEST_NAME) {
+        let case = match loaded {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "incremental-fuzz: corrupt corpus entry {}: {e}",
+                    path.display()
+                );
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(f) = check_edit_stream(&case, &cfg) {
+            eprintln!(
+                "incremental-fuzz: persisted counterexample {} still diverges:\n  {f}",
+                path.display()
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    // Phase 2: replay persisted seeds, then fresh cases, under the deadline.
+    let mut seeds = corpus.load_seeds(TEST_NAME);
+    let replayed = seeds.len();
+    let mut state = opts.seed;
+    seeds.extend((0..opts.cases).map(|_| splitmix64(&mut state)));
+
+    let mut run = 0usize;
+    let mut totals = (0usize, 0usize, 0usize, 0usize); // hit, repair, warm, cold
+    for (i, seed) in seeds.iter().copied().enumerate() {
+        if budget.check().is_err() {
+            eprintln!(
+                "incremental-fuzz: deadline reached after {run}/{} cases — clean so far",
+                seeds.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let case = gen.generate(&mut Rng::new(seed));
+        match check_edit_stream(&case, &cfg) {
+            Ok(outcome) => {
+                totals.0 += outcome.stats.hits;
+                totals.1 += outcome.stats.repairs;
+                totals.2 += outcome.stats.warm_starts;
+                totals.3 += outcome.stats.cold_solves;
+                run += 1;
+            }
+            Err(f) => {
+                if i < replayed {
+                    eprintln!("incremental-fuzz: persisted seed {seed} still diverges:\n  {f}");
+                    return ExitCode::from(1);
+                }
+                report_and_persist(&corpus, seed, &case, &f, &cfg, &budget);
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    eprintln!(
+        "incremental-fuzz: OK — {run} cases ({replayed} replayed) agree; \
+         resolutions: {} hit, {} repaired, {} warm-started, {} cold",
+        totals.0, totals.1, totals.2, totals.3
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_and_args_parse() {
+        assert_eq!(parse_duration("90s").unwrap(), Duration::from_secs(90));
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert!(parse_duration("later").is_err());
+        let opts = parse_args(&[
+            "--cases".into(),
+            "32".into(),
+            "--edits".into(),
+            "5".into(),
+            "--seed".into(),
+            "0xFEED".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.cases, 32);
+        assert_eq!(opts.edits, 5);
+        assert_eq!(opts.seed, 0xFEED);
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

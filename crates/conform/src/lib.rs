@@ -15,6 +15,10 @@
 //!   COMPACT pipeline under every [`flowc_compact::VhStrategy`] and a small
 //!   γ sweep, and the three baseline mappers; the first disagreeing oracle
 //!   pair is reported with full provenance ([`Disagreement`]).
+//! - [`editstream`] — streaming-edit cases ([`EditStreamGen`]) and the
+//!   incremental-vs-cold differential oracle for
+//!   [`flowc_compact::EditSession`], with an edit-prefix shrinker and its
+//!   own `.edits` corpus format.
 //! - [`shrink`] — a delta-debugging minimizer for failing networks.
 //! - [`corpus`] — the persisted corpus: regression seeds plus shrunk
 //!   counterexamples as replayable BLIF, replayed before fresh cases.
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod editstream;
 pub mod env;
 pub mod fixtures;
 pub mod gen;
@@ -41,6 +46,11 @@ pub mod rng;
 pub mod shrink;
 
 pub use corpus::Corpus;
+pub use editstream::{
+    check_edit_stream, load_edit_cases, parse_edit_case, persist_edit_case, shrink_edit_case,
+    write_edit_case, EditCase, EditCheckConfig, EditStreamFailure, EditStreamGen,
+    EditStreamOutcome,
+};
 pub use gen::NetworkGen;
 pub use harness::Harness;
 pub use oracle::{

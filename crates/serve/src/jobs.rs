@@ -12,10 +12,11 @@
 //! the key index along with the jobs).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use flowc_budget::{Budget, CancelHandle};
+use flowc_logic::Network;
 use flowc_report::Json;
 
 use crate::admission::ServeRung;
@@ -272,6 +273,16 @@ impl JobTable {
         })
     }
 
+    /// Resolves a job key to `(id, circuit)` — the lineage lookup behind
+    /// `POST /patch`. The circuit is `None` for journal-restored terminal
+    /// jobs, whose spec (and netlist) did not survive the crash.
+    pub fn lookup_key(&self, key: &str) -> Option<(u64, Option<Arc<Network>>)> {
+        let inner = self.lock();
+        let &id = inner.by_key.get(key)?;
+        let entry = inner.jobs.get(&id)?;
+        Some((id, entry.spec.as_ref().map(|s| Arc::clone(&s.network))))
+    }
+
     /// Jobs currently in non-terminal states (gauge for `/metrics`).
     pub fn live_count(&self) -> usize {
         self.lock()
@@ -387,6 +398,16 @@ mod tests {
     }
 
     #[test]
+    fn lookup_key_resolves_lineage_and_spec_presence() {
+        let t = JobTable::new(8);
+        t.insert(keyed_entry(1, Some("base")));
+        let (id, net) = t.lookup_key("base").unwrap();
+        assert_eq!(id, 1);
+        assert!(net.is_some(), "live jobs expose their circuit");
+        assert!(t.lookup_key("missing").is_none());
+    }
+
+    #[test]
     fn restored_terminal_entries_serve_results_without_a_spec() {
         let t = JobTable::new(8);
         let budget = Budget::unlimited();
@@ -411,6 +432,9 @@ mod tests {
         assert_eq!(t.status(9).unwrap().2, "restored");
         assert!(t.claim_for_run(9).is_none());
         assert_eq!(t.insert(keyed_entry(10, Some("k-9"))), Insert::Duplicate(9));
+        let (id, net) = t.lookup_key("k-9").unwrap();
+        assert_eq!(id, 9);
+        assert!(net.is_none(), "journal-restored jobs lost their circuit");
     }
 
     #[test]

@@ -50,4 +50,5 @@ pub use admission::{Admission, Infeasible, LatencyModel, ServeRung};
 pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use jobs::JobState;
 pub use journal::{Journal, JournalConfig, JournalStats};
+pub use protocol::{parse_patch, parse_submit, PatchDirective, PatchRequest, SubmitSpec};
 pub use server::{Recovery, ServeConfig, Server};

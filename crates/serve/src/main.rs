@@ -71,6 +71,13 @@ ENDPOINTS:
     POST /submit   {\"circuit\", \"format\": blif|pla|verilog|bench,
                     \"gamma\"?, \"strategy\"?: exact-mip|anytime-mip|
                     heuristic-oct|staircase, \"deadline_ms\"?, \"priority\"?}
+    POST /patch    {\"base_key\", \"job_key\", \"edits\": [\"add t and a b\", ...],
+                    \"gamma\"?, \"strategy\"?, \"deadline_ms\"?, \"priority\"?}
+                   incremental re-synthesis: applies the edit stream to the
+                   netlist of the job named by base_key (its job_key) and
+                   re-labels only the affected output cones, falling back
+                   to cold synthesis; job_key names the patched state for
+                   further chaining
     GET  /status?id=<n>    job lifecycle state
     GET  /result?id=<n>    terminal outcome (design summary or typed error)
     POST /cancel   {\"id\": <n>}   aborts a queued or running job

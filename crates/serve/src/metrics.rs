@@ -105,6 +105,16 @@ pub struct Counters {
     pub worker_restarts: u64,
     /// Circuit-breaker trips (closed → open transitions).
     pub breaker_trips: u64,
+    /// `POST /patch` requests received (before any admission decision).
+    pub patches: u64,
+    /// Patch edits answered from the incremental session's cone cache.
+    pub incremental_hits: u64,
+    /// Patch edits resolved by permutation-repair relabeling.
+    pub incremental_repairs: u64,
+    /// Patch edits resolved by a warm-started (but low-match) solve.
+    pub incremental_warm_starts: u64,
+    /// Patch edits (or whole patch jobs) that fell back to cold solves.
+    pub incremental_cold: u64,
 }
 
 impl Counters {
@@ -135,6 +145,23 @@ impl Counters {
                 Json::Num(self.worker_restarts as f64),
             ),
             ("breaker_trips".into(), Json::Num(self.breaker_trips as f64)),
+            ("patches".into(), Json::Num(self.patches as f64)),
+            (
+                "incremental_hits".into(),
+                Json::Num(self.incremental_hits as f64),
+            ),
+            (
+                "incremental_repairs".into(),
+                Json::Num(self.incremental_repairs as f64),
+            ),
+            (
+                "incremental_warm_starts".into(),
+                Json::Num(self.incremental_warm_starts as f64),
+            ),
+            (
+                "incremental_cold".into(),
+                Json::Num(self.incremental_cold as f64),
+            ),
         ])
     }
 }

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use flowc_compact::{parse_edit, NetlistEdit};
 use flowc_logic::{bench_suite, blif, pla, verilog, Network};
 use flowc_report::Json;
 
@@ -61,6 +62,130 @@ pub struct SubmitSpec {
     /// returns the existing job instead of running a second one — also
     /// across a crash/restart when the journal is enabled.
     pub job_key: Option<String>,
+    /// Set only for `POST /patch` jobs: the worker routes these through
+    /// the incremental edit-session registry instead of cold synthesis.
+    /// `network` always holds the authoritative materialized netlist, so
+    /// every fallback (and every journal replay) stays correct.
+    pub patch: Option<PatchDirective>,
+}
+
+/// The incremental half of a patch job, resolved at admission.
+#[derive(Debug, Clone)]
+pub struct PatchDirective {
+    /// The `job_key` whose netlist the edits were applied to.
+    pub lineage: String,
+    /// That base netlist (from the base job's spec).
+    pub base: Arc<Network>,
+    /// The edit stream, in order; already validated against `base`.
+    pub edits: Vec<NetlistEdit>,
+}
+
+/// A parsed, validated `POST /patch` body.
+#[derive(Debug, Clone)]
+pub struct PatchRequest {
+    /// The lineage: `job_key` of the job whose netlist is edited.
+    pub base_key: String,
+    /// The key naming the patched state (required — it is what a later
+    /// patch chains from, and what makes the resubmit idempotent).
+    pub job_key: String,
+    /// The edits in the `flowc_compact::parse_edit` grammar, in order.
+    pub edits: Vec<NetlistEdit>,
+    /// Trade-off weight γ for the weighted objective.
+    pub gamma: f64,
+    /// The most ambitious rung the client wants.
+    pub rung: ServeRung,
+    /// Wall-clock deadline, measured from submission.
+    pub deadline: Duration,
+    /// Priority 0–9, higher first.
+    pub priority: u8,
+    /// Display label (defaults to `<base_key>+<edit count>`).
+    pub label: Option<String>,
+}
+
+fn parse_key(json: &Json, field: &str) -> Result<String, String> {
+    let key = json
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field `{field}`"))?;
+    if key.is_empty() || key.len() > 128 {
+        return Err(format!("`{field}` must be 1..=128 bytes"));
+    }
+    Ok(key.to_string())
+}
+
+/// Parses and validates a `POST /patch` body: an edit stream against the
+/// netlist of an earlier job, named by its `job_key`.
+///
+/// # Errors
+///
+/// A human-readable message for any malformed field (the server answers
+/// `400` with it).
+pub fn parse_patch(body: &str) -> Result<PatchRequest, String> {
+    let json = Json::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let base_key = parse_key(&json, "base_key")?;
+    let job_key = parse_key(&json, "job_key")?;
+    if job_key == base_key {
+        return Err("`job_key` must differ from `base_key` (it names the patched state)".into());
+    }
+    let lines = json
+        .get("edits")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field `edits` (edit-script lines)")?;
+    if lines.is_empty() {
+        return Err("`edits` must contain at least one edit".into());
+    }
+    let mut edits = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let text = line
+            .as_str()
+            .ok_or_else(|| format!("`edits[{i}]` must be a string edit-script line"))?;
+        edits.push(parse_edit(text).map_err(|e| format!("`edits[{i}]`: {e}"))?);
+    }
+
+    let gamma = match json.get("gamma") {
+        None => 0.5,
+        Some(v) => {
+            let g = v.as_f64().ok_or("`gamma` must be a number")?;
+            if !(0.0..=1.0).contains(&g) {
+                return Err(format!("`gamma` must be in [0, 1], got {g}"));
+            }
+            g
+        }
+    };
+    let rung = match json.get("strategy") {
+        None => ServeRung::ExactMip,
+        Some(v) => {
+            let name = v.as_str().ok_or("`strategy` must be a string")?;
+            ServeRung::parse(name).ok_or_else(|| {
+                format!("unknown strategy `{name}` (exact-mip|anytime-mip|heuristic-oct|staircase)")
+            })?
+        }
+    };
+    let deadline_ms = match json.get("deadline_ms") {
+        None => 30_000,
+        Some(v) => v
+            .as_u64()
+            .ok_or("`deadline_ms` must be a non-negative number")?,
+    };
+    let priority = match json.get("priority") {
+        None => 0,
+        Some(v) => {
+            let p = v.as_u64().ok_or("`priority` must be a number in 0..=9")?;
+            u8::try_from(p.min(9)).expect("capped at 9")
+        }
+    };
+    let label = json.get("label").and_then(Json::as_str).map(str::to_string);
+
+    Ok(PatchRequest {
+        base_key,
+        job_key,
+        edits,
+        gamma,
+        rung,
+        deadline: Duration::from_millis(deadline_ms),
+        priority,
+        label,
+    })
 }
 
 /// Parses and validates a `POST /submit` body.
@@ -150,6 +275,7 @@ pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
         priority,
         chaos,
         job_key,
+        patch: None,
     })
 }
 
@@ -235,6 +361,56 @@ mod tests {
             ),
         ] {
             let err = parse_submit(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_a_patch_with_edit_script_lines() {
+        let body = r#"{
+            "base_key": "run-7",
+            "job_key": "run-8",
+            "edits": ["add t and a b", "retarget 0 t"],
+            "gamma": 0.25,
+            "strategy": "staircase",
+            "deadline_ms": 1500,
+            "priority": 3
+        }"#;
+        let req = parse_patch(body).unwrap();
+        assert_eq!(req.base_key, "run-7");
+        assert_eq!(req.job_key, "run-8");
+        assert_eq!(req.edits.len(), 2);
+        assert_eq!(req.rung, ServeRung::Staircase);
+        assert_eq!(req.deadline, Duration::from_millis(1500));
+        assert_eq!(req.priority, 3);
+        assert!((req.gamma - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_patches_with_messages() {
+        for (body, needle) in [
+            ("not json", "valid JSON"),
+            (r#"{"job_key": "b", "edits": ["remove g"]}"#, "base_key"),
+            (r#"{"base_key": "a", "edits": ["remove g"]}"#, "job_key"),
+            (
+                r#"{"base_key": "a", "job_key": "a", "edits": ["remove g"]}"#,
+                "differ",
+            ),
+            (r#"{"base_key": "a", "job_key": "b"}"#, "edits"),
+            (
+                r#"{"base_key": "a", "job_key": "b", "edits": []}"#,
+                "at least one",
+            ),
+            (
+                r#"{"base_key": "a", "job_key": "b", "edits": ["warp g"]}"#,
+                "edits[0]",
+            ),
+            (
+                r#"{"base_key": "a", "job_key": "b", "edits": ["remove g"], "gamma": 2}"#,
+                "gamma",
+            ),
+        ] {
+            let err = parse_patch(body).unwrap_err();
             assert!(err.contains(needle), "{body}: {err}");
         }
     }

@@ -16,7 +16,9 @@
 //!    [`Budget`] whose cancel flag `POST /cancel` fires; the pipeline
 //!    aborts mid-solve and ships a degraded-but-valid design when it can.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -25,7 +27,11 @@ use std::time::{Duration, Instant};
 use flowc_budget::Budget;
 use flowc_compact::pipeline::Config;
 use flowc_compact::session::bdd_key;
-use flowc_compact::{synthesize_in_budgeted, Session, SessionConfig, StageKind};
+use flowc_compact::{
+    synthesize_in_budgeted, CompactError, CompactResult, EditSession, EditSessionConfig,
+    EditableNetlist, Session, SessionConfig, StageKind,
+};
+use flowc_logic::blif;
 use flowc_report::Json;
 
 use crate::admission::{LatencyModel, ServeRung};
@@ -34,7 +40,7 @@ use crate::http::{read_request, write_response, Request};
 use crate::jobs::{Insert, JobEntry, JobState, JobTable};
 use crate::journal::{Journal, JournalConfig, JournalStats, Record};
 use crate::metrics::Metrics;
-use crate::protocol::{error_json, parse_submit};
+use crate::protocol::{error_json, parse_patch, parse_submit, PatchDirective, SubmitSpec};
 use crate::queue::{JobQueue, QueuedJob};
 
 /// Server construction parameters.
@@ -100,6 +106,70 @@ struct WorkerSlot {
     current: Mutex<Option<u64>>,
 }
 
+/// One retained incremental lineage: the edit session whose netlist is
+/// the state named by a job key, plus the fingerprint a reuse must match
+/// (same cone key, same γ, same rung — anything else gets a fresh
+/// session, never a silently diverged one).
+struct LineageEntry {
+    cone_key: u64,
+    gamma_bits: u64,
+    rung: ServeRung,
+    session: EditSession,
+}
+
+/// The bounded worker-side registry of live edit sessions, keyed by the
+/// job key naming each session's current netlist state. A patch *takes*
+/// its base session (two racing patches on one lineage: one continues
+/// incrementally, the other rebuilds from the base netlist) and
+/// re-registers the advanced session under the patch's own key.
+struct EditRegistry {
+    entries: HashMap<String, LineageEntry>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl EditRegistry {
+    fn new(capacity: usize) -> EditRegistry {
+        EditRegistry {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Removes and returns the session at `key` iff its fingerprint
+    /// matches; a mismatched entry stays (a later patch may still want it).
+    fn take(
+        &mut self,
+        key: &str,
+        cone_key: u64,
+        gamma_bits: u64,
+        rung: ServeRung,
+    ) -> Option<EditSession> {
+        match self.entries.get(key) {
+            Some(e) if e.cone_key == cone_key && e.gamma_bits == gamma_bits && e.rung == rung => {}
+            _ => return None,
+        }
+        self.order.retain(|k| k != key);
+        self.entries.remove(key).map(|e| e.session)
+    }
+
+    fn insert(&mut self, key: String, entry: LineageEntry) {
+        if self.entries.insert(key.clone(), entry).is_some() {
+            self.order.retain(|k| *k != key);
+        }
+        self.order.push_back(key);
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.entries.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 /// Shared server state: everything the acceptor, handlers, workers, and
 /// supervisor touch.
 struct ServerInner {
@@ -115,6 +185,11 @@ struct ServerInner {
     next_id: AtomicU64,
     journal: Option<Journal>,
     recovery: Option<Recovery>,
+    edit_sessions: Mutex<EditRegistry>,
+    /// The shared disk labeling cache directory (journal mode only);
+    /// edit sessions write through it too, so incremental labelings
+    /// survive crashes with the rest of the cache.
+    disk_cache: Option<PathBuf>,
 }
 
 /// Terminal transition + journal append, in that order (the journal is
@@ -210,6 +285,8 @@ impl Server {
             next_id: AtomicU64::new(next_id),
             journal,
             recovery,
+            edit_sessions: Mutex::new(EditRegistry::new(16)),
+            disk_cache,
             config,
         });
 
@@ -437,6 +514,7 @@ fn handle_connection(inner: &Arc<ServerInner>, mut stream: TcpStream) {
 fn route(inner: &Arc<ServerInner>, request: &Request) -> (u16, Json) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/submit") => submit(inner, &request.body),
+        ("POST", "/patch") => patch(inner, &request.body),
         ("GET", "/status") => with_id(request, |id| status(inner, id)),
         ("GET", "/result") => with_id(request, |id| result(inner, id)),
         ("POST", "/cancel") => {
@@ -458,10 +536,12 @@ fn route(inner: &Arc<ServerInner>, request: &Request) -> (u16, Json) {
         }
         ("GET", "/metrics") => (200, metrics_json(inner)),
         ("GET", "/healthz") => (200, Json::Obj(vec![("ok".into(), Json::Bool(true))])),
-        (_, "/submit" | "/status" | "/result" | "/cancel" | "/metrics" | "/healthz") => (
-            405,
-            error_json("method_not_allowed", "wrong method for this endpoint", None),
-        ),
+        (_, "/submit" | "/patch" | "/status" | "/result" | "/cancel" | "/metrics" | "/healthz") => {
+            (
+                405,
+                error_json("method_not_allowed", "wrong method for this endpoint", None),
+            )
+        }
         _ => (404, error_json("not_found", "unknown endpoint", None)),
     }
 }
@@ -484,18 +564,14 @@ fn queue_wait_estimate(inner: &ServerInner) -> Duration {
     Duration::from_micros(mean_us.saturating_mul(depth) / workers)
 }
 
-fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
-    {
-        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        metrics.counters.submitted += 1;
-    }
+/// Shutdown + circuit-breaker gate shared by `/submit` and `/patch`.
+/// Breaker first: reject-fast must not pay for JSON/netlist parsing.
+fn pre_admit(inner: &Arc<ServerInner>) -> Result<Instant, (u16, Json)> {
     if inner.shutdown.load(Ordering::SeqCst) {
         let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
         metrics.counters.shed_shutdown += 1;
-        return (503, error_json("shutting_down", "server is draining", None));
+        return Err((503, error_json("shutting_down", "server is draining", None)));
     }
-
-    // Breaker first: reject-fast must not pay for JSON/netlist parsing.
     let now = Instant::now();
     let admitted = inner
         .breaker
@@ -505,21 +581,161 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
     if let Err(rej) = admitted {
         let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
         metrics.counters.shed_breaker += 1;
-        return (
+        return Err((
             503,
             error_json(
                 "breaker_open",
                 "the service is shedding load after repeated failures or overload",
                 Some(rej.retry_after),
             ),
-        );
+        ));
     }
+    Ok(now)
+}
 
+fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
+    {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.submitted += 1;
+    }
+    let now = match pre_admit(inner) {
+        Ok(now) => now,
+        Err(resp) => return resp,
+    };
     let spec = match parse_submit(body) {
         Ok(s) => s,
         Err(msg) => return (400, error_json("bad_request", &msg, None)),
     };
+    admit_and_enqueue(inner, spec, now, body.to_string(), Vec::new())
+}
 
+/// `POST /patch`: an edit stream against the netlist of an earlier job,
+/// named by its `job_key` (the lineage). The edits are validated and
+/// materialized here, so the enqueued job carries an authoritative
+/// netlist; the worker then tries the incremental ladder and falls back
+/// to cold synthesis of that netlist on any desync.
+fn patch(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
+    {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.patches += 1;
+    }
+    let now = match pre_admit(inner) {
+        Ok(now) => now,
+        Err(resp) => return resp,
+    };
+    let req = match parse_patch(body) {
+        Ok(r) => r,
+        Err(msg) => return (400, error_json("bad_request", &msg, None)),
+    };
+    let base = match inner.jobs.lookup_key(&req.base_key) {
+        None => {
+            return (
+                404,
+                error_json(
+                    "unknown_lineage",
+                    &format!(
+                        "no job with key `{}` (evicted, or never submitted)",
+                        req.base_key
+                    ),
+                    None,
+                ),
+            );
+        }
+        Some((id, None)) => {
+            return (
+                409,
+                error_json(
+                    "lineage_lost",
+                    &format!(
+                        "job {id} (key `{}`) was restored from the journal without its \
+                         circuit; resubmit the base netlist before patching it",
+                        req.base_key
+                    ),
+                    None,
+                ),
+            );
+        }
+        Some((_, Some(network))) => network,
+    };
+
+    // Validate the whole stream against the base before admitting
+    // anything: a refused edit is the client's bug, reported typed.
+    let mut netlist = EditableNetlist::from_network(&base);
+    for (i, edit) in req.edits.iter().enumerate() {
+        if let Err(e) = netlist.apply(edit) {
+            return (
+                400,
+                error_json(
+                    "bad_edit",
+                    &format!("edit {i} (`{edit}`) rejected: {e}"),
+                    None,
+                ),
+            );
+        }
+    }
+    let edited = match netlist.materialize() {
+        Ok(n) => n,
+        Err(e) => return (400, error_json("bad_edit", &e.to_string(), None)),
+    };
+    let label = req
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("{}+{}", req.base_key, req.edits.len()));
+
+    // The journal gets a plain submit body carrying the materialized
+    // BLIF: crash replay re-runs the patch as cold synthesis of the same
+    // netlist under the same key — correct, just not incremental.
+    let journal_body = Json::Obj(vec![
+        ("circuit".into(), Json::str(blif::write(&edited))),
+        ("format".into(), Json::str("blif")),
+        ("gamma".into(), Json::Num(req.gamma)),
+        ("strategy".into(), Json::str(req.rung.name())),
+        (
+            "deadline_ms".into(),
+            Json::Num(req.deadline.as_millis() as f64),
+        ),
+        ("priority".into(), Json::Num(f64::from(req.priority))),
+        ("job_key".into(), Json::str(req.job_key.clone())),
+        ("label".into(), Json::str(label.clone())),
+    ])
+    .to_compact();
+
+    let lineage = req.base_key.clone();
+    let spec = SubmitSpec {
+        network: Arc::new(edited),
+        label,
+        gamma: req.gamma,
+        rung: req.rung,
+        deadline: req.deadline,
+        priority: req.priority,
+        chaos: None,
+        job_key: Some(req.job_key),
+        patch: Some(PatchDirective {
+            lineage: req.base_key,
+            base,
+            edits: req.edits,
+        }),
+    };
+    admit_and_enqueue(
+        inner,
+        spec,
+        now,
+        journal_body,
+        vec![("patched_from".into(), Json::str(lineage))],
+    )
+}
+
+/// The shared back half of admission: queue-depth shed, deadline
+/// feasibility, id allocation, job-key dedup, journal append, and the
+/// queue push. `journal_body` is what replays after a crash — always a
+/// plain `/submit` body, even for patches.
+fn admit_and_enqueue(
+    inner: &Arc<ServerInner>,
+    spec: SubmitSpec,
+    now: Instant,
+    journal_body: String,
+    extra_fields: Vec<(String, Json)>,
+) -> (u16, Json) {
     // Queue-depth shed: a full queue trips the breaker (overload evidence)
     // and rejects with the expected drain time.
     let wait = queue_wait_estimate(inner);
@@ -613,7 +829,7 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
         journal.append(&Record::Admitted {
             id,
             key: job_key,
-            body: body.to_string(),
+            body: journal_body,
             label,
             rung: admission.rung.name().into(),
             degraded: admission.degraded,
@@ -660,19 +876,18 @@ fn submit(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
             metrics.counters.degraded_admission += 1;
         }
     }
-    (
-        200,
-        Json::Obj(vec![
-            ("id".into(), Json::Num(id as f64)),
-            ("rung".into(), Json::str(admission.rung.name())),
-            ("requested_rung".into(), Json::str(requested.name())),
-            ("degraded".into(), Json::Bool(admission.degraded)),
-            (
-                "estimated_ms".into(),
-                Json::Num(admission.estimate.as_millis() as f64),
-            ),
-        ]),
-    )
+    let mut fields = vec![
+        ("id".into(), Json::Num(id as f64)),
+        ("rung".into(), Json::str(admission.rung.name())),
+        ("requested_rung".into(), Json::str(requested.name())),
+        ("degraded".into(), Json::Bool(admission.degraded)),
+        (
+            "estimated_ms".into(),
+            Json::Num(admission.estimate.as_millis() as f64),
+        ),
+    ];
+    fields.extend(extra_fields);
+    (200, Json::Obj(fields))
 }
 
 fn status(inner: &Arc<ServerInner>, id: u64) -> (u16, Json) {
@@ -950,9 +1165,17 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
             var_order: None,
             label_threads: 1,
         };
-        let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
-        let session = &inner.sessions[shard];
-        let outcome = synthesize_in_budgeted(session, &spec.network, &config, &budget);
+        let (outcome, incremental) = match &spec.patch {
+            Some(patch) => run_patch_job(inner, patch, &spec, &config, &budget),
+            None => {
+                let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
+                let session = &inner.sessions[shard];
+                (
+                    synthesize_in_budgeted(session, &spec.network, &config, &budget),
+                    None,
+                )
+            }
+        };
         let wall = start.elapsed();
         *inner.slots[slot]
             .current
@@ -969,7 +1192,7 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
                     .and_then(|d| d.exhausted.as_ref())
                     .map(|e| e.to_string());
                 let degraded = pipeline_degraded || admission_degraded;
-                let body = Json::Obj(vec![
+                let mut fields = vec![
                     ("label".into(), Json::str(spec.label.clone())),
                     ("rows".into(), Json::int(result.stats.rows)),
                     ("cols".into(), Json::int(result.stats.cols)),
@@ -988,7 +1211,11 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
                     ("relative_gap".into(), Json::Num(result.relative_gap)),
                     ("exhausted".into(), exhausted.map_or(Json::Null, Json::str)),
                     ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
-                ]);
+                ];
+                if let Some(summary) = incremental {
+                    fields.push(("incremental".into(), summary));
+                }
+                let body = Json::Obj(fields);
                 let state = if cancelled {
                     JobState::Cancelled
                 } else {
@@ -1069,6 +1296,128 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
         }
         sync_breaker_trips(inner);
     }
+}
+
+/// One patch job through the incremental ladder: take (or build) the
+/// lineage's edit session, replay the edit stream through it, and
+/// re-register the advanced session under the patch's own key. Any
+/// failure — lost lineage, refused edit, synthesis error — falls back to
+/// cold synthesis of the admission-materialized netlist, which is always
+/// authoritative. Returns the outcome plus the `incremental` body field.
+fn run_patch_job(
+    inner: &ServerInner,
+    patch: &PatchDirective,
+    spec: &SubmitSpec,
+    config: &Config,
+    budget: &Budget,
+) -> (Result<CompactResult, CompactError>, Option<Json>) {
+    let base_cone = EditableNetlist::from_network(&patch.base).combined_cone_key();
+    let gamma_bits = spec.gamma.to_bits();
+    let reused = {
+        let mut registry = inner
+            .edit_sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        registry.take(&patch.lineage, base_cone, gamma_bits, spec.rung)
+    };
+    let resumed = reused.is_some();
+    let session: Result<EditSession, String> = match reused {
+        Some(s) => Ok(s),
+        None => EditSession::new(
+            &patch.base,
+            EditSessionConfig {
+                synthesis: config.clone(),
+                session: SessionConfig {
+                    cache_capacity: inner.config.cache_capacity,
+                    disk_cache: inner.disk_cache.clone(),
+                    ..SessionConfig::default()
+                },
+                ..EditSessionConfig::default()
+            },
+        )
+        .map_err(|e| format!("base session: {e}")),
+    };
+
+    let mut failure: Option<String> = None;
+    let mut resolutions: Vec<Json> = Vec::new();
+    let mut finished: Option<(CompactResult, [usize; 4])> = None;
+    match session {
+        Err(e) => failure = Some(e),
+        Ok(mut session) => {
+            let before = session.stats();
+            for edit in &patch.edits {
+                match session.apply_budgeted(edit, budget) {
+                    Ok(out) => resolutions.push(Json::str(out.resolution.name())),
+                    Err(e) => {
+                        failure = Some(format!("edit `{edit}`: {e}"));
+                        break;
+                    }
+                }
+            }
+            if failure.is_none() {
+                let after = session.stats();
+                let delta = [
+                    after.hits - before.hits,
+                    after.repairs - before.repairs,
+                    after.warm_starts - before.warm_starts,
+                    after.cold_solves - before.cold_solves,
+                ];
+                let result = session.result().clone();
+                if let Some(key) = &spec.job_key {
+                    let entry = LineageEntry {
+                        cone_key: session.netlist().combined_cone_key(),
+                        gamma_bits,
+                        rung: spec.rung,
+                        session,
+                    };
+                    inner
+                        .edit_sessions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(key.clone(), entry);
+                }
+                finished = Some((result, delta));
+            }
+        }
+    }
+
+    if let Some((result, [hits, repairs, warm_starts, cold_solves])) = finished {
+        {
+            let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            metrics.counters.incremental_hits += hits as u64;
+            metrics.counters.incremental_repairs += repairs as u64;
+            metrics.counters.incremental_warm_starts += warm_starts as u64;
+            metrics.counters.incremental_cold += cold_solves as u64;
+        }
+        let summary = Json::Obj(vec![
+            ("lineage".into(), Json::str(patch.lineage.clone())),
+            ("resumed".into(), Json::Bool(resumed)),
+            ("fallback".into(), Json::Bool(false)),
+            ("edits".into(), Json::int(patch.edits.len())),
+            ("hits".into(), Json::int(hits)),
+            ("repairs".into(), Json::int(repairs)),
+            ("warm_starts".into(), Json::int(warm_starts)),
+            ("cold_solves".into(), Json::int(cold_solves)),
+            ("resolutions".into(), Json::Arr(resolutions)),
+        ]);
+        return (Ok(result), Some(summary));
+    }
+
+    // Cold fallback, counted as such so `/metrics` shows how often the
+    // incremental path actually carries patches.
+    {
+        let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.counters.incremental_cold += 1;
+    }
+    let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
+    let outcome = synthesize_in_budgeted(&inner.sessions[shard], &spec.network, config, budget);
+    let summary = Json::Obj(vec![
+        ("lineage".into(), Json::str(patch.lineage.clone())),
+        ("resumed".into(), Json::Bool(resumed)),
+        ("fallback".into(), Json::Bool(true)),
+        ("reason".into(), failure.map_or(Json::Null, Json::str)),
+    ]);
+    (outcome, Some(summary))
 }
 
 fn rung_latency_name(rung: ServeRung) -> &'static str {

@@ -18,6 +18,11 @@
 //!   --label-threads <n>   worker threads for the labeling branch & bound
 //!                         (default 1; the optimum is identical at any
 //!                         thread count)
+//!   --edit-stream <file>  after the initial synthesis, apply a netlist
+//!                         edit script (one edit per line, `#` comments)
+//!                         through one incremental edit session, printing
+//!                         each edit's resolution (hit / repaired /
+//!                         warm-started / cold) and the final design
 //!   --time-limit <secs>   solver budget (default 30)
 //!   --deadline <secs>     hard wall-clock budget for the whole synthesis;
 //!                         on exhaustion a degraded (but valid) design is
@@ -105,6 +110,7 @@ struct Options {
     spare_rows: usize,
     spare_cols: usize,
     label_threads: usize,
+    edit_stream: Option<String>,
 }
 
 impl Options {
@@ -126,6 +132,7 @@ impl Options {
             spare_rows: 0,
             spare_cols: 0,
             label_threads: 1,
+            edit_stream: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -217,6 +224,7 @@ impl Options {
                         .map_err(|e| format!("--label-threads: {e}"))?
                         .max(1)
                 }
+                "--edit-stream" => opts.edit_stream = Some(value("--edit-stream")?),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -352,9 +360,73 @@ fn gamma_sweep(network: &Network, steps: usize, opts: &Options) -> Result<bool, 
 }
 
 /// Returns whether the synthesis degraded (exit code 2).
+/// Runs `--edit-stream`: synthesizes the circuit once, then replays a
+/// netlist edit script through one incremental [`EditSession`], printing
+/// how each edit was resolved (cache hit, label repair, warm start, or
+/// cold solve) and the final design's shape and counters.
+fn edit_stream(network: &Network, script: &str, opts: &Options) -> Result<bool, String> {
+    use flowc::compact::{parse_edit_script, EditSession, EditSessionConfig};
+    let text = std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
+    let edits = parse_edit_script(&text).map_err(|e| format!("{script}: {e}"))?;
+    let config = EditSessionConfig {
+        synthesis: opts.config()?,
+        ..EditSessionConfig::default()
+    };
+    let mut session =
+        EditSession::new(network, config).map_err(|e| format!("initial synthesis: {e}"))?;
+    let base = session.result();
+    println!("circuit    : {}", network.name());
+    println!(
+        "base       : S={} ({} x {}), optimal {} in {:.2}s",
+        base.stats.semiperimeter,
+        base.stats.rows,
+        base.stats.cols,
+        base.optimal,
+        base.synthesis_time.as_secs_f64()
+    );
+    let budget = opts.budget();
+    for (i, edit) in edits.iter().enumerate() {
+        let outcome = session
+            .apply_budgeted(edit, &budget)
+            .map_err(|e| format!("edit {} (`{edit}`): {e}", i + 1))?;
+        println!(
+            "edit {:>2}/{:<2} : {:<32} {:<12} S={:<5} {} cone(s) invalidated, {:.1}ms",
+            i + 1,
+            edits.len(),
+            edit.to_string(),
+            outcome.resolution.name(),
+            outcome.result.stats.semiperimeter,
+            outcome.outputs_invalidated,
+            outcome.wall.as_secs_f64() * 1e3
+        );
+    }
+    let stats = session.stats();
+    println!(
+        "resolved   : {} of {} edits without a cold solve ({} hit / {} repaired / {} warm-started / {} cold)",
+        stats.resolved_incrementally(),
+        stats.edits,
+        stats.hits,
+        stats.repairs,
+        stats.warm_starts,
+        stats.cold_solves
+    );
+    let result = session.result();
+    println!("crossbar   : {} x {}", result.stats.rows, result.stats.cols);
+    println!("semiperim. : {}", result.stats.semiperimeter);
+    println!(
+        "optimal    : {} (gap {:.2}%)",
+        result.optimal,
+        100.0 * result.relative_gap
+    );
+    Ok(result.degradation.as_ref().is_some_and(|d| d.degraded))
+}
+
 fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
     if let Some(steps) = opts.gamma_sweep {
         return gamma_sweep(network, steps, opts);
+    }
+    if let Some(script) = &opts.edit_stream {
+        return edit_stream(network, script, opts);
     }
     let cfg = opts.config()?;
     let result =
@@ -496,6 +568,9 @@ SYNTHESIS OPTIONS (synth/bench):
     --strategy <weighted|min-s|heuristic|staircase>
     --label-threads <n>    labeling branch & bound workers (default 1;
                            same optimum at any thread count)
+    --edit-stream <file>   apply a netlist edit script incrementally
+                           after the initial synthesis (synth only);
+                           prints each edit's resolution and counters
     --time-limit <secs>    solver budget (default 30)
     --deadline <secs>      hard wall-clock budget; exhaustion degrades
     --max-bdd-nodes <n>    BDD node ceiling; exceeding it degrades

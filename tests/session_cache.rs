@@ -156,3 +156,122 @@ fn cached_sweep_spends_less_stage_time_than_cold() {
         cold_shared_stages
     );
 }
+
+// ---------------------------------------------------------------------------
+// Cone-of-influence cache keys (compact::incremental)
+// ---------------------------------------------------------------------------
+
+/// A no-op edit — removing a gate and re-inserting it identically — must
+/// leave the combined cone key byte-stable, so the incremental cache
+/// can't silently over-invalidate on edits that change nothing.
+#[test]
+fn cone_key_is_stable_across_a_noop_edit() {
+    use flowc::compact::{EditableNetlist, NetlistEdit};
+
+    let mut nl = EditableNetlist::from_network(&fig2_network());
+    let key = nl.combined_cone_key();
+    let cones = nl.output_cone_hashes();
+
+    // Add a dead gate, then re-insert an identical copy under another
+    // name: neither touches any output cone.
+    nl.apply(&NetlistEdit::AddGate {
+        name: "spare".into(),
+        kind: GateKind::Xor,
+        inputs: vec!["a".into(), "c".into()],
+    })
+    .unwrap();
+    assert_eq!(nl.combined_cone_key(), key, "dead insert changed the key");
+    nl.apply(&NetlistEdit::RemoveGate {
+        name: "spare".into(),
+    })
+    .unwrap();
+    nl.apply(&NetlistEdit::AddGate {
+        name: "spare2".into(),
+        kind: GateKind::Xor,
+        inputs: vec!["a".into(), "c".into()],
+    })
+    .unwrap();
+    assert_eq!(
+        nl.combined_cone_key(),
+        key,
+        "identical re-insert changed the key"
+    );
+    assert_eq!(nl.output_cone_hashes(), cones);
+
+    // Re-inserting a *live* cone identically is also a no-op: retarget
+    // the output at an identical duplicate of its driver.
+    nl.apply(&NetlistEdit::AddGate {
+        name: "f2".into(),
+        kind: GateKind::Or,
+        inputs: vec!["ab".into(), "c".into()],
+    })
+    .unwrap();
+    nl.apply(&NetlistEdit::RetargetOutput {
+        index: 0,
+        target: "f2".into(),
+    })
+    .unwrap();
+    assert_eq!(
+        nl.combined_cone_key(),
+        key,
+        "identical duplicate cone changed the key"
+    );
+}
+
+/// A live edit moves only the affected output's cone hash; untouched
+/// outputs keep theirs, so invalidation is exactly per-cone.
+#[test]
+fn live_edits_invalidate_exactly_the_affected_cones() {
+    use flowc::compact::{EditableNetlist, NetlistEdit};
+
+    let mut n = Network::new("two-cones");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let f = n.add_gate(GateKind::And, &[a, b], "f").unwrap();
+    let g = n.add_gate(GateKind::Or, &[b, c], "g").unwrap();
+    n.mark_output(f);
+    n.mark_output(g);
+
+    let mut nl = EditableNetlist::from_network(&n);
+    let cones = nl.output_cone_hashes();
+    nl.apply(&NetlistEdit::RewireInput {
+        gate: "g".into(),
+        pin: 1,
+        source: "a".into(),
+    })
+    .unwrap();
+    let after = nl.output_cone_hashes();
+    assert_eq!(after[0], cones[0], "untouched cone was invalidated");
+    assert_ne!(after[1], cones[1], "edited cone kept its hash");
+    assert_ne!(nl.combined_cone_key(), {
+        let fresh = EditableNetlist::from_network(&n);
+        fresh.combined_cone_key()
+    });
+}
+
+/// The `EditSession` resolves a no-op edit as a cache hit — no new BDD
+/// build, no new solve — proving the cone key actually gates the
+/// artifact pipeline.
+#[test]
+fn edit_session_serves_noop_edits_from_cache() {
+    use flowc::compact::{EditResolution, EditSession, EditSessionConfig, NetlistEdit};
+
+    let mut session = EditSession::new(&fig2_network(), EditSessionConfig::default()).unwrap();
+    let builds_before = session.session().trace().builds(StageKind::BddBuild);
+    let out = session
+        .apply(&NetlistEdit::AddGate {
+            name: "spare".into(),
+            kind: GateKind::Nand,
+            inputs: vec!["a".into(), "b".into()],
+        })
+        .unwrap();
+    assert_eq!(out.resolution, EditResolution::Hit);
+    assert_eq!(
+        session.session().trace().builds(StageKind::BddBuild),
+        builds_before,
+        "a no-op edit rebuilt the BDD"
+    );
+    assert_eq!(session.stats().hits, 1);
+    assert_eq!(session.stats().cold_solves, 0);
+}
