@@ -10,10 +10,24 @@
 //! - [`magic`]: a CONTRA-style MAGIC (NOR-based stateful logic) execution
 //!   model, the Figure 13 comparator. It reports operation counts (INPUT /
 //!   COPY / NOR), which CONTRA uses as its power and delay proxies.
+//!
+//! All of these — plus COMPACT itself and the CONTRA-style
+//! area-constrained [`partitioned`] mapping — are unified behind the
+//! [`backend::MappingBackend`] trait and selected through the single
+//! enum-dispatched [`backend::Backend`] surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod magic;
+pub mod partitioned;
 pub mod robdd_diagonal;
 pub mod staircase;
+
+pub use backend::{
+    partitioned_with_tile, unknown_name_error, Backend, BackendError, Capabilities, CompactBackend,
+    DesignArtifact, DiagonalBackend, MagicBackend, MappedDesign, MappingBackend, StaircaseBackend,
+    SynthesisCtx,
+};
+pub use partitioned::{PartitionedBackend, Tile, TileSchedule};

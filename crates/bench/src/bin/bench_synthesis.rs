@@ -5,6 +5,7 @@
 //! bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...]
 //!                 [--threads N] [--out PATH] [--baseline PATH]
 //!                 [--edits N] [--edit-benchmark NAME]
+//!                 [--backends b1,b2,...]
 //! ```
 //!
 //! For each benchmark the sweep runs twice: *cold* (a fresh session per γ
@@ -29,11 +30,19 @@
 //! session must beat per-edit cold re-synthesis by ≥3× wall-clock with
 //! more than half the edits resolved above the cold rung (cache hit,
 //! permutation repair, or warm start). `--edits 0` skips the replay.
+//!
+//! A *backend comparison* closes each run: every mapping backend named in
+//! `--backends` (default: all of them) synthesizes each benchmark once
+//! through the unified [`flowc_baselines::Backend`] dispatch, each design
+//! is sample-verified, and the per-backend shapes (rows, cols, S, tiles,
+//! transfer ops, wall) land under `"backends"` in the result file.
+//! `--backends ""` skips the comparison.
 
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
+use flowc_baselines::{partitioned_with_tile, Backend, MappingBackend, SynthesisCtx};
 use flowc_bench::report::{self, Json};
 use flowc_bench::{build_network, time_limit};
 use flowc_budget::{Budget, Stopwatch};
@@ -56,13 +65,14 @@ struct Options {
     baseline: Option<std::path::PathBuf>,
     edits: usize,
     edit_benchmark: String,
+    backends: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_synthesis [--benchmarks n1,n2,...] [--gammas g1,g2,...] \
          [--threads N] [--out PATH] [--baseline PATH] \
-         [--edits N] [--edit-benchmark NAME]"
+         [--edits N] [--edit-benchmark NAME] [--backends b1,b2,...]"
     );
     exit(1);
 }
@@ -78,6 +88,7 @@ fn parse_options() -> Options {
         baseline: None,
         edits: 50,
         edit_benchmark: "int2float".into(),
+        backends: Backend::NAMES.iter().map(|&n| n.to_string()).collect(),
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -120,6 +131,13 @@ fn parse_options() -> Options {
                     .unwrap_or_else(|_| usage())
             }
             "--edit-benchmark" => opts.edit_benchmark = value(&mut args, "--edit-benchmark"),
+            "--backends" => {
+                opts.backends = value(&mut args, "--backends")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -292,6 +310,74 @@ fn edit_replay(opts: &Options, budget: Duration) -> (Json, bool) {
     (row, failed)
 }
 
+/// The backend comparison: each named backend maps every benchmark once
+/// through the unified enum dispatch, the design is sample-verified, and
+/// the per-backend shape lands in one row. Returns the rows and whether
+/// any synthesis or verification failed.
+fn backend_comparison(opts: &Options, budget: Duration) -> (Json, bool) {
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for name in &opts.backends {
+        let backend = match Backend::parse(name) {
+            // A 12x12 tile (not the 64x64 default) so the comparison
+            // benchmarks, which all fit one 64x64 array, actually tile.
+            Ok(Backend::Partitioned(_)) => partitioned_with_tile(12, 12),
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("--backends: {e}");
+                exit(1);
+            }
+        };
+        for bench in &opts.benchmarks {
+            let Some(b) = bench_suite::by_name(bench) else {
+                eprintln!("unknown benchmark {bench:?}");
+                exit(1);
+            };
+            let network = build_network(&b);
+            let ctx = SynthesisCtx::default()
+                .with_budget(Budget::unlimited().with_deadline(budget.max(Duration::from_secs(1))));
+            let sw = Stopwatch::unbudgeted();
+            let design = match backend.synthesize(&network, &ctx) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{bench} via {}: synthesis failed: {e}", backend.name());
+                    failed = true;
+                    continue;
+                }
+            };
+            let wall = sw.elapsed();
+            if let Err(e) = backend.verify(&design, &network, 64) {
+                eprintln!("{bench} via {}: verification failed: {e}", backend.name());
+                failed = true;
+                continue;
+            }
+            let m = &design.metrics;
+            println!(
+                "{bench:<11} {:<15} {:>4} x {:<4} S={:<5} tiles={:<3} transfers={:<4} {:>7.3}s",
+                design.backend,
+                m.rows,
+                m.cols,
+                m.semiperimeter,
+                m.tiles,
+                m.transfer_ops,
+                wall.as_secs_f64()
+            );
+            rows.push(Json::Obj(vec![
+                ("benchmark".into(), Json::str(bench.clone())),
+                ("backend".into(), Json::str(design.backend)),
+                ("rows".into(), Json::int(m.rows)),
+                ("cols".into(), Json::int(m.cols)),
+                ("semiperimeter".into(), Json::int(m.semiperimeter)),
+                ("max_dimension".into(), Json::int(m.max_dimension)),
+                ("tiles".into(), Json::int(m.tiles)),
+                ("transfer_ops".into(), Json::int(m.transfer_ops)),
+                ("wall_s".into(), Json::Num(wall.as_secs_f64())),
+            ]));
+        }
+    }
+    (Json::Arr(rows), failed)
+}
+
 fn main() {
     let opts = parse_options();
     let budget = time_limit(10);
@@ -439,6 +525,13 @@ fn main() {
         (Json::Null, false)
     };
     failed = failed || replay_failed;
+    let (backend_rows, backends_failed) = if opts.backends.is_empty() {
+        (Json::Arr(Vec::new()), false)
+    } else {
+        println!("\nbackend comparison:");
+        backend_comparison(&opts, budget)
+    };
+    failed = failed || backends_failed;
     let json = Json::Obj(vec![
         (
             "gammas".into(),
@@ -448,6 +541,7 @@ fn main() {
         ("time_limit_secs".into(), Json::Num(budget.as_secs_f64())),
         ("benchmarks".into(), Json::Arr(rows)),
         ("edit_replay".into(), edit_replay_row),
+        ("backends".into(), backend_rows),
     ]);
     if let Err(e) = report::write_json(&opts.out, &json) {
         eprintln!("writing {}: {e}", opts.out.display());

@@ -2,24 +2,32 @@
 //! reporting pre-/post-repair yield across defect densities (DESIGN.md §9).
 //!
 //! ```text
-//! yield_study [BENCHMARK] [--trials N] [--seed N] [--spare-rows N]
-//!             [--spare-cols N] [--rates p1,p2,...] [--resynthesis-secs S]
-//!             [--out PATH]
+//! yield_study [BENCHMARK] [--backend NAME] [--trials N] [--seed N]
+//!             [--spare-rows N] [--spare-cols N] [--rates p1,p2,...]
+//!             [--resynthesis-secs S] [--out PATH]
 //! ```
 //!
 //! The table goes to stdout; the JSON artifact is written atomically to
 //! `results/yield_study.json` (or `--out`). Exits non-zero on bad usage
 //! or if the campaign shows repair losing to no-repair (a ladder bug).
+//!
+//! `--backend` selects the mapping backend producing the campaign design;
+//! only backends whose designs the repair ladder can operate on (a single
+//! repairable crossbar) are accepted — see
+//! [`flowc_bench::yield_study::campaign_design`].
 
 use std::process::exit;
 use std::time::Duration;
 
-use flowc_bench::yield_study::{campaign_json, run_campaign, CampaignConfig};
-use flowc_bench::{build_network, report, run_compact, time_limit};
+use flowc_baselines::Backend;
+use flowc_bench::yield_study::{campaign_design, campaign_json, run_campaign, CampaignConfig};
+use flowc_bench::{build_network, report, time_limit};
+use flowc_budget::Budget;
 use flowc_logic::bench_suite;
 
 struct Options {
     benchmark: String,
+    backend: String,
     rates: Vec<f64>,
     out: std::path::PathBuf,
     cfg: CampaignConfig,
@@ -27,8 +35,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: yield_study [BENCHMARK] [--trials N] [--seed N] [--spare-rows N] \
-         [--spare-cols N] [--rates p1,p2,...] [--resynthesis-secs S] [--out PATH]"
+        "usage: yield_study [BENCHMARK] [--backend NAME] [--trials N] [--seed N] \
+         [--spare-rows N] [--spare-cols N] [--rates p1,p2,...] \
+         [--resynthesis-secs S] [--out PATH]"
     );
     exit(1);
 }
@@ -36,6 +45,7 @@ fn usage() -> ! {
 fn parse_options() -> Options {
     let mut opts = Options {
         benchmark: "ctrl".to_string(),
+        backend: "compact".to_string(),
         rates: vec![0.002, 0.01, 0.03, 0.05],
         out: std::path::PathBuf::from("results/yield_study.json"),
         cfg: CampaignConfig::default(),
@@ -85,6 +95,7 @@ fn parse_options() -> Options {
                 opts.cfg.resynthesis_budget = Duration::from_secs_f64(secs.max(0.0));
             }
             "--out" => opts.out = value(&mut args, "--out").into(),
+            "--backend" => opts.backend = value(&mut args, "--backend"),
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => opts.benchmark = name.to_string(),
             _ => usage(),
@@ -100,11 +111,20 @@ fn main() {
         exit(1);
     };
     let network = build_network(&b);
-    let result = run_compact(&network, 0.5, time_limit(10));
-    let design = &result.crossbar;
+    let backend = Backend::parse(&opts.backend).unwrap_or_else(|e| {
+        eprintln!("--backend: {e}");
+        exit(1);
+    });
+    let budget = Budget::unlimited().with_deadline(time_limit(10));
+    let design = campaign_design(&network, &backend, &budget).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", opts.benchmark);
+        exit(1);
+    });
+    let design = &design;
     println!(
-        "Yield campaign — {} ({}x{} design, +{}r/+{}c spares, {} trials/point, seed {:#x})",
+        "Yield campaign — {} via {} ({}x{} design, +{}r/+{}c spares, {} trials/point, seed {:#x})",
         opts.benchmark,
+        opts.backend,
         design.rows(),
         design.cols(),
         opts.cfg.spare_rows,

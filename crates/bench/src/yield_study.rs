@@ -185,6 +185,38 @@ pub fn run_campaign(
         .collect()
 }
 
+/// Synthesizes a campaign-ready design through a [`Backend`].
+///
+/// The repair ladder permutes, re-places, and re-synthesizes one
+/// monolithic crossbar, so only backends advertising
+/// [`Capabilities::repairable`](flowc_baselines::Capabilities) can feed a
+/// campaign; anything else (a tile schedule, a MAGIC NOR program) is
+/// rejected up front with the reason, instead of failing a thousand
+/// trials in.
+pub fn campaign_design(
+    network: &Network,
+    backend: &flowc_baselines::Backend,
+    budget: &Budget,
+) -> Result<Crossbar, String> {
+    use flowc_baselines::{MappingBackend, SynthesisCtx};
+    if !backend.capabilities().repairable {
+        return Err(format!(
+            "backend `{}` does not support defect repair (needs a repairable monolithic crossbar)",
+            backend.name()
+        ));
+    }
+    let ctx = SynthesisCtx::default().with_budget(budget.clone());
+    let design = backend
+        .synthesize(network, &ctx)
+        .map_err(|e| e.to_string())?;
+    design.crossbar().cloned().ok_or_else(|| {
+        format!(
+            "backend `{}` produced no monolithic crossbar",
+            backend.name()
+        )
+    })
+}
+
 /// Serializes a campaign into the `results/` JSON artifact schema.
 pub fn campaign_json(
     benchmark: &str,
@@ -239,6 +271,21 @@ mod tests {
         let n = crate::build_network(&b);
         let r = crate::run_compact(&n, 0.5, Duration::from_secs(5));
         (n, r.crossbar, Config::default())
+    }
+
+    #[test]
+    fn campaign_designs_come_only_from_repairable_backends() {
+        let b = flowc_logic::bench_suite::by_name("ctrl").unwrap();
+        let n = crate::build_network(&b);
+        let budget = Budget::unlimited().with_deadline(Duration::from_secs(10));
+        let design = campaign_design(&n, &flowc_baselines::Backend::default(), &budget)
+            .expect("compact is repairable");
+        assert!(design.rows() > 0 && design.cols() > 0);
+        for name in ["magic-nor", "partitioned"] {
+            let backend = flowc_baselines::Backend::parse(name).unwrap();
+            let err = campaign_design(&n, &backend, &budget).unwrap_err();
+            assert!(err.contains(name), "{err}");
+        }
     }
 
     #[test]

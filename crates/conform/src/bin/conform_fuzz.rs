@@ -18,7 +18,7 @@ use flowc_budget::Budget;
 use flowc_conform::corpus::Corpus;
 use flowc_conform::gen::NetworkGen;
 use flowc_conform::oracle::{
-    default_gammas, differential_check, shipped_oracles, DiffConfig, Disagreement, Oracle,
+    default_gammas, differential_check, shipped_oracles_budgeted, DiffConfig, Disagreement, Oracle,
 };
 use flowc_conform::rng::{splitmix64, Rng};
 use flowc_conform::shrink::shrink_network;
@@ -189,13 +189,15 @@ fn main() -> ExitCode {
     };
 
     let corpus = Corpus::new(&opts.corpus);
-    let oracles = shipped_oracles(&default_gammas());
+    // The run deadline bounds every oracle's synthesis too (the panel
+    // budget), so a pathological case cannot stall the campaign.
+    let budget = Budget::unlimited().with_deadline(opts.deadline);
+    let oracles = shipped_oracles_budgeted(&default_gammas(), &budget);
     let cfg = DiffConfig {
         symbolic: opts.symbolic,
         ..DiffConfig::default()
     };
     let shape = NetworkGen::new(opts.max_inputs, opts.max_gates);
-    let budget = Budget::unlimited().with_deadline(opts.deadline);
     eprintln!(
         "conform-fuzz: {} oracles, {} cases, deadline {:?}, seed {:#x}, corpus {}",
         oracles.len(),

@@ -54,8 +54,8 @@ pub use editstream::{
 pub use gen::NetworkGen;
 pub use harness::Harness;
 pub use oracle::{
-    default_gammas, differential_check, shipped_oracles, CaseOutcome, DiffConfig, Disagreement,
-    Oracle,
+    default_gammas, differential_check, shipped_oracles, shipped_oracles_budgeted, BackendOracle,
+    CaseOutcome, DiffConfig, Disagreement, Oracle,
 };
 pub use rng::{splitmix64, Rng};
 pub use shrink::{shrink_network, ShrinkResult};

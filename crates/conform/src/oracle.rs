@@ -18,7 +18,13 @@
 //! | `staircase`       | prior-art every-node-both-wires mapping           |
 //! | `robdd-diagonal`  | per-output ROBDD flow merged diagonally           |
 //! | `magic-nor`       | CONTRA-style NOR netlist execution                |
+//! | `partitioned`     | area-constrained tile schedule (small tile, so splits happen) |
 //! | symbolic          | `compact::formal::verify_symbolic` on the default design |
+//!
+//! The baseline rows are one [`BackendOracle`] each: every
+//! [`flowc_baselines::Backend`] joins the panel through the same
+//! enum-dispatched surface the CLI and serve use, so a backend added
+//! there is automatically fuzzed here.
 //!
 //! With the `broken-oracle` feature a deliberately wrong oracle (XOR
 //! computed as OR) joins the matrix so the whole find → shrink → persist
@@ -27,12 +33,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use flowc_baselines::magic::NorNetlist;
-use flowc_baselines::robdd_diagonal::compact_per_output;
-use flowc_baselines::staircase::staircase_map;
+use flowc_baselines::{
+    partitioned_with_tile, Backend, DesignArtifact, MappingBackend, SynthesisCtx,
+};
 use flowc_bdd::build_sbdd;
-use flowc_compact::pass::{BddBuildPass, GraphExtractPass, Pass};
-use flowc_compact::preprocess::BddGraph;
+use flowc_budget::Budget;
 use flowc_compact::{
     synthesize, synthesize_in, verify_symbolic, Config, Session, SessionConfig, VhStrategy,
 };
@@ -155,76 +160,64 @@ impl Oracle for CompactOracle {
     }
 }
 
-/// The prior-art staircase mapping (reference \[16\] of the paper).
-#[derive(Debug, Clone, Default)]
-pub struct StaircaseOracle {
+/// Any [`flowc_baselines::Backend`] as an oracle: the design the backend
+/// produces (crossbar, tile schedule, or NOR program) is evaluated over
+/// the assignment set. The oracle name is the backend's stable name, so
+/// provenance in disagreements matches the CLI/serve selection surface.
+#[derive(Debug, Clone)]
+pub struct BackendOracle {
+    backend: Backend,
+    config: Config,
     session: Option<Arc<Session>>,
+    budget: Budget,
 }
 
-impl StaircaseOracle {
-    /// A staircase oracle drawing its BDD graph from a shared [`Session`]
-    /// instead of rebuilding it per call.
-    pub fn with_session(session: Arc<Session>) -> Self {
-        StaircaseOracle {
-            session: Some(session),
+impl BackendOracle {
+    /// An oracle running `backend` cold with an unlimited budget.
+    pub fn new(backend: Backend) -> Self {
+        BackendOracle {
+            backend,
+            config: Config::default(),
+            session: None,
+            budget: Budget::unlimited(),
         }
     }
-}
 
-impl Oracle for StaircaseOracle {
-    fn name(&self) -> String {
-        "staircase".into()
+    /// Attaches a shared [`Session`] so sibling oracles reuse one BDD
+    /// build and graph extraction per checked network.
+    pub fn with_session(mut self, session: Arc<Session>) -> Self {
+        self.session = Some(session);
+        self
     }
 
-    fn table(&self, network: &Network, assignments: &[Vec<bool>]) -> Result<Table, String> {
-        let names: Vec<String> = network
-            .outputs()
-            .iter()
-            .map(|&o| network.net_name(o).to_string())
-            .collect();
-        let xbar = match &self.session {
-            Some(session) => {
-                let bdd = BddBuildPass
-                    .run(session, (network, None))
-                    .map_err(|e| e.to_string())?;
-                let graph = GraphExtractPass
-                    .run(session, (&bdd.bdds, bdd.key))
-                    .map_err(|e| e.to_string())?;
-                staircase_map(&graph, &names)
-            }
-            None => staircase_map(&BddGraph::from_bdds(&build_sbdd(network, None)), &names),
-        };
-        crossbar_table(&xbar, assignments)
+    /// Bounds every synthesis this oracle performs — the panel budget,
+    /// threaded through so fuzz runs stay bounded even on a session-miss
+    /// rebuild.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
-/// The per-output ROBDD flow merged along the diagonal (Figure 8(a)).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DiagonalOracle;
-
-impl Oracle for DiagonalOracle {
+impl Oracle for BackendOracle {
     fn name(&self) -> String {
-        "robdd-diagonal".into()
+        self.backend.name().into()
     }
 
     fn table(&self, network: &Network, assignments: &[Vec<bool>]) -> Result<Table, String> {
-        let merged = compact_per_output(network, &Config::default()).map_err(|e| e.to_string())?;
-        crossbar_table(&merged.crossbar, assignments)
-    }
-}
-
-/// The CONTRA-style MAGIC NOR netlist execution model.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MagicOracle;
-
-impl Oracle for MagicOracle {
-    fn name(&self) -> String {
-        "magic-nor".into()
-    }
-
-    fn table(&self, network: &Network, assignments: &[Vec<bool>]) -> Result<Table, String> {
-        let nor = NorNetlist::from_network(network);
-        Ok(assignments.iter().map(|a| nor.eval(a)).collect())
+        let mut ctx = SynthesisCtx::new(self.config.clone()).with_budget(self.budget.clone());
+        if let Some(session) = &self.session {
+            ctx = ctx.with_session(session);
+        }
+        let design = self
+            .backend
+            .synthesize(network, &ctx)
+            .map_err(|e| e.to_string())?;
+        match &design.artifact {
+            // Monolithic crossbars batch 64 lanes at a time.
+            DesignArtifact::Monolithic(xbar) => crossbar_table(xbar, assignments),
+            _ => assignments.iter().map(|a| design.evaluate(a)).collect(),
+        }
     }
 }
 
@@ -280,15 +273,29 @@ pub fn default_gammas() -> Vec<f64> {
 /// Every shipped oracle: simulation (the reference, always first), SBDD
 /// evaluation, COMPACT synthesis under each [`VhStrategy`] (the weighted
 /// MIP across the γ sweep, the exact odd-cycle-transversal route, and the
-/// greedy heuristic), and the three baselines. With the `broken-oracle`
+/// greedy heuristic), and one [`BackendOracle`] per non-COMPACT
+/// [`Backend`] (the partitioned one on a deliberately small tile so tile
+/// splits actually happen on fuzz networks). With the `broken-oracle`
 /// feature the deliberately wrong oracle is appended.
 pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
+    shipped_oracles_budgeted(gammas, &Budget::unlimited())
+}
+
+/// [`shipped_oracles`] with every synthesis — including session-miss
+/// rebuilds inside the baseline oracles — bounded by `budget`. Fuzz
+/// drivers pass their run deadline here so no single case can stall the
+/// campaign.
+pub fn shipped_oracles_budgeted(gammas: &[f64], budget: &Budget) -> Vec<Box<dyn Oracle>> {
     use std::time::Duration;
     // One shared session: all synthesis oracles differ only in labeling
     // strategy/γ, so each checked network costs one BDD build and one graph
     // extraction across the whole panel. The cache is bounded (FIFO), so
-    // memory stays flat over long fuzz campaigns.
-    let session = Arc::new(Session::new(SessionConfig::default()));
+    // memory stays flat over long fuzz campaigns. The session carries the
+    // panel budget, so cached-stage rebuilds stay bounded too.
+    let session = Arc::new(Session::new(SessionConfig {
+        budget: budget.clone(),
+        ..SessionConfig::default()
+    }));
     let mut oracles: Vec<Box<dyn Oracle>> = vec![
         Box::new(SimOracle),
         Box::new(BddOracle),
@@ -322,9 +329,20 @@ pub fn shipped_oracles(gammas: &[f64]) -> Vec<Box<dyn Oracle>> {
             Arc::clone(&session),
         )));
     }
-    oracles.push(Box::new(StaircaseOracle::with_session(session)));
-    oracles.push(Box::new(DiagonalOracle));
-    oracles.push(Box::new(MagicOracle));
+    for backend in [
+        Backend::parse("staircase").expect("shipped name"),
+        Backend::parse("robdd-diagonal").expect("shipped name"),
+        Backend::parse("magic-nor").expect("shipped name"),
+        // A small tile so panel-sized networks actually split; generous
+        // enough that any single output cone of a fuzz network fits.
+        partitioned_with_tile(16, 16),
+    ] {
+        oracles.push(Box::new(
+            BackendOracle::new(backend)
+                .with_session(Arc::clone(&session))
+                .with_budget(budget.clone()),
+        ));
+    }
     #[cfg(feature = "broken-oracle")]
     oracles.push(Box::new(BrokenXorOracle));
     oracles

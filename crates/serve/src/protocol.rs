@@ -8,11 +8,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use flowc_baselines::{partitioned_with_tile, unknown_name_error, Backend, MappingBackend};
 use flowc_compact::{parse_edit, NetlistEdit};
 use flowc_logic::{bench_suite, blif, pla, verilog, Network};
 use flowc_report::Json;
 
-use crate::admission::ServeRung;
+use crate::admission::{ServeRung, RUNGS};
 
 /// How the submitted circuit text is to be interpreted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,10 @@ pub struct SubmitSpec {
     /// `network` always holds the authoritative materialized netlist, so
     /// every fallback (and every journal replay) stays correct.
     pub patch: Option<PatchDirective>,
+    /// The mapping backend running the job. Non-COMPACT backends bypass
+    /// the rung ladder (the rung still shapes the [`Config`] their
+    /// synthesis context carries).
+    pub backend: Backend,
 }
 
 /// The incremental half of a patch job, resolved at admission.
@@ -100,6 +105,64 @@ pub struct PatchRequest {
     pub priority: u8,
     /// Display label (defaults to `<base_key>+<edit count>`).
     pub label: Option<String>,
+}
+
+/// Parses the optional `strategy` field into an admission rung. Both
+/// submit and patch bodies share this, and the unknown-name message comes
+/// from the same [`unknown_name_error`] helper the [`Backend`] parser
+/// uses, so every selection surface rejects with one shape.
+fn parse_rung_field(json: &Json) -> Result<ServeRung, String> {
+    match json.get("strategy") {
+        None => Ok(ServeRung::ExactMip),
+        Some(v) => {
+            let name = v.as_str().ok_or("`strategy` must be a string")?;
+            ServeRung::parse(name).ok_or_else(|| {
+                let names: Vec<&str> = RUNGS.iter().map(|r| r.name()).collect();
+                unknown_name_error("strategy", name, &names)
+            })
+        }
+    }
+}
+
+/// Parses the optional `backend` field (plus the partitioned backend's
+/// `tile_rows`/`tile_cols`) into a [`Backend`].
+fn parse_backend_field(json: &Json) -> Result<Backend, String> {
+    let backend = match json.get("backend") {
+        None | Some(Json::Null) => Backend::default(),
+        Some(v) => {
+            let name = v.as_str().ok_or("`backend` must be a string")?;
+            Backend::parse(name)?
+        }
+    };
+    let tile = |field: &str| -> Result<Option<usize>, String> {
+        match json.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("`{field}` must be a number"))?;
+                if n == 0 {
+                    return Err(format!("`{field}` must be at least 1"));
+                }
+                Ok(Some(n as usize))
+            }
+        }
+    };
+    let (rows, cols) = (tile("tile_rows")?, tile("tile_cols")?);
+    match backend {
+        Backend::Partitioned(p) => {
+            let limits = p.tile;
+            Ok(partitioned_with_tile(
+                rows.unwrap_or(limits.max_rows),
+                cols.unwrap_or(limits.max_cols),
+            ))
+        }
+        other if rows.is_some() || cols.is_some() => Err(format!(
+            "`tile_rows`/`tile_cols` only apply to the `partitioned` backend (got `{}`)",
+            other.name()
+        )),
+        other => Ok(other),
+    }
 }
 
 fn parse_key(json: &Json, field: &str) -> Result<String, String> {
@@ -152,15 +215,7 @@ pub fn parse_patch(body: &str) -> Result<PatchRequest, String> {
             g
         }
     };
-    let rung = match json.get("strategy") {
-        None => ServeRung::ExactMip,
-        Some(v) => {
-            let name = v.as_str().ok_or("`strategy` must be a string")?;
-            ServeRung::parse(name).ok_or_else(|| {
-                format!("unknown strategy `{name}` (exact-mip|anytime-mip|heuristic-oct|staircase)")
-            })?
-        }
-    };
+    let rung = parse_rung_field(&json)?;
     let deadline_ms = match json.get("deadline_ms") {
         None => 30_000,
         Some(v) => v
@@ -227,15 +282,7 @@ pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
             g
         }
     };
-    let rung = match json.get("strategy") {
-        None => ServeRung::ExactMip,
-        Some(v) => {
-            let name = v.as_str().ok_or("`strategy` must be a string")?;
-            ServeRung::parse(name).ok_or_else(|| {
-                format!("unknown strategy `{name}` (exact-mip|anytime-mip|heuristic-oct|staircase)")
-            })?
-        }
-    };
+    let rung = parse_rung_field(&json)?;
     let deadline_ms = match json.get("deadline_ms") {
         None => 30_000,
         Some(v) => v
@@ -271,6 +318,7 @@ pub fn parse_submit(body: &str) -> Result<SubmitSpec, String> {
         label,
         gamma,
         rung,
+        backend: parse_backend_field(&json)?,
         deadline: Duration::from_millis(deadline_ms),
         priority,
         chaos,
@@ -307,6 +355,60 @@ mod tests {
         assert!((spec.gamma - 0.5).abs() < 1e-9);
         assert!(spec.network.num_inputs() > 0);
         assert_eq!(spec.job_key, None);
+    }
+
+    #[test]
+    fn backend_field_parses_and_defaults() {
+        let spec = parse_submit(r#"{"circuit": "dec", "format": "bench"}"#).unwrap();
+        assert_eq!(spec.backend.name(), "compact");
+        let spec = parse_submit(r#"{"circuit": "dec", "format": "bench", "backend": "staircase"}"#)
+            .unwrap();
+        assert_eq!(spec.backend.name(), "staircase");
+    }
+
+    #[test]
+    fn unknown_backend_lists_every_name() {
+        let err = parse_submit(r#"{"circuit": "dec", "format": "bench", "backend": "warp"}"#)
+            .unwrap_err();
+        for name in Backend::NAMES {
+            assert!(err.contains(name), "{err} should list {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_error_comes_from_the_shared_helper() {
+        let err = parse_submit(r#"{"circuit": "dec", "format": "bench", "strategy": "warp"}"#)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            "unknown strategy `warp` (exact-mip|anytime-mip|heuristic-oct|staircase)"
+        );
+    }
+
+    #[test]
+    fn tile_dimensions_configure_the_partitioned_backend() {
+        let body = r#"{
+            "circuit": "dec", "format": "bench",
+            "backend": "partitioned", "tile_rows": 12, "tile_cols": 10
+        }"#;
+        let spec = parse_submit(body).unwrap();
+        match &spec.backend {
+            Backend::Partitioned(p) => {
+                assert_eq!(p.tile.max_rows, 12);
+                assert_eq!(p.tile.max_cols, 10);
+            }
+            other => panic!("expected partitioned, got {}", other.name()),
+        }
+        let err = parse_submit(
+            r#"{"circuit": "dec", "format": "bench", "backend": "compact", "tile_rows": 8}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("partitioned"), "{err}");
+        let err = parse_submit(
+            r#"{"circuit": "dec", "format": "bench", "backend": "partitioned", "tile_rows": 0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

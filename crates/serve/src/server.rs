@@ -24,6 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use flowc_baselines::{Backend, MappingBackend, SynthesisCtx};
 use flowc_budget::Budget;
 use flowc_compact::pipeline::Config;
 use flowc_compact::session::bdd_key;
@@ -706,6 +707,7 @@ fn patch(inner: &Arc<ServerInner>, body: &str) -> (u16, Json) {
         label,
         gamma: req.gamma,
         rung: req.rung,
+        backend: Backend::default(),
         deadline: req.deadline,
         priority: req.priority,
         chaos: None,
@@ -1165,6 +1167,92 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
             var_order: None,
             label_threads: 1,
         };
+        // Non-COMPACT backends dispatch through the unified
+        // `MappingBackend` trait: no incremental patch ladder, no
+        // COMPACT degradation machinery. The admission rung still
+        // shaped `config` above, so the backend's synthesis context
+        // carries the admission-assigned strategy and time slice.
+        if spec.patch.is_none() && !matches!(spec.backend, Backend::Compact(_)) {
+            let shard = (bdd_key(&spec.network, None).0 as usize) % inner.sessions.len();
+            let ctx = SynthesisCtx::new(config)
+                .with_session(&inner.sessions[shard])
+                .with_budget(budget.clone());
+            let outcome = spec.backend.synthesize(&spec.network, &ctx);
+            let wall = start.elapsed();
+            *inner.slots[slot]
+                .current
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = None;
+            let cancelled = inner.jobs.cancel_requested(queued.id);
+            match outcome {
+                Ok(design) => {
+                    let m = &design.metrics;
+                    let body = Json::Obj(vec![
+                        ("label".into(), Json::str(spec.label.clone())),
+                        ("backend".into(), Json::str(design.backend)),
+                        ("rows".into(), Json::int(m.rows)),
+                        ("cols".into(), Json::int(m.cols)),
+                        ("semiperimeter".into(), Json::int(m.semiperimeter)),
+                        ("max_dimension".into(), Json::int(m.max_dimension)),
+                        ("tiles".into(), Json::int(m.tiles)),
+                        ("transfer_ops".into(), Json::int(m.transfer_ops)),
+                        ("admission_rung".into(), Json::str(rung.name())),
+                        ("degraded".into(), Json::Bool(admission_degraded)),
+                        ("cancelled".into(), Json::Bool(cancelled)),
+                        ("wall_ms".into(), Json::Num(wall.as_millis() as f64)),
+                    ]);
+                    let state = if cancelled {
+                        JobState::Cancelled
+                    } else {
+                        JobState::Done
+                    };
+                    finish_job(inner, queued.id, state, body);
+                    let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    metrics.observe("job", wall);
+                    metrics.observe(backend_latency_name(&spec.backend), wall);
+                    if cancelled {
+                        metrics.counters.cancelled += 1;
+                    } else {
+                        metrics.counters.completed_ok += 1;
+                    }
+                    drop(metrics);
+                    inner
+                        .breaker
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .record(true, Instant::now());
+                }
+                Err(e) => {
+                    let kind = match &e {
+                        flowc_baselines::BackendError::Infeasible(_) => "infeasible",
+                        _ => "synthesis_failed",
+                    };
+                    finish_job(
+                        inner,
+                        queued.id,
+                        JobState::Failed,
+                        error_json(kind, &e.to_string(), None),
+                    );
+                    let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    metrics.counters.failed += 1;
+                    drop(metrics);
+                    // An infeasible tile constraint is the client's ask,
+                    // not service ill-health: don't feed the breaker a
+                    // failure for it.
+                    inner
+                        .breaker
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .record(
+                            matches!(e, flowc_baselines::BackendError::Infeasible(_)),
+                            Instant::now(),
+                        );
+                }
+            }
+            sync_breaker_trips(inner);
+            continue;
+        }
+
         let (outcome, incremental) = match &spec.patch {
             Some(patch) => run_patch_job(inner, patch, &spec, &config, &budget),
             None => {
@@ -1226,6 +1314,7 @@ fn worker_loop(inner: &Arc<ServerInner>, slot: usize) {
                     let mut metrics = inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
                     metrics.observe("job", wall);
                     metrics.observe(rung_latency_name(rung), wall);
+                    metrics.observe(backend_latency_name(&spec.backend), wall);
                     if let Some(d) = degradation {
                         metrics.observe("stage.bdd-build", d.bdd_wall);
                         let label_wall: Duration = d.attempts.iter().map(|a| a.wall).sum();
@@ -1426,6 +1515,19 @@ fn rung_latency_name(rung: ServeRung) -> &'static str {
         ServeRung::AnytimeMip => "rung.anytime-mip",
         ServeRung::HeuristicOct => "rung.heuristic-oct",
         ServeRung::Staircase => "rung.staircase",
+    }
+}
+
+/// Per-backend latency histogram name, so `/metrics` surfaces which
+/// mapping backend served each job (all five [`Backend`] variants get a
+/// stable `backend.*` series).
+fn backend_latency_name(backend: &Backend) -> &'static str {
+    match backend {
+        Backend::Compact(_) => "backend.compact",
+        Backend::Staircase(_) => "backend.staircase",
+        Backend::RobddDiagonal(_) => "backend.robdd-diagonal",
+        Backend::MagicNor(_) => "backend.magic-nor",
+        Backend::Partitioned(_) => "backend.partitioned",
     }
 }
 

@@ -26,6 +26,14 @@ pub struct CrossbarMetrics {
     pub bridge_devices: usize,
     /// Evaluation-phase time steps: `rows + 1`.
     pub delay_steps: usize,
+    /// Crossbar tiles the design occupies. `1` for a monolithic design;
+    /// partitioned (area-constrained) mappings count one per scheduled
+    /// tile.
+    pub tiles: usize,
+    /// Inter-tile transfer operations: input re-deliveries (and other
+    /// data movement) a tile schedule performs beyond what a monolithic
+    /// design needs. `0` for monolithic designs.
+    pub transfer_ops: usize,
 }
 
 impl CrossbarMetrics {
@@ -51,6 +59,8 @@ impl CrossbarMetrics {
             active_devices: active,
             bridge_devices: bridges,
             delay_steps: rows + 1,
+            tiles: 1,
+            transfer_ops: 0,
         }
     }
 }
@@ -91,6 +101,8 @@ mod tests {
         assert_eq!(m.active_devices, 2);
         assert_eq!(m.bridge_devices, 1);
         assert_eq!(m.delay_steps, 4);
+        assert_eq!(m.tiles, 1);
+        assert_eq!(m.transfer_ops, 0);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! flowc help
 //!
 //! options:
+//!   --backend <name>      mapping backend: compact (default), staircase,
+//!                         robdd-diagonal, magic-nor, or partitioned
+//!   --tile-rows <n>       tile bounds for `--backend partitioned`
+//!   --tile-cols <n>       (default 64 x 64)
+//!   --tile-backend <name> backend mapping each tile (default compact)
 //!   --gamma <0..1>        trade-off weight (default 0.5)
 //!   --gamma-sweep <n>     synthesize n evenly spaced γ points through one
 //!                         shared session (the BDD and graph are built
@@ -52,6 +57,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use flowc::baselines::{Backend, DesignArtifact, MappingBackend, SynthesisCtx};
 use flowc::budget::Budget;
 use flowc::compact::pipeline::{Config, VhStrategy};
 use flowc::compact::supervisor::synthesize_with_budget;
@@ -111,6 +117,10 @@ struct Options {
     spare_cols: usize,
     label_threads: usize,
     edit_stream: Option<String>,
+    backend: String,
+    tile_rows: Option<usize>,
+    tile_cols: Option<usize>,
+    tile_backend: Option<String>,
 }
 
 impl Options {
@@ -133,6 +143,10 @@ impl Options {
             spare_cols: 0,
             label_threads: 1,
             edit_stream: None,
+            backend: "compact".to_string(),
+            tile_rows: None,
+            tile_cols: None,
+            tile_backend: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -225,6 +239,22 @@ impl Options {
                         .max(1)
                 }
                 "--edit-stream" => opts.edit_stream = Some(value("--edit-stream")?),
+                "--backend" => opts.backend = value("--backend")?,
+                "--tile-rows" => {
+                    opts.tile_rows = Some(
+                        value("--tile-rows")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--tile-rows: {e}"))?,
+                    )
+                }
+                "--tile-cols" => {
+                    opts.tile_cols = Some(
+                        value("--tile-cols")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--tile-cols: {e}"))?,
+                    )
+                }
+                "--tile-backend" => opts.tile_backend = Some(value("--tile-backend")?),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -265,6 +295,39 @@ impl Options {
             budget = budget.with_max_bdd_nodes(nodes);
         }
         budget
+    }
+
+    /// Resolves `--backend` plus the tile knobs into a [`Backend`].
+    fn backend(&self) -> Result<Backend, String> {
+        let mut backend = Backend::parse(&self.backend)?;
+        if !matches!(backend, Backend::Partitioned(_))
+            && (self.tile_rows.is_some() || self.tile_cols.is_some() || self.tile_backend.is_some())
+        {
+            return Err(format!(
+                "--tile-rows/--tile-cols/--tile-backend only apply to \
+                 `--backend partitioned` (got `{}`)",
+                backend.name()
+            ));
+        }
+        if let Backend::Partitioned(p) = &mut backend {
+            if let Some(rows) = self.tile_rows {
+                if rows == 0 {
+                    return Err("--tile-rows must be at least 1".into());
+                }
+                p.tile.max_rows = rows;
+            }
+            if let Some(cols) = self.tile_cols {
+                if cols == 0 {
+                    return Err("--tile-cols must be at least 1".into());
+                }
+                p.tile.max_cols = cols;
+            }
+            if let Some(inner) = &self.tile_backend {
+                *p.inner = Backend::parse(inner).map_err(|e| format!("--tile-backend: {e}"))?;
+            }
+            p.per_tile_time = self.time_limit;
+        }
+        Ok(backend)
     }
 }
 
@@ -421,7 +484,91 @@ fn edit_stream(network: &Network, script: &str, opts: &Options) -> Result<bool, 
     Ok(result.degradation.as_ref().is_some_and(|d| d.degraded))
 }
 
+/// Synthesizes through a non-COMPACT [`Backend`] and prints the unified
+/// metric block. Compact-only features error out loudly instead of being
+/// silently ignored.
+fn synth_backend(network: &Network, backend: &Backend, opts: &Options) -> Result<bool, String> {
+    let name = backend.name();
+    if opts.gamma_sweep.is_some() {
+        return Err(format!(
+            "--gamma-sweep needs `--backend compact` (got `{name}`)"
+        ));
+    }
+    if opts.edit_stream.is_some() {
+        return Err(format!(
+            "--edit-stream needs `--backend compact` (got `{name}`)"
+        ));
+    }
+    if opts.defect_map.is_some() || opts.defect_rate.is_some() {
+        return Err(format!(
+            "defect repair needs `--backend compact` (got `{name}`)"
+        ));
+    }
+    let ctx = SynthesisCtx::new(opts.config()?).with_budget(opts.budget());
+    let design = backend
+        .synthesize(network, &ctx)
+        .map_err(|e| e.to_string())?;
+    let m = &design.metrics;
+    println!("circuit    : {}", network.name());
+    println!("backend    : {}", design.backend);
+    println!("inputs     : {}", network.num_inputs());
+    println!("outputs    : {}", network.num_outputs());
+    println!("crossbar   : {} x {}", m.rows, m.cols);
+    println!("semiperim. : {}", m.semiperimeter);
+    println!("max dim    : {}", m.max_dimension);
+    println!("area       : {}", m.area);
+    println!("power      : {} active devices", m.active_devices);
+    println!("delay      : {} steps", m.delay_steps);
+    if let DesignArtifact::Tiled(schedule) = &design.artifact {
+        println!(
+            "tiles      : {} (each within {} x {})",
+            m.tiles, schedule.limits.max_rows, schedule.limits.max_cols
+        );
+        println!(
+            "transfers  : {} inter-tile input deliveries",
+            m.transfer_ops
+        );
+    }
+    if opts.render {
+        match design.crossbar() {
+            Some(xbar) => println!("\ndevice matrix:\n{}", xbar.render()),
+            None => {
+                return Err(format!(
+                    "--render needs a single-crossbar design; backend `{name}` \
+                     produced a {} (try `--backend compact`)",
+                    match &design.artifact {
+                        DesignArtifact::Tiled(_) => "tile schedule",
+                        _ => "NOR program",
+                    }
+                ))
+            }
+        }
+    }
+    if let Some(path) = &opts.svg {
+        match design.crossbar() {
+            Some(xbar) => {
+                let svg = flowc::xbar::svg::to_svg(xbar, &flowc::xbar::svg::SvgOptions::default());
+                flowc_report::write_atomic(Path::new(path), &svg)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("svg        : wrote {path}");
+            }
+            None => return Err(format!("--svg needs a single-crossbar design (`{name}`)")),
+        }
+    }
+    if let Some(samples) = opts.validate {
+        backend
+            .verify(&design, network, samples)
+            .map_err(|e| format!("validation: {e}"))?;
+        println!("validation : {samples} assignments, all match");
+    }
+    Ok(false)
+}
+
 fn synth(network: &Network, opts: &Options) -> Result<bool, String> {
+    let backend = opts.backend()?;
+    if !matches!(backend, Backend::Compact(_)) {
+        return synth_backend(network, &backend, opts);
+    }
     if let Some(steps) = opts.gamma_sweep {
         return gamma_sweep(network, steps, opts);
     }
@@ -563,6 +710,10 @@ USAGE:
     flowc help | -h | --help
 
 SYNTHESIS OPTIONS (synth/bench):
+    --backend <name>       mapping backend: compact (default), staircase,
+                           robdd-diagonal, magic-nor, partitioned
+    --tile-rows/--tile-cols <n>   tile bounds for `partitioned` (64 x 64)
+    --tile-backend <name>  backend mapping each tile (default compact)
     --gamma <0..1>         trade-off weight (default 0.5)
     --gamma-sweep <n>      n γ points through one shared session
     --strategy <weighted|min-s|heuristic|staircase>
@@ -582,7 +733,8 @@ SYNTHESIS OPTIONS (synth/bench):
 
 REMOTE (client for a running flowc-serve):
     flowc remote submit <circuit file | bench:<name>> [--server <addr>]
-          [--gamma g] [--strategy s] [--deadline secs] [--priority 0..9]
+          [--gamma g] [--strategy s] [--backend b] [--tile-rows n]
+          [--tile-cols n] [--deadline secs] [--priority 0..9]
           [--label text] [--job-key key] [--wait]
           (--job-key makes resubmission idempotent on a journaled server:
            a key the server has seen returns the original job id)
@@ -609,6 +761,9 @@ struct RemoteOptions {
     priority: Option<u64>,
     label: Option<String>,
     job_key: Option<String>,
+    backend: Option<String>,
+    tile_rows: Option<u64>,
+    tile_cols: Option<u64>,
     wait: bool,
     positional: Vec<String>,
 }
@@ -623,6 +778,9 @@ impl RemoteOptions {
             priority: None,
             label: None,
             job_key: None,
+            backend: None,
+            tile_rows: None,
+            tile_cols: None,
             wait: false,
             positional: Vec::new(),
         };
@@ -661,6 +819,21 @@ impl RemoteOptions {
                 }
                 "--label" => opts.label = Some(value("--label")?),
                 "--job-key" => opts.job_key = Some(value("--job-key")?),
+                "--backend" => opts.backend = Some(value("--backend")?),
+                "--tile-rows" => {
+                    opts.tile_rows = Some(
+                        value("--tile-rows")?
+                            .parse::<u64>()
+                            .map_err(|e| format!("--tile-rows: {e}"))?,
+                    )
+                }
+                "--tile-cols" => {
+                    opts.tile_cols = Some(
+                        value("--tile-cols")?
+                            .parse::<u64>()
+                            .map_err(|e| format!("--tile-cols: {e}"))?,
+                    )
+                }
                 "--wait" => opts.wait = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`"))
@@ -723,6 +896,15 @@ fn submit_body(target: &str, opts: &RemoteOptions) -> Result<String, String> {
     }
     if let Some(k) = &opts.job_key {
         fields.push(("job_key".to_string(), Json::str(k.as_str())));
+    }
+    if let Some(b) = &opts.backend {
+        fields.push(("backend".to_string(), Json::str(b.as_str())));
+    }
+    if let Some(r) = opts.tile_rows {
+        fields.push(("tile_rows".to_string(), Json::Num(r as f64)));
+    }
+    if let Some(c) = opts.tile_cols {
+        fields.push(("tile_cols".to_string(), Json::Num(c as f64)));
     }
     Ok(Json::Obj(fields).to_compact())
 }

@@ -1,0 +1,148 @@
+//! Backend-matrix integration tests: every [`Backend`] variant maps the
+//! same fixed circuits through the one enum-dispatched `MappingBackend`
+//! trait, each design sample-verifies against simulation, and the
+//! partitioned backend's tile schedule is differentially checked against
+//! the monolithic COMPACT design. The CI backend-matrix smoke job runs
+//! exactly this suite.
+
+use std::time::Duration;
+
+use flowc::baselines::{
+    partitioned_with_tile, Backend, BackendError, DesignArtifact, MappingBackend, SynthesisCtx,
+};
+use flowc::budget::Budget;
+use flowc::compact::constrained::{synthesize_constrained, ConstraintError, SizeLimits};
+use flowc::conform::oracle::{differential_check, BackendOracle, DiffConfig, Oracle};
+use flowc::logic::{bench_suite, blif, Network};
+
+/// A circuit small enough to fit a 16x16 tile monolithically.
+fn small_circuit() -> Network {
+    let text = std::fs::read_to_string("testdata/adder4.blif").expect("testdata/adder4.blif");
+    blif::parse(&text).expect("adder4 parses")
+}
+
+/// A circuit whose joint SBDD cannot fit a 16x16 tile: the 8-input
+/// 256-output decoder needs hundreds of rows monolithically.
+fn large_circuit() -> Network {
+    bench_suite::by_name("dec")
+        .expect("dec benchmark")
+        .network()
+        .expect("dec builds")
+}
+
+fn ctx() -> SynthesisCtx<'static> {
+    SynthesisCtx::default().with_budget(Budget::unlimited().with_deadline(Duration::from_secs(60)))
+}
+
+/// Every backend maps the small circuit and sample-verifies.
+#[test]
+fn every_backend_maps_the_small_circuit() {
+    let network = small_circuit();
+    for name in Backend::NAMES {
+        let backend = Backend::parse(name).expect("listed names parse");
+        let design = backend
+            .synthesize(&network, &ctx())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(design.backend, *name);
+        assert!(design.metrics.rows > 0, "{name}: empty design");
+        backend
+            .verify(&design, &network, 256)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// Every backend maps the oversized circuit too; the partitioned backend
+/// must actually split it, with per-tile bounds respected and transfer
+/// accounting present.
+#[test]
+fn every_backend_maps_the_circuit_that_overflows_a_tile() {
+    let network = large_circuit();
+    for name in Backend::NAMES {
+        let backend = match Backend::parse(name).expect("listed names parse") {
+            Backend::Partitioned(_) => partitioned_with_tile(16, 16),
+            other => other,
+        };
+        let design = backend
+            .synthesize(&network, &ctx())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        backend
+            .verify(&design, &network, 128)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let DesignArtifact::Tiled(schedule) = &design.artifact {
+            assert!(
+                schedule.tiles.len() > 1,
+                "dec must not fit one 16x16 tile ({} tiles)",
+                schedule.tiles.len()
+            );
+            for tile in &schedule.tiles {
+                assert!(tile.crossbar.rows() <= 16 && tile.crossbar.cols() <= 16);
+            }
+            assert_eq!(design.metrics.tiles, schedule.tiles.len());
+            assert!(
+                design.metrics.transfer_ops > 0,
+                "shared inputs re-broadcast"
+            );
+        }
+    }
+}
+
+/// Partitioned-vs-monolithic equivalence through the conformance
+/// machinery: the tile schedule and the single-crossbar COMPACT design
+/// are differential oracles over the same network, and must agree on
+/// every checked assignment (exhaustively here — 9 inputs).
+#[test]
+fn partitioned_agrees_with_monolithic_compact_via_conform() {
+    let network = small_circuit();
+    let oracles: Vec<Box<dyn Oracle>> = vec![
+        Box::new(BackendOracle::new(Backend::default())),
+        // 16x16: the smallest power-of-two tile that holds adder4's
+        // widest output cone (one cone alone needs S >= 21).
+        Box::new(BackendOracle::new(partitioned_with_tile(16, 16))),
+    ];
+    let cfg = DiffConfig {
+        max_exhaustive_inputs: 9,
+        symbolic: false,
+        ..DiffConfig::default()
+    };
+    differential_check(&network, &oracles, &cfg)
+        .unwrap_or_else(|d| panic!("partitioned disagrees with compact: {d}"));
+}
+
+/// Constrained synthesis failures are typed, not panics: a provably
+/// impossible tile reports `Infeasible` with the semiperimeter bound, a
+/// merely-unreached tile reports `NotFound` with the best shape seen.
+#[test]
+fn constrained_synthesis_failures_are_typed() {
+    let network = small_circuit();
+    let limits = SizeLimits {
+        max_rows: 1,
+        max_cols: 1,
+    };
+    match synthesize_constrained(&network, limits, Duration::from_secs(5)) {
+        Err(ConstraintError::Infeasible {
+            semiperimeter_lower_bound,
+            limits: reported,
+        }) => {
+            assert!(semiperimeter_lower_bound > 2);
+            assert_eq!(reported, limits);
+        }
+        other => panic!("1x1 must be provably infeasible, got {other:?}"),
+    }
+}
+
+/// The same typed infeasibility surfaces through the backend trait: a
+/// partitioned backend whose tile cannot hold even one output cone
+/// answers `BackendError::Infeasible`, and the feasible/infeasible edge
+/// is sharp (the same network synthesizes on a tile one notch larger).
+#[test]
+fn partitioned_infeasibility_is_typed_through_the_trait() {
+    let network = small_circuit();
+    let backend = partitioned_with_tile(2, 2);
+    match backend.synthesize(&network, &ctx()) {
+        Err(BackendError::Infeasible(_)) => {}
+        other => panic!("2x2 tiles must be typed-infeasible, got {other:?}"),
+    }
+    partitioned_with_tile(16, 16)
+        .synthesize(&network, &ctx())
+        .expect("16x16 tiles fit adder4 cones");
+}
